@@ -1,0 +1,275 @@
+// auroranode runs one Aurora server as an OS process speaking the
+// multiplexed TCP transport of §4.3, so a query network can be partitioned
+// across real processes the same way Cluster partitions it across
+// simulated ones.
+//
+// The node loads its piece of the query network from a JSON file, accepts
+// tuples for its input streams from upstream peers (or generates them with
+// -gen), and routes its outputs either to downstream peers or to stdout.
+//
+// Example — a two-process chain:
+//
+//	auroranode -id n2 -listen 127.0.0.1:7002 -network tail.json -print out &
+//	auroranode -id n1 -listen 127.0.0.1:7001 -network head.json \
+//	    -peer n2=127.0.0.1:7002 -route mid=n2/mid \
+//	    -gen sensors=in -gen-count 10000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/transport"
+	"repro/internal/wgen"
+)
+
+// netFile is the JSON description of one node's piece of a query network.
+type netFile struct {
+	Name  string `json:"name"`
+	Boxes []struct {
+		ID     string            `json:"id"`
+		Kind   string            `json:"kind"`
+		Params map[string]string `json:"params"`
+	} `json:"boxes"`
+	Arcs []struct {
+		From string `json:"from"` // "box:port"
+		To   string `json:"to"`
+	} `json:"arcs"`
+	Inputs []struct {
+		Name   string `json:"name"`
+		Schema []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"` // int, float, string, bool
+		} `json:"schema"`
+		Box  string `json:"box"`
+		Port int    `json:"port"`
+	} `json:"inputs"`
+	Outputs []struct {
+		Name string `json:"name"`
+		Box  string `json:"box"`
+		Port int    `json:"port"`
+	} `json:"outputs"`
+}
+
+func parseKind(s string) (stream.Kind, error) {
+	switch s {
+	case "int":
+		return stream.KindInt, nil
+	case "float":
+		return stream.KindFloat, nil
+	case "string":
+		return stream.KindString, nil
+	case "bool":
+		return stream.KindBool, nil
+	}
+	return stream.KindInvalid, fmt.Errorf("unknown kind %q", s)
+}
+
+func parsePort(s string) (query.Port, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return query.Port{Box: s}, nil
+	}
+	var port int
+	if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
+		return query.Port{}, fmt.Errorf("bad port in %q", s)
+	}
+	return query.Port{Box: s[:i], Port: port}, nil
+}
+
+func loadNetwork(path string) (*query.Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var nf netFile
+	if err := json.Unmarshal(data, &nf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	b := query.NewBuilder(nf.Name)
+	for _, box := range nf.Boxes {
+		b.AddBox(box.ID, op.Spec{Kind: box.Kind, Params: box.Params})
+	}
+	for _, a := range nf.Arcs {
+		from, err := parsePort(a.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := parsePort(a.To)
+		if err != nil {
+			return nil, err
+		}
+		b.ConnectPorts(from, to, false)
+	}
+	for _, in := range nf.Inputs {
+		fields := make([]stream.Field, len(in.Schema))
+		for i, f := range in.Schema {
+			k, err := parseKind(f.Kind)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = stream.Field{Name: f.Name, Kind: k}
+		}
+		schema, err := stream.NewSchema(in.Name, fields...)
+		if err != nil {
+			return nil, err
+		}
+		b.BindInput(in.Name, schema, in.Box, in.Port)
+	}
+	for _, o := range nf.Outputs {
+		b.BindOutput(o.Name, o.Box, o.Port, nil)
+	}
+	return b.Build()
+}
+
+// multiFlag collects repeated -flag key=value pairs.
+type multiFlag map[string]string
+
+func (m multiFlag) String() string { return fmt.Sprint(map[string]string(m)) }
+func (m multiFlag) Set(s string) error {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	m[s[:i]] = s[i+1:]
+	return nil
+}
+
+func main() {
+	var (
+		id      = flag.String("id", "node", "node identity")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		netPath = flag.String("network", "", "query network JSON file (required)")
+		print   = flag.String("print", "", "output stream to print to stdout")
+		genSpec = flag.String("gen", "", "self-generate workload: sensors=<input> | quotes=<input> | flows=<input>")
+		genN    = flag.Int("gen-count", 10000, "tuples to generate")
+		genRate = flag.Float64("gen-rate", 10000, "generated tuples per second")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	peers := multiFlag{}
+	routes := multiFlag{}
+	flag.Var(peers, "peer", "peer id=host:port (repeatable)")
+	flag.Var(routes, "route", "output routing out=peer/stream (repeatable)")
+	flag.Parse()
+
+	if *netPath == "" {
+		log.Fatal("-network is required")
+	}
+	net, err := loadNetwork(*netPath)
+	if err != nil {
+		log.Fatalf("load network: %v", err)
+	}
+	eng, err := engine.New(net, engine.Config{})
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+
+	var mu sync.Mutex // the engine is single-threaded by design (§2.3)
+	var tcp *transport.TCP
+	delivered := map[string]uint64{}
+
+	eng.OnOutput(func(name string, t stream.Tuple) {
+		delivered[name]++
+		if name == *print {
+			fmt.Println(t.String())
+		}
+		if dest, ok := routes[name]; ok {
+			i := strings.IndexByte(dest, '/')
+			if i < 0 {
+				return
+			}
+			peer, remoteStream := dest[:i], dest[i+1:]
+			if err := tcp.Send(peer, transport.Msg{
+				Stream: remoteStream, Kind: transport.KindData,
+				BaseSeq: t.Seq, Tuples: []stream.Tuple{t},
+			}); err != nil && !*quiet {
+				log.Printf("route %s -> %s: %v", name, dest, err)
+			}
+		}
+	})
+
+	tcp, err = transport.ListenTCP(*id, *listen, func(from string, m transport.Msg) {
+		if m.Kind != transport.KindData {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, t := range m.Tuples {
+			eng.Ingest(m.Stream, t)
+		}
+		eng.RunUntilIdle(0)
+	})
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer tcp.Close()
+	if !*quiet {
+		log.Printf("node %s listening on %s, network %s", *id, tcp.Addr(), net)
+	}
+
+	for peer, addr := range peers {
+		got, err := tcp.Dial(addr)
+		if err != nil {
+			log.Fatalf("dial %s: %v", addr, err)
+		}
+		if got != peer {
+			log.Fatalf("peer at %s identified as %q, expected %q", addr, got, peer)
+		}
+	}
+
+	if *genSpec != "" {
+		i := strings.IndexByte(*genSpec, '=')
+		if i <= 0 {
+			log.Fatalf("bad -gen %q", *genSpec)
+		}
+		kind, input := (*genSpec)[:i], (*genSpec)[i+1:]
+		arrival := wgen.NewPoissonArrival(*genRate, 1)
+		var src wgen.Source
+		switch kind {
+		case "sensors":
+			src = wgen.NewSensorSource(32, 1.2, []string{"cambridge", "boston"}, arrival, int64(*genN), 1)
+		case "quotes":
+			src = wgen.NewStockSource(16, arrival, int64(*genN), 1)
+		case "flows":
+			src = wgen.NewNetFlowSource(256, arrival, int64(*genN), 1)
+		default:
+			log.Fatalf("unknown generator %q", kind)
+		}
+		start := time.Now()
+		count := 0
+		for {
+			t, gap, ok := src.Next()
+			if !ok {
+				break
+			}
+			time.Sleep(time.Duration(gap))
+			mu.Lock()
+			eng.Ingest(input, t)
+			eng.RunUntilIdle(0)
+			mu.Unlock()
+			count++
+		}
+		mu.Lock()
+		eng.Drain()
+		mu.Unlock()
+		if !*quiet {
+			log.Printf("generated %d tuples in %v; deliveries: %v",
+				count, time.Since(start).Round(time.Millisecond), delivered)
+		}
+		// Give routed messages a moment to flush before exiting.
+		time.Sleep(200 * time.Millisecond)
+		return
+	}
+
+	select {} // serve forever
+}

@@ -1,0 +1,53 @@
+// benchrunner regenerates the experiment tables of EXPERIMENTS.md from
+// the command line: every figure of the paper has an experiment (E01..E15)
+// whose table this tool prints.
+//
+// Usage:
+//
+//	benchrunner            # run everything at full scale
+//	benchrunner -exp E04   # one experiment
+//	benchrunner -scale 0.1 # smaller workloads, faster run
+//	benchrunner -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "", "run only this experiment id (e.g. E04)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	experiments := exp.Registry()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%s  %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *which != "" && !strings.EqualFold(*which, e.ID) {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(*scale)
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *which)
+		os.Exit(1)
+	}
+}

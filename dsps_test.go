@@ -1,0 +1,130 @@
+package dsps_test
+
+import (
+	"testing"
+
+	dsps "repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end: build a query,
+// run it on a single engine, observe QoS.
+func TestPublicAPIQuickstart(t *testing.T) {
+	readings := dsps.MustSchema("readings",
+		dsps.Field{Name: "sensor", Kind: dsps.KindInt},
+		dsps.Field{Name: "reading", Kind: dsps.KindFloat},
+	)
+	q, err := dsps.NewQuery("hot").
+		AddBox("hot", dsps.FilterSpec("reading > 20", false)).
+		AddBox("per", dsps.TumbleSpec("cnt", "reading", "sensor")).
+		Connect("hot", "per").
+		BindInput("readings", readings, "hot", 0).
+		BindOutput("alerts", "per", 0, &dsps.QoS{Latency: dsps.LatencyQoS(1e6, 1e9)}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dsps.NewEngine(q, dsps.EngineConfig{Clock: dsps.NewVirtualClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []dsps.Tuple
+	eng.OnOutput(func(name string, tp dsps.Tuple) { alerts = append(alerts, tp) })
+	for i := 0; i < 10; i++ {
+		eng.Ingest("readings", dsps.NewTuple(dsps.Int(int64(i%2)), dsps.Float(25)))
+	}
+	eng.Drain()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts produced")
+	}
+	rep, ok := eng.Output("alerts")
+	if !ok || rep.Delivered == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPublicAPISpecHelpers(t *testing.T) {
+	s := dsps.MustSchema("s",
+		dsps.Field{Name: "a", Kind: dsps.KindInt},
+		dsps.Field{Name: "b", Kind: dsps.KindFloat},
+		dsps.Field{Name: "ts", Kind: dsps.KindInt},
+	)
+	specs := []dsps.OpSpec{
+		dsps.FilterSpec("a < 3", true),
+		dsps.MapSpec("twice=(a * 2)"),
+		dsps.UnionSpec(3),
+		dsps.WSortSpec("a", 1000),
+		dsps.TumbleSpec("sum", "b", "a"),
+		dsps.XSectionSpec("max", "b", "a", 4, 2),
+		dsps.SlideSpec("min", "b", "a", "ts", 10.5),
+		dsps.JoinSpec("a", "a", 100),
+		dsps.ResampleSpec("b"),
+	}
+	for _, spec := range specs {
+		b := dsps.NewQuery("t").AddBox("x", spec)
+		switch spec.Kind {
+		case "union":
+			b.BindInput("i0", s, "x", 0).BindInput("i1", s, "x", 1).BindInput("i2", s, "x", 2)
+		case "join", "resample":
+			b.BindInput("l", s, "x", 0).BindInput("r", s, "x", 1)
+		default:
+			b.BindInput("in", s, "x", 0)
+		}
+		if _, err := b.Build(); err != nil {
+			t.Errorf("%s: %v", spec.Kind, err)
+		}
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	src := dsps.NewSensorSource(10, 1.2, []string{"cambridge"}, dsps.NewPoissonArrival(1000, 1), 0, 42)
+	tuples := dsps.CollectSource(src, 100)
+	if len(tuples) != 100 || !dsps.SensorSchema.Compatible(dsps.SensorSchema) {
+		t.Fatal("sensor workload broken")
+	}
+	if dsps.NewStockSource(4, dsps.NewConstantArrival(10), 0, 1).Schema() != dsps.QuoteSchema {
+		t.Error("stock schema mismatch")
+	}
+}
+
+func TestPublicAPIExprAndQoS(t *testing.T) {
+	e, err := dsps.ParseExpr(`(reading > 20) && (sensor == 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() == "" {
+		t.Error("expr should render")
+	}
+	g, err := dsps.NewQoSGraph(dsps.QoSPoint{X: 0, U: 1}, dsps.QoSPoint{X: 10, U: 0})
+	if err != nil || g.Utility(5) != 0.5 {
+		t.Error("graph API broken")
+	}
+	specs, err := dsps.InferQoS(&dsps.QoS{Latency: g}, []dsps.BoxCost{{ID: "b", Time: 2}})
+	if err != nil || len(specs) != 1 {
+		t.Error("inference API broken")
+	}
+}
+
+func TestPublicAPICompileQuery(t *testing.T) {
+	readings := dsps.MustSchema("readings",
+		dsps.Field{Name: "sensor", Kind: dsps.KindInt},
+		dsps.Field{Name: "reading", Kind: dsps.KindFloat},
+	)
+	net, err := dsps.CompileQuery("decl",
+		`SELECT cnt(reading) FROM readings WHERE reading > 1.0 GROUP BY sensor`, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dsps.NewEngine(net, dsps.EngineConfig{Clock: dsps.NewVirtualClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []dsps.Tuple
+	eng.OnOutput(func(_ string, tp dsps.Tuple) { out = append(out, tp) })
+	for i := 0; i < 6; i++ {
+		eng.Ingest("readings", dsps.NewTuple(dsps.Int(int64(i/3)), dsps.Float(2)))
+	}
+	eng.Drain()
+	if len(out) != 2 || out[0].Field(1).AsInt() != 3 {
+		t.Fatalf("declarative query output:\n%v", out)
+	}
+}

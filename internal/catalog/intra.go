@@ -1,0 +1,244 @@
+// Package catalog implements the two catalog types of §4.1: the
+// intra-participant catalog holding definitions of operators, schemas,
+// streams, queries, and contracts (with possibly stale physical locations
+// of stream events), and the inter-participant catalog — a distributed
+// hash table keyed by globally unique entity names — through which
+// participants discover where pieces of queries run across administrative
+// boundaries.
+//
+// Names follow the paper's scheme: a single global namespace of
+// participants, with every entity named (participant, entity-name).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Name is a globally unique entity name: participant plus local name.
+type Name struct {
+	Participant string
+	Entity      string
+}
+
+// ParseName splits "participant/entity" into a Name.
+func ParseName(s string) (Name, error) {
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return Name{}, fmt.Errorf("catalog: bad name %q (want participant/entity)", s)
+	}
+	return Name{Participant: s[:i], Entity: s[i+1:]}, nil
+}
+
+// String renders the name as participant/entity.
+func (n Name) String() string { return n.Participant + "/" + n.Entity }
+
+// StreamInfo records a registered stream: its schema and the (possibly
+// stale) physical locations where its events are currently available.
+// Streams may be partitioned across several nodes for load balancing.
+type StreamInfo struct {
+	Name      Name
+	Schema    *stream.Schema
+	Locations []string // node ids
+}
+
+// QueryPiece records where one piece of a deployed query network runs.
+type QueryPiece struct {
+	Query string   // query (network) name
+	Boxes []string // box ids in this piece
+	Node  string   // node currently executing the piece
+}
+
+// Intra is the intra-participant catalog. All nodes owned by a participant
+// have access to the complete catalog; this implementation is a
+// thread-safe in-memory store that the participant's nodes share (the
+// paper permits either a centralized or distributed realization).
+type Intra struct {
+	participant string
+
+	mu        sync.RWMutex
+	schemas   map[string]*stream.Schema
+	streams   map[string]*StreamInfo
+	operators map[string]op.Spec
+	queries   map[string]*query.Network
+	pieces    map[string][]QueryPiece // query name -> pieces
+	contracts map[string]string       // contract id -> description
+}
+
+// NewIntra returns an empty catalog for the given participant.
+func NewIntra(participant string) *Intra {
+	return &Intra{
+		participant: participant,
+		schemas:     map[string]*stream.Schema{},
+		streams:     map[string]*StreamInfo{},
+		operators:   map[string]op.Spec{},
+		queries:     map[string]*query.Network{},
+		pieces:      map[string][]QueryPiece{},
+		contracts:   map[string]string{},
+	}
+}
+
+// Participant returns the owning participant's name.
+func (c *Intra) Participant() string { return c.participant }
+
+// RegisterSchema records a schema definition under its name.
+func (c *Intra) RegisterSchema(s *stream.Schema) error {
+	if s == nil {
+		return fmt.Errorf("catalog: nil schema")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.schemas[s.Name()]; dup {
+		return fmt.Errorf("catalog: schema %q already registered", s.Name())
+	}
+	c.schemas[s.Name()] = s
+	return nil
+}
+
+// Schema looks a schema up by name.
+func (c *Intra) Schema(name string) (*stream.Schema, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.schemas[name]
+	return s, ok
+}
+
+// RegisterStream records a new stream with its schema and initial default
+// location — the registration step a data source performs before
+// producing events (§4.2).
+func (c *Intra) RegisterStream(entity string, schema *stream.Schema, location string) error {
+	if schema == nil {
+		return fmt.Errorf("catalog: nil schema for stream %q", entity)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.streams[entity]; dup {
+		return fmt.Errorf("catalog: stream %q already registered", entity)
+	}
+	c.streams[entity] = &StreamInfo{
+		Name:      Name{Participant: c.participant, Entity: entity},
+		Schema:    schema,
+		Locations: []string{location},
+	}
+	return nil
+}
+
+// Stream looks a stream up by entity name.
+func (c *Intra) Stream(entity string) (*StreamInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.streams[entity]
+	if !ok {
+		return nil, false
+	}
+	cp := *s
+	cp.Locations = append([]string(nil), s.Locations...)
+	return &cp, true
+}
+
+// MoveStream updates a stream's physical locations after load sharing has
+// moved or partitioned the data; location information is always propagated
+// to the intra-participant catalog (§4.2).
+func (c *Intra) MoveStream(entity string, locations []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.streams[entity]
+	if !ok {
+		return fmt.Errorf("catalog: unknown stream %q", entity)
+	}
+	if len(locations) == 0 {
+		return fmt.Errorf("catalog: stream %q needs at least one location", entity)
+	}
+	s.Locations = append([]string(nil), locations...)
+	return nil
+}
+
+// RegisterOperator records an operator definition that other participants
+// may instantiate via remote definition (§4.4).
+func (c *Intra) RegisterOperator(entity string, spec op.Spec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.operators[entity]; dup {
+		return fmt.Errorf("catalog: operator %q already registered", entity)
+	}
+	c.operators[entity] = spec.Clone()
+	return nil
+}
+
+// Operator looks an operator definition up.
+func (c *Intra) Operator(entity string) (op.Spec, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.operators[entity]
+	if !ok {
+		return op.Spec{}, false
+	}
+	return s.Clone(), true
+}
+
+// RegisterQuery records a deployed query network.
+func (c *Intra) RegisterQuery(n *query.Network) error {
+	if n == nil {
+		return fmt.Errorf("catalog: nil network")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.queries[n.Name()]; dup {
+		return fmt.Errorf("catalog: query %q already registered", n.Name())
+	}
+	c.queries[n.Name()] = n
+	return nil
+}
+
+// Query looks a query network up.
+func (c *Intra) Query(name string) (*query.Network, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.queries[name]
+	return n, ok
+}
+
+// SetPieces records the content and location of each running piece of a
+// query (§4.1).
+func (c *Intra) SetPieces(queryName string, pieces []QueryPiece) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pieces[queryName] = append([]QueryPiece(nil), pieces...)
+}
+
+// Pieces returns the running pieces of a query.
+func (c *Intra) Pieces(queryName string) []QueryPiece {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]QueryPiece(nil), c.pieces[queryName]...)
+}
+
+// RegisterContract records a contract covering a message stream between
+// two participants (§3.2).
+func (c *Intra) RegisterContract(id, description string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.contracts[id]; dup {
+		return fmt.Errorf("catalog: contract %q already registered", id)
+	}
+	c.contracts[id] = description
+	return nil
+}
+
+// Contracts lists contract ids in sorted order.
+func (c *Intra) Contracts() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.contracts))
+	for id := range c.contracts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

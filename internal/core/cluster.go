@@ -1,0 +1,609 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/ha"
+	"repro/internal/loadmgr"
+	"repro/internal/netsim"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// K is the k-safety level of §6.2: the failure of any K servers must
+	// not lose messages. 0 disables the HA protocol entirely (no output
+	// logs, no dedup, no heartbeats).
+	K int
+	// FlowPeriod is the interval between flow-message/truncation ticks
+	// (default 50ms of virtual time).
+	FlowPeriod int64
+	// HeartbeatPeriod is the §6.3 heartbeat interval (default 10ms).
+	HeartbeatPeriod int64
+	// DetectTimeout is the silence after which a downstream neighbor is
+	// declared failed (default 3 heartbeat periods).
+	DetectTimeout int64
+	// DefaultBoxCost and BoxCosts model per-tuple processing cost in ns.
+	DefaultBoxCost int64
+	BoxCosts       map[string]int64
+	// MemoryBudget is each node's storage-manager budget.
+	MemoryBudget int
+	// NewScheduler builds each engine's scheduler (nil = train scheduler).
+	NewScheduler func() engine.Scheduler
+	// LoadSharing enables the §5 decentralized load-share daemons with
+	// the given policy; SharePeriod is their decision interval.
+	LoadSharing *loadmgr.Policy
+	SharePeriod int64
+	// Nodes adds servers beyond those appearing in the initial
+	// assignment — idle capacity the load-share daemons can recruit.
+	Nodes []string
+	// PullTruncation selects the §6.2 alternate technique: instead of
+	// flow messages pushing checkpoints downstream-to-upstream, each
+	// server keeps an array of earliest dependent sequence numbers and
+	// its upstream neighbors query it periodically, truncating at their
+	// convenience.
+	PullTruncation bool
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.FlowPeriod <= 0 {
+		cfg.FlowPeriod = 50e6
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 10e6
+	}
+	if cfg.DetectTimeout <= 0 {
+		cfg.DetectTimeout = 3 * cfg.HeartbeatPeriod
+	}
+	if cfg.SharePeriod <= 0 {
+		cfg.SharePeriod = 100e6
+	}
+}
+
+// Recovery records one failover (§6.3) for the experiment reports.
+type Recovery struct {
+	Failed     string
+	Adopter    string
+	DetectedAt int64
+	Replayed   int
+}
+
+// AppSink receives application output tuples with their delivery time.
+type AppSink func(name string, t stream.Tuple, at int64)
+
+// Cluster is Aurora* (§3.1): single-node Aurora servers in one
+// administrative domain cooperating to run a query network, built over a
+// netsim overlay. Boxes can be placed on arbitrary nodes, repartitioned at
+// run time, backed up by their upstream neighbors, and shed between
+// pairwise neighbors by the load-share daemons.
+type Cluster struct {
+	sim     *netsim.Sim
+	cfg     Config
+	full    *query.Network
+	assign  map[string]string
+	entryAt map[string]string
+
+	nodes      map[string]*SimNode
+	nodeIDs    []string
+	labelDest  map[string]string
+	labelSrc   map[string]string
+	inputEntry map[string]string
+	inputOwner map[string]string
+
+	// cat is the intra-participant catalog (§4.1): every node of the
+	// domain shares it; it records the query, the content and location
+	// of each running piece, and the input streams' entry locations.
+	cat *catalog.Intra
+
+	appSink    AppSink
+	recovered  map[string]bool
+	recoveries []Recovery
+	started    bool
+
+	// load daemon state
+	lastBusy map[string]int64
+	lastAt   map[string]int64
+	lastProc map[string]map[string]int64 // node -> box -> processed count
+	cooldown map[string]int
+	moves    int
+}
+
+// NewCluster partitions the network over the assignment and instantiates
+// one SimNode per node (plus pure-forwarding entry nodes). The caller
+// connects the overlay links on sim afterwards and then calls Start.
+func NewCluster(sim *netsim.Sim, full *query.Network, assign, entryAt map[string]string, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	part, err := PartitionNetwork(full, assign, entryAt)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		sim:        sim,
+		cfg:        cfg,
+		full:       full,
+		cat:        catalog.NewIntra("domain"),
+		assign:     cloneMap(assign),
+		entryAt:    cloneMap(entryAt),
+		nodes:      map[string]*SimNode{},
+		labelDest:  map[string]string{},
+		labelSrc:   map[string]string{},
+		inputEntry: map[string]string{},
+		inputOwner: map[string]string{},
+		recovered:  map[string]bool{},
+		lastBusy:   map[string]int64{},
+		lastAt:     map[string]int64{},
+		lastProc:   map[string]map[string]int64{},
+		cooldown:   map[string]int{},
+	}
+	nodeSet := map[string]bool{}
+	for _, nid := range assign {
+		nodeSet[nid] = true
+	}
+	for _, in := range part.Inputs {
+		nodeSet[in.Entry] = true
+	}
+	for _, nid := range cfg.Nodes {
+		nodeSet[nid] = true
+	}
+	for nid := range nodeSet {
+		n := newSimNode(c, nid)
+		c.nodes[nid] = n
+		c.nodeIDs = append(c.nodeIDs, nid)
+		nn := n
+		if _, err := sim.AddNode(nid, func(from string, payload any, size int) {
+			nn.onMessage(from, payload, size)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(c.nodeIDs)
+	if err := c.install(part); err != nil {
+		return nil, err
+	}
+	// Populate the catalog: the query, the input streams with their
+	// entry locations, and the running pieces.
+	if err := c.cat.RegisterQuery(full); err != nil {
+		return nil, err
+	}
+	for _, in := range part.Inputs {
+		if err := c.cat.RegisterStream(in.Name, in.Schema, in.Entry); err != nil {
+			return nil, err
+		}
+	}
+	c.refreshCatalogPieces()
+	return c, nil
+}
+
+// refreshCatalogPieces records the content and location of each running
+// piece in the shared catalog (§4.1).
+func (c *Cluster) refreshCatalogPieces() {
+	var pieces []catalog.QueryPiece
+	for _, nid := range c.nodeIDs {
+		for _, h := range c.nodes[nid].hosts {
+			pieces = append(pieces, catalog.QueryPiece{
+				Query: c.full.Name(),
+				Boxes: h.piece.Boxes(),
+				Node:  nid,
+			})
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].Node < pieces[j].Node })
+	c.cat.SetPieces(c.full.Name(), pieces)
+}
+
+// Catalog exposes the domain's intra-participant catalog.
+func (c *Cluster) Catalog() *catalog.Intra { return c.cat }
+
+// install (re)wires pieces and routes from a partition.
+func (c *Cluster) install(part *Partition) error {
+	for node, piece := range part.Pieces {
+		if err := c.nodes[node].addHost(node, piece); err != nil {
+			return err
+		}
+	}
+	for _, l := range part.Links {
+		c.labelSrc[l.Label] = l.From
+		c.labelDest[l.Label] = l.To
+	}
+	for _, in := range part.Inputs {
+		c.inputEntry[in.Name] = in.Entry
+		c.inputOwner[in.Name] = in.Owner
+		if in.Entry != in.Owner {
+			c.labelSrc[in.Name] = in.Entry
+			c.labelDest[in.Name] = in.Owner
+		}
+	}
+	return nil
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Cluster) newScheduler() engine.Scheduler {
+	if c.cfg.NewScheduler != nil {
+		return c.cfg.NewScheduler()
+	}
+	return engine.NewTrainScheduler(engine.DefaultMaxTrain)
+}
+
+// OnOutput installs the application sink for all outputs.
+func (c *Cluster) OnOutput(sink AppSink) { c.appSink = sink }
+
+func (c *Cluster) deliverApp(name string, t stream.Tuple) {
+	if c.appSink != nil {
+		c.appSink(name, t, c.sim.Now())
+	}
+}
+
+// Start arms the periodic HA and load-sharing machinery. Call after the
+// overlay links are connected.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.cfg.K > 0 {
+		for _, nid := range c.nodeIDs {
+			n := c.nodes[nid]
+			for _, down := range c.downstreamsOf(nid) {
+				n.det.Watch(down, c.sim.Now())
+			}
+			if c.cfg.PullTruncation {
+				c.tick(c.cfg.FlowPeriod, n.pullTick)
+			} else {
+				c.tick(c.cfg.FlowPeriod, n.flowTick)
+			}
+			c.tick(c.cfg.HeartbeatPeriod, n.heartbeatTick)
+			c.tick(c.cfg.HeartbeatPeriod, n.checkTick)
+		}
+	}
+	if c.cfg.LoadSharing != nil {
+		c.tick(c.cfg.SharePeriod, c.shareTick)
+	}
+}
+
+// tick schedules fn every period ns of virtual time, forever.
+func (c *Cluster) tick(period int64, fn func()) {
+	var loop func()
+	loop = func() {
+		fn()
+		c.sim.Schedule(period, loop)
+	}
+	c.sim.Schedule(period, loop)
+}
+
+// upstreamsOf lists the alive nodes currently sending to nid.
+func (c *Cluster) upstreamsOf(nid string) []string {
+	set := map[string]bool{}
+	for label, dest := range c.labelDest {
+		if dest == nid {
+			if src := c.labelSrc[label]; src != nid && !c.sim.Down(src) {
+				set[src] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// downstreamsOf lists the nodes nid currently sends to.
+func (c *Cluster) downstreamsOf(nid string) []string {
+	set := map[string]bool{}
+	for label, src := range c.labelSrc {
+		if src == nid {
+			if dest := c.labelDest[label]; dest != nid {
+				set[dest] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ingest offers one tuple to a named application input. Tuples arrive at
+// the input's entry node; if the consuming box lives elsewhere they are
+// forwarded over the overlay (with HA logging when K > 0).
+func (c *Cluster) Ingest(input string, t stream.Tuple) error {
+	entry, ok := c.inputEntry[input]
+	if !ok {
+		return fmt.Errorf("core: unknown input %q", input)
+	}
+	if t.TS == 0 {
+		t.TS = c.sim.Now()
+	}
+	owner := c.inputOwner[input]
+	if entry == owner {
+		c.nodes[entry].ingestLocal(input, t)
+		return nil
+	}
+	en := c.nodes[entry]
+	if c.cfg.K > 0 {
+		t = en.log(input).Append(t)
+	}
+	size := transport.EncodedSize(transport.Msg{Stream: input, Tuples: []stream.Tuple{t}})
+	return c.sim.Send(entry, owner, size, tupleBatch{Label: input, Tuples: []stream.Tuple{t}})
+}
+
+// recover is the §6.3 failover: the backup (an upstream neighbor of the
+// failed server) adopts the failed server's pieces as additional hosted
+// engines, the overlay routes are rewritten, and every upstream's retained
+// output log is replayed to the adopter — "the back-up server itself
+// immediately starts processing the tuples in its output log, emulating
+// the processing of the failed server". Piece definitions come from the
+// intra-participant catalog, which every node of the domain shares (§4.1);
+// this implementation reads them from the cluster's partition state.
+func (c *Cluster) recover(failed, detector string) {
+	if c.recovered[failed] || failed == detector {
+		return
+	}
+	c.recovered[failed] = true
+	rec := Recovery{Failed: failed, DetectedAt: c.sim.Now()}
+
+	adopter := detector
+	if ups := c.upstreamsOf(failed); len(ups) > 0 {
+		adopter = ups[0]
+	}
+	rec.Adopter = adopter
+	an := c.nodes[adopter]
+	fn := c.nodes[failed]
+
+	// Adopt the failed node's hosted pieces (fresh engines; lost state is
+	// regenerated by replay).
+	for owner, h := range fn.hosts {
+		if err := an.addHost(owner, h.piece); err != nil {
+			// Already hosted (double-failure edge); skip.
+			continue
+		}
+	}
+	fn.hosts = map[string]*engineHost{}
+	fn.order = nil
+
+	// Rewrite routes, remembering which labels pointed at the failed node.
+	var affected []string
+	for label, dest := range c.labelDest {
+		if dest == failed {
+			c.labelDest[label] = adopter
+			affected = append(affected, label)
+		}
+	}
+	sort.Strings(affected)
+	for label, src := range c.labelSrc {
+		if src == failed {
+			c.labelSrc[label] = adopter
+			// The new sender incarnation restarts its link sequence
+			// space; receivers must accept it.
+			if dest := c.labelDest[label]; dest != adopter {
+				c.nodes[dest].dedupFor(label).Reset()
+			}
+		}
+	}
+	for input, owner := range c.inputOwner {
+		if owner == failed {
+			c.inputOwner[input] = adopter
+		}
+	}
+	for _, n := range c.nodes {
+		n.det.Unwatch(failed)
+	}
+	// The adopter now watches the downstreams it inherited.
+	for _, down := range c.downstreamsOf(adopter) {
+		an.det.Watch(down, c.sim.Now())
+	}
+
+	// Replay every alive upstream's retained output toward the adopted
+	// labels. The adopter's own logs short-circuit locally.
+	for _, uid := range c.nodeIDs {
+		if c.sim.Down(uid) {
+			continue
+		}
+		un := c.nodes[uid]
+		for _, label := range affected {
+			log, ok := un.logs[label]
+			if !ok {
+				continue
+			}
+			tuples := log.Replay()
+			if len(tuples) == 0 {
+				continue
+			}
+			rec.Replayed += len(tuples)
+			batch := tupleBatch{Label: label, Tuples: tuples}
+			if uid == adopter {
+				an.ingressLink(label, tuples)
+				continue
+			}
+			size := transport.EncodedSize(transport.Msg{Stream: label, Tuples: tuples})
+			c.sim.Send(uid, adopter, size, batch)
+		}
+	}
+	an.pump()
+	c.recoveries = append(c.recoveries, rec)
+	c.refreshCatalogPieces()
+}
+
+// Recoveries reports the failovers that have happened.
+func (c *Cluster) Recoveries() []Recovery {
+	return append([]Recovery(nil), c.recoveries...)
+}
+
+// Nodes returns the node ids.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodeIDs...) }
+
+// Assignment returns the current box-to-node assignment.
+func (c *Cluster) Assignment() map[string]string { return cloneMap(c.assign) }
+
+// Queued returns the tuples waiting at a node.
+func (c *Cluster) Queued(node string) int { return c.nodes[node].queued() }
+
+// BusyNs returns a node's accumulated processing time.
+func (c *Cluster) BusyNs(node string) int64 { return c.nodes[node].busyNs }
+
+// LogBytes returns the total retained output-log footprint at a node —
+// the quantity flow-message truncation keeps bounded (§6.2).
+func (c *Cluster) LogBytes(node string) int {
+	total := 0
+	for _, l := range c.nodes[node].logs {
+		total += l.Bytes()
+	}
+	return total
+}
+
+// LogTuples returns the total retained output-log tuples at a node.
+func (c *Cluster) LogTuples(node string) int {
+	total := 0
+	for _, l := range c.nodes[node].logs {
+		total += l.Len()
+	}
+	return total
+}
+
+// Moves returns how many load-sharing redeployments have happened.
+func (c *Cluster) Moves() int { return c.moves }
+
+// Redeploy drains every node and re-partitions the network under a new
+// assignment — the drain-and-stabilize transformation protocol of §5.1.
+// Callers should quiesce ingestion and run the simulator to idle first so
+// no tuples are in flight; HA bookkeeping restarts clean afterwards.
+func (c *Cluster) Redeploy(newAssign map[string]string) error {
+	part, err := PartitionNetwork(c.full, newAssign, c.entryAt)
+	if err != nil {
+		return err
+	}
+	for _, nid := range c.nodeIDs {
+		if c.sim.Down(nid) {
+			continue
+		}
+		c.nodes[nid].drainHosts()
+	}
+	// Reset pieces, routing, and HA state (the drain left nothing that
+	// the logs or dedup filters still need).
+	c.labelDest = map[string]string{}
+	c.labelSrc = map[string]string{}
+	for _, nid := range c.nodeIDs {
+		n := c.nodes[nid]
+		n.hosts = map[string]*engineHost{}
+		n.order = nil
+		n.logs = map[string]*ha.OutputLog{}
+		n.dedup = map[string]*ha.Dedup{}
+	}
+	c.assign = cloneMap(newAssign)
+	if err := c.install(part); err != nil {
+		return err
+	}
+	c.moves++
+	c.refreshCatalogPieces()
+	return nil
+}
+
+// shareTick runs one round of the decentralized load-share daemons (§5.1):
+// every node measures its utilization and per-box work, overloaded nodes
+// plan pairwise offloads against their neighbors' advertised load, and the
+// chosen boxes move via Redeploy. Advertisements are modeled as directly
+// readable state; a real deployment piggybacks them on heartbeats.
+func (c *Cluster) shareTick() {
+	pol := *c.cfg.LoadSharing
+	now := c.sim.Now()
+	utils := map[string]float64{}
+	for _, nid := range c.nodeIDs {
+		if c.sim.Down(nid) {
+			continue
+		}
+		n := c.nodes[nid]
+		utils[nid] = n.utilizationSince(c.lastBusy[nid], c.lastAt[nid])
+		c.lastBusy[nid] = n.busyNs
+		c.lastAt[nid] = now
+	}
+	for _, nid := range c.nodeIDs {
+		if c.sim.Down(nid) {
+			continue
+		}
+		if c.cooldown[nid] > 0 {
+			c.cooldown[nid]--
+			continue
+		}
+		boxes := c.boxLoads(nid, utils[nid])
+		var peers []loadmgr.PeerLoad
+		for _, pid := range c.nodeIDs {
+			if pid == nid || c.sim.Down(pid) {
+				continue
+			}
+			free := 1e18
+			if l, ok := c.sim.LinkStats(nid, pid); ok && l.BytesPerSec > 0 {
+				free = l.BytesPerSec
+			} else if !ok {
+				continue // no link, not a neighbor
+			}
+			peers = append(peers, loadmgr.PeerLoad{
+				Node: pid, Utilization: utils[pid], FreeBandwidth: free,
+			})
+		}
+		d := loadmgr.PlanOffload(utils[nid], boxes, peers, pol)
+		if d == nil {
+			continue
+		}
+		newAssign := cloneMap(c.assign)
+		for _, b := range d.Boxes {
+			newAssign[b] = d.To
+		}
+		if err := c.Redeploy(newAssign); err == nil {
+			c.cooldown[nid] = pol.CooldownPeriods
+			c.cooldown[d.To] = pol.CooldownPeriods
+		}
+		return // at most one move per tick, for stability
+	}
+}
+
+// boxLoads estimates each local box's share of the node's utilization
+// from the engine's monitored statistics.
+func (c *Cluster) boxLoads(nid string, util float64) []loadmgr.BoxLoad {
+	n := c.nodes[nid]
+	prev, ok := c.lastProc[nid]
+	if !ok {
+		prev = map[string]int64{}
+		c.lastProc[nid] = prev
+	}
+	type bw struct {
+		id   string
+		work float64
+	}
+	var raw []bw
+	var total float64
+	for _, h := range n.hosts {
+		for _, st := range h.eng.AllStats() {
+			delta := st.Processed - prev[st.ID]
+			prev[st.ID] = st.Processed
+			w := st.Cost * float64(delta)
+			raw = append(raw, bw{id: st.ID, work: w})
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]loadmgr.BoxLoad, 0, len(raw))
+	for _, r := range raw {
+		out = append(out, loadmgr.BoxLoad{
+			Box:  r.id,
+			Work: util * r.work / total,
+		})
+	}
+	return out
+}

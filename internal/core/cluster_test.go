@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+// testCluster builds a 3-node chain over a fully connected overlay.
+func testCluster(t *testing.T, cfg Config) (*netsim.Sim, *Cluster) {
+	t.Helper()
+	sim := netsim.New(1)
+	full := chain3(t)
+	assign := map[string]string{"f1": "n1", "f2": "n2", "f3": "n3"}
+	c, err := NewCluster(sim, full, assign, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n1", "n3"}} {
+		if err := sim.Connect(pair[0], pair[1], 0, 100_000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Start()
+	return sim, c
+}
+
+// sink collects output tuples keyed by their A field (a unique id in
+// these tests), counting duplicates.
+type sink struct {
+	seen map[int64]int
+	last int64
+}
+
+func newSink() *sink { return &sink{seen: map[int64]int{}} }
+
+func (s *sink) fn(_ string, t stream.Tuple, at int64) {
+	s.seen[t.Field(0).AsInt()]++
+	s.last = at
+}
+
+func (s *sink) loss(n int64) (missing, dups int) {
+	for i := int64(0); i < n; i++ {
+		switch c := s.seen[i]; {
+		case c == 0:
+			missing++
+		case c > 1:
+			dups += c - 1
+		}
+	}
+	return
+}
+
+// drive schedules n tuples (A = unique id, B = i%60) at the given gap.
+func drive(sim *netsim.Sim, c *Cluster, n int, gap int64) {
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		sim.Schedule(int64(i)*gap, func() {
+			c.Ingest("in", stream.NewTuple(stream.Int(id), stream.Int(id%60)))
+		})
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	sim, c := testCluster(t, Config{DefaultBoxCost: 1000})
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 500, 10_000)
+	sim.Run(0)
+	// B = id%60; the chain keeps B < 80, 90, 100 -> everything passes.
+	missing, dups := s.loss(500)
+	if missing != 0 || dups != 0 {
+		t.Fatalf("missing=%d dups=%d", missing, dups)
+	}
+	if s.last == 0 {
+		t.Error("outputs should carry delivery times")
+	}
+	// Tuples crossed two links.
+	l, _ := sim.LinkStats("n1", "n2")
+	if l.MsgsSent == 0 || l.BytesSent == 0 {
+		t.Error("link n1->n2 unused")
+	}
+}
+
+func TestClusterFiltersDrop(t *testing.T) {
+	sim, c := testCluster(t, Config{DefaultBoxCost: 100})
+	s := newSink()
+	c.OnOutput(s.fn)
+	// B spans 0..119: only B<80 survive all three filters.
+	for i := 0; i < 240; i++ {
+		id := int64(i)
+		sim.Schedule(int64(i)*10_000, func() {
+			c.Ingest("in", stream.NewTuple(stream.Int(id), stream.Int(id%120)))
+		})
+	}
+	sim.Run(0)
+	want := 0
+	for i := 0; i < 240; i++ {
+		if i%120 < 80 {
+			want++
+		}
+	}
+	if len(s.seen) != want {
+		t.Errorf("delivered %d ids, want %d", len(s.seen), want)
+	}
+}
+
+func TestClusterUnknownInput(t *testing.T) {
+	_, c := testCluster(t, Config{})
+	if err := c.Ingest("nope", stream.NewTuple(stream.Int(1), stream.Int(1))); err == nil {
+		t.Error("unknown input should fail")
+	}
+}
+
+func TestClusterKSafetyCrashMiddle(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K:               1,
+		DefaultBoxCost:  5_000,
+		FlowPeriod:      2e6,
+		HeartbeatPeriod: 1e6,
+		DetectTimeout:   3e6,
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 2000
+	const gap = 20_000
+	drive(sim, c, n, gap)
+	// Crash n2 mid-stream.
+	crashAt := int64(n/2) * gap
+	sim.Schedule(crashAt, func() { sim.Crash("n2") })
+	sim.Run(2e9) // horizon: the HA ticks reschedule forever
+
+	missing, dups := s.loss(n)
+	if missing != 0 {
+		t.Fatalf("k=1 lost %d tuples (dups=%d)", missing, dups)
+	}
+	recs := c.Recoveries()
+	if len(recs) != 1 || recs[0].Failed != "n2" {
+		t.Fatalf("recoveries = %+v", recs)
+	}
+	if recs[0].Adopter != "n1" {
+		t.Errorf("adopter = %s, want upstream n1", recs[0].Adopter)
+	}
+	if recs[0].DetectedAt < crashAt {
+		t.Error("detection before crash?")
+	}
+	if recs[0].DetectedAt > crashAt+20e6 {
+		t.Errorf("detection took %.1fms", float64(recs[0].DetectedAt-crashAt)/1e6)
+	}
+	t.Logf("k=1 crash: detected after %.2fms, replayed %d, duplicates %d",
+		float64(recs[0].DetectedAt-crashAt)/1e6, recs[0].Replayed, dups)
+}
+
+func TestClusterKSafetyCrashLastNode(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K: 1, DefaultBoxCost: 5_000,
+		FlowPeriod: 2e6, HeartbeatPeriod: 1e6, DetectTimeout: 3e6,
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 1000
+	drive(sim, c, n, 20_000)
+	sim.Schedule(int64(n/2)*20_000, func() { sim.Crash("n3") })
+	sim.Run(2e9)
+	missing, _ := s.loss(n)
+	if missing != 0 {
+		t.Fatalf("crash of output node lost %d tuples", missing)
+	}
+	recs := c.Recoveries()
+	if len(recs) != 1 || recs[0].Adopter != "n2" {
+		t.Fatalf("recoveries = %+v", recs)
+	}
+}
+
+func TestClusterK2DoubleFailure(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K: 2, DefaultBoxCost: 5_000,
+		FlowPeriod: 2e6, HeartbeatPeriod: 1e6, DetectTimeout: 3e6,
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 1500
+	const gap = 20_000
+	drive(sim, c, n, gap)
+	// n2 and n3 fail simultaneously: with k=2, n1 has retained
+	// everything n2's unacknowledged output depended on.
+	sim.Schedule(int64(n/2)*gap, func() {
+		sim.Crash("n2")
+		sim.Crash("n3")
+	})
+	sim.Run(2e9)
+	missing, dups := s.loss(n)
+	if missing != 0 {
+		t.Fatalf("k=2 double failure lost %d tuples", missing)
+	}
+	if len(c.Recoveries()) != 2 {
+		t.Fatalf("recoveries = %+v", c.Recoveries())
+	}
+	t.Logf("k=2 double crash: duplicates %d", dups)
+}
+
+func TestClusterTruncationBoundsLogs(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K: 1, DefaultBoxCost: 1_000,
+		FlowPeriod: 1e6, HeartbeatPeriod: 1e6, DetectTimeout: 5e6,
+	})
+	c.OnOutput(func(string, stream.Tuple, int64) {})
+	const n = 5000
+	drive(sim, c, n, 10_000)
+	maxLog := 0
+	// Sample the log size periodically while the run progresses.
+	for i := int64(1); i <= 10; i++ {
+		sim.Schedule(i*n/10*10_000, func() {
+			if l := c.LogTuples("n1"); l > maxLog {
+				maxLog = l
+			}
+		})
+	}
+	sim.Run(1e9)
+	// Without truncation n1 would retain all 5000; flow messages every
+	// 1ms (~100 tuples) must keep it well below that.
+	if maxLog == 0 || maxLog > n/4 {
+		t.Errorf("max log tuples = %d; truncation not bounding the queue", maxLog)
+	}
+	t.Logf("peak retained log: %d of %d tuples", maxLog, n)
+}
+
+func TestClusterWithoutHANoLogs(t *testing.T) {
+	sim, c := testCluster(t, Config{K: 0, DefaultBoxCost: 1000})
+	c.OnOutput(func(string, stream.Tuple, int64) {})
+	drive(sim, c, 200, 10_000)
+	sim.Run(0)
+	if c.LogTuples("n1")+c.LogTuples("n2") != 0 {
+		t.Error("K=0 must not retain output logs")
+	}
+}
+
+func TestClusterRedeployMovesBox(t *testing.T) {
+	sim, c := testCluster(t, Config{DefaultBoxCost: 1000})
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 200, 10_000)
+	sim.Run(0)
+	if missing, _ := s.loss(200); missing != 0 {
+		t.Fatalf("pre-move missing %d", missing)
+	}
+	// Slide f2 onto n1 (upstream slide) while quiesced.
+	if err := c.Redeploy(map[string]string{"f1": "n1", "f2": "n1", "f3": "n3"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Assignment()["f2"] != "n1" || c.Moves() != 1 {
+		t.Error("assignment not updated")
+	}
+	// Traffic keeps flowing end to end after the move.
+	before := len(s.seen)
+	for i := 200; i < 400; i++ {
+		id := int64(i)
+		sim.Schedule(int64(i-200)*10_000, func() {
+			c.Ingest("in", stream.NewTuple(stream.Int(id), stream.Int(id%60)))
+		})
+	}
+	sim.Run(0)
+	if missing, _ := s.loss(400); missing != 0 {
+		t.Fatalf("post-move missing %d (before move had %d ids)", missing, before)
+	}
+	// n2 no longer participates: the n2->n3 link stays quiet for new
+	// traffic while n1->n3 now carries it.
+	l13, _ := sim.LinkStats("n1", "n3")
+	if l13.MsgsSent == 0 {
+		t.Error("n1->n3 should carry traffic after the slide")
+	}
+}
+
+func TestClusterEntryForwarding(t *testing.T) {
+	// Input enters at an edge node with no boxes; all processing at core.
+	sim := netsim.New(1)
+	full := chain3(t)
+	assign := map[string]string{"f1": "core", "f2": "core", "f3": "core"}
+	c, err := NewCluster(sim, full, assign, map[string]string{"in": "edge"}, Config{DefaultBoxCost: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Connect("edge", "core", 1e9, 50_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 300, 10_000)
+	sim.Run(0)
+	if missing, _ := s.loss(300); missing != 0 {
+		t.Fatalf("missing %d", missing)
+	}
+	l, _ := sim.LinkStats("edge", "core")
+	if l.MsgsSent == 0 {
+		t.Error("edge->core link should carry the forwarded input")
+	}
+}
+
+func TestClusterLoadSharing(t *testing.T) {
+	// A 6-box chain all on n1; n2 idle. The daemons must move work over.
+	sim := netsim.New(1)
+	var ids []string
+	var specs []string
+	for i := 0; i < 6; i++ {
+		ids = append(ids, fmt.Sprintf("f%d", i))
+		specs = append(specs, "B < 1000")
+	}
+	b := newChainBuilder(t, ids, specs)
+	full := b.MustBuild()
+	assign := map[string]string{}
+	for _, id := range ids {
+		assign[id] = "n1"
+	}
+	pol := defaultSharePolicy()
+	c, err := NewCluster(sim, full, assign, nil, Config{
+		DefaultBoxCost: 40_000, // 6 boxes * 40us = 240us per tuple >> 100us gap
+		LoadSharing:    &pol,
+		SharePeriod:    20e6,
+		Nodes:          []string{"n1", "n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Connect("n1", "n2", 0, 50_000, 0)
+	c.Start()
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 3000
+	drive(sim, c, n, 100_000)
+	sim.Run(5e9)
+	if c.Moves() == 0 {
+		t.Fatal("overload should trigger at least one load-sharing move")
+	}
+	onN2 := 0
+	for _, node := range c.Assignment() {
+		if node == "n2" {
+			onN2++
+		}
+	}
+	if onN2 == 0 {
+		t.Error("no boxes ended up on n2")
+	}
+	if c.BusyNs("n2") == 0 {
+		t.Error("n2 never did any work")
+	}
+	t.Logf("moves=%d boxes on n2=%d busy n1=%.1fms n2=%.1fms",
+		c.Moves(), onN2, float64(c.BusyNs("n1"))/1e6, float64(c.BusyNs("n2"))/1e6)
+}
+
+func TestClusterCatalogTracksPieces(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K: 1, DefaultBoxCost: 5_000,
+		FlowPeriod: 2e6, HeartbeatPeriod: 1e6, DetectTimeout: 3e6,
+	})
+	cat := c.Catalog()
+	if _, ok := cat.Query("chain"); !ok {
+		t.Fatal("query not registered in the catalog")
+	}
+	info, ok := cat.Stream("in")
+	if !ok || info.Locations[0] != "n1" {
+		t.Fatalf("input stream location = %+v", info)
+	}
+	pieces := cat.Pieces("chain")
+	if len(pieces) != 3 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+	// After a failover the catalog reflects the adoption.
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 500, 20_000)
+	sim.Schedule(250*20_000, func() { sim.Crash("n2") })
+	sim.Run(1e9)
+	pieces = cat.Pieces("chain")
+	nodes := map[string]int{}
+	for _, p := range pieces {
+		nodes[p.Node] += len(p.Boxes)
+	}
+	if nodes["n2"] != 0 || nodes["n1"] != 2 {
+		t.Errorf("catalog after failover: %+v", pieces)
+	}
+}
+
+func TestClusterPullTruncation(t *testing.T) {
+	// The §6.2 alternate technique: upstream queries the downstream's
+	// sequence array. Same safety (crash -> zero loss) and the logs stay
+	// bounded, without any push-style flow messages.
+	sim, c := testCluster(t, Config{
+		K: 1, DefaultBoxCost: 5_000,
+		FlowPeriod: 2e6, HeartbeatPeriod: 1e6, DetectTimeout: 3e6,
+		PullTruncation: true,
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 2000
+	const gap = 20_000
+	drive(sim, c, n, gap)
+	maxLog := 0
+	for i := int64(1); i <= 10; i++ {
+		sim.Schedule(i*n/10*gap, func() {
+			if l := c.LogTuples("n1"); l > maxLog {
+				maxLog = l
+			}
+		})
+	}
+	sim.Schedule(int64(n/2)*gap, func() { sim.Crash("n2") })
+	sim.Run(2e9)
+	missing, _ := s.loss(n)
+	if missing != 0 {
+		t.Fatalf("pull-truncation mode lost %d tuples", missing)
+	}
+	if len(c.Recoveries()) != 1 {
+		t.Fatalf("recoveries = %+v", c.Recoveries())
+	}
+	if maxLog == 0 || maxLog > n/2 {
+		t.Errorf("pull truncation not bounding logs: peak %d", maxLog)
+	}
+}

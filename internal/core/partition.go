@@ -1,0 +1,149 @@
+// Package core assembles the substrates into the distributed stream
+// processors the paper describes: Cluster is Aurora* (§3.1) — multiple
+// single-node Aurora servers in one administrative domain cooperating to
+// run a query network over a simulated overlay, with decentralized
+// pairwise load sharing (§5) and k-safe upstream-backup high availability
+// (§6). Federation adds the Medusa (§3.2) layer on top: participants,
+// contracts, and remote definition across cluster boundaries.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// xlinkPrefix names the synthetic streams created where an arc crosses a
+// node boundary. It is short because it precedes every message's stream
+// label on the wire.
+const xlinkPrefix = "\x00x"
+
+// CrossLink is one arc of the full query network that crosses a node
+// boundary after partitioning: the source node's piece gets an output
+// binding and the destination node's piece an input binding, both named
+// Label.
+type CrossLink struct {
+	Label   string
+	From    string // node id
+	FromBox query.Port
+	To      string // node id
+	ToBox   query.Port
+	Schema  *stream.Schema
+}
+
+// InputRoute records where an application input stream enters the system
+// (its entry node) and which node consumes it. When they differ, the entry
+// node forwards tuples over the overlay — the situation box sliding
+// optimizes (Fig 4).
+type InputRoute struct {
+	Name   string
+	Entry  string // node where events arrive from the data source
+	Owner  string // node running the box(es) bound to the input
+	Schema *stream.Schema
+}
+
+// OutputRoute records which node produces an application output.
+type OutputRoute struct {
+	Name  string
+	Owner string
+}
+
+// Partition is the decomposition of one query network across nodes.
+type Partition struct {
+	Pieces  map[string]*query.Network
+	Links   []CrossLink
+	Inputs  []InputRoute
+	Outputs []OutputRoute
+}
+
+// PartitionNetwork cuts a validated query network into per-node pieces
+// according to the box assignment. Arcs whose endpoints live on different
+// nodes become cross links; input streams are annotated with their entry
+// node (entryAt may leave inputs unset, defaulting each input's entry to
+// the node owning its first destination box).
+func PartitionNetwork(full *query.Network, assign map[string]string, entryAt map[string]string) (*Partition, error) {
+	for _, id := range full.Boxes() {
+		if assign[id] == "" {
+			return nil, fmt.Errorf("core: box %q has no node assignment", id)
+		}
+	}
+	nodes := map[string]bool{}
+	for _, n := range assign {
+		nodes[n] = true
+	}
+	builders := map[string]*query.Builder{}
+	builderFor := func(node string) *query.Builder {
+		b, ok := builders[node]
+		if !ok {
+			b = query.NewBuilder(full.Name() + "@" + node)
+			builders[node] = b
+		}
+		return b
+	}
+
+	// Boxes.
+	for _, id := range full.Boxes() {
+		builderFor(assign[id]).AddBox(id, full.Box(id).Spec.Clone())
+	}
+
+	p := &Partition{Pieces: map[string]*query.Network{}}
+
+	// Arcs: local arcs stay; crossing arcs become xlink bindings. Labels
+	// are deliberately short (they ride every message on the wire); the
+	// CrossLink record carries the human-readable endpoints.
+	for i, a := range full.Arcs() {
+		fromNode, toNode := assign[a.From.Box], assign[a.To.Box]
+		if fromNode == toNode {
+			builderFor(fromNode).ConnectPorts(a.From, a.To, a.ConnectionPoint)
+			continue
+		}
+		label := fmt.Sprintf("%s%d", xlinkPrefix, i)
+		schema := full.OutputSchema(a.From)
+		builderFor(fromNode).BindOutput(label, a.From.Box, a.From.Port, nil)
+		builderFor(toNode).BindInput(label, schema, a.To.Box, a.To.Port)
+		p.Links = append(p.Links, CrossLink{
+			Label: label, From: fromNode, FromBox: a.From,
+			To: toNode, ToBox: a.To, Schema: schema,
+		})
+	}
+
+	// Application inputs: bind at the owning node; record the entry node.
+	for name, in := range full.Inputs() {
+		owners := map[string]bool{}
+		for _, d := range in.Dests {
+			owners[assign[d.Box]] = true
+			builderFor(assign[d.Box]).BindInput(name, in.Schema, d.Box, d.Port)
+		}
+		if len(owners) > 1 {
+			return nil, fmt.Errorf("core: input %q fans out to boxes on different nodes; split it upstream instead", name)
+		}
+		owner := assign[in.Dests[0].Box]
+		entry := entryAt[name]
+		if entry == "" {
+			entry = owner
+		}
+		p.Inputs = append(p.Inputs, InputRoute{
+			Name: name, Entry: entry, Owner: owner, Schema: in.Schema,
+		})
+	}
+
+	// Application outputs stay on the producing node.
+	for name, o := range full.Outputs() {
+		builderFor(assign[o.Src.Box]).BindOutput(name, o.Src.Box, o.Src.Port, o.QoS)
+		p.Outputs = append(p.Outputs, OutputRoute{Name: name, Owner: assign[o.Src.Box]})
+	}
+
+	for node, b := range builders {
+		piece, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("core: piece for node %q invalid: %w", node, err)
+		}
+		p.Pieces[node] = piece
+	}
+	sort.Slice(p.Links, func(i, j int) bool { return p.Links[i].Label < p.Links[j].Label })
+	sort.Slice(p.Inputs, func(i, j int) bool { return p.Inputs[i].Name < p.Inputs[j].Name })
+	sort.Slice(p.Outputs, func(i, j int) bool { return p.Outputs[i].Name < p.Outputs[j].Name })
+	return p, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+var abSchema = stream.MustSchema("ab",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+func filterSpec(pred string) op.Spec {
+	return op.Spec{Kind: "filter", Params: map[string]string{"predicate": pred}}
+}
+
+// chain3 builds in -> f1 -> f2 -> f3 -> out.
+func chain3(t *testing.T) *query.Network {
+	t.Helper()
+	return query.NewBuilder("chain").
+		Chain([]string{"f1", "f2", "f3"},
+			[]op.Spec{filterSpec("B < 100"), filterSpec("B < 90"), filterSpec("B < 80")}).
+		BindInput("in", abSchema, "f1", 0).
+		BindOutput("out", "f3", 0, nil).
+		MustBuild()
+}
+
+func TestPartitionChain(t *testing.T) {
+	full := chain3(t)
+	assign := map[string]string{"f1": "n1", "f2": "n2", "f3": "n3"}
+	p, err := PartitionNetwork(full, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pieces) != 3 {
+		t.Fatalf("pieces = %d", len(p.Pieces))
+	}
+	if len(p.Links) != 2 {
+		t.Fatalf("links = %+v", p.Links)
+	}
+	// Each piece holds exactly its box; the cross links chain n1->n2->n3.
+	for node, box := range map[string]string{"n1": "f1", "n2": "f2", "n3": "f3"} {
+		piece := p.Pieces[node]
+		if piece.NumBoxes() != 1 || piece.Box(box) == nil {
+			t.Errorf("piece at %s: %s", node, piece)
+		}
+	}
+	if p.Links[0].From != "n1" || p.Links[0].To != "n2" ||
+		p.Links[1].From != "n2" || p.Links[1].To != "n3" {
+		t.Errorf("link endpoints: %+v", p.Links)
+	}
+	for _, l := range p.Links {
+		if !strings.HasPrefix(l.Label, xlinkPrefix) {
+			t.Errorf("label %q missing prefix", l.Label)
+		}
+		if !l.Schema.Compatible(abSchema) {
+			t.Errorf("link schema %s", l.Schema)
+		}
+	}
+	// Input enters and is owned at n1 by default; output at n3.
+	if p.Inputs[0].Entry != "n1" || p.Inputs[0].Owner != "n1" {
+		t.Errorf("input route %+v", p.Inputs[0])
+	}
+	if p.Outputs[0].Owner != "n3" {
+		t.Errorf("output route %+v", p.Outputs[0])
+	}
+}
+
+func TestPartitionColocated(t *testing.T) {
+	full := chain3(t)
+	assign := map[string]string{"f1": "n1", "f2": "n1", "f3": "n1"}
+	p, err := PartitionNetwork(full, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pieces) != 1 || len(p.Links) != 0 {
+		t.Fatalf("single-node partition wrong: %d pieces %d links", len(p.Pieces), len(p.Links))
+	}
+	if p.Pieces["n1"].NumBoxes() != 3 || len(p.Pieces["n1"].Arcs()) != 2 {
+		t.Error("piece should keep internal arcs")
+	}
+}
+
+func TestPartitionEntryNode(t *testing.T) {
+	full := chain3(t)
+	assign := map[string]string{"f1": "n2", "f2": "n2", "f3": "n2"}
+	p, err := PartitionNetwork(full, assign, map[string]string{"in": "edge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inputs[0].Entry != "edge" || p.Inputs[0].Owner != "n2" {
+		t.Errorf("entry routing %+v", p.Inputs[0])
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	full := chain3(t)
+	// Missing assignment.
+	if _, err := PartitionNetwork(full, map[string]string{"f1": "n1"}, nil); err == nil {
+		t.Error("missing assignment should fail")
+	}
+	// Input fanning out across nodes.
+	fan := query.NewBuilder("fan").
+		AddBox("a", filterSpec("true")).
+		AddBox("b", filterSpec("true")).
+		BindInput("in", abSchema, "a", 0).
+		BindInput("in", abSchema, "b", 0).
+		BindOutput("oa", "a", 0, nil).
+		BindOutput("ob", "b", 0, nil).
+		MustBuild()
+	if _, err := PartitionNetwork(fan, map[string]string{"a": "n1", "b": "n2"}, nil); err == nil {
+		t.Error("cross-node input fan-out should fail")
+	}
+	// Same-node fan-out is fine.
+	if _, err := PartitionNetwork(fan, map[string]string{"a": "n1", "b": "n1"}, nil); err != nil {
+		t.Errorf("same-node fan-out: %v", err)
+	}
+}
+
+func TestPartitionBranchedDAG(t *testing.T) {
+	// dual-output filter feeding two downstream filters on different
+	// nodes, merged by a union on a third.
+	full := query.NewBuilder("dag").
+		AddBox("router", op.Spec{Kind: "filter", Params: map[string]string{
+			"predicate": "B < 50", "falseport": "true"}}).
+		AddBox("l", filterSpec("true")).
+		AddBox("r", filterSpec("true")).
+		AddBox("u", op.Spec{Kind: "union", Params: map[string]string{"inputs": "2"}}).
+		ConnectPorts(query.Port{Box: "router", Port: 0}, query.Port{Box: "l"}, false).
+		ConnectPorts(query.Port{Box: "router", Port: 1}, query.Port{Box: "r"}, false).
+		ConnectPorts(query.Port{Box: "l"}, query.Port{Box: "u", Port: 0}, false).
+		ConnectPorts(query.Port{Box: "r"}, query.Port{Box: "u", Port: 1}, false).
+		BindInput("in", abSchema, "router", 0).
+		BindOutput("out", "u", 0, nil).
+		MustBuild()
+	assign := map[string]string{"router": "n1", "l": "n1", "r": "n2", "u": "n3"}
+	p, err := PartitionNetwork(full, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing arcs: router->r, l->u, r->u.
+	if len(p.Links) != 3 {
+		t.Fatalf("links = %d, want 3", len(p.Links))
+	}
+}

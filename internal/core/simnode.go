@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/ha"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+// Message payloads exchanged over the netsim overlay.
+
+// tupleBatch carries tuples for one cross-link label. Tuple Seq fields
+// hold per-link sequence numbers (§6.2).
+type tupleBatch struct {
+	Label  string
+	Tuples []stream.Tuple
+}
+
+// backChannel carries truncation checkpoints upstream: for each label the
+// receiver consumes from the sender, the link seq below which the sender
+// may truncate its output queue (§6.2).
+type backChannel struct {
+	SafeSeqs map[string]uint64
+}
+
+// heartbeat is the §6.3 liveness signal a server sends to its upstream
+// neighbors.
+type heartbeat struct{}
+
+// flowQuery implements the §6.2 alternate truncation technique: an
+// upstream server queries the downstream's array of earliest dependent
+// sequence numbers at its own convenience; the downstream answers with a
+// backChannel.
+type flowQuery struct{}
+
+// engineHost is one query-network piece running on a node: its own piece
+// under normal operation, plus adopted pieces of failed downstream
+// neighbors after a recovery (§6.3). Multiple hosts share the node's CPU
+// (one shared virtual clock), the in-process realization of §6.4's
+// virtual machines.
+type engineHost struct {
+	owner string // the node the piece was originally assigned to
+	piece *query.Network
+	eng   *engine.Engine
+	dep   *ha.DepTracker
+}
+
+// SimNode is one Aurora server in a Cluster: an engine (or several, after
+// adoptions) paced by the simulator, plus the HA bookkeeping of §6.
+type SimNode struct {
+	c  *Cluster
+	id string
+
+	clock *engine.VirtualClock
+	hosts map[string]*engineHost
+	order []string // host ids in adoption order, for round-robin stepping
+	rr    int
+	busy  bool
+
+	localSeq uint64
+	logs     map[string]*ha.OutputLog // outgoing label -> retained output
+	dedup    map[string]*ha.Dedup     // incoming label -> duplicate filter
+	det      *ha.Detector
+
+	outbox  []outboxEntry
+	busyNs  int64 // accumulated processing time, for utilization
+	dropped uint64
+}
+
+type outboxEntry struct {
+	label string
+	t     stream.Tuple
+}
+
+func newSimNode(c *Cluster, id string) *SimNode {
+	return &SimNode{
+		c:     c,
+		id:    id,
+		clock: engine.NewVirtualClock(0),
+		hosts: map[string]*engineHost{},
+		logs:  map[string]*ha.OutputLog{},
+		dedup: map[string]*ha.Dedup{},
+		det:   ha.NewDetector(c.cfg.DetectTimeout),
+	}
+}
+
+// addHost instantiates a piece's engine on this node.
+func (n *SimNode) addHost(owner string, piece *query.Network) error {
+	if _, dup := n.hosts[owner]; dup {
+		return fmt.Errorf("core: node %s already hosts piece of %s", n.id, owner)
+	}
+	eng, err := engine.New(piece, engine.Config{
+		Clock:          n.clock,
+		Scheduler:      n.c.newScheduler(),
+		MemoryBudget:   n.c.cfg.MemoryBudget,
+		DefaultBoxCost: n.c.cfg.DefaultBoxCost,
+		BoxCosts:       n.c.cfg.BoxCosts,
+	})
+	if err != nil {
+		return err
+	}
+	h := &engineHost{owner: owner, piece: piece, eng: eng, dep: ha.NewDepTracker()}
+	eng.OnOutput(func(name string, t stream.Tuple) { n.onEngineOutput(h, name, t) })
+	n.hosts[owner] = h
+	n.order = append(n.order, owner)
+	sort.Strings(n.order)
+	return nil
+}
+
+func (n *SimNode) removeHost(owner string) {
+	delete(n.hosts, owner)
+	kept := n.order[:0]
+	for _, o := range n.order {
+		if o != owner {
+			kept = append(kept, o)
+		}
+	}
+	n.order = kept
+}
+
+// onEngineOutput routes a tuple a hosted engine delivered to one of its
+// output bindings: cross-link labels go to the outbox toward the owning
+// node of the consuming piece; application outputs go to the cluster's
+// sink.
+func (n *SimNode) onEngineOutput(h *engineHost, name string, t stream.Tuple) {
+	if dest, ok := n.c.labelDest[name]; ok {
+		if dest == n.id {
+			// The consumer was adopted onto this very node: short-circuit
+			// through the local ingress path (still deduplicated).
+			if n.c.cfg.K > 0 {
+				t = n.log(name).Append(t)
+			}
+			n.ingressLink(name, []stream.Tuple{t})
+			return
+		}
+		n.outbox = append(n.outbox, outboxEntry{label: name, t: t})
+		return
+	}
+	// Application output.
+	n.c.deliverApp(name, t)
+}
+
+func (n *SimNode) log(label string) *ha.OutputLog {
+	l, ok := n.logs[label]
+	if !ok {
+		l = ha.NewOutputLog()
+		n.logs[label] = l
+	}
+	return l
+}
+
+func (n *SimNode) dedupFor(label string) *ha.Dedup {
+	d, ok := n.dedup[label]
+	if !ok {
+		d = &ha.Dedup{}
+		n.dedup[label] = d
+	}
+	return d
+}
+
+// onMessage is the netsim delivery handler.
+func (n *SimNode) onMessage(from string, payload any, _ int) {
+	switch m := payload.(type) {
+	case tupleBatch:
+		n.ingressLink(m.Label, m.Tuples)
+	case backChannel:
+		for label, safe := range m.SafeSeqs {
+			if l, ok := n.logs[label]; ok {
+				l.Truncate(safe)
+			}
+		}
+	case heartbeat:
+		n.det.Heartbeat(from, n.c.sim.Now())
+	case flowQuery:
+		// Answer the querying upstream with the safe sequence numbers
+		// for the labels it feeds us.
+		if n.c.sim.Down(n.id) {
+			return
+		}
+		if safe := n.safeSeqs()[from]; len(safe) > 0 {
+			n.c.sim.Send(n.id, from, 64, backChannel{SafeSeqs: safe})
+		}
+	}
+}
+
+// pullTick queries every downstream neighbor's sequence array (§6.2
+// alternate technique): "the upstream server can truncate at its
+// convenience, and not just when it receives a back channel message".
+// Self-links are acked inline via safeSeqs (the computed remote entries
+// are discarded — remote upstreams query us for theirs).
+func (n *SimNode) pullTick() {
+	if n.c.sim.Down(n.id) {
+		return
+	}
+	n.safeSeqs()
+	for _, down := range n.c.downstreamsOf(n.id) {
+		n.c.sim.Send(n.id, down, 16, flowQuery{})
+	}
+}
+
+// ingressLink admits tuples arriving on a cross-link label: duplicate
+// suppression by link seq, re-sequencing into the node-local space, and
+// ingestion into the hosting engine.
+func (n *SimNode) ingressLink(label string, tuples []stream.Tuple) {
+	host := n.hostForInput(label)
+	if host == nil {
+		n.dropped += uint64(len(tuples))
+		return
+	}
+	if n.c.cfg.K == 0 {
+		for _, t := range tuples {
+			n.localSeq++
+			t.Seq = n.localSeq
+			host.eng.Ingest(label, t)
+		}
+		n.pump()
+		return
+	}
+	d := n.dedupFor(label)
+	for _, t := range tuples {
+		linkSeq := t.Seq
+		if !d.Admit(linkSeq) {
+			continue
+		}
+		n.localSeq++
+		t.Seq = n.localSeq
+		host.dep.NoteIngress(label, linkSeq, n.localSeq)
+		host.eng.Ingest(label, t)
+	}
+	n.pump()
+}
+
+// ingestLocal ingests an application input arriving at its owner node
+// directly from a data source (no upstream server to back it up; the
+// source itself is the k-safety boundary).
+func (n *SimNode) ingestLocal(input string, t stream.Tuple) bool {
+	host := n.hostForInput(input)
+	if host == nil {
+		n.dropped++
+		return false
+	}
+	n.localSeq++
+	t.Seq = n.localSeq
+	ok := host.eng.Ingest(input, t)
+	n.pump()
+	return ok
+}
+
+// hostForInput finds the hosted engine with the given input binding.
+func (n *SimNode) hostForInput(input string) *engineHost {
+	for _, owner := range n.order {
+		h := n.hosts[owner]
+		if _, ok := h.piece.Inputs()[input]; ok {
+			return h
+		}
+	}
+	return nil
+}
+
+// pump schedules the work loop if it is not already running.
+func (n *SimNode) pump() {
+	if n.busy {
+		return
+	}
+	n.busy = true
+	n.c.sim.Schedule(0, n.work)
+}
+
+// work executes one scheduler step of one hosted engine, charges its cost
+// to the node's CPU clock, and schedules both the resulting sends and the
+// next step at the completion time. This paces each server's processing
+// in simulator time, so queueing, overload, and latency emerge from the
+// event order.
+func (n *SimNode) work() {
+	if n.c.sim.Down(n.id) {
+		n.busy = false
+		return
+	}
+	n.clock.AdvanceTo(n.c.sim.Now())
+	before := n.clock.Now()
+	stepped := false
+	for i := 0; i < len(n.order); i++ {
+		h := n.hosts[n.order[(n.rr+i)%len(n.order)]]
+		if h.eng.Step() {
+			n.rr = (n.rr + i + 1) % len(n.order)
+			stepped = true
+			break
+		}
+	}
+	if !stepped {
+		n.busy = false
+		n.flushOutbox(0)
+		return
+	}
+	cost := n.clock.Now() - before
+	n.busyNs += cost
+	n.flushOutbox(cost)
+	n.c.sim.Schedule(cost, n.work)
+}
+
+// flushOutbox groups pending output tuples by label, stamps them against
+// the per-link output logs, and transmits them after delay ns (the
+// completion time of the step that produced them).
+func (n *SimNode) flushOutbox(delay int64) {
+	if len(n.outbox) == 0 {
+		return
+	}
+	byLabel := map[string][]stream.Tuple{}
+	var labels []string
+	for _, e := range n.outbox {
+		if _, seen := byLabel[e.label]; !seen {
+			labels = append(labels, e.label)
+		}
+		t := e.t
+		if n.c.cfg.K > 0 {
+			t = n.log(e.label).Append(t)
+		}
+		byLabel[e.label] = append(byLabel[e.label], t)
+	}
+	n.outbox = n.outbox[:0]
+	sort.Strings(labels)
+	for _, label := range labels {
+		batch := tupleBatch{Label: label, Tuples: byLabel[label]}
+		size := transport.EncodedSize(transport.Msg{Stream: label, Tuples: batch.Tuples})
+		l, src := label, n.id
+		n.c.sim.Schedule(delay, func() {
+			if n.c.sim.Down(src) {
+				return // the node died before the send completed
+			}
+			// The destination is re-read at send time: a failover may
+			// have rerouted the label while this batch waited.
+			n.c.sim.Send(src, n.c.labelDest[l], size, batch)
+		})
+	}
+}
+
+// dependency computes the node's earliest local dependency across every
+// hosted engine, the outbox, and (for k >= 2) the unacknowledged output
+// logs.
+func (n *SimNode) dependency() (uint64, bool) {
+	var min uint64
+	found := false
+	note := func(seq uint64, ok bool) {
+		if ok && (!found || seq < min) {
+			min, found = seq, true
+		}
+	}
+	for _, h := range n.hosts {
+		note(h.eng.EarliestDependency())
+	}
+	for _, e := range n.outbox {
+		note(e.t.Seq, true)
+	}
+	if n.c.cfg.K >= 2 {
+		for _, l := range n.logs {
+			note(l.EarliestOrigin())
+		}
+	}
+	return min, found
+}
+
+// safeSeqs computes this node's per-link truncation points and directly
+// truncates the logs of self-links — labels this node both produces and
+// consumes after an adoption. The remaining entries are grouped by
+// upstream node for the back channel.
+func (n *SimNode) safeSeqs() map[string]map[string]uint64 {
+	dep, has := n.dependency()
+	perUpstream := map[string]map[string]uint64{}
+	for _, h := range n.hosts {
+		for label, safe := range h.dep.SafeSeqs(dep, has) {
+			src, ok := n.c.labelSrc[label]
+			if !ok {
+				continue
+			}
+			if src == n.id {
+				if l, ok := n.logs[label]; ok {
+					l.Truncate(safe)
+				}
+				continue
+			}
+			m, ok := perUpstream[src]
+			if !ok {
+				m = map[string]uint64{}
+				perUpstream[src] = m
+			}
+			m[label] = safe
+		}
+	}
+	return perUpstream
+}
+
+// flowTick runs the §6.2 truncation protocol: compute the dependency
+// low-water mark, translate it to per-upstream-link safe sequence numbers,
+// and send back-channel messages to the upstream neighbors.
+func (n *SimNode) flowTick() {
+	if n.c.sim.Down(n.id) {
+		return
+	}
+	for up, safeSeqs := range n.safeSeqs() {
+		n.c.sim.Send(n.id, up, 64, backChannel{SafeSeqs: safeSeqs})
+	}
+}
+
+// heartbeatTick sends heartbeats to upstream neighbors (§6.3). A crashed
+// server is silent — that silence is exactly what the upstream detects.
+func (n *SimNode) heartbeatTick() {
+	if n.c.sim.Down(n.id) {
+		return
+	}
+	for _, up := range n.c.upstreamsOf(n.id) {
+		n.c.sim.Send(n.id, up, 16, heartbeat{})
+	}
+}
+
+// checkTick looks for downstream failures and triggers recovery.
+func (n *SimNode) checkTick() {
+	if n.c.sim.Down(n.id) {
+		return
+	}
+	for _, failed := range n.det.Check(n.c.sim.Now()) {
+		n.c.recover(failed, n.id)
+	}
+}
+
+// Utilization returns the busy fraction of the node's CPU since the last
+// call (the load-share daemon's local load measure).
+func (n *SimNode) utilizationSince(lastBusyNs, lastAt int64) float64 {
+	elapsed := n.c.sim.Now() - lastAt
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(n.busyNs-lastBusyNs) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// queued returns the tuples waiting across hosted engines.
+func (n *SimNode) queued() int {
+	total := 0
+	for _, h := range n.hosts {
+		total += h.eng.QueuedTuples()
+	}
+	return total
+}
+
+// drainHosts flushes every hosted engine (the §5.1 stabilization step).
+func (n *SimNode) drainHosts() {
+	for _, h := range n.hosts {
+		h.eng.Drain()
+	}
+	n.flushOutbox(0)
+}
+
+// pieceOf returns the hosted piece for an owner.
+func (n *SimNode) pieceOf(owner string) (*query.Network, bool) {
+	h, ok := n.hosts[owner]
+	if !ok {
+		return nil, false
+	}
+	return h.piece, true
+}

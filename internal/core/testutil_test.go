@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loadmgr"
+	"repro/internal/op"
+	"repro/internal/query"
+)
+
+// newChainBuilder assembles a linear filter chain bound to input "in" and
+// output "out".
+func newChainBuilder(t *testing.T, ids []string, preds []string) *query.Builder {
+	t.Helper()
+	specs := make([]op.Spec, len(ids))
+	for i := range ids {
+		specs[i] = filterSpec(preds[i])
+	}
+	return query.NewBuilder("chainN").
+		Chain(ids, specs).
+		BindInput("in", abSchema, ids[0], 0).
+		BindOutput("out", ids[len(ids)-1], 0, nil)
+}
+
+// defaultSharePolicy is the watermark policy the load-sharing tests use.
+func defaultSharePolicy() loadmgr.Policy {
+	return loadmgr.Policy{HighWater: 0.8, LowWater: 0.5, Headroom: 0.5, CooldownPeriods: 2}
+}

@@ -1,0 +1,212 @@
+// Package cql implements the declarative front end §2.2 sketches as an
+// alternative to the box-and-arrow GUI: "It would also be possible to
+// allow users to specify declarative queries in a language such as SQL
+// (modified to specify continuous queries), and then compile these queries
+// into our box and arrow representation."
+//
+// The language is a deliberately small continuous-query dialect:
+//
+//	SELECT *                      FROM readings WHERE reading > 25
+//	SELECT sensor, reading        FROM readings WHERE region == "cambridge"
+//	SELECT cnt(reading)           FROM readings GROUP BY sensor
+//	SELECT avg(price) FROM quotes WHERE sym == "IBM" GROUP BY sym
+//
+// WHERE expressions use the operator expression syntax (op.Parse), so a
+// compiled query's predicates serialize and remote-define like any other.
+// Compilation produces a Filter (WHERE), then a Map (projection) or a
+// Tumble (aggregation with GROUP BY), bound to input "FROM-name" and
+// output "out".
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Compile parses one declarative query and builds the equivalent query
+// network over the given input schema.
+func Compile(name, src string, schema *stream.Schema) (*query.Network, error) {
+	q, err := parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("cql: %w", err)
+	}
+	b := query.NewBuilder(name)
+	input := q.from
+	head := "" // id of the most recently added box
+
+	if q.where != "" {
+		// Validate eagerly for a friendlier error position.
+		if _, err := op.Parse(q.where); err != nil {
+			return nil, fmt.Errorf("cql: WHERE: %w", err)
+		}
+		b.AddBox("where", op.Spec{Kind: op.KindFilter,
+			Params: map[string]string{"predicate": q.where}})
+		b.BindInput(input, schema, "where", 0)
+		head = "where"
+	}
+
+	attach := func(id string, spec op.Spec) {
+		b.AddBox(id, spec)
+		if head == "" {
+			b.BindInput(input, schema, id, 0)
+		} else {
+			b.Connect(head, id)
+		}
+		head = id
+	}
+
+	switch {
+	case q.agg != "":
+		if len(q.groupBy) == 0 {
+			return nil, fmt.Errorf("cql: aggregate %s(%s) requires GROUP BY (windows are per group, §2.2)", q.agg, q.aggOn)
+		}
+		if _, err := op.LookupAggregate(q.agg); err != nil {
+			return nil, fmt.Errorf("cql: %w", err)
+		}
+		attach("agg", op.Spec{Kind: op.KindTumble, Params: map[string]string{
+			"agg":     q.agg,
+			"on":      q.aggOn,
+			"groupby": strings.Join(q.groupBy, ","),
+		}})
+	case len(q.cols) > 0:
+		items := make([]string, len(q.cols))
+		for i, c := range q.cols {
+			items[i] = c + "=" + c
+		}
+		attach("project", op.Spec{Kind: op.KindMap,
+			Params: map[string]string{"exprs": strings.Join(items, "; ")}})
+	default: // SELECT *
+		if head == "" {
+			attach("pass", op.Spec{Kind: op.KindFilter,
+				Params: map[string]string{"predicate": "true"}})
+		}
+	}
+
+	b.BindOutput("out", head, 0, nil)
+	return b.Build()
+}
+
+// parsed is the AST of one query.
+type parsed struct {
+	cols    []string // projection columns; empty with star or agg
+	star    bool
+	agg     string
+	aggOn   string
+	from    string
+	where   string // raw expression text for op.Parse
+	groupBy []string
+}
+
+// parse splits the query into clauses. Keywords are case-insensitive;
+// identifiers and expressions are case-sensitive.
+func parse(src string) (*parsed, error) {
+	toks := tokenize(src)
+	p := &parsed{}
+	i := 0
+	expect := func(kw string) error {
+		if i >= len(toks) || !strings.EqualFold(toks[i], kw) {
+			return fmt.Errorf("expected %s at %q", kw, strings.Join(toks[i:], " "))
+		}
+		i++
+		return nil
+	}
+	if err := expect("SELECT"); err != nil {
+		return nil, err
+	}
+	// Selection list runs until FROM.
+	var sel []string
+	for i < len(toks) && !strings.EqualFold(toks[i], "FROM") {
+		sel = append(sel, toks[i])
+		i++
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("empty selection list")
+	}
+	if err := expect("FROM"); err != nil {
+		return nil, err
+	}
+	if i >= len(toks) {
+		return nil, fmt.Errorf("missing stream name after FROM")
+	}
+	p.from = toks[i]
+	i++
+
+	// Optional WHERE: everything until GROUP or end is the predicate.
+	if i < len(toks) && strings.EqualFold(toks[i], "WHERE") {
+		i++
+		start := i
+		for i < len(toks) && !strings.EqualFold(toks[i], "GROUP") {
+			i++
+		}
+		p.where = strings.Join(toks[start:i], " ")
+		if p.where == "" {
+			return nil, fmt.Errorf("empty WHERE clause")
+		}
+	}
+	// Optional GROUP BY col[, col]: a comma-separated identifier list.
+	if i < len(toks) && strings.EqualFold(toks[i], "GROUP") {
+		i++
+		if err := expect("BY"); err != nil {
+			return nil, err
+		}
+		joined := strings.Join(toks[i:], " ")
+		i = len(toks)
+		if joined == "" {
+			return nil, fmt.Errorf("empty GROUP BY")
+		}
+		for _, part := range strings.Split(joined, ",") {
+			col := strings.TrimSpace(part)
+			if col == "" || strings.ContainsAny(col, " \t()") {
+				return nil, fmt.Errorf("GROUP BY wants comma-separated columns, got %q", part)
+			}
+			p.groupBy = append(p.groupBy, col)
+		}
+	}
+	if i < len(toks) {
+		return nil, fmt.Errorf("trailing input %q", strings.Join(toks[i:], " "))
+	}
+
+	// Interpret the selection list.
+	joined := strings.Join(sel, " ")
+	switch {
+	case joined == "*":
+		p.star = true
+		if len(p.groupBy) > 0 {
+			return nil, fmt.Errorf("GROUP BY requires an aggregate selection, not *")
+		}
+	case isAggCall(joined):
+		open := strings.IndexByte(joined, '(')
+		clos := strings.LastIndexByte(joined, ')')
+		p.agg = strings.TrimSpace(joined[:open])
+		p.aggOn = strings.TrimSpace(joined[open+1 : clos])
+		if p.aggOn == "" {
+			return nil, fmt.Errorf("aggregate %s needs a column", p.agg)
+		}
+	default:
+		for _, c := range strings.Split(joined, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				return nil, fmt.Errorf("empty projection column in %q", joined)
+			}
+			p.cols = append(p.cols, c)
+		}
+	}
+	return p, nil
+}
+
+// isAggCall reports whether the selection looks like name(col).
+func isAggCall(s string) bool {
+	open := strings.IndexByte(s, '(')
+	return open > 0 && strings.HasSuffix(s, ")") && !strings.Contains(s[:open], ",")
+}
+
+// tokenize splits on whitespace but keeps parenthesized and quoted runs
+// intact enough for clause splitting (expressions are re-joined and handed
+// to op.Parse verbatim).
+func tokenize(src string) []string {
+	return strings.Fields(src)
+}

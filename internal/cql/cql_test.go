@@ -1,0 +1,154 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+var readings = stream.MustSchema("readings",
+	stream.Field{Name: "sensor", Kind: stream.KindInt},
+	stream.Field{Name: "reading", Kind: stream.KindFloat},
+	stream.Field{Name: "region", Kind: stream.KindString},
+)
+
+// run compiles and executes a query over fixed tuples, returning the
+// output tuples.
+func run(t *testing.T, src string, in []stream.Tuple) []stream.Tuple {
+	t.Helper()
+	net, err := Compile("q", src, readings)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	e, err := engine.New(net, engine.Config{Clock: engine.NewVirtualClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	for _, tp := range in {
+		e.Ingest("readings", tp.Clone())
+	}
+	e.Drain()
+	return out
+}
+
+func sample() []stream.Tuple {
+	mk := func(s int64, r float64, reg string) stream.Tuple {
+		return stream.NewTuple(stream.Int(s), stream.Float(r), stream.String(reg))
+	}
+	return []stream.Tuple{
+		mk(1, 10, "cambridge"),
+		mk(1, 30, "cambridge"),
+		mk(2, 40, "boston"),
+		mk(2, 50, "boston"),
+		mk(3, 5, "cambridge"),
+	}
+}
+
+func TestSelectStarWhere(t *testing.T) {
+	out := run(t, `SELECT * FROM readings WHERE reading > 25.0`, sample())
+	if len(out) != 3 {
+		t.Fatalf("got %d tuples:\n%s", len(out), stream.FormatTuples(out))
+	}
+	for _, tp := range out {
+		if tp.Field(1).AsFloat() <= 25 {
+			t.Errorf("WHERE leaked %v", tp)
+		}
+	}
+}
+
+func TestSelectStarNoWhere(t *testing.T) {
+	out := run(t, `SELECT * FROM readings`, sample())
+	if len(out) != 5 {
+		t.Fatalf("passthrough lost tuples: %d", len(out))
+	}
+}
+
+func TestProjection(t *testing.T) {
+	out := run(t, `SELECT sensor, region FROM readings`, sample())
+	if len(out) != 5 || len(out[0].Vals) != 2 {
+		t.Fatalf("projection shape wrong:\n%s", stream.FormatTuples(out))
+	}
+	if out[0].Field(1).AsString() != "cambridge" {
+		t.Errorf("projected values wrong: %v", out[0])
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	out := run(t, `SELECT cnt(reading) FROM readings GROUP BY sensor`, sample())
+	// Runs: sensor 1 (2), sensor 2 (2), sensor 3 (1).
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(2)),
+		stream.NewTuple(stream.Int(2), stream.Int(2)),
+		stream.NewTuple(stream.Int(3), stream.Int(1)),
+	}
+	if !stream.TuplesEqualValues(out, want) {
+		t.Fatalf("got:\n%s", stream.FormatTuples(out))
+	}
+}
+
+func TestWhereThenAggregate(t *testing.T) {
+	out := run(t, `SELECT avg(reading) FROM readings WHERE region == "cambridge" GROUP BY sensor`, sample())
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Float(20)),
+		stream.NewTuple(stream.Int(3), stream.Float(5)),
+	}
+	if !stream.TuplesEqualValues(out, want) {
+		t.Fatalf("got:\n%s", stream.FormatTuples(out))
+	}
+}
+
+func TestGroupByMultipleColumns(t *testing.T) {
+	out := run(t, `SELECT cnt(reading) FROM readings GROUP BY sensor, region`, sample())
+	if len(out) != 3 {
+		t.Fatalf("got %d windows:\n%s", len(out), stream.FormatTuples(out))
+	}
+	if len(out[0].Vals) != 3 { // sensor, region, result
+		t.Errorf("group-by columns missing: %v", out[0])
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Compile("q", `select * from readings where reading > 1.0`, readings); err != nil {
+		t.Errorf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT * FROM`,
+		`FROM readings`,
+		`SELECT * readings`,
+		`SELECT * FROM readings WHERE`,
+		`SELECT * FROM readings WHERE ((`,
+		`SELECT * FROM readings GROUP sensor`,
+		`SELECT * FROM readings GROUP BY`,
+		`SELECT cnt(reading) FROM readings`, // agg needs GROUP BY
+		`SELECT warp(reading) FROM readings GROUP BY sensor`, // unknown agg
+		`SELECT cnt() FROM readings GROUP BY sensor`,
+		`SELECT ghost FROM readings`,
+		`SELECT * FROM readings WHERE ghost > 1`,
+		`SELECT * FROM readings GROUP BY sensor extra junk here FROM`,
+	}
+	for _, src := range bad {
+		if _, err := Compile("q", src, readings); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestCompiledPredicatesSerialize(t *testing.T) {
+	net, err := Compile("q", `SELECT * FROM readings WHERE reading > 25.0`, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := net.Box("where").Spec
+	if !strings.Contains(spec.Params["predicate"], "reading") {
+		t.Errorf("predicate not preserved: %v", spec)
+	}
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// cpNet builds in -> f1 =CP=> f2 -> out with a connection point between
+// the filters.
+func cpNet(t *testing.T) *query.Network {
+	t.Helper()
+	n, err := query.NewBuilder("cp").
+		AddBox("f1", filterSpec("B < 100")).
+		AddBox("f2", filterSpec("B < 50")).
+		ConnectPorts(query.Port{Box: "f1"}, query.Port{Box: "f2"}, true).
+		BindInput("in", tSchema, "f1", 0).
+		BindOutput("out", "f2", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConnectionPointHistoryAndAdHoc(t *testing.T) {
+	e, _ := newVirtualEngine(t, cpNet(t), Config{})
+	e.OnOutput(func(string, stream.Tuple) {})
+
+	cps := e.ConnectionPoints()
+	if len(cps) != 1 || cps[0].Box != "f1" {
+		t.Fatalf("connection points = %v", cps)
+	}
+
+	// Historical tuples flow before the ad hoc query exists.
+	for i := 0; i < 20; i++ {
+		e.Ingest("in", tuple(int64(i), int64(i)))
+	}
+	e.RunUntilIdle(0)
+
+	// Attach an ad hoc consumer: it must see the history first (§2.2),
+	// then live tuples.
+	var got []int64
+	replayed, err := e.AttachAdHoc(cps[0], func(tp stream.Tuple) {
+		got = append(got, tp.Field(0).AsInt())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 20 || len(got) != 20 {
+		t.Fatalf("replayed %d history tuples, want 20", replayed)
+	}
+	for i := 20; i < 30; i++ {
+		e.Ingest("in", tuple(int64(i), 1))
+	}
+	e.RunUntilIdle(0)
+	if len(got) != 30 || got[29] != 29 {
+		t.Fatalf("live tuples missing: %v", got)
+	}
+}
+
+func TestAdHocSecondEngineAsQuery(t *testing.T) {
+	// The attached ad hoc "query" is itself an Aurora engine: the §2.2
+	// model of attaching new queries at predetermined arcs.
+	prim, _ := newVirtualEngine(t, cpNet(t), Config{})
+	prim.OnOutput(func(string, stream.Tuple) {})
+
+	adhocNet, err := query.NewBuilder("adhoc").
+		AddBox("agg", tumbleSpec()).
+		BindInput("cp", tSchema, "agg", 0).
+		BindOutput("counts", "agg", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhoc, _ := newVirtualEngine(t, adhocNet, Config{})
+	var counts []stream.Tuple
+	adhoc.OnOutput(func(_ string, tp stream.Tuple) { counts = append(counts, tp) })
+
+	for i := 0; i < 10; i++ {
+		prim.Ingest("in", tuple(1, int64(i)))
+	}
+	prim.RunUntilIdle(0)
+	if _, err := prim.AttachAdHoc(query.Port{Box: "f1"}, func(tp stream.Tuple) {
+		adhoc.Ingest("cp", tp)
+		adhoc.RunUntilIdle(0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// New group arrives: closes the A=1 window inside the ad hoc query,
+	// which saw the full history.
+	prim.Ingest("in", tuple(2, 1))
+	prim.RunUntilIdle(0)
+	adhoc.Drain()
+	if len(counts) == 0 {
+		t.Fatal("ad hoc query produced nothing")
+	}
+	if counts[0].Field(1).AsInt() != 10 {
+		t.Errorf("ad hoc count = %d, want 10 (history replay included)", counts[0].Field(1).AsInt())
+	}
+}
+
+func TestAttachAdHocErrors(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	if _, err := e.AttachAdHoc(query.Port{Box: "f"}, func(stream.Tuple) {}); err == nil {
+		t.Error("non-connection-point should be rejected")
+	}
+	if got := e.ConnectionPoints(); len(got) != 0 {
+		t.Errorf("plain chain has no connection points: %v", got)
+	}
+}
+
+func TestEarliestDependency(t *testing.T) {
+	// A chain with a Tumble: the engine's dependency low-water mark must
+	// track queued tuples and open window state (§6.2).
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	e.OnOutput(func(string, stream.Tuple) {})
+	if _, ok := e.EarliestDependency(); ok {
+		t.Fatal("fresh engine holds no state")
+	}
+	// Queue three tuples without running: dependency = first seq.
+	t1 := stream.Tuple{Seq: 10, Vals: []stream.Value{stream.Int(1), stream.Int(1)}}
+	t2 := stream.Tuple{Seq: 11, Vals: []stream.Value{stream.Int(1), stream.Int(2)}}
+	t3 := stream.Tuple{Seq: 12, Vals: []stream.Value{stream.Int(1), stream.Int(3)}}
+	e.Ingest("in", t1)
+	e.Ingest("in", t2)
+	e.Ingest("in", t3)
+	if dep, ok := e.EarliestDependency(); !ok || dep != 10 {
+		t.Fatalf("queued dep = %d, %v; want 10", dep, ok)
+	}
+	// Process everything: the tuples collapse into the open Tumble
+	// window, whose earliest contributor is still seq 10.
+	e.RunUntilIdle(0)
+	if dep, ok := e.EarliestDependency(); !ok || dep != 10 {
+		t.Fatalf("windowed dep = %d, %v; want 10", dep, ok)
+	}
+	// A new group closes the window; the open state is now the new
+	// group's first tuple.
+	t4 := stream.Tuple{Seq: 13, Vals: []stream.Value{stream.Int(2), stream.Int(1)}}
+	e.Ingest("in", t4)
+	e.RunUntilIdle(0)
+	if dep, ok := e.EarliestDependency(); !ok || dep != 13 {
+		t.Fatalf("after window close dep = %d, %v; want 13", dep, ok)
+	}
+	// Drain flushes all state: no dependency remains.
+	e.Drain()
+	if _, ok := e.EarliestDependency(); ok {
+		t.Error("drained engine should hold no state")
+	}
+}

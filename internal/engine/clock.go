@@ -1,0 +1,53 @@
+// Package engine implements the single-node Aurora run-time architecture
+// of §2.3 (Fig 3): a Router moving tuples between operator boxes, a
+// Scheduler deciding which box to run and how many waiting tuples to push
+// through it (train scheduling), a Storage Manager accounting for queue
+// memory and spilling the excess, a QoS Monitor observing output latency
+// and utility, and a Load Shedder discarding tuples when overload makes
+// precise answers unachievable (§7.1).
+//
+// The engine runs under an explicit Clock so the same code executes in
+// wall time (real deployments, cmd/auroranode) and in deterministic
+// virtual time (netsim experiments, benchmarks).
+package engine
+
+import "time"
+
+// Clock supplies the engine's notion of now, in nanoseconds.
+type Clock interface {
+	// Now returns the current time in nanoseconds.
+	Now() int64
+}
+
+// WallClock reads the OS monotonic-ish clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// VirtualClock is a manually advanced clock for deterministic experiments.
+// The engine advances it by the modeled cost of each box execution; the
+// harness advances it across idle gaps.
+type VirtualClock struct {
+	now int64
+}
+
+// NewVirtualClock returns a virtual clock starting at start nanoseconds.
+func NewVirtualClock(start int64) *VirtualClock { return &VirtualClock{now: start} }
+
+// Now implements Clock.
+func (v *VirtualClock) Now() int64 { return v.now }
+
+// Advance moves the clock forward by d nanoseconds (negative d is ignored).
+func (v *VirtualClock) Advance(d int64) {
+	if d > 0 {
+		v.now += d
+	}
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (v *VirtualClock) AdvanceTo(t int64) {
+	if t > v.now {
+		v.now = t
+	}
+}

@@ -1,0 +1,503 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Config tunes one engine instance.
+type Config struct {
+	// Clock supplies time; nil means WallClock. Pass a *VirtualClock for
+	// deterministic experiments: the engine then advances it by the
+	// modeled cost of every box execution.
+	Clock Clock
+	// Scheduler decides which box to run and the train size; nil means
+	// NewTrainScheduler(DefaultMaxTrain).
+	Scheduler Scheduler
+	// MemoryBudget bounds total queue memory in bytes before the storage
+	// manager counts spill (0 means 64 MiB).
+	MemoryBudget int
+	// DefaultBoxCost is the modeled per-tuple processing cost in ns under
+	// a virtual clock (0 means 1000 ns).
+	DefaultBoxCost int64
+	// BoxCosts overrides the modeled cost for specific boxes.
+	BoxCosts map[string]int64
+	// Shed configures the load shedder; nil disables shedding.
+	Shed *ShedConfig
+}
+
+// OutputFn receives tuples delivered to a named application output.
+type OutputFn func(name string, t stream.Tuple)
+
+// Engine executes one node's piece of an Aurora query network. It is
+// single-threaded by design — the scheduler serializes all box execution,
+// per the paper's run-time model — and therefore not safe for concurrent
+// use; distributed operation wraps each engine in its own node loop.
+type Engine struct {
+	net    *query.Network
+	clock  Clock
+	vclock *VirtualClock
+	sched  Scheduler
+
+	boxes   map[string]*boxState
+	topo    []*boxState
+	outputs map[string]*outputState
+	inputs  map[string][]route
+
+	storage *Storage
+	monitor *Monitor
+	shedder *Shedder
+	reg     *metrics.Registry
+
+	// Connection points (§2.2): predetermined arcs where recent history
+	// is retained so ad hoc queries can attach later.
+	cpHist map[query.Port]*stream.History
+	taps   map[query.Port][]op.Emit
+
+	onOutput OutputFn
+	ingested uint64
+	seq      uint64
+}
+
+// route is a delivery target for an input stream or a box output port.
+type route struct {
+	box  *boxState // nil when out != nil
+	port int
+	out  *outputState
+}
+
+type boxState struct {
+	id         string
+	inst       op.Operator
+	inQ        []*entryQueue
+	downstream [][]route // per output port
+	emit       op.Emit
+
+	virtCost int64
+	cost     *metrics.EWMA // ns per tuple, processing only
+	wait     *metrics.EWMA // ns queueing delay
+	inCount  int64
+	outCount int64
+}
+
+// New builds an engine for the network with live operator instances.
+func New(net *query.Network, cfg Config) (*Engine, error) {
+	e := &Engine{
+		net:     net,
+		boxes:   map[string]*boxState{},
+		outputs: map[string]*outputState{},
+		inputs:  map[string][]route{},
+		cpHist:  map[query.Port]*stream.History{},
+		taps:    map[query.Port][]op.Emit{},
+		reg:     metrics.NewRegistry(),
+	}
+	e.clock = cfg.Clock
+	if e.clock == nil {
+		e.clock = WallClock{}
+	}
+	if vc, ok := e.clock.(*VirtualClock); ok {
+		e.vclock = vc
+	}
+	e.sched = cfg.Scheduler
+	if e.sched == nil {
+		e.sched = NewTrainScheduler(DefaultMaxTrain)
+	}
+	e.storage = NewStorage(cfg.MemoryBudget)
+	e.monitor = NewMonitor(e.clock)
+
+	defCost := cfg.DefaultBoxCost
+	if defCost <= 0 {
+		defCost = 1000
+	}
+
+	// Instantiate boxes.
+	for _, id := range net.Boxes() {
+		inst, err := op.Build(net.Box(id).Spec)
+		if err != nil {
+			return nil, fmt.Errorf("engine: box %q: %w", id, err)
+		}
+		if _, err := inst.Bind(net.InputSchemas(id)); err != nil {
+			return nil, fmt.Errorf("engine: box %q: %w", id, err)
+		}
+		b := &boxState{
+			id:       id,
+			inst:     inst,
+			inQ:      make([]*entryQueue, inst.NumIn()),
+			virtCost: defCost,
+			cost:     metrics.NewEWMA(0.2),
+			wait:     metrics.NewEWMA(0.2),
+		}
+		if c, ok := cfg.BoxCosts[id]; ok && c > 0 {
+			b.virtCost = c
+		}
+		for i := range b.inQ {
+			b.inQ[i] = newEntryQueue()
+		}
+		b.downstream = make([][]route, inst.NumOut())
+		e.boxes[id] = b
+		e.topo = append(e.topo, b)
+	}
+
+	// Outputs.
+	for name, o := range net.Outputs() {
+		os, err := newOutputState(o, net.OutputSchema(o.Src))
+		if err != nil {
+			return nil, fmt.Errorf("engine: output %q: %w", name, err)
+		}
+		e.outputs[name] = os
+	}
+
+	// Wire arcs and bindings into routes.
+	for _, a := range net.Arcs() {
+		from := e.boxes[a.From.Box]
+		from.downstream[a.From.Port] = append(from.downstream[a.From.Port],
+			route{box: e.boxes[a.To.Box], port: a.To.Port})
+	}
+	for name, o := range net.Outputs() {
+		from := e.boxes[o.Src.Box]
+		from.downstream[o.Src.Port] = append(from.downstream[o.Src.Port],
+			route{out: e.outputs[name]})
+	}
+	for name, in := range net.Inputs() {
+		for _, d := range in.Dests {
+			e.inputs[name] = append(e.inputs[name], route{box: e.boxes[d.Box], port: d.Port})
+		}
+	}
+
+	// Connection-point history buffers (§2.2): one per marked arc source
+	// port, bounded by a slice of the memory budget.
+	for _, a := range net.Arcs() {
+		if a.ConnectionPoint && e.cpHist[a.From] == nil {
+			e.cpHist[a.From] = stream.NewHistory(e.storage.Budget() / 8)
+		}
+	}
+
+	// Per-box emit closures (the Router of Fig 3).
+	for _, b := range e.boxes {
+		bb := b
+		bb.emit = func(port int, t stream.Tuple) {
+			bb.outCount++
+			p := query.Port{Box: bb.id, Port: port}
+			if h, ok := e.cpHist[p]; ok {
+				h.Add(t)
+			}
+			for _, tap := range e.taps[p] {
+				tap(0, t)
+			}
+			e.deliver(bb.downstream[port], t)
+		}
+	}
+
+	// Shedder.
+	if cfg.Shed != nil {
+		sh, err := NewShedder(*cfg.Shed, net)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		e.shedder = sh
+	}
+	return e, nil
+}
+
+// deliver routes a tuple to a set of targets: box queues or outputs.
+func (e *Engine) deliver(targets []route, t stream.Tuple) {
+	now := e.clock.Now()
+	for _, r := range targets {
+		if r.out != nil {
+			r.out.observe(t, now)
+			if e.onOutput != nil {
+				e.onOutput(r.out.name, t)
+			}
+			continue
+		}
+		r.box.inQ[r.port].Push(t, now)
+		e.storage.NoteEnqueue(t.MemSize(), e.queuedBytes())
+	}
+}
+
+// OnOutput installs a callback invoked for every tuple delivered to any
+// application output; the distributed layer uses it to forward tuples to
+// downstream nodes.
+func (e *Engine) OnOutput(fn OutputFn) { e.onOutput = fn }
+
+// Ingest pushes one tuple onto a named input stream. Tuples with zero TS
+// are stamped with the current clock (their birth time for latency QoS);
+// tuples with zero Seq are assigned the node-local sequence (§6.2).
+// It reports whether the tuple was accepted (false when shed).
+func (e *Engine) Ingest(input string, t stream.Tuple) bool {
+	routes, ok := e.inputs[input]
+	if !ok {
+		return false
+	}
+	if t.TS == 0 {
+		t.TS = e.clock.Now()
+	}
+	if t.Seq == 0 {
+		e.seq++
+		t.Seq = e.seq
+	}
+	e.ingested++
+	if e.shedder != nil && e.shedder.ShouldDrop(e, input, t) {
+		e.noteDrop()
+		return false
+	}
+	e.deliver(routes, t)
+	return true
+}
+
+func (e *Engine) noteDrop() {
+	for _, os := range e.outputs {
+		os.dropped++
+	}
+}
+
+// Step runs one scheduling decision: the scheduler picks a box and a
+// train, and the engine pushes that many waiting tuples through it
+// (train scheduling, §2.3). It reports whether any work was done.
+func (e *Engine) Step() bool {
+	b, port, n := e.sched.Next(e)
+	if b == nil {
+		return false
+	}
+	start := e.clock.Now()
+	processed := 0
+	for i := 0; i < n; i++ {
+		en, ok := b.inQ[port].Pop()
+		if !ok {
+			break
+		}
+		b.wait.Observe(float64(start - en.enq))
+		b.inCount++
+		b.inst.Process(port, en.t, b.emit)
+		processed++
+	}
+	if processed == 0 {
+		return false
+	}
+	if e.vclock != nil {
+		e.vclock.Advance(int64(processed) * b.virtCost)
+		b.cost.Observe(float64(b.virtCost))
+	} else {
+		elapsed := e.clock.Now() - start
+		b.cost.Observe(float64(elapsed) / float64(processed))
+	}
+	now := e.clock.Now()
+	for _, bb := range e.topo {
+		bb.inst.Advance(now, bb.emit)
+	}
+	if e.shedder != nil {
+		e.shedder.Control(e)
+	}
+	return true
+}
+
+// RunUntilIdle steps until no box has queued work, or until maxSteps (<= 0
+// means unbounded). It returns the number of steps executed.
+func (e *Engine) RunUntilIdle(maxSteps int) int {
+	steps := 0
+	for maxSteps <= 0 || steps < maxSteps {
+		if !e.Step() {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// AdvanceTime moves a virtual clock forward across an idle gap and gives
+// time-driven operators (WSort timeouts) a chance to emit. It is a no-op
+// under a wall clock.
+func (e *Engine) AdvanceTime(d int64) {
+	if e.vclock == nil {
+		return
+	}
+	e.vclock.Advance(d)
+	now := e.vclock.Now()
+	for _, b := range e.topo {
+		b.inst.Advance(now, b.emit)
+	}
+}
+
+// Drain flushes every box in topological order, processing intermediate
+// results between flushes — the stabilization step of §5.1: inputs are
+// choked off (the caller simply stops Ingesting), queued tuples drain,
+// and windowed state is forced out so the network is empty and can be
+// manipulated.
+func (e *Engine) Drain() {
+	e.RunUntilIdle(0)
+	for _, b := range e.topo {
+		b.inst.Flush(b.emit)
+		e.RunUntilIdle(0)
+	}
+}
+
+// QueuedTuples returns the total number of tuples waiting in box queues.
+func (e *Engine) QueuedTuples() int {
+	total := 0
+	for _, b := range e.topo {
+		for _, q := range b.inQ {
+			total += q.Len()
+		}
+	}
+	return total
+}
+
+func (e *Engine) queuedBytes() int {
+	total := 0
+	for _, b := range e.topo {
+		for _, q := range b.inQ {
+			total += q.Bytes()
+		}
+	}
+	return total
+}
+
+// BoxStats reports the monitored operational statistics of §7.1 for one
+// box: average processing cost, average queueing delay, selectivity, and
+// current queue length.
+type BoxStats struct {
+	ID          string
+	Cost        float64 // ns per tuple
+	Wait        float64 // ns queueing delay
+	Selectivity float64 // out tuples per in tuple
+	Queued      int
+	Processed   int64 // tuples consumed since the engine started
+}
+
+// Stats returns the current statistics for the named box.
+func (e *Engine) Stats(boxID string) (BoxStats, bool) {
+	b, ok := e.boxes[boxID]
+	if !ok {
+		return BoxStats{}, false
+	}
+	sel := 0.0
+	if b.inCount > 0 {
+		sel = float64(b.outCount) / float64(b.inCount)
+	}
+	queued := 0
+	for _, q := range b.inQ {
+		queued += q.Len()
+	}
+	return BoxStats{
+		ID:          boxID,
+		Cost:        b.cost.Value(),
+		Wait:        b.wait.Value(),
+		Selectivity: sel,
+		Queued:      queued,
+		Processed:   b.inCount,
+	}, true
+}
+
+// AllStats returns stats for every box in topological order.
+func (e *Engine) AllStats() []BoxStats {
+	out := make([]BoxStats, 0, len(e.topo))
+	for _, b := range e.topo {
+		s, _ := e.Stats(b.id)
+		out = append(out, s)
+	}
+	return out
+}
+
+// ConnectionPoints lists the ports with retained history — the
+// predetermined arcs of §2.2 where ad hoc queries may attach.
+func (e *Engine) ConnectionPoints() []query.Port {
+	out := make([]query.Port, 0, len(e.cpHist))
+	for p := range e.cpHist {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Box != out[j].Box {
+			return out[i].Box < out[j].Box
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// AttachAdHoc attaches an ad hoc consumer to a connection point (§2.2):
+// the retained history is replayed into fn first, then fn receives every
+// live tuple crossing the arc. The returned count is the replayed history
+// length. Ad hoc queries are typically another Engine's Ingest wrapped in
+// fn.
+func (e *Engine) AttachAdHoc(p query.Port, fn func(stream.Tuple)) (int, error) {
+	h, ok := e.cpHist[p]
+	if !ok {
+		return 0, fmt.Errorf("engine: %v is not a connection point", p)
+	}
+	replay := h.Replay()
+	for _, t := range replay {
+		fn(t)
+	}
+	e.taps[p] = append(e.taps[p], func(_ int, t stream.Tuple) { fn(t) })
+	return len(replay), nil
+}
+
+// EarliestDependency returns the lowest sequence number that the engine's
+// in-flight state still depends on: the minimum over queued tuples and
+// the state of every stateful operator (op.Stateful). The HA protocol
+// (§6.2) reports this on the back channel so upstream servers can
+// truncate their output queues. ok is false when the engine holds no
+// state at all.
+func (e *Engine) EarliestDependency() (uint64, bool) {
+	var min uint64
+	found := false
+	note := func(seq uint64) {
+		if !found || seq < min {
+			min, found = seq, true
+		}
+	}
+	for _, b := range e.topo {
+		for _, q := range b.inQ {
+			for i := 0; i < q.count; i++ {
+				note(q.buf[(q.head+i)%len(q.buf)].t.Seq)
+			}
+		}
+		if s, ok := b.inst.(op.Stateful); ok {
+			if seq, ok := s.EarliestSeq(); ok {
+				note(seq)
+			}
+		}
+	}
+	return min, found
+}
+
+// Monitor exposes the QoS monitor.
+func (e *Engine) Monitor() *Monitor { return e.monitor }
+
+// Output returns per-output QoS observations.
+func (e *Engine) Output(name string) (OutputReport, bool) {
+	os, ok := e.outputs[name]
+	if !ok {
+		return OutputReport{}, false
+	}
+	return os.report(), true
+}
+
+// OutputNames lists the engine's application outputs.
+func (e *Engine) OutputNames() []string {
+	names := make([]string, 0, len(e.outputs))
+	for n := range e.outputs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Storage exposes the storage manager's accounting.
+func (e *Engine) Storage() *Storage { return e.storage }
+
+// Shedder returns the load shedder, or nil when shedding is disabled.
+func (e *Engine) Shedder() *Shedder { return e.shedder }
+
+// Network returns the network this engine executes.
+func (e *Engine) Network() *query.Network { return e.net }
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() Clock { return e.clock }
+
+// Ingested returns the number of tuples offered to the engine.
+func (e *Engine) Ingested() uint64 { return e.ingested }

@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+var tSchema = stream.MustSchema("t",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+func filterSpec(pred string) op.Spec {
+	return op.Spec{Kind: "filter", Params: map[string]string{"predicate": pred}}
+}
+
+func tumbleSpec() op.Spec {
+	return op.Spec{Kind: "tumble", Params: map[string]string{
+		"agg": "cnt", "on": "B", "groupby": "A"}}
+}
+
+// chainNet builds in -> filter(B<100) -> tumble(cnt by A) -> out.
+func chainNet(t *testing.T, spec *qos.Spec) *query.Network {
+	t.Helper()
+	n, err := query.NewBuilder("chain").
+		AddBox("f", filterSpec("B < 100")).
+		AddBox("tb", tumbleSpec()).
+		Connect("f", "tb").
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "tb", 0, spec).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func tuple(a, b int64) stream.Tuple {
+	return stream.NewTuple(stream.Int(a), stream.Int(b))
+}
+
+func newVirtualEngine(t *testing.T, net *query.Network, cfg Config) (*Engine, *VirtualClock) {
+	t.Helper()
+	vc := NewVirtualClock(1)
+	cfg.Clock = vc
+	e, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, vc
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	var got []stream.Tuple
+	e.OnOutput(func(name string, tp stream.Tuple) {
+		if name != "out" {
+			t.Errorf("unexpected output %q", name)
+		}
+		got = append(got, tp)
+	})
+	// Figure 2 stream; B<100 passes everything; tumble counts runs of A.
+	rows := [][2]int64{{1, 2}, {1, 3}, {2, 2}, {2, 1}, {2, 6}, {4, 5}, {4, 2}}
+	for _, r := range rows {
+		if !e.Ingest("in", tuple(r[0], r[1])) {
+			t.Fatal("ingest rejected")
+		}
+	}
+	e.Drain()
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(2)),
+		stream.NewTuple(stream.Int(2), stream.Int(3)),
+		stream.NewTuple(stream.Int(4), stream.Int(2)),
+	}
+	if !stream.TuplesEqualValues(got, want) {
+		t.Fatalf("got:\n%swant:\n%s", stream.FormatTuples(got), stream.FormatTuples(want))
+	}
+	if e.Ingested() != 7 {
+		t.Errorf("Ingested = %d", e.Ingested())
+	}
+}
+
+func TestEngineUnknownInput(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	if e.Ingest("nope", tuple(1, 1)) {
+		t.Error("unknown input must be rejected")
+	}
+}
+
+func TestEngineStampsSeqAndTS(t *testing.T) {
+	e, vc := newVirtualEngine(t, chainNet(t, nil), Config{})
+	vc.Advance(999)
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	e.Ingest("in", tuple(1, 1))
+	e.Ingest("in", tuple(2, 1)) // closes window for A=1
+	e.RunUntilIdle(0)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Seq == 0 || out[0].TS == 0 {
+		t.Error("engine must stamp Seq and TS at ingest")
+	}
+}
+
+func TestEngineVirtualTimeAdvances(t *testing.T) {
+	e, vc := newVirtualEngine(t, chainNet(t, nil), Config{DefaultBoxCost: 500})
+	before := vc.Now()
+	for i := 0; i < 10; i++ {
+		e.Ingest("in", tuple(1, int64(i)))
+	}
+	e.RunUntilIdle(0)
+	elapsed := vc.Now() - before
+	// 10 tuples through filter (500ns each) + 10 through tumble.
+	if elapsed != 10*500*2 {
+		t.Errorf("virtual time advanced %d ns, want 10000", elapsed)
+	}
+}
+
+func TestEnginePerBoxCostOverride(t *testing.T) {
+	e, vc := newVirtualEngine(t, chainNet(t, nil), Config{
+		DefaultBoxCost: 100,
+		BoxCosts:       map[string]int64{"tb": 900},
+	})
+	e.Ingest("in", tuple(1, 1))
+	e.RunUntilIdle(0)
+	if got := vc.Now() - 1; got != 100+900 {
+		t.Errorf("elapsed = %d, want 1000", got)
+	}
+	st, ok := e.Stats("tb")
+	if !ok || st.Cost != 900 {
+		t.Errorf("tb cost = %v", st.Cost)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	for i := 0; i < 100; i++ {
+		e.Ingest("in", tuple(int64(i%2), int64(i)))
+	}
+	e.RunUntilIdle(0)
+	fs, ok := e.Stats("f")
+	if !ok {
+		t.Fatal("no stats for f")
+	}
+	if fs.Selectivity != 1.0 {
+		t.Errorf("filter selectivity = %g, want 1 (nothing dropped)", fs.Selectivity)
+	}
+	all := e.AllStats()
+	if len(all) != 2 || all[0].ID != "f" {
+		t.Errorf("AllStats = %+v", all)
+	}
+	if _, ok := e.Stats("ghost"); ok {
+		t.Error("ghost stats should be absent")
+	}
+	// A selective filter shows selectivity < 1.
+	n2, _ := query.NewBuilder("sel").
+		AddBox("f", filterSpec("B < 50")).
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "f", 0, nil).
+		Build()
+	e2, _ := newVirtualEngine(t, n2, Config{})
+	for i := 0; i < 100; i++ {
+		e2.Ingest("in", tuple(0, int64(i)))
+	}
+	e2.RunUntilIdle(0)
+	st, _ := e2.Stats("f")
+	if st.Selectivity < 0.45 || st.Selectivity > 0.55 {
+		t.Errorf("selectivity = %g, want ~0.5", st.Selectivity)
+	}
+}
+
+func TestEngineQoSMonitoring(t *testing.T) {
+	spec := &qos.Spec{Latency: qos.MustGraph(
+		qos.Point{X: 0, U: 1}, qos.Point{X: 1e6, U: 1}, qos.Point{X: 2e6, U: 0})}
+	e, _ := newVirtualEngine(t, chainNet(t, spec), Config{DefaultBoxCost: 10})
+	for i := 0; i < 100; i++ {
+		e.Ingest("in", tuple(int64(i), 1)) // every tuple a new group
+	}
+	e.Drain()
+	rep, ok := e.Output("out")
+	if !ok {
+		t.Fatal("no output report")
+	}
+	if rep.Delivered != 100 {
+		t.Errorf("delivered = %d", rep.Delivered)
+	}
+	if rep.Utility < 0.99 {
+		t.Errorf("fast pipeline utility = %g, want ~1", rep.Utility)
+	}
+	if rep.DeliveredFraction != 1 {
+		t.Errorf("delivered fraction = %g", rep.DeliveredFraction)
+	}
+	if rep.Latency.Count != 100 || rep.Latency.Mean <= 0 {
+		t.Errorf("latency summary = %+v", rep.Latency)
+	}
+	if _, ok := e.Output("ghost"); ok {
+		t.Error("ghost output should be absent")
+	}
+	names := e.OutputNames()
+	if len(names) != 1 || names[0] != "out" {
+		t.Errorf("OutputNames = %v", names)
+	}
+}
+
+func TestEngineLatencyUtilityDegradesWhenSlow(t *testing.T) {
+	spec := &qos.Spec{Latency: qos.MustGraph(
+		qos.Point{X: 0, U: 1}, qos.Point{X: 1000, U: 0})}
+	// Box cost 10000 ns per tuple >> 1000 ns deadline.
+	e, _ := newVirtualEngine(t, chainNet(t, spec), Config{DefaultBoxCost: 10_000})
+	for i := 0; i < 50; i++ {
+		e.Ingest("in", tuple(int64(i), 1))
+	}
+	e.Drain()
+	rep, _ := e.Output("out")
+	if rep.Utility > 0.1 {
+		t.Errorf("slow pipeline utility = %g, want ~0", rep.Utility)
+	}
+}
+
+func TestEngineAdvanceTimeDrivesWSort(t *testing.T) {
+	n, err := query.NewBuilder("ws").
+		AddBox("w", op.Spec{Kind: "wsort", Params: map[string]string{
+			"attrs": "A", "timeout": "100"}}).
+		BindInput("in", tSchema, "w", 0).
+		BindOutput("out", "w", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := newVirtualEngine(t, n, Config{DefaultBoxCost: 1})
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	e.Ingest("in", tuple(5, 0))
+	e.Ingest("in", tuple(2, 0))
+	e.RunUntilIdle(0)
+	if len(out) != 0 {
+		t.Fatal("wsort should hold tuples until timeout")
+	}
+	e.AdvanceTime(500)
+	if len(out) == 0 {
+		t.Fatal("AdvanceTime should trigger wsort emission")
+	}
+	if out[0].Field(0).AsInt() != 2 {
+		t.Errorf("first emission A = %d, want minimum 2", out[0].Field(0).AsInt())
+	}
+}
+
+func TestEngineDrainFlushesWindows(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	e.Ingest("in", tuple(7, 1))
+	e.RunUntilIdle(0)
+	if len(out) != 0 {
+		t.Fatal("open window should not emit before drain")
+	}
+	e.Drain()
+	if len(out) != 1 {
+		t.Fatalf("drain should flush the open window; out=%v", out)
+	}
+	if e.QueuedTuples() != 0 {
+		t.Error("drain must leave queues empty")
+	}
+}
+
+func TestEngineStorageAccounting(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{MemoryBudget: 256})
+	for i := 0; i < 100; i++ {
+		e.Ingest("in", tuple(1, int64(i)))
+	}
+	st := e.Storage()
+	if st.HighWater() == 0 {
+		t.Error("high water should move")
+	}
+	if st.SpilledBytes() == 0 || st.SpillEvents() == 0 {
+		t.Error("tiny budget must show spill")
+	}
+	if st.Pressure() <= 1 {
+		t.Errorf("pressure = %g, want > 1", st.Pressure())
+	}
+	if st.Budget() != 256 {
+		t.Errorf("budget = %d", st.Budget())
+	}
+	e.RunUntilIdle(0)
+}
+
+func TestEngineBuildErrors(t *testing.T) {
+	// Value QoS referencing a missing output field fails at engine build.
+	spec := &qos.Spec{
+		Value:      qos.MustGraph(qos.Point{X: 0, U: 1}),
+		ValueField: "ghost",
+	}
+	n, err := query.NewBuilder("bad").
+		AddBox("f", filterSpec("true")).
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "f", 0, spec).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(n, Config{}); err == nil {
+		t.Error("value QoS on missing field should fail")
+	}
+}
+
+func TestRunUntilIdleBounded(t *testing.T) {
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	for i := 0; i < 10; i++ {
+		e.Ingest("in", tuple(int64(i), 1))
+	}
+	steps := e.RunUntilIdle(1)
+	if steps != 1 {
+		t.Errorf("bounded run executed %d steps", steps)
+	}
+}

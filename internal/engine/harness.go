@@ -1,0 +1,63 @@
+package engine
+
+import "repro/internal/stream"
+
+// Drive ingests tuples into an engine running under a VirtualClock on an
+// absolute arrival schedule: tuple i arrives gap nanoseconds of virtual
+// time after tuple i-1, regardless of how far processing has fallen
+// behind. Between arrivals the engine executes only the work that fits.
+// This is how experiments model offered load against processing capacity:
+// when per-tuple work exceeds gap, the clock lags the schedule, arrivals
+// bunch up, queues grow, and the overload machinery (storage spill, load
+// shedding) engages.
+//
+// Each tuple's TS is stamped with its scheduled arrival time so latency
+// QoS measures time since arrival, not time since ingest.
+//
+// Drive panics if the engine is not on a virtual clock. It returns the
+// number of tuples accepted (not shed).
+func Drive(e *Engine, input string, tuples []stream.Tuple, gap int64) int {
+	return DriveSource(e, input, func() func() (stream.Tuple, int64, bool) {
+		i := 0
+		return func() (stream.Tuple, int64, bool) {
+			if i >= len(tuples) {
+				return stream.Tuple{}, 0, false
+			}
+			t := tuples[i]
+			i++
+			return t, gap, true
+		}
+	}())
+}
+
+// DriveSource is Drive for generator-produced tuples with per-tuple gaps
+// (the wgen.Source contract): each tuple is scheduled its own gap after
+// the previous one.
+func DriveSource(e *Engine, input string, next func() (stream.Tuple, int64, bool)) int {
+	if e.vclock == nil {
+		panic("engine.DriveSource requires a VirtualClock")
+	}
+	accepted := 0
+	arrival := e.vclock.Now()
+	for {
+		t, gap, ok := next()
+		if !ok {
+			return accepted
+		}
+		arrival += gap
+		// Let the engine work until the virtual clock catches up with
+		// this arrival; if it goes idle first, jump to the arrival.
+		for e.vclock.Now() < arrival {
+			if !e.Step() {
+				e.vclock.AdvanceTo(arrival)
+				break
+			}
+		}
+		if t.TS == 0 {
+			t.TS = arrival
+		}
+		if e.Ingest(input, t) {
+			accepted++
+		}
+	}
+}

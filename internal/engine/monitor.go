@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Monitor is the QoS Monitor of Fig 3: it constantly observes the QoS of
+// output tuples; this information drives the Scheduler and informs the
+// Load Shedder when and where it is appropriate to discard tuples (§2.3).
+type Monitor struct {
+	clock Clock
+}
+
+// NewMonitor returns a monitor bound to the engine clock.
+func NewMonitor(c Clock) *Monitor { return &Monitor{clock: c} }
+
+// outputState tracks one application output's deliveries against its QoS
+// specification.
+type outputState struct {
+	name      string
+	spec      *qos.Spec
+	valueIdx  int
+	latency   *metrics.Histogram
+	utilSum   float64 // sum of per-tuple latency*value utility
+	delivered uint64
+	dropped   uint64
+	lastTuple stream.Tuple
+}
+
+func newOutputState(o *query.Output, schema *stream.Schema) (*outputState, error) {
+	os := &outputState{
+		name:     o.Name,
+		spec:     o.QoS,
+		valueIdx: -1,
+		latency:  metrics.NewHistogram(),
+	}
+	if o.QoS != nil && o.QoS.Value != nil {
+		if schema == nil {
+			return nil, fmt.Errorf("value QoS on output with unknown schema")
+		}
+		idx := schema.Index(o.QoS.ValueField)
+		if idx < 0 {
+			return nil, fmt.Errorf("value QoS field %q not in output schema %s",
+				o.QoS.ValueField, schema)
+		}
+		os.valueIdx = idx
+	}
+	return os, nil
+}
+
+// observe records one delivered tuple at time now.
+func (os *outputState) observe(t stream.Tuple, now int64) {
+	lat := float64(now - t.TS)
+	if lat < 0 {
+		lat = 0
+	}
+	os.latency.Observe(lat)
+	u := 1.0
+	if os.spec != nil && os.spec.Latency != nil {
+		u *= os.spec.Latency.Utility(lat)
+	}
+	if os.valueIdx >= 0 {
+		u *= os.spec.Value.Utility(t.Field(os.valueIdx).AsFloat())
+	}
+	os.utilSum += u
+	os.delivered++
+	os.lastTuple = t
+}
+
+// OutputReport summarizes one output's observed QoS.
+type OutputReport struct {
+	Name      string
+	Delivered uint64
+	Dropped   uint64
+	Latency   metrics.Summary
+	// Utility is the aggregate perceived QoS: the mean per-tuple
+	// latency/value utility scaled by the loss graph evaluated at the
+	// delivered fraction. This is the quantity Aurora's operational goal
+	// maximizes (§7.1).
+	Utility float64
+	// DeliveredFraction is delivered / (delivered + dropped).
+	DeliveredFraction float64
+}
+
+func (os *outputState) report() OutputReport {
+	r := OutputReport{
+		Name:      os.name,
+		Delivered: os.delivered,
+		Dropped:   os.dropped,
+		Latency:   os.latency.Snapshot(),
+	}
+	total := os.delivered + os.dropped
+	if total == 0 {
+		r.DeliveredFraction = 1
+		return r
+	}
+	r.DeliveredFraction = float64(os.delivered) / float64(total)
+	mean := 0.0
+	if os.delivered > 0 {
+		mean = os.utilSum / float64(os.delivered)
+	}
+	lossU := 1.0
+	if os.spec != nil && os.spec.Loss != nil {
+		lossU = os.spec.Loss.Utility(r.DeliveredFraction)
+	}
+	r.Utility = mean * lossU
+	return r
+}

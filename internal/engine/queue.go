@@ -1,0 +1,51 @@
+package engine
+
+import "repro/internal/stream"
+
+// entry is one queued tuple plus the time it entered the queue, so the
+// engine can measure per-box queueing delay — TB in §7.1 "implicitly
+// includes any queuing time".
+type entry struct {
+	t   stream.Tuple
+	enq int64
+}
+
+// entryQueue is a growable FIFO ring of entries with byte accounting,
+// mirroring stream.Queue but carrying enqueue timestamps.
+type entryQueue struct {
+	buf   []entry
+	head  int
+	count int
+	bytes int
+}
+
+func newEntryQueue() *entryQueue { return &entryQueue{buf: make([]entry, 8)} }
+
+func (q *entryQueue) Len() int   { return q.count }
+func (q *entryQueue) Bytes() int { return q.bytes }
+
+func (q *entryQueue) Push(t stream.Tuple, now int64) {
+	if q.count == len(q.buf) {
+		nb := make([]entry, len(q.buf)*2)
+		for i := 0; i < q.count; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = nb
+		q.head = 0
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = entry{t: t, enq: now}
+	q.count++
+	q.bytes += t.MemSize()
+}
+
+func (q *entryQueue) Pop() (entry, bool) {
+	if q.count == 0 {
+		return entry{}, false
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = entry{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.bytes -= e.t.MemSize()
+	return e, true
+}

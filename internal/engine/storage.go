@@ -1,0 +1,54 @@
+package engine
+
+// Storage is the Storage Manager of Fig 3: it buffers queues when main
+// memory runs out, which matters most for connection-point queues that can
+// grow quite long (§2.3). This reproduction models the spill rather than
+// writing to disk: tuples above the memory budget are counted as spilled,
+// the high-water mark is tracked, and experiments read the pressure ratio
+// to decide when reconfiguration or shedding is warranted.
+type Storage struct {
+	budget       int
+	highWater    int
+	spilledBytes int64
+	spillEvents  int64
+}
+
+// NewStorage returns a storage manager with the given memory budget in
+// bytes (0 means 64 MiB).
+func NewStorage(budget int) *Storage {
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	return &Storage{budget: budget}
+}
+
+// NoteEnqueue records an enqueue of size bytes with the queues at
+// totalBytes afterwards, updating spill accounting.
+func (s *Storage) NoteEnqueue(size, totalBytes int) {
+	if totalBytes > s.highWater {
+		s.highWater = totalBytes
+	}
+	if totalBytes > s.budget {
+		s.spilledBytes += int64(size)
+		s.spillEvents++
+	}
+}
+
+// Budget returns the memory budget in bytes.
+func (s *Storage) Budget() int { return s.budget }
+
+// HighWater returns the largest total queue footprint observed.
+func (s *Storage) HighWater() int { return s.highWater }
+
+// SpilledBytes returns the cumulative bytes enqueued beyond the budget —
+// bytes that a disk-backed store would have written.
+func (s *Storage) SpilledBytes() int64 { return s.spilledBytes }
+
+// SpillEvents returns how many enqueues landed beyond the budget.
+func (s *Storage) SpillEvents() int64 { return s.spillEvents }
+
+// Pressure returns the ratio of the high-water mark to the budget;
+// values above 1 mean the node has been paging queues.
+func (s *Storage) Pressure() float64 {
+	return float64(s.highWater) / float64(s.budget)
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// A01Detection sweeps the §6.3 heartbeat timeout: shorter timeouts detect
+// real failures faster but misfire under network delay jitter (sustained
+// congestion is one of the §6 availability threats); longer timeouts are
+// safe but slow. The sweep runs each timeout twice — once against a real
+// crash, once against a jittery but healthy network — reporting detection
+// latency and false positives.
+func A01Detection(scale float64) *Table {
+	t := &Table{ID: "A01", Title: "ablation: heartbeat timeout vs detection latency and false positives (§6.3)",
+		Header: []string{"timeout ms", "detect latency ms", "false positives (healthy run)"}}
+	n := scaled(1500, scale)
+	const gap = 20_000
+	const hb = int64(1e6)
+
+	run := func(timeout int64, crash bool, jitterLoss float64) (detectMs float64, falsePos int) {
+		sim := netsim.New(7)
+		net := query.NewBuilder("chain").
+			Chain([]string{"f1", "f2"},
+				[]op.Spec{
+					{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}},
+					{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}},
+				}).
+			BindInput("in", abSchema, "f1", 0).
+			BindOutput("out", "f2", 0, nil).
+			MustBuild()
+		c, err := core.NewCluster(sim, net,
+			map[string]string{"f1": "n1", "f2": "n2"}, nil,
+			core.Config{
+				K: 1, DefaultBoxCost: 2_000,
+				FlowPeriod: 2e6, HeartbeatPeriod: hb, DetectTimeout: timeout,
+			})
+		if err != nil {
+			panic(err)
+		}
+		// Loss on the link drops heartbeats, modeling congestion jitter.
+		sim.Connect("n1", "n2", 0, 100_000, jitterLoss)
+		c.Start()
+		c.OnOutput(func(string, stream.Tuple, int64) {})
+		for i := 0; i < n; i++ {
+			tp := stream.NewTuple(stream.Int(int64(i)), stream.Int(1))
+			sim.Schedule(int64(i)*gap, func() { c.Ingest("in", tp) })
+		}
+		crashAt := int64(n/2) * gap
+		if crash {
+			sim.Schedule(crashAt, func() { sim.Crash("n2") })
+		}
+		sim.Run(1e9)
+		for _, r := range c.Recoveries() {
+			if crash {
+				return float64(r.DetectedAt-crashAt) / 1e6, 0
+			}
+			falsePos++ // any recovery on a healthy run is a misfire
+		}
+		return 0, falsePos
+	}
+	for _, timeout := range []int64{2e6, 5e6, 20e6, 80e6} {
+		detect, _ := run(timeout, true, 0)
+		_, fp := run(timeout, false, 0.35)
+		t.Add(float64(timeout)/1e6, detect, fp)
+	}
+	t.Note("with 35%% heartbeat loss, aggressive timeouts declare healthy neighbors dead; the timeout choice trades recovery speed for stability under congestion (§6.3)")
+	return t
+}
+
+// A02FlowPeriod sweeps the §6.2 flow-message (checkpoint) period on a
+// live chain: frequent checkpoints cost back-channel messages but keep
+// the upstream output queues short and the failover replay small —
+// the live counterpart of E09's analytic spectrum.
+func A02FlowPeriod(scale float64) *Table {
+	t := &Table{ID: "A02", Title: "ablation: flow-message period vs retained queue and replay (§6.2)",
+		Header: []string{"flow period ms", "back-channel msgs", "peak retained tuples", "replayed on crash"}}
+	n := scaled(3000, scale)
+	const gap = 20_000
+
+	for _, period := range []int64{1e6, 5e6, 20e6, 80e6} {
+		sim := netsim.New(3)
+		net := query.NewBuilder("chain").
+			Chain([]string{"f1", "f2", "f3"},
+				[]op.Spec{
+					{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}},
+					{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}},
+					{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}},
+				}).
+			BindInput("in", abSchema, "f1", 0).
+			BindOutput("out", "f3", 0, nil).
+			MustBuild()
+		c, err := core.NewCluster(sim, net,
+			map[string]string{"f1": "n1", "f2": "n2", "f3": "n3"}, nil,
+			core.Config{
+				K: 1, DefaultBoxCost: 2_000,
+				FlowPeriod: period, HeartbeatPeriod: 1e6, DetectTimeout: 3e6,
+			})
+		if err != nil {
+			panic(err)
+		}
+		for _, pair := range [][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n1", "n3"}} {
+			sim.Connect(pair[0], pair[1], 0, 100_000, 0)
+		}
+		c.Start()
+		c.OnOutput(func(string, stream.Tuple, int64) {})
+		for i := 0; i < n; i++ {
+			tp := stream.NewTuple(stream.Int(int64(i)), stream.Int(1))
+			sim.Schedule(int64(i)*gap, func() { c.Ingest("in", tp) })
+		}
+		peak := 0
+		for i := int64(1); i <= 20; i++ {
+			sim.Schedule(i*int64(n)/20*gap, func() {
+				if l := c.LogTuples("n1") + c.LogTuples("n2"); l > peak {
+					peak = l
+				}
+			})
+		}
+		crashAt := int64(3*n/4) * gap
+		sim.Schedule(crashAt, func() { sim.Crash("n2") })
+		sim.Run(1e9)
+		replayed := 0
+		for _, r := range c.Recoveries() {
+			replayed += r.Replayed
+		}
+		// Back-channel message count: flow ticks per node per run time.
+		runNs := int64(n) * gap
+		backMsgs := 2 * (runNs / period) // two acking nodes
+		t.Add(fmt.Sprintf("%.0f", float64(period)/1e6), backMsgs, peak, replayed)
+	}
+	t.Note("the paper's tradeoff live: cheap infrequent checkpoints retain long queues and replay more at failover; frequent checkpoints invert it (§6.2, §6.4)")
+	return t
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+var abSchema = stream.MustSchema("ab",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+// fig2Stream is the paper's Figure 2 sample stream.
+func fig2Stream() []stream.Tuple {
+	rows := [][2]int64{{1, 2}, {1, 3}, {2, 2}, {2, 1}, {2, 6}, {4, 5}, {4, 2}}
+	out := make([]stream.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = stream.Tuple{Seq: uint64(i + 1), TS: int64(i + 1),
+			Vals: []stream.Value{stream.Int(r[0]), stream.Int(r[1])}}
+	}
+	return out
+}
+
+func randTuples(n int, keys int64, seed int64) []stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = stream.Tuple{Seq: uint64(i + 1), TS: int64(i + 1), Vals: []stream.Value{
+			stream.Int(rng.Int63n(keys)), stream.Int(rng.Int63n(100)),
+		}}
+	}
+	return out
+}
+
+// E01Operators reproduces Figure 2's worked Tumble example and measures
+// per-operator throughput over synthetic streams.
+func E01Operators(scale float64) *Table {
+	t := &Table{ID: "E01", Title: "operator semantics (Fig 1, Fig 2) and throughput",
+		Header: []string{"operator", "tuples", "wall ns/tuple", "Mtuples/s"}}
+
+	// The worked example: Tumble(avg(B), group A) over Fig 2.
+	tb := op.MustBuild(op.Spec{Kind: "tumble", Params: map[string]string{
+		"agg": "avg", "on": "B", "groupby": "A"}})
+	if _, err := tb.Bind([]*stream.Schema{abSchema}); err != nil {
+		panic(err)
+	}
+	var got []stream.Tuple
+	emit := func(_ int, tp stream.Tuple) { got = append(got, tp) }
+	for _, tp := range fig2Stream() {
+		tb.Process(0, tp, emit)
+	}
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Float(2.5)),
+		stream.NewTuple(stream.Int(2), stream.Float(3.0)),
+	}
+	if stream.TuplesEqualValues(got, want) {
+		t.Note("Fig 2 worked example: Tumble(avg B by A) emitted (1, 2.5) and (2, 3.0) — MATCHES the paper")
+	} else {
+		t.Note("Fig 2 worked example: MISMATCH: %s", stream.FormatTuples(got))
+	}
+
+	n := scaled(300_000, scale)
+	in := randTuples(n, 64, 1)
+	bench := func(name string, spec op.Spec, twoInputs bool) {
+		inst := op.MustBuild(spec)
+		schemas := []*stream.Schema{abSchema}
+		if twoInputs {
+			schemas = []*stream.Schema{abSchema, abSchema}
+		}
+		if _, err := inst.Bind(schemas); err != nil {
+			panic(err)
+		}
+		sink := func(int, stream.Tuple) {}
+		start := time.Now()
+		for i, tp := range in {
+			if twoInputs {
+				inst.Process(i%2, tp, sink)
+			} else {
+				inst.Process(0, tp, sink)
+			}
+		}
+		inst.Flush(sink)
+		el := time.Since(start)
+		perTuple := float64(el.Nanoseconds()) / float64(n)
+		t.Add(name, n, perTuple, 1e3/perTuple)
+	}
+	bench("filter", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 50"}}, false)
+	bench("map", op.Spec{Kind: "map", Params: map[string]string{"exprs": "A=A; B2=(B * 2)"}}, false)
+	bench("union", op.Spec{Kind: "union", Params: map[string]string{"inputs": "2"}}, true)
+	bench("tumble(cnt)", op.Spec{Kind: "tumble", Params: map[string]string{
+		"agg": "cnt", "on": "B", "groupby": "A"}}, false)
+	bench("xsection", op.Spec{Kind: "xsection", Params: map[string]string{
+		"agg": "sum", "on": "B", "groupby": "A", "size": "16", "advance": "16"}}, false)
+	bench("slide", op.Spec{Kind: "slide", Params: map[string]string{
+		"agg": "max", "on": "B", "groupby": "A", "order": "B", "range": "1000000"}}, false)
+	bench("join", op.Spec{Kind: "join", Params: map[string]string{
+		"leftkey": "A", "rightkey": "A", "window": "2"}}, true)
+	bench("wsort(maxbuf)", op.Spec{Kind: "wsort", Params: map[string]string{
+		"attrs": "A", "timeout": "1000000000", "maxbuf": "256"}}, false)
+	return t
+}
+
+// E02Scheduler compares the §2.3 scheduling disciplines: train scheduling
+// amortizes per-decision overhead; round-robin with tiny trains pays it on
+// every tuple.
+func E02Scheduler(scale float64) *Table {
+	t := &Table{ID: "E02", Title: "scheduler disciplines (Fig 3, train scheduling)",
+		Header: []string{"scheduler", "train", "wall ms", "Ktuples/s", "spill events"}}
+	n := scaled(200_000, scale)
+	in := randTuples(n, 64, 2)
+
+	build := func() *query.Network {
+		ids := make([]string, 8)
+		specs := make([]op.Spec, 8)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("f%d", i)
+			specs[i] = op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}
+		}
+		return query.NewBuilder("chain8").
+			Chain(ids, specs).
+			BindInput("in", abSchema, "f0", 0).
+			BindOutput("out", "f7", 0, nil).
+			MustBuild()
+	}
+	run := func(name string, sched engine.Scheduler, train int) {
+		e, err := engine.New(build(), engine.Config{Scheduler: sched})
+		if err != nil {
+			panic(err)
+		}
+		e.OnOutput(func(string, stream.Tuple) {})
+		start := time.Now()
+		for _, tp := range in {
+			e.Ingest("in", tp)
+		}
+		e.RunUntilIdle(0)
+		el := time.Since(start)
+		t.Add(name, train, float64(el.Milliseconds()),
+			float64(n)/el.Seconds()/1e3, e.Storage().SpillEvents())
+	}
+	run("round-robin", engine.NewRoundRobinScheduler(1), 1)
+	run("round-robin", engine.NewRoundRobinScheduler(16), 16)
+	run("train", engine.NewTrainScheduler(128), 128)
+	run("train", engine.NewTrainScheduler(1024), 1024)
+	run("qos-priority", engine.NewQoSScheduler(128, 1e6), 128)
+	t.Note("train scheduling pushes waiting tuples through a box in bulk (§2.3); larger trains amortize scheduling cost")
+	return t
+}
+
+// E03Shedding sweeps offered load across shedding policies, reproducing
+// the Load Shedder behaviour of Fig 3 / §7.1: past saturation, QoS-driven
+// drops preserve more utility than random drops, and both beat letting
+// latency blow up.
+func E03Shedding(scale float64) *Table {
+	t := &Table{ID: "E03", Title: "load shedding: utility vs offered load (Fig 3, §7.1)",
+		Header: []string{"load", "policy", "delivered%", "p95 ms", "utility"}}
+	n := scaled(30_000, scale)
+	boxCost := int64(100_000)
+
+	valueGraph := qos.MustGraph(qos.Point{X: 0, U: 0}, qos.Point{X: 3, U: 1})
+	build := func() *query.Network {
+		spec := &qos.Spec{
+			Latency:    qos.DefaultLatency(20e6, 500e6),
+			Loss:       qos.DefaultLoss(0.1),
+			Value:      valueGraph,
+			ValueField: "B",
+		}
+		s := stream.MustSchema("vf",
+			stream.Field{Name: "A", Kind: stream.KindInt},
+			stream.Field{Name: "B", Kind: stream.KindFloat})
+		return query.NewBuilder("shed").
+			AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "true"}}).
+			BindInput("in", s, "f", 0).
+			BindOutput("out", "f", 0, spec).
+			MustBuild()
+	}
+	mkTuples := func() []stream.Tuple {
+		rng := rand.New(rand.NewSource(3))
+		out := make([]stream.Tuple, n)
+		for i := range out {
+			out[i] = stream.NewTuple(stream.Int(int64(i)), stream.Float(rng.ExpFloat64()))
+		}
+		return out
+	}
+	for _, load := range []float64{0.5, 1.0, 2.0, 4.0} {
+		gap := int64(float64(boxCost) / load)
+		run := func(policy string, shed *engine.ShedConfig) {
+			e, err := engine.New(build(), engine.Config{
+				Clock:          engine.NewVirtualClock(1),
+				DefaultBoxCost: boxCost,
+				Shed:           shed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			e.OnOutput(func(string, stream.Tuple) {})
+			engine.Drive(e, "in", mkTuples(), gap)
+			e.Drain()
+			rep, _ := e.Output("out")
+			t.Add(fmt.Sprintf("%.1fx", load), policy,
+				100*rep.DeliveredFraction, rep.Latency.P95/1e6, rep.Utility)
+		}
+		run("none", nil)
+		run("random", &engine.ShedConfig{
+			Mode: engine.ShedRandom, QueueHigh: 500, QueueLow: 50, Seed: 1})
+		run("qos", &engine.ShedConfig{
+			Mode: engine.ShedQoS, QueueHigh: 500, QueueLow: 50, Seed: 1,
+			ValueExpr: "B", ValueGraph: valueGraph, InputSchema: "in"})
+	}
+	t.Note("past saturation, QoS-driven shedding keeps the high-value tuples random shedding throws away")
+	return t
+}

@@ -1,0 +1,305 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/loadmgr"
+	"repro/internal/netsim"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// e04FilterCase pins a pass-through consumer at the core node so the
+// filter's placement decides what the edge->core link carries: the raw
+// stream (filter at core) or the filtered stream (filter at edge).
+func e04FilterCase(scale float64, selectivity float64, filterAtEdge bool) float64 {
+	pred := fmt.Sprintf("B < %d", int(selectivity*100))
+	net := query.NewBuilder("slide").
+		AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": pred}}).
+		AddBox("sink", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "true"}}).
+		Connect("f", "sink").
+		BindInput("in", abSchema, "f", 0).
+		BindOutput("out", "sink", 0, nil).
+		MustBuild()
+	fNode := "core"
+	if filterAtEdge {
+		fNode = "edge"
+	}
+	sim := netsim.New(1)
+	c, err := core.NewCluster(sim, net,
+		map[string]string{"f": fNode, "sink": "core"},
+		map[string]string{"in": "edge"},
+		core.Config{DefaultBoxCost: 1000, Nodes: []string{"edge", "core"}})
+	if err != nil {
+		panic(err)
+	}
+	if err := sim.Connect("edge", "core", 10e6, 100_000, 0); err != nil {
+		panic(err)
+	}
+	c.Start()
+	c.OnOutput(func(string, stream.Tuple, int64) {})
+	n := scaled(20_000, scale)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		tp := stream.NewTuple(stream.Int(int64(i)), stream.Int(rng.Int63n(100)))
+		sim.Schedule(int64(i)*20_000, func() { c.Ingest("in", tp) })
+	}
+	sim.Run(0)
+	l, _ := sim.LinkStats("edge", "core")
+	return float64(l.BytesSent) / 1024
+}
+
+// E04Sliding measures Fig 4: sliding a selective filter upstream (to the
+// stream's entry node) cuts traffic on the constrained link by the
+// filter's selectivity; for a selectivity > 1 operator (a self-join) the
+// win flips to keeping it downstream.
+func E04Sliding(scale float64) *Table {
+	t := &Table{ID: "E04", Title: "box sliding and link bandwidth (Fig 4, §5.1)",
+		Header: []string{"selectivity", "placement", "link KB", "ratio vs downstream"}}
+	for _, sel := range []float64{0.01, 0.1, 0.5, 1.0} {
+		down := e04FilterCase(scale, sel, false)
+		up := e04FilterCase(scale, sel, true)
+		t.Add(fmt.Sprintf("%.2f", sel), "downstream (core)", down, 1.0)
+		t.Add(fmt.Sprintf("%.2f", sel), "upstream (edge)", up, up/down)
+	}
+	t.Note("upstream sliding of a selectivity-s filter cuts link bytes to ~s of the raw stream (Fig 4)")
+
+	ampDown, ampUp := e04JoinCase(scale, false), e04JoinCase(scale, true)
+	t.Add(">1 (join)", "downstream (core)", ampDown, 1.0)
+	t.Add(">1 (join)", "upstream (edge)", ampUp, ampUp/ampDown)
+	t.Note("a selectivity>1 box (join) placed upstream multiplies link traffic: slide it downstream instead (§5.1)")
+	return t
+}
+
+// e04JoinCase pins a pass-through consumer at the core so the join's
+// placement decides whether the link carries the raw inputs (join at
+// core) or the amplified join output (join at edge).
+func e04JoinCase(scale float64, joinAtEdge bool) float64 {
+	net := query.NewBuilder("amplify").
+		AddBox("j", op.Spec{Kind: "join", Params: map[string]string{
+			"leftkey": "A", "rightkey": "A", "window": "2000000000"}}).
+		AddBox("sink", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "true"}}).
+		Connect("j", "sink").
+		BindInput("l", abSchema, "j", 0).
+		BindInput("r", abSchema, "j", 1).
+		BindOutput("out", "sink", 0, nil).
+		MustBuild()
+	sim := netsim.New(1)
+	jNode := "core"
+	if joinAtEdge {
+		jNode = "edge"
+	}
+	c, err := core.NewCluster(sim, net,
+		map[string]string{"j": jNode, "sink": "core"},
+		map[string]string{"l": "edge", "r": "edge"},
+		core.Config{DefaultBoxCost: 1000, Nodes: []string{"edge", "core"}})
+	if err != nil {
+		panic(err)
+	}
+	sim.Connect("edge", "core", 10e6, 100_000, 0)
+	c.Start()
+	c.OnOutput(func(string, stream.Tuple, int64) {})
+	n := scaled(2000, scale)
+	for i := 0; i < n; i++ {
+		key := stream.Int(int64(i % 8))
+		lt := stream.Tuple{Vals: []stream.Value{key, stream.Int(1)}}
+		rt := stream.Tuple{Vals: []stream.Value{key, stream.Int(2)}}
+		sim.Schedule(int64(i)*50_000, func() {
+			c.Ingest("l", lt)
+			c.Ingest("r", rt)
+		})
+	}
+	sim.Run(0)
+	l, _ := sim.LinkStats("edge", "core")
+	return float64(l.BytesSent) / 1024
+}
+
+// splitThroughput distributes a CPU-heavy filter over one or two
+// worker nodes and reports the virtual completion time of an offered
+// burst.
+func splitThroughput(scale float64, split bool, spec op.Spec, pred op.Expr) (finishMs float64, outputs int) {
+	net := query.NewBuilder("work").
+		AddBox("w", spec).
+		BindInput("in", abSchema, "w", 0).
+		BindOutput("out", "w", 0, nil).
+		MustBuild()
+	assign := map[string]string{"w": "m1"}
+	if split {
+		var info *loadmgr.SplitInfo
+		var err error
+		net, info, err = loadmgr.Split(net, "w", pred)
+		if err != nil {
+			panic(err)
+		}
+		// Fig 7 remapping: router and branch 1 on m1, branch 2 on m2,
+		// merge back on m1.
+		assign = map[string]string{info.Router: "m1", info.Branches[0]: "m1", info.Branches[1]: "m2"}
+		for _, m := range info.Merge {
+			assign[m] = "m1"
+		}
+	}
+	sim := netsim.New(1)
+	costs := map[string]int64{}
+	for box := range assign {
+		costs[box] = 1000 // routing and merge boxes are cheap
+	}
+	costs["w"] = 100_000
+	costs["w.1"] = 100_000
+	costs["w.2"] = 100_000
+	c, err := core.NewCluster(sim, net, assign, nil, core.Config{
+		DefaultBoxCost: 1000,
+		BoxCosts:       costs,
+		Nodes:          []string{"m1", "m2"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.Connect("m1", "m2", 0, 100_000, 0)
+	c.Start()
+	var last int64
+	c.OnOutput(func(_ string, _ stream.Tuple, at int64) { outputs++; last = at })
+	n := scaled(3000, scale)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		tp := stream.NewTuple(stream.Int(rng.Int63n(1000)), stream.Int(rng.Int63n(100)))
+		sim.Schedule(int64(i)*50_000, func() { c.Ingest("in", tp) }) // 2x one node's capacity
+	}
+	sim.Run(0)
+	return float64(last) / 1e6, outputs
+}
+
+// E05FilterSplit is Fig 5: splitting a CPU-bound Filter across two
+// machines roughly doubles sustainable throughput, and the merged output
+// is the same tuple multiset.
+func E05FilterSplit(scale float64) *Table {
+	t := &Table{ID: "E05", Title: "filter split scaling (Fig 5, Fig 7)",
+		Header: []string{"config", "machines", "finish ms", "outputs", "speedup"}}
+	spec := op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 100"}}
+	pred := loadmgr.HashHalf("A")
+	single, out1 := splitThroughput(scale, false, spec, pred)
+	dual, out2 := splitThroughput(scale, true, spec, pred)
+	t.Add("unsplit", 1, single, out1, 1.0)
+	t.Add("split+union", 2, dual, out2, single/dual)
+	if out1 == out2 {
+		t.Note("transparency holds: identical output count across configurations")
+	} else {
+		t.Note("WARNING: output counts differ (%d vs %d)", out1, out2)
+	}
+	return t
+}
+
+// E06TumbleSplit is Fig 6: the Tumble split with its Union+WSort+Tumble
+// merge network returns exactly the unsplit results, including the
+// paper's worked example, and scales like the filter split.
+func E06TumbleSplit(scale float64) *Table {
+	t := &Table{ID: "E06", Title: "tumble split with combine (Fig 6)",
+		Header: []string{"aggregate", "combine", "streams equal", "windows"}}
+	for _, agg := range []string{"cnt", "sum", "max", "min"} {
+		spec := op.Spec{Kind: "tumble", Params: map[string]string{
+			"agg": agg, "on": "B", "groupby": "A"}}
+		base := query.NewBuilder("tb").
+			AddBox("w", spec).
+			BindInput("in", abSchema, "w", 0).
+			BindOutput("out", "w", 0, nil).
+			MustBuild()
+		split, _, err := loadmgr.Split(base, "w", op.MustParse("B < 3"))
+		if err != nil {
+			panic(err)
+		}
+		n := scaled(5000, scale)
+		in := make([]stream.Tuple, n)
+		rng := rand.New(rand.NewSource(6))
+		a := int64(0)
+		for i := range in {
+			if rng.Intn(4) == 0 {
+				a++
+			}
+			in[i] = stream.Tuple{Seq: uint64(i + 1),
+				Vals: []stream.Value{stream.Int(a), stream.Int(rng.Int63n(10))}}
+		}
+		want := runLocal(base, in)
+		got := runLocal(split, in)
+		equal := stream.TuplesEqualValues(got, want)
+		t.Add(agg, op.MustAggregate(agg).Combine().Name(), equal, len(got))
+	}
+	t.Note("the §5.1 identity agg(S) = combine(agg(S1), agg(S2)) holds for every combinable aggregate; avg is rejected")
+	return t
+}
+
+// runLocal drains tuples through a network on a single virtual engine.
+func runLocal(net *query.Network, in []stream.Tuple) []stream.Tuple {
+	e, err := engineNew(net)
+	if err != nil {
+		panic(err)
+	}
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	for _, tp := range in {
+		e.Ingest("in", tp.Clone())
+	}
+	e.Drain()
+	return out
+}
+
+// E07LoadSharing runs the Fig 7 remapping live: a saturated node next to
+// an idle neighbor, with and without the load-share daemons.
+func E07LoadSharing(scale float64) *Table {
+	t := &Table{ID: "E07", Title: "decentralized pairwise load sharing (Fig 7, §5)",
+		Header: []string{"daemons", "moves", "boxes moved", "n1 busy ms", "n2 busy ms", "outputs"}}
+	run := func(enabled bool) {
+		sim := netsim.New(1)
+		ids := make([]string, 6)
+		specs := make([]op.Spec, 6)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("f%d", i)
+			specs[i] = op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}
+		}
+		net := query.NewBuilder("chain6").
+			Chain(ids, specs).
+			BindInput("in", abSchema, "f0", 0).
+			BindOutput("out", "f5", 0, nil).
+			MustBuild()
+		assign := map[string]string{}
+		for _, id := range ids {
+			assign[id] = "n1"
+		}
+		cfg := core.Config{
+			DefaultBoxCost: 40_000,
+			Nodes:          []string{"n1", "n2"},
+			SharePeriod:    20e6,
+		}
+		if enabled {
+			pol := loadmgr.Policy{HighWater: 0.8, LowWater: 0.5, Headroom: 0.5, CooldownPeriods: 2}
+			cfg.LoadSharing = &pol
+		}
+		c, err := core.NewCluster(sim, net, assign, nil, cfg)
+		if err != nil {
+			panic(err)
+		}
+		sim.Connect("n1", "n2", 0, 50_000, 0)
+		c.Start()
+		outputs := 0
+		c.OnOutput(func(string, stream.Tuple, int64) { outputs++ })
+		n := scaled(3000, scale)
+		for i := 0; i < n; i++ {
+			tp := stream.NewTuple(stream.Int(int64(i)), stream.Int(int64(i%60)))
+			sim.Schedule(int64(i)*100_000, func() { c.Ingest("in", tp) })
+		}
+		sim.Run(10e9)
+		moved := 0
+		for _, node := range c.Assignment() {
+			if node == "n2" {
+				moved++
+			}
+		}
+		t.Add(enabled, c.Moves(), moved,
+			float64(c.BusyNs("n1"))/1e6, float64(c.BusyNs("n2"))/1e6, outputs)
+	}
+	run(false)
+	run(true)
+	t.Note("with the daemons on, the overloaded node sheds boxes pairwise to its idle neighbor and both stay busy")
+	return t
+}

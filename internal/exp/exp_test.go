@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment at small scale and
+// checks the structural contract benchrunner and bench_test.go rely on.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(0.05)
+			if table.ID != e.ID {
+				t.Errorf("table id %q != %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(table.Header))
+				}
+			}
+			s := table.String()
+			if !strings.Contains(s, e.ID) || !strings.Contains(s, table.Header[0]) {
+				t.Errorf("render missing pieces:\n%s", s)
+			}
+		})
+	}
+}
+
+// TestHeadlineShapes pins the qualitative claims of EXPERIMENTS.md at
+// reduced scale, so a regression in any mechanism fails loudly here.
+func TestHeadlineShapes(t *testing.T) {
+	t.Run("E01 paper example matches", func(t *testing.T) {
+		table := E01Operators(0.02)
+		found := false
+		for _, n := range table.Notes {
+			if strings.Contains(n, "MATCHES the paper") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("worked example mismatch: %v", table.Notes)
+		}
+	})
+	t.Run("E06 all splits transparent", func(t *testing.T) {
+		table := E06TumbleSplit(0.2)
+		for _, row := range table.Rows {
+			if row[2] != "true" {
+				t.Errorf("aggregate %s split not transparent", row[0])
+			}
+		}
+	})
+	t.Run("E08 k1 zero loss", func(t *testing.T) {
+		table := E08KSafety(0.2)
+		// rows: k=0 loses, k>=1 rows lose nothing.
+		if table.Rows[0][3] == "0" {
+			t.Error("k=0 should lose tuples")
+		}
+		for _, row := range table.Rows[1:] {
+			if row[3] != "0" {
+				t.Errorf("k=%s crash %s lost %s tuples", row[0], row[1], row[3])
+			}
+		}
+	})
+	t.Run("E11 wfq within tolerance", func(t *testing.T) {
+		table := E11Multiplexing(0.2)
+		for _, row := range table.Rows {
+			if row[2] != row[3] {
+				// formatted to 3 significant digits; equality is the
+				// expected outcome for fully backlogged streams
+				t.Errorf("stream %s wfq share %s != target %s", row[0], row[3], row[2])
+			}
+		}
+	})
+}

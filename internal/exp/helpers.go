@@ -1,0 +1,11 @@
+package exp
+
+import (
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// engineNew builds a virtual-clock engine for local experiment runs.
+func engineNew(net *query.Network) (*engine.Engine, error) {
+	return engine.New(net, engine.Config{Clock: engine.NewVirtualClock(1)})
+}

@@ -1,0 +1,274 @@
+// Package ha implements the high-availability design of §6: k-safe
+// upstream backup. Each server acts as backup for its downstream servers
+// by holding processed tuples in its output queues until their effects are
+// safely recorded elsewhere; flow messages propagate dependency
+// checkpoints downstream and back-channel messages truncate the queues;
+// heartbeats detect failures; and on failure the backup replays its output
+// log, emulating the failed server. A process-pair checkpointing model and
+// a K-virtual-machine granularity knob reproduce the recovery-time versus
+// run-time-overhead spectrum of §6.4.
+package ha
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// OutputLog is one server's output queue toward one downstream server:
+// every tuple sent is retained (with its per-link sequence number, §6.2)
+// until a back-channel checkpoint says all downstream effects are safe.
+// On failure, the retained suffix is replayed.
+type OutputLog struct {
+	mu      sync.Mutex
+	q       *stream.Queue
+	origins []uint64 // origin (node-local) seq of each retained tuple
+	oHead   int
+	nextSeq uint64
+	acked   uint64 // highest link seq known safe (exclusive truncation point)
+	sent    uint64
+}
+
+// NewOutputLog returns an empty log; link sequence numbers start at 1.
+func NewOutputLog() *OutputLog {
+	return &OutputLog{q: stream.NewQueue(64), nextSeq: 1}
+}
+
+// Append records a tuple about to be sent, stamping it with the link's
+// next sequence number, and returns the stamped tuple (the Seq field in
+// the sent copy is the link sequence — the receiving server regenerates
+// per-tuple numbers from the base, §6.2). The tuple's original Seq is
+// retained as its origin, which EarliestOrigin exposes for k >= 2 safety:
+// an upstream server must keep tuples until their effects clear servers
+// two hops down, so this server's unacknowledged output counts toward its
+// own dependency low-water mark.
+func (l *OutputLog) Append(t stream.Tuple) stream.Tuple {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	origin := t.Seq
+	t.Seq = l.nextSeq
+	l.nextSeq++
+	l.sent++
+	l.q.Push(t)
+	l.origins = append(l.origins, origin)
+	return t
+}
+
+// EarliestOrigin returns the smallest origin sequence among retained
+// (unacknowledged) tuples; ok is false when the log is empty.
+func (l *OutputLog) EarliestOrigin() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	live := l.origins[l.oHead:]
+	if len(live) == 0 {
+		return 0, false
+	}
+	min := live[0]
+	for _, o := range live[1:] {
+		if o < min {
+			min = o
+		}
+	}
+	return min, true
+}
+
+// Truncate discards retained tuples with link seq strictly below safeSeq
+// (the back-channel checkpoint of §6.2), returning how many were freed.
+func (l *OutputLog) Truncate(safeSeq uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if safeSeq > l.acked {
+		l.acked = safeSeq
+	}
+	n := l.q.TruncateBefore(safeSeq)
+	l.oHead += n
+	if l.oHead > 4096 && l.oHead*2 > len(l.origins) {
+		l.origins = append([]uint64(nil), l.origins[l.oHead:]...)
+		l.oHead = 0
+	}
+	return n
+}
+
+// Replay returns the retained suffix in order — everything whose
+// downstream effects are not yet known safe. The recovery procedure
+// (§6.3) processes exactly these tuples.
+func (l *OutputLog) Replay() []stream.Tuple {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.Snapshot()
+}
+
+// Len returns the number of retained tuples.
+func (l *OutputLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.Len()
+}
+
+// Bytes returns the retained footprint.
+func (l *OutputLog) Bytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.Bytes()
+}
+
+// Sent returns the total tuples ever appended.
+func (l *OutputLog) Sent() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent
+}
+
+// NextSeq returns the next link sequence number to be assigned.
+func (l *OutputLog) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Dedup suppresses duplicate deliveries on one incoming link: replay after
+// a failover re-sends retained tuples, and the receiver must accept each
+// link sequence number at most once. k-safety guarantees no loss; Dedup
+// keeps the duplicates from inflating downstream state.
+type Dedup struct {
+	mu   sync.Mutex
+	last uint64
+	dups uint64
+}
+
+// Admit reports whether the tuple with the given link seq is new; false
+// means it is a duplicate (or reordered below the high-water mark) and
+// must be discarded.
+func (d *Dedup) Admit(linkSeq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if linkSeq <= d.last {
+		d.dups++
+		return false
+	}
+	d.last = linkSeq
+	return true
+}
+
+// Last returns the highest admitted link sequence.
+func (d *Dedup) Last() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
+
+// Duplicates returns how many deliveries were suppressed.
+func (d *Dedup) Duplicates() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
+}
+
+// Reset clears the high-water mark. A receiver calls it when a new
+// upstream incarnation takes over the link after recovery (new link,
+// fresh sequence space).
+func (d *Dedup) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last = 0
+}
+
+// DepTracker translates a node's internal dependency low-water mark back
+// into per-upstream-link sequence numbers for the back channel. Tuples are
+// re-sequenced into a node-local space at ingress; because both spaces are
+// monotone, retaining a ring of (localSeq, linkSeq) ingress pairs lets the
+// node answer: "given that my state depends on nothing below local
+// sequence L, which link sequence may upstream U truncate below?"
+type DepTracker struct {
+	mu       sync.Mutex
+	links    map[string][]seqPair // upstream link -> ingress pairs (ascending)
+	lastSafe map[string]uint64    // last safe point computed per link
+}
+
+type seqPair struct {
+	local uint64
+	link  uint64
+}
+
+// NewDepTracker returns an empty tracker.
+func NewDepTracker() *DepTracker {
+	return &DepTracker{links: map[string][]seqPair{}, lastSafe: map[string]uint64{}}
+}
+
+// NoteIngress records that the tuple with upstream link sequence linkSeq
+// was admitted as local sequence localSeq on the named link.
+func (d *DepTracker) NoteIngress(link string, linkSeq, localSeq uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.links[link] = append(d.links[link], seqPair{local: localSeq, link: linkSeq})
+}
+
+// SafeSeqs returns, for every upstream link, the link sequence below which
+// the upstream may truncate, given that the node's state depends on
+// nothing below localDep (hasDep false means the node holds no state: all
+// ingressed tuples are safe). The returned values are conservative: a
+// link's safe point is the link seq of the latest ingress with local seq
+// at or below localDep.
+func (d *DepTracker) SafeSeqs(localDep uint64, hasDep bool) map[string]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]uint64, len(d.links))
+	for link, pairs := range d.links {
+		if len(pairs) == 0 {
+			// Nothing new since the last computation: repeat the last
+			// answer so late or repeated queries (the §6.2 pull variant)
+			// still learn the truncation point.
+			if s, ok := d.lastSafe[link]; ok {
+				out[link] = s
+			}
+			continue
+		}
+		if !hasDep {
+			// Nothing retained: everything ingressed so far is safe.
+			last := pairs[len(pairs)-1]
+			out[link] = last.link + 1
+			d.links[link] = pairs[:0]
+			d.lastSafe[link] = out[link]
+			continue
+		}
+		// Find the last pair with local < localDep: its link seq + 1 is
+		// safe (everything strictly below the dependency).
+		i := sort.Search(len(pairs), func(i int) bool { return pairs[i].local >= localDep })
+		if i == 0 {
+			out[link] = pairs[0].link // nothing safe yet beyond prior acks
+		} else {
+			out[link] = pairs[i-1].link + 1
+			// Drop pairs below the dependency; they will never be needed.
+			d.links[link] = append(d.links[link][:0], pairs[i-1:]...)
+		}
+		if prev, ok := d.lastSafe[link]; !ok || out[link] > prev {
+			d.lastSafe[link] = out[link]
+		}
+	}
+	return out
+}
+
+// Links returns the tracked upstream link names, sorted.
+func (d *DepTracker) Links() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.links))
+	for l := range d.links {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders tracker occupancy for diagnostics.
+func (d *DepTracker) String() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := 0
+	for _, p := range d.links {
+		total += len(p)
+	}
+	return fmt.Sprintf("deptracker{links: %d, pairs: %d}", len(d.links), total)
+}

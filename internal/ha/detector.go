@@ -1,0 +1,85 @@
+package ha
+
+import (
+	"sort"
+	"sync"
+)
+
+// Detector implements the failure detection of §6.3: each server sends
+// periodic heartbeat messages to its upstream neighbors; if a server does
+// not hear from a downstream neighbor for some predetermined period, it
+// considers the neighbor failed and initiates recovery.
+type Detector struct {
+	mu      sync.Mutex
+	timeout int64
+	last    map[string]int64
+	failed  map[string]bool
+}
+
+// NewDetector returns a detector declaring a peer failed after timeout ns
+// of heartbeat silence.
+func NewDetector(timeout int64) *Detector {
+	if timeout <= 0 {
+		timeout = 1e9
+	}
+	return &Detector{
+		timeout: timeout,
+		last:    map[string]int64{},
+		failed:  map[string]bool{},
+	}
+}
+
+// Watch starts monitoring a peer, treating now as its first heartbeat.
+func (d *Detector) Watch(peer string, now int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last[peer] = now
+	delete(d.failed, peer)
+}
+
+// Heartbeat records a heartbeat from a peer. Heartbeats from a peer
+// previously declared failed revive it (it was a false positive or the
+// peer restarted).
+func (d *Detector) Heartbeat(peer string, now int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, watched := d.last[peer]; !watched {
+		return
+	}
+	d.last[peer] = now
+	delete(d.failed, peer)
+}
+
+// Check returns peers newly considered failed at time now, sorted. A peer
+// is reported once per failure episode.
+func (d *Detector) Check(now int64) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for peer, last := range d.last {
+		if d.failed[peer] {
+			continue
+		}
+		if now-last > d.timeout {
+			d.failed[peer] = true
+			out = append(out, peer)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Failed reports whether a peer is currently considered failed.
+func (d *Detector) Failed(peer string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed[peer]
+}
+
+// Unwatch stops monitoring a peer.
+func (d *Detector) Unwatch(peer string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.last, peer)
+	delete(d.failed, peer)
+}

@@ -1,0 +1,268 @@
+package ha
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func tup(v int64) stream.Tuple { return stream.NewTuple(stream.Int(v)) }
+
+func TestOutputLogStampsLinkSeqs(t *testing.T) {
+	l := NewOutputLog()
+	for i := int64(1); i <= 5; i++ {
+		sent := l.Append(tup(i))
+		if sent.Seq != uint64(i) {
+			t.Fatalf("link seq = %d, want %d", sent.Seq, i)
+		}
+	}
+	if l.Sent() != 5 || l.Len() != 5 || l.NextSeq() != 6 {
+		t.Errorf("log state: sent=%d len=%d next=%d", l.Sent(), l.Len(), l.NextSeq())
+	}
+}
+
+func TestOutputLogTruncateAndReplay(t *testing.T) {
+	l := NewOutputLog()
+	for i := int64(1); i <= 10; i++ {
+		l.Append(tup(i))
+	}
+	if n := l.Truncate(6); n != 5 {
+		t.Fatalf("Truncate removed %d, want 5", n)
+	}
+	replay := l.Replay()
+	if len(replay) != 5 || replay[0].Seq != 6 || replay[4].Seq != 10 {
+		t.Fatalf("replay = %v", stream.FormatTuples(replay))
+	}
+	// Regressing the checkpoint must not resurrect anything.
+	if n := l.Truncate(3); n != 0 {
+		t.Errorf("regressed truncate removed %d", n)
+	}
+	if l.Bytes() == 0 {
+		t.Error("bytes accounting missing")
+	}
+}
+
+// TestOutputLogNeverDropsUnacked is the core safety property: any tuple
+// not covered by a checkpoint must still be in the replay set.
+func TestOutputLogNeverDropsUnacked(t *testing.T) {
+	f := func(acks []uint8) bool {
+		l := NewOutputLog()
+		const n = 50
+		for i := int64(1); i <= n; i++ {
+			l.Append(tup(i))
+		}
+		var high uint64
+		for _, a := range acks {
+			safe := uint64(a)%n + 1
+			l.Truncate(safe)
+			if safe > high {
+				high = safe
+			}
+		}
+		replay := l.Replay()
+		// Every seq >= high must be present, in order.
+		want := high
+		if want < 1 {
+			want = 1
+		}
+		for i, tp := range replay {
+			if tp.Seq != want+uint64(i) {
+				return false
+			}
+		}
+		return len(replay) == int(n-want+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	var d Dedup
+	if !d.Admit(1) || !d.Admit(2) || !d.Admit(3) {
+		t.Fatal("fresh seqs must be admitted")
+	}
+	if d.Admit(2) || d.Admit(3) {
+		t.Fatal("replayed seqs must be suppressed")
+	}
+	if d.Duplicates() != 2 || d.Last() != 3 {
+		t.Errorf("dups=%d last=%d", d.Duplicates(), d.Last())
+	}
+	d.Reset()
+	if !d.Admit(1) {
+		t.Error("after Reset a new incarnation's seqs are admitted")
+	}
+}
+
+func TestDepTrackerSafeSeqs(t *testing.T) {
+	d := NewDepTracker()
+	// Upstream "u1" link seqs 10,11,12 admitted as local 100,101,102;
+	// upstream "u2" link seq 7 admitted as local 103.
+	d.NoteIngress("u1", 10, 100)
+	d.NoteIngress("u1", 11, 101)
+	d.NoteIngress("u1", 12, 102)
+	d.NoteIngress("u2", 7, 103)
+	// State depends on local 102: u1 may truncate below link 12
+	// (11 + 1); u2 gained nothing yet (its only ingress is above the
+	// dependency... local 103 > 102, so no safe point advance).
+	safe := d.SafeSeqs(102, true)
+	if safe["u1"] != 12 {
+		t.Errorf("u1 safe = %d, want 12", safe["u1"])
+	}
+	if safe["u2"] != 7 {
+		t.Errorf("u2 safe = %d, want 7 (nothing newly safe)", safe["u2"])
+	}
+	// No state at all: everything ingressed is safe.
+	d.NoteIngress("u1", 13, 104)
+	safe = d.SafeSeqs(0, false)
+	if safe["u1"] != 14 || safe["u2"] != 8 {
+		t.Errorf("stateless safe = %v", safe)
+	}
+	if got := d.Links(); len(got) != 2 || got[0] != "u1" {
+		t.Errorf("links = %v", got)
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDepTrackerMonotoneConservative(t *testing.T) {
+	// Property: the safe seq never exceeds the link seq of the first
+	// ingress whose local seq >= the dependency.
+	f := func(depRaw uint8) bool {
+		d := NewDepTracker()
+		for i := uint64(1); i <= 30; i++ {
+			d.NoteIngress("u", i, i*2) // local = 2*link
+		}
+		dep := uint64(depRaw)%60 + 1
+		safe := d.SafeSeqs(dep, true)["u"]
+		// Tuple with local seq >= dep must not be truncated: its link
+		// seq is ceil(dep/2); safe must be <= that.
+		firstNeeded := (dep + 1) / 2
+		return safe <= firstNeeded+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectorLifecycle(t *testing.T) {
+	d := NewDetector(100)
+	d.Watch("s2", 0)
+	if failed := d.Check(50); len(failed) != 0 {
+		t.Errorf("premature failure: %v", failed)
+	}
+	d.Heartbeat("s2", 80)
+	if failed := d.Check(150); len(failed) != 0 {
+		t.Errorf("heartbeat ignored: %v", failed)
+	}
+	failed := d.Check(181)
+	if len(failed) != 1 || failed[0] != "s2" || !d.Failed("s2") {
+		t.Errorf("failure not detected: %v", failed)
+	}
+	// Reported once per episode.
+	if again := d.Check(300); len(again) != 0 {
+		t.Errorf("failure re-reported: %v", again)
+	}
+	// Revival on new heartbeat.
+	d.Heartbeat("s2", 400)
+	if d.Failed("s2") {
+		t.Error("heartbeat should revive the peer")
+	}
+	d.Unwatch("s2")
+	if failed := d.Check(1e9); len(failed) != 0 {
+		t.Error("unwatched peer still reported")
+	}
+	// Heartbeats from unwatched peers are ignored.
+	d.Heartbeat("stranger", 1)
+	if failed := d.Check(1e9); len(failed) != 0 {
+		t.Error("stranger adopted")
+	}
+}
+
+func TestDetectorDefaultTimeout(t *testing.T) {
+	d := NewDetector(0)
+	d.Watch("x", 0)
+	if got := d.Check(5e8); len(got) != 0 {
+		t.Error("default timeout should be 1s")
+	}
+	if got := d.Check(2e9); len(got) != 1 {
+		t.Error("default timeout should eventually fire")
+	}
+}
+
+func TestSpectrumEndpoints(t *testing.T) {
+	s := Spectrum{Boxes: 8, N: 100000, FlowPeriod: 1000, BoxCost: 1000}
+	k1, err := s.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure upstream backup: only flow messages at run time.
+	if k1.RuntimeMessages != 100 {
+		t.Errorf("K=1 messages = %d, want 100 flow messages", k1.RuntimeMessages)
+	}
+	if k1.RedoneBoxExecs != 8000 {
+		t.Errorf("K=1 redo = %d, want FlowPeriod*Boxes = 8000", k1.RedoneBoxExecs)
+	}
+	perBox, _ := s.At(8)
+	pp, _ := s.ProcessPair()
+	if perBox.RuntimeMessages <= k1.RuntimeMessages {
+		t.Error("per-box VMs must cost more runtime messages than K=1")
+	}
+	if perBox.RedoneBoxExecs >= k1.RedoneBoxExecs {
+		t.Error("per-box VMs must redo less than K=1")
+	}
+	// The paper: per-box K is "very similar to the process-pair
+	// approach" — same order of runtime messages, tiny redo.
+	ratio := float64(pp.RuntimeMessages) / float64(perBox.RuntimeMessages)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("per-box vs process-pair runtime messages ratio = %.2f", ratio)
+	}
+	// And process-pair is overwhelmingly more expensive than upstream
+	// backup at run time.
+	if pp.RuntimeMessages < 100*k1.RuntimeMessages {
+		t.Errorf("process-pair %d should dwarf upstream backup %d",
+			pp.RuntimeMessages, k1.RuntimeMessages)
+	}
+}
+
+func TestSpectrumMonotone(t *testing.T) {
+	s := Spectrum{Boxes: 16, N: 10000, FlowPeriod: 512, BoxCost: 500}
+	pts, err := s.Sweep([]int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RuntimeMessages <= pts[i-1].RuntimeMessages {
+			t.Errorf("runtime messages must grow with K: %+v", pts)
+		}
+		if pts[i].RedoneBoxExecs > pts[i-1].RedoneBoxExecs {
+			t.Errorf("redo must not grow with K: %+v", pts)
+		}
+	}
+	if pts[0].RecoveryTime != pts[0].RedoneBoxExecs*500 {
+		t.Error("recovery time should be redo * BoxCost")
+	}
+}
+
+func TestSpectrumValidationAndClamping(t *testing.T) {
+	if _, err := (Spectrum{}).At(1); err == nil {
+		t.Error("invalid spectrum should fail")
+	}
+	if _, err := (Spectrum{}).ProcessPair(); err == nil {
+		t.Error("invalid process-pair should fail")
+	}
+	s := Spectrum{Boxes: 4, N: 100, FlowPeriod: 10, BoxCost: 1}
+	lo, _ := s.At(-5)
+	if lo.K != 1 {
+		t.Error("K clamped to 1")
+	}
+	hi, _ := s.At(100)
+	if hi.K != 4 {
+		t.Error("K clamped to Boxes")
+	}
+	if _, err := s.Sweep([]int{1, 2}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package ha
+
+import "fmt"
+
+// Spectrum models the recovery-time versus run-time-overhead tradeoff of
+// §6.4. A physical server runs a chain of Boxes operators and processes N
+// tuples; flow-message checkpoints truncate the upstream backup every
+// FlowPeriod tuples. On top of the server, K virtual machines are
+// established; the queue at each virtual-machine boundary is replicated to
+// a physical backup at a cost of one message per entry, and each VM can
+// resume from its replicated queue, supporting finer-granularity restart.
+//
+// The two ends of the spectrum are the paper's:
+//   - K = 1 is pure upstream backup — a minimum of extra messages, but
+//     recovery must redo everything since the last inter-server
+//     checkpoint through the whole chain;
+//   - K = Boxes is one virtual machine per box — a message each time a
+//     box processes a message, "very similar to the process-pair
+//     approach", with only in-transit processing lost.
+type Spectrum struct {
+	// Boxes is the number of operators on the server (chain length).
+	Boxes int
+	// N is the number of tuples processed in the measured interval.
+	N int
+	// FlowPeriod is the checkpoint (flow message / truncation) period in
+	// tuples: how much unacknowledged history accumulates between
+	// truncations.
+	FlowPeriod int
+	// BoxCost is the per-box per-tuple processing cost in ns, used to
+	// convert redone box executions into recovery time.
+	BoxCost int64
+}
+
+// Point is one configuration's modeled costs.
+type Point struct {
+	K int
+	// RuntimeMessages is the count of extra backup messages during
+	// normal processing: one per tuple per internal VM boundary, plus
+	// one flow message per FlowPeriod.
+	RuntimeMessages int64
+	// RedoneBoxExecs is the expected number of box executions repeated
+	// during recovery from a crash at an arbitrary instant: each VM
+	// redoes its unacknowledged backlog (FlowPeriod spread over the K
+	// boundaries) through its segment of Boxes/K operators.
+	RedoneBoxExecs int64
+	// RecoveryTime is RedoneBoxExecs converted to time.
+	RecoveryTime int64
+}
+
+// At evaluates the model for a given number of virtual machines, clamping
+// K into [1, Boxes].
+func (s Spectrum) At(k int) (Point, error) {
+	if s.Boxes < 1 || s.N < 1 || s.FlowPeriod < 1 {
+		return Point{}, fmt.Errorf("ha: spectrum needs Boxes, N, FlowPeriod >= 1")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > s.Boxes {
+		k = s.Boxes
+	}
+	boundaries := int64(k - 1)
+	msgs := int64(s.N)*boundaries + int64(s.N/s.FlowPeriod)
+	// Per-VM backlog between truncations: FlowPeriod tuples total spread
+	// over k segments; each must be re-run through Boxes/k operators.
+	backlogPerVM := (s.FlowPeriod + k - 1) / k
+	segLen := (s.Boxes + k - 1) / k
+	redone := int64(k) * int64(backlogPerVM) * int64(segLen)
+	return Point{
+		K:               k,
+		RuntimeMessages: msgs,
+		RedoneBoxExecs:  redone,
+		RecoveryTime:    redone * s.BoxCost,
+	}, nil
+}
+
+// ProcessPair models the generic process-pair approach of §6.4 as the
+// comparison baseline: a checkpoint message every time a box processes a
+// message ("overwhelmingly more expensive" at run time), with only the
+// box calculations in process at the instant of failure redone.
+func (s Spectrum) ProcessPair() (Point, error) {
+	if s.Boxes < 1 || s.N < 1 {
+		return Point{}, fmt.Errorf("ha: spectrum needs Boxes, N >= 1")
+	}
+	return Point{
+		K:               s.Boxes,
+		RuntimeMessages: int64(s.N) * int64(s.Boxes),
+		RedoneBoxExecs:  int64(s.Boxes), // one in-process tuple re-run
+		RecoveryTime:    int64(s.Boxes) * s.BoxCost,
+	}, nil
+}
+
+// Sweep evaluates the model over a list of K values.
+func (s Spectrum) Sweep(ks []int) ([]Point, error) {
+	out := make([]Point, 0, len(ks))
+	for _, k := range ks {
+		p, err := s.At(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package loadmgr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoxLoad is the measured load contribution of one box on a node: the
+// fraction of the node's processing it consumes and the bandwidth its
+// input and output arcs would add to the network if it moved.
+type BoxLoad struct {
+	Box string
+	// Work is the box's share of node processing (cost * rate), in
+	// arbitrary but consistent units.
+	Work float64
+	// MoveBandwidth is the bytes/sec the box's cut arcs would carry
+	// across the machine boundary if the box moved (§5.2: "the decision
+	// of which pieces to move must consider bandwidth availability").
+	MoveBandwidth float64
+}
+
+// PeerLoad is a neighbor's advertised state.
+type PeerLoad struct {
+	Node string
+	// Utilization is the peer's processing utilization (1.0 = saturated).
+	Utilization float64
+	// FreeBandwidth is the available bytes/sec on the link to the peer.
+	FreeBandwidth float64
+}
+
+// Policy tunes the pairwise offload decision.
+type Policy struct {
+	// HighWater: a node above this utilization seeks to offload.
+	HighWater float64
+	// LowWater: a peer below this utilization accepts load. The gap
+	// between the two watermarks is the hysteresis band that prevents
+	// the instability §5.2 warns about ("shifting boxes around too
+	// frequently could lead to instability").
+	LowWater float64
+	// Headroom caps how much utilization the move may add to the peer.
+	Headroom float64
+	// CooldownPeriods is how many decision periods a node must wait
+	// after moving boxes before moving again.
+	CooldownPeriods int
+}
+
+// DefaultPolicy returns the watermarks used by the experiments.
+func DefaultPolicy() Policy {
+	return Policy{HighWater: 0.85, LowWater: 0.6, Headroom: 0.25, CooldownPeriods: 3}
+}
+
+// Validate checks watermark sanity.
+func (p Policy) Validate() error {
+	if p.HighWater <= p.LowWater {
+		return fmt.Errorf("loadmgr: HighWater must exceed LowWater")
+	}
+	if p.Headroom <= 0 {
+		return fmt.Errorf("loadmgr: Headroom must be positive")
+	}
+	return nil
+}
+
+// Decision is a planned pairwise offload: move the listed boxes to the
+// peer.
+type Decision struct {
+	To    string
+	Boxes []string
+	// WorkMoved is the utilization expected to shift.
+	WorkMoved float64
+}
+
+// PlanOffload computes the §5.1 load-share daemon's decision for one node:
+// given local utilization, the per-box load breakdown, and the advertised
+// state of the neighbors, pick a peer and a set of boxes that moves "just
+// enough" processing — enough to bring the node under the high watermark,
+// but no more than the peer's headroom and link bandwidth allow. It
+// returns nil when no move is warranted or possible.
+//
+// The decision is deliberately local and pairwise (§3.1): no global view,
+// no coordinator.
+func PlanOffload(localUtil float64, boxes []BoxLoad, peers []PeerLoad, pol Policy) *Decision {
+	if err := pol.Validate(); err != nil {
+		return nil
+	}
+	if localUtil <= pol.HighWater || len(boxes) == 0 {
+		return nil
+	}
+	// Prefer the least-loaded willing peer.
+	var best *PeerLoad
+	for i := range peers {
+		p := &peers[i]
+		if p.Utilization >= pol.LowWater {
+			continue
+		}
+		if best == nil || p.Utilization < best.Utilization {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Work to shed: get back under the high watermark, bounded by the
+	// peer's headroom.
+	want := localUtil - pol.HighWater
+	limit := pol.Headroom
+	if gap := pol.HighWater - best.Utilization; gap < limit {
+		limit = gap
+	}
+	if want > limit {
+		want = limit
+	}
+	if want <= 0 {
+		return nil
+	}
+	// Greedy: smallest boxes first, so we move just enough and keep the
+	// change durable rather than sloshing a giant box back and forth.
+	sorted := append([]BoxLoad(nil), boxes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Work < sorted[j].Work })
+	var chosen []string
+	moved := 0.0
+	bw := 0.0
+	for _, b := range sorted {
+		if moved >= want {
+			break
+		}
+		if bw+b.MoveBandwidth > best.FreeBandwidth {
+			continue // §5.2: the peer may have cycles but not bandwidth
+		}
+		chosen = append(chosen, b.Box)
+		moved += b.Work
+		bw += b.MoveBandwidth
+	}
+	if len(chosen) == 0 || moved <= 0 {
+		return nil
+	}
+	return &Decision{To: best.Node, Boxes: chosen, WorkMoved: moved}
+}
+
+// SlideDirection classifies a box-sliding opportunity (Fig 4).
+type SlideDirection int
+
+const (
+	// NoSlide means the placement is already bandwidth-efficient.
+	NoSlide SlideDirection = iota
+	// SlideUpstream moves the box toward the data source: profitable
+	// when selectivity < 1 (the box reduces data) and the link is the
+	// bottleneck.
+	SlideUpstream
+	// SlideDownstream moves the box away from the source: profitable
+	// when selectivity > 1 (the box amplifies data, e.g. a join).
+	SlideDownstream
+)
+
+// ChooseSlide implements the §5.1 sliding heuristic: shifting a box
+// upstream is useful if the box has low selectivity and the connection
+// bandwidth is limited; shifting downstream is useful if selectivity
+// exceeds one. tolerance is the band around selectivity 1.0 within which
+// moving is not worth the disruption.
+func ChooseSlide(selectivity, tolerance float64) SlideDirection {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	switch {
+	case selectivity < 1-tolerance:
+		return SlideUpstream
+	case selectivity > 1+tolerance:
+		return SlideDownstream
+	default:
+		return NoSlide
+	}
+}

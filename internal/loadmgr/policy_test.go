@@ -1,0 +1,244 @@
+package loadmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+func TestPlanOffloadBasics(t *testing.T) {
+	pol := DefaultPolicy()
+	boxes := []BoxLoad{
+		{Box: "big", Work: 0.4, MoveBandwidth: 100},
+		{Box: "small", Work: 0.1, MoveBandwidth: 10},
+		{Box: "mid", Work: 0.2, MoveBandwidth: 50},
+	}
+	peers := []PeerLoad{
+		{Node: "idle", Utilization: 0.2, FreeBandwidth: 1e6},
+		{Node: "busy", Utilization: 0.7, FreeBandwidth: 1e6},
+	}
+	d := PlanOffload(0.95, boxes, peers, pol)
+	if d == nil {
+		t.Fatal("overloaded node next to an idle peer must plan a move")
+	}
+	if d.To != "idle" {
+		t.Errorf("picked %q, want the least-loaded peer", d.To)
+	}
+	// Moves just enough: smallest box (0.1) covers the 0.10 excess.
+	if len(d.Boxes) != 1 || d.Boxes[0] != "small" {
+		t.Errorf("moved %v, want just [small]", d.Boxes)
+	}
+}
+
+func TestPlanOffloadHysteresis(t *testing.T) {
+	pol := DefaultPolicy()
+	boxes := []BoxLoad{{Box: "b", Work: 0.2}}
+	// Under the high watermark: no move even with idle peers.
+	if d := PlanOffload(0.8, boxes, []PeerLoad{{Node: "p", Utilization: 0}}, pol); d != nil {
+		t.Error("below high water there must be no move")
+	}
+	// Peer inside the hysteresis band: no move.
+	if d := PlanOffload(0.95, boxes, []PeerLoad{{Node: "p", Utilization: 0.65}}, pol); d != nil {
+		t.Error("peer above low water must not receive load")
+	}
+}
+
+func TestPlanOffloadBandwidthConstraint(t *testing.T) {
+	pol := DefaultPolicy()
+	boxes := []BoxLoad{
+		{Box: "cheapCPUheavyBW", Work: 0.05, MoveBandwidth: 1e9},
+		{Box: "ok", Work: 0.06, MoveBandwidth: 10},
+	}
+	peers := []PeerLoad{{Node: "p", Utilization: 0.1, FreeBandwidth: 100}}
+	d := PlanOffload(0.95, boxes, peers, pol)
+	if d == nil {
+		t.Fatal("a movable box exists")
+	}
+	for _, b := range d.Boxes {
+		if b == "cheapCPUheavyBW" {
+			t.Error("bandwidth-infeasible box must not move (§5.2)")
+		}
+	}
+}
+
+func TestPlanOffloadNoPeersNoBoxes(t *testing.T) {
+	pol := DefaultPolicy()
+	if d := PlanOffload(0.99, nil, []PeerLoad{{Node: "p"}}, pol); d != nil {
+		t.Error("no boxes -> no plan")
+	}
+	if d := PlanOffload(0.99, []BoxLoad{{Box: "b", Work: 0.1}}, nil, pol); d != nil {
+		t.Error("no peers -> no plan")
+	}
+	bad := Policy{HighWater: 0.5, LowWater: 0.6, Headroom: 0.1}
+	if d := PlanOffload(0.99, []BoxLoad{{Box: "b", Work: 0.1}},
+		[]PeerLoad{{Node: "p", Utilization: 0}}, bad); d != nil {
+		t.Error("invalid policy -> no plan")
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted watermarks should be invalid")
+	}
+	if err := (Policy{HighWater: 0.9, LowWater: 0.5}).Validate(); err == nil {
+		t.Error("zero headroom should be invalid")
+	}
+}
+
+func TestPlanOffloadRespectsHeadroom(t *testing.T) {
+	pol := Policy{HighWater: 0.5, LowWater: 0.4, Headroom: 0.05}
+	boxes := []BoxLoad{
+		{Box: "a", Work: 0.04}, {Box: "b", Work: 0.04}, {Box: "c", Work: 0.04},
+	}
+	peers := []PeerLoad{{Node: "p", Utilization: 0.1, FreeBandwidth: 1e9}}
+	d := PlanOffload(1.0, boxes, peers, pol)
+	if d == nil {
+		t.Fatal("plan expected")
+	}
+	if d.WorkMoved > 0.05+0.04 { // headroom plus at most one box overshoot
+		t.Errorf("moved %.3f, exceeding headroom", d.WorkMoved)
+	}
+}
+
+func TestChooseSlide(t *testing.T) {
+	cases := []struct {
+		sel, tol float64
+		want     SlideDirection
+	}{
+		{0.1, 0.2, SlideUpstream},   // selective filter: go upstream
+		{3.0, 0.2, SlideDownstream}, // join-like amplifier: go downstream
+		{1.0, 0.2, NoSlide},         // neutral
+		{0.9, 0.2, NoSlide},         // inside tolerance band
+		{0.9, -1, SlideUpstream},    // negative tolerance repaired to 0
+	}
+	for _, c := range cases {
+		if got := ChooseSlide(c.sel, c.tol); got != c.want {
+			t.Errorf("ChooseSlide(%g, %g) = %v, want %v", c.sel, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestContentAndHashPredicates(t *testing.T) {
+	s := stream.MustSchema("s",
+		stream.Field{Name: "region", Kind: stream.KindString},
+		stream.Field{Name: "A", Kind: stream.KindInt},
+	)
+	p := ContentPredicate("region", stream.String("cambridge"))
+	op.MustBind(p, s)
+	if !p.Eval(stream.NewTuple(stream.String("cambridge"), stream.Int(1))).AsBool() {
+		t.Error("content predicate should match cambridge")
+	}
+	if p.Eval(stream.NewTuple(stream.String("boston"), stream.Int(1))).AsBool() {
+		t.Error("content predicate should not match boston")
+	}
+	h := HashHalf("A")
+	op.MustBind(h, s)
+	matched := 0
+	for i := int64(0); i < 1000; i++ {
+		if h.Eval(stream.NewTuple(stream.String("x"), stream.Int(i))).AsBool() {
+			matched++
+		}
+	}
+	if matched < 350 || matched > 650 {
+		t.Errorf("hash half matched %d of 1000", matched)
+	}
+}
+
+func TestKeyTrackerTopAndShare(t *testing.T) {
+	k := NewKeyTracker(1, 0)
+	for i := 0; i < 100; i++ {
+		k.Observe("hot")
+	}
+	for i := 0; i < 10; i++ {
+		k.Observe("warm")
+	}
+	k.Observe("cold")
+	top := k.TopKeys(2)
+	if len(top) != 2 || top[0] != "hot" || top[1] != "warm" {
+		t.Errorf("TopKeys = %v", top)
+	}
+	if got := k.Share([]string{"hot"}); got < 0.85 || got > 0.95 {
+		t.Errorf("hot share = %g", got)
+	}
+	if k.Share(nil) != 0 {
+		t.Error("empty key set share should be 0")
+	}
+	if NewKeyTracker(1, 0).Share([]string{"x"}) != 0 {
+		t.Error("empty tracker share should be 0")
+	}
+}
+
+func TestKeyTrackerDecayForgetsOldHotKeys(t *testing.T) {
+	k := NewKeyTracker(0.25, 100)
+	for i := 0; i < 300; i++ {
+		k.Observe("old")
+	}
+	for i := 0; i < 300; i++ {
+		k.Observe("new")
+	}
+	top := k.TopKeys(1)
+	if len(top) != 1 || top[0] != "new" {
+		t.Errorf("decay should promote the recent key; top = %v", top)
+	}
+}
+
+func TestRateSplitBalancesSkew(t *testing.T) {
+	s := stream.MustSchema("s", stream.Field{Name: "A", Kind: stream.KindInt})
+	k := NewKeyTracker(1, 0)
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.4, 1, 63)
+	var tuples []stream.Tuple
+	for i := 0; i < 20000; i++ {
+		key := int64(zipf.Uint64())
+		k.Observe(fmt.Sprint(key))
+		tuples = append(tuples, stream.NewTuple(stream.Int(key)))
+	}
+	pred, share, err := RateSplit(k, "A", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 0.4 {
+		t.Errorf("predicted share = %g", share)
+	}
+	op.MustBind(pred, s)
+	matched := 0
+	for _, tp := range tuples {
+		if pred.Eval(tp).AsBool() {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(tuples))
+	// Zipf 1.4's head key alone can exceed 50%; the greedy packer stops
+	// as soon as the target is crossed, so the match fraction should be
+	// near the predicted share.
+	if frac < share-0.05 || frac > share+0.05 {
+		t.Errorf("matched %.3f, predicted %.3f", frac, share)
+	}
+	// The predicate serializes and re-parses (remote definition).
+	if _, err := op.Parse(pred.String()); err != nil {
+		t.Errorf("rate-split predicate does not round trip: %v", err)
+	}
+	if !strings.Contains(pred.String(), "==") {
+		t.Errorf("predicate shape: %s", pred)
+	}
+}
+
+func TestRateSplitValidation(t *testing.T) {
+	k := NewKeyTracker(1, 0)
+	if _, _, err := RateSplit(k, "A", 0.5); err == nil {
+		t.Error("empty tracker should fail")
+	}
+	k.Observe("3")
+	if _, _, err := RateSplit(k, "A", 0); err == nil {
+		t.Error("target 0 should fail")
+	}
+	if _, _, err := RateSplit(k, "A", 1); err == nil {
+		t.Error("target 1 should fail")
+	}
+	k2 := NewKeyTracker(1, 0)
+	k2.Observe("not-an-int")
+	if _, _, err := RateSplit(k2, "A", 0.5); err == nil {
+		t.Error("non-integer keys should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package loadmgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+// The split-predicate policies of §5.2. The filter predicate p defines the
+// redistributed load, and "the choice of p is crucial to the effectiveness
+// of this strategy": it may depend on stream content ("all streams
+// generated in Cambridge"), on statistics ("the top 10 streams by arrival
+// rate"), or on a simple static rule ("half of the available streams"),
+// and it may be re-tuned as network characteristics change.
+
+// ContentPredicate builds a content-based predicate: field == value routes
+// to the first branch.
+func ContentPredicate(field string, value stream.Value) op.Expr {
+	return op.NewCmp(op.EQ, op.NewCol(field), op.NewConst(value))
+}
+
+// HashHalf builds the statistics-free "half of the available streams"
+// predicate: hash(field) % 2 == 0.
+func HashHalf(field string) op.Expr {
+	return op.NewHashMod([]string{field}, 2, 0)
+}
+
+// KeyTracker maintains approximate per-key arrival statistics with
+// exponential decay, the "metadata or statistics about the streams" that
+// rate-based predicates consult. It is the monitoring half of re-tuning p
+// over time.
+type KeyTracker struct {
+	mu     sync.Mutex
+	counts map[string]float64
+	decay  float64
+	seen   uint64
+	every  uint64
+}
+
+// NewKeyTracker returns a tracker that multiplies all counts by decay
+// (in (0,1]) every decayEvery observations; decay 1 disables aging.
+func NewKeyTracker(decay float64, decayEvery int) *KeyTracker {
+	if decay <= 0 || decay > 1 {
+		decay = 0.5
+	}
+	if decayEvery < 1 {
+		decayEvery = 1024
+	}
+	return &KeyTracker{
+		counts: map[string]float64{},
+		decay:  decay,
+		every:  uint64(decayEvery),
+	}
+}
+
+// Observe records one arrival of key.
+func (k *KeyTracker) Observe(key string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.counts[key]++
+	k.seen++
+	if k.decay < 1 && k.seen%k.every == 0 {
+		for key, c := range k.counts {
+			c *= k.decay
+			if c < 0.5 {
+				delete(k.counts, key)
+			} else {
+				k.counts[key] = c
+			}
+		}
+	}
+}
+
+// TopKeys returns up to n keys by descending observed rate.
+func (k *KeyTracker) TopKeys(n int) []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	type kc struct {
+		key string
+		c   float64
+	}
+	all := make([]kc, 0, len(k.counts))
+	for key, c := range k.counts {
+		all = append(all, kc{key, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].key < all[j].key // deterministic ties
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].key
+	}
+	return out
+}
+
+// Share returns the fraction of observed arrivals carried by the given
+// keys.
+func (k *KeyTracker) Share(keys []string) float64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var total, part float64
+	for _, c := range k.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	for _, key := range keys {
+		part += k.counts[key]
+	}
+	return part / total
+}
+
+// RateSplit builds a statistics-based predicate over an integer key field:
+// it greedily packs the hottest keys until their observed share reaches
+// target (e.g. 0.5 to halve the load), producing
+// (field == k1 || field == k2 || ...). Re-invoking it after the tracker
+// has seen new traffic re-tunes p — "as the network characteristics
+// change, a simple adjustment to p could be enough to rebalance the load"
+// (§5.2). The returned share is the predicate's expected traffic fraction.
+func RateSplit(tracker *KeyTracker, field string, target float64) (op.Expr, float64, error) {
+	if target <= 0 || target >= 1 {
+		return nil, 0, fmt.Errorf("loadmgr: target share must be in (0,1)")
+	}
+	tracker.mu.Lock()
+	type kc struct {
+		key string
+		c   float64
+	}
+	all := make([]kc, 0, len(tracker.counts))
+	var total float64
+	for key, c := range tracker.counts {
+		all = append(all, kc{key, c})
+		total += c
+	}
+	tracker.mu.Unlock()
+	if total == 0 {
+		return nil, 0, fmt.Errorf("loadmgr: no observations to split on")
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].key < all[j].key
+	})
+	var expr op.Expr
+	share := 0.0
+	for _, e := range all {
+		if share >= target {
+			break
+		}
+		v, err := stream.ParseValue(stream.KindInt, e.key)
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadmgr: key %q is not an integer: %w", e.key, err)
+		}
+		eq := op.NewCmp(op.EQ, op.NewCol(field), op.NewConst(v))
+		if expr == nil {
+			expr = eq
+		} else {
+			expr = op.NewOr(expr, eq)
+		}
+		share += e.c / total
+	}
+	if expr == nil {
+		return nil, 0, fmt.Errorf("loadmgr: nothing selected")
+	}
+	return expr, share, nil
+}

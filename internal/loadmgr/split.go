@@ -1,0 +1,186 @@
+// Package loadmgr implements the load management of §5: the box splitting
+// transformation with operator-specific merge networks (Figs 5 and 6), the
+// split-predicate policies of §5.2 (content-based, statistics-based, and
+// hash-half), and the pairwise offload policy that the decentralized
+// load-share daemons run. The physical movement of boxes between nodes
+// (box sliding, Fig 4) is a deployment change orchestrated by
+// internal/core using the decisions computed here.
+package loadmgr
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+	"repro/internal/query"
+)
+
+// SplitInfo describes the boxes a split introduced, so the caller can map
+// the two parallel branches to different machines (Fig 7).
+type SplitInfo struct {
+	// Router is the Filter box acting as semantic router for the split.
+	Router string
+	// Branches are the two copies of the split box.
+	Branches [2]string
+	// Merge lists the boxes of the merge network in flow order (a Union
+	// for stateless boxes; Union, WSort, Tumble for a Tumble split).
+	Merge []string
+}
+
+// Splittable reports whether a box of the given spec can be split
+// transparently (§5.1): single-input single-output boxes whose results can
+// be merged. Tumble requires its aggregate to have a combination function;
+// avg, for instance, cannot be split.
+func Splittable(spec op.Spec) error {
+	switch spec.Kind {
+	case op.KindFilter:
+		if fp := spec.Params["falseport"]; fp == "true" {
+			return fmt.Errorf("loadmgr: dual-output filter cannot be split")
+		}
+		return nil
+	case op.KindMap, op.KindWSort:
+		return nil
+	case op.KindTumble:
+		aggName := spec.Params["agg"]
+		agg, err := op.LookupAggregate(aggName)
+		if err != nil {
+			return fmt.Errorf("loadmgr: %w", err)
+		}
+		if !agg.Combinable() {
+			return fmt.Errorf("loadmgr: aggregate %q has no combination function; Tumble cannot be split (§5.1)", aggName)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loadmgr: operator kind %q is not splittable", spec.Kind)
+	}
+}
+
+// MergeWSortTimeout is the timeout given to the WSort inside a Tumble
+// split's merge network. The paper's worked example assumes "a large
+// enough timeout argument"; continuous deployments should size it to the
+// expected inter-branch skew.
+const MergeWSortTimeout = int64(1) << 50
+
+// Split replaces the named box with its split form: a Filter router with
+// predicate pred partitioning input tuples between two copies of the box,
+// whose outputs are merged back into a single stream so the split is
+// transparent — the split network returns the same result as the unsplit
+// one (§5.1). The box being split must have a single input and a single
+// output.
+//
+// The merge network depends on the operator: a plain Union suffices for
+// stateless boxes (Fig 5); a Tumble needs Union, then WSort on the
+// group-by attributes, then a Tumble applying the combination function
+// (Fig 6); a WSort re-sorts with a second WSort.
+func Split(net *query.Network, boxID string, pred op.Expr) (*query.Network, *SplitInfo, error) {
+	box := net.Box(boxID)
+	if box == nil {
+		return nil, nil, fmt.Errorf("loadmgr: no box %q", boxID)
+	}
+	if err := Splittable(box.Spec); err != nil {
+		return nil, nil, err
+	}
+	inst, err := op.Build(box.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if inst.NumIn() != 1 || inst.NumOut() != 1 {
+		return nil, nil, fmt.Errorf("loadmgr: only single-input single-output boxes can be split")
+	}
+
+	info := &SplitInfo{
+		Router:   boxID + ".split",
+		Branches: [2]string{boxID + ".1", boxID + ".2"},
+	}
+
+	b := net.Rewrite()
+	// Capture the split box's surroundings before removal.
+	upArcs := net.Upstream(boxID)
+	downArcs := net.Downstream(boxID)
+	var inputFeeds []struct {
+		name string
+		port int
+	}
+	for _, in := range net.InputsOf(boxID) {
+		for _, d := range in.Dests {
+			if d.Box == boxID {
+				inputFeeds = append(inputFeeds, struct {
+					name string
+					port int
+				}{in.Name, d.Port})
+			}
+		}
+	}
+	outBindings := net.OutputsOf(boxID)
+
+	b.RemoveBox(boxID)
+
+	// The semantic router: tuples satisfying pred go to branch 1, the
+	// rest to branch 2 via the false port.
+	routerSpec := op.Spec{Kind: op.KindFilter, Params: map[string]string{
+		"predicate": pred.String(),
+		"falseport": "true",
+	}}
+	b.AddBox(info.Router, routerSpec)
+	b.AddBox(info.Branches[0], box.Spec.Clone())
+	b.AddBox(info.Branches[1], box.Spec.Clone())
+	b.ConnectPorts(query.Port{Box: info.Router, Port: 0}, query.Port{Box: info.Branches[0]}, false)
+	b.ConnectPorts(query.Port{Box: info.Router, Port: 1}, query.Port{Box: info.Branches[1]}, false)
+
+	// The merge network.
+	unionID := boxID + ".merge.union"
+	b.AddBox(unionID, op.Spec{Kind: op.KindUnion, Params: map[string]string{"inputs": "2"}})
+	b.ConnectPorts(query.Port{Box: info.Branches[0]}, query.Port{Box: unionID, Port: 0}, false)
+	b.ConnectPorts(query.Port{Box: info.Branches[1]}, query.Port{Box: unionID, Port: 1}, false)
+	info.Merge = []string{unionID}
+	mergeTail := unionID
+
+	switch box.Spec.Kind {
+	case op.KindTumble:
+		groupBy := box.Spec.Params["groupby"]
+		agg := op.MustAggregate(box.Spec.Params["agg"])
+		wsortID := boxID + ".merge.wsort"
+		b.AddBox(wsortID, op.Spec{Kind: op.KindWSort, Params: map[string]string{
+			"attrs":   groupBy,
+			"timeout": fmt.Sprint(MergeWSortTimeout),
+		}})
+		b.Connect(mergeTail, wsortID)
+		combineID := boxID + ".merge.tumble"
+		b.AddBox(combineID, op.Spec{Kind: op.KindTumble, Params: map[string]string{
+			"agg":     agg.Combine().Name(),
+			"on":      op.ResultField,
+			"groupby": groupBy,
+		}})
+		b.Connect(wsortID, combineID)
+		info.Merge = append(info.Merge, wsortID, combineID)
+		mergeTail = combineID
+	case op.KindWSort:
+		wsortID := boxID + ".merge.wsort"
+		spec := box.Spec.Clone()
+		b.AddBox(wsortID, spec)
+		b.Connect(mergeTail, wsortID)
+		info.Merge = append(info.Merge, wsortID)
+		mergeTail = wsortID
+	}
+
+	// Rewire the surroundings: feeds into the old box now feed the
+	// router; the old box's consumers now consume the merge tail.
+	for _, a := range upArcs {
+		b.ConnectPorts(a.From, query.Port{Box: info.Router}, a.ConnectionPoint)
+	}
+	for _, f := range inputFeeds {
+		in := net.Inputs()[f.name]
+		b.BindInput(f.name, in.Schema, info.Router, 0)
+	}
+	for _, a := range downArcs {
+		b.ConnectPorts(query.Port{Box: mergeTail}, a.To, a.ConnectionPoint)
+	}
+	for _, o := range outBindings {
+		b.BindOutput(o.Name, mergeTail, 0, o.QoS)
+	}
+
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("loadmgr: split of %q produced invalid network: %w", boxID, err)
+	}
+	return out, info, nil
+}

@@ -1,0 +1,332 @@
+package loadmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+var abSchema = stream.MustSchema("ab",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+// fig2Stream is the sample tuple stream of paper Figure 2.
+func fig2Stream() []stream.Tuple {
+	rows := [][2]int64{{1, 2}, {1, 3}, {2, 2}, {2, 1}, {2, 6}, {4, 5}, {4, 2}}
+	out := make([]stream.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = stream.Tuple{Seq: uint64(i + 1), TS: int64(i + 1),
+			Vals: []stream.Value{stream.Int(r[0]), stream.Int(r[1])}}
+	}
+	return out
+}
+
+func singleBoxNet(t *testing.T, id string, spec op.Spec) *query.Network {
+	t.Helper()
+	n, err := query.NewBuilder("single").
+		AddBox(id, spec).
+		BindInput("in", abSchema, id, 0).
+		BindOutput("out", id, 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// runNet drains tuples through a network and returns the "out" tuples.
+func runNet(t *testing.T, n *query.Network, in []stream.Tuple) []stream.Tuple {
+	t.Helper()
+	e, err := engine.New(n, engine.Config{Clock: engine.NewVirtualClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { out = append(out, tp) })
+	for _, tp := range in {
+		e.Ingest("in", tp.Clone())
+	}
+	e.Drain()
+	return out
+}
+
+func sortedTuples(ts []stream.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = stream.NewTuple(t.Vals...).String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalAsMultiset(a, b []stream.Tuple) bool {
+	sa, sb := sortedTuples(a), sortedTuples(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func tumbleSpec(agg string) op.Spec {
+	return op.Spec{Kind: "tumble", Params: map[string]string{
+		"agg": agg, "on": "B", "groupby": "A"}}
+}
+
+// TestSplitTumblePaperExample reproduces the §5.1 worked example end to
+// end: Tumble(cnt, group-by A) over the Figure 2 stream, split with
+// predicate B < 3, produces the same result as the unsplit box —
+// (A=1, 2) and (A=2, 3) — with the A=4 window appearing on drain.
+func TestSplitTumblePaperExample(t *testing.T) {
+	base := singleBoxNet(t, "tb", tumbleSpec("cnt"))
+	split, info, err := Split(base, "tb", op.MustParse("B < 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Router != "tb.split" || len(info.Merge) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	got := runNet(t, split, fig2Stream())
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(2)),
+		stream.NewTuple(stream.Int(2), stream.Int(3)),
+		stream.NewTuple(stream.Int(4), stream.Int(2)),
+	}
+	if !stream.TuplesEqualValues(got, want) {
+		t.Fatalf("split output:\n%swant:\n%s", stream.FormatTuples(got), stream.FormatTuples(want))
+	}
+	// And it equals the unsplit network's output exactly.
+	unsplit := runNet(t, base, fig2Stream())
+	if !stream.TuplesEqualValues(got, unsplit) {
+		t.Fatalf("split differs from unsplit:\n%svs\n%s",
+			stream.FormatTuples(got), stream.FormatTuples(unsplit))
+	}
+}
+
+// TestSplitPaperMachineOutputs pins the intermediate per-machine results
+// the paper walks through: machine 1 (tuples 1,2,3,4,7) emits (1,2) and
+// (2,2); machine 2 (tuples 5,6) emits (2,1); the merge yields (1,2),(2,3).
+func TestSplitPaperMachineOutputs(t *testing.T) {
+	in := fig2Stream()
+	m1In := []stream.Tuple{in[0], in[1], in[2], in[3], in[6]}
+	m2In := []stream.Tuple{in[4], in[5]}
+	base := singleBoxNet(t, "tb", tumbleSpec("cnt"))
+
+	m1 := runNet(t, base, m1In)
+	want1 := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(2)),
+		stream.NewTuple(stream.Int(2), stream.Int(2)),
+		stream.NewTuple(stream.Int(4), stream.Int(1)), // drained open window
+	}
+	if !stream.TuplesEqualValues(m1, want1) {
+		t.Fatalf("machine 1:\n%s", stream.FormatTuples(m1))
+	}
+	m2 := runNet(t, singleBoxNet(t, "tb", tumbleSpec("cnt")), m2In)
+	want2 := []stream.Tuple{
+		stream.NewTuple(stream.Int(2), stream.Int(1)),
+		stream.NewTuple(stream.Int(4), stream.Int(1)),
+	}
+	if !stream.TuplesEqualValues(m2, want2) {
+		t.Fatalf("machine 2:\n%s", stream.FormatTuples(m2))
+	}
+	// Merge network alone: union + wsort + tumble(sum).
+	merge := query.NewBuilder("merge").
+		AddBox("u", op.Spec{Kind: "union", Params: map[string]string{"inputs": "2"}}).
+		AddBox("ws", op.Spec{Kind: "wsort", Params: map[string]string{
+			"attrs": "A", "timeout": fmt.Sprint(MergeWSortTimeout)}}).
+		AddBox("sum", op.Spec{Kind: "tumble", Params: map[string]string{
+			"agg": "sum", "on": "result", "groupby": "A"}}).
+		Connect("u", "ws").Connect("ws", "sum").
+		BindInput("in", m1Schema(t), "u", 0).
+		BindInput("in2", m1Schema(t), "u", 1).
+		BindOutput("out", "sum", 0, nil).
+		MustBuild()
+	e, err := engine.New(merge, engine.Config{Clock: engine.NewVirtualClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	e.OnOutput(func(_ string, tp stream.Tuple) { got = append(got, tp) })
+	for _, tp := range m1 {
+		e.Ingest("in", tp)
+	}
+	for _, tp := range m2 {
+		e.Ingest("in2", tp)
+	}
+	e.Drain()
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(2)),
+		stream.NewTuple(stream.Int(2), stream.Int(3)),
+		stream.NewTuple(stream.Int(4), stream.Int(2)),
+	}
+	if !stream.TuplesEqualValues(got, want) {
+		t.Fatalf("merge output:\n%s", stream.FormatTuples(got))
+	}
+}
+
+func m1Schema(t *testing.T) *stream.Schema {
+	t.Helper()
+	return stream.MustSchema("partial",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "result", Kind: stream.KindInt},
+	)
+}
+
+// TestSplitFilterTransparent is Fig 5: a split Filter plus Union returns
+// the same tuples as the unsplit Filter (as a multiset; the two branches
+// may interleave).
+func TestSplitFilterTransparent(t *testing.T) {
+	spec := op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 4"}}
+	base := singleBoxNet(t, "f", spec)
+	split, info, err := Split(base, "f", HashHalf("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Merge) != 1 {
+		t.Fatalf("filter merge should be a single Union: %+v", info)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var in []stream.Tuple
+	for i := 0; i < 500; i++ {
+		in = append(in, stream.NewTuple(
+			stream.Int(int64(rng.Intn(20))), stream.Int(int64(rng.Intn(10)))))
+	}
+	a := runNet(t, base, in)
+	b := runNet(t, split, in)
+	if !equalAsMultiset(a, b) {
+		t.Fatalf("filter split not transparent: %d vs %d tuples", len(a), len(b))
+	}
+}
+
+// TestSplitTumbleTransparentProperty: for every combinable aggregate and
+// random streams with non-decreasing group attribute (each group is a
+// single run, the regime in which the §5.1 merge is defined), split
+// output equals unsplit output.
+func TestSplitTumbleTransparentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, agg := range []string{"cnt", "sum", "max", "min"} {
+		for trial := 0; trial < 10; trial++ {
+			var in []stream.Tuple
+			a := int64(0)
+			for i := 0; i < 100; i++ {
+				if rng.Intn(4) == 0 {
+					a += 1 + int64(rng.Intn(3))
+				}
+				in = append(in, stream.Tuple{
+					Seq:  uint64(i + 1),
+					Vals: []stream.Value{stream.Int(a), stream.Int(int64(rng.Intn(50)))},
+				})
+			}
+			base := singleBoxNet(t, "tb", tumbleSpec(agg))
+			pred := op.MustParse(fmt.Sprintf("B < %d", 5+rng.Intn(40)))
+			split, _, err := Split(base, "tb", pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runNet(t, base, in)
+			got := runNet(t, split, in)
+			if !stream.TuplesEqualValues(got, want) {
+				t.Fatalf("agg %s trial %d:\nsplit:\n%sunsplit:\n%s",
+					agg, trial, stream.FormatTuples(got), stream.FormatTuples(want))
+			}
+		}
+	}
+}
+
+func TestSplitRejectsUnsplittable(t *testing.T) {
+	// avg has no combination function (§5.1).
+	base := singleBoxNet(t, "tb", tumbleSpec("avg"))
+	if _, _, err := Split(base, "tb", op.MustParse("B < 3")); err == nil {
+		t.Error("Tumble(avg) split should be rejected")
+	}
+	// Unknown box.
+	if _, _, err := Split(base, "ghost", op.MustParse("true")); err == nil {
+		t.Error("unknown box should be rejected")
+	}
+	// Join has two inputs.
+	joinNet := query.NewBuilder("j").
+		AddBox("j", op.Spec{Kind: "join", Params: map[string]string{
+			"leftkey": "A", "rightkey": "A", "window": "10"}}).
+		BindInput("l", abSchema, "j", 0).
+		BindInput("r", abSchema, "j", 1).
+		BindOutput("out", "j", 0, nil).
+		MustBuild()
+	if _, _, err := Split(joinNet, "j", op.MustParse("true")); err == nil {
+		t.Error("join split should be rejected")
+	}
+	// Dual-output filter.
+	if err := Splittable(op.Spec{Kind: "filter", Params: map[string]string{
+		"predicate": "true", "falseport": "true"}}); err == nil {
+		t.Error("dual filter should be rejected")
+	}
+	if err := Splittable(op.Spec{Kind: "tumble", Params: map[string]string{"agg": "bogus"}}); err == nil {
+		t.Error("unknown aggregate should be rejected")
+	}
+}
+
+func TestSplitPreservesSurroundings(t *testing.T) {
+	// A chain f1 -> tb -> f2 with the middle box split: the neighbors
+	// and bindings must survive.
+	n := query.NewBuilder("chain").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 100"}}).
+		AddBox("tb", tumbleSpec("cnt")).
+		AddBox("f2", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "result > 0"}}).
+		Connect("f1", "tb").Connect("tb", "f2").
+		BindInput("in", abSchema, "f1", 0).
+		BindOutput("out", "f2", 0, nil).
+		MustBuild()
+	split, info, err := Split(n, "tb", op.MustParse("B < 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Box("tb") != nil {
+		t.Error("original box should be gone")
+	}
+	for _, id := range []string{"f1", "f2", info.Router, info.Branches[0], info.Branches[1]} {
+		if split.Box(id) == nil {
+			t.Errorf("missing box %q", id)
+		}
+	}
+	got := runNet(t, split, fig2Stream())
+	want := runNet(t, n, fig2Stream())
+	if !stream.TuplesEqualValues(got, want) {
+		t.Fatalf("chain split not transparent:\n%svs\n%s",
+			stream.FormatTuples(got), stream.FormatTuples(want))
+	}
+}
+
+func TestSplitWSort(t *testing.T) {
+	spec := op.Spec{Kind: "wsort", Params: map[string]string{
+		"attrs": "A", "timeout": fmt.Sprint(MergeWSortTimeout)}}
+	base := singleBoxNet(t, "ws", spec)
+	split, _, err := Split(base, "ws", HashHalf("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var in []stream.Tuple
+	for i := 0; i < 200; i++ {
+		in = append(in, stream.NewTuple(stream.Int(int64(rng.Intn(50))), stream.Int(int64(i))))
+	}
+	got := runNet(t, split, in)
+	want := runNet(t, base, in)
+	if len(got) != len(want) {
+		t.Fatalf("wsort split lost tuples: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Field(0).AsInt() != want[i].Field(0).AsInt() {
+			t.Fatalf("sort order diverges at %d", i)
+		}
+	}
+}

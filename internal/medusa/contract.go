@@ -1,0 +1,197 @@
+package medusa
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ContentContract covers the payment by a receiving participant for the
+// stream sent by a sending participant (§7.2):
+//
+//	For stream_name, For time period, With availability guarantee,
+//	Pay payment.
+//
+// Payment is either a fixed subscription or a per-message amount.
+type ContentContract struct {
+	ID           string
+	Stream       string // stream name in the sender's namespace
+	Sender       string
+	Receiver     string
+	Period       int64   // duration the sender makes the stream available
+	Availability float64 // guaranteed uptime fraction (0 = unspecified)
+	PricePerMsg  float64
+	Subscription float64
+	Active       bool
+}
+
+// Validate checks contract well-formedness.
+func (c *ContentContract) Validate() error {
+	if c.Stream == "" || c.Sender == "" || c.Receiver == "" {
+		return fmt.Errorf("medusa: contract %s needs stream, sender, receiver", c.ID)
+	}
+	if c.Sender == c.Receiver {
+		return fmt.Errorf("medusa: contract %s is self-dealing", c.ID)
+	}
+	if c.PricePerMsg < 0 || c.Subscription < 0 {
+		return fmt.Errorf("medusa: contract %s has negative payment", c.ID)
+	}
+	if c.Availability < 0 || c.Availability > 1 {
+		return fmt.Errorf("medusa: contract %s availability out of [0,1]", c.ID)
+	}
+	return nil
+}
+
+// Settle transfers one period's payment for msgs delivered messages from
+// the receiver to the sender — "the receiving participant always pays the
+// sender for a stream" (§3.2). If the sender missed the availability
+// guarantee (delivered uptime below the contracted fraction), the
+// subscription part is prorated.
+func (c *ContentContract) Settle(sender, receiver *Participant, msgs int64, uptime float64) (float64, error) {
+	if !c.Active {
+		return 0, fmt.Errorf("medusa: contract %s is not active", c.ID)
+	}
+	if sender.Name != c.Sender || receiver.Name != c.Receiver {
+		return 0, fmt.Errorf("medusa: contract %s parties mismatch", c.ID)
+	}
+	amount := c.PricePerMsg * float64(msgs)
+	sub := c.Subscription
+	if c.Availability > 0 && uptime < c.Availability {
+		sub *= uptime / c.Availability
+	}
+	amount += sub
+	if err := Transfer(receiver.Account, sender.Account, amount); err != nil {
+		return 0, err
+	}
+	return amount, nil
+}
+
+// SuggestedContract is the mechanism for removing a participant from a
+// query-processing path (§7.2): the leaving participant suggests to its
+// downstream an alternate location (participant and stream name) from
+// which to buy the content it currently provides. Receivers may ignore
+// suggestions.
+type SuggestedContract struct {
+	From            string // the suggesting (leaving) participant
+	To              string // the receiver being redirected
+	Stream          string // the content in question
+	AlternateSender string // where to buy instead
+	AlternateStream string // the stream's name at the alternate sender
+}
+
+// Validate checks suggestion well-formedness.
+func (s *SuggestedContract) Validate() error {
+	if s.From == "" || s.To == "" || s.AlternateSender == "" {
+		return fmt.Errorf("medusa: suggestion needs from, to, alternate")
+	}
+	if s.AlternateSender == s.To {
+		return fmt.Errorf("medusa: suggesting the receiver to itself")
+	}
+	return nil
+}
+
+// MovementPlan is one of the equivalent distributed query plans inside a
+// movement contract: the same functionality with load distributed
+// differently across the two participants. Boundary is the plan's split
+// point (stages below it run at P1, the rest at P2); the plan pairs with
+// an inactive content contract priced for that split.
+type MovementPlan struct {
+	Name     string
+	Boundary int
+	Contract *ContentContract
+}
+
+// MovementContract facilitates load balancing via a form of box sliding
+// across participants (§7.2): a set of equivalent remote query plans with
+// corresponding inactive content contracts; the two oracles agree to
+// switch which plan (and contract) is active.
+type MovementContract struct {
+	ID     string
+	P1, P2 string
+
+	mu     sync.Mutex
+	plans  []MovementPlan
+	active int
+	// cancelled reverts cooperation to the plain content contract.
+	cancelled bool
+	switches  int
+}
+
+// NewMovementContract builds a movement contract over the given equivalent
+// plans; plan 0 starts active.
+func NewMovementContract(id, p1, p2 string, plans []MovementPlan) (*MovementContract, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("medusa: movement contract %s needs at least one plan", id)
+	}
+	for i := range plans {
+		if plans[i].Contract == nil {
+			return nil, fmt.Errorf("medusa: plan %d missing content contract", i)
+		}
+		if err := plans[i].Contract.Validate(); err != nil {
+			return nil, err
+		}
+		plans[i].Contract.Active = false
+	}
+	m := &MovementContract{ID: id, P1: p1, P2: p2, plans: plans}
+	m.plans[0].Contract.Active = true
+	return m, nil
+}
+
+// Active returns the currently active plan.
+func (m *MovementContract) Active() MovementPlan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plans[m.active]
+}
+
+// Plans returns a copy of all plans.
+func (m *MovementContract) Plans() []MovementPlan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MovementPlan(nil), m.plans...)
+}
+
+// Switch activates the named plan — the step the two oracles take when
+// both agree a substitution is preferable. It fails on cancelled
+// contracts or unknown plans.
+func (m *MovementContract) Switch(plan string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cancelled {
+		return fmt.Errorf("medusa: movement contract %s is cancelled", m.ID)
+	}
+	for i := range m.plans {
+		if m.plans[i].Name == plan {
+			if i == m.active {
+				return nil
+			}
+			m.plans[m.active].Contract.Active = false
+			m.active = i
+			m.plans[i].Contract.Active = true
+			m.switches++
+			return nil
+		}
+	}
+	return fmt.Errorf("medusa: movement contract %s has no plan %q", m.ID, plan)
+}
+
+// Cancel voids the movement contract; cooperation reverts to whatever
+// content contract is in place (the active plan's contract stays active).
+func (m *MovementContract) Cancel() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancelled = true
+}
+
+// Cancelled reports whether the contract has been cancelled.
+func (m *MovementContract) Cancelled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cancelled
+}
+
+// Switches counts how many plan substitutions have occurred.
+func (m *MovementContract) Switches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.switches
+}

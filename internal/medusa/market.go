@@ -1,0 +1,475 @@
+package medusa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Econ is one participant's cost structure in the agoric model: processing
+// capacity per round and the dollar cost of one unit of work.
+type Econ struct {
+	Capacity    float64
+	CostPerWork float64
+}
+
+// Stage is one step of a distributed query pipeline: the work it costs per
+// message and the value it adds to the stream's per-message price — "the
+// receiver performs query-processing services on the message stream that
+// presumably increases its value, at some cost" (§3.2).
+type Stage struct {
+	Name     string
+	Work     float64
+	ValueAdd float64
+}
+
+// MarketQuery is a query pipeline flowing along the market's participant
+// chain. Stages are partitioned contiguously by cut points: cuts[i] is the
+// index of the first stage owned by participant i+1. One movement contract
+// per adjacent pair holds a plan for every feasible cut position.
+type MarketQuery struct {
+	Name      string
+	BasePrice float64
+	Stages    []Stage
+	Rate      float64 // messages per round
+
+	cuts      []int
+	contracts []*MovementContract
+}
+
+// Cuts returns the current cut vector.
+func (q *MarketQuery) Cuts() []int { return append([]int(nil), q.cuts...) }
+
+// Owner returns the chain position owning stage s.
+func (q *MarketQuery) Owner(s int) int {
+	for i, c := range q.cuts {
+		if s < c {
+			return i
+		}
+	}
+	return len(q.cuts)
+}
+
+// Switches returns the total movement-contract plan substitutions this
+// query's boundaries have performed.
+func (q *MarketQuery) Switches() int {
+	total := 0
+	for _, mc := range q.contracts {
+		total += mc.Switches()
+	}
+	return total
+}
+
+// FinalPrice is what the end consumer pays per delivered message.
+func (q *MarketQuery) FinalPrice() float64 {
+	p := q.BasePrice
+	for _, s := range q.Stages {
+		p += s.ValueAdd
+	}
+	return p
+}
+
+// priceAt returns the per-message price of the stream entering stage s.
+func (q *MarketQuery) priceAt(s int) float64 {
+	p := q.BasePrice
+	for i := 0; i < s; i++ {
+		p += q.Stages[i].ValueAdd
+	}
+	return p
+}
+
+// Market is the §7.2 economy: participants arranged in a processing chain,
+// queries partitioned across them by movement-contract plans, and one
+// oracle per participant deciding, pairwise, whether an alternate plan is
+// preferable. The hope the paper expresses — that mostly bilateral
+// contracts "allow the system to anneal to a state where the economy is
+// stable" — is what the Round loop lets experiments observe.
+type Market struct {
+	order   []string
+	parts   map[string]*Participant
+	econ    map[string]Econ
+	queries []*MarketQuery
+	rounds  int
+
+	// TargetUtil is the utilization above which an oracle seeks to shed
+	// load even at a profit loss, and below which a neighbor accepts it
+	// (as long as accepting costs the neighbor nothing). §7.2: oracles
+	// "must carefully monitor local load conditions, and be aware of the
+	// economic model" — load relief first, economics as the constraint.
+	TargetUtil float64
+}
+
+// NewMarket creates a market over the participants in chain order.
+func NewMarket(parts []*Participant, econ map[string]Econ) (*Market, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("medusa: market needs at least two participants")
+	}
+	m := &Market{parts: map[string]*Participant{}, econ: econ, TargetUtil: 0.9}
+	for _, p := range parts {
+		if _, dup := m.parts[p.Name]; dup {
+			return nil, fmt.Errorf("medusa: duplicate participant %q", p.Name)
+		}
+		e, ok := econ[p.Name]
+		if !ok || e.Capacity <= 0 || e.CostPerWork < 0 {
+			return nil, fmt.Errorf("medusa: participant %q needs positive capacity", p.Name)
+		}
+		m.parts[p.Name] = p
+		m.order = append(m.order, p.Name)
+	}
+	return m, nil
+}
+
+// AddQuery registers a pipeline with initial cut points (len(parts)-1
+// non-decreasing stage indices). Movement contracts are created for every
+// adjacent pair, one plan per feasible boundary position.
+func (m *Market) AddQuery(name string, basePrice float64, stages []Stage, rate float64, cuts []int) (*MarketQuery, error) {
+	if len(stages) == 0 || rate <= 0 {
+		return nil, fmt.Errorf("medusa: query %q needs stages and positive rate", name)
+	}
+	if len(cuts) != len(m.order)-1 {
+		return nil, fmt.Errorf("medusa: query %q needs %d cuts", name, len(m.order)-1)
+	}
+	prev := 0
+	for _, c := range cuts {
+		if c < prev || c > len(stages) {
+			return nil, fmt.Errorf("medusa: query %q has invalid cuts %v", name, cuts)
+		}
+		prev = c
+	}
+	q := &MarketQuery{
+		Name:      name,
+		BasePrice: basePrice,
+		Stages:    stages,
+		Rate:      rate,
+		cuts:      append([]int(nil), cuts...),
+	}
+	// One movement contract per adjacent pair: a plan for every boundary
+	// position, each paired with a content contract priced at that
+	// boundary's stream price.
+	for i := 0; i+1 < len(m.order); i++ {
+		var plans []MovementPlan
+		for b := 0; b <= len(stages); b++ {
+			plans = append(plans, MovementPlan{
+				Name:     fmt.Sprintf("cut=%d", b),
+				Boundary: b,
+				Contract: &ContentContract{
+					ID:          fmt.Sprintf("%s/%s-%s/cut%d", name, m.order[i], m.order[i+1], b),
+					Stream:      name,
+					Sender:      m.order[i],
+					Receiver:    m.order[i+1],
+					PricePerMsg: q.priceAt(b),
+				},
+			})
+		}
+		mc, err := NewMovementContract(
+			fmt.Sprintf("%s/%s-%s", name, m.order[i], m.order[i+1]),
+			m.order[i], m.order[i+1], plans)
+		if err != nil {
+			return nil, err
+		}
+		if err := mc.Switch(fmt.Sprintf("cut=%d", cuts[i])); err != nil {
+			return nil, err
+		}
+		q.contracts = append(q.contracts, mc)
+	}
+	m.queries = append(m.queries, q)
+	return q, nil
+}
+
+// RoundReport summarizes one market round.
+type RoundReport struct {
+	Round       int
+	Utilization map[string]float64
+	Profit      map[string]float64
+	Switches    int
+	// Imbalance is max utilization / mean utilization across participants.
+	Imbalance float64
+}
+
+// evaluate computes per-participant load, delivered fraction, and profit
+// for a hypothetical cut assignment, without touching accounts.
+//
+// Overload and flow interact: an overloaded participant delivers only a
+// capacity fraction of its messages, which reduces the work (and revenue)
+// of everyone downstream, which in turn changes their delivered fractions.
+// A short fixed-point iteration resolves the mutual dependence. This
+// coupling is what makes load diffuse down the chain: a saturated
+// mid-chain participant both loses revenue and receives a thinner inbound
+// stream, so shedding to an idle neighbor is profitable for both sides.
+func (m *Market) evaluate(cutsOf func(*MarketQuery) []int) (load, df, profit map[string]float64) {
+	df = map[string]float64{}
+	for _, p := range m.order {
+		df[p] = 1.0
+	}
+	for iter := 0; iter < 12; iter++ {
+		load = map[string]float64{}
+		for _, p := range m.order {
+			load[p] = 0
+		}
+		for _, q := range m.queries {
+			cuts := cutsOf(q)
+			running := q.Rate
+			for i, p := range m.order {
+				first, last := stageRange(cuts, i, len(q.Stages))
+				for s := first; s < last; s++ {
+					load[p] += q.Stages[s].Work * running
+				}
+				if last > first {
+					running *= df[p]
+				}
+			}
+		}
+		changed := false
+		for _, p := range m.order {
+			want := 1.0
+			if cap := m.econ[p].Capacity; load[p] > cap {
+				want = cap / load[p]
+			}
+			if diff := want - df[p]; diff > 1e-9 || diff < -1e-9 {
+				df[p] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	profit = map[string]float64{}
+	for _, p := range m.order {
+		profit[p] = 0
+	}
+	for _, q := range m.queries {
+		cuts := cutsOf(q)
+		running := q.Rate
+		for i, p := range m.order {
+			first, last := stageRange(cuts, i, len(q.Stages))
+			if first == last {
+				continue // owns no stages of this query
+			}
+			// Buy the incoming stream (from upstream participant or the
+			// external source at the base price).
+			profit[p] -= q.priceAt(first) * running
+			// Process: cost on arriving volume, then overload losses.
+			for s := first; s < last; s++ {
+				profit[p] -= q.Stages[s].Work * running * m.econ[p].CostPerWork
+			}
+			running *= df[p]
+			// Sell the outgoing stream (to the next owner or the final
+			// consumer at the full price).
+			profit[p] += q.priceAt(last) * running
+		}
+	}
+	return load, df, profit
+}
+
+// profits is the profit slice of evaluate.
+func (m *Market) profits(cutsOf func(*MarketQuery) []int) map[string]float64 {
+	_, _, profit := m.evaluate(cutsOf)
+	return profit
+}
+
+// validCuts reports whether a cut vector is non-decreasing and in range.
+func validCuts(cuts []int, stages int) bool {
+	prev := 0
+	for _, c := range cuts {
+		if c < prev || c > stages {
+			return false
+		}
+		prev = c
+	}
+	return true
+}
+
+// stageRange returns participant i's [first, last) stage interval.
+func stageRange(cuts []int, i, total int) (int, int) {
+	first := 0
+	if i > 0 {
+		first = cuts[i-1]
+	}
+	last := total
+	if i < len(cuts) {
+		last = cuts[i]
+	}
+	if first > last {
+		first = last
+	}
+	return first, last
+}
+
+// Round executes one market round: settle this round's money through the
+// participant accounts, then run the oracle pass in which adjacent pairs
+// consider switching their movement-contract plans. A switch happens only
+// when both oracles find the alternate plan preferable (strictly higher
+// expected profit for each), mirroring §7.2's bilateral agreement.
+func (m *Market) Round() RoundReport {
+	m.rounds++
+	cur := func(q *MarketQuery) []int { return q.cuts }
+	load, _, profit := m.evaluate(cur)
+
+	// Settle through the real accounts.
+	for p, pr := range profit {
+		if pr >= 0 {
+			m.parts[p].Account.Credit(pr)
+		} else {
+			m.parts[p].Account.Debit(-pr)
+		}
+	}
+
+	// Oracle pass: each adjacent pair, each query, tries moving its
+	// boundary one stage either way. A substitution happens when either
+	// (a) both sides strictly profit, or (b) the giving side is above the
+	// target utilization, the taking side stays at or below it, and the
+	// taking side does not lose money — the load-relief behaviour the
+	// movement contracts exist for.
+	switches := 0
+	for _, q := range m.queries {
+		for pair := 0; pair+1 < len(m.order); pair++ {
+			left, right := m.order[pair], m.order[pair+1]
+			baseLoad, _, baseProfit := m.evaluate(cur)
+
+			// Candidate boundary adjustments: this pair's boundary moves
+			// one stage, optionally together with the next boundary (a
+			// chained relief negotiated among three parties), or as a
+			// cascade shifting one stage through every boundary from
+			// here to the end of the chain — the multi-party re-layout
+			// that §7.2's suggested contracts make possible.
+			type cand struct {
+				d1, d2  int
+				cascade bool
+			}
+			cands := []cand{{d1: -1}, {d1: 1}}
+			if pair+1 < len(q.cuts) {
+				cands = append(cands,
+					cand{d1: -1, d2: -1}, cand{d1: 1, d2: 1},
+					cand{d1: -1, cascade: true}, cand{d1: 1, cascade: true})
+			}
+
+			var bestCuts []int
+			bestScore := 0.0
+			for _, c := range cands {
+				cuts := q.Cuts()
+				if c.cascade {
+					for j := pair; j < len(cuts); j++ {
+						cuts[j] += c.d1
+					}
+				} else {
+					cuts[pair] += c.d1
+					if c.d2 != 0 {
+						cuts[pair+1] += c.d2
+					}
+				}
+				if !validCuts(cuts, len(q.Stages)) {
+					continue
+				}
+				hypCuts := func(qq *MarketQuery) []int {
+					if qq == q {
+						return append([]int(nil), cuts...)
+					}
+					return qq.Cuts()
+				}
+				hypLoad, _, hypProfit := m.evaluate(hypCuts)
+
+				// Pareto-economic acceptance: nobody loses, somebody
+				// strictly gains.
+				minGain, totalGain := math.Inf(1), 0.0
+				for _, p := range m.order {
+					g := hypProfit[p] - baseProfit[p]
+					totalGain += g
+					if g < minGain {
+						minGain = g
+					}
+				}
+				economic := minGain >= -1e-9 && totalGain > 1e-9
+
+				// Load-relief acceptance for the simple single-boundary
+				// move: the giver is above target utilization; the taker
+				// stays within its capacity and clearly below the giver
+				// (downhill-only, so relief cannot oscillate); and the
+				// taker loses at most a negligible amount. Movement
+				// contracts exist exactly for this: "oracles must
+				// carefully monitor local load conditions" (§7.2).
+				relief := false
+				if c.d2 == 0 && !c.cascade {
+					giver, taker := left, right
+					if c.d1 > 0 {
+						giver, taker = right, left
+					}
+					giverUtil := baseLoad[giver] / m.econ[giver].Capacity
+					takerAfter := hypLoad[taker] / m.econ[taker].Capacity
+					takerGain := hypProfit[taker] - baseProfit[taker]
+					relief = giverUtil > m.TargetUtil &&
+						takerAfter <= 1+1e-9 &&
+						takerAfter+0.05 < giverUtil &&
+						takerGain >= -1e-3
+				}
+				if !economic && !relief {
+					continue
+				}
+				score := totalGain
+				if relief && !economic {
+					score = 1e-6 // relief moves rank below any economic gain
+				}
+				if score > bestScore {
+					bestCuts = cuts
+					bestScore = score
+				}
+			}
+			if bestCuts != nil {
+				moved := false
+				for i := range bestCuts {
+					if bestCuts[i] == q.cuts[i] {
+						continue
+					}
+					if err := q.contracts[i].Switch(fmt.Sprintf("cut=%d", bestCuts[i])); err == nil {
+						q.cuts[i] = bestCuts[i]
+						moved = true
+					}
+				}
+				if moved {
+					switches++
+				}
+			}
+		}
+	}
+
+	// Report.
+	util := map[string]float64{}
+	var maxU, sumU float64
+	for _, p := range m.order {
+		u := load[p] / m.econ[p].Capacity
+		util[p] = u
+		sumU += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	imb := math.Inf(1)
+	if sumU > 0 {
+		imb = maxU / (sumU / float64(len(m.order)))
+	}
+	return RoundReport{
+		Round:       m.rounds,
+		Utilization: util,
+		Profit:      profit,
+		Switches:    switches,
+		Imbalance:   imb,
+	}
+}
+
+// RunUntilStable rounds until a round makes no switches (returning the
+// last report) or maxRounds elapse.
+func (m *Market) RunUntilStable(maxRounds int) (RoundReport, bool) {
+	var rep RoundReport
+	for i := 0; i < maxRounds; i++ {
+		rep = m.Round()
+		if rep.Switches == 0 && i > 0 {
+			return rep, true
+		}
+	}
+	return rep, false
+}
+
+// Queries returns the registered queries.
+func (m *Market) Queries() []*MarketQuery { return m.queries }
+
+// Participants returns the chain order.
+func (m *Market) Participants() []string { return append([]string(nil), m.order...) }

@@ -1,0 +1,354 @@
+package medusa
+
+import (
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+var qSchema = stream.MustSchema("quotes",
+	stream.Field{Name: "sym", Kind: stream.KindString},
+	stream.Field{Name: "price", Kind: stream.KindFloat},
+)
+
+func TestAccountTransfers(t *testing.T) {
+	var a, b Account
+	a.Credit(100)
+	if err := Transfer(&a, &b, 30); err != nil {
+		t.Fatal(err)
+	}
+	if a.Balance() != 70 || b.Balance() != 30 {
+		t.Errorf("balances = %g, %g", a.Balance(), b.Balance())
+	}
+	if err := Transfer(&a, &b, -1); err == nil {
+		t.Error("negative transfer should fail")
+	}
+	if err := a.Credit(-1); err == nil {
+		t.Error("negative credit should fail")
+	}
+	if err := a.Debit(-1); err == nil {
+		t.Error("negative debit should fail")
+	}
+	// Accounts may go negative (a participant operating at a loss).
+	b.Debit(1000)
+	if b.Balance() >= 0 {
+		t.Error("debit should be allowed to go negative")
+	}
+}
+
+func TestOffers(t *testing.T) {
+	p := NewParticipant("mit")
+	if err := p.Offer(Offer{Stream: "quotes", Schema: qSchema, PricePerMsg: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Offer(Offer{Stream: "quotes", Schema: qSchema}); err == nil {
+		t.Error("duplicate offer should fail")
+	}
+	if err := p.Offer(Offer{Stream: "", Schema: qSchema}); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if err := p.Offer(Offer{Stream: "x", Schema: qSchema, PricePerMsg: -1}); err == nil {
+		t.Error("negative price should fail")
+	}
+	o, ok := p.OfferFor("quotes")
+	if !ok || o.PricePerMsg != 0.01 {
+		t.Errorf("OfferFor = %+v, %v", o, ok)
+	}
+}
+
+func TestRemoteDefinition(t *testing.T) {
+	host := NewParticipant("brown")
+	spec := op.Spec{Kind: "filter", Params: map[string]string{
+		"predicate": `(price > 100)`}}
+	// Unauthorized requester is refused.
+	if err := RemoteDefine("mit", host, "threshold", spec); err == nil {
+		t.Fatal("unauthorized remote definition must fail")
+	}
+	host.Authorize("mit")
+	if !host.Authorized("mit") || host.Authorized("cmu") {
+		t.Fatal("authorization state wrong")
+	}
+	if err := RemoteDefine("mit", host, "threshold", spec); err != nil {
+		t.Fatal(err)
+	}
+	// Redefinition under the same name fails.
+	if err := RemoteDefine("mit", host, "threshold", spec); err == nil {
+		t.Error("duplicate remote definition should fail")
+	}
+	// The host can rebuild the operator from the stored spec.
+	got, ok := host.RemoteDefinition("threshold")
+	if !ok {
+		t.Fatal("definition missing")
+	}
+	if _, err := op.Build(got); err != nil {
+		t.Fatal(err)
+	}
+	// Specs the host cannot instantiate are refused.
+	if err := RemoteDefine("mit", host, "bad", op.Spec{Kind: "warpdrive"}); err == nil {
+		t.Error("uninstantiable spec should fail")
+	}
+	host.Revoke("mit")
+	if err := RemoteDefine("mit", host, "another", spec); err == nil {
+		t.Error("revoked requester should fail")
+	}
+}
+
+func TestContentContractValidate(t *testing.T) {
+	ok := &ContentContract{ID: "c", Stream: "s", Sender: "a", Receiver: "b", PricePerMsg: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*ContentContract{
+		{ID: "x", Sender: "a", Receiver: "b"},                                // no stream
+		{ID: "x", Stream: "s", Sender: "a", Receiver: "a"},                   // self-dealing
+		{ID: "x", Stream: "s", Sender: "a", Receiver: "b", PricePerMsg: -1},  // negative
+		{ID: "x", Stream: "s", Sender: "a", Receiver: "b", Availability: 2},  // bad availability
+		{ID: "x", Stream: "s", Sender: "a", Receiver: "b", Subscription: -5}, // negative sub
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("contract %d should be invalid", i)
+		}
+	}
+}
+
+func TestContentContractSettle(t *testing.T) {
+	sender, receiver := NewParticipant("a"), NewParticipant("b")
+	receiver.Account.Credit(100)
+	c := &ContentContract{
+		ID: "c1", Stream: "s", Sender: "a", Receiver: "b",
+		PricePerMsg: 0.1, Subscription: 10, Availability: 0.99, Active: true,
+	}
+	paid, err := c.Settle(sender, receiver, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paid != 20 { // 100 msgs * 0.1 + 10 subscription
+		t.Errorf("paid = %g, want 20", paid)
+	}
+	if sender.Account.Balance() != 20 || receiver.Account.Balance() != 80 {
+		t.Errorf("balances: %g, %g", sender.Account.Balance(), receiver.Account.Balance())
+	}
+	// Missed availability prorates the subscription.
+	paid, err = c.Settle(sender, receiver, 0, 0.495)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paid != 5 { // 10 * 0.495/0.99
+		t.Errorf("prorated = %g, want 5", paid)
+	}
+	// Inactive contracts cannot settle; mismatched parties cannot settle.
+	c.Active = false
+	if _, err := c.Settle(sender, receiver, 1, 1); err == nil {
+		t.Error("inactive settle should fail")
+	}
+	c.Active = true
+	if _, err := c.Settle(receiver, sender, 1, 1); err == nil {
+		t.Error("party mismatch should fail")
+	}
+}
+
+func TestSuggestedContractValidate(t *testing.T) {
+	ok := &SuggestedContract{From: "a", To: "b", Stream: "s", AlternateSender: "c"}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&SuggestedContract{From: "a", To: "b", AlternateSender: "b"}).Validate(); err == nil {
+		t.Error("self-alternate should fail")
+	}
+	if err := (&SuggestedContract{}).Validate(); err == nil {
+		t.Error("empty suggestion should fail")
+	}
+}
+
+func TestMovementContractSwitching(t *testing.T) {
+	mkPlan := func(name string, b int) MovementPlan {
+		return MovementPlan{Name: name, Boundary: b, Contract: &ContentContract{
+			ID: name, Stream: "s", Sender: "a", Receiver: "b", PricePerMsg: 0.1}}
+	}
+	mc, err := NewMovementContract("m", "a", "b",
+		[]MovementPlan{mkPlan("p0", 0), mkPlan("p1", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Active(); got.Name != "p0" || !got.Contract.Active {
+		t.Fatalf("initial active = %+v", got)
+	}
+	if err := mc.Switch("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Active(); got.Name != "p1" {
+		t.Fatal("switch did not take")
+	}
+	plans := mc.Plans()
+	if plans[0].Contract.Active || !plans[1].Contract.Active {
+		t.Error("content contract activation must follow the switch")
+	}
+	if mc.Switches() != 1 {
+		t.Errorf("switches = %d", mc.Switches())
+	}
+	// Switching to the active plan is a no-op; unknown plans fail.
+	if err := mc.Switch("p1"); err != nil || mc.Switches() != 1 {
+		t.Error("no-op switch miscounted")
+	}
+	if err := mc.Switch("nope"); err == nil {
+		t.Error("unknown plan should fail")
+	}
+	// Cancellation freezes the contract.
+	mc.Cancel()
+	if !mc.Cancelled() {
+		t.Error("cancel flag lost")
+	}
+	if err := mc.Switch("p0"); err == nil {
+		t.Error("switch after cancel should fail")
+	}
+	// Construction errors.
+	if _, err := NewMovementContract("m", "a", "b", nil); err == nil {
+		t.Error("empty plan set should fail")
+	}
+	if _, err := NewMovementContract("m", "a", "b",
+		[]MovementPlan{{Name: "x"}}); err == nil {
+		t.Error("plan without contract should fail")
+	}
+}
+
+func marketWith(t *testing.T, caps []float64) (*Market, []*Participant) {
+	t.Helper()
+	var parts []*Participant
+	econ := map[string]Econ{}
+	for i, c := range caps {
+		p := NewParticipant(string(rune('A' + i)))
+		parts = append(parts, p)
+		econ[p.Name] = Econ{Capacity: c, CostPerWork: 0.001}
+	}
+	m, err := NewMarket(parts, econ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, parts
+}
+
+func evenStages(n int) []Stage {
+	out := make([]Stage, n)
+	for i := range out {
+		out[i] = Stage{Name: string(rune('s' + i)), Work: 1, ValueAdd: 0.01}
+	}
+	return out
+}
+
+func TestMarketValidation(t *testing.T) {
+	if _, err := NewMarket(nil, nil); err == nil {
+		t.Error("empty market should fail")
+	}
+	m, _ := marketWith(t, []float64{100, 100})
+	if _, err := m.AddQuery("q", 0.01, nil, 10, []int{0}); err == nil {
+		t.Error("no stages should fail")
+	}
+	if _, err := m.AddQuery("q", 0.01, evenStages(4), 10, []int{9}); err == nil {
+		t.Error("out-of-range cut should fail")
+	}
+	if _, err := m.AddQuery("q", 0.01, evenStages(4), 10, []int{1, 2}); err == nil {
+		t.Error("wrong cut count should fail")
+	}
+}
+
+// TestMarketAnneals is the §7.2 headline: starting with all processing
+// piled on one overloaded participant, bilateral movement-contract
+// switches anneal the economy to a stable, balanced, profitable state.
+func TestMarketAnneals(t *testing.T) {
+	m, parts := marketWith(t, []float64{100, 100, 100})
+	// 240 units/round of work, all initially at A (util 2.4).
+	if _, err := m.AddQuery("q", 0.01, evenStages(12), 20, []int{12, 12}); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Round()
+	if first.Utilization["A"] < 2.0 {
+		t.Fatalf("initial overload missing: %+v", first.Utilization)
+	}
+	rep, stable := m.RunUntilStable(100)
+	if !stable {
+		t.Fatalf("market did not stabilize: %+v", rep)
+	}
+	for p, u := range rep.Utilization {
+		if u > 1.01 {
+			t.Errorf("participant %s still overloaded at %.2f", p, u)
+		}
+	}
+	if rep.Imbalance > 1.4 {
+		t.Errorf("imbalance after annealing = %.2f", rep.Imbalance)
+	}
+	// In the stable state every participant profits.
+	for p, pr := range rep.Profit {
+		if pr <= 0 {
+			t.Errorf("participant %s profit = %g; contracts must make money", p, pr)
+		}
+	}
+	// Accounts reflect accumulated settlements.
+	for _, p := range parts {
+		if p.Account.Balance() == 0 {
+			t.Errorf("participant %s never settled", p.Name)
+		}
+	}
+}
+
+func TestMarketStableStaysStable(t *testing.T) {
+	m, _ := marketWith(t, []float64{100, 100})
+	// Perfectly split from the start.
+	if _, err := m.AddQuery("q", 0.01, evenStages(10), 10, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if rep := m.Round(); rep.Switches != 0 {
+			t.Fatalf("balanced market should not thrash: %+v", rep)
+		}
+	}
+}
+
+func TestMarketLoadSpikeShifts(t *testing.T) {
+	m, _ := marketWith(t, []float64{100, 100})
+	q, err := m.AddQuery("q", 0.01, evenStages(10), 8, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilStable(20)
+	before := q.Cuts()[0]
+	// Load spike: rate doubles and one side gets extra background work.
+	q.Rate = 19
+	rep, stable := m.RunUntilStable(50)
+	if !stable {
+		t.Fatalf("spike did not re-stabilize: %+v", rep)
+	}
+	for p, u := range rep.Utilization {
+		if u > 1.01 {
+			t.Errorf("%s overloaded after spike: %.2f", p, u)
+		}
+	}
+	_ = before
+	if total := q.Cuts()[0]; total < 4 || total > 6 {
+		t.Errorf("cut drifted oddly: %d", total)
+	}
+	if q.contracts[0].Switches() == 0 && rep.Imbalance > 1.2 {
+		t.Error("spike should have caused movement or stayed balanced")
+	}
+}
+
+func TestMarketQueryAccessors(t *testing.T) {
+	m, _ := marketWith(t, []float64{50, 50})
+	q, err := m.AddQuery("q", 0.02, evenStages(4), 5, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := q.FinalPrice() - (0.02 + 4*0.01); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("FinalPrice = %g", q.FinalPrice())
+	}
+	if q.Owner(0) != 0 || q.Owner(3) != 1 {
+		t.Error("Owner mapping wrong")
+	}
+	if got := m.Participants(); len(got) != 2 || got[0] != "A" {
+		t.Errorf("participants = %v", got)
+	}
+	if len(m.Queries()) != 1 {
+		t.Error("queries accessor wrong")
+	}
+}

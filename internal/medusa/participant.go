@@ -1,0 +1,186 @@
+// Package medusa implements the federated operation layer of §3.2 and
+// §7.2: autonomous participants with dollar accounts, the three contract
+// types (content, suggested, movement), remote definition of operators
+// across participant boundaries (§4.4), and an agoric market simulation in
+// which per-participant oracles switch among the distributed query plans
+// of their movement contracts to balance load across administrative
+// boundaries in an economically viable way.
+package medusa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+// Account is a participant's dollar account. Medusa uses a market
+// mechanism with an underlying currency that backs all contracts (§3.2).
+type Account struct {
+	mu      sync.Mutex
+	balance float64
+}
+
+// Balance returns the current balance.
+func (a *Account) Balance() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance
+}
+
+// Credit adds amount (which must be non-negative) to the account.
+func (a *Account) Credit(amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("medusa: negative credit %g", amount)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	return nil
+}
+
+// Debit removes amount from the account; accounts may go negative (a
+// participant operating at a loss), which the market experiments watch
+// for — participants "are assumed to operate as profit-making entities;
+// their contracts have to make money or they will cease operation".
+func (a *Account) Debit(amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("medusa: negative debit %g", amount)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance -= amount
+	return nil
+}
+
+// Transfer moves amount from one account to another atomically with
+// respect to each account.
+func Transfer(from, to *Account, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("medusa: negative transfer %g", amount)
+	}
+	if err := from.Debit(amount); err != nil {
+		return err
+	}
+	return to.Credit(amount)
+}
+
+// Offer is a stream a participant sells: events of the given schema at a
+// per-message price.
+type Offer struct {
+	Stream      string
+	Schema      *stream.Schema
+	PricePerMsg float64
+}
+
+// Participant is a collection of computing devices administered by a
+// single entity (§3.2): it owns an account, an intra-participant catalog,
+// a set of stream offers, and an authorization list for remote definition.
+type Participant struct {
+	Name    string
+	Account *Account
+	Catalog *catalog.Intra
+
+	mu         sync.Mutex
+	offers     map[string]Offer
+	authorized map[string]bool
+	remoteDefs map[string]op.Spec // name -> operator defined here by others
+}
+
+// NewParticipant creates a participant with an empty account and catalog.
+func NewParticipant(name string) *Participant {
+	return &Participant{
+		Name:       name,
+		Account:    &Account{},
+		Catalog:    catalog.NewIntra(name),
+		offers:     map[string]Offer{},
+		authorized: map[string]bool{},
+		remoteDefs: map[string]op.Spec{},
+	}
+}
+
+// Offer publishes a stream for sale.
+func (p *Participant) Offer(o Offer) error {
+	if o.Stream == "" || o.Schema == nil {
+		return fmt.Errorf("medusa: offer needs stream name and schema")
+	}
+	if o.PricePerMsg < 0 {
+		return fmt.Errorf("medusa: negative price")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.offers[o.Stream]; dup {
+		return fmt.Errorf("medusa: stream %q already offered", o.Stream)
+	}
+	p.offers[o.Stream] = o
+	return nil
+}
+
+// OfferFor returns the published offer for a stream.
+func (p *Participant) OfferFor(streamName string) (Offer, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o, ok := p.offers[streamName]
+	return o, ok
+}
+
+// Authorize grants another participant the right to perform remote
+// definitions here (§7.2: "if participants authorize each other to do
+// remote definitions, then buying participants can easily customize the
+// content that they buy").
+func (p *Participant) Authorize(other string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.authorized[other] = true
+}
+
+// Revoke withdraws a remote-definition authorization.
+func (p *Participant) Revoke(other string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.authorized, other)
+}
+
+// Authorized reports whether the other participant may remotely define
+// operators here.
+func (p *Participant) Authorized(other string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.authorized[other]
+}
+
+// RemoteDefine instantiates an operator at host on behalf of requester —
+// the §4.4 alternative to process migration: "instead of moving a WSort
+// box, a participant remotely defines the WSort box at another participant
+// and binds it to the appropriate streams within the new domain". The
+// operator spec must build against the host's registry (the pre-defined
+// operator set the host offers), and the requester must be authorized.
+func RemoteDefine(requester string, host *Participant, name string, spec op.Spec) error {
+	if !host.Authorized(requester) {
+		return fmt.Errorf("medusa: %s has not authorized remote definition by %s",
+			host.Name, requester)
+	}
+	if _, err := op.Build(spec); err != nil {
+		return fmt.Errorf("medusa: host %s cannot instantiate %s: %w", host.Name, name, err)
+	}
+	host.mu.Lock()
+	defer host.mu.Unlock()
+	if _, dup := host.remoteDefs[name]; dup {
+		return fmt.Errorf("medusa: remote definition %q already exists at %s", name, host.Name)
+	}
+	host.remoteDefs[name] = spec.Clone()
+	return nil
+}
+
+// RemoteDefinition returns a remotely defined operator's spec.
+func (p *Participant) RemoteDefinition(name string) (op.Spec, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.remoteDefs[name]
+	if !ok {
+		return op.Spec{}, false
+	}
+	return s.Clone(), true
+}

@@ -1,0 +1,295 @@
+// Package metrics provides the lightweight instrumentation used by every
+// experiment in the repository: atomic counters, gauges, exponentially
+// weighted rates, and a log-bucketed latency histogram with quantile
+// estimation. Everything is allocation-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// EWMA tracks an exponentially weighted moving average, used for the
+// approximate cost and selectivity statistics of §7.1 ("monitored and
+// maintained in an approximate fashion over a running network").
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; higher
+// alpha weights recent observations more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a sample into the average.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.val = x
+		e.init = true
+		return
+	}
+	e.val = e.alpha*x + (1-e.alpha)*e.val
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.val
+}
+
+// Histogram is a log-bucketed histogram of non-negative values (typically
+// latencies in nanoseconds). Buckets grow geometrically by bucketGrowth so
+// that relative error stays bounded across nine decades.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	histBuckets  = 256
+	bucketGrowth = 1.09 // ~256 buckets cover 1ns .. ~4e9ns
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func bucketOf(x float64) int {
+	if x < 1 {
+		return 0
+	}
+	b := int(math.Log(x) / math.Log(bucketGrowth))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLow returns the lower bound of bucket b.
+func bucketLow(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Pow(bucketGrowth, float64(b))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[bucketOf(x)]++
+	h.total++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile estimates the q'th quantile (q in [0, 1]) from the bucket
+// boundaries; exact min/max are returned at the extremes.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.total))
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen > target {
+			lo, hi := bucketLow(b), bucketLow(b+1)
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.max
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Summary is a compact latency digest used in experiment tables.
+type Summary struct {
+	Count               uint64
+	Mean, P50, P95, P99 float64
+}
+
+// String renders the summary for benchrunner tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99)
+}
+
+// Registry is a named collection of metrics for one node or experiment.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	ewmas      map[string]*EWMA
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		ewmas:      map[string]*EWMA{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// EWMA returns (creating if needed) the named moving average.
+func (r *Registry) EWMA(name string) *EWMA {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.ewmas[name]
+	if !ok {
+		e = NewEWMA(0.2)
+		r.ewmas[name] = e
+	}
+	return e
+}
+
+// Dump renders every metric, sorted by name, for diagnostics.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for n, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, g.Value()))
+	}
+	for n, e := range r.ewmas {
+		lines = append(lines, fmt.Sprintf("ewma %s = %.3f", n, e.Value()))
+	}
+	for n, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("hist %s = %s", n, h.Snapshot()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

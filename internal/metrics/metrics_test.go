@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Counter = %d, want 8000", c.Value())
+	}
+	c.Add(5)
+	if c.Value() != 8005 {
+		t.Errorf("Add failed: %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Errorf("Gauge = %d", g.Value())
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Error("empty EWMA should be 0")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Error("first observation should seed the average")
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(20)
+	}
+	if math.Abs(e.Value()-20) > 0.01 {
+		t.Errorf("EWMA = %g, want ~20", e.Value())
+	}
+}
+
+func TestEWMABadAlphaRepaired(t *testing.T) {
+	e := NewEWMA(-3)
+	e.Observe(5)
+	if e.Value() != 5 {
+		t.Error("repaired EWMA should still work")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e6
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := vals[int(q*float64(len(vals)))]
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("Quantile(%g) = %g, want ~%g (within 15%%)", q, got, want)
+		}
+	}
+	if h.Quantile(0) != vals[0] {
+		t.Error("q=0 should be exact min")
+	}
+	if h.Quantile(1) != vals[len(vals)-1] {
+		t.Error("q=1 should be exact max")
+	}
+	mean := h.Mean()
+	if math.Abs(mean-500000)/500000 > 0.05 {
+		t.Errorf("Mean = %g, want ~500000", mean)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Quantile(0.5) != 0 {
+		t.Error("negative observation should clamp to 0")
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	s := h.Snapshot()
+	if s.Count != 1 || !strings.Contains(s.String(), "n=1") {
+		t.Errorf("Snapshot = %+v", s)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Counter("x").Inc()
+	if r.Counter("x").Value() != 2 {
+		t.Error("registry must return the same counter per name")
+	}
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(10)
+	r.EWMA("e").Observe(3)
+	dump := r.Dump()
+	for _, want := range []string{"counter x = 2", "gauge g = 1", "ewma e", "hist h"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}

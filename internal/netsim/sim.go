@@ -1,0 +1,247 @@
+// Package netsim is a discrete-event simulator of the overlay network that
+// Aurora* and Medusa are layered on (§4): named nodes joined by duplex
+// links with finite bandwidth, propagation delay, and optional loss. It
+// substitutes for the paper's Internet substrate — the algorithms under
+// study (load sharing, HA truncation, transport multiplexing) depend only
+// on message ordering, capacity, and delay, all of which the simulator
+// models explicitly and deterministically.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  int64
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Handler receives a message delivered to a node.
+type Handler func(from string, payload any, size int)
+
+// Node is one simulated host.
+type Node struct {
+	ID      string
+	handler Handler
+	down    bool
+}
+
+// Link is one direction of a connection between two nodes.
+type Link struct {
+	// BytesPerSec is the serialization bandwidth (0 = infinite).
+	BytesPerSec float64
+	// Delay is the propagation delay in ns.
+	Delay int64
+	// Loss is the independent drop probability in [0, 1).
+	Loss float64
+
+	nextFree  int64
+	BytesSent int64
+	MsgsSent  int64
+	Dropped   int64
+	cut       bool
+}
+
+type linkKey struct{ from, to string }
+
+// Sim is the simulator: a virtual clock, an event queue, nodes, and links.
+type Sim struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	nodes  map[string]*Node
+	links  map[linkKey]*Link
+	rng    *rand.Rand
+}
+
+// New returns an empty simulation with a deterministic RNG.
+func New(seed int64) *Sim {
+	return &Sim{
+		nodes: map[string]*Node{},
+		links: map[linkKey]*Link{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time in ns.
+func (s *Sim) Now() int64 { return s.now }
+
+// AddNode registers a node with its message handler.
+func (s *Sim) AddNode(id string, h Handler) (*Node, error) {
+	if _, dup := s.nodes[id]; dup {
+		return nil, fmt.Errorf("netsim: duplicate node %q", id)
+	}
+	n := &Node{ID: id, handler: h}
+	s.nodes[id] = n
+	return n, nil
+}
+
+// SetHandler replaces a node's message handler (used when higher layers
+// attach after topology construction).
+func (s *Sim) SetHandler(id string, h Handler) error {
+	n, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %q", id)
+	}
+	n.handler = h
+	return nil
+}
+
+// Connect creates a duplex link between a and b with the given properties
+// in each direction. Connecting the same pair again replaces the links.
+func (s *Sim) Connect(a, b string, bytesPerSec float64, delay int64, loss float64) error {
+	if _, ok := s.nodes[a]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", a)
+	}
+	if _, ok := s.nodes[b]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", b)
+	}
+	s.links[linkKey{a, b}] = &Link{BytesPerSec: bytesPerSec, Delay: delay, Loss: loss}
+	s.links[linkKey{b, a}] = &Link{BytesPerSec: bytesPerSec, Delay: delay, Loss: loss}
+	return nil
+}
+
+// LinkStats returns the directed link from a to b for inspection.
+func (s *Sim) LinkStats(a, b string) (*Link, bool) {
+	l, ok := s.links[linkKey{a, b}]
+	return l, ok
+}
+
+// Schedule queues fn to run after delay ns of virtual time.
+func (s *Sim) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Send transmits a payload of size bytes from one node to another. The
+// message occupies the link for size/bandwidth (serialization: concurrent
+// messages queue behind each other, which is how a congested link slows
+// everyone down), then arrives after the propagation delay — unless the
+// link drops it, the link is cut, or the destination is down at delivery.
+func (s *Sim) Send(from, to string, size int, payload any) error {
+	l, ok := s.links[linkKey{from, to}]
+	if !ok {
+		return fmt.Errorf("netsim: no link %s -> %s", from, to)
+	}
+	if l.cut {
+		l.Dropped++
+		return nil
+	}
+	if l.Loss > 0 && s.rng.Float64() < l.Loss {
+		l.Dropped++
+		return nil
+	}
+	start := s.now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	var txTime int64
+	if l.BytesPerSec > 0 {
+		txTime = int64(float64(size) / l.BytesPerSec * 1e9)
+	}
+	l.nextFree = start + txTime
+	l.BytesSent += int64(size)
+	l.MsgsSent++
+	arrive := l.nextFree + l.Delay
+	s.seq++
+	heap.Push(&s.events, &event{at: arrive, seq: s.seq, fn: func() {
+		dst := s.nodes[to]
+		if dst == nil || dst.down || dst.handler == nil {
+			return
+		}
+		dst.handler(from, payload, size)
+	}})
+	return nil
+}
+
+// Crash marks a node down: queued deliveries to it are discarded on
+// arrival and new sends are lost, modeling a fail-stop server failure
+// (§6.3).
+func (s *Sim) Crash(id string) { s.setDown(id, true) }
+
+// Restart brings a crashed node back (with whatever state the layer above
+// kept for it).
+func (s *Sim) Restart(id string) { s.setDown(id, false) }
+
+// Down reports whether a node is crashed.
+func (s *Sim) Down(id string) bool {
+	n, ok := s.nodes[id]
+	return ok && n.down
+}
+
+func (s *Sim) setDown(id string, down bool) {
+	if n, ok := s.nodes[id]; ok {
+		n.down = down
+	}
+}
+
+// Partition cuts or restores both directions between a and b, modeling a
+// network partition (communication failure, §6).
+func (s *Sim) Partition(a, b string, cut bool) {
+	if l, ok := s.links[linkKey{a, b}]; ok {
+		l.cut = cut
+	}
+	if l, ok := s.links[linkKey{b, a}]; ok {
+		l.cut = cut
+	}
+}
+
+// Step executes the next scheduled event; it reports false when the event
+// queue is empty.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass until (0 means run to exhaustion). It returns the number of events
+// executed.
+func (s *Sim) Run(until int64) int {
+	n := 0
+	for s.events.Len() > 0 {
+		if until > 0 && s.events[0].at > until {
+			s.now = until
+			return n
+		}
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"testing"
+)
+
+type recorder struct {
+	msgs  []any
+	times []int64
+	froms []string
+}
+
+func (r *recorder) handler(s *Sim) Handler {
+	return func(from string, payload any, _ int) {
+		r.msgs = append(r.msgs, payload)
+		r.times = append(r.times, s.Now())
+		r.froms = append(r.froms, from)
+	}
+}
+
+func twoNodes(t *testing.T, bw float64, delay int64, loss float64) (*Sim, *recorder) {
+	t.Helper()
+	s := New(1)
+	r := &recorder{}
+	if _, err := s.AddNode("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddNode("b", r.handler(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("a", "b", bw, delay, loss); err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	s, r := twoNodes(t, 0, 500, 0)
+	if err := s.Send("a", "b", 100, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if len(r.msgs) != 1 || r.msgs[0] != "hello" || r.froms[0] != "a" {
+		t.Fatalf("delivery wrong: %+v", r)
+	}
+	if r.times[0] != 500 {
+		t.Errorf("arrival at %d, want 500 (infinite bandwidth)", r.times[0])
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1000 bytes/sec, two 500-byte messages: first occupies the link for
+	// 0.5s, the second queues behind it and arrives at 1.0s (+delay 0).
+	s, r := twoNodes(t, 1000, 0, 0)
+	s.Send("a", "b", 500, 1)
+	s.Send("a", "b", 500, 2)
+	s.Run(0)
+	if len(r.times) != 2 {
+		t.Fatalf("deliveries = %d", len(r.times))
+	}
+	if r.times[0] != 5e8 || r.times[1] != 1e9 {
+		t.Errorf("times = %v, want [5e8 1e9]", r.times)
+	}
+	l, _ := s.LinkStats("a", "b")
+	if l.BytesSent != 1000 || l.MsgsSent != 2 {
+		t.Errorf("link stats = %+v", l)
+	}
+}
+
+func TestOrderingIsFIFOPerLink(t *testing.T) {
+	s, r := twoNodes(t, 1e6, 100, 0)
+	for i := 0; i < 20; i++ {
+		s.Send("a", "b", 10, i)
+	}
+	s.Run(0)
+	for i, m := range r.msgs {
+		if m.(int) != i {
+			t.Fatalf("reordered: msg %d = %v", i, m)
+		}
+	}
+}
+
+func TestLoss(t *testing.T) {
+	s, r := twoNodes(t, 0, 0, 0.5)
+	for i := 0; i < 1000; i++ {
+		s.Send("a", "b", 1, i)
+	}
+	s.Run(0)
+	got := len(r.msgs)
+	if got < 350 || got > 650 {
+		t.Errorf("with 50%% loss, delivered %d of 1000", got)
+	}
+	l, _ := s.LinkStats("a", "b")
+	if l.Dropped+l.MsgsSent != 1000 {
+		t.Errorf("accounting: dropped %d + sent %d != 1000", l.Dropped, l.MsgsSent)
+	}
+}
+
+func TestCrashDropsDeliveries(t *testing.T) {
+	s, r := twoNodes(t, 0, 100, 0)
+	s.Send("a", "b", 1, "before")
+	s.Run(0)
+	s.Crash("b")
+	if !s.Down("b") {
+		t.Fatal("b should be down")
+	}
+	s.Send("a", "b", 1, "while down")
+	s.Run(0)
+	s.Restart("b")
+	s.Send("a", "b", 1, "after")
+	s.Run(0)
+	if len(r.msgs) != 2 || r.msgs[1] != "after" {
+		t.Errorf("msgs = %v", r.msgs)
+	}
+}
+
+func TestCrashLosesInFlight(t *testing.T) {
+	// A message already in flight is lost if the destination is down at
+	// its arrival time.
+	s, r := twoNodes(t, 0, 1000, 0)
+	s.Send("a", "b", 1, "in flight")
+	s.Schedule(500, func() { s.Crash("b") })
+	s.Run(0)
+	if len(r.msgs) != 0 {
+		t.Error("in-flight message should be lost on crash")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s, r := twoNodes(t, 0, 0, 0)
+	s.Partition("a", "b", true)
+	s.Send("a", "b", 1, "cut")
+	s.Run(0)
+	if len(r.msgs) != 0 {
+		t.Fatal("partitioned link should drop")
+	}
+	s.Partition("a", "b", false)
+	s.Send("a", "b", 1, "healed")
+	s.Run(0)
+	if len(r.msgs) != 1 {
+		t.Fatal("healed link should deliver")
+	}
+}
+
+func TestScheduleOrderingDeterministic(t *testing.T) {
+	s := New(1)
+	var order []int
+	// Same timestamp: insertion order must win, repeatably.
+	s.Schedule(100, func() { order = append(order, 1) })
+	s.Schedule(100, func() { order = append(order, 2) })
+	s.Schedule(50, func() { order = append(order, 0) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 100 {
+		t.Errorf("clock = %d", s.Now())
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(100, func() { ran++ })
+	s.Schedule(900, func() { ran++ })
+	s.Run(500)
+	if ran != 1 || s.Now() != 500 {
+		t.Errorf("ran=%d now=%d", ran, s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run(0)
+	if ran != 2 {
+		t.Error("second event should run")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(1)
+	s.AddNode("a", nil)
+	if _, err := s.AddNode("a", nil); err == nil {
+		t.Error("duplicate node should fail")
+	}
+	if err := s.Connect("a", "ghost", 0, 0, 0); err == nil {
+		t.Error("connect to unknown node should fail")
+	}
+	if err := s.Connect("ghost", "a", 0, 0, 0); err == nil {
+		t.Error("connect from unknown node should fail")
+	}
+	if err := s.Send("a", "ghost", 1, nil); err == nil {
+		t.Error("send without link should fail")
+	}
+	if err := s.SetHandler("ghost", nil); err == nil {
+		t.Error("SetHandler on unknown node should fail")
+	}
+	if err := s.SetHandler("a", func(string, any, int) {}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package op
+
+// Stateful is the optional interface of operators whose internal state
+// depends on previously consumed tuples. The high-availability protocol
+// (§6.2, footnote) needs it when a flow message passes a box: "if the box
+// has state (e.g. an aggregate box), the recorded tuple is the one that
+// presently contributes to the state of the box and that has the lowest
+// sequence number; if the box is stateless, the recorded tuple is the one
+// processed most recently."
+//
+// EarliestSeq returns the lowest sequence number among tuples presently
+// contributing to the operator's state; ok is false when the operator
+// holds no state (nothing constrains upstream truncation).
+type Stateful interface {
+	EarliestSeq() (seq uint64, ok bool)
+}
+
+// EarliestSeq implements Stateful for Tumble: the first tuple of the open
+// window.
+func (tb *Tumble) EarliestSeq() (uint64, bool) {
+	if !tb.open {
+		return 0, false
+	}
+	return tb.firstIn.Seq, true
+}
+
+// EarliestSeq implements Stateful for WSort: the minimum sequence number
+// buffered awaiting emission.
+func (w *WSort) EarliestSeq() (uint64, bool) {
+	if len(w.buf) == 0 {
+		return 0, false
+	}
+	min := w.buf[0].t.Seq
+	for _, e := range w.buf[1:] {
+		if e.t.Seq < min {
+			min = e.t.Seq
+		}
+	}
+	return min, true
+}
+
+// EarliestSeq implements Stateful for XSection: the first tuple of the
+// oldest open window across all groups.
+func (x *XSection) EarliestSeq() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, g := range x.groups {
+		for _, w := range g.wins {
+			if !found || w.first.Seq < min {
+				min = w.first.Seq
+				found = true
+			}
+		}
+	}
+	return min, found
+}
+
+// EarliestSeq implements Stateful for Join: the minimum sequence number
+// buffered on either side.
+func (j *Join) EarliestSeq() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, ts := range j.leftBuf {
+		for _, t := range ts {
+			if !found || t.Seq < min {
+				min, found = t.Seq, true
+			}
+		}
+	}
+	for _, ts := range j.rightBuf {
+		for _, t := range ts {
+			if !found || t.Seq < min {
+				min, found = t.Seq, true
+			}
+		}
+	}
+	return min, found
+}
+
+// EarliestSeq implements Stateful for Slide: the minimum sequence number
+// still inside any group's trailing window.
+func (sl *Slide) EarliestSeq() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, entries := range sl.groups {
+		for _, e := range entries {
+			if !found || e.seq < min {
+				min, found = e.seq, true
+			}
+		}
+	}
+	return min, found
+}
+
+// EarliestSeq implements Stateful for Resample: the minimum sequence
+// number among pending primaries.
+func (r *Resample) EarliestSeq() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, p := range r.pending {
+		if !found || p.Seq < min {
+			min, found = p.Seq, true
+		}
+	}
+	return min, found
+}

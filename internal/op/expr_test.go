@@ -1,0 +1,197 @@
+package op
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+var exprSchema = stream.MustSchema("t",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+	stream.Field{Name: "price", Kind: stream.KindFloat},
+	stream.Field{Name: "sym", Kind: stream.KindString},
+	stream.Field{Name: "ok", Kind: stream.KindBool},
+)
+
+func exprTuple(a, b int64, price float64, sym string, ok bool) stream.Tuple {
+	return stream.NewTuple(stream.Int(a), stream.Int(b), stream.Float(price),
+		stream.String(sym), stream.Bool(ok))
+}
+
+func evalOn(t *testing.T, src string, tp stream.Tuple) stream.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if err := e.Bind(exprSchema); err != nil {
+		t.Fatalf("Bind(%q): %v", src, err)
+	}
+	return e.Eval(tp)
+}
+
+func TestExprEval(t *testing.T) {
+	tp := exprTuple(2, 5, 10.5, "IBM", true)
+	cases := []struct {
+		src  string
+		want stream.Value
+	}{
+		{"A", stream.Int(2)},
+		{"17", stream.Int(17)},
+		{"2.5", stream.Float(2.5)},
+		{`"IBM"`, stream.String("IBM")},
+		{"true", stream.Bool(true)},
+		{"null", stream.Null()},
+		{"A + B", stream.Int(7)},
+		{"A - B", stream.Int(-3)},
+		{"A * B", stream.Int(10)},
+		{"B / A", stream.Float(2.5)},
+		{"B % A", stream.Int(1)},
+		{"A + price", stream.Float(12.5)},
+		{"A < B", stream.Bool(true)},
+		{"A >= B", stream.Bool(false)},
+		{"A == 2", stream.Bool(true)},
+		{"A != 2", stream.Bool(false)},
+		{`sym == "IBM"`, stream.Bool(true)},
+		{"A < B && ok", stream.Bool(true)},
+		{"A > B || ok", stream.Bool(true)},
+		{"!(A < B)", stream.Bool(false)},
+		{"!ok", stream.Bool(false)},
+		{"A + B * 2", stream.Int(12)},   // precedence
+		{"(A + B) * 2", stream.Int(14)}, // grouping
+		{"-A", stream.Int(-2)},
+		{"A / 0", stream.Null()},
+		{"A % 0", stream.Null()},
+	}
+	for _, c := range cases {
+		if got := evalOn(t, c.src, tp); !got.Equal(c.want) {
+			t.Errorf("%q = %s, want %s", c.src, got.Format(), c.want.Format())
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"((A + B) < 7)",
+		`((sym == "IBM") && !ok)`,
+		"((A % 4) == 1)",
+		"hash(A, B)",
+		"((hash(sym) % 10) == 3)",
+		"(0 - A)",
+		"(price / 2)",
+	}
+	for _, src := range srcs {
+		e := MustParse(src)
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if again.String() != e.String() {
+			t.Errorf("round trip %q -> %q -> %q", src, e.String(), again.String())
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	bad := []string{
+		"", "A +", "(A", "A ==", "hash()", "hash(1)", "A @ B", `"unterminated`,
+		"A B", "&& A",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprBindErrors(t *testing.T) {
+	exprs := []Expr{
+		NewCol("ghost"),
+		NewCmp(LT, NewCol("ghost"), NewConst(stream.Int(1))),
+		NewCmp(LT, NewConst(stream.Int(1)), NewCol("ghost")),
+		NewAnd(NewCol("ghost"), True()),
+		NewArith(Add, NewCol("ghost"), NewConst(stream.Int(1))),
+		NewHashCall("ghost"),
+	}
+	for _, e := range exprs {
+		if err := e.Bind(exprSchema); err == nil {
+			t.Errorf("Bind(%s) should fail on unknown column", e)
+		}
+	}
+}
+
+func TestHashModPartition(t *testing.T) {
+	// hash(A) % n buckets must partition the key space: every tuple
+	// matches exactly one bucket, and buckets are roughly balanced.
+	const n = 4
+	preds := make([]Expr, n)
+	for b := range preds {
+		preds[b] = MustBind(NewHashMod([]string{"A"}, n, int64(b)), exprSchema)
+	}
+	counts := make([]int, n)
+	for a := int64(0); a < 4000; a++ {
+		tp := exprTuple(a, 0, 0, "s", false)
+		matched := 0
+		for b, p := range preds {
+			if p.Eval(tp).AsBool() {
+				matched++
+				counts[b]++
+			}
+		}
+		if matched != 1 {
+			t.Fatalf("tuple A=%d matched %d buckets, want exactly 1", a, matched)
+		}
+	}
+	for b, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has %d of 4000 keys; want roughly balanced", b, c)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	h := MustBind(NewHashCall("sym"), exprSchema)
+	f := func(s string) bool {
+		tp := exprTuple(0, 0, 0, s, false)
+		a := h.Eval(tp)
+		b := h.Eval(tp)
+		return a.Equal(b) && a.AsInt() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := []struct {
+		src  string
+		want stream.Kind
+	}{
+		{"A", stream.KindInt},
+		{"price", stream.KindFloat},
+		{"sym", stream.KindString},
+		{"A + B", stream.KindInt},
+		{"A + price", stream.KindFloat},
+		{"A / B", stream.KindFloat},
+		{"A < B", stream.KindBool},
+		{"ok && ok", stream.KindBool},
+		{"hash(A)", stream.KindInt},
+		{"hash(A) % 4", stream.KindInt},
+	}
+	for _, c := range cases {
+		if got := InferKind(MustParse(c.src), exprSchema); got != c.want {
+			t.Errorf("InferKind(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	if v := MustParse("1e3"); !v.(*Const).Val.Equal(stream.Float(1000)) {
+		t.Errorf("1e3 = %v", v)
+	}
+	if v := MustParse("2.5e-1"); !v.(*Const).Val.Equal(stream.Float(0.25)) {
+		t.Errorf("2.5e-1 = %v", v)
+	}
+}

@@ -1,0 +1,185 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// fig2Schema and fig2Stream reproduce the sample tuple stream of paper
+// Figure 2, reused throughout the operator and split tests.
+var fig2Schema = stream.MustSchema("fig2",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+func fig2Stream() []stream.Tuple {
+	rows := [][2]int64{
+		{1, 2}, {1, 3}, {2, 2}, {2, 1}, {2, 6}, {4, 5}, {4, 2},
+	}
+	out := make([]stream.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = stream.Tuple{
+			Seq:  uint64(i + 1),
+			TS:   int64(i + 1),
+			Vals: []stream.Value{stream.Int(r[0]), stream.Int(r[1])},
+		}
+	}
+	return out
+}
+
+func TestFilterTruePort(t *testing.T) {
+	f := NewFilter(MustParse("B < 3"), false)
+	out := feed(t, f, fig2Schema, fig2Stream())
+	// Tuples 1, 3, 4, 7 have B < 3.
+	if len(out) != 4 {
+		t.Fatalf("got %d tuples, want 4:\n%s", len(out), stream.FormatTuples(out))
+	}
+	for _, tp := range out {
+		if tp.Field(1).AsInt() >= 3 {
+			t.Errorf("tuple %v should have been filtered", tp)
+		}
+	}
+}
+
+func TestFilterFalsePort(t *testing.T) {
+	f := NewFilter(MustParse("B < 3"), true)
+	if _, err := f.Bind([]*stream.Schema{fig2Schema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	for _, tp := range fig2Stream() {
+		f.Process(0, tp, c.emit)
+	}
+	if len(c.out(0)) != 4 || len(c.out(1)) != 3 {
+		t.Fatalf("true port %d (want 4), false port %d (want 3)", len(c.out(0)), len(c.out(1)))
+	}
+	if f.NumOut() != 2 {
+		t.Error("dual filter must report 2 output ports")
+	}
+	for _, tp := range c.out(1) {
+		if tp.Field(1).AsInt() < 3 {
+			t.Errorf("false-port tuple %v satisfies the predicate", tp)
+		}
+	}
+}
+
+func TestFilterWithoutFalsePortDropsNonMatching(t *testing.T) {
+	f := NewFilter(MustParse("B < 3"), false)
+	if f.NumOut() != 1 {
+		t.Error("single-port filter must report 1 output port")
+	}
+	if _, err := f.Bind([]*stream.Schema{fig2Schema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	f.Process(0, fig2Stream()[4], c.emit) // B=6, non-matching
+	if len(c.out(0))+len(c.out(1)) != 0 {
+		t.Error("non-matching tuple must be dropped silently")
+	}
+}
+
+func TestFilterBindErrors(t *testing.T) {
+	f := NewFilter(MustParse("ghost < 3"), false)
+	if _, err := f.Bind([]*stream.Schema{fig2Schema}); err == nil {
+		t.Error("Bind should fail on unknown column")
+	}
+	if _, err := f.Bind(nil); err == nil {
+		t.Error("Bind should fail on wrong input count")
+	}
+}
+
+func TestMapProjection(t *testing.T) {
+	m, err := NewMap(
+		[]string{"A", "twiceB", "isSmall"},
+		[]Expr{MustParse("A"), MustParse("B * 2"), MustParse("B < 3")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := m.Bind([]*stream.Schema{fig2Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := schemas[0]
+	if out.Arity() != 3 || out.Field(1).Kind != stream.KindInt || out.Field(2).Kind != stream.KindBool {
+		t.Fatalf("output schema = %s", out)
+	}
+	c := newCollector()
+	m.Process(0, fig2Stream()[0], c.emit) // (A=1, B=2)
+	got := c.out(0)[0]
+	want := stream.NewTuple(stream.Int(1), stream.Int(4), stream.Bool(true))
+	if !got.EqualValues(want) {
+		t.Errorf("map output = %v, want %v", got, want)
+	}
+	if got.Seq != 1 {
+		t.Error("map must preserve Seq for HA dependency tracking")
+	}
+}
+
+func TestMapParseForm(t *testing.T) {
+	o := MustBuild(Spec{Kind: "map", Params: map[string]string{
+		"exprs": "a=A; sum=(A + B)",
+	}})
+	out := feed(t, o, fig2Schema, fig2Stream()[:1])
+	want := stream.NewTuple(stream.Int(1), stream.Int(3))
+	if len(out) != 1 || !out[0].EqualValues(want) {
+		t.Errorf("map output = %v", out)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	if _, err := NewMap([]string{"a"}, nil); err == nil {
+		t.Error("mismatched lists should fail")
+	}
+	if _, err := Build(Spec{Kind: "map", Params: map[string]string{"exprs": "noequals"}}); err == nil {
+		t.Error("missing = should fail")
+	}
+	if _, err := Build(Spec{Kind: "map", Params: map[string]string{"exprs": "a=((("}}); err == nil {
+		t.Error("bad expr should fail")
+	}
+	if _, err := Build(Spec{Kind: "map", Params: map[string]string{"exprs": " ; "}}); err == nil {
+		t.Error("empty exprs should fail")
+	}
+}
+
+func TestUnionPassThrough(t *testing.T) {
+	u := NewUnion(2)
+	if _, err := u.Bind([]*stream.Schema{fig2Schema, fig2Schema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	in := fig2Stream()
+	u.Process(0, in[0], c.emit)
+	u.Process(1, in[1], c.emit)
+	u.Process(0, in[2], c.emit)
+	if len(c.out(0)) != 3 {
+		t.Fatalf("union emitted %d tuples", len(c.out(0)))
+	}
+	for i, tp := range c.out(0) {
+		if !tp.EqualValues(in[i]) {
+			t.Errorf("union reordered or altered tuple %d", i)
+		}
+	}
+}
+
+func TestUnionSchemaChecks(t *testing.T) {
+	u := NewUnion(2)
+	other := stream.MustSchema("other", stream.Field{Name: "x", Kind: stream.KindString})
+	if _, err := u.Bind([]*stream.Schema{fig2Schema, other}); err == nil {
+		t.Error("incompatible input schemas should fail")
+	}
+	if _, err := u.Bind([]*stream.Schema{fig2Schema}); err == nil {
+		t.Error("wrong input count should fail")
+	}
+	if _, err := Build(Spec{Kind: "union", Params: map[string]string{"inputs": "0"}}); err == nil {
+		t.Error("union with 0 inputs should fail")
+	}
+}
+
+func TestUnionDefaultInputs(t *testing.T) {
+	o := MustBuild(Spec{Kind: "union"})
+	if o.NumIn() != 2 {
+		t.Errorf("default union inputs = %d, want 2", o.NumIn())
+	}
+}

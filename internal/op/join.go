@@ -1,0 +1,189 @@
+package op
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// KindJoin is the registry kind of the Join operator.
+const KindJoin = "join"
+
+// Join is Aurora's windowed stream join (mentioned in §2.2): a symmetric
+// hash join that matches tuples from its two inputs on key equality when
+// their timestamps lie within a window of each other. Because streams are
+// unbounded, each side buffers only tuples newer than the other side's
+// high-water mark minus the window.
+//
+// Join is the canonical selectivity-greater-than-one operator: §5.1 notes
+// that sliding such a box downstream is useful when its selectivity
+// exceeds one and link bandwidth is limited.
+//
+// Spec parameters:
+//
+//	leftkey   comma-separated key attributes of input 0 (required)
+//	rightkey  comma-separated key attributes of input 1 (required)
+//	window    timestamp window in time units (required, >= 0)
+type Join struct {
+	base
+	spec     Spec
+	leftKey  []string
+	rightKey []string
+	window   int64
+
+	leftIdx, rightIdx   []int
+	leftBuf, rightBuf   map[string][]stream.Tuple
+	leftHigh, rightHigh int64
+	out                 *stream.Schema
+	leftArity           int
+}
+
+// NewJoin builds a Join on the given key attributes within the timestamp
+// window.
+func NewJoin(leftKey, rightKey []string, window int64) *Join {
+	spec := Spec{Kind: KindJoin, Params: map[string]string{
+		"leftkey":  join(leftKey, ","),
+		"rightkey": join(rightKey, ","),
+		"window":   fmt.Sprint(window),
+	}}
+	return &Join{spec: spec, leftKey: leftKey, rightKey: rightKey, window: window}
+}
+
+func buildJoin(s Spec) (Operator, error) {
+	lk, err := paramCols(s, "leftkey")
+	if err != nil {
+		return nil, err
+	}
+	rk, err := paramCols(s, "rightkey")
+	if err != nil {
+		return nil, err
+	}
+	if len(lk) != len(rk) {
+		return nil, fmt.Errorf("join: key arity mismatch %d vs %d", len(lk), len(rk))
+	}
+	w, err := paramInt(s, "window")
+	if err != nil {
+		return nil, err
+	}
+	if w < 0 {
+		return nil, fmt.Errorf("join: window must be >= 0")
+	}
+	return &Join{spec: s.Clone(), leftKey: lk, rightKey: rk, window: w}, nil
+}
+
+// Spec implements Operator.
+func (j *Join) Spec() Spec { return j.spec.Clone() }
+
+// NumIn implements Operator.
+func (j *Join) NumIn() int { return 2 }
+
+// NumOut implements Operator.
+func (j *Join) NumOut() int { return 1 }
+
+// Bind implements Operator.
+func (j *Join) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("join: want 2 input schemas, got %d", len(in))
+	}
+	li, err := in[0].Indices(j.leftKey...)
+	if err != nil {
+		return nil, fmt.Errorf("join: left: %w", err)
+	}
+	ri, err := in[1].Indices(j.rightKey...)
+	if err != nil {
+		return nil, fmt.Errorf("join: right: %w", err)
+	}
+	j.leftIdx, j.rightIdx = li, ri
+	j.leftBuf = make(map[string][]stream.Tuple)
+	j.rightBuf = make(map[string][]stream.Tuple)
+	j.leftArity = in[0].Arity()
+
+	// Output schema concatenates both sides; right-side name collisions
+	// get an "_r" suffix so the combined schema stays well formed.
+	taken := make(map[string]bool, in[0].Arity())
+	fields := make([]stream.Field, 0, in[0].Arity()+in[1].Arity())
+	for _, f := range in[0].Fields() {
+		taken[f.Name] = true
+		fields = append(fields, f)
+	}
+	for _, f := range in[1].Fields() {
+		name := f.Name
+		for taken[name] {
+			name += "_r"
+		}
+		taken[name] = true
+		fields = append(fields, stream.Field{Name: name, Kind: f.Kind})
+	}
+	out, err := stream.NewSchema(in[0].Name()+".join", fields...)
+	if err != nil {
+		return nil, fmt.Errorf("join: %w", err)
+	}
+	j.out = out
+	return []*stream.Schema{out}, nil
+}
+
+// Process implements Operator.
+func (j *Join) Process(port int, t stream.Tuple, emit Emit) {
+	if port == 0 {
+		j.processSide(t, j.leftIdx, j.leftBuf, j.rightBuf, &j.leftHigh, j.rightHigh, true, emit)
+	} else {
+		j.processSide(t, j.rightIdx, j.rightBuf, j.leftBuf, &j.rightHigh, j.leftHigh, false, emit)
+	}
+}
+
+func (j *Join) processSide(t stream.Tuple, keyIdx []int, mine, other map[string][]stream.Tuple,
+	myHigh *int64, otherHigh int64, isLeft bool, emit Emit) {
+	if t.TS > *myHigh {
+		*myHigh = t.TS
+	}
+	key := t.KeyOf(keyIdx)
+	for _, o := range other[key] {
+		if abs64(t.TS-o.TS) <= j.window {
+			if isLeft {
+				emit(0, j.combine(t, o))
+			} else {
+				emit(0, j.combine(o, t))
+			}
+		}
+	}
+	mine[key] = append(mine[key], t)
+	// Prune buffers below the other side's high-water mark minus window:
+	// nothing arriving later on the other side can match them.
+	j.prune(mine, otherHigh-j.window)
+}
+
+func (j *Join) prune(buf map[string][]stream.Tuple, cutoff int64) {
+	for k, ts := range buf {
+		keep := ts[:0]
+		for _, t := range ts {
+			if t.TS >= cutoff {
+				keep = append(keep, t)
+			}
+		}
+		if len(keep) == 0 {
+			delete(buf, k)
+		} else {
+			buf[k] = keep
+		}
+	}
+}
+
+func (j *Join) combine(l, r stream.Tuple) stream.Tuple {
+	vals := make([]stream.Value, 0, len(l.Vals)+len(r.Vals))
+	vals = append(vals, l.Vals...)
+	vals = append(vals, r.Vals...)
+	ts := l.TS
+	if r.TS > ts {
+		ts = r.TS
+	}
+	return stream.Tuple{Seq: l.Seq, TS: ts, Vals: vals}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func init() { RegisterKind(KindJoin, buildJoin) }

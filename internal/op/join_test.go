@@ -1,0 +1,236 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+var (
+	quoteSchema = stream.MustSchema("quotes",
+		stream.Field{Name: "sym", Kind: stream.KindString},
+		stream.Field{Name: "px", Kind: stream.KindFloat},
+	)
+	newsSchema = stream.MustSchema("news",
+		stream.Field{Name: "sym", Kind: stream.KindString},
+		stream.Field{Name: "headline", Kind: stream.KindString},
+	)
+)
+
+func quote(ts int64, sym string, px float64) stream.Tuple {
+	return stream.Tuple{TS: ts, Vals: []stream.Value{stream.String(sym), stream.Float(px)}}
+}
+
+func news(ts int64, sym, h string) stream.Tuple {
+	return stream.Tuple{TS: ts, Vals: []stream.Value{stream.String(sym), stream.String(h)}}
+}
+
+func boundJoin(t *testing.T, window int64) (*Join, *collector) {
+	t.Helper()
+	j := NewJoin([]string{"sym"}, []string{"sym"}, window)
+	if _, err := j.Bind([]*stream.Schema{quoteSchema, newsSchema}); err != nil {
+		t.Fatal(err)
+	}
+	return j, newCollector()
+}
+
+func TestJoinMatchesWithinWindow(t *testing.T) {
+	j, c := boundJoin(t, 10)
+	j.Process(0, quote(100, "IBM", 50), c.emit)
+	j.Process(1, news(105, "IBM", "up"), c.emit)
+	out := c.out(0)
+	if len(out) != 1 {
+		t.Fatalf("got %d join results", len(out))
+	}
+	want := stream.NewTuple(stream.String("IBM"), stream.Float(50),
+		stream.String("IBM"), stream.String("up"))
+	if !out[0].EqualValues(want) {
+		t.Errorf("join output = %v", out[0])
+	}
+	if out[0].TS != 105 {
+		t.Errorf("join TS = %d, want max(100,105)", out[0].TS)
+	}
+}
+
+func TestJoinRespectsWindow(t *testing.T) {
+	j, c := boundJoin(t, 10)
+	j.Process(0, quote(100, "IBM", 50), c.emit)
+	j.Process(1, news(200, "IBM", "late"), c.emit)
+	if len(c.out(0)) != 0 {
+		t.Error("out-of-window pair must not join")
+	}
+}
+
+func TestJoinKeyMismatch(t *testing.T) {
+	j, c := boundJoin(t, 10)
+	j.Process(0, quote(100, "IBM", 50), c.emit)
+	j.Process(1, news(100, "AAPL", "x"), c.emit)
+	if len(c.out(0)) != 0 {
+		t.Error("different keys must not join")
+	}
+}
+
+func TestJoinSymmetric(t *testing.T) {
+	// Match regardless of which side arrives first.
+	j, c := boundJoin(t, 10)
+	j.Process(1, news(100, "IBM", "first"), c.emit)
+	j.Process(0, quote(102, "IBM", 50), c.emit)
+	if len(c.out(0)) != 1 {
+		t.Fatal("right-then-left arrival should still join")
+	}
+}
+
+func TestJoinMultipleMatches(t *testing.T) {
+	j, c := boundJoin(t, 10)
+	j.Process(0, quote(100, "IBM", 50), c.emit)
+	j.Process(0, quote(101, "IBM", 51), c.emit)
+	j.Process(1, news(102, "IBM", "x"), c.emit)
+	if len(c.out(0)) != 2 {
+		t.Fatalf("got %d results, want 2 (one per buffered left)", len(c.out(0)))
+	}
+}
+
+func TestJoinSelectivityGreaterThanOne(t *testing.T) {
+	// §5.1: a join can produce more tuples than it consumes. 3 lefts + 3
+	// rights with one hot key -> 9 outputs from 6 inputs.
+	j, c := boundJoin(t, 1000)
+	for i := int64(0); i < 3; i++ {
+		j.Process(0, quote(100+i, "HOT", float64(i)), c.emit)
+	}
+	for i := int64(0); i < 3; i++ {
+		j.Process(1, news(100+i, "HOT", "h"), c.emit)
+	}
+	if len(c.out(0)) != 9 {
+		t.Errorf("got %d outputs, want 9", len(c.out(0)))
+	}
+}
+
+func TestJoinPrunesOldState(t *testing.T) {
+	j, c := boundJoin(t, 10)
+	for i := int64(0); i < 100; i++ {
+		j.Process(0, quote(i*100, "IBM", 1), c.emit)
+		j.Process(1, news(i*100, "AAPL", "x"), c.emit)
+	}
+	// After interleaved advancing streams, both buffers should hold only
+	// recent tuples, not all 100.
+	total := 0
+	for _, ts := range j.leftBuf {
+		total += len(ts)
+	}
+	for _, ts := range j.rightBuf {
+		total += len(ts)
+	}
+	if total > 4 {
+		t.Errorf("join buffers retain %d tuples; pruning failed", total)
+	}
+}
+
+func TestJoinOutputSchemaCollisions(t *testing.T) {
+	j := NewJoin([]string{"sym"}, []string{"sym"}, 5)
+	schemas, err := j.Bind([]*stream.Schema{quoteSchema, newsSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := schemas[0]
+	if out.Index("sym") < 0 || out.Index("sym_r") < 0 {
+		t.Fatalf("collision rename missing: %s", out)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	if _, err := Build(Spec{Kind: "join", Params: map[string]string{
+		"leftkey": "a,b", "rightkey": "a", "window": "5",
+	}}); err == nil {
+		t.Error("key arity mismatch should fail")
+	}
+	if _, err := Build(Spec{Kind: "join", Params: map[string]string{
+		"leftkey": "a", "rightkey": "a", "window": "-1",
+	}}); err == nil {
+		t.Error("negative window should fail")
+	}
+}
+
+func TestResampleInterpolation(t *testing.T) {
+	r := NewResample("px")
+	if _, err := r.Bind([]*stream.Schema{newsSchema, quoteSchema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	r.Process(0, news(150, "IBM", "mid"), c.emit) // primary at t=150
+	if len(c.out(0)) != 0 {
+		t.Fatal("primary must wait for reference coverage")
+	}
+	r.Process(1, quote(100, "IBM", 10), c.emit)
+	if len(c.out(0)) != 0 {
+		t.Fatal("reference has not passed the primary timestamp yet")
+	}
+	r.Process(1, quote(200, "IBM", 20), c.emit)
+	out := c.out(0)
+	if len(out) != 1 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	if got := out[0].Field(2).AsFloat(); got != 15 {
+		t.Errorf("interpolated value = %g, want 15 (midpoint)", got)
+	}
+}
+
+func TestResampleExactAndClamped(t *testing.T) {
+	r := NewResample("px")
+	if _, err := r.Bind([]*stream.Schema{newsSchema, quoteSchema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	r.Process(1, quote(100, "IBM", 10), c.emit)
+	r.Process(1, quote(200, "IBM", 20), c.emit)
+	r.Process(0, news(100, "IBM", "exact"), c.emit)
+	if got := c.out(0)[0].Field(2).AsFloat(); got != 10 {
+		t.Errorf("exact-timestamp value = %g, want 10", got)
+	}
+	r.Process(0, news(50, "IBM", "before"), c.emit)
+	if got := c.out(0)[1].Field(2).AsFloat(); got != 10 {
+		t.Errorf("before-range value = %g, want clamp to 10", got)
+	}
+}
+
+func TestResampleFlushExtrapolates(t *testing.T) {
+	r := NewResample("px")
+	if _, err := r.Bind([]*stream.Schema{newsSchema, quoteSchema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	r.Process(1, quote(100, "IBM", 10), c.emit)
+	r.Process(0, news(500, "IBM", "future"), c.emit)
+	if len(c.out(0)) != 0 {
+		t.Fatal("uncovered primary should wait")
+	}
+	r.Flush(c.emit)
+	out := c.out(0)
+	if len(out) != 1 || out[0].Field(2).AsFloat() != 10 {
+		t.Fatalf("flush should extrapolate the last reference: %v", out)
+	}
+}
+
+func TestResampleNoReferenceDropsOnFlush(t *testing.T) {
+	r := NewResample("px")
+	if _, err := r.Bind([]*stream.Schema{newsSchema, quoteSchema}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	r.Process(0, news(100, "IBM", "orphan"), c.emit)
+	r.Flush(c.emit)
+	if len(c.out(0)) != 0 {
+		t.Error("with no reference stream there is nothing to resample against")
+	}
+}
+
+func TestResampleSchemaRename(t *testing.T) {
+	// Primary already has a field named like the reference field.
+	r := NewResample("px")
+	schemas, err := r.Bind([]*stream.Schema{quoteSchema, quoteSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schemas[0].Index("px_rs") < 0 {
+		t.Fatalf("expected px_rs rename in %s", schemas[0])
+	}
+}

@@ -1,0 +1,202 @@
+package op
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Emit delivers an output tuple on one of an operator's output ports. Port
+// 0 is the primary output; Filter's optional false-port is port 1.
+type Emit func(port int, t stream.Tuple)
+
+// Operator is one Aurora box (§2.2). An operator instance is stateful and
+// belongs to exactly one deployed box; it is driven single-threaded by the
+// node's scheduler.
+//
+// Operators are constructed from a Spec so that their parameters are
+// serializable: box sliding, box splitting, and Medusa's remote definition
+// (§4.4) all ship Specs across machine or participant boundaries rather
+// than migrating processes.
+type Operator interface {
+	// Spec returns the serializable description that rebuilds this
+	// operator (fresh, without state).
+	Spec() Spec
+	// NumIn returns the number of input ports.
+	NumIn() int
+	// NumOut returns the number of output ports.
+	NumOut() int
+	// Bind resolves parameters against the input schemas (one per input
+	// port) and returns the output schemas (one per output port). Bind
+	// must be called before Process.
+	Bind(in []*stream.Schema) ([]*stream.Schema, error)
+	// Process consumes one tuple on the given input port, emitting zero or
+	// more output tuples.
+	Process(port int, t stream.Tuple, emit Emit)
+	// Advance informs the operator that (virtual or wall) time has reached
+	// now, letting time-driven operators such as WSort meet their timeout
+	// obligations.
+	Advance(now int64, emit Emit)
+	// Flush emits any pending windowed state. The engine calls it when a
+	// stream ends or when the network drains for a load-sharing
+	// transformation (§5.1 stabilization).
+	Flush(emit Emit)
+}
+
+// Spec is the wire description of an operator: a registry kind plus string
+// parameters. Expressions travel in their concrete syntax.
+type Spec struct {
+	Kind   string            `json:"kind"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// String renders the spec compactly, e.g. filter{predicate: (B < 3)}.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Kind
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Kind)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", k, s.Params[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Clone returns a deep copy of the spec.
+func (s Spec) Clone() Spec {
+	c := Spec{Kind: s.Kind}
+	if s.Params != nil {
+		c.Params = make(map[string]string, len(s.Params))
+		for k, v := range s.Params {
+			c.Params[k] = v
+		}
+	}
+	return c
+}
+
+// Builder constructs a fresh operator instance from a spec.
+type Builder func(Spec) (Operator, error)
+
+var builders = map[string]Builder{}
+
+// RegisterKind installs a builder for an operator kind. The built-in kinds
+// register themselves; applications may add custom operators, which then
+// participate in remote definition like any other.
+func RegisterKind(kind string, b Builder) {
+	if _, dup := builders[kind]; dup {
+		panic(fmt.Sprintf("op: duplicate operator kind %q", kind))
+	}
+	builders[kind] = b
+}
+
+// Build instantiates an operator from its spec.
+func Build(spec Spec) (Operator, error) {
+	b, ok := builders[spec.Kind]
+	if !ok {
+		return nil, fmt.Errorf("unknown operator kind %q", spec.Kind)
+	}
+	return b(spec)
+}
+
+// MustBuild is Build that panics on error; for compiled-in plans and tests.
+func MustBuild(spec Spec) Operator {
+	o, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Kinds returns the sorted registry of known operator kinds — the
+// "pre-defined set offered by another participant" that remote definition
+// composes (§4.4).
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// param reads a required string parameter.
+func param(s Spec, key string) (string, error) {
+	v, ok := s.Params[key]
+	if !ok || v == "" {
+		return "", fmt.Errorf("%s: missing parameter %q", s.Kind, key)
+	}
+	return v, nil
+}
+
+// paramInt reads a required integer parameter.
+func paramInt(s Spec, key string) (int64, error) {
+	v, err := param(s, key)
+	if err != nil {
+		return 0, err
+	}
+	i, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: parameter %q: %w", s.Kind, key, err)
+	}
+	return i, nil
+}
+
+// paramIntDefault reads an optional integer parameter.
+func paramIntDefault(s Spec, key string, def int64) (int64, error) {
+	if _, ok := s.Params[key]; !ok {
+		return def, nil
+	}
+	return paramInt(s, key)
+}
+
+// paramBool reads an optional boolean parameter defaulting to false.
+func paramBool(s Spec, key string) (bool, error) {
+	v, ok := s.Params[key]
+	if !ok || v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("%s: parameter %q: %w", s.Kind, key, err)
+	}
+	return b, nil
+}
+
+// paramCols splits a comma-separated column list parameter.
+func paramCols(s Spec, key string) ([]string, error) {
+	v, err := param(s, key)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(v, ",")
+	cols := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("%s: parameter %q has empty column", s.Kind, key)
+		}
+		cols = append(cols, p)
+	}
+	return cols, nil
+}
+
+// base provides default no-op Advance/Flush for operators without
+// time-driven or windowed state.
+type base struct{}
+
+func (base) Advance(int64, Emit) {}
+func (base) Flush(Emit)          {}

@@ -1,0 +1,151 @@
+package op
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// collector gathers emitted tuples per port.
+type collector struct {
+	ports map[int][]stream.Tuple
+}
+
+func newCollector() *collector { return &collector{ports: map[int][]stream.Tuple{}} }
+
+func (c *collector) emit(port int, t stream.Tuple) {
+	c.ports[port] = append(c.ports[port], t)
+}
+
+func (c *collector) out(port int) []stream.Tuple { return c.ports[port] }
+
+// feed pushes tuples into port 0 of a bound operator and returns port 0
+// output after a flush.
+func feed(t *testing.T, o Operator, in *stream.Schema, tuples []stream.Tuple) []stream.Tuple {
+	t.Helper()
+	schemas := make([]*stream.Schema, o.NumIn())
+	for i := range schemas {
+		schemas[i] = in
+	}
+	if _, err := o.Bind(schemas); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	c := newCollector()
+	for _, tp := range tuples {
+		o.Process(0, tp, c.emit)
+	}
+	o.Flush(c.emit)
+	return c.out(0)
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Kind: "filter", Params: map[string]string{"predicate": "(B < 3)"}}
+	if got := s.String(); got != "filter{predicate: (B < 3)}" {
+		t.Errorf("String = %q", got)
+	}
+	bare := Spec{Kind: "union"}
+	if bare.String() != "union" {
+		t.Errorf("bare String = %q", bare.String())
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	s := Spec{Kind: "filter", Params: map[string]string{"predicate": "true"}}
+	c := s.Clone()
+	c.Params["predicate"] = "false"
+	if s.Params["predicate"] != "true" {
+		t.Error("Clone must not alias params")
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := Build(Spec{Kind: "teleport"}); err == nil {
+		t.Error("Build of unknown kind should fail")
+	}
+}
+
+func TestKindsRegistry(t *testing.T) {
+	kinds := Kinds()
+	want := []string{"filter", "join", "map", "resample", "slide", "tumble", "union", "wsort", "xsection"}
+	got := strings.Join(kinds, ",")
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("registry missing kind %q (have %v)", w, kinds)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterKind should panic")
+		}
+	}()
+	RegisterKind("filter", buildFilter)
+}
+
+// TestSpecRoundTripAllKinds builds each operator from a constructor,
+// serializes via Spec, rebuilds via Build, and checks the rebuilt Spec is
+// identical. This is the invariant remote definition (§4.4) relies on.
+func TestSpecRoundTripAllKinds(t *testing.T) {
+	m, err := NewMap([]string{"x"}, []Expr{MustParse("A + 1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Operator{
+		NewFilter(MustParse("B < 3"), true),
+		m,
+		NewUnion(3),
+		NewWSort([]string{"A"}, 1000),
+		NewTumble(Cnt, NewCol("B"), []string{"A"}),
+		NewXSection(Sum, NewCol("B"), []string{"A"}, 4, 2),
+		NewSlide(Max, NewCol("B"), []string{"A"}, "B", 10),
+		NewJoin([]string{"A"}, []string{"A"}, 100),
+		NewResample("price"),
+	}
+	for _, o := range ops {
+		spec := o.Spec()
+		rebuilt, err := Build(spec)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", spec, err)
+		}
+		if rebuilt.Spec().String() != spec.String() {
+			t.Errorf("spec round trip: %s -> %s", spec, rebuilt.Spec())
+		}
+		if rebuilt.NumIn() != o.NumIn() || rebuilt.NumOut() != o.NumOut() {
+			t.Errorf("%s: port counts changed across rebuild", spec.Kind)
+		}
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	s := Spec{Kind: "k", Params: map[string]string{
+		"i": "42", "b": "true", "cols": "a, b ,c", "badint": "x", "badbool": "y",
+	}}
+	if v, err := paramInt(s, "i"); err != nil || v != 42 {
+		t.Errorf("paramInt = %d, %v", v, err)
+	}
+	if _, err := paramInt(s, "badint"); err == nil {
+		t.Error("paramInt should fail on non-integer")
+	}
+	if _, err := paramInt(s, "missing"); err == nil {
+		t.Error("paramInt should fail on missing key")
+	}
+	if v, err := paramIntDefault(s, "missing", 7); err != nil || v != 7 {
+		t.Errorf("paramIntDefault = %d, %v", v, err)
+	}
+	if v, err := paramBool(s, "b"); err != nil || !v {
+		t.Errorf("paramBool = %v, %v", v, err)
+	}
+	if v, err := paramBool(s, "missing"); err != nil || v {
+		t.Errorf("paramBool default = %v, %v", v, err)
+	}
+	if _, err := paramBool(s, "badbool"); err == nil {
+		t.Error("paramBool should fail on junk")
+	}
+	cols, err := paramCols(s, "cols")
+	if err != nil || len(cols) != 3 || cols[1] != "b" {
+		t.Errorf("paramCols = %v, %v", cols, err)
+	}
+}

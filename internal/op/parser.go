@@ -1,0 +1,368 @@
+package op
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/stream"
+)
+
+// Parse converts the concrete expression syntax back into an Expr tree. It
+// is the inverse of Expr.String and enables remote definition (§4.4): a
+// participant ships the textual form of an operator's parameters and the
+// receiving participant instantiates the operator from its own pre-defined
+// set.
+//
+// Grammar (usual precedence, lowest first):
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := cmp ("&&" cmp)*
+//	cmp    := sum (("=="|"!="|"<="|">="|"<"|">") sum)?
+//	sum    := term (("+"|"-") term)*
+//	term   := unary (("*"|"/"|"%") unary)*
+//	unary  := "!" unary | "-" unary | factor
+//	factor := NUMBER | STRING | "true" | "false" | "null"
+//	        | "hash" "(" ident ("," ident)* ")"
+//	        | ident | "(" expr ")"
+func Parse(src string) (Expr, error) {
+	p := &parser{toks: lex(src)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", src, err)
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parse %q: trailing input at %q", src, p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for compiled-in plans and tests.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation / operator
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case c == '"':
+			q, err := strconv.QuotedPrefix(src[i:])
+			if err != nil {
+				toks = append(toks, token{tokErr, src[i:]})
+				return toks
+			}
+			unq, err := strconv.Unquote(q)
+			if err != nil {
+				toks = append(toks, token{tokErr, q})
+				return toks
+			}
+			toks = append(toks, token{tokString, unq})
+			i += len(q)
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{tokOp, two})
+				i += 2
+				continue
+			}
+			switch c {
+			case '<', '>', '!', '(', ')', '+', '-', '*', '/', '%', ',':
+				toks = append(toks, token{tokOp, string(c)})
+				i++
+			default:
+				toks = append(toks, token{tokErr, string(c)})
+				return toks
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptOp(ops ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return "", false
+	}
+	for _, o := range ops {
+		if t.text == o {
+			p.next()
+			return o, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) expectOp(o string) error {
+	if _, ok := p.acceptOp(o); !ok {
+		return fmt.Errorf("expected %q, found %q", o, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("||"); !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = NewOr(l, r)
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("&&"); !ok {
+			return l, nil
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = NewAnd(l, r)
+	}
+}
+
+var cmpOps = map[string]CmpOp{
+	"==": EQ, "!=": NE, "<": LT, "<=": LE, ">": GT, ">=": GE,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if o, ok := p.acceptOp("==", "!=", "<=", ">=", "<", ">"); ok {
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return NewCmp(cmpOps[o], l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		o, ok := p.acceptOp("+", "-")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if o == "+" {
+			l = NewArith(Add, l, r)
+		} else {
+			l = NewArith(Sub, l, r)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		o, ok := p.acceptOp("*", "/", "%")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch o {
+		case "*":
+			l = NewArith(Mul, l, r)
+		case "/":
+			l = NewArith(Div, l, r)
+		default:
+			l = NewArith(Mod, l, r)
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if _, ok := p.acceptOp("!"); ok {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NewNot(e), nil
+	}
+	if _, ok := p.acceptOp("-"); ok {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals so -42 stays a constant and
+		// Expr.String round-trips stably.
+		if c, ok := e.(*Const); ok {
+			switch c.Val.Kind() {
+			case stream.KindInt:
+				return NewConst(stream.Int(-c.Val.AsInt())), nil
+			case stream.KindFloat:
+				return NewConst(stream.Float(-c.Val.AsFloat())), nil
+			}
+		}
+		return NewArith(Sub, NewConst(stream.Int(0)), e), nil
+	}
+	return p.parseFactor()
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q: %w", t.text, err)
+			}
+			return NewConst(stream.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", t.text, err)
+		}
+		return NewConst(stream.Int(i)), nil
+	case tokString:
+		p.next()
+		return NewConst(stream.String(t.text)), nil
+	case tokIdent:
+		p.next()
+		switch t.text {
+		case "true":
+			return NewConst(stream.Bool(true)), nil
+		case "false":
+			return NewConst(stream.Bool(false)), nil
+		case "null":
+			return NewConst(stream.Null()), nil
+		case "hash":
+			return p.parseHashCall()
+		default:
+			return NewCol(t.text), nil
+		}
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokErr:
+		return nil, fmt.Errorf("bad input at %q", t.text)
+	}
+	return nil, fmt.Errorf("unexpected token %q", t.text)
+}
+
+func (p *parser) parseHashCall() (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("hash: expected column name, found %q", t.text)
+		}
+		cols = append(cols, t.text)
+		if _, ok := p.acceptOp(","); ok {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return NewHashCall(cols...), nil
+}

@@ -1,0 +1,89 @@
+package op
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// genExpr builds a random expression tree over exprSchema: the generator
+// for the String/Parse round-trip property.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return NewCol("A")
+		case 1:
+			return NewCol("B")
+		case 2:
+			return NewConst(stream.Int(rng.Int63n(100) - 50))
+		case 3:
+			return NewConst(stream.Float(float64(rng.Intn(100)) / 4))
+		default:
+			return NewCol("price")
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return NewCmp(CmpOp(rng.Intn(6)), genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 1:
+		return NewArith(ArithOp(rng.Intn(5)), genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 2:
+		return NewAnd(genBool(rng, depth-1), genBool(rng, depth-1))
+	case 3:
+		return NewOr(genBool(rng, depth-1), genBool(rng, depth-1))
+	case 4:
+		return NewNot(genBool(rng, depth-1))
+	default:
+		return NewHashCall("A", "sym")
+	}
+}
+
+// genBool builds a random boolean-valued expression.
+func genBool(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return NewCmp(LT, NewCol("A"), NewConst(stream.Int(rng.Int63n(10))))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return NewCmp(CmpOp(rng.Intn(6)), genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 1:
+		return NewAnd(genBool(rng, depth-1), genBool(rng, depth-1))
+	default:
+		return NewNot(genBool(rng, depth-1))
+	}
+}
+
+// TestRandomExprRoundTrip: for random trees e, Parse(e.String()) evaluates
+// identically to e on random tuples — the invariant remote definition
+// (§4.4) rests on.
+func TestRandomExprRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		e := genExpr(rng, 1+rng.Intn(4))
+		src := e.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		if parsed.String() != src {
+			t.Fatalf("trial %d: render not stable: %q -> %q", trial, src, parsed.String())
+		}
+		if err := e.Bind(exprSchema); err != nil {
+			t.Fatal(err)
+		}
+		if err := parsed.Bind(exprSchema); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			tp := exprTuple(rng.Int63n(20)-10, rng.Int63n(20)-10,
+				float64(rng.Intn(100))/8, "s", rng.Intn(2) == 0)
+			a, b := e.Eval(tp), parsed.Eval(tp)
+			if !a.Equal(b) {
+				t.Fatalf("trial %d: %q evaluates %s vs %s on %v",
+					trial, src, a.Format(), b.Format(), tp)
+			}
+		}
+	}
+}

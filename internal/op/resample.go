@@ -1,0 +1,173 @@
+package op
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// KindResample is the registry kind of the Resample operator.
+const KindResample = "resample"
+
+// Resample is Aurora's extrapolation operator (mentioned in §2.2): it
+// aligns a reference stream (input 1) to the timestamps of a primary
+// stream (input 0). For each primary tuple it emits the primary fields
+// plus the reference value linearly interpolated at the primary tuple's
+// timestamp. Primary tuples wait until the reference stream has passed
+// their timestamp; at flush, pending primaries are extrapolated from the
+// last reference value.
+//
+// Spec parameters:
+//
+//	on  name of the numeric reference field to interpolate (required)
+type Resample struct {
+	spec Spec
+	on   string
+
+	onIdx   int
+	pending []stream.Tuple // primary tuples awaiting reference coverage
+	refs    []refPoint     // reference samples, ascending TS
+}
+
+type refPoint struct {
+	ts int64
+	v  float64
+}
+
+// NewResample builds a Resample interpolating the named reference field.
+func NewResample(on string) *Resample {
+	return &Resample{
+		spec: Spec{Kind: KindResample, Params: map[string]string{"on": on}},
+		on:   on,
+	}
+}
+
+func buildResample(s Spec) (Operator, error) {
+	on, err := param(s, "on")
+	if err != nil {
+		return nil, err
+	}
+	return &Resample{spec: s.Clone(), on: on}, nil
+}
+
+// Spec implements Operator.
+func (r *Resample) Spec() Spec { return r.spec.Clone() }
+
+// NumIn implements Operator.
+func (r *Resample) NumIn() int { return 2 }
+
+// NumOut implements Operator.
+func (r *Resample) NumOut() int { return 1 }
+
+// Bind implements Operator.
+func (r *Resample) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("resample: want 2 input schemas, got %d", len(in))
+	}
+	i := in[1].Index(r.on)
+	if i < 0 {
+		return nil, fmt.Errorf("resample: no field %q in reference schema %s", r.on, in[1])
+	}
+	r.onIdx = i
+	fields := in[0].Fields()
+	name := r.on
+	for _, f := range fields {
+		if f.Name == name {
+			name += "_rs"
+		}
+	}
+	fields = append(fields, stream.Field{Name: name, Kind: stream.KindFloat})
+	out, err := stream.NewSchema(in[0].Name()+".resample", fields...)
+	if err != nil {
+		return nil, fmt.Errorf("resample: %w", err)
+	}
+	return []*stream.Schema{out}, nil
+}
+
+// Process implements Operator.
+func (r *Resample) Process(port int, t stream.Tuple, emit Emit) {
+	if port == 0 {
+		r.pending = append(r.pending, t)
+	} else {
+		r.refs = append(r.refs, refPoint{ts: t.TS, v: t.Field(r.onIdx).AsFloat()})
+	}
+	r.drain(emit, false)
+}
+
+// Advance implements Operator (no time-driven behaviour; coverage is
+// driven by reference arrivals).
+func (r *Resample) Advance(int64, Emit) {}
+
+// Flush implements Operator: pending primaries are emitted with the last
+// reference value extrapolated forward; with no reference at all they are
+// dropped (there is nothing to resample against).
+func (r *Resample) Flush(emit Emit) {
+	r.drain(emit, true)
+	r.pending = r.pending[:0]
+}
+
+func (r *Resample) drain(emit Emit, force bool) {
+	if len(r.refs) == 0 {
+		return
+	}
+	highRef := r.refs[len(r.refs)-1].ts
+	keep := r.pending[:0]
+	var lowWater int64 = 1<<63 - 1
+	for _, p := range r.pending {
+		if p.TS <= highRef || force {
+			emit(0, r.interpolated(p))
+		} else {
+			if p.TS < lowWater {
+				lowWater = p.TS
+			}
+			keep = append(keep, p)
+		}
+	}
+	r.pending = keep
+	// Prune reference points no pending primary can need: everything
+	// strictly older than the latest ref at or below the low-water mark.
+	// With nothing pending, keep the last interval (two points) so a
+	// primary lagging slightly behind the reference stream can still
+	// interpolate rather than clamp.
+	if len(r.pending) == 0 {
+		if len(r.refs) > 2 {
+			r.refs = r.refs[len(r.refs)-2:]
+		}
+		return
+	}
+	cut := sort.Search(len(r.refs), func(i int) bool { return r.refs[i].ts > lowWater })
+	if cut > 0 {
+		cut--
+	}
+	r.refs = r.refs[cut:]
+}
+
+func (r *Resample) interpolated(p stream.Tuple) stream.Tuple {
+	v := interpolate(r.refs, p.TS)
+	vals := make([]stream.Value, 0, len(p.Vals)+1)
+	vals = append(vals, p.Vals...)
+	vals = append(vals, stream.Float(v))
+	return stream.Tuple{Seq: p.Seq, TS: p.TS, Vals: vals}
+}
+
+// interpolate returns the reference value at ts, linearly interpolated
+// between the surrounding samples and clamped to the first/last sample
+// outside the covered range. refs must be non-empty and ascending by ts.
+func interpolate(refs []refPoint, ts int64) float64 {
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ts >= ts })
+	switch {
+	case i == 0:
+		return refs[0].v
+	case i == len(refs):
+		return refs[len(refs)-1].v
+	case refs[i].ts == ts:
+		return refs[i].v
+	default:
+		a, b := refs[i-1], refs[i]
+		frac := float64(ts-a.ts) / float64(b.ts-a.ts)
+		return a.v + frac*(b.v-a.v)
+	}
+}
+
+func init() { RegisterKind(KindResample, buildResample) }

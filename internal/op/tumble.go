@@ -1,0 +1,168 @@
+package op
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// KindTumble is the registry kind of the Tumble operator.
+const KindTumble = "tumble"
+
+// ResultField is the name of the aggregate output column every windowed
+// aggregate operator appends after its group-by columns.
+const ResultField = "result"
+
+// Tumble applies an aggregate function to disjoint windows over the input
+// stream; the group-by attributes map tuples to the windows they belong to
+// (§2.2). Windows are maximal runs of consecutive tuples sharing the same
+// group-by values: a window closes — and its aggregate is emitted — when a
+// tuple arrives whose group-by values differ from the open run's. This is
+// exactly the semantics of the paper's worked example (Fig 2): with
+// agg=avg(B) and group-by A, the seven sample tuples yield (A=1, 2.5) upon
+// tuple #3 and (A=2, 3.0) upon tuple #6, with the A=4 window still open.
+//
+// Per the paper's footnote, the emission/timeout parameters are fixed to
+// "emit whenever a window is full, never on timeout".
+//
+// Spec parameters:
+//
+//	agg      aggregate registry name (required): cnt, sum, avg, max, ...
+//	on       expression whose value feeds the aggregate (required; cnt
+//	         may use any column)
+//	groupby  comma-separated group-by attribute names (required)
+type Tumble struct {
+	base
+	spec    Spec
+	agg     Aggregate
+	on      Expr
+	groupBy []string
+
+	groupIdx []int
+	out      *stream.Schema
+
+	open    bool
+	curKey  string
+	acc     Accumulator
+	curVals []stream.Value // group-by values of the open window
+	firstIn stream.Tuple   // earliest tuple contributing to the open window
+}
+
+// NewTumble builds a Tumble with the given aggregate, input expression,
+// and group-by attributes.
+func NewTumble(agg Aggregate, on Expr, groupBy []string) *Tumble {
+	spec := Spec{Kind: KindTumble, Params: map[string]string{
+		"agg":     agg.Name(),
+		"on":      on.String(),
+		"groupby": join(groupBy, ","),
+	}}
+	return &Tumble{spec: spec, agg: agg, on: on, groupBy: groupBy}
+}
+
+func buildTumble(s Spec) (Operator, error) {
+	aggName, err := param(s, "agg")
+	if err != nil {
+		return nil, err
+	}
+	agg, err := LookupAggregate(aggName)
+	if err != nil {
+		return nil, fmt.Errorf("tumble: %w", err)
+	}
+	onSrc, err := param(s, "on")
+	if err != nil {
+		return nil, err
+	}
+	on, err := Parse(onSrc)
+	if err != nil {
+		return nil, fmt.Errorf("tumble: %w", err)
+	}
+	groupBy, err := paramCols(s, "groupby")
+	if err != nil {
+		return nil, err
+	}
+	return &Tumble{spec: s.Clone(), agg: agg, on: on, groupBy: groupBy}, nil
+}
+
+// Spec implements Operator.
+func (tb *Tumble) Spec() Spec { return tb.spec.Clone() }
+
+// NumIn implements Operator.
+func (tb *Tumble) NumIn() int { return 1 }
+
+// NumOut implements Operator.
+func (tb *Tumble) NumOut() int { return 1 }
+
+// Bind implements Operator.
+func (tb *Tumble) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("tumble: want 1 input schema, got %d", len(in))
+	}
+	idx, err := in[0].Indices(tb.groupBy...)
+	if err != nil {
+		return nil, fmt.Errorf("tumble: %w", err)
+	}
+	tb.groupIdx = idx
+	if err := tb.on.Bind(in[0]); err != nil {
+		return nil, fmt.Errorf("tumble: %w", err)
+	}
+	fields := make([]stream.Field, 0, len(idx)+1)
+	for _, i := range idx {
+		fields = append(fields, in[0].Field(i))
+	}
+	fields = append(fields, stream.Field{
+		Name: ResultField,
+		Kind: tb.agg.ResultKind(InferKind(tb.on, in[0])),
+	})
+	out, err := stream.NewSchema(in[0].Name()+".tumble", fields...)
+	if err != nil {
+		return nil, fmt.Errorf("tumble: %w", err)
+	}
+	tb.out = out
+	return []*stream.Schema{out}, nil
+}
+
+// Process implements Operator.
+func (tb *Tumble) Process(_ int, t stream.Tuple, emit Emit) {
+	key := t.KeyOf(tb.groupIdx)
+	if tb.open && key != tb.curKey {
+		tb.emitWindow(emit)
+	}
+	if !tb.open {
+		tb.open = true
+		tb.curKey = key
+		tb.acc = tb.agg.New()
+		tb.curVals = make([]stream.Value, len(tb.groupIdx))
+		for i, idx := range tb.groupIdx {
+			tb.curVals[i] = t.Field(idx)
+		}
+		tb.firstIn = t
+	}
+	tb.acc.Add(tb.on.Eval(t))
+}
+
+// Flush implements Operator: emits the open window, matching the drain
+// protocol of §5.1 (the network is stabilized and all in-flight state must
+// reach the output before a transformation).
+func (tb *Tumble) Flush(emit Emit) {
+	if tb.open {
+		tb.emitWindow(emit)
+	}
+}
+
+func (tb *Tumble) emitWindow(emit Emit) {
+	vals := make([]stream.Value, 0, len(tb.curVals)+1)
+	vals = append(vals, tb.curVals...)
+	vals = append(vals, tb.acc.Result())
+	emit(0, stream.Tuple{Seq: tb.firstIn.Seq, TS: tb.firstIn.TS, Vals: vals})
+	tb.open = false
+	tb.acc = nil
+}
+
+// Aggregate returns the tumble's aggregate function; the splitter uses it
+// to check combinability and derive the merge network (§5.1).
+func (tb *Tumble) Aggregate() Aggregate { return tb.agg }
+
+// GroupBy returns the group-by attribute names.
+func (tb *Tumble) GroupBy() []string { return append([]string(nil), tb.groupBy...) }
+
+func init() { RegisterKind(KindTumble, buildTumble) }

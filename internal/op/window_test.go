@@ -1,0 +1,122 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func seqTuples(group int64, bs ...int64) []stream.Tuple {
+	out := make([]stream.Tuple, len(bs))
+	for i, b := range bs {
+		out[i] = stream.NewTuple(stream.Int(group), stream.Int(b))
+	}
+	return out
+}
+
+func TestXSectionTumblingWindows(t *testing.T) {
+	// size == advance: non-overlapping count windows.
+	x := NewXSection(Sum, NewCol("B"), []string{"A"}, 2, 2)
+	out := feed(t, x, fig2Schema, seqTuples(1, 1, 2, 3, 4, 5))
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(3)), // 1+2
+		stream.NewTuple(stream.Int(1), stream.Int(7)), // 3+4
+	}
+	// The trailing incomplete window (just 5) is discarded.
+	if !stream.TuplesEqualValues(out, want) {
+		t.Fatalf("got:\n%s", stream.FormatTuples(out))
+	}
+}
+
+func TestXSectionOverlappingWindows(t *testing.T) {
+	x := NewXSection(Sum, NewCol("B"), []string{"A"}, 3, 1)
+	out := feed(t, x, fig2Schema, seqTuples(1, 1, 2, 3, 4))
+	want := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(6)), // 1+2+3
+		stream.NewTuple(stream.Int(1), stream.Int(9)), // 2+3+4
+	}
+	if !stream.TuplesEqualValues(out, want) {
+		t.Fatalf("got:\n%s", stream.FormatTuples(out))
+	}
+}
+
+func TestXSectionPerGroupWindows(t *testing.T) {
+	x := NewXSection(Cnt, NewCol("B"), []string{"A"}, 2, 2)
+	in := append(seqTuples(1, 1), append(seqTuples(2, 9), seqTuples(1, 2)...)...)
+	out := feed(t, x, fig2Schema, in)
+	// Group 1 completes one window of 2; group 2 never completes.
+	want := []stream.Tuple{stream.NewTuple(stream.Int(1), stream.Int(2))}
+	if !stream.TuplesEqualValues(out, want) {
+		t.Fatalf("got:\n%s", stream.FormatTuples(out))
+	}
+}
+
+func TestXSectionValidation(t *testing.T) {
+	for _, params := range []map[string]string{
+		{"agg": "sum", "on": "B", "groupby": "A", "size": "0"},
+		{"agg": "sum", "on": "B", "groupby": "A", "size": "2", "advance": "0"},
+		{"agg": "nope", "on": "B", "groupby": "A", "size": "2"},
+	} {
+		if _, err := Build(Spec{Kind: "xsection", Params: params}); err == nil {
+			t.Errorf("Build(xsection %v) should fail", params)
+		}
+	}
+}
+
+func TestSlideTrailingWindow(t *testing.T) {
+	// range=10 over order attribute B: each emission aggregates the
+	// trailing window (B-10, B].
+	sl := NewSlide(Sum, NewCol("B"), []string{"A"}, "B", 10)
+	out := feed(t, sl, fig2Schema, seqTuples(1, 1, 5, 11, 20))
+	// Windows (order - 10, order]: {1}, {1,5}, {5,11} (1 pruned),
+	// {11,20} (5 pruned since 5 <= 20-10).
+	wantSums := []int64{1, 6, 16, 31}
+	if len(out) != len(wantSums) {
+		t.Fatalf("got %d outputs:\n%s", len(out), stream.FormatTuples(out))
+	}
+	for i, tp := range out {
+		if got := tp.Field(2).AsInt(); got != wantSums[i] {
+			t.Errorf("window %d sum = %d, want %d", i, got, wantSums[i])
+		}
+	}
+}
+
+func TestSlidePerGroup(t *testing.T) {
+	sl := NewSlide(Cnt, NewCol("B"), []string{"A"}, "B", 100)
+	in := []stream.Tuple{
+		stream.NewTuple(stream.Int(1), stream.Int(1)),
+		stream.NewTuple(stream.Int(2), stream.Int(2)),
+		stream.NewTuple(stream.Int(1), stream.Int(3)),
+	}
+	out := feed(t, sl, fig2Schema, in)
+	wantCounts := []int64{1, 1, 2}
+	for i, tp := range out {
+		if got := tp.Field(2).AsInt(); got != wantCounts[i] {
+			t.Errorf("emission %d count = %d, want %d", i, got, wantCounts[i])
+		}
+	}
+}
+
+func TestSlideOutputSchema(t *testing.T) {
+	sl := NewSlide(Max, NewCol("B"), []string{"A"}, "B", 10)
+	schemas, err := sl.Bind([]*stream.Schema{fig2Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := schemas[0]
+	if out.Arity() != 3 || out.Field(0).Name != "A" || out.Field(1).Name != "B" || out.Field(2).Name != ResultField {
+		t.Fatalf("schema = %s", out)
+	}
+}
+
+func TestSlideValidation(t *testing.T) {
+	if _, err := Build(Spec{Kind: "slide", Params: map[string]string{
+		"agg": "sum", "on": "B", "groupby": "A", "order": "B", "range": "-1",
+	}}); err == nil {
+		t.Error("negative range should fail")
+	}
+	sl := NewSlide(Sum, NewCol("B"), []string{"A"}, "ghost", 5)
+	if _, err := sl.Bind([]*stream.Schema{fig2Schema}); err == nil {
+		t.Error("unknown order attribute should fail at bind")
+	}
+}

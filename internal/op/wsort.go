@@ -1,0 +1,203 @@
+package op
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// KindWSort is the registry kind of the WSort operator.
+const KindWSort = "wsort"
+
+// WSort is the time-bounded windowed sort of §2.2: it buffers incoming
+// tuples and emits them in ascending order of its sort attributes, with at
+// least one tuple emitted per timeout period. WSort is potentially lossy:
+// a tuple that arrives after some tuple that follows it in sort order has
+// already been emitted must be discarded.
+//
+// Spec parameters:
+//
+//	attrs    comma-separated sort attribute names (required)
+//	timeout  emission period in time units (required, > 0); "large
+//	         enough" timeouts make WSort a pure drain-time sorter, which
+//	         is how the Tumble split-merge network uses it (§5.1)
+//	maxbuf   optional buffer bound in tuples; exceeding it forces the
+//	         minimum-key tuples out early (0 = unbounded)
+type WSort struct {
+	spec    Spec
+	attrs   []string
+	timeout int64
+	maxBuf  int
+
+	indices  []int
+	buf      []wsortEntry
+	arrivals uint64
+	last     []stream.Value // key of the most recently emitted tuple
+	hasLast  bool
+	deadline int64
+	started  bool
+	lost     uint64
+}
+
+type wsortEntry struct {
+	key     []stream.Value
+	arrival uint64
+	t       stream.Tuple
+}
+
+// NewWSort builds a WSort over the named sort attributes with the given
+// timeout (in the same time units the engine advances).
+func NewWSort(attrs []string, timeout int64) *WSort {
+	spec := Spec{Kind: KindWSort, Params: map[string]string{
+		"attrs":   join(attrs, ","),
+		"timeout": fmt.Sprint(timeout),
+	}}
+	return &WSort{spec: spec, attrs: attrs, timeout: timeout}
+}
+
+func buildWSort(s Spec) (Operator, error) {
+	attrs, err := paramCols(s, "attrs")
+	if err != nil {
+		return nil, err
+	}
+	timeout, err := paramInt(s, "timeout")
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("wsort: timeout must be positive, got %d", timeout)
+	}
+	maxBuf, err := paramIntDefault(s, "maxbuf", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &WSort{spec: s.Clone(), attrs: attrs, timeout: timeout, maxBuf: int(maxBuf)}, nil
+}
+
+// Spec implements Operator.
+func (w *WSort) Spec() Spec { return w.spec.Clone() }
+
+// NumIn implements Operator.
+func (w *WSort) NumIn() int { return 1 }
+
+// NumOut implements Operator.
+func (w *WSort) NumOut() int { return 1 }
+
+// Bind implements Operator.
+func (w *WSort) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("wsort: want 1 input schema, got %d", len(in))
+	}
+	idx, err := in[0].Indices(w.attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("wsort: %w", err)
+	}
+	w.indices = idx
+	return []*stream.Schema{in[0]}, nil
+}
+
+func (w *WSort) keyOf(t stream.Tuple) []stream.Value {
+	key := make([]stream.Value, len(w.indices))
+	for i, idx := range w.indices {
+		key[i] = t.Field(idx)
+	}
+	return key
+}
+
+func keyLess(a, b []stream.Value) bool {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// Process implements Operator.
+func (w *WSort) Process(_ int, t stream.Tuple, emit Emit) {
+	key := w.keyOf(t)
+	if w.hasLast && keyLess(key, w.last) {
+		// A later tuple in sort order has already been emitted: the
+		// arrival is out of window and must be discarded (lossy).
+		w.lost++
+		return
+	}
+	w.arrivals++
+	w.buf = append(w.buf, wsortEntry{key: key, arrival: w.arrivals, t: t})
+	if w.maxBuf > 0 && len(w.buf) > w.maxBuf {
+		w.emitMin(emit)
+	}
+}
+
+// Advance implements Operator: each timeout period with a non-empty buffer
+// emits the minimum-key tuples.
+func (w *WSort) Advance(now int64, emit Emit) {
+	if !w.started {
+		w.started = true
+		w.deadline = now + w.timeout
+		return
+	}
+	for now >= w.deadline {
+		w.deadline += w.timeout
+		if len(w.buf) > 0 {
+			w.emitMin(emit)
+		}
+	}
+}
+
+// emitMin emits every buffered tuple sharing the minimum sort key, in
+// arrival order (stable).
+func (w *WSort) emitMin(emit Emit) {
+	min := 0
+	for i := 1; i < len(w.buf); i++ {
+		if keyLess(w.buf[i].key, w.buf[min].key) {
+			min = i
+		}
+	}
+	minKey := w.buf[min].key
+	var keep []wsortEntry
+	var out []wsortEntry
+	for _, e := range w.buf {
+		if !keyLess(e.key, minKey) && !keyLess(minKey, e.key) {
+			out = append(out, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].arrival < out[j].arrival })
+	for _, e := range out {
+		emit(0, e.t)
+	}
+	w.buf = keep
+	w.last = minKey
+	w.hasLast = true
+}
+
+// Flush implements Operator: it drains the whole buffer in sorted order
+// (stable on arrival within equal keys). With a "large enough timeout"
+// this is WSort's only emission, which is exactly the §5.1 merge usage.
+func (w *WSort) Flush(emit Emit) {
+	sort.SliceStable(w.buf, func(i, j int) bool {
+		if keyLess(w.buf[i].key, w.buf[j].key) {
+			return true
+		}
+		if keyLess(w.buf[j].key, w.buf[i].key) {
+			return false
+		}
+		return w.buf[i].arrival < w.buf[j].arrival
+	})
+	for _, e := range w.buf {
+		emit(0, e.t)
+	}
+	if n := len(w.buf); n > 0 {
+		w.last = w.buf[n-1].key
+		w.hasLast = true
+	}
+	w.buf = w.buf[:0]
+}
+
+// Lost reports how many out-of-order arrivals the sort has discarded.
+func (w *WSort) Lost() uint64 { return w.lost }
+
+func init() { RegisterKind(KindWSort, buildWSort) }

@@ -1,0 +1,159 @@
+// Package qos implements Aurora's Quality-of-Service model (§7.1): every
+// application attaches to its query a QoS specification — a function from
+// some characteristic of the output stream (latency, fraction of tuples
+// delivered, tuple values) to a utility in [0, 1]. All resource allocation
+// decisions (scheduling, load shedding) are driven by these specifications,
+// and the operational goal of the system is to maximize perceived aggregate
+// QoS delivered to client applications.
+//
+// The package also implements QoS inference for the outputs of internal
+// nodes of a distributed Aurora* deployment: given the QoS at the final
+// output and per-box processing costs, the specification at a box's input
+// is Qi(t) = Qo(t + TB), pushed upstream through the network (Fig 9).
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one vertex of a piecewise-linear utility graph.
+type Point struct {
+	X float64 // the characteristic: latency, delivered fraction, value
+	U float64 // utility in [0, 1]
+}
+
+// Graph is a piecewise-linear utility function. X coordinates are strictly
+// ascending; evaluation clamps outside the covered range.
+type Graph struct {
+	pts []Point
+}
+
+// NewGraph builds a graph from vertices. At least one point is required,
+// X must be strictly ascending, and utilities must lie in [0, 1].
+func NewGraph(pts ...Point) (*Graph, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("qos: graph needs at least one point")
+	}
+	for i, p := range pts {
+		if p.U < 0 || p.U > 1 {
+			return nil, fmt.Errorf("qos: utility %g out of [0,1] at point %d", p.U, i)
+		}
+		if i > 0 && pts[i-1].X >= p.X {
+			return nil, fmt.Errorf("qos: X must be strictly ascending (point %d)", i)
+		}
+	}
+	return &Graph{pts: append([]Point(nil), pts...)}, nil
+}
+
+// MustGraph is NewGraph that panics on error.
+func MustGraph(pts ...Point) *Graph {
+	g, err := NewGraph(pts...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Utility evaluates the graph at x with linear interpolation, clamping to
+// the first/last vertex outside the range.
+func (g *Graph) Utility(x float64) float64 {
+	pts := g.pts
+	if x <= pts[0].X {
+		return pts[0].U
+	}
+	n := len(pts)
+	if x >= pts[n-1].X {
+		return pts[n-1].U
+	}
+	i := sort.Search(n, func(i int) bool { return pts[i].X >= x })
+	a, b := pts[i-1], pts[i]
+	frac := (x - a.X) / (b.X - a.X)
+	return a.U + frac*(b.U-a.U)
+}
+
+// Shift returns the graph translated so that Shift(d).Utility(x) equals
+// g.Utility(x + d). This is exactly the inference step of §7.1: with Qo
+// the QoS at a box's output and TB the box's average processing time
+// (including queueing), the input-side specification is Qi(t) = Qo(t+TB),
+// i.e. Qo shifted left by TB.
+func (g *Graph) Shift(d float64) *Graph {
+	pts := make([]Point, len(g.pts))
+	for i, p := range g.pts {
+		pts[i] = Point{X: p.X - d, U: p.U}
+	}
+	return &Graph{pts: pts}
+}
+
+// Points returns a copy of the graph's vertices.
+func (g *Graph) Points() []Point { return append([]Point(nil), g.pts...) }
+
+// MaxUtility returns the maximum utility over the graph.
+func (g *Graph) MaxUtility() float64 {
+	best := 0.0
+	for _, p := range g.pts {
+		if p.U > best {
+			best = p.U
+		}
+	}
+	return best
+}
+
+// CriticalX returns the largest x whose utility is still at least frac of
+// the graph's maximum. For a decreasing latency graph this is the latest
+// acceptable delivery latency; the scheduler uses it to prioritize and the
+// shedder to decide when drops are preferable to lateness.
+func (g *Graph) CriticalX(frac float64) float64 {
+	target := frac * g.MaxUtility()
+	// Walk segments left to right recording the last x meeting the target.
+	last := math.Inf(-1)
+	meets := func(p Point) bool { return p.U >= target-1e-12 }
+	for i, p := range g.pts {
+		if meets(p) {
+			last = p.X
+			continue
+		}
+		if i > 0 && g.pts[i-1].U != p.U {
+			a := g.pts[i-1]
+			if a.U >= target && p.U < target {
+				// Interpolate the crossing inside the segment.
+				frac := (a.U - target) / (a.U - p.U)
+				x := a.X + frac*(p.X-a.X)
+				if x > last {
+					last = x
+				}
+			}
+		}
+	}
+	if math.IsInf(last, -1) {
+		return g.pts[0].X
+	}
+	return last
+}
+
+// NonIncreasing reports whether utility never rises as x grows — the shape
+// of every latency graph (later is never better).
+func (g *Graph) NonIncreasing() bool {
+	for i := 1; i < len(g.pts); i++ {
+		if g.pts[i].U > g.pts[i-1].U+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph as (x:u, x:u, ...).
+func (g *Graph) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, p := range g.pts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g:%g", p.X, p.U)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

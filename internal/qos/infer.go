@@ -1,0 +1,65 @@
+package qos
+
+import "fmt"
+
+// BoxCost carries the operational statistics the inference of §7.1 needs
+// for one box: the average time TB for a tuple arriving at the box's input
+// to be processed completely (implicitly including queueing time), and the
+// box's selectivity. Both are assumed to be monitored and maintained in an
+// approximate fashion over the running network.
+type BoxCost struct {
+	// ID identifies the box within its query network.
+	ID string
+	// Time is TB in the engine's time units.
+	Time float64
+	// Selectivity is output tuples per input tuple (informational; the
+	// latency inference itself needs only Time).
+	Selectivity float64
+}
+
+// InferChain pushes an output QoS specification upstream through a chain
+// of boxes, outermost (closest to the output) first. It returns one
+// inferred Spec per arc: element 0 is the spec at the input of the box
+// nearest the output, element i the spec at the input of the i'th box
+// walking upstream. This implements the estimated latency graph
+// computation of §7.1: Qi(t) = Qo(t + TB) applied across an arbitrary
+// number of Aurora boxes.
+func InferChain(out *Spec, boxes []BoxCost) ([]*Spec, error) {
+	if out == nil {
+		return nil, fmt.Errorf("qos: nil output spec")
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	specs := make([]*Spec, len(boxes))
+	cur := out
+	for i, b := range boxes {
+		if b.Time < 0 {
+			return nil, fmt.Errorf("qos: box %s has negative cost", b.ID)
+		}
+		cur = cur.Shift(b.Time)
+		specs[i] = cur
+	}
+	return specs, nil
+}
+
+// InferredLatencyBudget returns, for each arc of the chain, the largest
+// latency that still preserves frac of the output's maximum utility. Local
+// resource managers at internal nodes use this budget to make scheduling
+// and shedding decisions without global coordination (the stated goal of
+// pushing QoS inside the network, §7.1).
+func InferredLatencyBudget(out *Spec, boxes []BoxCost, frac float64) ([]float64, error) {
+	specs, err := InferChain(out, boxes)
+	if err != nil {
+		return nil, err
+	}
+	budgets := make([]float64, len(specs))
+	for i, s := range specs {
+		if s.Latency == nil {
+			budgets[i] = 0
+			continue
+		}
+		budgets[i] = s.Latency.CriticalX(frac)
+	}
+	return budgets, nil
+}

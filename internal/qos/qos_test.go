@@ -1,0 +1,201 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := NewGraph(); err == nil {
+		t.Error("empty graph should fail")
+	}
+	if _, err := NewGraph(Point{0, 1}, Point{0, 0}); err == nil {
+		t.Error("non-ascending X should fail")
+	}
+	if _, err := NewGraph(Point{0, 1.5}); err == nil {
+		t.Error("utility > 1 should fail")
+	}
+	if _, err := NewGraph(Point{0, -0.1}); err == nil {
+		t.Error("utility < 0 should fail")
+	}
+}
+
+func TestGraphUtilityInterpolation(t *testing.T) {
+	g := MustGraph(Point{0, 1}, Point{10, 1}, Point{20, 0})
+	cases := []struct{ x, want float64 }{
+		{-5, 1}, // clamp left
+		{0, 1},
+		{5, 1},
+		{10, 1},
+		{15, 0.5}, // midpoint of decay
+		{20, 0},
+		{100, 0}, // clamp right
+	}
+	for _, c := range cases {
+		if got := g.Utility(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Utility(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGraphShiftIsInference(t *testing.T) {
+	// Qi(t) = Qo(t + TB): shifting by TB then evaluating at t equals
+	// evaluating the original at t + TB.
+	g := MustGraph(Point{0, 1}, Point{10, 0.5}, Point{20, 0})
+	f := func(tRaw, dRaw uint8) bool {
+		tt := float64(tRaw) / 8
+		d := float64(dRaw) / 8
+		return math.Abs(g.Shift(d).Utility(tt)-g.Utility(tt+d)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphCriticalX(t *testing.T) {
+	g := MustGraph(Point{0, 1}, Point{10, 1}, Point{20, 0})
+	// Utility >= 1.0 holds up to x=10.
+	if got := g.CriticalX(1.0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("CriticalX(1.0) = %g, want 10", got)
+	}
+	// Utility >= 0.5 holds up to x=15.
+	if got := g.CriticalX(0.5); math.Abs(got-15) > 1e-9 {
+		t.Errorf("CriticalX(0.5) = %g, want 15", got)
+	}
+}
+
+func TestGraphNonIncreasing(t *testing.T) {
+	if !MustGraph(Point{0, 1}, Point{10, 0}).NonIncreasing() {
+		t.Error("decreasing graph misclassified")
+	}
+	if MustGraph(Point{0, 0}, Point{10, 1}).NonIncreasing() {
+		t.Error("increasing graph misclassified")
+	}
+}
+
+func TestSpecUtilityComposition(t *testing.T) {
+	s := &Spec{
+		Latency: DefaultLatency(10, 20),
+		Loss:    DefaultLoss(0.5),
+	}
+	// Perfect latency, perfect delivery.
+	if got := s.Utility(5, 1.0); got != 1.0 {
+		t.Errorf("Utility(5, 1) = %g", got)
+	}
+	// Zero in one dimension zeroes the product.
+	if got := s.Utility(25, 1.0); got != 0 {
+		t.Errorf("Utility(25, 1) = %g, want 0", got)
+	}
+	if got := s.Utility(5, 0.2); got != 0 {
+		t.Errorf("Utility(5, 0.2) = %g, want 0 (below loss floor)", got)
+	}
+	// Mid-range composes multiplicatively.
+	got := s.Utility(15, 0.75)
+	want := 0.5 * 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utility(15, .75) = %g, want %g", got, want)
+	}
+	// Nil graphs are indifferent.
+	empty := &Spec{}
+	if empty.Utility(1e9, 0) != 1 {
+		t.Error("empty spec should be indifferent")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := &Spec{Latency: MustGraph(Point{0, 0}, Point{10, 1})}
+	if bad.Validate() == nil {
+		t.Error("increasing latency graph should be invalid")
+	}
+	bad2 := &Spec{Value: MustGraph(Point{0, 1})}
+	if bad2.Validate() == nil {
+		t.Error("value graph without field should be invalid")
+	}
+	ok := &Spec{Latency: DefaultLatency(1, 2)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestDefaultGraphShapes(t *testing.T) {
+	l := DefaultLatency(10, 20)
+	if !l.NonIncreasing() {
+		t.Error("DefaultLatency must be non-increasing")
+	}
+	// Degenerate good >= deadline is repaired.
+	l2 := DefaultLatency(30, 20)
+	if !l2.NonIncreasing() || l2.Utility(0) != 1 {
+		t.Error("DefaultLatency should repair good >= deadline")
+	}
+	loss := DefaultLoss(0.5)
+	if loss.Utility(1) != 1 || loss.Utility(0.25) != 0 {
+		t.Error("DefaultLoss shape wrong")
+	}
+	if DefaultLoss(-1).Utility(0.5) != 0.5 {
+		t.Error("DefaultLoss with bad floor should be linear")
+	}
+}
+
+func TestInferChain(t *testing.T) {
+	// The Fig 9 scenario: output at S3; boxes at S3, S2, S1 cost 5, 3, 2.
+	out := &Spec{Latency: MustGraph(Point{0, 1}, Point{20, 0})}
+	boxes := []BoxCost{
+		{ID: "s3", Time: 5},
+		{ID: "s2", Time: 3},
+		{ID: "s1", Time: 2},
+	}
+	specs, err := InferChain(out, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	// At S3's input the deadline shrinks from 20 to 15; at S1's to 10.
+	if got := specs[0].Latency.Utility(15); math.Abs(got) > 1e-12 {
+		t.Errorf("after s3, Utility(15) = %g, want 0", got)
+	}
+	if got := specs[2].Latency.Utility(10); math.Abs(got) > 1e-12 {
+		t.Errorf("after s1..s3, Utility(10) = %g, want 0", got)
+	}
+	// Composition identity: spec at the deepest arc evaluated at t equals
+	// the output spec at t + total cost.
+	total := 10.0
+	for _, x := range []float64{0, 3, 7, 9.9} {
+		if math.Abs(specs[2].Latency.Utility(x)-out.Latency.Utility(x+total)) > 1e-12 {
+			t.Errorf("inference composition broken at %g", x)
+		}
+	}
+}
+
+func TestInferChainErrors(t *testing.T) {
+	if _, err := InferChain(nil, nil); err == nil {
+		t.Error("nil spec should fail")
+	}
+	out := &Spec{Latency: DefaultLatency(1, 2)}
+	if _, err := InferChain(out, []BoxCost{{ID: "x", Time: -1}}); err == nil {
+		t.Error("negative cost should fail")
+	}
+	bad := &Spec{Latency: MustGraph(Point{0, 0}, Point{1, 1})}
+	if _, err := InferChain(bad, nil); err == nil {
+		t.Error("invalid output spec should fail")
+	}
+}
+
+func TestInferredLatencyBudget(t *testing.T) {
+	out := &Spec{Latency: MustGraph(Point{0, 1}, Point{20, 0})}
+	budgets, err := InferredLatencyBudget(out, []BoxCost{{ID: "a", Time: 5}, {ID: "b", Time: 5}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output keeps >= 0.5 utility up to latency 10; minus 5 per box.
+	if math.Abs(budgets[0]-5) > 1e-9 || math.Abs(budgets[1]-0) > 1e-9 {
+		t.Errorf("budgets = %v, want [5 0]", budgets)
+	}
+	// A spec with no latency graph yields zero budgets.
+	budgets, err = InferredLatencyBudget(&Spec{}, []BoxCost{{ID: "a", Time: 1}}, 0.5)
+	if err != nil || budgets[0] != 0 {
+		t.Errorf("nil-latency budgets = %v, %v", budgets, err)
+	}
+}

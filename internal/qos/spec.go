@@ -1,0 +1,77 @@
+package qos
+
+import "fmt"
+
+// Spec is the full QoS specification attached to one application output: a
+// latency-based graph (the primary driver for most resource control, per
+// §7.1), a loss-tolerance graph over the fraction of tuples delivered, and
+// an optional value-based graph over an output attribute. Nil graphs mean
+// "indifferent".
+type Spec struct {
+	// Latency maps output latency (in the engine's time units) to utility.
+	Latency *Graph
+	// Loss maps the delivered fraction of tuples in [0, 1] to utility; it
+	// tells the load shedder how much imprecision the application accepts
+	// (a precise answer is "the wrong standard", §7.1).
+	Loss *Graph
+	// Value maps the value of a designated output attribute to utility,
+	// letting the shedder prefer dropping low-value tuples.
+	Value *Graph
+	// ValueField names the output attribute the Value graph reads.
+	ValueField string
+}
+
+// DefaultLatency builds the canonical latency graph: full utility up to
+// good, linearly decaying to zero at deadline.
+func DefaultLatency(good, deadline float64) *Graph {
+	if good >= deadline {
+		good = deadline * 0.5
+	}
+	return MustGraph(Point{X: 0, U: 1}, Point{X: good, U: 1}, Point{X: deadline, U: 0})
+}
+
+// DefaultLoss builds the canonical loss graph: utility 1 at full delivery,
+// linear down to zero utility when less than floor of the tuples arrive.
+func DefaultLoss(floor float64) *Graph {
+	if floor <= 0 || floor >= 1 {
+		return MustGraph(Point{X: 0, U: 0}, Point{X: 1, U: 1})
+	}
+	return MustGraph(Point{X: 0, U: 0}, Point{X: floor, U: 0}, Point{X: 1, U: 1})
+}
+
+// Utility combines the spec's graphs over a measured latency and delivered
+// fraction into one utility value (product composition: each dimension
+// scales the others, so zero utility in any dimension zeroes the whole).
+func (s *Spec) Utility(latency, delivered float64) float64 {
+	u := 1.0
+	if s.Latency != nil {
+		u *= s.Latency.Utility(latency)
+	}
+	if s.Loss != nil {
+		u *= s.Loss.Utility(delivered)
+	}
+	return u
+}
+
+// Validate checks graph sanity (latency graphs should not reward lateness).
+func (s *Spec) Validate() error {
+	if s.Latency != nil && !s.Latency.NonIncreasing() {
+		return fmt.Errorf("qos: latency graph must be non-increasing, got %s", s.Latency)
+	}
+	if s.Value != nil && s.ValueField == "" {
+		return fmt.Errorf("qos: value graph requires ValueField")
+	}
+	return nil
+}
+
+// Shift returns the spec with its latency graph shifted by d time units
+// (the §7.1 inference step); loss and value graphs pass through unchanged,
+// since dropped tuples and values are characteristics that survive
+// downstream processing unmodified.
+func (s *Spec) Shift(d float64) *Spec {
+	out := *s
+	if s.Latency != nil {
+		out.Latency = s.Latency.Shift(d)
+	}
+	return &out
+}

@@ -1,0 +1,220 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+// Builder assembles and validates a Network. All methods record the first
+// error and make Build return it, so call sites can chain without checking
+// every step (the box-and-arrow GUI equivalent, §2.2).
+type Builder struct {
+	name    string
+	boxes   []*Box
+	arcs    []Arc
+	inputs  map[string]*Input
+	outputs map[string]*Output
+	err     error
+}
+
+// NewBuilder starts an empty network description.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		inputs:  map[string]*Input{},
+		outputs: map[string]*Output{},
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+// AddBox adds an operator box with the given id.
+func (b *Builder) AddBox(id string, spec op.Spec) *Builder {
+	if id == "" {
+		return b.fail("builder: empty box id")
+	}
+	for _, box := range b.boxes {
+		if box.ID == id {
+			return b.fail("builder: duplicate box id %q", id)
+		}
+	}
+	b.boxes = append(b.boxes, &Box{ID: id, Spec: spec})
+	return b
+}
+
+// RemoveBox deletes a box and every arc and binding touching it. It is
+// used by network rewrites (e.g. replacing a box with its split form).
+func (b *Builder) RemoveBox(id string) *Builder {
+	kept := b.boxes[:0]
+	found := false
+	for _, box := range b.boxes {
+		if box.ID == id {
+			found = true
+			continue
+		}
+		kept = append(kept, box)
+	}
+	if !found {
+		return b.fail("builder: RemoveBox: no box %q", id)
+	}
+	b.boxes = kept
+	arcs := b.arcs[:0]
+	for _, a := range b.arcs {
+		if a.From.Box != id && a.To.Box != id {
+			arcs = append(arcs, a)
+		}
+	}
+	b.arcs = arcs
+	for _, in := range b.inputs {
+		dests := in.Dests[:0]
+		for _, d := range in.Dests {
+			if d.Box != id {
+				dests = append(dests, d)
+			}
+		}
+		in.Dests = dests
+	}
+	for name, o := range b.outputs {
+		if o.Src.Box == id {
+			delete(b.outputs, name)
+		}
+	}
+	return b
+}
+
+// SetSpec replaces a box's operator spec, keeping its wiring. Used by the
+// re-optimizer when two adjacent commuting boxes exchange roles.
+func (b *Builder) SetSpec(id string, spec op.Spec) *Builder {
+	for _, box := range b.boxes {
+		if box.ID == id {
+			box.Spec = spec
+			return b
+		}
+	}
+	return b.fail("builder: SetSpec: no box %q", id)
+}
+
+// RemoveArc deletes the first arc matching from -> to.
+func (b *Builder) RemoveArc(from, to Port) *Builder {
+	for i, a := range b.arcs {
+		if a.From == from && a.To == to {
+			b.arcs = append(b.arcs[:i], b.arcs[i+1:]...)
+			return b
+		}
+	}
+	return b.fail("builder: RemoveArc: no arc %v -> %v", from, to)
+}
+
+// UnbindInputDest removes one destination of a named input binding.
+func (b *Builder) UnbindInputDest(name string, dest Port) *Builder {
+	in, ok := b.inputs[name]
+	if !ok {
+		return b.fail("builder: UnbindInputDest: no input %q", name)
+	}
+	for i, d := range in.Dests {
+		if d == dest {
+			in.Dests = append(in.Dests[:i], in.Dests[i+1:]...)
+			return b
+		}
+	}
+	return b.fail("builder: UnbindInputDest: input %q has no dest %v", name, dest)
+}
+
+// Connect adds an arc from box out port 0 to box in port 0 — the common
+// linear-chain case.
+func (b *Builder) Connect(from, to string) *Builder {
+	return b.ConnectPorts(Port{Box: from}, Port{Box: to}, false)
+}
+
+// ConnectPorts adds an arc between explicit ports, optionally marking it
+// as a connection point (§2.2).
+func (b *Builder) ConnectPorts(from, to Port, connectionPoint bool) *Builder {
+	b.arcs = append(b.arcs, Arc{From: from, To: to, ConnectionPoint: connectionPoint})
+	return b
+}
+
+// BindInput attaches a named input stream with its schema to a box input
+// port. Binding the same name again adds another destination (fan-out of
+// an input stream) and must carry a compatible schema.
+func (b *Builder) BindInput(name string, schema *stream.Schema, box string, port int) *Builder {
+	if schema == nil {
+		return b.fail("builder: input %q has nil schema", name)
+	}
+	in, ok := b.inputs[name]
+	if !ok {
+		in = &Input{Name: name, Schema: schema}
+		b.inputs[name] = in
+	} else if !in.Schema.Compatible(schema) {
+		return b.fail("builder: input %q rebound with incompatible schema", name)
+	}
+	in.Dests = append(in.Dests, Port{Box: box, Port: port})
+	return b
+}
+
+// BindOutput attaches a box output port to a named application output,
+// optionally with a QoS specification.
+func (b *Builder) BindOutput(name string, box string, port int, spec *qos.Spec) *Builder {
+	if _, dup := b.outputs[name]; dup {
+		return b.fail("builder: duplicate output %q", name)
+	}
+	b.outputs[name] = &Output{Name: name, Src: Port{Box: box, Port: port}, QoS: spec}
+	return b
+}
+
+// Chain is a convenience that adds boxes in sequence connected
+// port-0-to-port-0, returning the builder.
+func (b *Builder) Chain(ids []string, specs []op.Spec) *Builder {
+	if len(ids) != len(specs) {
+		return b.fail("builder: Chain wants equal ids and specs")
+	}
+	for i := range ids {
+		b.AddBox(ids[i], specs[i])
+		if i > 0 {
+			b.Connect(ids[i-1], ids[i])
+		}
+	}
+	return b
+}
+
+// Build validates the description and returns an immutable Network:
+// every arc references existing boxes and in-range ports, every box input
+// port has exactly one source, the graph is loop-free, and operator
+// parameters bind against the propagated schemas.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := &Network{
+		name:       b.name,
+		boxes:      make(map[string]*Box, len(b.boxes)),
+		arcs:       append([]Arc(nil), b.arcs...),
+		inputs:     b.inputs,
+		outputs:    b.outputs,
+		arcSchemas: map[Port]*stream.Schema{},
+		inSchemas:  map[string][]*stream.Schema{},
+	}
+	for _, box := range b.boxes {
+		n.boxes[box.ID] = box
+	}
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error; for compiled-in networks.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+// Package query models Aurora query networks (§2.2): loop-free directed
+// graphs of operator boxes connected by arcs, with named input and output
+// stream bindings, QoS specifications at the outputs, and connection
+// points — predetermined arcs where history is stored and where network
+// transformations are permitted (§5.1 stabilization happens at connection
+// points).
+//
+// A Network is a description: it holds operator Specs, not live operator
+// instances. The engine instantiates operators at deployment time, and the
+// load manager rewrites Networks (box sliding and splitting) by
+// manipulating this description, which is what makes the transformations
+// shippable across nodes and participants.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+// Port addresses one port of one box.
+type Port struct {
+	Box  string `json:"box"`
+	Port int    `json:"port"`
+}
+
+// String renders the port as box:port.
+func (p Port) String() string { return fmt.Sprintf("%s:%d", p.Box, p.Port) }
+
+// Box is one operator node of the network.
+type Box struct {
+	ID   string  `json:"id"`
+	Spec op.Spec `json:"spec"`
+}
+
+// Arc is a directed edge between two box ports. ConnectionPoint marks the
+// predetermined arcs of §2.2 where historical data is stored and where
+// load-sharing transformations stabilize the network.
+type Arc struct {
+	From            Port `json:"from"`
+	To              Port `json:"to"`
+	ConnectionPoint bool `json:"connection_point,omitempty"`
+}
+
+// Input binds a named input stream (with its registered schema) to one or
+// more box input ports.
+type Input struct {
+	Name   string         `json:"name"`
+	Schema *stream.Schema `json:"-"`
+	Dests  []Port         `json:"dests"`
+}
+
+// Output binds a box output port to a named output stream delivered to an
+// application, optionally with the application's QoS specification (§7.1).
+type Output struct {
+	Name string    `json:"name"`
+	Src  Port      `json:"src"`
+	QoS  *qos.Spec `json:"-"`
+}
+
+// Network is a validated query network. Construct with Builder; a built
+// network's structure is immutable (rewrites produce new networks via
+// Rewrite), so deployments can share it safely.
+type Network struct {
+	name    string
+	boxes   map[string]*Box
+	arcs    []Arc
+	inputs  map[string]*Input
+	outputs map[string]*Output
+
+	topo       []string                    // box ids in topological order
+	arcSchemas map[Port]*stream.Schema     // schema on each box output port
+	inSchemas  map[string][]*stream.Schema // resolved input schemas per box
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Box returns the box with the given id, or nil.
+func (n *Network) Box(id string) *Box { return n.boxes[id] }
+
+// Boxes returns the box ids in topological order.
+func (n *Network) Boxes() []string { return append([]string(nil), n.topo...) }
+
+// NumBoxes returns the number of boxes.
+func (n *Network) NumBoxes() int { return len(n.boxes) }
+
+// Arcs returns a copy of all arcs.
+func (n *Network) Arcs() []Arc { return append([]Arc(nil), n.arcs...) }
+
+// Inputs returns the input bindings keyed by stream name.
+func (n *Network) Inputs() map[string]*Input {
+	out := make(map[string]*Input, len(n.inputs))
+	for k, v := range n.inputs {
+		out[k] = v
+	}
+	return out
+}
+
+// Outputs returns the output bindings keyed by stream name.
+func (n *Network) Outputs() map[string]*Output {
+	out := make(map[string]*Output, len(n.outputs))
+	for k, v := range n.outputs {
+		out[k] = v
+	}
+	return out
+}
+
+// OutputSchema returns the schema on a box's output port, available after
+// validation.
+func (n *Network) OutputSchema(p Port) *stream.Schema { return n.arcSchemas[p] }
+
+// InputSchemas returns the resolved input schemas of a box.
+func (n *Network) InputSchemas(boxID string) []*stream.Schema { return n.inSchemas[boxID] }
+
+// Downstream returns the arcs leaving any output port of the box.
+func (n *Network) Downstream(boxID string) []Arc {
+	var out []Arc
+	for _, a := range n.arcs {
+		if a.From.Box == boxID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Upstream returns the arcs entering any input port of the box.
+func (n *Network) Upstream(boxID string) []Arc {
+	var out []Arc
+	for _, a := range n.arcs {
+		if a.To.Box == boxID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// InputsOf returns the input bindings that feed the box directly.
+func (n *Network) InputsOf(boxID string) []*Input {
+	var out []*Input
+	for _, in := range n.inputs {
+		for _, d := range in.Dests {
+			if d.Box == boxID {
+				out = append(out, in)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OutputsOf returns the output bindings fed by the box directly.
+func (n *Network) OutputsOf(boxID string) []*Output {
+	var out []*Output
+	for _, o := range n.outputs {
+		if o.Src.Box == boxID {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Rewrite returns a Builder pre-loaded with this network's contents, the
+// mutation entry point for box sliding and splitting (§5.1).
+func (n *Network) Rewrite() *Builder {
+	b := NewBuilder(n.name)
+	for _, id := range n.topo {
+		b.AddBox(id, n.boxes[id].Spec.Clone())
+	}
+	for _, a := range n.arcs {
+		b.ConnectPorts(a.From, a.To, a.ConnectionPoint)
+	}
+	for _, in := range n.inputs {
+		for _, d := range in.Dests {
+			b.BindInput(in.Name, in.Schema, d.Box, d.Port)
+		}
+	}
+	for _, o := range n.outputs {
+		b.BindOutput(o.Name, o.Src.Box, o.Src.Port, o.QoS)
+	}
+	return b
+}
+
+// String renders a short structural summary.
+func (n *Network) String() string {
+	return fmt.Sprintf("network %s: %d boxes, %d arcs, %d inputs, %d outputs",
+		n.name, len(n.boxes), len(n.arcs), len(n.inputs), len(n.outputs))
+}

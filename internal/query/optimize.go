@@ -1,0 +1,206 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+)
+
+// This file implements the network re-optimization tactic of §2.3: "when
+// load shedding is not working, Aurora will try to re-optimize the network
+// using standard query optimization techniques (such as those that rely on
+// operator commutativities) ... in transforming the original network, it
+// might uncover new opportunities for load shedding."
+//
+// Two classical, stream-safe rewrites are provided:
+//
+//   - Filter/Union commutation (filter pushdown): a Filter consuming a
+//     Union's output moves above the Union, one copy per input branch.
+//     This shrinks the Union's input volume and, in a distributed
+//     deployment, moves the selective work toward the sources — the same
+//     win box sliding buys by placement (Fig 4), obtained structurally.
+//
+//   - Filter reordering: adjacent Filters commute; running the more
+//     selective one first minimizes the expected per-tuple work.
+//
+// Both rewrites preserve per-branch tuple order and exact results (Filter
+// is stateless and deterministic), so they are safe for continuous
+// queries, unlike relational rewrites that reorder stateful windows.
+
+// OptimizeStats reports what an optimization pass changed.
+type OptimizeStats struct {
+	FiltersPushed    int // filter-through-union pushdowns applied
+	FiltersReordered int // adjacent filter swaps applied
+}
+
+// Changed reports whether any rewrite fired.
+func (s OptimizeStats) Changed() bool { return s.FiltersPushed+s.FiltersReordered > 0 }
+
+// Selectivity estimates per box id feed the reorder decision; boxes
+// without an entry are assumed selectivity 1 (never profitable to hoist).
+type Selectivity map[string]float64
+
+// Optimize applies the rewrites to a fixed point (bounded by the network
+// size) and returns the optimized network. The input network is not
+// modified. Selectivity estimates come from the running system's
+// monitored statistics (§7.1); pass nil to apply only structural
+// pushdowns.
+func Optimize(n *Network, sel Selectivity) (*Network, OptimizeStats, error) {
+	var stats OptimizeStats
+	cur := n
+	for pass := 0; pass <= len(n.boxes)+1; pass++ {
+		next, changed, err := pushOneFilter(cur)
+		if err != nil {
+			return nil, stats, err
+		}
+		if changed {
+			stats.FiltersPushed++
+			cur = next
+			continue
+		}
+		next, changed, err = reorderOneFilterPair(cur, sel)
+		if err != nil {
+			return nil, stats, err
+		}
+		if changed {
+			stats.FiltersReordered++
+			cur = next
+			continue
+		}
+		return cur, stats, nil
+	}
+	return cur, stats, nil
+}
+
+// isPlainFilter reports whether the box is a single-output Filter.
+func isPlainFilter(b *Box) bool {
+	return b != nil && b.Spec.Kind == op.KindFilter && b.Spec.Params["falseport"] != "true"
+}
+
+// pushOneFilter finds a Filter whose single input is a Union output and
+// commutes them: union(a, b) |> filter  ==>  union(filter(a), filter(b)).
+func pushOneFilter(n *Network) (*Network, bool, error) {
+	for _, id := range n.Boxes() {
+		f := n.Box(id)
+		if !isPlainFilter(f) {
+			continue
+		}
+		ups := n.Upstream(id)
+		if len(ups) != 1 {
+			continue // fed by an application input, not an arc
+		}
+		u := n.Box(ups[0].From.Box)
+		if u == nil || u.Spec.Kind != op.KindUnion {
+			continue
+		}
+		// The Union's output must feed only this filter, or the pushdown
+		// would change what the other consumers see.
+		consumers := 0
+		for _, a := range n.Downstream(u.ID) {
+			if a.From == ups[0].From {
+				consumers++
+			}
+		}
+		for _, o := range n.Outputs() {
+			if o.Src == ups[0].From {
+				consumers++
+			}
+		}
+		if consumers != 1 {
+			continue
+		}
+
+		b := n.Rewrite()
+		b.RemoveBox(id)
+		// One filter copy per union input branch.
+		unionUps := n.Upstream(u.ID)
+		unionInputs := n.InputsOf(u.ID)
+		copyIdx := 0
+		addCopy := func() string {
+			cid := fmt.Sprintf("%s.push%d", id, copyIdx)
+			copyIdx++
+			b.AddBox(cid, f.Spec.Clone())
+			return cid
+		}
+		for _, a := range unionUps {
+			cid := addCopy()
+			// Rewire: branch -> filter copy -> union port.
+			bb := b
+			bb.RemoveArc(a.From, a.To)
+			bb.ConnectPorts(a.From, Port{Box: cid}, a.ConnectionPoint)
+			bb.ConnectPorts(Port{Box: cid}, a.To, false)
+		}
+		for _, in := range unionInputs {
+			for _, d := range in.Dests {
+				if d.Box != u.ID {
+					continue
+				}
+				cid := addCopy()
+				b.UnbindInputDest(in.Name, d)
+				b.BindInput(in.Name, in.Schema, cid, 0)
+				b.ConnectPorts(Port{Box: cid}, d, false)
+			}
+		}
+		// The filter's consumers now consume the union directly.
+		for _, a := range n.Downstream(id) {
+			b.ConnectPorts(ups[0].From, a.To, a.ConnectionPoint)
+		}
+		for _, o := range n.OutputsOf(id) {
+			b.BindOutput(o.Name, u.ID, ups[0].From.Port, o.QoS)
+		}
+		out, err := b.Build()
+		if err != nil {
+			return nil, false, fmt.Errorf("query: filter pushdown of %q failed: %w", id, err)
+		}
+		return out, true, nil
+	}
+	return n, false, nil
+}
+
+// reorderOneFilterPair finds adjacent Filters where the downstream one is
+// estimated more selective and swaps them.
+func reorderOneFilterPair(n *Network, sel Selectivity) (*Network, bool, error) {
+	if sel == nil {
+		return n, false, nil
+	}
+	s := func(id string) float64 {
+		if v, ok := sel[id]; ok {
+			return v
+		}
+		return 1
+	}
+	for _, id := range n.Boxes() {
+		first := n.Box(id)
+		if !isPlainFilter(first) {
+			continue
+		}
+		downs := n.Downstream(id)
+		if len(downs) != 1 || len(n.OutputsOf(id)) != 0 {
+			continue
+		}
+		second := n.Box(downs[0].To.Box)
+		if !isPlainFilter(second) {
+			continue
+		}
+		// Only swap a strictly more selective second filter upstream,
+		// with a margin to avoid oscillation on noisy estimates.
+		if s(second.ID) >= s(first.ID)-0.05 {
+			continue
+		}
+		if len(n.Upstream(second.ID)) != 1 {
+			continue
+		}
+		// Swap specs in place: same topology, exchanged predicates.
+		b := n.Rewrite()
+		b.SetSpec(first.ID, second.Spec.Clone())
+		b.SetSpec(second.ID, first.Spec.Clone())
+		out, err := b.Build()
+		if err != nil {
+			return nil, false, fmt.Errorf("query: filter reorder failed: %w", err)
+		}
+		// Selectivity bookkeeping follows the predicates.
+		sel[first.ID], sel[second.ID] = s(second.ID), s(first.ID)
+		return out, true, nil
+	}
+	return n, false, nil
+}

@@ -1,0 +1,328 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+var tSchema = stream.MustSchema("t",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+func filterSpec(pred string) op.Spec {
+	return op.Spec{Kind: "filter", Params: map[string]string{"predicate": pred}}
+}
+
+func tumbleSpec() op.Spec {
+	return op.Spec{Kind: "tumble", Params: map[string]string{
+		"agg": "cnt", "on": "B", "groupby": "A",
+	}}
+}
+
+func buildChain(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewBuilder("chain").
+		AddBox("f", filterSpec("B < 100")).
+		AddBox("tb", tumbleSpec()).
+		Connect("f", "tb").
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "tb", 0, &qos.Spec{Latency: qos.DefaultLatency(10, 20)}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildValidChain(t *testing.T) {
+	n := buildChain(t)
+	if n.NumBoxes() != 2 {
+		t.Fatalf("boxes = %d", n.NumBoxes())
+	}
+	topo := n.Boxes()
+	if topo[0] != "f" || topo[1] != "tb" {
+		t.Errorf("topo = %v", topo)
+	}
+	// Filter preserves the input schema; tumble emits (A, result).
+	fOut := n.OutputSchema(Port{Box: "f", Port: 0})
+	if !fOut.Compatible(tSchema) {
+		t.Errorf("filter schema = %s", fOut)
+	}
+	tbOut := n.OutputSchema(Port{Box: "tb", Port: 0})
+	if tbOut.Arity() != 2 || tbOut.Index("result") != 1 {
+		t.Errorf("tumble schema = %s", tbOut)
+	}
+	ins := n.InputSchemas("tb")
+	if len(ins) != 1 || !ins[0].Compatible(tSchema) {
+		t.Error("tumble input schema should be the filter output")
+	}
+}
+
+func TestBuildRejectsCycle(t *testing.T) {
+	// in -> union port 0; filter feeds union port 1; union feeds filter:
+	// a genuine cycle with every input port singly fed.
+	_, err := NewBuilder("cyc").
+		AddBox("u", op.Spec{Kind: "union", Params: map[string]string{"inputs": "2"}}).
+		AddBox("f", filterSpec("true")).
+		ConnectPorts(Port{Box: "u", Port: 0}, Port{Box: "f", Port: 0}, false).
+		ConnectPorts(Port{Box: "f", Port: 0}, Port{Box: "u", Port: 1}, false).
+		BindInput("in", tSchema, "u", 0).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle should be rejected, got %v", err)
+	}
+}
+
+func TestBuildRejectsStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Network, error)
+	}{
+		{"unknown source box", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				Connect("ghost", "a").BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"unknown dest box", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				Connect("a", "ghost").BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"unfed input port", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).Build()
+		}},
+		{"doubly fed input port", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				BindInput("in1", tSchema, "a", 0).
+				BindInput("in2", tSchema, "a", 0).Build()
+		}},
+		{"source port out of range", func() (*Network, error) {
+			return NewBuilder("x").
+				AddBox("a", filterSpec("true")).AddBox("b", filterSpec("true")).
+				ConnectPorts(Port{Box: "a", Port: 5}, Port{Box: "b"}, false).
+				BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"dest port out of range", func() (*Network, error) {
+			return NewBuilder("x").
+				AddBox("a", filterSpec("true")).AddBox("b", filterSpec("true")).
+				ConnectPorts(Port{Box: "a"}, Port{Box: "b", Port: 5}, false).
+				BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"bad operator params", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", op.Spec{Kind: "filter"}).
+				BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"unknown operator kind", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", op.Spec{Kind: "warp"}).
+				BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"unbindable predicate", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("ghost < 1")).
+				BindInput("in", tSchema, "a", 0).Build()
+		}},
+		{"output from unknown box", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				BindInput("in", tSchema, "a", 0).
+				BindOutput("o", "ghost", 0, nil).Build()
+		}},
+		{"output port out of range", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				BindInput("in", tSchema, "a", 0).
+				BindOutput("o", "a", 3, nil).Build()
+		}},
+		{"invalid qos", func() (*Network, error) {
+			bad := &qos.Spec{Latency: qos.MustGraph(qos.Point{X: 0, U: 0}, qos.Point{X: 1, U: 1})}
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				BindInput("in", tSchema, "a", 0).
+				BindOutput("o", "a", 0, bad).Build()
+		}},
+		{"input to unknown box", func() (*Network, error) {
+			return NewBuilder("x").AddBox("a", filterSpec("true")).
+				BindInput("in", tSchema, "a", 0).
+				BindInput("in2", tSchema, "ghost", 0).Build()
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBuilderErrorsSticky(t *testing.T) {
+	b := NewBuilder("x").AddBox("", filterSpec("true"))
+	b.AddBox("ok", filterSpec("true")).BindInput("in", tSchema, "ok", 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("first error should stick")
+	}
+	if _, err := NewBuilder("x").AddBox("a", filterSpec("true")).AddBox("a", filterSpec("true")).Build(); err == nil {
+		t.Error("duplicate box ids should fail")
+	}
+	if _, err := NewBuilder("x").
+		AddBox("a", filterSpec("true")).
+		BindInput("in", tSchema, "a", 0).
+		BindOutput("o", "a", 0, nil).
+		BindOutput("o", "a", 0, nil).Build(); err == nil {
+		t.Error("duplicate outputs should fail")
+	}
+	if _, err := NewBuilder("x").AddBox("a", filterSpec("true")).
+		BindInput("in", nil, "a", 0).Build(); err == nil {
+		t.Error("nil input schema should fail")
+	}
+}
+
+func TestBuilderChainHelper(t *testing.T) {
+	n, err := NewBuilder("c").
+		Chain([]string{"f1", "f2", "f3"},
+			[]op.Spec{filterSpec("A < 10"), filterSpec("B < 10"), filterSpec("A != B")}).
+		BindInput("in", tSchema, "f1", 0).
+		BindOutput("out", "f3", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Arcs()) != 2 {
+		t.Errorf("arcs = %d", len(n.Arcs()))
+	}
+	if _, err := NewBuilder("c").Chain([]string{"a"}, nil).Build(); err == nil {
+		t.Error("mismatched Chain args should fail")
+	}
+}
+
+func TestFanOutAndMerge(t *testing.T) {
+	// in -> dual filter -> two branches -> union.
+	dual := op.Spec{Kind: "filter", Params: map[string]string{
+		"predicate": "(B < 3)", "falseport": "true",
+	}}
+	n, err := NewBuilder("diamond").
+		AddBox("router", dual).
+		AddBox("u", op.Spec{Kind: "union", Params: map[string]string{"inputs": "2"}}).
+		ConnectPorts(Port{Box: "router", Port: 0}, Port{Box: "u", Port: 0}, false).
+		ConnectPorts(Port{Box: "router", Port: 1}, Port{Box: "u", Port: 1}, false).
+		BindInput("in", tSchema, "router", 0).
+		BindOutput("out", "u", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Boxes(); got[0] != "router" || got[1] != "u" {
+		t.Errorf("topo = %v", got)
+	}
+}
+
+func TestNavigationHelpers(t *testing.T) {
+	n := buildChain(t)
+	if down := n.Downstream("f"); len(down) != 1 || down[0].To.Box != "tb" {
+		t.Errorf("Downstream = %v", down)
+	}
+	if up := n.Upstream("tb"); len(up) != 1 || up[0].From.Box != "f" {
+		t.Errorf("Upstream = %v", up)
+	}
+	if ins := n.InputsOf("f"); len(ins) != 1 || ins[0].Name != "in" {
+		t.Errorf("InputsOf = %v", ins)
+	}
+	if outs := n.OutputsOf("tb"); len(outs) != 1 || outs[0].Name != "out" {
+		t.Errorf("OutputsOf = %v", outs)
+	}
+	if n.Box("f") == nil || n.Box("ghost") != nil {
+		t.Error("Box lookup wrong")
+	}
+	if !strings.Contains(n.String(), "2 boxes") {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestRewriteRoundTrip(t *testing.T) {
+	n := buildChain(t)
+	n2, err := n.Rewrite().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.NumBoxes() != n.NumBoxes() || len(n2.Arcs()) != len(n.Arcs()) {
+		t.Error("Rewrite should reproduce the structure")
+	}
+	if n2.Outputs()["out"].QoS == nil {
+		t.Error("Rewrite must preserve QoS bindings")
+	}
+	// Mutating the rewrite must not corrupt the original.
+	n3, err := n.Rewrite().RemoveBox("tb").
+		BindOutput("out2", "f", 0, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.NumBoxes() != 1 || n.NumBoxes() != 2 {
+		t.Error("rewrite mutation leaked into the original")
+	}
+}
+
+func TestRemoveBoxCleansBindings(t *testing.T) {
+	b := buildChain(t).Rewrite()
+	n, err := b.RemoveBox("f").
+		BindInput("in2", tSchema, "tb", 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumBoxes() != 1 || len(n.Arcs()) != 0 {
+		t.Errorf("RemoveBox left structure behind: %s", n)
+	}
+	// Removing the output box drops the output binding.
+	b2 := buildChain(t).Rewrite()
+	n2, err := b2.RemoveBox("tb").BindOutput("o2", "f", 0, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2.Outputs()) != 1 {
+		t.Errorf("outputs = %v", n2.Outputs())
+	}
+	if _, err := buildChain(t).Rewrite().RemoveBox("ghost").Build(); err == nil {
+		t.Error("RemoveBox of unknown id should fail")
+	}
+}
+
+func TestConnectionPointMarking(t *testing.T) {
+	n, err := NewBuilder("cp").
+		AddBox("a", filterSpec("true")).
+		AddBox("b", filterSpec("true")).
+		ConnectPorts(Port{Box: "a"}, Port{Box: "b"}, true).
+		BindInput("in", tSchema, "a", 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Arcs()[0].ConnectionPoint {
+		t.Error("connection point flag lost")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid network")
+		}
+	}()
+	NewBuilder("bad").AddBox("a", filterSpec("true")).MustBuild()
+}
+
+func TestMultiGroupTopoDeterminism(t *testing.T) {
+	// Many parallel chains: topo order must be deterministic across builds.
+	build := func() []string {
+		b := NewBuilder("par")
+		for _, id := range []string{"z", "m", "a", "q"} {
+			b.AddBox(id, filterSpec("true")).BindInput("in_"+id, tSchema, id, 0)
+		}
+		return b.MustBuild().Boxes()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		got := build()
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("topo order nondeterministic: %v vs %v", first, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+// validate checks structure, topologically orders the boxes, and binds
+// operator parameters against propagated schemas.
+func (n *Network) validate() error {
+	// Instantiate a throw-away operator per box to learn arities and to
+	// surface parameter errors early.
+	insts := make(map[string]op.Operator, len(n.boxes))
+	for id, box := range n.boxes {
+		inst, err := op.Build(box.Spec)
+		if err != nil {
+			return fmt.Errorf("box %q: %w", id, err)
+		}
+		insts[id] = inst
+	}
+
+	// Structural checks: arcs reference real ports; every input port has
+	// exactly one source.
+	sources := map[Port]int{} // box input port -> number of feeders
+	for _, a := range n.arcs {
+		from, ok := insts[a.From.Box]
+		if !ok {
+			return fmt.Errorf("arc %v -> %v: unknown source box", a.From, a.To)
+		}
+		to, ok := insts[a.To.Box]
+		if !ok {
+			return fmt.Errorf("arc %v -> %v: unknown destination box", a.From, a.To)
+		}
+		if a.From.Port < 0 || a.From.Port >= from.NumOut() {
+			return fmt.Errorf("arc %v -> %v: source port out of range", a.From, a.To)
+		}
+		if a.To.Port < 0 || a.To.Port >= to.NumIn() {
+			return fmt.Errorf("arc %v -> %v: destination port out of range", a.From, a.To)
+		}
+		sources[a.To]++
+	}
+	for _, in := range n.inputs {
+		for _, d := range in.Dests {
+			inst, ok := insts[d.Box]
+			if !ok {
+				return fmt.Errorf("input %q: unknown box %q", in.Name, d.Box)
+			}
+			if d.Port < 0 || d.Port >= inst.NumIn() {
+				return fmt.Errorf("input %q: port %v out of range", in.Name, d)
+			}
+			sources[d]++
+		}
+	}
+	for id, inst := range insts {
+		for p := 0; p < inst.NumIn(); p++ {
+			switch c := sources[Port{Box: id, Port: p}]; {
+			case c == 0:
+				return fmt.Errorf("box %q input port %d has no source", id, p)
+			case c > 1:
+				return fmt.Errorf("box %q input port %d has %d sources; want exactly 1", id, p, c)
+			}
+		}
+	}
+	for name, o := range n.outputs {
+		inst, ok := insts[o.Src.Box]
+		if !ok {
+			return fmt.Errorf("output %q: unknown box %q", name, o.Src.Box)
+		}
+		if o.Src.Port < 0 || o.Src.Port >= inst.NumOut() {
+			return fmt.Errorf("output %q: port %v out of range", name, o.Src)
+		}
+		if o.QoS != nil {
+			if err := o.QoS.Validate(); err != nil {
+				return fmt.Errorf("output %q: %w", name, err)
+			}
+		}
+	}
+
+	// Kahn topological sort: queries are loop-free directed graphs (§2.1).
+	indeg := map[string]int{}
+	succ := map[string][]string{}
+	for id := range n.boxes {
+		indeg[id] = 0
+	}
+	for _, a := range n.arcs {
+		indeg[a.To.Box]++
+		succ[a.From.Box] = append(succ[a.From.Box], a.To.Box)
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready) // deterministic order for reproducible deployments
+	var topo []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		topo = append(topo, id)
+		var next []string
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	if len(topo) != len(n.boxes) {
+		return fmt.Errorf("network %q contains a cycle; queries must be loop-free", n.name)
+	}
+	n.topo = topo
+
+	// Propagate schemas in topological order and bind each operator.
+	feeder := map[Port]*stream.Schema{} // box input port -> schema
+	for _, in := range n.inputs {
+		for _, d := range in.Dests {
+			feeder[d] = in.Schema
+		}
+	}
+	for _, id := range topo {
+		inst := insts[id]
+		ins := make([]*stream.Schema, inst.NumIn())
+		for p := range ins {
+			s := feeder[Port{Box: id, Port: p}]
+			if s == nil {
+				return fmt.Errorf("box %q input port %d: schema not resolved", id, p)
+			}
+			ins[p] = s
+		}
+		outs, err := inst.Bind(ins)
+		if err != nil {
+			return fmt.Errorf("box %q: %w", id, err)
+		}
+		n.inSchemas[id] = ins
+		for p, s := range outs {
+			n.arcSchemas[Port{Box: id, Port: p}] = s
+		}
+		for _, a := range n.arcs {
+			if a.From.Box == id {
+				feeder[a.To] = outs[a.From.Port]
+			}
+		}
+	}
+	return nil
+}

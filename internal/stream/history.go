@@ -1,0 +1,45 @@
+package stream
+
+// History is the bounded historical buffer kept at a connection point
+// (paper §2.2): a predetermined arc in the flow graph where recent stream
+// history is retained so that ad hoc queries can be attached later and
+// network transformations can stabilize. It keeps the most recent tuples up
+// to a byte budget, evicting from the oldest end.
+type History struct {
+	q        *Queue
+	maxBytes int
+	dropped  uint64
+}
+
+// NewHistory returns a history buffer bounded by maxBytes (<=0 means a
+// small default of 1 MiB).
+func NewHistory(maxBytes int) *History {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	return &History{q: NewQueue(64), maxBytes: maxBytes}
+}
+
+// Add records a tuple, evicting the oldest history as needed to stay within
+// the byte budget.
+func (h *History) Add(t Tuple) {
+	h.q.Push(t)
+	for h.q.Bytes() > h.maxBytes && h.q.Len() > 1 {
+		h.q.Pop()
+		h.dropped++
+	}
+}
+
+// Len returns the number of retained tuples.
+func (h *History) Len() int { return h.q.Len() }
+
+// Bytes returns the retained footprint.
+func (h *History) Bytes() int { return h.q.Bytes() }
+
+// Evicted returns how many tuples have aged out of the buffer.
+func (h *History) Evicted() uint64 { return h.dropped }
+
+// Replay returns the retained history in arrival order; ad hoc queries
+// attached to a connection point are seeded with this replay before
+// receiving live tuples.
+func (h *History) Replay() []Tuple { return h.q.Snapshot() }

@@ -1,0 +1,123 @@
+package stream
+
+// Queue is an unbounded FIFO of tuples implemented as a growable ring
+// buffer. One queue sits on every arc of a running Aurora network; the
+// scheduler drains queues in trains (§2.3) and the storage manager tracks
+// their memory footprint, spilling the excess to the persistent store when
+// main memory runs out.
+//
+// Queue is not safe for concurrent use; the engine serializes access
+// through the scheduler, which is the paper's single-threaded box-execution
+// model. Cross-goroutine hand-off uses engine mailboxes, not Queue.
+type Queue struct {
+	buf   []Tuple
+	head  int
+	count int
+	bytes int
+}
+
+// NewQueue returns an empty queue with the given initial capacity hint.
+func NewQueue(capHint int) *Queue {
+	if capHint < 4 {
+		capHint = 4
+	}
+	return &Queue{buf: make([]Tuple, capHint)}
+}
+
+// Len returns the number of queued tuples.
+func (q *Queue) Len() int { return q.count }
+
+// Bytes returns the approximate memory footprint of all queued tuples.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Push appends a tuple at the tail.
+func (q *Queue) Push(t Tuple) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = t
+	q.count++
+	q.bytes += t.MemSize()
+}
+
+// PushAll appends every tuple of ts in order.
+func (q *Queue) PushAll(ts []Tuple) {
+	for _, t := range ts {
+		q.Push(t)
+	}
+}
+
+// Pop removes and returns the head tuple; ok is false when empty.
+func (q *Queue) Pop() (t Tuple, ok bool) {
+	if q.count == 0 {
+		return Tuple{}, false
+	}
+	t = q.buf[q.head]
+	q.buf[q.head] = Tuple{} // release for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.bytes -= t.MemSize()
+	return t, true
+}
+
+// Peek returns the head tuple without removing it.
+func (q *Queue) Peek() (t Tuple, ok bool) {
+	if q.count == 0 {
+		return Tuple{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// PopTrain removes up to max tuples from the head and appends them to dst,
+// returning the extended slice. It implements the train-scheduling drain:
+// the scheduler decides how many waiting tuples to push through a box at
+// once (§2.3).
+func (q *Queue) PopTrain(dst []Tuple, max int) []Tuple {
+	if max > q.count {
+		max = q.count
+	}
+	for i := 0; i < max; i++ {
+		t, _ := q.Pop()
+		dst = append(dst, t)
+	}
+	return dst
+}
+
+// Drain removes and returns every queued tuple in order.
+func (q *Queue) Drain() []Tuple {
+	out := make([]Tuple, 0, q.count)
+	return q.PopTrain(out, q.count)
+}
+
+// Snapshot returns a copy of the queue contents in FIFO order without
+// consuming them; used by HA output-log replication.
+func (q *Queue) Snapshot() []Tuple {
+	out := make([]Tuple, 0, q.count)
+	for i := 0; i < q.count; i++ {
+		out = append(out, q.buf[(q.head+i)%len(q.buf)])
+	}
+	return out
+}
+
+// TruncateBefore discards every tuple with Seq < seq from the head of the
+// queue, returning how many were discarded. The HA protocol (§6.2) calls
+// this when a back-channel checkpoint message reports that downstream
+// effects of those tuples are safely recorded elsewhere. Tuples are assumed
+// to be in non-decreasing Seq order, as produced by an output queue.
+func (q *Queue) TruncateBefore(seq uint64) int {
+	n := 0
+	for q.count > 0 && q.buf[q.head].Seq < seq {
+		q.Pop()
+		n++
+	}
+	return n
+}
+
+func (q *Queue) grow() {
+	nb := make([]Tuple, len(q.buf)*2)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

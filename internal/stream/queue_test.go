@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func intTuple(seq uint64, v int64) Tuple {
+	return Tuple{Seq: seq, Vals: []Value{Int(v)}}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(2)
+	for i := 0; i < 100; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		tp, ok := q.Pop()
+		if !ok || tp.Seq != uint64(i) {
+			t.Fatalf("Pop %d: got %v, ok=%v", i, tp, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue should report !ok")
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(0)
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty should be !ok")
+	}
+	q.Push(intTuple(9, 9))
+	tp, ok := q.Peek()
+	if !ok || tp.Seq != 9 || q.Len() != 1 {
+		t.Error("Peek should not consume")
+	}
+}
+
+func TestQueueBytesAccounting(t *testing.T) {
+	q := NewQueue(4)
+	t1 := intTuple(1, 1)
+	t2 := Tuple{Seq: 2, Vals: []Value{String("a longer string payload")}}
+	q.Push(t1)
+	q.Push(t2)
+	want := t1.MemSize() + t2.MemSize()
+	if q.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", q.Bytes(), want)
+	}
+	q.Pop()
+	q.Pop()
+	if q.Bytes() != 0 {
+		t.Errorf("Bytes after drain = %d, want 0", q.Bytes())
+	}
+}
+
+func TestQueuePopTrain(t *testing.T) {
+	q := NewQueue(4)
+	for i := 0; i < 10; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	train := q.PopTrain(nil, 4)
+	if len(train) != 4 || train[0].Seq != 0 || train[3].Seq != 3 {
+		t.Fatalf("train = %v", train)
+	}
+	rest := q.PopTrain(nil, 100)
+	if len(rest) != 6 || rest[0].Seq != 4 {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestQueueSnapshotAndDrain(t *testing.T) {
+	q := NewQueue(2)
+	for i := 0; i < 7; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	snap := q.Snapshot()
+	if len(snap) != 7 || q.Len() != 7 {
+		t.Fatal("Snapshot must not consume")
+	}
+	for i, tp := range snap {
+		if tp.Seq != uint64(i) {
+			t.Fatalf("snapshot order broken at %d: %v", i, tp)
+		}
+	}
+	got := q.Drain()
+	if len(got) != 7 || q.Len() != 0 {
+		t.Fatal("Drain must consume everything")
+	}
+}
+
+func TestQueueTruncateBefore(t *testing.T) {
+	q := NewQueue(4)
+	for i := 0; i < 10; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	if n := q.TruncateBefore(5); n != 5 {
+		t.Fatalf("TruncateBefore removed %d, want 5", n)
+	}
+	head, _ := q.Peek()
+	if head.Seq != 5 || q.Len() != 5 {
+		t.Fatalf("head = %v len = %d", head, q.Len())
+	}
+	if n := q.TruncateBefore(3); n != 0 {
+		t.Errorf("TruncateBefore(3) removed %d, want 0", n)
+	}
+}
+
+func TestQueueWrapAroundGrow(t *testing.T) {
+	// Force head to advance before growth so the ring wrap is exercised.
+	q := NewQueue(4)
+	for i := 0; i < 4; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	q.Pop()
+	q.Pop()
+	for i := 4; i < 12; i++ {
+		q.Push(intTuple(uint64(i), int64(i)))
+	}
+	for want := uint64(2); want < 12; want++ {
+		tp, ok := q.Pop()
+		if !ok || tp.Seq != want {
+			t.Fatalf("after wrap: got %v, want seq %d", tp, want)
+		}
+	}
+}
+
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(seqs []uint64) bool {
+		q := NewQueue(1)
+		for i, s := range seqs {
+			q.Push(Tuple{Seq: s, Vals: []Value{Int(int64(i))}})
+		}
+		out := q.Drain()
+		if len(out) != len(seqs) {
+			return false
+		}
+		for i := range out {
+			if out[i].Seq != seqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	h := NewHistory(300)
+	big := Tuple{Vals: []Value{String("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")}} // ~72 bytes
+	for i := 0; i < 20; i++ {
+		tp := big.Clone()
+		tp.Seq = uint64(i)
+		h.Add(tp)
+	}
+	if h.Bytes() > 300+big.MemSize() {
+		t.Errorf("history exceeded budget: %d bytes", h.Bytes())
+	}
+	if h.Evicted() == 0 {
+		t.Error("expected evictions")
+	}
+	replay := h.Replay()
+	if len(replay) == 0 || replay[len(replay)-1].Seq != 19 {
+		t.Error("replay should retain the most recent tuples")
+	}
+	for i := 1; i < len(replay); i++ {
+		if replay[i].Seq != replay[i-1].Seq+1 {
+			t.Error("replay order broken")
+		}
+	}
+}
+
+func TestHistoryDefaultBudget(t *testing.T) {
+	h := NewHistory(0)
+	h.Add(intTuple(1, 1))
+	if h.Len() != 1 {
+		t.Error("default-budget history should retain tuples")
+	}
+}

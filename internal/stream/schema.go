@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one named, typed column of a schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the shape of the tuples on a stream. Schemas are
+// registered in a participant's catalog before a data source may produce
+// events with that shape (paper §4.2). A Schema is immutable after
+// construction.
+type Schema struct {
+	name   string
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from an ordered field list. Field names must be
+// unique and non-empty.
+func NewSchema(name string, fields ...Field) (*Schema, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("schema %q: must have at least one field", name)
+	}
+	idx := make(map[string]int, len(fields))
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("schema %q: field %d has empty name", name, i)
+		}
+		if f.Kind == KindInvalid {
+			return nil, fmt.Errorf("schema %q: field %q has invalid kind", name, f.Name)
+		}
+		if _, dup := idx[f.Name]; dup {
+			return nil, fmt.Errorf("schema %q: duplicate field %q", name, f.Name)
+		}
+		idx[f.Name] = i
+	}
+	return &Schema{name: name, fields: append([]Field(nil), fields...), index: idx}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests,
+// examples, and compiled-in schemas.
+func MustSchema(name string, fields ...Field) *Schema {
+	s, err := NewSchema(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the schema's registered name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of fields.
+func (s *Schema) Arity() int { return len(s.fields) }
+
+// Fields returns a copy of the ordered field list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Field returns the i'th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Index returns the position of the named field, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index that panics when the field is absent; for static plans.
+func (s *Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("schema %q: no field %q", s.name, name))
+	}
+	return i
+}
+
+// Indices resolves several field names at once.
+func (s *Schema) Indices(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := s.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("schema %q: no field %q", s.name, n)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// Compatible reports whether tuples of schema o can flow on an arc typed
+// with schema s: same arity and same field kinds position by position.
+// Field names may differ (renaming across participant boundaries, §4.1).
+func (s *Schema) Compatible(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i].Kind != o.fields[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a copy of the schema under a new name, used when a stream
+// crosses a participant boundary and is named separately in each domain.
+func (s *Schema) Rename(name string) *Schema {
+	return &Schema{name: name, fields: s.fields, index: s.index}
+}
+
+// String renders the schema as name(field kind, ...).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package stream
+
+import "testing"
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("readings",
+		Field{Name: "A", Kind: KindInt},
+		Field{Name: "B", Kind: KindInt},
+		Field{Name: "v", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Name() != "readings" || s.Arity() != 3 {
+		t.Fatalf("unexpected schema identity: %v", s)
+	}
+	if s.Index("B") != 1 || s.Index("missing") != -1 {
+		t.Error("Index lookup wrong")
+	}
+	if s.MustIndex("v") != 2 {
+		t.Error("MustIndex wrong")
+	}
+	idx, err := s.Indices("v", "A")
+	if err != nil || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("Indices = %v, %v", idx, err)
+	}
+	if _, err := s.Indices("A", "nope"); err == nil {
+		t.Error("Indices should fail on unknown field")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("empty"); err == nil {
+		t.Error("empty schema should be rejected")
+	}
+	if _, err := NewSchema("dup", Field{"x", KindInt}, Field{"x", KindInt}); err == nil {
+		t.Error("duplicate field should be rejected")
+	}
+	if _, err := NewSchema("anon", Field{"", KindInt}); err == nil {
+		t.Error("empty field name should be rejected")
+	}
+	if _, err := NewSchema("bad", Field{"x", KindInvalid}); err == nil {
+		t.Error("invalid kind should be rejected")
+	}
+}
+
+func TestSchemaCompatible(t *testing.T) {
+	s := testSchema(t)
+	same := MustSchema("other", Field{"x", KindInt}, Field{"y", KindInt}, Field{"z", KindFloat})
+	if !s.Compatible(same) {
+		t.Error("structurally identical schemas should be compatible despite names")
+	}
+	narrow := MustSchema("narrow", Field{"x", KindInt})
+	if s.Compatible(narrow) {
+		t.Error("different arity should be incompatible")
+	}
+	mistyped := MustSchema("mistyped", Field{"x", KindInt}, Field{"y", KindString}, Field{"z", KindFloat})
+	if s.Compatible(mistyped) {
+		t.Error("different kinds should be incompatible")
+	}
+}
+
+func TestSchemaRename(t *testing.T) {
+	s := testSchema(t)
+	r := s.Rename("domainB.readings")
+	if r.Name() != "domainB.readings" || !s.Compatible(r) || r.Index("B") != 1 {
+		t.Error("Rename should preserve structure under the new name")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema("s", Field{"a", KindInt}, Field{"b", KindString})
+	if got := s.String(); got != "s(a int, b string)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex should panic on missing field")
+		}
+	}()
+	testSchema(t).MustIndex("ghost")
+}

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one stream event. Unlike relational tuples, stream tuples are
+// generated in real time and are never available in their entirety at any
+// given point (paper §2.1).
+//
+// Seq is a monotonically increasing sequence number assigned by the origin
+// server; the high-availability protocol of §6.2 depends on it for output
+// queue truncation. TS is the event timestamp in the clock of the
+// environment that produced it (virtual nanoseconds under netsim, unix
+// nanoseconds otherwise).
+type Tuple struct {
+	Seq  uint64
+	TS   int64
+	Vals []Value
+}
+
+// NewTuple builds a tuple with the given values and zero Seq/TS.
+func NewTuple(vals ...Value) Tuple { return Tuple{Vals: vals} }
+
+// Clone returns a deep copy whose value slice does not alias the original.
+func (t Tuple) Clone() Tuple {
+	c := t
+	c.Vals = append([]Value(nil), t.Vals...)
+	return c
+}
+
+// Field returns the i'th value; out-of-range indices return null, so that
+// operators survive schema drift during dynamic reconfiguration.
+func (t Tuple) Field(i int) Value {
+	if i < 0 || i >= len(t.Vals) {
+		return Value{}
+	}
+	return t.Vals[i]
+}
+
+// EqualValues reports whether two tuples carry identical values (Seq and TS
+// are ignored: split transparency in §5.1 is defined over values).
+func (t Tuple) EqualValues(o Tuple) bool {
+	if len(t.Vals) != len(o.Vals) {
+		return false
+	}
+	for i := range t.Vals {
+		if !t.Vals[i].Equal(o.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MemSize approximates the tuple's memory footprint in bytes for buffer
+// accounting in the storage manager.
+func (t Tuple) MemSize() int {
+	n := 24 // Seq + TS + slice header
+	for _, v := range t.Vals {
+		n += v.MemSize()
+	}
+	return n
+}
+
+// String renders the tuple as (v1, v2, ...)@seq.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.Vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Format())
+	}
+	fmt.Fprintf(&b, ")@%d", t.Seq)
+	return b.String()
+}
+
+// KeyOf concatenates the formatted values at the given indices into a
+// grouping key. It is used by Tumble/XSection/Slide group-by evaluation and
+// by content-based split predicates.
+func (t Tuple) KeyOf(indices []int) string {
+	if len(indices) == 1 {
+		return t.Field(indices[0]).Format()
+	}
+	var b strings.Builder
+	for i, idx := range indices {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t.Field(idx).Format())
+	}
+	return b.String()
+}
+
+// TuplesEqualValues reports element-wise EqualValues over two slices.
+func TuplesEqualValues(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].EqualValues(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTuples renders a tuple slice one per line, for test diagnostics.
+func FormatTuples(ts []Tuple) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := NewTuple(Int(1), String("x"))
+	b := a.Clone()
+	b.Vals[0] = Int(99)
+	if a.Vals[0].AsInt() != 1 {
+		t.Error("Clone must not alias the value slice")
+	}
+}
+
+func TestTupleFieldOutOfRange(t *testing.T) {
+	tp := NewTuple(Int(1))
+	if !tp.Field(5).IsNull() || !tp.Field(-1).IsNull() {
+		t.Error("out-of-range Field should be null")
+	}
+	if tp.Field(0).AsInt() != 1 {
+		t.Error("in-range Field wrong")
+	}
+}
+
+func TestTupleEqualValues(t *testing.T) {
+	a := Tuple{Seq: 1, TS: 100, Vals: []Value{Int(1), Float(2.5)}}
+	b := Tuple{Seq: 9, TS: 999, Vals: []Value{Int(1), Float(2.5)}}
+	if !a.EqualValues(b) {
+		t.Error("EqualValues must ignore Seq/TS")
+	}
+	c := NewTuple(Int(1))
+	if a.EqualValues(c) {
+		t.Error("different arity must not be equal")
+	}
+	d := NewTuple(Int(1), Float(2.6))
+	if a.EqualValues(d) {
+		t.Error("different values must not be equal")
+	}
+}
+
+func TestTupleKeyOf(t *testing.T) {
+	tp := NewTuple(Int(1), String("x"), Int(2))
+	if got := tp.KeyOf([]int{0}); got != "1" {
+		t.Errorf("single key = %q", got)
+	}
+	k12 := tp.KeyOf([]int{1, 2})
+	k21 := tp.KeyOf([]int{2, 1})
+	if k12 == k21 {
+		t.Error("key must be order sensitive")
+	}
+	if !strings.Contains(k12, "\x1f") {
+		t.Error("composite key must be separator-joined")
+	}
+}
+
+func TestTuplesEqualValuesSlice(t *testing.T) {
+	a := []Tuple{NewTuple(Int(1)), NewTuple(Int(2))}
+	b := []Tuple{NewTuple(Int(1)), NewTuple(Int(2))}
+	if !TuplesEqualValues(a, b) {
+		t.Error("equal slices misreported")
+	}
+	if TuplesEqualValues(a, b[:1]) {
+		t.Error("length mismatch misreported")
+	}
+	b[1] = NewTuple(Int(3))
+	if TuplesEqualValues(a, b) {
+		t.Error("value mismatch misreported")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := Tuple{Seq: 7, Vals: []Value{Int(1), String("a")}}
+	if got := tp.String(); got != `(1, "a")@7` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFormatTuples(t *testing.T) {
+	out := FormatTuples([]Tuple{NewTuple(Int(1)), NewTuple(Int(2))})
+	if !strings.Contains(out, "(1)@0") || !strings.Contains(out, "(2)@0") {
+		t.Errorf("FormatTuples = %q", out)
+	}
+}

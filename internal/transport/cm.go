@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// CM is the §4.3 future-work path made concrete: "There are some message
+// streaming applications where the in-order reliable transport abstraction
+// of TCP is not needed, and some message loss is tolerable. We plan to
+// investigate if a UDP-based multiplexing protocol is also required in
+// addition to TCP. Doing this would require a congestion control protocol
+// to be implemented [12]." ([12] is the Congestion Manager, RFC 3124.)
+//
+// CM multiplexes logical streams (via the same WFQ scheduler the TCP path
+// uses) onto an unreliable simulated link under AIMD congestion control:
+// at most cwnd messages are in flight; each delivery is acknowledged; an
+// acknowledgement grows the window (slow start below ssthresh, additive
+// increase above); a timeout halves ssthresh and collapses the window.
+// Lost messages are NOT retransmitted — loss is tolerable by assumption;
+// the control loop only paces the sender to the link's capacity.
+type CM struct {
+	sim  *netsim.Sim
+	src  string
+	dst  string
+	cfg  CMConfig
+	wfq  *WFQ
+	recv func(Msg)
+
+	cwnd     float64
+	ssthresh float64
+	inFlight map[uint64]bool
+	nextSeq  uint64
+
+	// Counters for experiments.
+	Sent      int64
+	Delivered int64
+	Acked     int64
+	Timeouts  int64
+}
+
+// CMConfig tunes the controller.
+type CMConfig struct {
+	// Timeout is how long an unacknowledged message signals congestion
+	// (ns; should exceed the path round trip).
+	Timeout int64
+	// InitialWnd and MaxWnd bound the congestion window in messages.
+	InitialWnd float64
+	MaxWnd     float64
+	// InitialSSThresh is the slow-start threshold (messages).
+	InitialSSThresh float64
+}
+
+// cmData and cmAck are the wire payloads.
+type cmData struct {
+	Seq uint64
+	M   Msg
+}
+
+type cmAck struct{ Seq uint64 }
+
+// NewCM builds a congestion-managed channel from src to dst and installs
+// the delivery/ack handlers on both simulated nodes (the test-harness
+// wiring; a composed system would multiplex the handlers). recv receives
+// the messages that survive the link.
+func NewCM(sim *netsim.Sim, src, dst string, cfg CMConfig, recv func(Msg)) (*CM, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 50e6
+	}
+	if cfg.InitialWnd <= 0 {
+		cfg.InitialWnd = 1
+	}
+	if cfg.MaxWnd <= 0 {
+		cfg.MaxWnd = 1 << 16
+	}
+	if cfg.InitialSSThresh <= 0 {
+		cfg.InitialSSThresh = 64
+	}
+	c := &CM{
+		sim:      sim,
+		src:      src,
+		dst:      dst,
+		cfg:      cfg,
+		wfq:      NewWFQ(),
+		recv:     recv,
+		cwnd:     cfg.InitialWnd,
+		ssthresh: cfg.InitialSSThresh,
+		inFlight: map[uint64]bool{},
+	}
+	if err := sim.SetHandler(dst, c.onData); err != nil {
+		return nil, err
+	}
+	if err := sim.SetHandler(src, c.onAck); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetWeight declares a logical stream's share of the channel.
+func (c *CM) SetWeight(stream string, w float64) error { return c.wfq.SetWeight(stream, w) }
+
+// Send enqueues a message; the window decides when it reaches the wire.
+func (c *CM) Send(m Msg) error {
+	if err := c.wfq.Enqueue(m.Stream, EncodedSize(m), m); err != nil {
+		return err
+	}
+	c.pump()
+	return nil
+}
+
+// Cwnd returns the current congestion window (messages).
+func (c *CM) Cwnd() float64 { return c.cwnd }
+
+// Queued returns messages waiting for window space.
+func (c *CM) Queued() int { return c.wfq.Len() }
+
+// pump transmits while the window allows.
+func (c *CM) pump() {
+	for float64(len(c.inFlight)) < c.cwnd {
+		m, size, ok := c.wfq.Next()
+		if !ok {
+			return
+		}
+		c.nextSeq++
+		seq := c.nextSeq
+		c.inFlight[seq] = true
+		c.Sent++
+		c.sim.Send(c.src, c.dst, size, cmData{Seq: seq, M: m})
+		c.sim.Schedule(c.cfg.Timeout, func() { c.onTimeout(seq) })
+	}
+}
+
+func (c *CM) onData(_ string, payload any, _ int) {
+	d, ok := payload.(cmData)
+	if !ok {
+		return
+	}
+	c.Delivered++
+	if c.recv != nil {
+		c.recv(d.M)
+	}
+	c.sim.Send(c.dst, c.src, 16, cmAck{Seq: d.Seq})
+}
+
+func (c *CM) onAck(_ string, payload any, _ int) {
+	a, ok := payload.(cmAck)
+	if !ok {
+		return
+	}
+	if !c.inFlight[a.Seq] {
+		return // already timed out
+	}
+	delete(c.inFlight, a.Seq)
+	c.Acked++
+	if c.cwnd < c.ssthresh {
+		c.cwnd++ // slow start
+	} else {
+		c.cwnd += 1 / c.cwnd // additive increase (congestion avoidance)
+	}
+	if c.cwnd > c.cfg.MaxWnd {
+		c.cwnd = c.cfg.MaxWnd
+	}
+	c.pump()
+}
+
+// onTimeout treats a still-unacknowledged message as a congestion signal:
+// multiplicative decrease. The message itself is abandoned (loss is
+// tolerable; there is no retransmission).
+func (c *CM) onTimeout(seq uint64) {
+	if !c.inFlight[seq] {
+		return // was acknowledged in time
+	}
+	delete(c.inFlight, seq)
+	c.Timeouts++
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 1 {
+		c.ssthresh = 1
+	}
+	c.cwnd = 1
+	c.pump()
+}
+
+// String summarizes the channel state for diagnostics.
+func (c *CM) String() string {
+	return fmt.Sprintf("cm %s->%s cwnd=%.1f inflight=%d sent=%d delivered=%d timeouts=%d",
+		c.src, c.dst, c.cwnd, len(c.inFlight), c.Sent, c.Delivered, c.Timeouts)
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func cmPair(t *testing.T, bw float64, delay int64, loss float64, cfg CMConfig) (*netsim.Sim, *CM, *int) {
+	t.Helper()
+	sim := netsim.New(1)
+	sim.AddNode("a", nil)
+	sim.AddNode("b", nil)
+	if err := sim.Connect("a", "b", bw, delay, loss); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	cm, err := NewCM(sim, "a", "b", cfg, func(Msg) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, cm, &got
+}
+
+func cmMsg(s string) Msg {
+	return Msg{Stream: s, Kind: KindData,
+		Tuples: []stream.Tuple{stream.NewTuple(stream.Int(1), stream.Int(2))}}
+}
+
+func TestCMDeliversOnCleanLink(t *testing.T) {
+	sim, cm, got := cmPair(t, 0, 100_000, 0, CMConfig{Timeout: 10e6})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := cm.Send(cmMsg("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(0)
+	if *got != n || cm.Delivered != n || cm.Acked != n {
+		t.Fatalf("delivered %d of %d (%s)", *got, n, cm)
+	}
+	if cm.Timeouts != 0 {
+		t.Errorf("clean link should not time out: %s", cm)
+	}
+	// Slow start then additive increase must have opened the window.
+	if cm.Cwnd() <= 1 {
+		t.Errorf("window never opened: %s", cm)
+	}
+}
+
+func TestCMWindowLimitsInFlight(t *testing.T) {
+	// Huge delay: nothing is acked while we enqueue, so exactly
+	// InitialWnd messages reach the wire.
+	sim, cm, _ := cmPair(t, 0, 1e9, 0, CMConfig{Timeout: 10e9, InitialWnd: 4})
+	for i := 0; i < 100; i++ {
+		cm.Send(cmMsg("s"))
+	}
+	if cm.Sent != 4 {
+		t.Fatalf("sent %d, want the initial window of 4", cm.Sent)
+	}
+	if cm.Queued() != 96 {
+		t.Fatalf("queued %d", cm.Queued())
+	}
+	sim.Run(0)
+}
+
+func TestCMLossCollapsesWindow(t *testing.T) {
+	sim, cm, got := cmPair(t, 0, 100_000, 0.3, CMConfig{Timeout: 5e6})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		cm.Send(cmMsg("s"))
+	}
+	sim.Run(0)
+	if cm.Timeouts == 0 {
+		t.Fatal("30% loss must trigger timeouts")
+	}
+	// No retransmission: delivered = sent - lost, never more.
+	if int64(*got) != cm.Delivered || cm.Delivered >= cm.Sent {
+		t.Fatalf("accounting wrong: %s", cm)
+	}
+	// Everything queued was eventually offered to the wire.
+	if cm.Sent != n {
+		t.Fatalf("sent %d of %d", cm.Sent, n)
+	}
+}
+
+func TestCMPacesToWindowTimesRTT(t *testing.T) {
+	// 1ms propagation each way: the channel is RTT-bound, so steady
+	// throughput approaches MaxWnd messages per round trip. The drain
+	// time must land near n*RTT/MaxWnd (plus the slow-start ramp) —
+	// evidence the window, not the enqueue loop, paces the sender.
+	const maxWnd = 64.0
+	sim, cm, got := cmPair(t, 1e6, 1e6, 0, CMConfig{Timeout: 400e6, MaxWnd: maxWnd})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		cm.Send(cmMsg("s"))
+	}
+	sim.Run(0)
+	if *got != n {
+		t.Fatalf("delivered %d of %d (%s)", *got, n, cm)
+	}
+	elapsed := float64(sim.Now()) / 1e9
+	rtt := 0.002
+	ideal := float64(n) / maxWnd * rtt
+	if elapsed < ideal*0.8 || elapsed > ideal*8 {
+		t.Errorf("drained %d msgs in %.3fs; RTT-bound ideal %.3fs", n, elapsed, ideal)
+	}
+	if cm.Cwnd() < maxWnd/2 {
+		t.Errorf("window never opened: %s", cm)
+	}
+}
+
+func TestCMStreamsShareByWeight(t *testing.T) {
+	sim, cm, _ := cmPair(t, 0, 1e6, 0, CMConfig{Timeout: 100e6, InitialWnd: 1, MaxWnd: 8})
+	if err := cm.SetWeight("gold", 3); err != nil {
+		t.Fatal(err)
+	}
+	cm.SetWeight("bronze", 1)
+	deliveredBy := map[string]int{}
+	cm.recv = func(m Msg) { deliveredBy[m.Stream]++ }
+	for i := 0; i < 400; i++ {
+		cm.Send(cmMsg("gold"))
+		cm.Send(cmMsg("bronze"))
+	}
+	// Run only part of the drain and compare shares among the backlog.
+	sim.Run(30e6)
+	g, b := deliveredBy["gold"], deliveredBy["bronze"]
+	if g+b < 20 {
+		t.Fatalf("too few deliveries to judge (%d)", g+b)
+	}
+	ratio := float64(g) / float64(b+1)
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("weighted share off: gold %d bronze %d (ratio %.1f, want ~3)", g, b, ratio)
+	}
+	sim.Run(0)
+}
+
+func TestCMConfigDefaults(t *testing.T) {
+	sim := netsim.New(1)
+	sim.AddNode("a", nil)
+	sim.AddNode("b", nil)
+	sim.Connect("a", "b", 0, 1, 0)
+	cm, err := NewCM(sim, "a", "b", CMConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.cfg.Timeout <= 0 || cm.cfg.MaxWnd <= 0 {
+		t.Error("defaults not applied")
+	}
+	// nil recv must not panic.
+	cm.Send(cmMsg("s"))
+	sim.Run(0)
+	if _, err := NewCM(sim, "ghost", "b", CMConfig{}, nil); err == nil {
+		t.Error("unknown src should fail")
+	}
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// helloStream is the reserved logical stream used for the connection
+// handshake (peer identity exchange).
+const helloStream = "\x00hello"
+
+// maxFrame bounds a single frame to keep a malformed peer from forcing
+// huge allocations.
+const maxFrame = 16 << 20
+
+// Handler receives messages delivered by the TCP transport.
+type Handler func(from string, m Msg)
+
+// TCP multiplexes all logical message streams to each peer onto a single
+// TCP connection with a WFQ scheduler — the design §4.3 argues for over
+// one-connection-per-stream (prohibitive connection counts, adverse
+// interaction in the network, no weighted sharing).
+type TCP struct {
+	id      string
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[string]*Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Conn is one multiplexed connection to a peer.
+type Conn struct {
+	peer string
+	nc   net.Conn
+	t    *TCP
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sched  *WFQ
+	closed bool
+
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// ListenTCP starts a transport listening on addr (e.g. "127.0.0.1:0").
+// The returned transport accepts inbound connections and can Dial
+// outbound ones; all deliveries go to handler.
+func ListenTCP(id, addr string, handler Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	t := &TCP{id: id, handler: handler, ln: ln, conns: map[string]*Conn{}}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ID returns the transport's node identity.
+func (t *TCP) ID() string { return t.id }
+
+// Addr returns the listening address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			// Inbound handshake: peer speaks first, then we answer.
+			peer, err := readHello(nc)
+			if err != nil {
+				nc.Close()
+				return
+			}
+			if err := writeHello(nc, t.id); err != nil {
+				nc.Close()
+				return
+			}
+			t.startConn(peer, nc)
+		}()
+	}
+}
+
+// Dial connects to a peer transport and returns its node id.
+func (t *TCP) Dial(addr string) (string, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: %w", err)
+	}
+	if err := writeHello(nc, t.id); err != nil {
+		nc.Close()
+		return "", err
+	}
+	peer, err := readHello(nc)
+	if err != nil {
+		nc.Close()
+		return "", err
+	}
+	t.startConn(peer, nc)
+	return peer, nil
+}
+
+func (t *TCP) startConn(peer string, nc net.Conn) {
+	c := &Conn{peer: peer, nc: nc, t: t, sched: NewWFQ()}
+	c.cond = sync.NewCond(&c.mu)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		nc.Close()
+		return
+	}
+	if old, ok := t.conns[peer]; ok {
+		old.close()
+	}
+	t.conns[peer] = c
+	t.mu.Unlock()
+	t.wg.Add(2)
+	go func() {
+		defer t.wg.Done()
+		c.writeLoop()
+	}()
+	go func() {
+		defer t.wg.Done()
+		c.readLoop()
+	}()
+}
+
+// Send enqueues a message to a peer; the per-connection WFQ decides when
+// it gets the wire.
+func (t *TCP) Send(peer string, m Msg) error {
+	t.mu.Lock()
+	c, ok := t.conns[peer]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to %q", peer)
+	}
+	return c.send(m)
+}
+
+// SetWeight sets the WFQ weight of one logical stream to a peer —
+// prescribed by QoS specifications or contractual obligations (§4.3).
+func (t *TCP) SetWeight(peer, stream string, weight float64) error {
+	t.mu.Lock()
+	c, ok := t.conns[peer]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to %q", peer)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sched.SetWeight(stream, weight)
+}
+
+// Peers lists connected peer ids.
+func (t *TCP) Peers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.conns))
+	for p := range t.conns {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Close shuts the listener and every connection down and waits for the
+// transport's goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*Conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (c *Conn) send(m Msg) error {
+	size := EncodedSize(m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("transport: connection to %q closed", c.peer)
+	}
+	if err := c.sched.Enqueue(m.Stream, size, m); err != nil {
+		return err
+	}
+	c.cond.Signal()
+	return nil
+}
+
+func (c *Conn) writeLoop() {
+	var buf []byte
+	for {
+		c.mu.Lock()
+		for c.sched.Len() == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		m, _, _ := c.sched.Next()
+		c.mu.Unlock()
+
+		buf = buf[:0]
+		buf = binary.BigEndian.AppendUint32(buf, 0) // length placeholder
+		buf = Encode(buf, m)
+		binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+		if _, err := c.nc.Write(buf); err != nil {
+			c.close()
+			return
+		}
+		c.mu.Lock()
+		c.BytesSent += int64(len(buf))
+		c.MsgsSent++
+		c.mu.Unlock()
+	}
+}
+
+func (c *Conn) readLoop() {
+	for {
+		m, err := readFrame(c.nc)
+		if err != nil {
+			c.close()
+			return
+		}
+		if c.t.handler != nil {
+			c.t.handler(c.peer, m)
+		}
+	}
+}
+
+func (c *Conn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.nc.Close()
+	c.t.mu.Lock()
+	if c.t.conns[c.peer] == c {
+		delete(c.t.conns, c.peer)
+	}
+	c.t.mu.Unlock()
+}
+
+func readFrame(r io.Reader) (Msg, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return Msg{}, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Msg{}, err
+	}
+	m, _, err := Decode(body)
+	return m, err
+}
+
+func writeHello(nc net.Conn, id string) error {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, 0)
+	buf = Encode(buf, Msg{Stream: helloStream, Kind: KindControl, Ctrl: []byte(id)})
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	_, err := nc.Write(buf)
+	return err
+}
+
+func readHello(nc net.Conn) (string, error) {
+	m, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	if m.Stream != helloStream || len(m.Ctrl) == 0 {
+		return "", fmt.Errorf("transport: bad handshake")
+	}
+	return string(m.Ctrl), nil
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func sampleMsg() Msg {
+	return Msg{
+		Stream:  "quotes",
+		Kind:    KindData,
+		BaseSeq: 12345,
+		Tuples: []stream.Tuple{
+			{Seq: 1, TS: 100, Vals: []stream.Value{
+				stream.Int(-42), stream.Float(2.5), stream.String("IBM"),
+				stream.Bool(true), stream.Null(),
+			}},
+			{Seq: 2, TS: 200, Vals: []stream.Value{stream.Int(7)}},
+		},
+		Ctrl: []byte{0xde, 0xad},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := sampleMsg()
+	buf := Encode(nil, m)
+	got, used, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Errorf("used %d of %d bytes", used, len(buf))
+	}
+	if got.Stream != m.Stream || got.Kind != m.Kind || got.BaseSeq != m.BaseSeq {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if string(got.Ctrl) != string(m.Ctrl) {
+		t.Errorf("ctrl mismatch")
+	}
+	if len(got.Tuples) != 2 {
+		t.Fatalf("tuples = %d", len(got.Tuples))
+	}
+	for i := range m.Tuples {
+		if !got.Tuples[i].EqualValues(m.Tuples[i]) ||
+			got.Tuples[i].Seq != m.Tuples[i].Seq || got.Tuples[i].TS != m.Tuples[i].TS {
+			t.Errorf("tuple %d mismatch: %v vs %v", i, got.Tuples[i], m.Tuples[i])
+		}
+	}
+}
+
+func TestCodecEmptyMsg(t *testing.T) {
+	m := Msg{Stream: "s", Kind: KindHeartbeat}
+	got, _, err := Decode(Encode(nil, m))
+	if err != nil || got.Stream != "s" || len(got.Tuples) != 0 || got.Ctrl != nil {
+		t.Errorf("empty msg round trip: %+v, %v", got, err)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(seq uint64, ts int64, i int64, fl float64, s string, b bool) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		m := Msg{Stream: s, Kind: KindData, BaseSeq: seq, Tuples: []stream.Tuple{
+			{Seq: seq, TS: ts, Vals: []stream.Value{
+				stream.Int(i), stream.Float(fl), stream.String(s), stream.Bool(b),
+			}},
+		}}
+		got, used, err := Decode(Encode(nil, m))
+		if err != nil || used != len(Encode(nil, m)) {
+			return false
+		}
+		return got.Tuples[0].EqualValues(m.Tuples[0]) && got.Stream == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(nil, sampleMsg())
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes should fail", cut, len(full))
+		}
+	}
+}
+
+func TestWFQProportionalSharing(t *testing.T) {
+	// Streams with weights 1, 2, 4 all backlogged: drained bytes should
+	// approach a 1:2:4 ratio over any long prefix.
+	w := NewWFQ()
+	if err := w.SetWeight("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	w.SetWeight("b", 2)
+	w.SetWeight("c", 4)
+	const per = 300
+	for i := 0; i < per; i++ {
+		for _, s := range []string{"a", "b", "c"} {
+			w.Enqueue(s, 100, Msg{Stream: s})
+		}
+	}
+	got := map[string]int{}
+	// Drain the first third of the backlog and look at the byte shares.
+	for i := 0; i < per; i++ {
+		m, size, ok := w.Next()
+		if !ok {
+			t.Fatal("queue exhausted early")
+		}
+		got[m.Stream] += size
+	}
+	total := got["a"] + got["b"] + got["c"]
+	wantShare := map[string]float64{"a": 1.0 / 7, "b": 2.0 / 7, "c": 4.0 / 7}
+	for s, want := range wantShare {
+		share := float64(got[s]) / float64(total)
+		if math.Abs(share-want) > 0.05 {
+			t.Errorf("stream %s share = %.3f, want %.3f", s, share, want)
+		}
+	}
+}
+
+func TestWFQIdleStreamDoesNotAccumulateCredit(t *testing.T) {
+	w := NewWFQ()
+	w.SetWeight("idle", 100)
+	w.SetWeight("busy", 1)
+	for i := 0; i < 100; i++ {
+		w.Enqueue("busy", 10, Msg{Stream: "busy"})
+	}
+	for i := 0; i < 50; i++ {
+		w.Next()
+	}
+	// The idle stream wakes up: it should get served promptly but not
+	// monopolize with "saved up" credit from its idle period.
+	w.Enqueue("idle", 10, Msg{Stream: "idle"})
+	m, _, _ := w.Next()
+	if m.Stream != "idle" {
+		t.Errorf("awakened heavy stream should be served next, got %q", m.Stream)
+	}
+	m, _, _ = w.Next()
+	if m.Stream != "busy" {
+		t.Error("after its one message the idle stream must yield")
+	}
+}
+
+func TestWFQPerStreamFIFO(t *testing.T) {
+	w := NewWFQ()
+	for i := 0; i < 10; i++ {
+		w.Enqueue("s", 10, Msg{Stream: "s", BaseSeq: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		m, _, ok := w.Next()
+		if !ok || m.BaseSeq != uint64(i) {
+			t.Fatalf("stream order broken at %d: %+v", i, m)
+		}
+	}
+	if _, _, ok := w.Next(); ok {
+		t.Error("empty queue should report !ok")
+	}
+}
+
+func TestWFQValidation(t *testing.T) {
+	w := NewWFQ()
+	if err := w.SetWeight("s", 0); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := w.SetWeight("s", -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	w.Enqueue("s", 0, Msg{}) // size repaired to 1
+	if w.Len() != 1 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	f.Enqueue("a", 5, Msg{BaseSeq: 1})
+	f.Enqueue("b", 5, Msg{BaseSeq: 2})
+	m1, _, _ := f.Next()
+	m2, _, _ := f.Next()
+	if m1.BaseSeq != 1 || m2.BaseSeq != 2 {
+		t.Error("FIFO must preserve arrival order")
+	}
+	if _, _, ok := f.Next(); ok || f.Len() != 0 {
+		t.Error("FIFO empty state wrong")
+	}
+}

@@ -1,0 +1,228 @@
+package wgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// SensorSchema is the schema of SensorSource tuples: a sensor id, a
+// reading, and a region label (used by content-based split predicates:
+// "all streams generated in Cambridge", §5.2).
+var SensorSchema = stream.MustSchema("sensors",
+	stream.Field{Name: "sensor", Kind: stream.KindInt},
+	stream.Field{Name: "reading", Kind: stream.KindFloat},
+	stream.Field{Name: "region", Kind: stream.KindString},
+)
+
+// SensorSource models a sensor network: n sensors whose ids are drawn
+// from a Zipf distribution (hot sensors dominate, exercising key skew in
+// split-predicate experiments) and whose readings follow independent
+// random walks. Sensors are assigned round-robin to the given regions.
+type SensorSource struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	arrival Arrival
+	walks   []float64
+	regions []string
+	limit   int64
+	emitted int64
+	seq     uint64
+}
+
+// NewSensorSource builds a sensor source with n sensors, Zipf skew s
+// (1.01 = mild, 2 = severe; values <= 1 fall back to uniform), the given
+// arrival process, and an optional tuple limit (0 = unbounded).
+func NewSensorSource(n int, s float64, regions []string, arrival Arrival, limit int64, seed int64) *SensorSource {
+	if n < 1 {
+		n = 1
+	}
+	if len(regions) == 0 {
+		regions = []string{"default"}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if s > 1 {
+		zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	}
+	return &SensorSource{
+		rng:     rng,
+		zipf:    zipf,
+		arrival: arrival,
+		walks:   make([]float64, n),
+		regions: regions,
+		limit:   limit,
+	}
+}
+
+// Schema implements Source.
+func (s *SensorSource) Schema() *stream.Schema { return SensorSchema }
+
+// Next implements Source.
+func (s *SensorSource) Next() (stream.Tuple, int64, bool) {
+	if s.limit > 0 && s.emitted >= s.limit {
+		return stream.Tuple{}, 0, false
+	}
+	s.emitted++
+	s.seq++
+	var id int
+	if s.zipf != nil {
+		id = int(s.zipf.Uint64())
+	} else {
+		id = s.rng.Intn(len(s.walks))
+	}
+	s.walks[id] += s.rng.NormFloat64()
+	t := stream.Tuple{
+		Seq: s.seq,
+		Vals: []stream.Value{
+			stream.Int(int64(id)),
+			stream.Float(s.walks[id]),
+			stream.String(s.regions[id%len(s.regions)]),
+		},
+	}
+	return t, s.arrival.Gap(), true
+}
+
+// QuoteSchema is the schema of StockSource tuples — the stock-quote
+// stream of the remote-definition example in §4.4.
+var QuoteSchema = stream.MustSchema("quotes",
+	stream.Field{Name: "sym", Kind: stream.KindString},
+	stream.Field{Name: "price", Kind: stream.KindFloat},
+	stream.Field{Name: "size", Kind: stream.KindInt},
+)
+
+// StockSource emits random-walk stock quotes over a fixed symbol universe.
+type StockSource struct {
+	rng     *rand.Rand
+	arrival Arrival
+	symbols []string
+	prices  []float64
+	limit   int64
+	emitted int64
+	seq     uint64
+}
+
+// NewStockSource builds a quote stream over nSymbols tickers starting at
+// price 100, with the given arrival process and optional limit.
+func NewStockSource(nSymbols int, arrival Arrival, limit int64, seed int64) *StockSource {
+	if nSymbols < 1 {
+		nSymbols = 1
+	}
+	symbols := make([]string, nSymbols)
+	prices := make([]float64, nSymbols)
+	for i := range symbols {
+		symbols[i] = fmt.Sprintf("S%03d", i)
+		prices[i] = 100
+	}
+	return &StockSource{
+		rng:     rand.New(rand.NewSource(seed)),
+		arrival: arrival,
+		symbols: symbols,
+		prices:  prices,
+		limit:   limit,
+	}
+}
+
+// Schema implements Source.
+func (s *StockSource) Schema() *stream.Schema { return QuoteSchema }
+
+// Next implements Source.
+func (s *StockSource) Next() (stream.Tuple, int64, bool) {
+	if s.limit > 0 && s.emitted >= s.limit {
+		return stream.Tuple{}, 0, false
+	}
+	s.emitted++
+	s.seq++
+	i := s.rng.Intn(len(s.symbols))
+	s.prices[i] = math.Max(1, s.prices[i]*(1+0.002*s.rng.NormFloat64()))
+	t := stream.Tuple{
+		Seq: s.seq,
+		Vals: []stream.Value{
+			stream.String(s.symbols[i]),
+			stream.Float(s.prices[i]),
+			stream.Int(int64(100 * (1 + s.rng.Intn(9)))),
+		},
+	}
+	return t, s.arrival.Gap(), true
+}
+
+// FlowSchema is the schema of NetFlowSource tuples — a network-monitoring
+// workload (src/dst endpoints and a byte count).
+var FlowSchema = stream.MustSchema("flows",
+	stream.Field{Name: "src", Kind: stream.KindInt},
+	stream.Field{Name: "dst", Kind: stream.KindInt},
+	stream.Field{Name: "bytes", Kind: stream.KindInt},
+)
+
+// NetFlowSource emits synthetic flow records with Zipf-distributed
+// endpoints and Pareto-ish flow sizes — the standard shape of packet
+// traces, giving the network-monitoring example a realistic key skew.
+type NetFlowSource struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	arrival Arrival
+	hosts   int
+	limit   int64
+	emitted int64
+	seq     uint64
+}
+
+// NewNetFlowSource builds a flow source over the given host count.
+func NewNetFlowSource(hosts int, arrival Arrival, limit int64, seed int64) *NetFlowSource {
+	if hosts < 2 {
+		hosts = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &NetFlowSource{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, 1.2, 1, uint64(hosts-1)),
+		arrival: arrival,
+		hosts:   hosts,
+		limit:   limit,
+	}
+}
+
+// Schema implements Source.
+func (s *NetFlowSource) Schema() *stream.Schema { return FlowSchema }
+
+// Next implements Source.
+func (s *NetFlowSource) Next() (stream.Tuple, int64, bool) {
+	if s.limit > 0 && s.emitted >= s.limit {
+		return stream.Tuple{}, 0, false
+	}
+	s.emitted++
+	s.seq++
+	size := int64(40 * math.Pow(1/(1e-9+s.rng.Float64()), 0.7))
+	if size > 1<<20 {
+		size = 1 << 20
+	}
+	t := stream.Tuple{
+		Seq: s.seq,
+		Vals: []stream.Value{
+			stream.Int(int64(s.zipf.Uint64())),
+			stream.Int(int64(s.rng.Intn(s.hosts))),
+			stream.Int(size),
+		},
+	}
+	return t, s.arrival.Gap(), true
+}
+
+// Collect drains up to n tuples from a source, stamping each tuple's TS
+// with its cumulative virtual arrival time. It is the batch harness used
+// by tests and benchmarks.
+func Collect(s Source, n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	var now int64
+	for len(out) < n {
+		t, gap, ok := s.Next()
+		if !ok {
+			break
+		}
+		now += gap
+		t.TS = now
+		out = append(out, t)
+	}
+	return out
+}

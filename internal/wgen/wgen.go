@@ -1,0 +1,159 @@
+// Package wgen generates the synthetic workloads that stand in for the
+// paper's external environments (§1): sensor networks, location tracking,
+// stock feeds, and network monitoring. All generators are deterministic
+// under a seed so experiments are reproducible, and they expose arrival
+// processes (Poisson, bursty on/off, Pareto heavy-tail) whose rate
+// variability is what the load-management experiments of §5 exercise.
+package wgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Source produces a stream of tuples with explicit inter-arrival gaps.
+// Sources are pull-based so the driving harness (engine feed loop or
+// netsim event queue) controls time.
+type Source interface {
+	// Schema describes the tuples this source generates.
+	Schema() *stream.Schema
+	// Next returns the next tuple and the gap (in nanoseconds) between
+	// the previous tuple and this one. ok is false when the source is
+	// exhausted (bounded sources only).
+	Next() (t stream.Tuple, gap int64, ok bool)
+}
+
+// Arrival models an inter-arrival process in nanoseconds.
+type Arrival interface {
+	// Gap returns the next inter-arrival gap in nanoseconds.
+	Gap() int64
+}
+
+// PoissonArrival produces exponentially distributed gaps with the given
+// mean rate (tuples per second).
+type PoissonArrival struct {
+	rng  *rand.Rand
+	mean float64 // mean gap in ns
+}
+
+// NewPoissonArrival returns a Poisson arrival process at rate tuples/sec.
+func NewPoissonArrival(rate float64, seed int64) *PoissonArrival {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &PoissonArrival{rng: rand.New(rand.NewSource(seed)), mean: 1e9 / rate}
+}
+
+// Gap implements Arrival.
+func (p *PoissonArrival) Gap() int64 {
+	return int64(p.rng.ExpFloat64() * p.mean)
+}
+
+// OnOffArrival alternates between a burst phase (high rate) and an idle
+// phase (low rate), with geometrically distributed phase lengths. It
+// models the "time-varying load spikes" of §1 and §3.
+type OnOffArrival struct {
+	rng              *rand.Rand
+	onGap, offGap    float64 // mean gaps in ns
+	onLen, offLen    float64 // mean phase lengths in tuples
+	inBurst          bool
+	remainingInPhase int
+}
+
+// NewOnOffArrival builds a bursty process: onRate during bursts of mean
+// onLen tuples, offRate between bursts of mean offLen tuples.
+func NewOnOffArrival(onRate, offRate float64, onLen, offLen int, seed int64) *OnOffArrival {
+	if onRate <= 0 {
+		onRate = 1
+	}
+	if offRate <= 0 {
+		offRate = 1
+	}
+	a := &OnOffArrival{
+		rng:    rand.New(rand.NewSource(seed)),
+		onGap:  1e9 / onRate,
+		offGap: 1e9 / offRate,
+		onLen:  float64(max(onLen, 1)),
+		offLen: float64(max(offLen, 1)),
+	}
+	a.switchPhase()
+	return a
+}
+
+func (a *OnOffArrival) switchPhase() {
+	a.inBurst = !a.inBurst
+	mean := a.offLen
+	if a.inBurst {
+		mean = a.onLen
+	}
+	a.remainingInPhase = 1 + int(a.rng.ExpFloat64()*mean)
+}
+
+// Gap implements Arrival.
+func (a *OnOffArrival) Gap() int64 {
+	if a.remainingInPhase <= 0 {
+		a.switchPhase()
+	}
+	a.remainingInPhase--
+	mean := a.offGap
+	if a.inBurst {
+		mean = a.onGap
+	}
+	return int64(a.rng.ExpFloat64() * mean)
+}
+
+// ParetoArrival produces heavy-tailed gaps (Pareto with shape alpha > 1),
+// scaled so the mean rate is rate tuples/sec. Heavy tails produce the
+// sustained congestion episodes §6 lists as an availability threat.
+type ParetoArrival struct {
+	rng   *rand.Rand
+	alpha float64
+	xm    float64 // scale, ns
+}
+
+// NewParetoArrival returns a Pareto arrival process with the given mean
+// rate (tuples/sec) and tail index alpha (must be > 1 for a finite mean).
+func NewParetoArrival(rate, alpha float64, seed int64) *ParetoArrival {
+	if alpha <= 1.05 {
+		alpha = 1.5
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	meanGap := 1e9 / rate
+	xm := meanGap * (alpha - 1) / alpha
+	return &ParetoArrival{rng: rand.New(rand.NewSource(seed)), alpha: alpha, xm: xm}
+}
+
+// Gap implements Arrival.
+func (p *ParetoArrival) Gap() int64 {
+	u := p.rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	return int64(p.xm / math.Pow(u, 1/p.alpha))
+}
+
+// ConstantArrival emits perfectly periodic gaps; useful as a baseline and
+// for deterministic tests.
+type ConstantArrival struct{ gap int64 }
+
+// NewConstantArrival returns a fixed-gap process at rate tuples/sec.
+func NewConstantArrival(rate float64) *ConstantArrival {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &ConstantArrival{gap: int64(1e9 / rate)}
+}
+
+// Gap implements Arrival.
+func (c *ConstantArrival) Gap() int64 { return c.gap }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package wgen
+
+import (
+	"math"
+	"testing"
+)
+
+func meanGap(a Arrival, n int) float64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += a.Gap()
+	}
+	return float64(sum) / float64(n)
+}
+
+func TestPoissonArrivalMeanRate(t *testing.T) {
+	a := NewPoissonArrival(1000, 1) // 1000/s -> mean gap 1e6 ns
+	got := meanGap(a, 20000)
+	if math.Abs(got-1e6)/1e6 > 0.05 {
+		t.Errorf("mean gap = %g, want ~1e6", got)
+	}
+}
+
+func TestPoissonDeterministicUnderSeed(t *testing.T) {
+	a := NewPoissonArrival(100, 42)
+	b := NewPoissonArrival(100, 42)
+	for i := 0; i < 100; i++ {
+		if a.Gap() != b.Gap() {
+			t.Fatal("same seed must produce the same gaps")
+		}
+	}
+}
+
+func TestOnOffArrivalBursts(t *testing.T) {
+	a := NewOnOffArrival(100000, 100, 500, 500, 3)
+	gaps := make([]float64, 200000)
+	for i := range gaps {
+		gaps[i] = float64(a.Gap())
+	}
+	// The mixture should contain both fast (~1e4 ns) and slow (~1e7 ns)
+	// gaps in quantity.
+	fast, slow := 0, 0
+	for _, g := range gaps {
+		if g < 1e5 {
+			fast++
+		}
+		if g > 1e6 {
+			slow++
+		}
+	}
+	if fast < len(gaps)/10 || slow < len(gaps)/10 {
+		t.Errorf("on/off mixture degenerate: fast=%d slow=%d of %d", fast, slow, len(gaps))
+	}
+}
+
+func TestParetoArrivalHeavyTail(t *testing.T) {
+	a := NewParetoArrival(1000, 1.5, 5)
+	n := 200000
+	var sum float64
+	maxGap := 0.0
+	for i := 0; i < n; i++ {
+		g := float64(a.Gap())
+		sum += g
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	mean := sum / float64(n)
+	// Heavy tail: max should dwarf the mean by orders of magnitude.
+	if maxGap < 20*mean {
+		t.Errorf("tail too light: max %g vs mean %g", maxGap, mean)
+	}
+	// Degenerate alpha repaired.
+	b := NewParetoArrival(1000, 0.5, 5)
+	if b.Gap() <= 0 {
+		t.Error("repaired alpha should still produce positive gaps")
+	}
+}
+
+func TestConstantArrival(t *testing.T) {
+	a := NewConstantArrival(1e6)
+	if a.Gap() != 1000 || a.Gap() != 1000 {
+		t.Error("constant arrival should emit fixed gaps")
+	}
+	if NewConstantArrival(-1).Gap() <= 0 {
+		t.Error("bad rate repaired")
+	}
+}
+
+func TestSensorSourceShape(t *testing.T) {
+	s := NewSensorSource(50, 1.3, []string{"cambridge", "boston"}, NewConstantArrival(1000), 0, 9)
+	tuples := Collect(s, 5000)
+	if len(tuples) != 5000 {
+		t.Fatalf("collected %d", len(tuples))
+	}
+	counts := map[int64]int{}
+	regions := map[string]bool{}
+	for i, tp := range tuples {
+		if tp.Seq == 0 {
+			t.Fatal("tuples must carry sequence numbers")
+		}
+		if i > 0 && tp.TS <= tuples[i-1].TS {
+			t.Fatal("TS must be strictly increasing under constant arrivals")
+		}
+		id := tp.Field(0).AsInt()
+		if id < 0 || id >= 50 {
+			t.Fatalf("sensor id %d out of range", id)
+		}
+		counts[id]++
+		regions[tp.Field(2).AsString()] = true
+	}
+	if !regions["cambridge"] || !regions["boston"] {
+		t.Error("both regions should appear")
+	}
+	// Zipf skew: the most popular sensor should see far more than the mean.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 3*(5000/50) {
+		t.Errorf("skew too mild: max sensor count %d", maxC)
+	}
+}
+
+func TestSensorSourceLimit(t *testing.T) {
+	s := NewSensorSource(5, 0, nil, NewConstantArrival(10), 7, 1)
+	tuples := Collect(s, 100)
+	if len(tuples) != 7 {
+		t.Errorf("limit ignored: got %d tuples", len(tuples))
+	}
+}
+
+func TestStockSourcePositivePrices(t *testing.T) {
+	s := NewStockSource(8, NewConstantArrival(1000), 0, 11)
+	for _, tp := range Collect(s, 2000) {
+		if tp.Field(1).AsFloat() <= 0 {
+			t.Fatal("prices must stay positive")
+		}
+		if tp.Field(2).AsInt()%100 != 0 {
+			t.Fatal("sizes are round lots")
+		}
+	}
+}
+
+func TestNetFlowSourceShape(t *testing.T) {
+	s := NewNetFlowSource(64, NewConstantArrival(1000), 0, 13)
+	var total int64
+	for _, tp := range Collect(s, 2000) {
+		b := tp.Field(2).AsInt()
+		if b < 40 || b > 1<<20 {
+			t.Fatalf("flow size %d out of bounds", b)
+		}
+		total += b
+	}
+	if total <= 0 {
+		t.Error("flows should carry bytes")
+	}
+}
+
+func TestCollectStopsOnExhaustion(t *testing.T) {
+	s := NewStockSource(2, NewConstantArrival(10), 3, 1)
+	if got := len(Collect(s, 10)); got != 3 {
+		t.Errorf("Collect = %d tuples, want 3", got)
+	}
+}
