@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test check vet race chaos fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: build, vet, tests, race detector.
+check:
+	./ci.sh
+
+# chaos sweeps randomized fault schedules (see internal/chaos).
+chaos:
+	$(GO) run ./cmd/chaosrunner -seeds 1000
+
+# fuzz gives each transport codec fuzz target a short budget.
+fuzz:
+	$(GO) test ./internal/transport -run=XXX -fuzz=FuzzDecode$$ -fuzztime=30s
+	$(GO) test ./internal/transport -run=XXX -fuzz=FuzzDecodeTuple -fuzztime=30s
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=XXX .

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: everything must pass before a change lands.
+set -eu
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -1,5 +1,5 @@
 // benchrunner regenerates the experiment tables of EXPERIMENTS.md from
-// the command line: every figure of the paper has an experiment (E01..E15)
+// the command line: every figure of the paper has an experiment (E01..E16)
 // whose table this tool prints.
 //
 // Usage:

@@ -1,0 +1,82 @@
+// chaosrunner drives the internal/chaos fault-injection harness from the
+// command line: randomized, seed-reproducible fault schedules against a
+// k-safe cluster, with the four §6 oracles checked after every run.
+//
+// Usage:
+//
+//	chaosrunner -seeds 1000      # sweep seeds 1..1000, report any violation
+//	chaosrunner -seed 42         # run one seed verbosely
+//	chaosrunner -seed 42 -shrink # on failure, print a minimal reproducer
+//
+// A failing seed is a complete bug report: the same seed regenerates the
+// same schedule, the same simulated event order, and the same verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 200, "sweep seeds 1..N")
+		seed   = flag.Int64("seed", 0, "run a single seed verbosely (overrides -seeds)")
+		shrink = flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
+	)
+	flag.Parse()
+
+	if *seed != 0 {
+		os.Exit(runOne(*seed, *shrink))
+	}
+
+	pass, fail := 0, 0
+	for s := int64(1); s <= int64(*seeds); s++ {
+		r := chaos.Run(chaos.Generate(s))
+		if !r.Failed() {
+			pass++
+			continue
+		}
+		fail++
+		fmt.Printf("seed %d FAILED:\n", s)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if *shrink {
+			min := chaos.Shrink(r.Schedule, func(c chaos.Schedule) bool {
+				return chaos.Run(c).Failed()
+			})
+			fmt.Printf("  minimal reproducer (%d events):\n%s\n", len(min.Events), min.Repro())
+		}
+	}
+	fmt.Printf("chaos: %d schedules, %d passed, %d failed\n", pass+fail, pass, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(seed int64, shrink bool) int {
+	s := chaos.Generate(seed)
+	fmt.Printf("seed %d: workers=%d k=%d, %d events (max concurrent failures %d)\n",
+		seed, s.Workers, s.K, len(s.Events), s.MaxConcurrentFailures())
+	for _, e := range s.Events {
+		fmt.Printf("  %+v\n", e)
+	}
+	r := chaos.Run(s)
+	fmt.Printf("ingested=%d delivered=%d missing=%d dups=%d resent=%d suppressed=%d recoveries=%d trunc-leaked=%d\n",
+		r.Ingested, r.Delivered, r.Missing, r.Dups, r.Resent, r.Suppressed, r.Recoveries, r.TruncLeaked)
+	if !r.Failed() {
+		fmt.Println("PASS: all oracles held")
+		return 0
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+	if shrink {
+		min := chaos.Shrink(s, func(c chaos.Schedule) bool { return chaos.Run(c).Failed() })
+		fmt.Printf("minimal reproducer (%d events):\n%s\n", len(min.Events), min.Repro())
+	}
+	return 1
+}

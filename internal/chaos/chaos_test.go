@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestChaos runs 240 randomized schedules, one per seed, and requires
+// every applicable oracle to hold. On failure it shrinks the schedule to
+// a locally minimal reproducer and prints it as runnable Go.
+func TestChaos(t *testing.T) {
+	const seeds = 240
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := Generate(seed)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("generator produced an invalid schedule: %v", err)
+			}
+			if mc := s.MaxConcurrentFailures(); mc > s.K {
+				t.Fatalf("generator exceeded the k budget: %d > %d", mc, s.K)
+			}
+			r := Run(s)
+			if r.Failed() {
+				min := Shrink(s, func(c Schedule) bool { return Run(c).Failed() })
+				t.Fatalf("oracle violations: %v\nevents: %+v\nminimal repro:\n%s",
+					r.Violations, s.Events, min.Repro())
+			}
+		})
+	}
+}
+
+// negativeControl is a deliberate k+1 schedule: the n2-n3 partition backs
+// intermediate results up into n2's output log while n1 keeps acking
+// (their effects are received one server down, which is all k=1
+// requires), so the entry truncates its own copies; then n1 and n2 die
+// together — two concurrent failures against k=1 — taking both remaining
+// copies with them. The partition must outlast the truncation pipeline
+// (two flow-tick hops, ~2 x FlowPeriod plus slack) or nothing is both
+// truncated upstream and trapped behind the cut; the crashes land just
+// before n2 would have declared n3 silent.
+var negativeControl = Schedule{
+	Seed: 1, Workers: 3, K: 1,
+	Events: []Event{
+		{Kind: Partition, At: 20e6, Dur: 6e6, A: "n2", B: "n3"},
+		{Kind: Crash, At: 25_500_000, Node: "n1"},
+		{Kind: Crash, At: 25_500_000, Node: "n2"},
+	},
+}
+
+// TestChaosNegativeControl verifies the harness actually detects loss:
+// the k+1 schedule must exceed the budget, lose tuples, and still
+// re-converge (the tail flows exactly once through the recovered system).
+func TestChaosNegativeControl(t *testing.T) {
+	r := Run(negativeControl)
+	if !r.BudgetExceeded || r.MaxConcurrent != 2 {
+		t.Fatalf("budget classification: max concurrent = %d, exceeded = %v",
+			r.MaxConcurrent, r.BudgetExceeded)
+	}
+	if r.Missing == 0 {
+		t.Fatalf("k+1 concurrent failures lost nothing — the harness cannot detect loss\n%+v", r)
+	}
+	if r.TailMissing != 0 || r.TailDups != 0 {
+		t.Errorf("system did not re-converge: tail missing=%d dups=%d", r.TailMissing, r.TailDups)
+	}
+	if r.Failed() {
+		t.Errorf("budget-exceeding loss must be classified, not reported as a violation: %v",
+			r.Violations)
+	}
+	t.Logf("lost %d of %d (first %v), recoveries=%d", r.Missing, r.Ingested, r.MissingIDs, r.Recoveries)
+}
+
+// TestChaosReplayDeterministic: the same schedule must produce the exact
+// same verdict and counters on every run — the property that makes a
+// printed seed a complete bug report.
+func TestChaosReplayDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 101} {
+		s := Generate(seed)
+		a, b := Run(s), Run(s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two runs disagree:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	a, b := Run(negativeControl), Run(negativeControl)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("negative control replays differently:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChaosShrink pads the failing negative control with irrelevant
+// faults and checks the shrinker strips them back out, leaving a minimal
+// reproducer of at most 5 events that still loses data deterministically.
+func TestChaosShrink(t *testing.T) {
+	padded := negativeControl
+	padded.Events = append([]Event{
+		{Kind: Burst, At: 10e6, Dur: 5e6, Mult: 3},
+		{Kind: Lossy, At: 40e6, Dur: 10e6, A: "src", B: "n1", Loss: 0.3},
+		{Kind: Partition, At: 60e6, Dur: 3e6, A: "n1", B: "n3"},
+		{Kind: Burst, At: 70e6, Dur: 5e6, Mult: 2},
+	}, padded.Events...)
+	lost := func(s Schedule) bool { return Run(s).Missing > 0 }
+	if !lost(padded) {
+		t.Fatal("padded negative control no longer loses")
+	}
+	min := Shrink(padded, lost)
+	if len(min.Events) > 5 {
+		t.Fatalf("shrunk to %d events, want <= 5:\n%s", len(min.Events), min.Repro())
+	}
+	for _, e := range min.Events {
+		if e.Kind == Burst {
+			t.Errorf("irrelevant burst survived shrinking: %+v", e)
+		}
+	}
+	// The minimal schedule still fails for the same reason, twice.
+	a, b := Run(min), Run(min)
+	if a.Missing == 0 || b.Missing == 0 || a.Missing != b.Missing {
+		t.Fatalf("minimal repro not deterministic: %d vs %d missing", a.Missing, b.Missing)
+	}
+	t.Logf("minimal repro (%d events, %d lost):\n%s", len(min.Events), a.Missing, min.Repro())
+}
+
+// TestChaosGeneratorEnvelope: generated schedules stay inside the
+// documented envelope across a wide seed range.
+func TestChaosGeneratorEnvelope(t *testing.T) {
+	for seed := int64(1); seed <= 2000; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if mc := s.MaxConcurrentFailures(); mc > s.K {
+			t.Fatalf("seed %d: %d concurrent crashes > k=%d", seed, mc, s.K)
+		}
+		if len(s.Events) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		if !reflect.DeepEqual(s, Generate(seed)) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generation envelope (simulated ns). Faults land inside the baseline
+// load window; short crashes and partitions stay far enough under the
+// detection timeout that no failover triggers (the restart-plus-heartbeat
+// gap never exceeds DetectTimeout), and long crashes stay far enough over
+// it that detection is certain.
+const (
+	genFaultStart = 5e6
+	genFaultEnd   = 100e6
+
+	genShortMin = 1e6 // short crash / partition duration
+	genShortMax = 4e6
+
+	genLongMin = 20e6 // restart delay of a long (detected) crash
+	genLongMax = 40e6
+
+	// genSilenceGap separates any two events that can silence a node's
+	// heartbeats (crashes, partitions). Back-to-back silence windows
+	// would merge: a 4e6 partition ending just as another begins looks
+	// to the upstream like 8e6+ of silence and triggers failover of a
+	// live node — a network partition misread as a crash, outside the
+	// fail-stop model §6.3 assumes. Concurrent crash+crash is exempt
+	// (fail-stop holds; only the k budget governs it).
+	genSilenceGap = DetectTimeout + 2*HeartbeatPeriod
+)
+
+// Generate derandomizes a schedule from a single seed: topology size,
+// k-safety level, and 1–4 fault events drawn from the envelope. Crash
+// events are pruned so the schedule never exceeds the k budget — within
+// the envelope, every generated schedule must satisfy all four oracles;
+// budget-exceeding schedules are built explicitly (see the negative
+// control in the tests), never generated.
+func Generate(seed int64) Schedule {
+	r := rand.New(rand.NewSource(seed))
+	s := Schedule{
+		Seed:    seed,
+		Workers: 2 + r.Intn(2), // 2 or 3
+		K:       1 + r.Intn(2), // 1 or 2
+	}
+	nodes := s.Nodes()
+	crashed := map[string]bool{}
+	want := 1 + r.Intn(4)
+	for tries := 0; len(s.Events) < want && tries < want*8; tries++ {
+		var e Event
+		at := genFaultStart + r.Int63n(genFaultEnd-genFaultStart)
+		switch roll := r.Intn(10); {
+		case roll < 2: // short crash: restart before detection
+			e = Event{Kind: Crash, At: at,
+				Dur:  genShortMin + r.Int63n(genShortMax-genShortMin),
+				Node: workerPick(r, s.Workers)}
+		case roll < 4: // long crash: detected failover, maybe permanent
+			e = Event{Kind: Crash, At: at, Node: workerPick(r, s.Workers)}
+			if r.Intn(2) == 0 {
+				e.Dur = genLongMin + r.Int63n(genLongMax-genLongMin)
+			}
+		case roll < 6: // short partition: masked, repaired by gap repair
+			a, b := pairPick(r, nodes)
+			e = Event{Kind: Partition, At: at,
+				Dur: genShortMin + r.Int63n(genShortMax-genShortMin),
+				A:   a, B: b}
+		case roll < 8: // lossy forward link
+			a, b := pairPick(r, nodes)
+			e = Event{Kind: Lossy, At: at,
+				Dur:  5e6 + r.Int63n(25e6),
+				A:    a, B: b,
+				Loss: 0.2 + 0.4*r.Float64()}
+		default: // load burst
+			e = Event{Kind: Burst, At: at,
+				Dur:  5e6 + r.Int63n(15e6),
+				Mult: 2 + r.Intn(3)}
+		}
+		switch e.Kind {
+		case Crash:
+			if crashed[e.Node] {
+				continue // one crash per node keeps incarnations simple
+			}
+			cand := append(append([]Event(nil), s.Events...), e)
+			if (Schedule{Workers: s.Workers, K: s.K, Events: cand}).MaxConcurrentFailures() > s.K {
+				continue // over the k budget: regenerate
+			}
+			if !silenceSeparated(e, s.Events, Partition) {
+				continue
+			}
+			crashed[e.Node] = true
+		case Partition:
+			if !silenceSeparated(e, s.Events, Partition, Crash) {
+				continue
+			}
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s
+}
+
+// silenceWindow returns the conservative interval during which an event
+// can suppress heartbeats or keep the system re-converging.
+func silenceWindow(e Event) (int64, int64) {
+	if e.Kind == Crash {
+		return failureInterval(e)
+	}
+	return e.At, e.At + e.Dur
+}
+
+// silenceSeparated reports whether e's silence window keeps at least
+// genSilenceGap of clearance from every existing event of the listed
+// kinds.
+func silenceSeparated(e Event, events []Event, kinds ...EventKind) bool {
+	s1, e1 := silenceWindow(e)
+	for _, o := range events {
+		match := false
+		for _, k := range kinds {
+			if o.Kind == k {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		s2, e2 := silenceWindow(o)
+		if s1 < e2+genSilenceGap && s2 < e1+genSilenceGap {
+			return false
+		}
+	}
+	return true
+}
+
+// workerPick returns a faultable worker node (never src).
+func workerPick(r *rand.Rand, workers int) string {
+	return fmt.Sprintf("n%d", 1+r.Intn(workers))
+}
+
+// pairPick returns a forward-ordered node pair (a upstream of b in the
+// chain): data flows a -> b, so loss there never starves heartbeats or
+// back channels, which travel b -> a.
+func pairPick(r *rand.Rand, nodes []string) (string, string) {
+	i := r.Intn(len(nodes) - 1)
+	j := i + 1 + r.Intn(len(nodes)-1-i)
+	return nodes[i], nodes[j]
+}

@@ -1,0 +1,305 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/wgen"
+)
+
+// Harness timing constants (simulated ns). The envelope is tuned so that
+// the generated faults are unambiguous: short crashes and partitions end
+// well before the detection timeout (masked faults, repaired by gap
+// repair), long crashes end well after it (failover), and the settle
+// grace after the last fault covers detection, cascaded recovery, replay,
+// and multi-hop gap repair.
+const (
+	FlowPeriod      = 2e6
+	HeartbeatPeriod = 1e6
+	DetectTimeout   = 6e6
+	LinkDelay       = 100_000
+	BoxCost         = 5_000
+
+	// BaseRate is the baseline arrival rate in tuples per simulated
+	// second (one tuple per 100µs).
+	BaseRate = 10_000
+
+	// RecoveryGrace extends a crash's failure interval past its restart
+	// or detection: until failover, replay, and gap repair complete, a
+	// second failure still counts as concurrent for the k budget.
+	RecoveryGrace = 20e6
+
+	// SettleGrace separates the end of the last failure interval from
+	// the tail batch the at-most-once oracle measures.
+	SettleGrace = 40e6
+
+	// DrainTime runs past the last tail arrival before the oracles read
+	// the final state.
+	DrainTime = 200e6
+
+	tailCount = 50
+)
+
+// Result is the outcome of one schedule run, with everything the oracles
+// measured. Violations is empty when every applicable oracle held.
+type Result struct {
+	Schedule      Schedule
+	MaxConcurrent int  // crash-budget actually used
+	BudgetExceeded bool // more concurrent failures than k: loss is allowed
+
+	Ingested  int // tuples offered at the entry (src is never down)
+	Delivered int // distinct ids at the application output
+	Missing   int
+	MissingIDs []int64 // first few missing ids, for diagnostics
+	Dups      int // duplicate deliveries across the whole run
+	TailDups  int // duplicates among the post-settle tail batch
+	TailMissing int
+
+	Crashes    int
+	Recoveries int
+	Resent     uint64 // gap-repair retransmissions
+	Suppressed uint64 // duplicates absorbed by the link filters
+	TruncLeaked int   // truncated tuples whose id never reached the sink
+
+	Violations []string
+}
+
+// Failed reports whether any oracle was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Result) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Run executes one schedule against a fresh cluster and verifies the four
+// oracles. The same schedule always produces the same Result: the
+// simulator's randomness derives from Schedule.Seed and arrivals are
+// generated deterministically.
+func Run(s Schedule) *Result {
+	r := &Result{Schedule: s, MaxConcurrent: s.MaxConcurrentFailures()}
+	r.BudgetExceeded = r.MaxConcurrent > s.K
+	if err := s.Validate(); err != nil {
+		r.violate("invalid schedule: %v", err)
+		return r
+	}
+
+	sim := netsim.New(s.Seed)
+	nodes := s.Nodes()
+	full, assign := buildChain(s.Workers)
+	c, err := core.NewCluster(sim, full, assign, nil, core.Config{
+		K:               s.K,
+		DefaultBoxCost:  BoxCost,
+		FlowPeriod:      FlowPeriod,
+		HeartbeatPeriod: HeartbeatPeriod,
+		DetectTimeout:   DetectTimeout,
+	})
+	if err != nil {
+		r.violate("cluster build: %v", err)
+		return r
+	}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if err := sim.Connect(nodes[i], nodes[j], 0, LinkDelay, 0); err != nil {
+				r.violate("connect: %v", err)
+				return r
+			}
+		}
+	}
+
+	// Sink: count deliveries per id (field A is a unique id). The
+	// simulator is single-threaded, so no locking is needed.
+	seen := map[int64]int{}
+	c.OnOutput(func(_ string, t stream.Tuple, _ int64) {
+		seen[t.Field(0).AsInt()]++
+	})
+
+	// Truncation audit: record the id of every tuple any output log
+	// discards; the truncation-safety oracle checks them against the
+	// sink afterwards. Installed before ingest so every lazily created
+	// log is hooked.
+	truncated := map[int64]bool{}
+	c.SetTruncationAudit(func(_, _ string, dropped []stream.Tuple) {
+		for _, t := range dropped {
+			truncated[t.Field(0).AsInt()] = true
+		}
+	})
+	c.Start()
+
+	// Fault injection.
+	var lastFaultEnd int64
+	for _, e := range s.Events {
+		e := e
+		switch e.Kind {
+		case Crash:
+			r.Crashes++
+			sim.Schedule(e.At, func() { sim.Crash(e.Node) })
+			if e.Dur > 0 {
+				sim.Schedule(e.At+e.Dur, func() { sim.Restart(e.Node) })
+			}
+			_, end := failureInterval(e)
+			if end > lastFaultEnd {
+				lastFaultEnd = end
+			}
+		case Partition:
+			sim.Schedule(e.At, func() { sim.Partition(e.A, e.B, true) })
+			sim.Schedule(e.At+e.Dur, func() { sim.Partition(e.A, e.B, false) })
+		case Lossy:
+			sim.Schedule(e.At, func() { sim.SetLoss(e.A, e.B, e.Loss) })
+			sim.Schedule(e.At+e.Dur, func() { sim.SetLoss(e.A, e.B, 0) })
+		case Burst:
+			// handled by the arrival generator below
+		}
+		if e.Kind != Crash && e.At+e.Dur > lastFaultEnd {
+			lastFaultEnd = e.At + e.Dur
+		}
+	}
+
+	// Baseline load covers every fault window, modulated by the burst
+	// events; the wgen arrival process supplies the base inter-arrival
+	// gap.
+	loadEnd := lastFaultEnd + 10e6
+	if loadEnd < 60e6 {
+		loadEnd = 60e6
+	}
+	arrivals := wgen.NewConstantArrival(BaseRate)
+	ingest := func(at int64, id int64) {
+		sim.Schedule(at, func() {
+			c.Ingest("in", stream.NewTuple(stream.Int(id), stream.Int(id%60)))
+		})
+	}
+	id := int64(0)
+	for at := int64(0); at < loadEnd; {
+		ingest(at, id)
+		id++
+		gap := arrivals.Gap()
+		if m := burstMult(s.Events, at); m > 1 {
+			gap /= m
+		}
+		at += gap
+	}
+
+	// Post-settle tail: the at-most-once oracle's probe. Every fault has
+	// healed (or been recovered) by now, so these must flow end to end
+	// exactly once regardless of what the schedule did earlier.
+	settleStart := loadEnd + SettleGrace
+	if fe := lastFaultEnd + SettleGrace; fe > settleStart {
+		settleStart = fe
+	}
+	tailGap := arrivals.Gap()
+	tailIDs := map[int64]bool{}
+	for i := 0; i < tailCount; i++ {
+		ingest(settleStart+int64(i)*tailGap, id)
+		tailIDs[id] = true
+		id++
+	}
+	r.Ingested = int(id)
+
+	sim.Run(settleStart + int64(tailCount)*tailGap + DrainTime)
+
+	// ---- Oracles ----
+	for want := int64(0); want < id; want++ {
+		switch n := seen[want]; {
+		case n == 0:
+			r.Missing++
+			if len(r.MissingIDs) < 16 {
+				r.MissingIDs = append(r.MissingIDs, want)
+			}
+			if tailIDs[want] {
+				r.TailMissing++
+			}
+		case n > 1:
+			r.Dups += n - 1
+			if tailIDs[want] {
+				r.TailDups += n - 1
+			}
+		}
+	}
+	r.Delivered = len(seen)
+	r.Resent = c.Resent()
+	r.Suppressed = c.DedupDuplicates()
+	r.Recoveries = len(c.Recoveries())
+	for tid := range truncated {
+		if seen[tid] == 0 {
+			r.TruncLeaked++
+		}
+	}
+
+	// Oracle 1 — no loss within the k budget.
+	if !r.BudgetExceeded && r.Missing > 0 {
+		r.violate("no-loss: %d of %d tuples missing (first %v) with %d <= k=%d concurrent failures",
+			r.Missing, r.Ingested, r.MissingIDs, r.MaxConcurrent, s.K)
+	}
+	// Oracle 2 — at-most-once. Crashes may legitimately duplicate
+	// deliveries at the recovery boundary (outputs re-derived in a new
+	// sequence space), but the post-settle tail must arrive exactly
+	// once, and a crash-free schedule must produce no duplicates at all.
+	if r.TailDups > 0 {
+		r.violate("at-most-once: %d duplicate deliveries among the post-settle tail", r.TailDups)
+	}
+	if r.Crashes == 0 && r.Dups > 0 {
+		r.violate("at-most-once: %d duplicates without any crash event", r.Dups)
+	}
+	// Oracle 3 — convergence after heal: the tail drains end to end,
+	// queues empty, loss holes closed, views agree.
+	if r.TailMissing > 0 {
+		r.violate("convergence: %d post-settle tail tuples never delivered", r.TailMissing)
+	}
+	if q := c.QueuedTotal(); q != 0 {
+		r.violate("convergence: %d tuples still queued after drain", q)
+	}
+	if !r.BudgetExceeded {
+		if h := c.DedupHoles(); h != 0 {
+			r.violate("convergence: %d loss holes never repaired", h)
+		}
+	}
+	if err := c.InvariantCheck(); err != nil {
+		r.violate("convergence: %v", err)
+	}
+	// Oracle 4 — truncation safety: every tuple an output log discarded
+	// must have had its effects reach the sink (within budget).
+	if !r.BudgetExceeded && r.TruncLeaked > 0 {
+		r.violate("truncation: %d truncated tuples never reached the output", r.TruncLeaked)
+	}
+	return r
+}
+
+// buildChain constructs the chain query b0 -> ... -> bW of pass-all
+// filters (B is always < 1000) and its one-box-per-node assignment.
+func buildChain(workers int) (*query.Network, map[string]string) {
+	names := make([]string, workers+1)
+	specs := make([]op.Spec, workers+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%d", i)
+		specs[i] = op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}
+	}
+	net := query.NewBuilder("chaos").
+		Chain(names, specs).
+		BindInput("in", chaosSchema, "b0", 0).
+		BindOutput("out", names[workers], 0, nil).
+		MustBuild()
+	assign := map[string]string{names[0]: "src"}
+	for i := 1; i <= workers; i++ {
+		assign[names[i]] = fmt.Sprintf("n%d", i)
+	}
+	return net, assign
+}
+
+var chaosSchema = stream.MustSchema("ab",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+// burstMult returns the arrival-rate multiplier active at time t.
+func burstMult(events []Event, t int64) int64 {
+	m := int64(1)
+	for _, e := range events {
+		if e.Kind == Burst && t >= e.At && t < e.At+e.Dur && int64(e.Mult) > m {
+			m = int64(e.Mult)
+		}
+	}
+	return m
+}

@@ -1,0 +1,221 @@
+// Package chaos is a seed-reproducible fault-injection harness for the §6
+// high-availability machinery. It drives randomized fault schedules — node
+// crashes and restarts, link partitions and heals, lossy links, load
+// bursts — against a core.Cluster running over netsim, and after every
+// schedule machine-verifies four oracles:
+//
+//  1. no loss: with at most k concurrent failures, every ingested tuple
+//     reaches the application output;
+//  2. at-most-once: the duplicate filters admit nothing twice past a
+//     recovery boundary — tuples ingested after the system settles are
+//     delivered exactly once, and schedules with no crash produce no
+//     duplicates at all;
+//  3. convergence: once every fault heals, queues drain, loss holes
+//     close, and the catalog, assignment, and routing views agree;
+//  4. truncation safety: the output logs never discard a tuple whose
+//     effects have not reached the application output.
+//
+// Everything is derandomized from a single int64 seed: the same seed
+// yields the same schedule, the same simulated event order, and the same
+// verdict, so any failure replays exactly. Shrink reduces a failing
+// schedule to a locally minimal reproducer and Repro prints it as
+// runnable Go.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventKind enumerates the fault types a Schedule can inject.
+type EventKind string
+
+const (
+	// Crash takes Node down at At, destroying all volatile state. If
+	// Dur > 0 the node restarts at At+Dur (empty, a fresh incarnation);
+	// Dur == 0 means it stays down forever.
+	Crash EventKind = "crash"
+	// Partition cuts every message between A and B, in both directions,
+	// during [At, At+Dur).
+	Partition EventKind = "partition"
+	// Lossy drops each message from A to B with probability Loss during
+	// [At, At+Dur). The harness only generates the forward data
+	// direction: heartbeats and back channels travel the reverse link
+	// and keep flowing, so loss exercises gap repair, not detection.
+	Lossy EventKind = "lossy"
+	// Burst multiplies the arrival rate by Mult during [At, At+Dur).
+	Burst EventKind = "burst"
+)
+
+// Event is one typed fault at a simulator timestamp. Events are
+// self-contained — the matching restart or heal is folded into Dur — so a
+// shrinker can remove any one of them independently.
+type Event struct {
+	Kind EventKind
+	At   int64 // simulated ns
+	Dur  int64 // duration; see the per-kind semantics above
+	Node string // Crash target
+	A, B string // Partition / Lossy endpoints (A upstream of B for Lossy)
+	Loss float64
+	Mult int
+}
+
+// Schedule is a complete chaos scenario: the topology knobs plus the
+// fault events to inject. The harness builds a chain query b0 -> b1 ->
+// ... -> bW over nodes src, n1, ..., nW (one box each, full-mesh
+// overlay); src hosts the entry box and is never faulted — the data
+// source is the k-safety boundary (§6.2), so faults there are drops at
+// the source, not protocol loss.
+type Schedule struct {
+	Seed    int64
+	Workers int // faultable workers n1..nW downstream of src
+	K       int // k-safety level of the cluster under test
+	Events  []Event
+}
+
+// Nodes returns the topology's node names: src first, then the workers.
+func (s Schedule) Nodes() []string {
+	out := []string{"src"}
+	for i := 1; i <= s.Workers; i++ {
+		out = append(out, fmt.Sprintf("n%d", i))
+	}
+	return out
+}
+
+// Validate rejects schedules outside the harness's envelope.
+func (s Schedule) Validate() error {
+	if s.Workers < 1 || s.Workers > 8 {
+		return fmt.Errorf("chaos: workers = %d, want 1..8", s.Workers)
+	}
+	if s.K < 1 || s.K > s.Workers {
+		return fmt.Errorf("chaos: k = %d, want 1..workers", s.K)
+	}
+	valid := map[string]bool{}
+	for _, n := range s.Nodes() {
+		valid[n] = true
+	}
+	for i, e := range s.Events {
+		if e.At < 0 || e.Dur < 0 {
+			return fmt.Errorf("chaos: event %d: negative time", i)
+		}
+		switch e.Kind {
+		case Crash:
+			if !valid[e.Node] {
+				return fmt.Errorf("chaos: event %d: unknown node %q", i, e.Node)
+			}
+			if e.Node == "src" {
+				return fmt.Errorf("chaos: event %d: src is the k-safety boundary and cannot crash", i)
+			}
+		case Partition, Lossy:
+			if !valid[e.A] || !valid[e.B] || e.A == e.B {
+				return fmt.Errorf("chaos: event %d: bad endpoints %q-%q", i, e.A, e.B)
+			}
+			if e.Dur == 0 {
+				return fmt.Errorf("chaos: event %d: %s needs Dur > 0", i, e.Kind)
+			}
+			if e.Kind == Lossy && (e.Loss <= 0 || e.Loss >= 1) {
+				return fmt.Errorf("chaos: event %d: loss = %v, want (0,1)", i, e.Loss)
+			}
+		case Burst:
+			if e.Mult < 2 || e.Dur == 0 {
+				return fmt.Errorf("chaos: event %d: burst needs Mult >= 2 and Dur > 0", i)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// failureInterval returns the window during which a crash event counts as
+// an outstanding failure for the k budget: from the crash until the
+// system has re-converged — restart (or detection, for a permanent
+// crash) plus the recovery grace covering failover, replay, and gap
+// repair across the chain.
+func failureInterval(e Event) (start, end int64) {
+	down := e.Dur
+	if down == 0 {
+		down = DetectTimeout // permanent: failover takes over at detection
+	}
+	return e.At, e.At + down + RecoveryGrace
+}
+
+// MaxConcurrentFailures returns the largest number of crash events whose
+// failure intervals overlap — the schedule's k budget. Partitions, loss,
+// and bursts destroy no state and do not count.
+func (s Schedule) MaxConcurrentFailures() int {
+	type edge struct {
+		at    int64
+		delta int
+	}
+	var edges []edge
+	for _, e := range s.Events {
+		if e.Kind != Crash {
+			continue
+		}
+		start, end := failureInterval(e)
+		edges = append(edges, edge{start, +1}, edge{end, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // end before start on ties
+	})
+	cur, max := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Repro renders the schedule as a runnable Go literal, for pasting a
+// shrunk failing case straight into a regression test.
+func (s Schedule) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos.Run(chaos.Schedule{\n")
+	fmt.Fprintf(&b, "\tSeed: %d, Workers: %d, K: %d,\n", s.Seed, s.Workers, s.K)
+	if len(s.Events) > 0 {
+		fmt.Fprintf(&b, "\tEvents: []chaos.Event{\n")
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, "\t\t{Kind: chaos.%s, At: %d", kindIdent(e.Kind), e.At)
+			if e.Dur != 0 {
+				fmt.Fprintf(&b, ", Dur: %d", e.Dur)
+			}
+			if e.Node != "" {
+				fmt.Fprintf(&b, ", Node: %q", e.Node)
+			}
+			if e.A != "" {
+				fmt.Fprintf(&b, ", A: %q, B: %q", e.A, e.B)
+			}
+			if e.Loss != 0 {
+				fmt.Fprintf(&b, ", Loss: %v", e.Loss)
+			}
+			if e.Mult != 0 {
+				fmt.Fprintf(&b, ", Mult: %d", e.Mult)
+			}
+			fmt.Fprintf(&b, "},\n")
+		}
+		fmt.Fprintf(&b, "\t},\n")
+	}
+	fmt.Fprintf(&b, "})")
+	return b.String()
+}
+
+func kindIdent(k EventKind) string {
+	switch k {
+	case Crash:
+		return "Crash"
+	case Partition:
+		return "Partition"
+	case Lossy:
+		return "Lossy"
+	case Burst:
+		return "Burst"
+	}
+	return string(k)
+}

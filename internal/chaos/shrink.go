@@ -1,0 +1,35 @@
+package chaos
+
+// Shrink reduces a failing schedule to a 1-minimal reproducer: it
+// repeatedly removes single events while the schedule still fails, until
+// no single removal preserves the failure. Events are self-contained
+// (restarts and heals are folded into Dur), so any subset of them is a
+// valid schedule and the verdict of the pruned schedule is still
+// deterministic — the printed Repro of the result replays exactly.
+//
+// failing must be a pure predicate of the schedule (typically
+// func(s Schedule) bool { return Run(s).Failed() }, or a sharper check
+// pinned to the original violation). If the input does not fail, it is
+// returned unchanged.
+func Shrink(s Schedule, failing func(Schedule) bool) Schedule {
+	if !failing(s) {
+		return s
+	}
+	for {
+		removed := false
+		for i := 0; i < len(s.Events); i++ {
+			cand := s
+			cand.Events = make([]Event, 0, len(s.Events)-1)
+			cand.Events = append(cand.Events, s.Events[:i]...)
+			cand.Events = append(cand.Events, s.Events[i+1:]...)
+			if failing(cand) {
+				s = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return s
+		}
+	}
+}

@@ -105,6 +105,10 @@ type Cluster struct {
 	recoveries []Recovery
 	started    bool
 
+	resent     uint64 // tuples retransmitted by gap repair
+	entryDrops uint64 // tuples offered while their entry node was down
+	truncAudit func(node, label string, dropped []stream.Tuple)
+
 	// load daemon state
 	lastBusy map[string]int64
 	lastAt   map[string]int64
@@ -162,6 +166,19 @@ func NewCluster(sim *netsim.Sim, full *query.Network, assign, entryAt map[string
 		}
 	}
 	sort.Strings(c.nodeIDs)
+	// A crash destroys volatile state the instant it happens: engines,
+	// output logs, dedup filters, and detector state are gone, so a later
+	// restart cannot resurrect pre-crash memory.
+	sim.OnFault(func(ev netsim.FaultEvent) {
+		if n, ok := c.nodes[ev.A]; ok {
+			switch ev.Kind {
+			case netsim.FaultCrash:
+				n.loseVolatileState()
+			case netsim.FaultRestart:
+				c.handleRestart(ev.A)
+			}
+		}
+	})
 	if err := c.install(part); err != nil {
 		return nil, err
 	}
@@ -326,6 +343,14 @@ func (c *Cluster) Ingest(input string, t stream.Tuple) error {
 	if !ok {
 		return fmt.Errorf("core: unknown input %q", input)
 	}
+	if c.sim.Down(entry) {
+		// The data source is talking to a dead server: the tuple never
+		// enters the system. Counted so loss accounting can attribute it
+		// to the source rather than to the HA protocol (the source itself
+		// is the k-safety boundary).
+		c.entryDrops++
+		return nil
+	}
 	if t.TS == 0 {
 		t.TS = c.sim.Now()
 	}
@@ -340,6 +365,47 @@ func (c *Cluster) Ingest(input string, t stream.Tuple) error {
 	}
 	size := transport.EncodedSize(transport.Msg{Stream: input, Tuples: []stream.Tuple{t}})
 	return c.sim.Send(entry, owner, size, tupleBatch{Label: input, Tuples: []stream.Tuple{t}})
+}
+
+// handleRestart re-integrates a node that comes back up as a fresh
+// incarnation. If its pieces were already adopted elsewhere (a crash
+// longer than the detection timeout) no labels reference it and it rejoins
+// as an idle spare. If the crash was shorter than detection, the labels
+// still route through it and its neighbors must realign:
+//
+//   - receivers of labels it sends reset their duplicate filters and
+//     dependency history — the node's logs restarted at sequence 1;
+//   - for labels it receives, its fresh duplicate filter is seeded at the
+//     surviving sender's truncation point, so the already-safe prefix is
+//     not mistaken for loss holes; the sender's gap repair then
+//     retransmits the retained suffix, which regenerates the lost state
+//     (dependency chaining guarantees the truncated prefix's effects
+//     already live beyond this node).
+func (c *Cluster) handleRestart(id string) {
+	rn := c.nodes[id]
+	for label, src := range c.labelSrc {
+		dest := c.labelDest[label]
+		if src == id && dest != id {
+			dn := c.nodes[dest]
+			dn.dedupFor(label).Reset()
+			if h := dn.hostForInput(label); h != nil {
+				h.dep.ResetLink(label)
+			}
+		}
+		if dest == id && src != id && !c.sim.Down(src) {
+			if l, ok := c.nodes[src].logs[label]; ok {
+				base := l.NextSeq() - 1
+				if ts := l.Replay(); len(ts) > 0 {
+					base = ts[0].Seq - 1
+				}
+				rn.dedupFor(label).Seed(base)
+			}
+		}
+	}
+	// Resume watching downstream neighbors (the detector restarted empty).
+	for _, down := range c.downstreamsOf(id) {
+		rn.det.Watch(down, c.sim.Now())
+	}
 }
 
 // recover is the §6.3 failover: the backup (an upstream neighbor of the
@@ -366,11 +432,15 @@ func (c *Cluster) recover(failed, detector string) {
 	fn := c.nodes[failed]
 
 	// Adopt the failed node's hosted pieces (fresh engines; lost state is
-	// regenerated by replay).
+	// regenerated by replay), and move their boxes in the assignment so
+	// later redeployments and the catalog agree on where they run.
 	for owner, h := range fn.hosts {
 		if err := an.addHost(owner, h.piece); err != nil {
 			// Already hosted (double-failure edge); skip.
 			continue
+		}
+		for _, b := range h.piece.Boxes() {
+			c.assign[b] = adopter
 		}
 	}
 	fn.hosts = map[string]*engineHost{}
@@ -389,9 +459,17 @@ func (c *Cluster) recover(failed, detector string) {
 		if src == failed {
 			c.labelSrc[label] = adopter
 			// The new sender incarnation restarts its link sequence
-			// space; receivers must accept it.
+			// space; receivers must accept it — and must also forget the
+			// dead incarnation's dependency history: a stale safe point
+			// from the old sequence space would truncate the new
+			// producer's fresh log below tuples a further failure could
+			// still need.
 			if dest := c.labelDest[label]; dest != adopter {
-				c.nodes[dest].dedupFor(label).Reset()
+				dn := c.nodes[dest]
+				dn.dedupFor(label).Reset()
+				if h := dn.hostForInput(label); h != nil {
+					h.dep.ResetLink(label)
+				}
 			}
 		}
 	}
@@ -421,6 +499,15 @@ func (c *Cluster) recover(failed, detector string) {
 				continue
 			}
 			tuples := log.Replay()
+			// Seed the adopter's fresh duplicate filter at the log's
+			// truncation point: the truncated prefix is already safe
+			// downstream and will never be sent again, so it must not
+			// register as loss holes when the suffix arrives.
+			base := log.NextSeq() - 1
+			if len(tuples) > 0 {
+				base = tuples[0].Seq - 1
+			}
+			an.dedupFor(label).Seed(base)
 			if len(tuples) == 0 {
 				continue
 			}
@@ -503,6 +590,7 @@ func (c *Cluster) Redeploy(newAssign map[string]string) error {
 		n.order = nil
 		n.logs = map[string]*ha.OutputLog{}
 		n.dedup = map[string]*ha.Dedup{}
+		n.recvSeen = map[string]uint64{}
 	}
 	c.assign = cloneMap(newAssign)
 	if err := c.install(part); err != nil {

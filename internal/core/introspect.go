@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Introspection accessors for invariant checking. The chaos harness
+// (internal/chaos) drives randomized fault schedules against a Cluster and
+// uses these to verify, after every schedule, that the §6 HA machinery
+// held: no loss within the k-safety budget, at-most-once delivery past
+// recovery boundaries, convergence of the catalog/assignment/routing
+// views, and truncation safety of the output logs.
+
+// Resent returns how many tuples the gap-repair path retransmitted from
+// retained output logs (lossy links, short partitions).
+func (c *Cluster) Resent() uint64 { return c.resent }
+
+// EntryDrops returns how many tuples were offered to Ingest while their
+// entry node was down — losses attributable to the data source, outside
+// the k-safety boundary.
+func (c *Cluster) EntryDrops() uint64 { return c.entryDrops }
+
+// Dropped returns how many tuples arrived at a node with no hosting
+// engine to consume them (stale routes during failover windows).
+func (c *Cluster) Dropped(node string) uint64 { return c.nodes[node].dropped }
+
+// DedupDuplicates sums the duplicate deliveries suppressed across every
+// node and incoming link — replay and retransmission overlap that the
+// at-most-once filter absorbed.
+func (c *Cluster) DedupDuplicates() uint64 {
+	var total uint64
+	for _, nid := range c.nodeIDs {
+		for _, d := range c.nodes[nid].dedup {
+			total += d.Duplicates()
+		}
+	}
+	return total
+}
+
+// DedupHoles sums the outstanding loss holes across every incoming link.
+// Nonzero after the system settles means a dropped tuple was never
+// retransmitted.
+func (c *Cluster) DedupHoles() int {
+	total := 0
+	for _, nid := range c.nodeIDs {
+		for _, d := range c.nodes[nid].dedup {
+			total += d.Holes()
+		}
+	}
+	return total
+}
+
+// QueuedTotal sums the tuples waiting across all alive nodes' engines.
+func (c *Cluster) QueuedTotal() int {
+	total := 0
+	for _, nid := range c.nodeIDs {
+		if c.sim.Down(nid) {
+			continue
+		}
+		total += c.nodes[nid].queued()
+	}
+	return total
+}
+
+// SetTruncationAudit installs a hook receiving every tuple any output log
+// discards, with the owning node and label. Install it before ingesting:
+// logs are created lazily and only logs created after the call are
+// audited. The truncation-safety oracle asserts the audited tuples'
+// effects all reached the application output.
+func (c *Cluster) SetTruncationAudit(fn func(node, label string, dropped []stream.Tuple)) {
+	c.truncAudit = fn
+	for _, nid := range c.nodeIDs {
+		n := c.nodes[nid]
+		for label, l := range n.logs {
+			nid, lb := n.id, label
+			l.SetOnTruncate(func(ts []stream.Tuple) { c.truncAudit(nid, lb, ts) })
+		}
+	}
+}
+
+// InvariantCheck verifies the cluster's structural consistency — the
+// convergence oracle's machine-checkable half. It must hold whenever no
+// failure is pending recovery:
+//
+//   - every assigned box is hosted by exactly one node, that node is up,
+//     and the box-to-node assignment agrees with the hosting;
+//   - the shared catalog's piece locations agree with the hosting;
+//   - every cross-link label routes between up nodes and its destination
+//     hosts an engine consuming it;
+//   - no duplicate filter has admitted a sequence its upstream's log
+//     never stamped (stale-incarnation state leaking across a failover).
+func (c *Cluster) InvariantCheck() error {
+	// Box hosting vs assignment.
+	boxHost := map[string]string{}
+	for _, nid := range c.nodeIDs {
+		n := c.nodes[nid]
+		for _, owner := range n.order {
+			for _, b := range n.hosts[owner].piece.Boxes() {
+				if prev, dup := boxHost[b]; dup {
+					return fmt.Errorf("box %s hosted on both %s and %s", b, prev, nid)
+				}
+				boxHost[b] = nid
+			}
+		}
+	}
+	boxes := make([]string, 0, len(c.assign))
+	for b := range c.assign {
+		boxes = append(boxes, b)
+	}
+	sort.Strings(boxes)
+	for _, b := range boxes {
+		host, ok := boxHost[b]
+		if !ok {
+			return fmt.Errorf("box %s assigned to %s but hosted nowhere", b, c.assign[b])
+		}
+		if host != c.assign[b] {
+			return fmt.Errorf("box %s hosted on %s but assigned to %s", b, host, c.assign[b])
+		}
+		if c.sim.Down(host) {
+			return fmt.Errorf("box %s hosted on down node %s", b, host)
+		}
+		delete(boxHost, b)
+	}
+	for b, host := range boxHost {
+		return fmt.Errorf("box %s hosted on %s but absent from the assignment", b, host)
+	}
+
+	// Catalog agreement.
+	catBoxes := map[string]string{}
+	for _, p := range c.cat.Pieces(c.full.Name()) {
+		for _, b := range p.Boxes {
+			catBoxes[b] = p.Node
+		}
+	}
+	for _, b := range boxes {
+		if catBoxes[b] != c.assign[b] {
+			return fmt.Errorf("catalog places box %s on %q, assignment on %q",
+				b, catBoxes[b], c.assign[b])
+		}
+	}
+
+	// Label routing.
+	labels := make([]string, 0, len(c.labelDest))
+	for label := range c.labelDest {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		dest := c.labelDest[label]
+		if c.sim.Down(dest) {
+			return fmt.Errorf("label %s routes to down node %s", label, dest)
+		}
+		if c.nodes[dest].hostForInput(label) == nil {
+			return fmt.Errorf("label %s routes to %s, which hosts no consumer", label, dest)
+		}
+		if src, ok := c.labelSrc[label]; ok && c.sim.Down(src) {
+			return fmt.Errorf("label %s sourced at down node %s", label, src)
+		}
+	}
+
+	// Per-link sequence sanity.
+	for _, label := range labels {
+		src, ok := c.labelSrc[label]
+		if !ok {
+			continue
+		}
+		dest := c.labelDest[label]
+		l, haveLog := c.nodes[src].logs[label]
+		d, haveDedup := c.nodes[dest].dedup[label]
+		if !haveDedup {
+			continue
+		}
+		if !haveLog {
+			if d.Last() > 0 {
+				return fmt.Errorf("label %s: receiver admitted seq %d but sender %s has no log",
+					label, d.Last(), src)
+			}
+			continue
+		}
+		if d.Last() > l.NextSeq()-1 {
+			return fmt.Errorf("label %s: receiver admitted seq %d beyond sender's last stamped %d",
+				label, d.Last(), l.NextSeq()-1)
+		}
+	}
+	return nil
+}

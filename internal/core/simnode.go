@@ -22,9 +22,14 @@ type tupleBatch struct {
 
 // backChannel carries truncation checkpoints upstream: for each label the
 // receiver consumes from the sender, the link seq below which the sender
-// may truncate its output queue (§6.2).
+// may truncate its output queue (§6.2). Recv additionally reports the
+// highest link seq below which the receiver has a complete prefix; the
+// upstream compares it against its output log and retransmits anything
+// beyond — gap repair for lossy or briefly partitioned links, with the
+// upstream-backup queue doubling as the retransmission buffer.
 type backChannel struct {
 	SafeSeqs map[string]uint64
+	Recv     map[string]uint64
 }
 
 // heartbeat is the §6.3 liveness signal a server sends to its upstream
@@ -69,6 +74,13 @@ type SimNode struct {
 	outbox  []outboxEntry
 	busyNs  int64 // accumulated processing time, for utilization
 	dropped uint64
+
+	// recvSeen holds, per outgoing label, the receiver's complete-prefix
+	// seq from its previous back channel. A resend is triggered only when
+	// the reported value is stuck across two consecutive reports while the
+	// log holds newer tuples: one flow period exceeds the link round trip,
+	// so a stuck prefix means loss, not tuples still in flight.
+	recvSeen map[string]uint64
 }
 
 type outboxEntry struct {
@@ -78,14 +90,48 @@ type outboxEntry struct {
 
 func newSimNode(c *Cluster, id string) *SimNode {
 	return &SimNode{
-		c:     c,
-		id:    id,
-		clock: engine.NewVirtualClock(0),
-		hosts: map[string]*engineHost{},
-		logs:  map[string]*ha.OutputLog{},
-		dedup: map[string]*ha.Dedup{},
-		det:   ha.NewDetector(c.cfg.DetectTimeout),
+		c:        c,
+		id:       id,
+		clock:    engine.NewVirtualClock(0),
+		hosts:    map[string]*engineHost{},
+		logs:     map[string]*ha.OutputLog{},
+		dedup:    map[string]*ha.Dedup{},
+		det:      ha.NewDetector(c.cfg.DetectTimeout),
+		recvSeen: map[string]uint64{},
 	}
+}
+
+// loseVolatileState models what a crash destroys: engine state, output
+// logs, dedup filters, dependency trackers, pending outbox, and detector
+// state all vanish; only the piece definitions survive (they live in the
+// shared catalog, §4.1, and recovery reads them from here). The Cluster
+// invokes it from the simulator's fault hook the instant a node crashes,
+// so a later restart resumes from genuinely empty state rather than
+// resurrecting pre-crash memory.
+func (n *SimNode) loseVolatileState() {
+	for owner, h := range n.hosts {
+		eng, err := engine.New(h.piece, engine.Config{
+			Clock:          n.clock,
+			Scheduler:      n.c.newScheduler(),
+			MemoryBudget:   n.c.cfg.MemoryBudget,
+			DefaultBoxCost: n.c.cfg.DefaultBoxCost,
+			BoxCosts:       n.c.cfg.BoxCosts,
+		})
+		if err != nil {
+			continue // piece built once already; cannot fail again
+		}
+		nh := &engineHost{owner: owner, piece: h.piece, eng: eng, dep: ha.NewDepTracker()}
+		eng.OnOutput(func(name string, t stream.Tuple) { n.onEngineOutput(nh, name, t) })
+		n.hosts[owner] = nh
+	}
+	n.outbox = n.outbox[:0]
+	n.logs = map[string]*ha.OutputLog{}
+	n.dedup = map[string]*ha.Dedup{}
+	n.recvSeen = map[string]uint64{}
+	n.localSeq = 0
+	// A fresh detector: the restarted node must not act on stale
+	// last-seen times and declare still-alive neighbors failed.
+	n.det = ha.NewDetector(n.c.cfg.DetectTimeout)
 }
 
 // addHost instantiates a piece's engine on this node.
@@ -148,6 +194,10 @@ func (n *SimNode) log(label string) *ha.OutputLog {
 	l, ok := n.logs[label]
 	if !ok {
 		l = ha.NewOutputLog()
+		if n.c.truncAudit != nil {
+			nid, lb := n.id, label
+			l.SetOnTruncate(func(ts []stream.Tuple) { n.c.truncAudit(nid, lb, ts) })
+		}
 		n.logs[label] = l
 	}
 	return l
@@ -173,6 +223,7 @@ func (n *SimNode) onMessage(from string, payload any, _ int) {
 				l.Truncate(safe)
 			}
 		}
+		n.gapRepair(from, m.Recv)
 	case heartbeat:
 		n.det.Heartbeat(from, n.c.sim.Now())
 	case flowQuery:
@@ -181,9 +232,54 @@ func (n *SimNode) onMessage(from string, payload any, _ int) {
 		if n.c.sim.Down(n.id) {
 			return
 		}
-		if safe := n.safeSeqs()[from]; len(safe) > 0 {
-			n.c.sim.Send(n.id, from, 64, backChannel{SafeSeqs: safe})
+		if bc, ok := n.safeSeqs()[from]; ok && (len(bc.SafeSeqs) > 0 || len(bc.Recv) > 0) {
+			n.c.sim.Send(n.id, from, 64, bc)
 		}
+	}
+}
+
+// gapRepair retransmits log suffixes a downstream reports missing. recv
+// maps each label to the downstream's complete-prefix seq; when it is
+// stuck across two consecutive reports while the log has stamped newer
+// sequences, the gap is loss (not flight time) and the retained suffix
+// beyond the prefix is resent. Duplicates from the overlap are suppressed
+// by the receiver's Dedup.
+func (n *SimNode) gapRepair(from string, recv map[string]uint64) {
+	labels := make([]string, 0, len(recv))
+	for label := range recv {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		r := recv[label]
+		if l, ok := n.logs[label]; ok {
+			// Record the downstream's complete prefix as "received there":
+			// for k = 1, effects recorded at one downstream server release
+			// this node's own dependency on the corresponding inputs.
+			l.SetReceived(r)
+		}
+		prev, seen := n.recvSeen[label]
+		n.recvSeen[label] = r
+		if !seen || prev != r {
+			continue // first report, or still advancing: give flight time
+		}
+		l, ok := n.logs[label]
+		if !ok || l.NextSeq()-1 <= r {
+			continue // nothing beyond the receiver's prefix
+		}
+		// Only resend while the label still routes to the reporter — a
+		// failover may have moved the consumer since the report was sent.
+		if n.c.labelSrc[label] != n.id || n.c.labelDest[label] != from {
+			continue
+		}
+		tuples := l.ReplayFrom(r)
+		if len(tuples) == 0 {
+			continue // the missing range was truncated as safe elsewhere
+		}
+		n.c.resent += uint64(len(tuples))
+		batch := tupleBatch{Label: label, Tuples: tuples}
+		size := transport.EncodedSize(transport.Msg{Stream: label, Tuples: tuples})
+		n.c.sim.Send(n.id, from, size, batch)
 	}
 }
 
@@ -355,9 +451,33 @@ func (n *SimNode) dependency() (uint64, bool) {
 	for _, e := range n.outbox {
 		note(e.t.Seq, true)
 	}
-	if n.c.cfg.K >= 2 {
-		for _, l := range n.logs {
-			note(l.EarliestOrigin())
+	// Unacknowledged own output counts toward the dependency for every
+	// K >= 1: acking an input upstream while its results exist only in
+	// this node's volatile output log would let the upstream truncate
+	// tuples a single crash here can still lose (the output log and any
+	// in-flight batch vanish with the node).
+	//
+	// The depth of the chain is the k knob (§6.2): at k = 1, an input is
+	// safe once its effects are recorded at one downstream server — the
+	// back channel's complete-prefix report marks the received prefix, and
+	// only the unreceived suffix still holds the input hostage. At k >= 2
+	// the full retained log counts, chaining the low-water mark hop by hop
+	// so the effects survive deeper concurrent failures.
+	if n.c.cfg.K >= 1 {
+		for label, l := range n.logs {
+			if n.c.labelSrc[label] == n.id && n.c.labelDest[label] == n.id {
+				// Self-link (producer and consumer co-located after an
+				// adoption): the log's contents die with this node, so
+				// retaining them protects nothing — and counting them
+				// here would deadlock truncation, since the self-ack
+				// would wait on its own low-water mark.
+				continue
+			}
+			if n.c.cfg.K == 1 {
+				note(l.EarliestOriginUnreceived())
+			} else {
+				note(l.EarliestOrigin())
+			}
 		}
 	}
 	return min, found
@@ -366,15 +486,32 @@ func (n *SimNode) dependency() (uint64, bool) {
 // safeSeqs computes this node's per-link truncation points and directly
 // truncates the logs of self-links — labels this node both produces and
 // consumes after an adoption. The remaining entries are grouped by
-// upstream node for the back channel.
-func (n *SimNode) safeSeqs() map[string]map[string]uint64 {
+// upstream node for the back channel, together with each incoming label's
+// complete-prefix seq (the gap-repair signal).
+func (n *SimNode) safeSeqs() map[string]backChannel {
 	dep, has := n.dependency()
-	perUpstream := map[string]map[string]uint64{}
+	perUpstream := map[string]backChannel{}
+	get := func(src string) backChannel {
+		bc, ok := perUpstream[src]
+		if !ok {
+			bc = backChannel{SafeSeqs: map[string]uint64{}, Recv: map[string]uint64{}}
+			perUpstream[src] = bc
+		}
+		return bc
+	}
 	for _, h := range n.hosts {
 		for label, safe := range h.dep.SafeSeqs(dep, has) {
 			src, ok := n.c.labelSrc[label]
 			if !ok {
 				continue
+			}
+			// Never declare safe beyond the complete prefix: a loss hole
+			// below the high-water mark was never ingressed, and the
+			// upstream must keep holding it for retransmission.
+			if d, have := n.dedup[label]; have {
+				if cr := d.ContiguousRecv() + 1; safe > cr {
+					safe = cr
+				}
 			}
 			if src == n.id {
 				if l, ok := n.logs[label]; ok {
@@ -382,12 +519,19 @@ func (n *SimNode) safeSeqs() map[string]map[string]uint64 {
 				}
 				continue
 			}
-			m, ok := perUpstream[src]
-			if !ok {
-				m = map[string]uint64{}
-				perUpstream[src] = m
-			}
-			m[label] = safe
+			get(src).SafeSeqs[label] = safe
+		}
+	}
+	// Report the complete prefix for every remote incoming label — even
+	// ones with no new safe point, and even before the first arrival (a
+	// fully lost head shows up as a prefix stuck at zero), so the
+	// upstream's gap repair has a signal to compare against.
+	for label, dest := range n.c.labelDest {
+		if dest != n.id {
+			continue
+		}
+		if src := n.c.labelSrc[label]; src != n.id {
+			get(src).Recv[label] = n.dedupFor(label).ContiguousRecv()
 		}
 	}
 	return perUpstream
@@ -400,8 +544,11 @@ func (n *SimNode) flowTick() {
 	if n.c.sim.Down(n.id) {
 		return
 	}
-	for up, safeSeqs := range n.safeSeqs() {
-		n.c.sim.Send(n.id, up, 64, backChannel{SafeSeqs: safeSeqs})
+	for up, bc := range n.safeSeqs() {
+		if len(bc.SafeSeqs) == 0 && len(bc.Recv) == 0 {
+			continue
+		}
+		n.c.sim.Send(n.id, up, 64, bc)
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package exp implements the experiment harness: one function per
-// experiment in EXPERIMENTS.md (E01..E15), each regenerating the
+// experiment in EXPERIMENTS.md (E01..E16), each regenerating the
 // corresponding figure of the paper as a printed table. The functions are
 // shared by the root bench suite (bench_test.go) and cmd/benchrunner.
 package exp
@@ -105,6 +105,7 @@ func Registry() []Experiment {
 		{"E13", "split predicate policies", E13Predicates},
 		{"E14", "medusa economy", E14Economy},
 		{"E15", "remote definition", E15RemoteDefinition},
+		{"E16", "chaos fault schedules", E16Chaos},
 		{"A01", "ablation: detection timeout", A01Detection},
 		{"A02", "ablation: flow-message period", A02FlowPeriod},
 	}

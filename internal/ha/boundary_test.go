@@ -1,0 +1,162 @@
+package ha
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestOutputLogReplayFrom(t *testing.T) {
+	l := NewOutputLog()
+	for i := int64(1); i <= 10; i++ {
+		l.Append(tup(i))
+	}
+	l.Truncate(4) // retained: seqs 4..10
+	cases := []struct {
+		after     uint64
+		wantFirst uint64
+		wantN     int
+	}{
+		{0, 4, 7},  // everything retained
+		{3, 4, 7},  // boundary just below the retained head
+		{4, 5, 6},  // mid
+		{9, 10, 1}, // only the tail
+		{10, 0, 0}, // receiver has everything
+		{99, 0, 0}, // stale report beyond the log: nothing to resend
+	}
+	for _, c := range cases {
+		got := l.ReplayFrom(c.after)
+		if len(got) != c.wantN {
+			t.Errorf("ReplayFrom(%d) len = %d, want %d", c.after, len(got), c.wantN)
+			continue
+		}
+		if c.wantN > 0 && got[0].Seq != c.wantFirst {
+			t.Errorf("ReplayFrom(%d) first seq = %d, want %d", c.after, got[0].Seq, c.wantFirst)
+		}
+	}
+}
+
+func TestOutputLogTruncateAudit(t *testing.T) {
+	l := NewOutputLog()
+	var seen []uint64
+	l.SetOnTruncate(func(dropped []stream.Tuple) {
+		for _, tp := range dropped {
+			seen = append(seen, tp.Seq)
+		}
+		// The hook runs outside the lock: the log is inspectable.
+		_ = l.Len()
+	})
+	for i := int64(1); i <= 6; i++ {
+		l.Append(tup(i))
+	}
+	l.Truncate(3)
+	l.Truncate(3) // no-op: nothing newly below the checkpoint
+	l.Truncate(5)
+	want := []uint64{1, 2, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("audited seqs = %v, want %v", seen, want)
+	}
+	for i, s := range want {
+		if seen[i] != s {
+			t.Fatalf("audited seqs = %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestDedupHoles: a sequence gap (lossy link) opens holes; the
+// retransmitted tuple is admitted exactly once, and ContiguousRecv only
+// advances past the gap once it is filled — the back-channel gap-repair
+// signal.
+func TestDedupHoles(t *testing.T) {
+	var d Dedup
+	for _, s := range []uint64{1, 2} {
+		if !d.Admit(s) {
+			t.Fatalf("seq %d rejected", s)
+		}
+	}
+	// 3 and 4 are lost; 5 and 6 arrive above the gap.
+	if !d.Admit(5) || !d.Admit(6) {
+		t.Fatal("seqs above a gap must be admitted")
+	}
+	if got := d.ContiguousRecv(); got != 2 {
+		t.Errorf("ContiguousRecv = %d, want 2 (holes at 3,4)", got)
+	}
+	if d.Holes() != 2 {
+		t.Errorf("Holes = %d, want 2", d.Holes())
+	}
+	// Retransmission fills hole 3; 5 is a genuine duplicate.
+	if !d.Admit(3) {
+		t.Error("retransmitted hole seq 3 rejected")
+	}
+	if d.Admit(5) {
+		t.Error("duplicate seq 5 admitted")
+	}
+	if got := d.ContiguousRecv(); got != 3 {
+		t.Errorf("ContiguousRecv = %d, want 3 (hole at 4 remains)", got)
+	}
+	if !d.Admit(4) {
+		t.Error("retransmitted hole seq 4 rejected")
+	}
+	if got := d.ContiguousRecv(); got != 6 {
+		t.Errorf("ContiguousRecv = %d, want 6 after all holes filled", got)
+	}
+	if d.Admit(4) {
+		t.Error("second retransmission of 4 admitted twice")
+	}
+	if d.Duplicates() != 2 {
+		t.Errorf("Duplicates = %d, want 2", d.Duplicates())
+	}
+	d.Reset()
+	if d.Last() != 0 || d.Holes() != 0 {
+		t.Error("Reset must clear high-water mark and holes")
+	}
+}
+
+// TestDepTrackerOutOfOrderIngress: a hole-filling tuple is admitted late
+// (high local seq, low link seq). The safe point must stay below its link
+// seq while the node still depends on it — the "min still-needed" rule —
+// even though the pair list is no longer monotone in link seq.
+func TestDepTrackerOutOfOrderIngress(t *testing.T) {
+	d := NewDepTracker()
+	d.NoteIngress("u", 4, 100)
+	d.NoteIngress("u", 6, 101) // 5 was lost, admitted above the gap
+	d.NoteIngress("u", 5, 102) // retransmission fills the hole late
+	// Everything from local 101 up is still needed: link 5 (local 102) is
+	// among them, so upstream may truncate only below min(6,5) = 5.
+	safe := d.SafeSeqs(101, true)
+	if safe["u"] != 5 {
+		t.Errorf("safe = %d, want 5 (link 5 still needed)", safe["u"])
+	}
+	// Once the dependency clears everything, all of it is safe.
+	safe = d.SafeSeqs(103, true)
+	if safe["u"] != 7 {
+		t.Errorf("safe = %d, want 7", safe["u"])
+	}
+}
+
+func TestDepTrackerResetLink(t *testing.T) {
+	d := NewDepTracker()
+	d.NoteIngress("u1", 10, 100)
+	d.NoteIngress("u2", 20, 101)
+	// Establish a safe point for u1 so lastSafe is populated.
+	safe := d.SafeSeqs(101, true)
+	if safe["u1"] != 11 {
+		t.Fatalf("u1 safe = %d, want 11", safe["u1"])
+	}
+	d.ResetLink("u1")
+	// After the reset the dead incarnation's safe point must not be
+	// repeated: a stale checkpoint would truncate the new producer's log.
+	safe = d.SafeSeqs(101, true)
+	if _, ok := safe["u1"]; ok {
+		t.Errorf("reset link still reports a safe seq: %v", safe)
+	}
+	if got := d.Links(); len(got) != 1 || got[0] != "u2" {
+		t.Errorf("links after reset = %v", got)
+	}
+	// The new incarnation starts a fresh pair history from scratch.
+	d.NoteIngress("u1", 1, 102)
+	safe = d.SafeSeqs(103, true)
+	if safe["u1"] != 2 {
+		t.Errorf("new incarnation safe = %d, want 2", safe["u1"])
+	}
+}

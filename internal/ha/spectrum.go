@@ -61,11 +61,12 @@ func (s Spectrum) At(k int) (Point, error) {
 	}
 	boundaries := int64(k - 1)
 	msgs := int64(s.N)*boundaries + int64(s.N/s.FlowPeriod)
-	// Per-VM backlog between truncations: FlowPeriod tuples total spread
-	// over k segments; each must be re-run through Boxes/k operators.
-	backlogPerVM := (s.FlowPeriod + k - 1) / k
-	segLen := (s.Boxes + k - 1) / k
-	redone := int64(k) * int64(backlogPerVM) * int64(segLen)
+	// Per-VM backlog between truncations: FlowPeriod tuples spread over
+	// the k VMs, each re-run through its own Boxes/k segment. The expected
+	// total is sum_i backlog_i * segLen_i = FlowPeriod * Boxes / k
+	// (rounded up), strictly decreasing in k — the monotone end of the
+	// §6.4 tradeoff.
+	redone := (int64(s.FlowPeriod)*int64(s.Boxes) + int64(k) - 1) / int64(k)
 	return Point{
 		K:               k,
 		RuntimeMessages: msgs,

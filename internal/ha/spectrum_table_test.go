@@ -1,0 +1,133 @@
+package ha
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSpectrumTable walks the §6.4 recovery spectrum end to end with
+// table-driven configurations: from the amnesia-like end (huge FlowPeriod,
+// K=1 — cheapest at run time, most redone work on recovery) through
+// k-safe upstream backup to per-box virtual machines (most runtime
+// messages, least redone work). Each case pins the exact model outputs so
+// regressions in the cost formulas are caught, not just the shape.
+func TestSpectrumTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		s        Spectrum
+		k        int
+		wantMsgs int64
+		wantRedo int64
+		wantTime int64
+	}{
+		{
+			// FlowPeriod == N: checkpoints effectively never happen inside
+			// the interval — the amnesia end of the spectrum. One flow
+			// message total, and recovery redoes the entire interval
+			// through the whole chain.
+			name: "amnesia-like (FlowPeriod=N, K=1)",
+			s:    Spectrum{Boxes: 4, N: 1000, FlowPeriod: 1000, BoxCost: 10},
+			k:    1, wantMsgs: 1, wantRedo: 4000, wantTime: 40000,
+		},
+		{
+			// Classic upstream backup: frequent flow messages, no internal
+			// VM boundaries.
+			name: "upstream backup (K=1)",
+			s:    Spectrum{Boxes: 4, N: 1000, FlowPeriod: 100, BoxCost: 10},
+			k:    1, wantMsgs: 10, wantRedo: 400, wantTime: 4000,
+		},
+		{
+			// Two VMs: one internal boundary replicates every tuple; each
+			// VM redoes half the backlog through half the chain.
+			name: "two VMs (K=2)",
+			s:    Spectrum{Boxes: 4, N: 1000, FlowPeriod: 100, BoxCost: 10},
+			k:    2, wantMsgs: 1010, wantRedo: 200, wantTime: 2000,
+		},
+		{
+			// Process-pair-like: a boundary at every box. Redo shrinks to
+			// the per-box backlog, runtime messages dominate.
+			name: "per-box VMs (K=Boxes)",
+			s:    Spectrum{Boxes: 4, N: 1000, FlowPeriod: 100, BoxCost: 10},
+			k:    4, wantMsgs: 3010, wantRedo: 100, wantTime: 1000,
+		},
+		{
+			// Non-divisible shapes round conservatively (ceil on both the
+			// per-VM backlog and the segment length).
+			name: "ragged split (Boxes=5, K=3)",
+			s:    Spectrum{Boxes: 5, N: 900, FlowPeriod: 90, BoxCost: 7},
+			k:    3, wantMsgs: 1810, wantRedo: 150, wantTime: 1050,
+		},
+		{
+			// K above Boxes clamps to Boxes.
+			name: "clamped K",
+			s:    Spectrum{Boxes: 3, N: 300, FlowPeriod: 30, BoxCost: 1},
+			k:    99, wantMsgs: 610, wantRedo: 30, wantTime: 30,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.s.At(c.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.RuntimeMessages != c.wantMsgs {
+				t.Errorf("RuntimeMessages = %d, want %d", p.RuntimeMessages, c.wantMsgs)
+			}
+			if p.RedoneBoxExecs != c.wantRedo {
+				t.Errorf("RedoneBoxExecs = %d, want %d", p.RedoneBoxExecs, c.wantRedo)
+			}
+			if p.RecoveryTime != c.wantTime {
+				t.Errorf("RecoveryTime = %d, want %d", p.RecoveryTime, c.wantTime)
+			}
+		})
+	}
+}
+
+// TestSpectrumTradeoffAcrossShapes sweeps several chain shapes and checks
+// the §6.4 tradeoff holds everywhere: runtime messages strictly grow with
+// K while redone work never grows, and the process-pair baseline always
+// costs at least as many runtime messages as any K while redoing no more
+// than the per-box configuration.
+func TestSpectrumTradeoffAcrossShapes(t *testing.T) {
+	shapes := []Spectrum{
+		{Boxes: 2, N: 1000, FlowPeriod: 10, BoxCost: 3},
+		{Boxes: 8, N: 5000, FlowPeriod: 250, BoxCost: 11},
+		{Boxes: 16, N: 20000, FlowPeriod: 1024, BoxCost: 200},
+		{Boxes: 7, N: 999, FlowPeriod: 13, BoxCost: 1},
+	}
+	for _, s := range shapes {
+		t.Run(fmt.Sprintf("boxes=%d", s.Boxes), func(t *testing.T) {
+			var prev *Point
+			for k := 1; k <= s.Boxes; k++ {
+				p, err := s.At(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev != nil {
+					if p.RuntimeMessages <= prev.RuntimeMessages {
+						t.Errorf("K=%d msgs %d not > K=%d msgs %d",
+							k, p.RuntimeMessages, k-1, prev.RuntimeMessages)
+					}
+					if p.RedoneBoxExecs > prev.RedoneBoxExecs {
+						t.Errorf("K=%d redo %d grew from K=%d redo %d",
+							k, p.RedoneBoxExecs, k-1, prev.RedoneBoxExecs)
+					}
+				}
+				prev = &p
+			}
+			pp, err := s.ProcessPair()
+			if err != nil {
+				t.Fatal(err)
+			}
+			perBox, _ := s.At(s.Boxes)
+			if pp.RuntimeMessages < perBox.RuntimeMessages {
+				t.Errorf("process-pair msgs %d below per-box VMs %d",
+					pp.RuntimeMessages, perBox.RuntimeMessages)
+			}
+			if pp.RedoneBoxExecs > perBox.RedoneBoxExecs {
+				t.Errorf("process-pair redo %d above per-box VMs %d",
+					pp.RedoneBoxExecs, perBox.RedoneBoxExecs)
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package medusa
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMarketCutTable drives AddQuery's cut validation through the edge
+// cases of the contract-matching machinery: boundaries at the extremes,
+// empty middle participants, and every rejection path.
+func TestMarketCutTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		caps    []float64
+		stages  int
+		cuts    []int
+		wantErr bool
+	}{
+		{"mid split", []float64{100, 100}, 4, []int{2}, false},
+		{"all downstream", []float64{100, 100}, 4, []int{0}, false},
+		{"all upstream", []float64{100, 100}, 4, []int{4}, false},
+		{"empty middle", []float64{100, 100, 100}, 6, []int{3, 3}, false},
+		{"empty first and middle", []float64{100, 100, 100}, 6, []int{0, 0}, false},
+		{"decreasing cuts", []float64{100, 100, 100}, 6, []int{4, 2}, true},
+		{"cut beyond stages", []float64{100, 100}, 4, []int{5}, true},
+		{"negative cut", []float64{100, 100}, 4, []int{-1}, true},
+		{"too few cuts", []float64{100, 100, 100}, 6, []int{3}, true},
+		{"too many cuts", []float64{100, 100}, 4, []int{1, 2}, true},
+		{"zero rate", []float64{100, 100}, 4, nil, true}, // rate handled below
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, _ := marketWith(t, tc.caps)
+			rate := 10.0
+			stages := evenStages(tc.stages)
+			cuts := tc.cuts
+			if tc.name == "zero rate" {
+				rate, cuts = 0, []int{2}
+			}
+			_, err := m.AddQuery("q", 0.01, stages, rate, cuts)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("AddQuery(cuts=%v) error = %v, wantErr = %v", cuts, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMarketOwnerTable pins the cut-vector -> stage-owner mapping,
+// including boundaries at 0 and len(stages) and empty middle owners.
+func TestMarketOwnerTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		caps   []float64
+		stages int
+		cuts   []int
+		owners []int // expected owner index per stage
+	}{
+		{"even thirds", []float64{1, 1, 1}, 6, []int{2, 4}, []int{0, 0, 1, 1, 2, 2}},
+		{"first empty", []float64{1, 1, 1}, 6, []int{0, 3}, []int{1, 1, 1, 2, 2, 2}},
+		{"middle empty", []float64{1, 1, 1}, 6, []int{3, 3}, []int{0, 0, 0, 2, 2, 2}},
+		{"last empty", []float64{1, 1, 1}, 6, []int{3, 6}, []int{0, 0, 0, 1, 1, 1}},
+		{"all on first", []float64{1, 1}, 4, []int{4}, []int{0, 0, 0, 0}},
+		{"all on last", []float64{1, 1}, 4, []int{0}, []int{1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, _ := marketWith(t, tc.caps)
+			q, err := m.AddQuery("q", 0.01, evenStages(tc.stages), 10, tc.cuts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s, want := range tc.owners {
+				if got := q.Owner(s); got != want {
+					t.Errorf("Owner(%d) = %d, want %d (cuts %v)", s, got, want, tc.cuts)
+				}
+			}
+		})
+	}
+}
+
+// TestMovementPlanContractMatching checks the plan/content-contract
+// pairing AddQuery builds for each boundary pair: one plan per feasible
+// boundary, each priced at the stream price entering that boundary, with
+// exactly the initial cut's plan (and contract) active.
+func TestMovementPlanContractMatching(t *testing.T) {
+	m, _ := marketWith(t, []float64{100, 100, 100})
+	stages := evenStages(5)
+	base := 0.02
+	q, err := m.AddQuery("q", base, stages, 10, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.contracts) != 2 {
+		t.Fatalf("want one movement contract per adjacent pair, got %d", len(q.contracts))
+	}
+	for pair, mc := range q.contracts {
+		plans := mc.Plans()
+		if len(plans) != len(stages)+1 {
+			t.Fatalf("pair %d: %d plans, want one per boundary 0..%d", pair, len(plans), len(stages))
+		}
+		activeSeen := 0
+		for _, p := range plans {
+			// Contract price must match the value of the stream crossing
+			// that boundary: base price plus the value added below it.
+			want := base
+			for i := 0; i < p.Boundary; i++ {
+				want += stages[i].ValueAdd
+			}
+			if math.Abs(p.Contract.PricePerMsg-want) > 1e-12 {
+				t.Errorf("pair %d boundary %d: price %g, want %g", pair, p.Boundary, p.Contract.PricePerMsg, want)
+			}
+			if p.Contract.Sender == p.Contract.Receiver {
+				t.Errorf("pair %d: degenerate contract %q", pair, p.Contract.ID)
+			}
+			if p.Contract.Active {
+				activeSeen++
+				if p.Boundary != q.Cuts()[pair] {
+					t.Errorf("pair %d: active plan at boundary %d, want cut %d", pair, p.Boundary, q.Cuts()[pair])
+				}
+			}
+		}
+		if activeSeen != 1 {
+			t.Errorf("pair %d: %d active contracts, want exactly 1", pair, activeSeen)
+		}
+		if mc.Active().Boundary != q.Cuts()[pair] {
+			t.Errorf("pair %d: active boundary %d != cut %d", pair, mc.Active().Boundary, q.Cuts()[pair])
+		}
+	}
+
+	// Unknown plans are rejected; cancellation freezes the active plan.
+	mc := q.contracts[0]
+	if err := mc.Switch("cut=99"); err == nil {
+		t.Error("switch to unknown plan should fail")
+	}
+	before := mc.Active().Name
+	mc.Cancel()
+	if err := mc.Switch("cut=0"); err == nil {
+		t.Error("switch on cancelled contract should fail")
+	}
+	if mc.Active().Name != before {
+		t.Errorf("cancelled contract changed active plan: %s -> %s", before, mc.Active().Name)
+	}
+}
+
+// TestMarketEmptyOwnerSettlement: a participant owning no stages does no
+// work, spends nothing, and earns nothing — the stream passes it by.
+func TestMarketEmptyOwnerSettlement(t *testing.T) {
+	m, parts := marketWith(t, []float64{100, 100, 100})
+	if _, err := m.AddQuery("q", 0.01, evenStages(6), 10, []int{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Round()
+	if u := rep.Utilization["B"]; u != 0 {
+		t.Errorf("empty owner utilization = %g, want 0", u)
+	}
+	if pr := rep.Profit["B"]; pr != 0 {
+		t.Errorf("empty owner profit = %g, want 0", pr)
+	}
+	if b := parts[1].Account.Balance(); b != 0 {
+		t.Errorf("empty owner settled %g, want 0", b)
+	}
+	for _, p := range []string{"A", "C"} {
+		if rep.Profit[p] <= 0 {
+			t.Errorf("working participant %s profit = %g", p, rep.Profit[p])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import "testing"
+
+// TestCrashWithInFlightDeliveries: messages already serialized onto the
+// link when the destination crashes are discarded at arrival, counted, and
+// never reach the handler; messages sent after the crash are also lost.
+func TestCrashWithInFlightDeliveries(t *testing.T) {
+	s, r := twoNodes(t, 0, 1000, 0)
+	s.Send("a", "b", 10, "in-flight")
+	s.Schedule(500, func() { s.Crash("b") })
+	s.Schedule(600, func() { s.Send("a", "b", 10, "after-crash") })
+	s.Run(0)
+	if len(r.msgs) != 0 {
+		t.Fatalf("crashed node received %v", r.msgs)
+	}
+	delivered, droppedDown := s.NodeStats("b")
+	if delivered != 0 || droppedDown != 2 {
+		t.Errorf("stats delivered=%d droppedDown=%d, want 0/2", delivered, droppedDown)
+	}
+}
+
+// TestPartitionOfDownNode: cutting a link whose endpoint is already
+// crashed must be safe, persist across restart, and drop sends until
+// healed.
+func TestPartitionOfDownNode(t *testing.T) {
+	s, r := twoNodes(t, 0, 1000, 0)
+	s.Crash("b")
+	s.Partition("a", "b", true) // partition of an already-down node
+	s.Restart("b")
+	s.Send("a", "b", 10, "while-cut")
+	s.Run(0)
+	if len(r.msgs) != 0 {
+		t.Fatalf("cut link delivered %v", r.msgs)
+	}
+	l, _ := s.LinkStats("a", "b")
+	if l.Dropped != 1 {
+		t.Errorf("cut link dropped = %d, want 1", l.Dropped)
+	}
+	s.Partition("a", "b", false)
+	s.Send("a", "b", 10, "after-heal")
+	s.Run(0)
+	if len(r.msgs) != 1 || r.msgs[0] != "after-heal" {
+		t.Errorf("after heal got %v", r.msgs)
+	}
+}
+
+// TestRestartRacesScheduledDelivery: a message in flight when the node
+// crashes is delivered if the restart lands before the arrival, and
+// dropped if the restart lands after — decided deterministically by the
+// event order, never by wall-clock races.
+func TestRestartRacesScheduledDelivery(t *testing.T) {
+	// Restart before arrival: delivered.
+	s1, r1 := twoNodes(t, 0, 1000, 0)
+	s1.Send("a", "b", 10, "m")
+	s1.Schedule(100, func() { s1.Crash("b") })
+	s1.Schedule(900, func() { s1.Restart("b") })
+	s1.Run(0)
+	if len(r1.msgs) != 1 {
+		t.Fatalf("restart-before-arrival: got %v, want delivery", r1.msgs)
+	}
+
+	// Restart after arrival: dropped.
+	s2, r2 := twoNodes(t, 0, 1000, 0)
+	s2.Send("a", "b", 10, "m")
+	s2.Schedule(100, func() { s2.Crash("b") })
+	s2.Schedule(1100, func() { s2.Restart("b") })
+	s2.Run(0)
+	if len(r2.msgs) != 0 {
+		t.Fatalf("restart-after-arrival: got %v, want drop", r2.msgs)
+	}
+
+	// Restart and arrival at the same timestamp: the event scheduled
+	// first (the send's arrival) runs first — deterministic seq tie-break.
+	s3, r3 := twoNodes(t, 0, 1000, 0)
+	s3.Send("a", "b", 10, "m")
+	s3.Schedule(0, func() { s3.Crash("b") })
+	s3.Schedule(1000, func() { s3.Restart("b") })
+	s3.Run(0)
+	if len(r3.msgs) != 0 {
+		t.Fatalf("same-instant tie must resolve by schedule order, got %v", r3.msgs)
+	}
+}
+
+// TestZeroBandwidthLink: BytesPerSec = 0 means infinite bandwidth — no
+// serialization delay, only propagation delay, so arbitrarily large
+// messages cross in exactly one delay.
+func TestZeroBandwidthLink(t *testing.T) {
+	s, r := twoNodes(t, 0, 5000, 0)
+	s.Send("a", "b", 1<<30, "huge")
+	s.Run(0)
+	if len(r.msgs) != 1 || r.times[0] != 5000 {
+		t.Errorf("zero-bandwidth link: %d msgs at %v, want 1 at 5000", len(r.msgs), r.times)
+	}
+}
+
+// TestSetLossRuntime: flipping a link lossy mid-run drops messages;
+// restoring loss to 0 stops the dropping.
+func TestSetLossRuntime(t *testing.T) {
+	s, r := twoNodes(t, 0, 10, 0)
+	s.SetLoss("a", "b", 1.0) // always drop
+	for i := 0; i < 20; i++ {
+		s.Send("a", "b", 1, "lossy")
+	}
+	s.Run(0)
+	if len(r.msgs) != 0 {
+		t.Fatalf("loss=1 delivered %d", len(r.msgs))
+	}
+	s.SetLoss("a", "b", 0)
+	for i := 0; i < 20; i++ {
+		s.Send("a", "b", 1, "clean")
+	}
+	s.Run(0)
+	if len(r.msgs) != 20 {
+		t.Errorf("loss=0 delivered %d, want 20", len(r.msgs))
+	}
+}
+
+// TestFaultHooksAndCutAll: observers see each fault exactly once with the
+// right classification, and CutAll isolates a node from every peer.
+func TestFaultHooksAndCutAll(t *testing.T) {
+	s := New(1)
+	var got []FaultEvent
+	for _, id := range []string{"x", "y", "z"} {
+		s.AddNode(id, func(string, any, int) {})
+	}
+	s.Connect("x", "y", 0, 10, 0)
+	s.Connect("x", "z", 0, 10, 0)
+	s.OnFault(func(ev FaultEvent) { got = append(got, ev) })
+
+	s.Crash("x")
+	s.Crash("x") // idempotent: no second event
+	s.Restart("x")
+	s.CutAll("x", true)
+	if err := s.Send("x", "y", 1, "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	ly, _ := s.LinkStats("x", "y")
+	if ly.Dropped != 1 {
+		t.Error("CutAll should cut x->y")
+	}
+	s.CutAll("x", false)
+	s.SetLoss("x", "y", 0.5)
+
+	kinds := map[FaultKind]int{}
+	for _, ev := range got {
+		kinds[ev.Kind]++
+	}
+	if kinds[FaultCrash] != 1 || kinds[FaultRestart] != 1 {
+		t.Errorf("crash/restart events = %d/%d, want 1/1", kinds[FaultCrash], kinds[FaultRestart])
+	}
+	if kinds[FaultPartition] != 2 || kinds[FaultHeal] != 2 {
+		t.Errorf("partition/heal events = %d/%d, want 2/2 (two peers)", kinds[FaultPartition], kinds[FaultHeal])
+	}
+	if kinds[FaultLoss] != 1 {
+		t.Errorf("loss events = %d, want 1", kinds[FaultLoss])
+	}
+}

@@ -48,6 +48,37 @@ type Node struct {
 	ID      string
 	handler Handler
 	down    bool
+
+	// Delivered counts messages handed to the handler; DroppedDown counts
+	// messages that arrived while the node was down and were discarded.
+	Delivered   int64
+	DroppedDown int64
+}
+
+// FaultKind classifies an injected fault for observers.
+type FaultKind int
+
+const (
+	// FaultCrash marks a node down.
+	FaultCrash FaultKind = iota
+	// FaultRestart brings a node back up.
+	FaultRestart
+	// FaultPartition cuts both directions of a link.
+	FaultPartition
+	// FaultHeal restores both directions of a link.
+	FaultHeal
+	// FaultLoss changes a directed link's drop probability.
+	FaultLoss
+)
+
+// FaultEvent describes one injected fault: the kind, the node (A) or link
+// endpoints (A, B), the new loss rate for FaultLoss, and the virtual time
+// at which it was injected.
+type FaultEvent struct {
+	Kind FaultKind
+	A, B string
+	Loss float64
+	At   int64
 }
 
 // Link is one direction of a connection between two nodes.
@@ -76,6 +107,7 @@ type Sim struct {
 	nodes  map[string]*Node
 	links  map[linkKey]*Link
 	rng    *rand.Rand
+	hooks  []func(FaultEvent)
 }
 
 // New returns an empty simulation with a deterministic RNG.
@@ -131,6 +163,62 @@ func (s *Sim) LinkStats(a, b string) (*Link, bool) {
 	return l, ok
 }
 
+// NodeStats returns a node's delivery counters.
+func (s *Sim) NodeStats(id string) (delivered, droppedDown int64) {
+	if n, ok := s.nodes[id]; ok {
+		return n.Delivered, n.DroppedDown
+	}
+	return 0, 0
+}
+
+// OnFault registers an observer invoked synchronously for every injected
+// fault (Crash, Restart, Partition, SetLoss). Layers above use it to model
+// the state consequences of a fault — e.g. a crashed server losing its
+// volatile queues — at the exact virtual instant the fault lands.
+func (s *Sim) OnFault(fn func(FaultEvent)) {
+	s.hooks = append(s.hooks, fn)
+}
+
+func (s *Sim) emit(ev FaultEvent) {
+	ev.At = s.now
+	for _, fn := range s.hooks {
+		fn(ev)
+	}
+}
+
+// SetLoss changes the drop probability of the directed link from a to b at
+// run time (a lossy-link fault). It is a no-op on unknown links.
+func (s *Sim) SetLoss(a, b string, loss float64) {
+	if l, ok := s.links[linkKey{a, b}]; ok {
+		l.Loss = loss
+		s.emit(FaultEvent{Kind: FaultLoss, A: a, B: b, Loss: loss})
+	}
+}
+
+// CutAll cuts (or restores) every link touching the node — a full
+// isolation partition. Faults are emitted per affected peer pair once.
+func (s *Sim) CutAll(id string, cut bool) {
+	seen := map[string]bool{}
+	for k, l := range s.links {
+		if k.from != id && k.to != id {
+			continue
+		}
+		l.cut = cut
+		peer := k.from
+		if peer == id {
+			peer = k.to
+		}
+		if !seen[peer] {
+			seen[peer] = true
+			kind := FaultPartition
+			if !cut {
+				kind = FaultHeal
+			}
+			s.emit(FaultEvent{Kind: kind, A: id, B: peer})
+		}
+	}
+}
+
 // Schedule queues fn to run after delay ns of virtual time.
 func (s *Sim) Schedule(delay int64, fn func()) {
 	if delay < 0 {
@@ -173,22 +261,40 @@ func (s *Sim) Send(from, to string, size int, payload any) error {
 	s.seq++
 	heap.Push(&s.events, &event{at: arrive, seq: s.seq, fn: func() {
 		dst := s.nodes[to]
-		if dst == nil || dst.down || dst.handler == nil {
+		if dst == nil || dst.handler == nil {
 			return
 		}
+		if dst.down {
+			dst.DroppedDown++
+			return
+		}
+		dst.Delivered++
 		dst.handler(from, payload, size)
 	}})
 	return nil
 }
 
-// Crash marks a node down: queued deliveries to it are discarded on
-// arrival and new sends are lost, modeling a fail-stop server failure
-// (§6.3).
-func (s *Sim) Crash(id string) { s.setDown(id, true) }
+// Crash marks a node down, modeling a fail-stop server failure (§6.3).
+// Mid-flight semantics are deterministic and evaluated at delivery time:
+// a message already in flight toward the node is discarded (and counted in
+// DroppedDown) if it arrives while the node is down, but is delivered
+// normally if the node restarts before it arrives — exactly as a packet
+// reaching a rebooted host would be. New sends toward the node are lost
+// the same way. Registered OnFault hooks run synchronously, so the layer
+// above can discard the node's volatile state at the crash instant.
+func (s *Sim) Crash(id string) {
+	if s.setDown(id, true) {
+		s.emit(FaultEvent{Kind: FaultCrash, A: id})
+	}
+}
 
 // Restart brings a crashed node back (with whatever state the layer above
-// kept for it).
-func (s *Sim) Restart(id string) { s.setDown(id, false) }
+// kept for it — the OnFault crash hook decides what survived).
+func (s *Sim) Restart(id string) {
+	if s.setDown(id, false) {
+		s.emit(FaultEvent{Kind: FaultRestart, A: id})
+	}
+}
 
 // Down reports whether a node is crashed.
 func (s *Sim) Down(id string) bool {
@@ -196,20 +302,36 @@ func (s *Sim) Down(id string) bool {
 	return ok && n.down
 }
 
-func (s *Sim) setDown(id string, down bool) {
-	if n, ok := s.nodes[id]; ok {
-		n.down = down
+// setDown flips a node's liveness, reporting whether the state changed.
+func (s *Sim) setDown(id string, down bool) bool {
+	n, ok := s.nodes[id]
+	if !ok || n.down == down {
+		return false
 	}
+	n.down = down
+	return true
 }
 
 // Partition cuts or restores both directions between a and b, modeling a
-// network partition (communication failure, §6).
+// network partition (communication failure, §6). Partitioning a pair with
+// a crashed endpoint is legal: link state and node state are independent,
+// so the cut simply persists across the crash and restart.
 func (s *Sim) Partition(a, b string, cut bool) {
+	changed := false
 	if l, ok := s.links[linkKey{a, b}]; ok {
+		changed = changed || l.cut != cut
 		l.cut = cut
 	}
 	if l, ok := s.links[linkKey{b, a}]; ok {
+		changed = changed || l.cut != cut
 		l.cut = cut
+	}
+	if changed {
+		kind := FaultPartition
+		if !cut {
+			kind = FaultHeal
+		}
+		s.emit(FaultEvent{Kind: kind, A: a, B: b})
 	}
 }
 
