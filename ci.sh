@@ -14,4 +14,10 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== trace overhead guard"
+# Tracing disabled must stay a few predictable branches on the hot path:
+# the guard benchmarks the engine with tracing off vs. sampled-on and
+# fails if the off path pays for the instrumentation.
+CI_TRACE_GUARD=1 go test ./internal/engine/ -run TestTraceOverheadGuard -count=1 -v
+
 echo "ci: all checks passed"

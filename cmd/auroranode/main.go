@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	netpkg "net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wgen"
 )
@@ -147,14 +150,17 @@ func (m multiFlag) Set(s string) error {
 
 func main() {
 	var (
-		id      = flag.String("id", "node", "node identity")
-		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		netPath = flag.String("network", "", "query network JSON file (required)")
-		print   = flag.String("print", "", "output stream to print to stdout")
-		genSpec = flag.String("gen", "", "self-generate workload: sensors=<input> | quotes=<input> | flows=<input>")
-		genN    = flag.Int("gen-count", 10000, "tuples to generate")
-		genRate = flag.Float64("gen-rate", 10000, "generated tuples per second")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		id       = flag.String("id", "node", "node identity")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		netPath  = flag.String("network", "", "query network JSON file (required)")
+		print    = flag.String("print", "", "output stream to print to stdout")
+		genSpec  = flag.String("gen", "", "self-generate workload: sensors=<input> | quotes=<input> | flows=<input>")
+		genN     = flag.Int("gen-count", 10000, "tuples to generate")
+		genRate  = flag.Float64("gen-rate", 10000, "generated tuples per second")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		httpAddr = flag.String("http", "", "telemetry HTTP listen address (/metrics, /trace, /healthz); empty disables")
+		traceN   = flag.Int("trace", 0, "trace every Nth locally ingested tuple (0 disables tracing)")
+		traceBuf = flag.Int("trace-buf", 4096, "flight-recorder ring capacity")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -169,9 +175,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("load network: %v", err)
 	}
-	eng, err := engine.New(net, engine.Config{})
+	var tracer *trace.Tracer
+	if *traceN > 0 {
+		tracer = trace.NewTracer(*id, *traceN, trace.NewRecorder(*traceBuf))
+	}
+	eng, err := engine.New(net, engine.Config{Tracer: tracer})
 	if err != nil {
 		log.Fatalf("engine: %v", err)
+	}
+	// Routed outputs leave this process for a downstream peer, so their
+	// spans must stay open; only a terminal output finalizes a trace.
+	for name := range routes {
+		eng.SetRelayOutput(name)
 	}
 
 	var mu sync.Mutex // the engine is single-threaded by design (§2.3)
@@ -202,9 +217,16 @@ func main() {
 		if m.Kind != transport.KindData {
 			return
 		}
+		arrive := time.Now().UnixNano()
 		mu.Lock()
 		defer mu.Unlock()
+		// Tuples arriving from a peer are mid-path: their traces began at
+		// the sampling edge upstream, so this input must not re-sample,
+		// and the time since the sender's last mark — serialization,
+		// flight, demux — is charged to the network component.
+		eng.SetRelayInput(m.Stream)
 		for _, t := range m.Tuples {
+			t.Span.Mark(trace.KindNet, from+">"+*id, arrive)
 			eng.Ingest(m.Stream, t)
 		}
 		eng.RunUntilIdle(0)
@@ -215,6 +237,17 @@ func main() {
 	defer tcp.Close()
 	if !*quiet {
 		log.Printf("node %s listening on %s, network %s", *id, tcp.Addr(), net)
+	}
+
+	if *httpAddr != "" {
+		ln, err := netpkg.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		if !*quiet {
+			log.Printf("telemetry on http://%s (/metrics /trace /healthz)", ln.Addr())
+		}
+		go http.Serve(ln, telemetry(*id, eng))
 	}
 
 	for peer, addr := range peers {

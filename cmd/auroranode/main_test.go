@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+var e2eSchema = stream.MustSchema("e2e",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindInt},
+)
+
+// buildPiece returns a one-box pass-all filter piece input -> box -> output.
+func buildPiece(name, input, box, output string) *query.Network {
+	return query.NewBuilder(name).
+		AddBox(box, op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		BindInput(input, e2eSchema, box, 0).
+		BindOutput(output, box, 0, nil).
+		MustBuild()
+}
+
+// e2eSink collects finalized spans delivered at the tail output.
+type e2eSink struct {
+	mu    sync.Mutex
+	spans []*trace.Span
+	total int
+}
+
+func (s *e2eSink) add(t stream.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if t.Span != nil {
+		s.spans = append(s.spans, t.Span)
+	}
+}
+
+func (s *e2eSink) snapshot() (int, []*trace.Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total, append([]*trace.Span(nil), s.spans...)
+}
+
+// TestTCPTraceDecomposition is the wall-clock half of the acceptance
+// criterion: two engines in one process connected by the real TCP
+// transport, tracing every tuple. Each delivered span must decompose
+// exactly (queue+proc+net == end-to-end), carry a nonzero network
+// component for the wire hop, and agree exactly with the tail engine's
+// QoS monitor.
+func TestTCPTraceDecomposition(t *testing.T) {
+	const n = 50
+
+	headTr := trace.NewTracer("head", 1, trace.NewRecorder(1024))
+	headEng, err := engine.New(buildPiece("head", "in", "b0", "mid"), engine.Config{Tracer: headTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headEng.SetRelayOutput("mid")
+
+	tailTr := trace.NewTracer("tail", 1, trace.NewRecorder(1024))
+	tailEng, err := engine.New(buildPiece("tail", "mid", "b1", "out"), engine.Config{Tracer: tailTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &e2eSink{}
+	var tailMu sync.Mutex
+	tailEng.OnOutput(func(_ string, tup stream.Tuple) { sink.add(tup) })
+
+	tailTCP, err := transport.ListenTCP("tail", "127.0.0.1:0", func(from string, m transport.Msg) {
+		if m.Kind != transport.KindData {
+			return
+		}
+		arrive := time.Now().UnixNano()
+		tailMu.Lock()
+		defer tailMu.Unlock()
+		tailEng.SetRelayInput(m.Stream)
+		for _, tup := range m.Tuples {
+			tup.Span.Mark(trace.KindNet, from+">tail", arrive)
+			tailEng.Ingest(m.Stream, tup)
+		}
+		tailEng.RunUntilIdle(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailTCP.Close()
+
+	headTCP, err := transport.ListenTCP("head", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer headTCP.Close()
+	if got, err := headTCP.Dial(tailTCP.Addr()); err != nil || got != "tail" {
+		t.Fatalf("dial tail: got %q, %v", got, err)
+	}
+
+	headEng.OnOutput(func(name string, tup stream.Tuple) {
+		if err := headTCP.Send("tail", transport.Msg{
+			Stream: "mid", Kind: transport.KindData,
+			BaseSeq: tup.Seq, Tuples: []stream.Tuple{tup},
+		}); err != nil {
+			t.Errorf("route mid: %v", err)
+		}
+	})
+
+	for i := 0; i < n; i++ {
+		headEng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(int64(i%7))))
+		headEng.RunUntilIdle(0)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var total int
+	var spans []*trace.Span
+	for {
+		total, spans = sink.snapshot()
+		if total >= n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if total != n || len(spans) != n {
+		t.Fatalf("delivered %d tuples, %d traced; want %d/%d", total, len(spans), n, n)
+	}
+
+	var sum int64
+	for i, sp := range spans {
+		if !sp.Done() {
+			t.Fatalf("span %d not finalized: %+v", i, sp)
+		}
+		q, p, nn := sp.Components()
+		if q+p+nn != sp.Total() {
+			t.Fatalf("span %d: %d+%d+%d != total %d", i, q, p, nn, sp.Total())
+		}
+		if nn <= 0 {
+			t.Errorf("span %d crossed a real TCP hop but shows net=%d", i, nn)
+		}
+		sum += sp.Total()
+	}
+
+	// The monitor and the traces observed the very same timestamps.
+	tailMu.Lock()
+	lat := tailEng.Metrics().Histogram("output.out.latency_ns").Snapshot()
+	tailMu.Unlock()
+	if lat.Count != n {
+		t.Fatalf("monitor observed %d deliveries, want %d", lat.Count, n)
+	}
+	if mean := float64(sum) / n; lat.Mean != mean {
+		t.Errorf("monitor mean %f != trace mean %f", lat.Mean, mean)
+	}
+
+	// Both flight recorders saw the journey: the head recorded the wire
+	// hop (its tracer never completes these spans), the tail recorded the
+	// per-stage detail and delivery summaries.
+	if tailTr.Recorder().Total() == 0 {
+		t.Error("tail flight recorder is empty")
+	}
+	found := false
+	for _, ev := range tailTr.Recorder().Events() {
+		if ev.Kind == trace.KindNet && ev.Name == "head>tail" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no head>tail network segment in the tail's flight recorder")
+	}
+}
+
+// TestTelemetryEndpoints exercises the HTTP surface against a live traced
+// engine: /healthz liveness, /metrics snapshot including the output
+// latency histogram, and /trace in both raw and Chrome formats.
+func TestTelemetryEndpoints(t *testing.T) {
+	tr := trace.NewTracer("x", 1, trace.NewRecorder(256))
+	eng, err := engine.New(buildPiece("solo", "in", "b0", "out"), engine.Config{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		eng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(0)))
+		eng.RunUntilIdle(0)
+	}
+
+	srv := httptest.NewServer(telemetry("x", eng))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf [1 << 20]byte
+		m, _ := resp.Body.Read(buf[:])
+		return resp.StatusCode, buf[:m]
+	}
+
+	if code, body := get("/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var mr struct {
+		Node    string                   `json:"node"`
+		Metrics metrics.RegistrySnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("/metrics JSON: %v\n%s", err, body)
+	}
+	if mr.Node != "x" {
+		t.Errorf("node = %q, want x", mr.Node)
+	}
+	if got := mr.Metrics.Counters["engine.ingested"]; got != n {
+		t.Errorf("engine.ingested = %d, want %d", got, n)
+	}
+	if h := mr.Metrics.Histograms["output.out.latency_ns"]; h.Count != n {
+		t.Errorf("latency histogram count = %d, want %d", h.Count, n)
+	}
+	if h := mr.Metrics.Histograms["trace.queue_ns"]; h.Count != n {
+		t.Errorf("trace.queue_ns count = %d, want %d", h.Count, n)
+	}
+
+	code, body = get("/trace?n=3")
+	if code != 200 {
+		t.Fatalf("/trace: %d", code)
+	}
+	var evs []trace.Event
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("/trace JSON: %v\n%s", err, body)
+	}
+	if len(evs) == 0 || len(evs) > 3 {
+		t.Errorf("/trace?n=3 returned %d events", len(evs))
+	}
+
+	code, body = get("/trace?format=chrome")
+	if code != 200 {
+		t.Fatalf("/trace chrome: %d", code)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(body, &arr); err != nil {
+		t.Fatalf("chrome JSON: %v", err)
+	}
+	if len(arr) == 0 {
+		t.Error("chrome trace is empty")
+	}
+
+	if code, _ := get("/trace?n=zilch"); code != 400 {
+		t.Errorf("bad n: got %d, want 400", code)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// telemetry builds the node's HTTP introspection surface (stdlib only):
+//
+//	GET /healthz          liveness probe, "ok"
+//	GET /metrics          JSON snapshot of every engine metric
+//	GET /trace?n=100      the most recent flight-recorder events as JSON
+//	GET /trace?format=chrome
+//	                      same events as Chrome trace-event JSON, loadable
+//	                      in Perfetto (ui.perfetto.dev) or chrome://tracing
+//
+// Every handler reads only concurrency-safe state (the metric registry is
+// mutex-and-atomic, the flight recorder is a mutexed ring), so the HTTP
+// goroutines never touch the single-threaded engine core.
+func telemetry(id string, eng *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	type metricsResponse struct {
+		Node    string                   `json:"node"`
+		Metrics metrics.RegistrySnapshot `json:"metrics"`
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metricsResponse{Node: id, Metrics: eng.Metrics().Snapshot()})
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var evs []trace.Event
+		if rec := eng.Tracer().Recorder(); rec != nil {
+			evs = rec.Events()
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Write(trace.ChromeTrace(evs))
+			return
+		}
+		if evs == nil {
+			evs = []trace.Event{}
+		}
+		json.NewEncoder(w).Encode(evs)
+	})
+
+	return mux
+}

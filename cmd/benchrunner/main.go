@@ -8,23 +8,41 @@
 //	benchrunner -exp E04   # one experiment
 //	benchrunner -scale 0.1 # smaller workloads, faster run
 //	benchrunner -list      # list experiments
+//	benchrunner -json out/ # additionally write BENCH_<id>.json per experiment
+//
+// With -json, each experiment leaves a machine-readable BENCH_<id>.json
+// (the typed table plus any attached metric snapshots and the wall time),
+// so the performance trajectory can be tracked across commits without
+// parsing the printed tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
 )
 
+// benchArtifact is the BENCH_<id>.json schema.
+type benchArtifact struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name"`
+	Scale     float64    `json:"scale"`
+	ElapsedNS int64      `json:"elapsed_ns"`
+	Table     *exp.Table `json:"table"`
+}
+
 func main() {
 	var (
-		which = flag.String("exp", "", "run only this experiment id (e.g. E04)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		which   = flag.String("exp", "", "run only this experiment id (e.g. E04)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json artifacts (empty disables)")
 	)
 	flag.Parse()
 
@@ -35,6 +53,12 @@ func main() {
 		}
 		return
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	ran := 0
 	for _, e := range experiments {
 		if *which != "" && !strings.EqualFold(*which, e.ID) {
@@ -42,8 +66,21 @@ func main() {
 		}
 		start := time.Now()
 		table := e.Run(*scale)
+		elapsed := time.Since(start)
 		fmt.Println(table)
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			art := benchArtifact{ID: e.ID, Name: e.Name, Scale: *scale,
+				ElapsedNS: elapsed.Nanoseconds(), Table: table}
+			data, err := json.MarshalIndent(art, "", "  ")
+			if err == nil {
+				err = os.WriteFile(filepath.Join(*jsonDir, "BENCH_"+e.ID+".json"), data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-json %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -7,29 +7,37 @@
 //	chaosrunner -seeds 1000      # sweep seeds 1..1000, report any violation
 //	chaosrunner -seed 42         # run one seed verbosely
 //	chaosrunner -seed 42 -shrink # on failure, print a minimal reproducer
+//	chaosrunner -seeds 500 -trace-out /tmp/chaos
+//	                             # write flight-recorder artifacts per failure
 //
 // A failing seed is a complete bug report: the same seed regenerates the
 // same schedule, the same simulated event order, and the same verdict.
+// With -trace-out, every failing (or tuple-losing) run additionally
+// leaves chaos-seed<N>.dump.txt (the flight-recorder tail) and
+// chaos-seed<N>.trace.json (Chrome trace-event JSON, viewable in
+// Perfetto) in the given directory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/chaos"
 )
 
 func main() {
 	var (
-		seeds  = flag.Int("seeds", 200, "sweep seeds 1..N")
-		seed   = flag.Int64("seed", 0, "run a single seed verbosely (overrides -seeds)")
-		shrink = flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
+		seeds    = flag.Int("seeds", 200, "sweep seeds 1..N")
+		seed     = flag.Int64("seed", 0, "run a single seed verbosely (overrides -seeds)")
+		shrink   = flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
+		traceOut = flag.String("trace-out", "", "directory for flight-recorder artifacts on failing runs")
 	)
 	flag.Parse()
 
 	if *seed != 0 {
-		os.Exit(runOne(*seed, *shrink))
+		os.Exit(runOne(*seed, *shrink, *traceOut))
 	}
 
 	pass, fail := 0, 0
@@ -44,6 +52,7 @@ func main() {
 		for _, v := range r.Violations {
 			fmt.Printf("  %s\n", v)
 		}
+		writeArtifacts(*traceOut, s, r)
 		if *shrink {
 			min := chaos.Shrink(r.Schedule, func(c chaos.Schedule) bool {
 				return chaos.Run(c).Failed()
@@ -57,7 +66,7 @@ func main() {
 	}
 }
 
-func runOne(seed int64, shrink bool) int {
+func runOne(seed int64, shrink bool, traceOut string) int {
 	s := chaos.Generate(seed)
 	fmt.Printf("seed %d: workers=%d k=%d, %d events (max concurrent failures %d)\n",
 		seed, s.Workers, s.K, len(s.Events), s.MaxConcurrentFailures())
@@ -67,6 +76,7 @@ func runOne(seed int64, shrink bool) int {
 	r := chaos.Run(s)
 	fmt.Printf("ingested=%d delivered=%d missing=%d dups=%d resent=%d suppressed=%d recoveries=%d trunc-leaked=%d\n",
 		r.Ingested, r.Delivered, r.Missing, r.Dups, r.Resent, r.Suppressed, r.Recoveries, r.TruncLeaked)
+	writeArtifacts(traceOut, seed, r)
 	if !r.Failed() {
 		fmt.Println("PASS: all oracles held")
 		return 0
@@ -79,4 +89,29 @@ func runOne(seed int64, shrink bool) int {
 		fmt.Printf("minimal reproducer (%d events):\n%s\n", len(min.Events), min.Repro())
 	}
 	return 1
+}
+
+// writeArtifacts persists a run's post-mortem (flight-recorder dump and
+// Chrome trace JSON) when the harness produced one and a directory was
+// given. Artifacts are named by seed so a sweep leaves one pair per
+// failing schedule.
+func writeArtifacts(dir string, seed int64, r *chaos.Result) {
+	if dir == "" || (r.FlightDump == "" && len(r.ChromeTrace) == 0) {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	dump := filepath.Join(dir, fmt.Sprintf("chaos-seed%d.dump.txt", seed))
+	if err := os.WriteFile(dump, []byte(r.FlightDump), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	tr := filepath.Join(dir, fmt.Sprintf("chaos-seed%d.trace.json", seed))
+	if err := os.WriteFile(tr, r.ChromeTrace, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	fmt.Printf("  artifacts: %s, %s\n", dump, tr)
 }

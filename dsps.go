@@ -36,6 +36,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/wgen"
 )
 
@@ -229,6 +230,27 @@ type (
 const (
 	ShedRandom = engine.ShedRandom
 	ShedQoS    = engine.ShedQoS
+)
+
+// Observability: causal tracing and the flight recorder.
+type (
+	// Tracer samples tuples for tracing and records completed spans.
+	Tracer = trace.Tracer
+	// Span decomposes one tuple's latency into queue/proc/net.
+	Span = trace.Span
+	// FlightRecorder is the fixed-size ring of recent trace events.
+	FlightRecorder = trace.Recorder
+	// TraceEvent is one flight-recorder entry.
+	TraceEvent = trace.Event
+)
+
+var (
+	// NewTracer builds a tracer sampling every'th tuple into rec.
+	NewTracer = trace.NewTracer
+	// NewFlightRecorder builds a ring retaining the last n events.
+	NewFlightRecorder = trace.NewRecorder
+	// ChromeTrace renders events as Chrome trace-event JSON (Perfetto).
+	ChromeTrace = trace.ChromeTrace
 )
 
 var (

@@ -1,8 +1,10 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -70,6 +72,42 @@ func TestChaosNegativeControl(t *testing.T) {
 			r.Violations)
 	}
 	t.Logf("lost %d of %d (first %v), recoveries=%d", r.Missing, r.Ingested, r.MissingIDs, r.Recoveries)
+}
+
+// TestChaosFlightRecorderDump: a run that loses tuples (the k+1 negative
+// control) must come back with a post-mortem: a readable flight-recorder
+// dump containing the fault annotations, and a Chrome trace-event JSON
+// artifact that parses. A clean run carries neither.
+func TestChaosFlightRecorderDump(t *testing.T) {
+	r := Run(negativeControl)
+	if r.Missing == 0 {
+		t.Fatal("negative control lost nothing; dump cannot be exercised")
+	}
+	if r.FlightDump == "" {
+		t.Fatal("lossy run produced no flight-recorder dump")
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(r.ChromeTrace, &arr); err != nil {
+		t.Fatalf("chrome trace artifact is not valid JSON: %v", err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("chrome trace artifact is empty")
+	}
+	// The full artifact includes the fault annotations (the dump is only
+	// the most recent tail, which a long drain may scroll past).
+	js := string(r.ChromeTrace)
+	for _, want := range []string{"crash n1", "crash n2", "partition n2|n3"} {
+		if !strings.Contains(js, want) {
+			t.Errorf("chrome trace missing fault annotation %q", want)
+		}
+	}
+	clean := Run(Generate(3))
+	if clean.Failed() || clean.Missing > 0 {
+		t.Fatalf("control schedule unexpectedly lossy: %+v", clean.Violations)
+	}
+	if clean.FlightDump != "" || clean.ChromeTrace != nil {
+		t.Error("clean run should not carry post-mortem artifacts")
+	}
 }
 
 // TestChaosReplayDeterministic: the same schedule must produce the exact

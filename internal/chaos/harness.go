@@ -8,6 +8,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/wgen"
 )
 
@@ -41,31 +42,48 @@ const (
 	// the final state.
 	DrainTime = 200e6
 
+	// TraceSample is the causal-tracing sample rate during chaos runs:
+	// every 16th tuple carries a span, enough density that any violation
+	// window contains traced traffic without distorting the run.
+	TraceSample = 16
+
+	// dumpTail bounds the human-readable flight-recorder dump to the most
+	// recent events; the Chrome trace keeps everything retained.
+	dumpTail = 256
+
 	tailCount = 50
 )
 
 // Result is the outcome of one schedule run, with everything the oracles
 // measured. Violations is empty when every applicable oracle held.
 type Result struct {
-	Schedule      Schedule
-	MaxConcurrent int  // crash-budget actually used
+	Schedule       Schedule
+	MaxConcurrent  int  // crash-budget actually used
 	BudgetExceeded bool // more concurrent failures than k: loss is allowed
 
-	Ingested  int // tuples offered at the entry (src is never down)
-	Delivered int // distinct ids at the application output
-	Missing   int
-	MissingIDs []int64 // first few missing ids, for diagnostics
-	Dups      int // duplicate deliveries across the whole run
-	TailDups  int // duplicates among the post-settle tail batch
+	Ingested    int // tuples offered at the entry (src is never down)
+	Delivered   int // distinct ids at the application output
+	Missing     int
+	MissingIDs  []int64 // first few missing ids, for diagnostics
+	Dups        int     // duplicate deliveries across the whole run
+	TailDups    int     // duplicates among the post-settle tail batch
 	TailMissing int
 
-	Crashes    int
-	Recoveries int
-	Resent     uint64 // gap-repair retransmissions
-	Suppressed uint64 // duplicates absorbed by the link filters
-	TruncLeaked int   // truncated tuples whose id never reached the sink
+	Crashes     int
+	Recoveries  int
+	Resent      uint64 // gap-repair retransmissions
+	Suppressed  uint64 // duplicates absorbed by the link filters
+	TruncLeaked int    // truncated tuples whose id never reached the sink
 
 	Violations []string
+
+	// FlightDump is the merged flight-recorder tail, rendered one event
+	// per line. ChromeTrace is the full retained event set as Chrome
+	// trace-event JSON (load it in Perfetto / chrome://tracing). Both are
+	// populated when any oracle is violated or the run lost tuples — the
+	// cases a post-mortem wants — and empty on clean runs.
+	FlightDump  string
+	ChromeTrace []byte
 }
 
 // Failed reports whether any oracle was violated.
@@ -96,6 +114,7 @@ func Run(s Schedule) *Result {
 		FlowPeriod:      FlowPeriod,
 		HeartbeatPeriod: HeartbeatPeriod,
 		DetectTimeout:   DetectTimeout,
+		TraceSample:     TraceSample,
 	})
 	if err != nil {
 		r.violate("cluster build: %v", err)
@@ -263,6 +282,19 @@ func Run(s Schedule) *Result {
 	// must have had its effects reach the sink (within budget).
 	if !r.BudgetExceeded && r.TruncLeaked > 0 {
 		r.violate("truncation: %d truncated tuples never reached the output", r.TruncLeaked)
+	}
+
+	// Post-mortem artifacts: whenever an oracle fired or tuples were lost
+	// (budget-exceeding loss included — that is exactly the negative
+	// control a human wants to inspect), dump the merged flight recorders.
+	if r.Failed() || r.Missing > 0 {
+		evs := c.TraceEvents()
+		tail := evs
+		if len(tail) > dumpTail {
+			tail = tail[len(tail)-dumpTail:]
+		}
+		r.FlightDump = trace.FormatEvents(tail)
+		r.ChromeTrace = trace.ChromeTrace(evs)
 	}
 	return r
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -48,6 +49,13 @@ type Config struct {
 	// its upstream neighbors query it periodically, truncating at their
 	// convenience.
 	PullTruncation bool
+	// TraceSample enables causal tracing: every TraceSample'th ingested
+	// tuple carries a span decomposing its latency into queue, processing,
+	// and network components. 0 disables tracing.
+	TraceSample int
+	// TraceBuf is the per-node flight-recorder capacity in events
+	// (default 4096 when tracing is on).
+	TraceBuf int
 }
 
 func (cfg *Config) fillDefaults() {
@@ -62,6 +70,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.SharePeriod <= 0 {
 		cfg.SharePeriod = 100e6
+	}
+	if cfg.TraceBuf <= 0 {
+		cfg.TraceBuf = 4096
 	}
 }
 
@@ -168,8 +179,11 @@ func NewCluster(sim *netsim.Sim, full *query.Network, assign, entryAt map[string
 	sort.Strings(c.nodeIDs)
 	// A crash destroys volatile state the instant it happens: engines,
 	// output logs, dedup filters, and detector state are gone, so a later
-	// restart cannot resurrect pre-crash memory.
+	// restart cannot resurrect pre-crash memory. The flight recorder is
+	// NOT volatile state — it models an external observer (a black box),
+	// so fault annotations land in it and survive the crash.
 	sim.OnFault(func(ev netsim.FaultEvent) {
+		c.annotateFault(ev)
 		if n, ok := c.nodes[ev.A]; ok {
 			switch ev.Kind {
 			case netsim.FaultCrash:
@@ -179,6 +193,28 @@ func NewCluster(sim *netsim.Sim, full *query.Network, assign, entryAt map[string
 			}
 		}
 	})
+	if cfg.TraceSample > 0 {
+		// Per-link transit events: every accepted tuple batch leaves a net
+		// segment in the sender's flight recorder, so a post-mortem can see
+		// traffic that never arrived (crashed or partitioned receivers).
+		sim.OnSend(func(ev netsim.SendEvent) {
+			tb, ok := ev.Payload.(tupleBatch)
+			if !ok {
+				return
+			}
+			n := c.nodes[ev.From]
+			if n == nil || n.rec == nil {
+				return
+			}
+			for _, t := range tb.Tuples {
+				if t.Span != nil {
+					n.rec.Add(trace.Event{TraceID: t.Span.ID, Node: ev.From,
+						Name: ev.From + ">" + ev.To, Kind: trace.KindNet,
+						Start: ev.SentAt, Dur: ev.ArriveAt - ev.SentAt})
+				}
+			}
+		})
+	}
 	if err := c.install(part); err != nil {
 		return nil, err
 	}
@@ -194,6 +230,48 @@ func NewCluster(sim *netsim.Sim, full *query.Network, assign, entryAt map[string
 	}
 	c.refreshCatalogPieces()
 	return c, nil
+}
+
+// annotateFault drops an instantaneous mark into the flight recorder of
+// every node the fault touches.
+func (c *Cluster) annotateFault(ev netsim.FaultEvent) {
+	var name string
+	switch ev.Kind {
+	case netsim.FaultCrash:
+		name = "crash " + ev.A
+	case netsim.FaultRestart:
+		name = "restart " + ev.A
+	case netsim.FaultPartition:
+		name = "partition " + ev.A + "|" + ev.B
+	case netsim.FaultHeal:
+		name = "heal " + ev.A + "|" + ev.B
+	case netsim.FaultLoss:
+		name = fmt.Sprintf("loss %.2f %s>%s", ev.Loss, ev.A, ev.B)
+	}
+	for _, id := range []string{ev.A, ev.B} {
+		if n, ok := c.nodes[id]; ok {
+			n.tracer.Annotate(name, c.sim.Now())
+		}
+	}
+}
+
+// FlightRecorder returns a node's flight recorder (nil when tracing is
+// off or the node is unknown).
+func (c *Cluster) FlightRecorder(node string) *trace.Recorder {
+	if n, ok := c.nodes[node]; ok {
+		return n.rec
+	}
+	return nil
+}
+
+// TraceEvents merges every node's flight recorder into one time-sorted
+// cluster-wide event stream.
+func (c *Cluster) TraceEvents() []trace.Event {
+	recs := make([]*trace.Recorder, 0, len(c.nodeIDs))
+	for _, nid := range c.nodeIDs {
+		recs = append(recs, c.nodes[nid].rec)
+	}
+	return trace.Merge(recs...)
 }
 
 // refreshCatalogPieces records the content and location of each running
@@ -216,13 +294,10 @@ func (c *Cluster) refreshCatalogPieces() {
 // Catalog exposes the domain's intra-participant catalog.
 func (c *Cluster) Catalog() *catalog.Intra { return c.cat }
 
-// install (re)wires pieces and routes from a partition.
+// install (re)wires pieces and routes from a partition. Routing state is
+// filled in before the hosts are built: addHost consults the entry
+// locations to tell locally-entering inputs from forwarded ones.
 func (c *Cluster) install(part *Partition) error {
-	for node, piece := range part.Pieces {
-		if err := c.nodes[node].addHost(node, piece); err != nil {
-			return err
-		}
-	}
 	for _, l := range part.Links {
 		c.labelSrc[l.Label] = l.From
 		c.labelDest[l.Label] = l.To
@@ -233,6 +308,11 @@ func (c *Cluster) install(part *Partition) error {
 		if in.Entry != in.Owner {
 			c.labelSrc[in.Name] = in.Entry
 			c.labelDest[in.Name] = in.Owner
+		}
+	}
+	for node, piece := range part.Pieces {
+		if err := c.nodes[node].addHost(node, piece); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -360,6 +440,11 @@ func (c *Cluster) Ingest(input string, t stream.Tuple) error {
 		return nil
 	}
 	en := c.nodes[entry]
+	if t.Span == nil {
+		// The trace must start where the tuple enters the system: the
+		// entry-to-owner forwarding hop is part of its latency.
+		t.Span = en.tracer.Sample(t.TS)
+	}
 	if c.cfg.K > 0 {
 		t = en.log(input).Append(t)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ha"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -81,6 +82,12 @@ type SimNode struct {
 	// log holds newer tuples: one flow period exceeds the link round trip,
 	// so a stuck prefix means loss, not tuples still in flight.
 	recvSeen map[string]uint64
+
+	// rec and tracer are the node's flight recorder and span sampler; nil
+	// when tracing is off. They sit outside the simulated failure domain:
+	// a crash wipes the engines but the black box keeps its events.
+	rec    *trace.Recorder
+	tracer *trace.Tracer
 }
 
 type outboxEntry struct {
@@ -89,7 +96,7 @@ type outboxEntry struct {
 }
 
 func newSimNode(c *Cluster, id string) *SimNode {
-	return &SimNode{
+	n := &SimNode{
 		c:        c,
 		id:       id,
 		clock:    engine.NewVirtualClock(0),
@@ -99,6 +106,11 @@ func newSimNode(c *Cluster, id string) *SimNode {
 		det:      ha.NewDetector(c.cfg.DetectTimeout),
 		recvSeen: map[string]uint64{},
 	}
+	if c.cfg.TraceSample > 0 {
+		n.rec = trace.NewRecorder(c.cfg.TraceBuf)
+		n.tracer = trace.NewTracer(id, c.cfg.TraceSample, n.rec)
+	}
+	return n
 }
 
 // loseVolatileState models what a crash destroys: engine state, output
@@ -110,13 +122,7 @@ func newSimNode(c *Cluster, id string) *SimNode {
 // resurrecting pre-crash memory.
 func (n *SimNode) loseVolatileState() {
 	for owner, h := range n.hosts {
-		eng, err := engine.New(h.piece, engine.Config{
-			Clock:          n.clock,
-			Scheduler:      n.c.newScheduler(),
-			MemoryBudget:   n.c.cfg.MemoryBudget,
-			DefaultBoxCost: n.c.cfg.DefaultBoxCost,
-			BoxCosts:       n.c.cfg.BoxCosts,
-		})
+		eng, err := n.newEngine(h.piece)
 		if err != nil {
 			continue // piece built once already; cannot fail again
 		}
@@ -134,18 +140,46 @@ func (n *SimNode) loseVolatileState() {
 	n.det = ha.NewDetector(n.c.cfg.DetectTimeout)
 }
 
-// addHost instantiates a piece's engine on this node.
-func (n *SimNode) addHost(owner string, piece *query.Network) error {
-	if _, dup := n.hosts[owner]; dup {
-		return fmt.Errorf("core: node %s already hosts piece of %s", n.id, owner)
-	}
+// newEngine builds the engine for a hosted piece: the node's shared
+// clock and tracer, with cross-link outputs marked as relays so traced
+// spans finalize only at true application outputs.
+func (n *SimNode) newEngine(piece *query.Network) (*engine.Engine, error) {
 	eng, err := engine.New(piece, engine.Config{
 		Clock:          n.clock,
 		Scheduler:      n.c.newScheduler(),
 		MemoryBudget:   n.c.cfg.MemoryBudget,
 		DefaultBoxCost: n.c.cfg.DefaultBoxCost,
 		BoxCosts:       n.c.cfg.BoxCosts,
+		Tracer:         n.tracer,
 	})
+	if err != nil {
+		return nil, err
+	}
+	appOuts := n.c.full.Outputs()
+	for name := range piece.Outputs() {
+		if _, app := appOuts[name]; !app {
+			eng.SetRelayOutput(name)
+		}
+	}
+	// Inputs that arrive from another node — cross-links, or application
+	// inputs whose entry node forwards here — are mid-path: the sampling
+	// decision was made where the tuple entered the system.
+	appIns := n.c.full.Inputs()
+	for name := range piece.Inputs() {
+		_, app := appIns[name]
+		if !app || (n.c.inputEntry[name] != "" && n.c.inputEntry[name] != n.id) {
+			eng.SetRelayInput(name)
+		}
+	}
+	return eng, nil
+}
+
+// addHost instantiates a piece's engine on this node.
+func (n *SimNode) addHost(owner string, piece *query.Network) error {
+	if _, dup := n.hosts[owner]; dup {
+		return fmt.Errorf("core: node %s already hosts piece of %s", n.id, owner)
+	}
+	eng, err := n.newEngine(piece)
 	if err != nil {
 		return err
 	}
@@ -307,10 +341,14 @@ func (n *SimNode) ingressLink(label string, tuples []stream.Tuple) {
 		n.dropped += uint64(len(tuples))
 		return
 	}
+	// Admitted tuples charge everything since the sender's last mark —
+	// outbox wait, serialization, propagation — to the network component.
+	arrive := n.c.sim.Now()
 	if n.c.cfg.K == 0 {
 		for _, t := range tuples {
 			n.localSeq++
 			t.Seq = n.localSeq
+			t.Span.Mark(trace.KindNet, label, arrive)
 			host.eng.Ingest(label, t)
 		}
 		n.pump()
@@ -325,6 +363,7 @@ func (n *SimNode) ingressLink(label string, tuples []stream.Tuple) {
 		n.localSeq++
 		t.Seq = n.localSeq
 		host.dep.NoteIngress(label, linkSeq, n.localSeq)
+		t.Span.Mark(trace.KindNet, label, arrive)
 		host.eng.Ingest(label, t)
 	}
 	n.pump()

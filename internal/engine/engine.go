@@ -8,6 +8,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Config tunes one engine instance.
@@ -29,6 +30,9 @@ type Config struct {
 	BoxCosts map[string]int64
 	// Shed configures the load shedder; nil disables shedding.
 	Shed *ShedConfig
+	// Tracer samples ingested tuples for causal latency tracing; nil
+	// disables tracing (the hot path then pays only nil checks).
+	Tracer *trace.Tracer
 }
 
 // OutputFn receives tuples delivered to a named application output.
@@ -54,6 +58,12 @@ type Engine struct {
 	shedder *Shedder
 	reg     *metrics.Registry
 
+	tracer *trace.Tracer
+	// Component histograms for completed traces, cached off the registry
+	// so the delivery path pays no map lookups. Nil when tracing is off.
+	traceQ, traceP, traceN  *metrics.Histogram
+	ingCtr, shedCtr, delCtr *metrics.Counter
+
 	// Connection points (§2.2): predetermined arcs where recent history
 	// is retained so ad hoc queries can attach later.
 	cpHist map[query.Port]*stream.History
@@ -62,6 +72,7 @@ type Engine struct {
 	onOutput OutputFn
 	ingested uint64
 	seq      uint64
+	relayIn  map[string]bool
 }
 
 // route is a delivery target for an input stream or a box output port.
@@ -83,6 +94,10 @@ type boxState struct {
 	wait     *metrics.EWMA // ns queueing delay
 	inCount  int64
 	outCount int64
+
+	// cur is the span of the tuple currently being processed: emitted
+	// tuples inherit it so the trace follows derivation through the box.
+	cur *trace.Span
 }
 
 // New builds an engine for the network with live operator instances.
@@ -109,6 +124,15 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	}
 	e.storage = NewStorage(cfg.MemoryBudget)
 	e.monitor = NewMonitor(e.clock)
+	e.ingCtr = e.reg.Counter("engine.ingested")
+	e.shedCtr = e.reg.Counter("engine.shed")
+	e.delCtr = e.reg.Counter("engine.delivered")
+	if cfg.Tracer != nil {
+		e.tracer = cfg.Tracer
+		e.traceQ = e.reg.Histogram("trace.queue_ns")
+		e.traceP = e.reg.Histogram("trace.proc_ns")
+		e.traceN = e.reg.Histogram("trace.net_ns")
+	}
 
 	defCost := cfg.DefaultBoxCost
 	if defCost <= 0 {
@@ -145,7 +169,7 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 
 	// Outputs.
 	for name, o := range net.Outputs() {
-		os, err := newOutputState(o, net.OutputSchema(o.Src))
+		os, err := newOutputState(o, net.OutputSchema(o.Src), e.reg)
 		if err != nil {
 			return nil, fmt.Errorf("engine: output %q: %w", name, err)
 		}
@@ -189,7 +213,14 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 			for _, tap := range e.taps[p] {
 				tap(0, t)
 			}
-			e.deliver(bb.downstream[port], t)
+			if t.Span == nil {
+				// Derived tuples (window aggregates, joins) inherit the
+				// span of the tuple being processed.
+				t.Span = bb.cur
+			}
+			now := e.clock.Now()
+			t.Span.Mark(trace.KindProc, bb.id, now)
+			e.deliver(bb.downstream[port], t, now)
 		}
 	}
 
@@ -204,19 +235,45 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// deliver routes a tuple to a set of targets: box queues or outputs.
-func (e *Engine) deliver(targets []route, t stream.Tuple) {
-	now := e.clock.Now()
+// deliver routes a tuple to a set of targets: box queues or outputs. The
+// caller supplies now so that a traced tuple's final Proc mark and the
+// monitor's latency observation share one timestamp — the decomposition
+// then sums to the monitored latency exactly, not merely approximately.
+func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
+	first := true
 	for _, r := range targets {
+		tt := t
+		if !first {
+			// A span follows exactly one path: fan-out copies would all
+			// mark the same shared span and corrupt its accounting.
+			tt.Span = nil
+		}
+		first = false
 		if r.out != nil {
-			r.out.observe(t, now)
+			r.out.observe(tt, now)
+			e.delCtr.Inc()
+			if sp := tt.Span; sp != nil && !sp.Done() && !r.out.relay {
+				if e.tracer != nil {
+					e.tracer.Complete(sp, r.out.name, now)
+				} else {
+					// Traced upstream, delivered on an untraced node:
+					// still close the span so the decomposition is whole.
+					sp.Finish(r.out.name, now)
+				}
+				if e.traceQ != nil {
+					q, p, nn := sp.Components()
+					e.traceQ.Observe(float64(q))
+					e.traceP.Observe(float64(p))
+					e.traceN.Observe(float64(nn))
+				}
+			}
 			if e.onOutput != nil {
-				e.onOutput(r.out.name, t)
+				e.onOutput(r.out.name, tt)
 			}
 			continue
 		}
-		r.box.inQ[r.port].Push(t, now)
-		e.storage.NoteEnqueue(t.MemSize(), e.queuedBytes())
+		r.box.inQ[r.port].Push(tt, now)
+		e.storage.NoteEnqueue(tt.MemSize(), e.queuedBytes())
 	}
 }
 
@@ -224,6 +281,28 @@ func (e *Engine) deliver(targets []route, t stream.Tuple) {
 // application output; the distributed layer uses it to forward tuples to
 // downstream nodes.
 func (e *Engine) OnOutput(fn OutputFn) { e.onOutput = fn }
+
+// SetRelayOutput marks a named output as an intermediate hop: the
+// distributed layer forwards its tuples to another node rather than to an
+// application, so traced spans stay open there and keep accumulating
+// components downstream instead of being finalized mid-path.
+func (e *Engine) SetRelayOutput(name string) {
+	if os, ok := e.outputs[name]; ok {
+		os.relay = true
+	}
+}
+
+// SetRelayInput marks a named input as a mid-path arrival point: tuples
+// entering there came from another node, so the sampling decision was
+// already made upstream and untraced tuples stay untraced (re-sampling
+// mid-path would inflate the traced fraction and misattribute the
+// already-elapsed upstream time).
+func (e *Engine) SetRelayInput(name string) {
+	if e.relayIn == nil {
+		e.relayIn = map[string]bool{}
+	}
+	e.relayIn[name] = true
+}
 
 // Ingest pushes one tuple onto a named input stream. Tuples with zero TS
 // are stamped with the current clock (their birth time for latency QoS);
@@ -234,19 +313,27 @@ func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 	if !ok {
 		return false
 	}
+	now := e.clock.Now()
 	if t.TS == 0 {
-		t.TS = e.clock.Now()
+		t.TS = now
 	}
 	if t.Seq == 0 {
 		e.seq++
 		t.Seq = e.seq
 	}
 	e.ingested++
+	e.ingCtr.Inc()
 	if e.shedder != nil && e.shedder.ShouldDrop(e, input, t) {
 		e.noteDrop()
+		e.shedCtr.Inc()
 		return false
 	}
-	e.deliver(routes, t)
+	if t.Span == nil && !e.relayIn[input] {
+		// Admitted and locally born: decide here whether to trace it. A
+		// tuple arriving with a span keeps it — its trace began upstream.
+		t.Span = e.tracer.Sample(t.TS)
+	}
+	e.deliver(routes, t, now)
 	return true
 }
 
@@ -273,7 +360,12 @@ func (e *Engine) Step() bool {
 		}
 		b.wait.Observe(float64(start - en.enq))
 		b.inCount++
+		if sp := en.t.Span; sp != nil {
+			sp.Mark(trace.KindQueue, b.id, start)
+			b.cur = sp
+		}
 		b.inst.Process(port, en.t, b.emit)
+		b.cur = nil
 		processed++
 	}
 	if processed == 0 {
@@ -501,3 +593,10 @@ func (e *Engine) Clock() Clock { return e.clock }
 
 // Ingested returns the number of tuples offered to the engine.
 func (e *Engine) Ingested() uint64 { return e.ingested }
+
+// Metrics returns the engine's metric registry (counters, trace component
+// histograms, per-output latency histograms).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Tracer returns the engine's tracer, nil when tracing is disabled.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }

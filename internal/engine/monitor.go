@@ -30,14 +30,17 @@ type outputState struct {
 	delivered uint64
 	dropped   uint64
 	lastTuple stream.Tuple
+	// relay marks an output whose tuples continue to another node; traced
+	// spans are not finalized at relay outputs.
+	relay bool
 }
 
-func newOutputState(o *query.Output, schema *stream.Schema) (*outputState, error) {
+func newOutputState(o *query.Output, schema *stream.Schema, reg *metrics.Registry) (*outputState, error) {
 	os := &outputState{
 		name:     o.Name,
 		spec:     o.QoS,
 		valueIdx: -1,
-		latency:  metrics.NewHistogram(),
+		latency:  reg.Histogram("output." + o.Name + ".latency_ns"),
 	}
 	if o.QoS != nil && o.QoS.Value != nil {
 		if schema == nil {

@@ -143,6 +143,7 @@ func E02Scheduler(scale float64) *Table {
 		el := time.Since(start)
 		t.Add(name, train, float64(el.Milliseconds()),
 			float64(n)/el.Seconds()/1e3, e.Storage().SpillEvents())
+		t.AttachMetrics(fmt.Sprintf("%s/train=%d", name, train), e.Metrics().Snapshot())
 	}
 	run("round-robin", engine.NewRoundRobinScheduler(1), 1)
 	run("round-robin", engine.NewRoundRobinScheduler(16), 16)

@@ -7,15 +7,24 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Table is one experiment's result: a title, column headers, and rows.
+// The struct marshals directly to JSON — benchrunner's BENCH_<id>.json
+// artifacts are this typed value, never a re-parse of the printed table.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+
+	// Metrics carries typed registry snapshots keyed by configuration
+	// label, for experiments that run a full engine and want its raw
+	// counters and latency histograms in the machine-readable artifact.
+	Metrics map[string]metrics.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 // Add appends a row, formatting each cell with %v.
@@ -30,6 +39,15 @@ func (t *Table) Add(cells ...any) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+// AttachMetrics stores a registry snapshot under the given configuration
+// label for the JSON artifact; the printed table is unaffected.
+func (t *Table) AttachMetrics(label string, s metrics.RegistrySnapshot) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]metrics.RegistrySnapshot{}
+	}
+	t.Metrics[label] = s
 }
 
 // Note appends a free-text annotation below the table.

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileEdgeCases pins the contract at the boundaries:
+// empty, a single observation, q outside [0,1], and a distribution where
+// every observation lands in one bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram()
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(1234)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 1234 {
+				t.Errorf("single-obs Quantile(%g) = %g, want 1234", q, got)
+			}
+		}
+		if h.Mean() != 1234 || h.Count() != 1 {
+			t.Errorf("single-obs Mean=%g Count=%d", h.Mean(), h.Count())
+		}
+	})
+	t.Run("q-clamps", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(10)
+		h.Observe(1e6)
+		if got := h.Quantile(-5); got != 10 {
+			t.Errorf("Quantile(-5) = %g, want exact min 10", got)
+		}
+		if got := h.Quantile(7); got != 1e6 {
+			t.Errorf("Quantile(7) = %g, want exact max 1e6", got)
+		}
+	})
+	t.Run("all-same-bucket", func(t *testing.T) {
+		// 1000 and 1004 share a log bucket; every quantile must stay
+		// clamped inside the observed [min, max] range.
+		h := NewHistogram()
+		for i := 0; i < 100; i++ {
+			h.Observe(1000)
+			h.Observe(1004)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			got := h.Quantile(q)
+			if got < 1000 || got > 1004 {
+				t.Errorf("Quantile(%g) = %g, want within [1000, 1004]", q, got)
+			}
+		}
+		if h.Quantile(0) != 1000 || h.Quantile(1) != 1004 {
+			t.Errorf("extremes: min=%g max=%g", h.Quantile(0), h.Quantile(1))
+		}
+	})
+	t.Run("huge-value-last-bucket", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(math.MaxFloat64) // beyond the bucket range: clamps to the last bucket
+		if got := h.Quantile(0.5); got != math.MaxFloat64 {
+			t.Errorf("Quantile(0.5) = %g, want clamped max", got)
+		}
+	})
+}
+
+// TestObserveAllocationFree holds the package doc to its word: Observe on
+// both EWMA and Histogram performs zero heap allocations.
+func TestObserveAllocationFree(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f objects per call, want 0", n)
+	}
+	e := NewEWMA(0.2)
+	if n := testing.AllocsPerRun(1000, func() { e.Observe(42) }); n != 0 {
+		t.Errorf("EWMA.Observe allocates %.1f objects per call, want 0", n)
+	}
+}
+
+// TestHistogramConcurrentObserve checks that the atomic counters hold up
+// under contention (the race detector validates the memory model).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	wantSum := float64(goroutines*per) * float64(goroutines*per+1) / 2
+	if got := h.Mean() * float64(h.Count()); math.Abs(got-wantSum) > 1e-3*wantSum {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != goroutines*per {
+		t.Errorf("min/max = %g/%g", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestEWMAConcurrentObserve: concurrent folds must never lose the "seen"
+// state or corrupt the float bits.
+func TestEWMAConcurrentObserve(t *testing.T) {
+	e := NewEWMA(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				e.Observe(100)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := e.Value(); math.Abs(v-100) > 1e-9 {
+		t.Errorf("EWMA of constant 100 = %g", v)
+	}
+}
+
+// The two benchmarks prove the "allocation-free, mutex-free on the hot
+// path" claim: run with -benchmem and expect 0 B/op, 0 allocs/op; the
+// parallel variants scale instead of serializing on a lock.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&0xFFFF) + 1)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i&0xFFFF) + 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkEWMAObserve(b *testing.B) {
+	e := NewEWMA(0.2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Observe(float64(i & 0xFF))
+	}
+}
+
+func BenchmarkEWMAObserveParallel(b *testing.B) {
+	e := NewEWMA(0.2)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			e.Observe(float64(i & 0xFF))
+			i++
+		}
+	})
+}

@@ -1,7 +1,9 @@
 // Package metrics provides the lightweight instrumentation used by every
 // experiment in the repository: atomic counters, gauges, exponentially
 // weighted rates, and a log-bucketed latency histogram with quantile
-// estimation. Everything is allocation-free on the hot path.
+// estimation. Everything is allocation-free and lock-free on the hot
+// path: Observe on EWMA and Histogram compiles down to a handful of
+// atomic operations, never a mutex and never a heap allocation.
 package metrics
 
 import (
@@ -37,14 +39,20 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// ewmaEmpty marks an EWMA that has seen no observation. It is a NaN bit
+// pattern that float64 arithmetic never produces (Go's canonical NaN is
+// 0x7FF8000000000001; this one carries a different payload), so a stored
+// value can never be mistaken for it.
+const ewmaEmpty = 0x7FF8_0000_0000_dead
+
 // EWMA tracks an exponentially weighted moving average, used for the
 // approximate cost and selectivity statistics of §7.1 ("monitored and
-// maintained in an approximate fashion over a running network").
+// maintained in an approximate fashion over a running network"). The
+// current value lives in a single atomic word as float64 bits; Observe is
+// a CAS loop with no lock and no allocation. Construct with NewEWMA.
 type EWMA struct {
-	mu    sync.Mutex
 	alpha float64
-	val   float64
-	init  bool
+	bits  atomic.Uint64
 }
 
 // NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; higher
@@ -53,38 +61,52 @@ func NewEWMA(alpha float64) *EWMA {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.2
 	}
-	return &EWMA{alpha: alpha}
+	e := &EWMA{alpha: alpha}
+	e.bits.Store(ewmaEmpty)
+	return e
 }
 
 // Observe folds a sample into the average.
 func (e *EWMA) Observe(x float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.init {
-		e.val = x
-		e.init = true
-		return
+	for {
+		old := e.bits.Load()
+		nv := x
+		if old != ewmaEmpty {
+			nv = e.alpha*x + (1-e.alpha)*math.Float64frombits(old)
+		}
+		nb := math.Float64bits(nv)
+		if nb == ewmaEmpty {
+			// An observed NaN whose payload collides with the sentinel:
+			// store the canonical NaN instead so the state stays "seen".
+			nb = math.Float64bits(math.NaN())
+		}
+		if e.bits.CompareAndSwap(old, nb) {
+			return
+		}
 	}
-	e.val = e.alpha*x + (1-e.alpha)*e.val
 }
 
 // Value returns the current average (0 before any observation).
 func (e *EWMA) Value() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.val
+	b := e.bits.Load()
+	if b == ewmaEmpty {
+		return 0
+	}
+	return math.Float64frombits(b)
 }
 
 // Histogram is a log-bucketed histogram of non-negative values (typically
 // latencies in nanoseconds). Buckets grow geometrically by bucketGrowth so
-// that relative error stays bounded across nine decades.
+// that relative error stays bounded across nine decades. All state is
+// atomic: Observe touches a fixed set of atomic words — no mutex, no
+// allocation — and readers get a weakly consistent snapshot, which is the
+// right trade for monitoring data. Construct with NewHistogram.
 type Histogram struct {
-	mu     sync.Mutex
-	counts []uint64
-	total  uint64
-	sum    float64
-	min    float64
-	max    float64
+	counts  [histBuckets]atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits
+	maxBits atomic.Uint64 // float64 bits
 }
 
 const (
@@ -94,7 +116,10 @@ const (
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]uint64, histBuckets), min: math.Inf(1), max: math.Inf(-1)}
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 func bucketOf(x float64) int {
@@ -121,66 +146,85 @@ func (h *Histogram) Observe(x float64) {
 	if x < 0 {
 		x = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.counts[bucketOf(x)]++
-	h.total++
-	h.sum += x
-	if x < h.min {
-		h.min = x
+	h.counts[bucketOf(x)].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, nb) {
+			break
+		}
 	}
-	if x > h.max {
-		h.max = x
+	for {
+		old := h.minBits.Load()
+		if x >= math.Float64frombits(old) {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(x)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if x <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(x)) {
+			break
+		}
 	}
 }
 
 // Count returns how many values have been observed.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
-}
+func (h *Histogram) Count() uint64 { return h.total.Load() }
 
 // Mean returns the arithmetic mean of all observations (0 when empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	n := h.total.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return math.Float64frombits(h.sumBits.Load()) / float64(n)
 }
+
+func (h *Histogram) min() float64 { return math.Float64frombits(h.minBits.Load()) }
+func (h *Histogram) max() float64 { return math.Float64frombits(h.maxBits.Load()) }
 
 // Quantile estimates the q'th quantile (q in [0, 1]) from the bucket
 // boundaries; exact min/max are returned at the extremes.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return h.min()
 	}
 	if q >= 1 {
-		return h.max
+		return h.max()
 	}
-	target := uint64(q * float64(h.total))
+	target := uint64(q * float64(total))
 	var seen uint64
-	for b, c := range h.counts {
-		seen += c
+	for b := range h.counts {
+		seen += h.counts[b].Load()
 		if seen > target {
 			lo, hi := bucketLow(b), bucketLow(b+1)
-			if lo < h.min {
-				lo = h.min
+			if mn := h.min(); lo < mn {
+				lo = mn
 			}
-			if hi > h.max {
-				hi = h.max
+			if mx := h.max(); hi > mx {
+				hi = mx
 			}
-			return (lo + hi) / 2
+			if hi < lo {
+				// Values beyond the last bucket boundary (or a min above
+				// the bucket's range) can invert the clamps; the observed
+				// extreme is the only honest answer then.
+				hi = lo
+			}
+			return lo + (hi-lo)/2 // midpoint, overflow-safe near MaxFloat64
 		}
 	}
-	return h.max
+	return h.max()
 }
 
 // Snapshot summarises the histogram.
@@ -273,22 +317,56 @@ func (r *Registry) EWMA(name string) *EWMA {
 	return e
 }
 
-// Dump renders every metric, sorted by name, for diagnostics.
-func (r *Registry) Dump() string {
+// RegistrySnapshot is a typed, programmatic view of every metric in a
+// registry at one instant — the structured counterpart of Dump, consumed
+// by the auroranode /metrics endpoint and machine-readable bench output.
+type RegistrySnapshot struct {
+	Counters   map[string]int64   `json:"counters,omitempty"`
+	Gauges     map[string]int64   `json:"gauges,omitempty"`
+	EWMAs      map[string]float64 `json:"ewmas,omitempty"`
+	Histograms map[string]Summary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric with its current value.
+func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var lines []string
+	s := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		EWMAs:      make(map[string]float64, len(r.ewmas)),
+		Histograms: make(map[string]Summary, len(r.histograms)),
+	}
 	for n, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter %s = %d", n, c.Value()))
+		s.Counters[n] = c.Value()
 	}
 	for n, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, g.Value()))
+		s.Gauges[n] = g.Value()
 	}
 	for n, e := range r.ewmas {
-		lines = append(lines, fmt.Sprintf("ewma %s = %.3f", n, e.Value()))
+		s.EWMAs[n] = e.Value()
 	}
 	for n, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("hist %s = %s", n, h.Snapshot()))
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Dump renders every metric, sorted by name, for diagnostics.
+func (r *Registry) Dump() string {
+	s := r.Snapshot()
+	var lines []string
+	for n, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", n, v))
+	}
+	for n, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, v))
+	}
+	for n, v := range s.EWMAs {
+		lines = append(lines, fmt.Sprintf("ewma %s = %.3f", n, v))
+	}
+	for n, v := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("hist %s = %s", n, v))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

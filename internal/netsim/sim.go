@@ -108,6 +108,7 @@ type Sim struct {
 	links  map[linkKey]*Link
 	rng    *rand.Rand
 	hooks  []func(FaultEvent)
+	sends  []func(SendEvent)
 }
 
 // New returns an empty simulation with a deterministic RNG.
@@ -186,6 +187,24 @@ func (s *Sim) emit(ev FaultEvent) {
 	}
 }
 
+// SendEvent describes one message admitted to a link: who sent it, when
+// it entered the link, and when it will arrive (serialization plus
+// propagation). Dropped, cut, and lost messages are not reported.
+type SendEvent struct {
+	From, To string
+	Size     int
+	Payload  any
+	SentAt   int64 // virtual time the send was issued
+	ArriveAt int64 // virtual time the delivery event will fire
+}
+
+// OnSend registers an observer invoked synchronously for every message a
+// link accepts. The tracing layer uses it to attribute per-link transit
+// time without the transport knowing anything about tracing.
+func (s *Sim) OnSend(fn func(SendEvent)) {
+	s.sends = append(s.sends, fn)
+}
+
 // SetLoss changes the drop probability of the directed link from a to b at
 // run time (a lossy-link fault). It is a no-op on unknown links.
 func (s *Sim) SetLoss(a, b string, loss float64) {
@@ -258,6 +277,10 @@ func (s *Sim) Send(from, to string, size int, payload any) error {
 	l.BytesSent += int64(size)
 	l.MsgsSent++
 	arrive := l.nextFree + l.Delay
+	for _, fn := range s.sends {
+		fn(SendEvent{From: from, To: to, Size: size, Payload: payload,
+			SentAt: s.now, ArriveAt: arrive})
+	}
 	s.seq++
 	heap.Push(&s.events, &event{at: arrive, seq: s.seq, fn: func() {
 		dst := s.nodes[to]

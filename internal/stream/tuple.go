@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // Tuple is one stream event. Unlike relational tuples, stream tuples are
@@ -18,6 +20,13 @@ type Tuple struct {
 	Seq  uint64
 	TS   int64
 	Vals []Value
+
+	// Span is the optional causal trace context: nil for untraced tuples,
+	// shared by pointer through queues, boxes, and in-process links so the
+	// latency decomposition accumulates along the whole path. It is
+	// diagnostic metadata — excluded from value equality and from MemSize
+	// buffer accounting.
+	Span *trace.Span
 }
 
 // NewTuple builds a tuple with the given values and zero Seq/TS.

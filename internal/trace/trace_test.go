@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanSumIdentity: the core accounting contract — components sum to
+// exactly End-Birth because every mark charges the cursor gap to one
+// component.
+func TestSpanSumIdentity(t *testing.T) {
+	tr := NewTracer("n1", 1, nil)
+	s := tr.Sample(1000)
+	if s == nil {
+		t.Fatal("sample-every-1 tracer returned nil span")
+	}
+	s.Mark(KindQueue, "b1", 1500)  // 500 queue
+	s.Mark(KindProc, "b1", 1700)   // 200 proc
+	s.Mark(KindNet, "link1", 2700) // 1000 net
+	s.Mark(KindQueue, "b2", 2750)  // 50 queue
+	tr.Complete(s, "out", 3000)    // 250 residual proc
+
+	q, p, n := s.Components()
+	if q != 550 || p != 450 || n != 1000 {
+		t.Errorf("components = %d/%d/%d, want 550/450/1000", q, p, n)
+	}
+	if got := q + p + n; got != s.Total() {
+		t.Errorf("sum %d != total %d", got, s.Total())
+	}
+	if s.Total() != 2000 || !s.Done() {
+		t.Errorf("total=%d done=%v", s.Total(), s.Done())
+	}
+	// Marks after Finish are ignored.
+	s.Mark(KindProc, "late", 9999)
+	if s.Proc != 450 {
+		t.Error("mark after Finish mutated the span")
+	}
+}
+
+func TestSpanZeroSegmentsRecordNoStages(t *testing.T) {
+	s := &Span{ID: 1, Birth: 100, Cursor: 100}
+	s.Mark(KindQueue, "b", 100) // zero-length
+	s.Mark(KindProc, "b", 150)
+	if len(s.Stages) != 1 {
+		t.Fatalf("stages = %d, want 1 (zero segments skipped)", len(s.Stages))
+	}
+	if s.Stages[0].Kind != KindProc || s.Stages[0].Dur != 50 {
+		t.Errorf("stage = %+v", s.Stages[0])
+	}
+}
+
+func TestSpanStageCap(t *testing.T) {
+	s := &Span{Birth: 0}
+	for i := int64(1); i <= maxStages+50; i++ {
+		s.Mark(KindQueue, "b", i)
+	}
+	if len(s.Stages) != maxStages {
+		t.Errorf("stages = %d, want capped at %d", len(s.Stages), maxStages)
+	}
+	if s.Queue != maxStages+50 {
+		t.Errorf("totals stopped accumulating at the cap: %d", s.Queue)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer("n1", 4, nil)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr.Sample(int64(i)) != nil {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Errorf("sampled %d of 100 with every=4, want 25", sampled)
+	}
+	// IDs are unique and carry the node salt.
+	a, b := NewTracer("x", 1, nil).Sample(0), NewTracer("y", 1, nil).Sample(0)
+	if a.ID == b.ID {
+		t.Error("IDs from distinct nodes collide")
+	}
+}
+
+func TestNilTracerAndNilSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample(0) != nil {
+		t.Error("nil tracer sampled")
+	}
+	tr.Complete(&Span{}, "out", 1)
+	tr.Annotate("x", 1)
+	if tr.Node() != "" || tr.Recorder() != nil {
+		t.Error("nil tracer accessors")
+	}
+	var s *Span
+	s.Mark(KindQueue, "b", 1)
+	s.Finish("out", 2)
+	if s.Done() {
+		t.Error("nil span done")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Add(Event{Start: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 16 || r.Len() != 16 {
+		t.Fatalf("len = %d/%d, want 16", len(evs), r.Len())
+	}
+	if r.Total() != 40 {
+		t.Errorf("total = %d, want 40", r.Total())
+	}
+	for i, ev := range evs {
+		if ev.Start != int64(24+i) {
+			t.Fatalf("event %d start = %d, want %d (oldest-first)", i, ev.Start, 24+i)
+		}
+	}
+}
+
+func TestCompleteFeedsRecorder(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer("n1", 1, rec)
+	s := tr.Sample(0)
+	s.Mark(KindQueue, "b1", 10)
+	tr.Complete(s, "out", 30)
+	evs := rec.Events()
+	if len(evs) != 3 { // queue stage, residual proc stage, deliver summary
+		t.Fatalf("recorder events = %d, want 3: %+v", len(evs), evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != KindDeliver || last.Dur != 30 || last.TraceID != s.ID {
+		t.Errorf("deliver summary = %+v", last)
+	}
+	// A second Complete must not double-record.
+	tr.Complete(s, "out", 99)
+	if rec.Total() != 3 {
+		t.Error("double Complete re-recorded the span")
+	}
+}
+
+func TestMergeSortsAcrossRecorders(t *testing.T) {
+	a, b := NewRecorder(16), NewRecorder(16)
+	a.Add(Event{Start: 5, Node: "a"})
+	b.Add(Event{Start: 3, Node: "b"})
+	a.Add(Event{Start: 9, Node: "a"})
+	got := Merge(a, b, nil)
+	if len(got) != 3 || got[0].Start != 3 || got[2].Start != 9 {
+		t.Errorf("merge = %+v", got)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer("node-a", 1, rec)
+	s := tr.Sample(0)
+	s.Mark(KindQueue, "b1", 1000)
+	s.Mark(KindNet, "link", 3000)
+	tr.Complete(s, "out", 4000)
+	tr.Annotate("crash n2", 3500)
+
+	raw := ChromeTrace(rec.Events())
+	var arr []map[string]any
+	if err := json.Unmarshal(raw, &arr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, raw)
+	}
+	var phX, phI, phM int
+	for _, ev := range arr {
+		switch ev["ph"] {
+		case "X":
+			phX++
+			if ev["dur"] == nil {
+				t.Errorf("complete event without dur: %v", ev)
+			}
+		case "i":
+			phI++
+		case "M":
+			phM++
+		}
+	}
+	if phX != 4 || phI != 1 || phM < 2 {
+		t.Errorf("event mix X=%d i=%d M=%d from %s", phX, phI, phM, raw)
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	out := FormatEvents([]Event{{Node: "n1", Name: "b1", Kind: KindQueue, Start: 10, Dur: 5}})
+	if !strings.Contains(out, "queue") || !strings.Contains(out, "b1") {
+		t.Errorf("format: %q", out)
+	}
+}

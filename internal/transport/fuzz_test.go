@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // fuzzSeeds is the seed corpus: wire forms of every message kind and
@@ -25,6 +26,16 @@ func fuzzSeeds() [][]byte {
 			{Seq: 5, TS: -1000, Vals: []stream.Value{stream.Int(-9e15)}},
 		}},
 	}
+	// Traced messages: spans ride in a trailer announced by the kind
+	// byte's high bit. One fully-traced batch and one mixed batch.
+	traced1 := stream.NewTuple(stream.Int(1))
+	traced1.Span = &trace.Span{ID: 77, Birth: 100, Cursor: 900, Queue: 500, Proc: 200, Net: 100}
+	traced2 := stream.NewTuple(stream.Float(2.5), stream.String("t"))
+	traced2.Span = &trace.Span{ID: 1 << 50, Birth: -5, Cursor: 0, Proc: 5}
+	msgs = append(msgs,
+		Msg{Stream: "tr", Kind: KindData, BaseSeq: 3, Tuples: []stream.Tuple{traced1, traced2}},
+		Msg{Stream: "mix", Kind: KindData, Tuples: []stream.Tuple{stream.NewTuple(stream.Bool(true)), traced1}},
+	)
 	var out [][]byte
 	for _, m := range msgs {
 		out = append(out, Encode(nil, m))
@@ -38,6 +49,10 @@ func fuzzSeeds() [][]byte {
 		[]byte{0, 0, 0, 0, 1, 1, 2, 0xFF, 0xFF, 0xFF, 0x0F},
 		// truncated float value
 		[]byte{0, 0, 0, 0, 1, 1, 2, 1, byte(stream.KindFloat), 1, 2},
+		// trace bit set but no trailer bytes follow the batch
+		[]byte{kindTraced, 0, 0, 0, 0},
+		// trace trailer whose entry indexes a tuple beyond the batch
+		[]byte{kindTraced, 0, 0, 0, 0, 1, 9, 1, 0, 0, 0, 0, 0},
 	)
 	return out
 }

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func tracedMsg() Msg {
+	t1 := stream.NewTuple(stream.Int(1), stream.String("a"))
+	t1.Span = &trace.Span{ID: 0xDEAD01, Birth: 1000, Cursor: 4200, Queue: 2000, Proc: 700, Net: 500}
+	t2 := stream.NewTuple(stream.Int(2)) // untraced, between two traced ones
+	t3 := stream.NewTuple(stream.Float(2.5))
+	t3.Span = &trace.Span{ID: 0xDEAD03, Birth: -50, Cursor: 10, Queue: 60}
+	return Msg{Stream: "quotes", Kind: KindData, BaseSeq: 7,
+		Tuples: []stream.Tuple{t1, t2, t3}}
+}
+
+// TestCodecTraceRoundTrip: span summaries survive Encode/Decode, attached
+// to the right tuples, with untraced neighbors left untouched.
+func TestCodecTraceRoundTrip(t *testing.T) {
+	m := tracedMsg()
+	buf := Encode(nil, m)
+	got, used, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d of %d bytes", used, len(buf))
+	}
+	if got.Kind != KindData {
+		t.Errorf("kind = %d, want KindData (trace bit must be masked)", got.Kind)
+	}
+	if got.Tuples[1].Span != nil {
+		t.Error("untraced tuple grew a span")
+	}
+	for _, i := range []int{0, 2} {
+		want, have := m.Tuples[i].Span, got.Tuples[i].Span
+		if have == nil {
+			t.Fatalf("tuple %d lost its span", i)
+		}
+		if have.ID != want.ID || have.Birth != want.Birth || have.Cursor != want.Cursor ||
+			have.Queue != want.Queue || have.Proc != want.Proc || have.Net != want.Net {
+			t.Errorf("tuple %d span = %+v, want %+v", i, have, want)
+		}
+	}
+}
+
+// TestCodecUntracedUnchanged: without spans the wire form is byte-for-byte
+// the original format — untraced old-format messages still decode and new
+// untraced encodes stay readable by anything that knew the old format.
+func TestCodecUntracedUnchanged(t *testing.T) {
+	m := sampleMsg()
+	buf := Encode(nil, m)
+	if buf[0]&kindTraced != 0 {
+		t.Error("untraced message has trace bit set")
+	}
+	// Hand-build the old-format encoding (the pre-trailer encoder) and
+	// check the new decoder accepts it unchanged.
+	var old []byte
+	old = append(old, byte(m.Kind))
+	old = appendUv(old, uint64(len(m.Stream)))
+	old = append(old, m.Stream...)
+	old = appendUv(old, m.BaseSeq)
+	old = appendUv(old, uint64(len(m.Ctrl)))
+	old = append(old, m.Ctrl...)
+	old = appendUv(old, uint64(len(m.Tuples)))
+	for _, tp := range m.Tuples {
+		old = encodeTuple(old, tp)
+	}
+	if !bytes.Equal(old, buf) {
+		t.Fatalf("untraced encoding diverged from the old format:\n%x\n%x", old, buf)
+	}
+	got, used, err := Decode(old)
+	if err != nil || used != len(old) {
+		t.Fatalf("old-format decode: used=%d err=%v", used, err)
+	}
+	if got.Stream != m.Stream || len(got.Tuples) != len(m.Tuples) {
+		t.Errorf("old-format decode mismatch: %+v", got)
+	}
+}
+
+func appendUv(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// TestCodecTraceTrailerCorruption: hostile trailers must error, never
+// panic or attach spans out of range.
+func TestCodecTraceTrailerCorruption(t *testing.T) {
+	good := Encode(nil, tracedMsg())
+	cases := map[string][]byte{
+		"truncated trailer": good[:len(good)-3],
+		"trace bit, no trailer": func() []byte {
+			m := sampleMsg()
+			b := Encode(nil, m)
+			b[0] |= kindTraced
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Out-of-range tuple index in the trailer.
+	m := Msg{Stream: "s", Kind: KindData, Tuples: []stream.Tuple{stream.NewTuple(stream.Int(1))}}
+	m.Tuples[0].Span = &trace.Span{ID: 1}
+	b := Encode(nil, m)
+	// The index uvarint is the first trailer byte after the count; bump it.
+	b[len(b)-7] = 5 // index 5 of 1
+	if _, _, err := Decode(b); err == nil {
+		t.Error("out-of-range trace index accepted")
+	}
+}
+
+// TestEncodedSizeIncludesTrailer keeps the netsim byte modeling honest.
+func TestEncodedSizeIncludesTrailer(t *testing.T) {
+	m := tracedMsg()
+	withSpans := EncodedSize(m)
+	for i := range m.Tuples {
+		m.Tuples[i].Span = nil
+	}
+	if without := EncodedSize(m); withSpans <= without {
+		t.Errorf("EncodedSize traced=%d untraced=%d, trailer not counted", withSpans, without)
+	}
+}
