@@ -20,4 +20,9 @@ echo "== trace overhead guard"
 # fails if the off path pays for the instrumentation.
 CI_TRACE_GUARD=1 go test ./internal/engine/ -run TestTraceOverheadGuard -count=1 -v
 
+echo "== stats overhead guard"
+# Same bargain for the statistics plane: with no stats store configured
+# the engine hot path must not pay for the windowed sampling.
+CI_STATS_GUARD=1 go test ./internal/engine/ -run TestStatsOverheadGuard -count=1 -v
+
 echo "ci: all checks passed"

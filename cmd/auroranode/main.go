@@ -30,7 +30,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/op"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wgen"
@@ -158,9 +160,11 @@ func main() {
 		genN     = flag.Int("gen-count", 10000, "tuples to generate")
 		genRate  = flag.Float64("gen-rate", 10000, "generated tuples per second")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
-		httpAddr = flag.String("http", "", "telemetry HTTP listen address (/metrics, /trace, /healthz); empty disables")
+		httpAddr = flag.String("http", "", "telemetry HTTP listen address (/metrics, /trace, /healthz, /stats, /loadmap); empty disables")
 		traceN   = flag.Int("trace", 0, "trace every Nth locally ingested tuple (0 disables tracing)")
 		traceBuf = flag.Int("trace-buf", 4096, "flight-recorder ring capacity")
+		statsPer = flag.Duration("stats", 0, "statistics-plane sample period (0 disables the stats plane)")
+		statsWin = flag.Int("stats-windows", 8, "windowed-store ring size per series")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -179,7 +183,14 @@ func main() {
 	if *traceN > 0 {
 		tracer = trace.NewTracer(*id, *traceN, trace.NewRecorder(*traceBuf))
 	}
-	eng, err := engine.New(net, engine.Config{Tracer: tracer})
+	ecfg := engine.Config{Tracer: tracer}
+	var plane *stats.Plane
+	if *statsPer > 0 {
+		plane = stats.NewPlane(*id, statsPer.Nanoseconds(), *statsWin, 0)
+		ecfg.Stats = plane.Store()
+		ecfg.StatsEvery = 64
+	}
+	eng, err := engine.New(net, ecfg)
 	if err != nil {
 		log.Fatalf("engine: %v", err)
 	}
@@ -204,16 +215,25 @@ func main() {
 				return
 			}
 			peer, remoteStream := dest[:i], dest[i+1:]
-			if err := tcp.Send(peer, transport.Msg{
+			m := transport.Msg{
 				Stream: remoteStream, Kind: transport.KindData,
 				BaseSeq: t.Seq, Tuples: []stream.Tuple{t},
-			}); err != nil && !*quiet {
+			}
+			if plane != nil {
+				// The stats trailer rides along for free: every routed
+				// batch gossips the sender's current load map.
+				m.Digests = plane.Gossip()
+			}
+			if err := tcp.Send(peer, m); err != nil && !*quiet {
 				log.Printf("route %s -> %s: %v", name, dest, err)
 			}
 		}
 	})
 
 	tcp, err = transport.ListenTCP(*id, *listen, func(from string, m transport.Msg) {
+		if plane != nil && len(m.Digests) > 0 {
+			plane.Merge(m.Digests)
+		}
 		if m.Kind != transport.KindData {
 			return
 		}
@@ -239,15 +259,46 @@ func main() {
 		log.Printf("node %s listening on %s, network %s", *id, tcp.Addr(), net)
 	}
 
+	if plane != nil {
+		// Sampler: on each stats period, fold the engine's sources into
+		// the windowed store, derive node-level gauges, and publish a
+		// fresh digest for the gossip to carry.
+		go func() {
+			tick := time.NewTicker(*statsPer)
+			defer tick.Stop()
+			var lastBusy int64
+			var lastAt = time.Now().UnixNano()
+			for range tick.C {
+				now := time.Now().UnixNano()
+				mu.Lock()
+				eng.SampleStats(now)
+				queued := eng.QueuedTuples()
+				busy := eng.BusyNs()
+				mu.Unlock()
+				st := plane.Store()
+				if elapsed := now - lastAt; elapsed > 0 {
+					util := float64(busy-lastBusy) / float64(elapsed)
+					if util > 1 {
+						util = 1
+					}
+					st.Observe(stats.SeriesNodeUtil, stats.KindGauge, now, util)
+				}
+				lastBusy, lastAt = busy, now
+				st.Observe(stats.SeriesNodeQueued, stats.KindGauge, now, float64(queued))
+				plane.Publish(now)
+			}
+		}()
+	}
+
 	if *httpAddr != "" {
 		ln, err := netpkg.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		if !*quiet {
-			log.Printf("telemetry on http://%s (/metrics /trace /healthz)", ln.Addr())
+			log.Printf("telemetry on http://%s (/metrics /trace /healthz /stats /loadmap)", ln.Addr())
 		}
-		go http.Serve(ln, telemetry(*id, eng))
+		go http.Serve(ln, telemetry.Handler(*id, eng, plane))
 	}
 
 	for peer, addr := range peers {

@@ -11,7 +11,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -193,7 +195,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 		eng.RunUntilIdle(0)
 	}
 
-	srv := httptest.NewServer(telemetry("x", eng))
+	srv := httptest.NewServer(telemetry.Handler("x", eng, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, []byte) {
@@ -261,5 +263,119 @@ func TestTelemetryEndpoints(t *testing.T) {
 
 	if code, _ := get("/trace?n=zilch"); code != 400 {
 		t.Errorf("bad n: got %d, want 400", code)
+	}
+}
+
+// TestTCPStatsDigestGossip is the real-wire half of the stats-plane
+// acceptance criterion: digests published at the head node piggyback on
+// data messages through the TCP transport codec and land, field for
+// field, in the tail node's load map.
+func TestTCPStatsDigestGossip(t *testing.T) {
+	const windowNs = int64(10e6)
+
+	headPlane := stats.NewPlane("head", windowNs, 8, 2)
+	headEng, err := engine.New(buildPiece("head", "in", "b0", "mid"),
+		engine.Config{Stats: headPlane.Store(), StatsEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headEng.SetRelayOutput("mid")
+
+	tailPlane := stats.NewPlane("tail", windowNs, 8, 2)
+	tailEng, err := engine.New(buildPiece("tail", "mid", "b1", "out"),
+		engine.Config{Stats: tailPlane.Store(), StatsEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tailMu sync.Mutex
+	tailTCP, err := transport.ListenTCP("tail", "127.0.0.1:0", func(from string, m transport.Msg) {
+		tailMu.Lock()
+		defer tailMu.Unlock()
+		if len(m.Digests) > 0 {
+			tailPlane.Merge(m.Digests)
+		}
+		if m.Kind != transport.KindData {
+			return
+		}
+		for _, tup := range m.Tuples {
+			tailEng.Ingest(m.Stream, tup)
+		}
+		tailEng.RunUntilIdle(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailTCP.Close()
+
+	headTCP, err := transport.ListenTCP("head", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer headTCP.Close()
+	if got, err := headTCP.Dial(tailTCP.Addr()); err != nil || got != "tail" {
+		t.Fatalf("dial tail: got %q, %v", got, err)
+	}
+
+	// Build a head digest with box-level load, then route tuples carrying
+	// the head's gossip — exactly what main.go's OnOutput hook does.
+	for i := 0; i < 20; i++ {
+		headEng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(3)))
+		headEng.RunUntilIdle(0)
+	}
+	now := 5 * windowNs
+	headEng.SampleStats(now - windowNs)
+	headEng.SampleStats(now)
+	headPlane.Store().Observe(stats.SeriesNodeUtil, stats.KindGauge, now, 0.625)
+	published := headPlane.Publish(now + windowNs)
+	if len(published.Boxes) == 0 {
+		t.Fatalf("head digest has no box loads: %+v", published)
+	}
+
+	headEng.OnOutput(func(_ string, tup stream.Tuple) {
+		if err := headTCP.Send("tail", transport.Msg{
+			Stream: "mid", Kind: transport.KindData, BaseSeq: tup.Seq,
+			Tuples:  []stream.Tuple{tup},
+			Digests: headPlane.Gossip(),
+		}); err != nil {
+			t.Errorf("route mid: %v", err)
+		}
+	})
+	headEng.Ingest("in", stream.NewTuple(stream.Int(99), stream.Int(3)))
+	headEng.RunUntilIdle(0)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tailMu.Lock()
+		d, ok := tailPlane.Map().Get("head")
+		tailMu.Unlock()
+		if ok {
+			if d.Seq != published.Seq || d.At != published.At || d.Util != published.Util {
+				t.Fatalf("digest mangled in flight: got %+v, sent %+v", d, published)
+			}
+			if len(d.Boxes) != len(published.Boxes) {
+				t.Fatalf("box loads mangled: got %+v, sent %+v", d.Boxes, published.Boxes)
+			}
+			for i := range d.Boxes {
+				if d.Boxes[i] != published.Boxes[i] {
+					t.Fatalf("box %d mangled: got %+v, sent %+v", i, d.Boxes[i], published.Boxes[i])
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tail never received the head's digest")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The tail's map now ranks both nodes; the head published util 0.625
+	// against the idle tail.
+	tailMu.Lock()
+	tailPlane.Publish(now)
+	ranking := tailPlane.Map().Ranking()
+	tailMu.Unlock()
+	if len(ranking) != 2 || ranking[0] != "head" {
+		t.Errorf("tail ranking = %v, want head first", ranking)
 	}
 }

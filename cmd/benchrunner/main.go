@@ -14,6 +14,15 @@
 // (the typed table plus any attached metric snapshots and the wall time),
 // so the performance trajectory can be tracked across commits without
 // parsing the printed tables.
+//
+// With -baseline, each run is compared against the BENCH_<id>.json from a
+// previous run and the wall-time delta printed; -regress-pct arms a gate
+// that exits non-zero when any experiment slowed down past the threshold:
+//
+//	benchrunner -json out/ -baseline out/ -regress-pct 25
+//
+// -json and -baseline may share a directory: the baseline is read before
+// the new artifact overwrites it.
 package main
 
 import (
@@ -37,12 +46,58 @@ type benchArtifact struct {
 	Table     *exp.Table `json:"table"`
 }
 
+// loadArtifact reads a prior run's BENCH_<id>.json from dir. A missing
+// file is not an error — it just means there is no baseline for that id.
+func loadArtifact(dir, id string) (*benchArtifact, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_"+id+".json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var art benchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("BENCH_%s.json: %w", id, err)
+	}
+	return &art, nil
+}
+
+// benchDelta is one experiment's wall-time movement against its baseline.
+type benchDelta struct {
+	ID         string
+	BaselineNS int64
+	CurrentNS  int64
+}
+
+// Pct is the signed percentage change; positive means slower.
+func (d benchDelta) Pct() float64 {
+	if d.BaselineNS <= 0 {
+		return 0
+	}
+	return 100 * float64(d.CurrentNS-d.BaselineNS) / float64(d.BaselineNS)
+}
+
+// Regressed reports whether the run slowed past the threshold. A zero or
+// negative threshold disarms the gate.
+func (d benchDelta) Regressed(pct float64) bool {
+	return pct > 0 && d.Pct() > pct
+}
+
+func (d benchDelta) String() string {
+	return fmt.Sprintf("%s: %v -> %v (%+.1f%%)", d.ID,
+		time.Duration(d.BaselineNS).Round(time.Millisecond),
+		time.Duration(d.CurrentNS).Round(time.Millisecond), d.Pct())
+}
+
 func main() {
 	var (
-		which   = flag.String("exp", "", "run only this experiment id (e.g. E04)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json artifacts (empty disables)")
+		which      = flag.String("exp", "", "run only this experiment id (e.g. E04)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonDir    = flag.String("json", "", "directory for BENCH_<id>.json artifacts (empty disables)")
+		baseline   = flag.String("baseline", "", "directory with prior BENCH_<id>.json artifacts to compare against")
+		regressPct = flag.Float64("regress-pct", 0, "exit non-zero if any experiment is this % slower than its baseline (0 disables)")
 	)
 	flag.Parse()
 
@@ -60,15 +115,38 @@ func main() {
 		}
 	}
 	ran := 0
+	var regressions []benchDelta
 	for _, e := range experiments {
 		if *which != "" && !strings.EqualFold(*which, e.ID) {
 			continue
+		}
+		// Read the baseline before -json overwrites the artifact below.
+		var prior *benchArtifact
+		if *baseline != "" {
+			var err error
+			if prior, err = loadArtifact(*baseline, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "-baseline: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		start := time.Now()
 		table := e.Run(*scale)
 		elapsed := time.Since(start)
 		fmt.Println(table)
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n", e.ID, elapsed.Round(time.Millisecond))
+		if prior != nil {
+			if prior.Scale != *scale {
+				fmt.Printf("(%s baseline at scale %g, current %g: not comparable)\n",
+					e.ID, prior.Scale, *scale)
+			} else {
+				d := benchDelta{ID: e.ID, BaselineNS: prior.ElapsedNS, CurrentNS: elapsed.Nanoseconds()}
+				fmt.Printf("(%s)\n", d)
+				if d.Regressed(*regressPct) {
+					regressions = append(regressions, d)
+				}
+			}
+		}
+		fmt.Println()
 		if *jsonDir != "" {
 			art := benchArtifact{ID: e.ID, Name: e.Name, Scale: *scale,
 				ElapsedNS: elapsed.Nanoseconds(), Table: table}
@@ -85,6 +163,14 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *which)
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) regressed more than %g%%:\n",
+			len(regressions), *regressPct)
+		for _, d := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadArtifact(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing baseline is not an error, just absent.
+	art, err := loadArtifact(dir, "E01")
+	if err != nil || art != nil {
+		t.Fatalf("missing artifact: got %v, %v; want nil, nil", art, err)
+	}
+
+	want := benchArtifact{ID: "E01", Name: "fig 2", Scale: 0.5, ElapsedNS: 123456789}
+	data, _ := json.Marshal(want)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_E01.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	art, err = loadArtifact(dir, "E01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "E01" || art.Scale != 0.5 || art.ElapsedNS != 123456789 {
+		t.Errorf("loaded %+v, want %+v", art, want)
+	}
+
+	// Corrupt JSON must fail loudly, not read as an empty baseline.
+	os.WriteFile(filepath.Join(dir, "BENCH_E02.json"), []byte("{nope"), 0o644)
+	if _, err := loadArtifact(dir, "E02"); err == nil {
+		t.Error("corrupt artifact should error")
+	}
+}
+
+func TestBenchDelta(t *testing.T) {
+	d := benchDelta{ID: "E04", BaselineNS: 100e6, CurrentNS: 130e6}
+	if got := d.Pct(); got != 30 {
+		t.Errorf("Pct = %g, want 30", got)
+	}
+	if !d.Regressed(25) {
+		t.Error("30% slower must trip a 25% gate")
+	}
+	if d.Regressed(50) {
+		t.Error("30% slower must pass a 50% gate")
+	}
+	if d.Regressed(0) {
+		t.Error("zero threshold disarms the gate")
+	}
+	if s := d.String(); !strings.Contains(s, "E04") || !strings.Contains(s, "+30.0%") {
+		t.Errorf("String = %q", s)
+	}
+
+	faster := benchDelta{ID: "E05", BaselineNS: 100e6, CurrentNS: 80e6}
+	if faster.Pct() != -20 || faster.Regressed(10) {
+		t.Errorf("speedup misreported: Pct=%g", faster.Pct())
+	}
+
+	// A zero baseline (hand-edited or truncated artifact) never divides.
+	zero := benchDelta{ID: "E06", BaselineNS: 0, CurrentNS: 50e6}
+	if zero.Pct() != 0 || zero.Regressed(10) {
+		t.Error("zero baseline should compare as neutral")
+	}
+}

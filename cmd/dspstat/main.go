@@ -1,0 +1,174 @@
+// dspstat scrapes the statistics plane of one or more running auroranode
+// processes (their -http telemetry endpoints) and renders the cluster the
+// way an operator wants to see it: a per-node load table from each node's
+// gossiped load map, the per-box load split inside every digest, and the
+// raw windowed series behind the numbers.
+//
+// Example:
+//
+//	auroranode -id n1 -listen :7001 -network net.json -stats 100ms -http :8001 &
+//	dspstat -nodes http://127.0.0.1:8001
+//
+// Because the load map is gossiped, scraping ANY one node shows the whole
+// cluster once the digests have converged; scraping several lets you spot
+// a node whose view is stale (its Seq column lags).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// nodeReport is everything dspstat learned from one node's telemetry.
+type nodeReport struct {
+	Base    string // base URL the report came from
+	LoadMap telemetry.LoadMapResponse
+	Stats   telemetry.StatsResponse
+	Err     error // scrape failure; other fields are zero
+}
+
+// scrapeNode pulls /loadmap and /stats from one telemetry endpoint.
+// series and window are passed through as the /stats query.
+func scrapeNode(client *http.Client, base, series string, window int) *nodeReport {
+	rep := &nodeReport{Base: base}
+	if err := getJSON(client, base+"/loadmap", &rep.LoadMap); err != nil {
+		rep.Err = err
+		return rep
+	}
+	q := ""
+	if series != "" {
+		q = "?series=" + series
+	}
+	if window > 0 {
+		if q == "" {
+			q = "?"
+		} else {
+			q += "&"
+		}
+		q += fmt.Sprintf("window=%d", window)
+	}
+	if err := getJSON(client, base+"/stats"+q, &rep.Stats); err != nil {
+		rep.Err = err
+	}
+	return rep
+}
+
+func getJSON(client *http.Client, url string, into interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, into)
+}
+
+// render writes the operator view: one cluster table per scraped node
+// (its load-map ranking with per-box loads) followed by that node's own
+// windowed series.
+func render(w io.Writer, reports []*nodeReport) {
+	for _, rep := range reports {
+		if rep.Err != nil {
+			fmt.Fprintf(w, "%s: scrape failed: %v\n", rep.Base, rep.Err)
+			continue
+		}
+		fmt.Fprintf(w, "== %s (as seen by node %q) ==\n", rep.Base, rep.LoadMap.Node)
+
+		byNode := map[string]stats.Digest{}
+		for _, d := range rep.LoadMap.Digests {
+			byNode[d.Node] = d
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tBOXES")
+		for _, node := range rep.LoadMap.Ranking {
+			d := byNode[node]
+			fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\n",
+				d.Node, d.Util, d.Queued, d.Seq, boxColumn(d.Boxes))
+		}
+		tw.Flush()
+
+		if len(rep.Stats.Series) > 0 {
+			fmt.Fprintf(w, "-- series on %s (window %dms, k=%d) --\n",
+				rep.Stats.Node, rep.Stats.WindowNs/1e6, rep.Stats.K)
+			series := append([]stats.SeriesExport(nil), rep.Stats.Series...)
+			sort.Slice(series, func(i, j int) bool { return series[i].Name < series[j].Name })
+			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "SERIES\tKIND\tLATEST\tWINDOWED")
+			for _, s := range series {
+				fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\n", s.Name, s.Kind, s.Latest, s.Windowed)
+			}
+			tw.Flush()
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// boxColumn formats a digest's per-box loads, heaviest first.
+func boxColumn(boxes []stats.BoxLoad) string {
+	if len(boxes) == 0 {
+		return "-"
+	}
+	sorted := append([]stats.BoxLoad(nil), boxes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return sorted[i].Box < sorted[j].Box
+	})
+	parts := make([]string, len(sorted))
+	for i, b := range sorted {
+		parts[i] = fmt.Sprintf("%s=%.3f", b.Box, b.Load)
+	}
+	return strings.Join(parts, " ")
+}
+
+func main() {
+	var (
+		nodes  = flag.String("nodes", "", "comma-separated telemetry base URLs (required)")
+		series = flag.String("series", "", "series name prefix filter for /stats")
+		window = flag.Int("window", 0, "override how many complete windows the windowed value averages")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "dspstat: -nodes is required, e.g. -nodes http://127.0.0.1:8001")
+		os.Exit(2)
+	}
+
+	client := http.DefaultClient
+	var reports []*nodeReport
+	failed := false
+	for _, base := range strings.Split(*nodes, ",") {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" {
+			continue
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		rep := scrapeNode(client, base, *series, *window)
+		if rep.Err != nil {
+			failed = true
+		}
+		reports = append(reports, rep)
+	}
+	render(os.Stdout, reports)
+	if failed {
+		os.Exit(1)
+	}
+}

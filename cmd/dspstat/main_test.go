@@ -1,0 +1,128 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// statNode stands up a real auroranode telemetry surface: an engine with a
+// two-box network feeding a stats plane, served over HTTP exactly as
+// cmd/auroranode serves it.
+func statNode(t *testing.T, id string) (*httptest.Server, []string) {
+	t.Helper()
+	schema := stream.MustSchema("s",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "B", Kind: stream.KindInt},
+	)
+	net := query.NewBuilder("stat").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		AddBox("m1", op.Spec{Kind: "map", Params: map[string]string{"exprs": "A=A+1; B=B"}}).
+		Connect("f1", "m1").
+		BindInput("in", schema, "f1", 0).
+		BindOutput("out", "m1", 0, nil).
+		MustBuild()
+	plane := stats.NewPlane(id, int64(10e6), 8, 2)
+	eng, err := engine.New(net, engine.Config{Stats: plane.Store(), StatsEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < 20; i++ {
+		eng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(1)))
+		eng.RunUntilIdle(0)
+	}
+	// Two samples a window apart so rates land in a complete window, then
+	// publish so the load map has a digest with per-box loads.
+	eng.SampleStats(now - 10e6)
+	eng.SampleStats(now)
+	plane.Store().Observe(stats.SeriesNodeUtil, stats.KindGauge, now-10e6, 0.5)
+	plane.Store().Observe(stats.SeriesNodeQueued, stats.KindGauge, now-10e6,
+		float64(eng.QueuedTuples()))
+	plane.Publish(now)
+
+	srv := httptest.NewServer(telemetry.Handler(id, eng, plane))
+	t.Cleanup(srv.Close)
+	return srv, []string{"f1", "m1"}
+}
+
+func TestDspstatCoversEveryBoxAndQueueSeries(t *testing.T) {
+	srv, boxes := statNode(t, "n1")
+
+	rep := scrapeNode(srv.Client(), srv.URL, "", 0)
+	if rep.Err != nil {
+		t.Fatalf("scrape: %v", rep.Err)
+	}
+	var out strings.Builder
+	render(&out, []*nodeReport{rep})
+	got := out.String()
+
+	// The cluster table names the node and its digest's per-box loads.
+	if !strings.Contains(got, `node "n1"`) {
+		t.Errorf("output missing node header:\n%s", got)
+	}
+	for _, box := range boxes {
+		if !strings.Contains(got, box+"=") {
+			t.Errorf("load table missing box %s:\n%s", box, got)
+		}
+	}
+
+	// The series table covers every registered box series and every queue
+	// series the engine samples.
+	for _, box := range boxes {
+		for _, series := range []string{
+			stats.SeriesBoxCost(box),
+			stats.SeriesBoxSelectivity(box),
+			stats.SeriesBoxQueue(box),
+			stats.SeriesBoxWork(box),
+		} {
+			if !strings.Contains(got, series) {
+				t.Errorf("series table missing %s:\n%s", series, got)
+			}
+		}
+	}
+	for _, series := range []string{stats.SeriesNodeUtil, stats.SeriesNodeQueued} {
+		if !strings.Contains(got, series) {
+			t.Errorf("series table missing %s:\n%s", series, got)
+		}
+	}
+}
+
+func TestDspstatSeriesFilterAndScrapeError(t *testing.T) {
+	srv, _ := statNode(t, "n1")
+
+	rep := scrapeNode(srv.Client(), srv.URL, "box.f1.", 4)
+	if rep.Err != nil {
+		t.Fatalf("scrape: %v", rep.Err)
+	}
+	if rep.Stats.K != 4 {
+		t.Errorf("window override: K = %d, want 4", rep.Stats.K)
+	}
+	for _, s := range rep.Stats.Series {
+		if !strings.HasPrefix(s.Name, "box.f1.") {
+			t.Errorf("filter leaked %s", s.Name)
+		}
+	}
+	if len(rep.Stats.Series) == 0 {
+		t.Error("filtered scrape returned no series")
+	}
+
+	// A dead endpoint renders as a failure line, not a panic.
+	dead := scrapeNode(srv.Client(), "http://127.0.0.1:1", "", 0)
+	if dead.Err == nil {
+		t.Fatal("scrape of dead endpoint should fail")
+	}
+	var out strings.Builder
+	render(&out, []*nodeReport{dead})
+	if !strings.Contains(out.String(), "scrape failed") {
+		t.Errorf("render of failed scrape = %q", out.String())
+	}
+}

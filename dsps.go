@@ -35,6 +35,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/qos"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/wgen"
@@ -251,6 +252,31 @@ var (
 	NewFlightRecorder = trace.NewRecorder
 	// ChromeTrace renders events as Chrome trace-event JSON (Perfetto).
 	ChromeTrace = trace.ChromeTrace
+)
+
+// Statistics plane: windowed series and the gossiped load map (§7.1).
+type (
+	// StatsStore is the fixed-memory windowed time-series store.
+	StatsStore = stats.Store
+	// StatsPlane bundles a node's store, digest publisher, and load map.
+	StatsPlane = stats.Plane
+	// StatsDigest is one node's compact gossiped load summary.
+	StatsDigest = stats.Digest
+	// StatsExport is one exported series with its windowed points.
+	StatsExport = stats.SeriesExport
+	// LoadMap is a node's converged view of cluster load.
+	LoadMap = stats.LoadMap
+)
+
+var (
+	// NewStatsStore builds a windowed store (window length, ring size).
+	NewStatsStore = stats.NewStore
+	// NewStatsPlane builds a node's statistics plane.
+	NewStatsPlane = stats.NewPlane
+	// NewLoadMap builds an empty load map for a node.
+	NewLoadMap = stats.NewLoadMap
+	// OffloadFromMap plans a box offload from windowed load (§7.1).
+	OffloadFromMap = loadmgr.OffloadFromMap
 )
 
 var (

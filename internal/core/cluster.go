@@ -10,6 +10,7 @@ import (
 	"repro/internal/loadmgr"
 	"repro/internal/netsim"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -56,6 +57,23 @@ type Config struct {
 	// TraceBuf is the per-node flight-recorder capacity in events
 	// (default 4096 when tracing is on).
 	TraceBuf int
+	// StatsPeriod enables the statistics plane (§7.1): every StatsPeriod
+	// ns each node samples its engines into a windowed store, publishes a
+	// load digest, and gossips its map to its overlay neighbors — digests
+	// also piggyback on every tuple batch and heartbeat. 0 disables.
+	StatsPeriod int64
+	// StatsWindow is the windowed store's window width in ns (default
+	// StatsPeriod: one sample per window).
+	StatsWindow int64
+	// StatsWindows is the per-series window ring size (default 8).
+	StatsWindows int
+	// WindowedK is how many complete windows published digests average
+	// over (default StatsWindows/2).
+	WindowedK int
+	// WindowedLoad makes the load-share daemons decide from the gossiped
+	// windowed LoadMap instead of instantaneous utilization — the §5.2
+	// stability fix the flap tests pin down. Requires StatsPeriod > 0.
+	WindowedLoad bool
 }
 
 func (cfg *Config) fillDefaults() {
@@ -73,6 +91,14 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.TraceBuf <= 0 {
 		cfg.TraceBuf = 4096
+	}
+	if cfg.StatsPeriod > 0 {
+		if cfg.StatsWindow <= 0 {
+			cfg.StatsWindow = cfg.StatsPeriod
+		}
+		if cfg.StatsWindows <= 0 {
+			cfg.StatsWindows = 8
+		}
 	}
 }
 
@@ -362,6 +388,11 @@ func (c *Cluster) Start() {
 			}
 			c.tick(c.cfg.HeartbeatPeriod, n.heartbeatTick)
 			c.tick(c.cfg.HeartbeatPeriod, n.checkTick)
+		}
+	}
+	if c.cfg.StatsPeriod > 0 {
+		for _, nid := range c.nodeIDs {
+			c.tick(c.cfg.StatsPeriod, c.nodes[nid].statsTick)
 		}
 	}
 	if c.cfg.LoadSharing != nil {
@@ -693,6 +724,10 @@ func (c *Cluster) Redeploy(newAssign map[string]string) error {
 // readable state; a real deployment piggybacks them on heartbeats.
 func (c *Cluster) shareTick() {
 	pol := *c.cfg.LoadSharing
+	if c.cfg.WindowedLoad && c.cfg.StatsPeriod > 0 {
+		c.shareTickWindowed(pol)
+		return
+	}
 	now := c.sim.Now()
 	utils := map[string]float64{}
 	for _, nid := range c.nodeIDs {
@@ -742,6 +777,73 @@ func (c *Cluster) shareTick() {
 		}
 		return // at most one move per tick, for stability
 	}
+}
+
+// shareTickWindowed is the stats-plane variant of the load-share round:
+// each node decides from its own gossiped LoadMap — windowed utilization
+// and windowed per-box load shares — rather than instantaneous local
+// measurements. A one-period burst that saturates the instantaneous
+// reading is diluted to 1/K in the windowed view, so it cannot flap
+// boxes across the cluster (§5.2).
+func (c *Cluster) shareTickWindowed(pol loadmgr.Policy) {
+	for _, nid := range c.nodeIDs {
+		if c.sim.Down(nid) {
+			continue
+		}
+		if c.cooldown[nid] > 0 {
+			c.cooldown[nid]--
+			continue
+		}
+		n := c.nodes[nid]
+		if n.plane == nil {
+			continue
+		}
+		d := loadmgr.OffloadFromMap(nid, n.plane.Map(),
+			func(box string) bool { return c.assign[box] == nid },
+			func(peer string) (float64, bool) {
+				if c.sim.Down(peer) {
+					return 0, false
+				}
+				l, ok := c.sim.LinkStats(nid, peer)
+				if !ok {
+					return 0, false // no link, not a neighbor
+				}
+				if l.BytesPerSec > 0 {
+					return l.BytesPerSec, true
+				}
+				return 1e18, true
+			}, pol)
+		if d == nil {
+			continue
+		}
+		newAssign := cloneMap(c.assign)
+		for _, b := range d.Boxes {
+			newAssign[b] = d.To
+		}
+		if err := c.Redeploy(newAssign); err == nil {
+			c.cooldown[nid] = pol.CooldownPeriods
+			c.cooldown[d.To] = pol.CooldownPeriods
+		}
+		return // at most one move per tick, for stability
+	}
+}
+
+// Plane returns a node's statistics plane — its windowed store and load
+// map — or nil when the plane is off or the node is unknown.
+func (c *Cluster) Plane(node string) *stats.Plane {
+	if n, ok := c.nodes[node]; ok {
+		return n.plane
+	}
+	return nil
+}
+
+// LoadMap returns a node's gossiped cluster view (nil when the stats
+// plane is off).
+func (c *Cluster) LoadMap(node string) *stats.LoadMap {
+	if p := c.Plane(node); p != nil {
+		return p.Map()
+	}
+	return nil
 }
 
 // boxLoads estimates each local box's share of the node's utilization

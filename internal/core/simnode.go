@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ha"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -15,10 +16,13 @@ import (
 // Message payloads exchanged over the netsim overlay.
 
 // tupleBatch carries tuples for one cross-link label. Tuple Seq fields
-// hold per-link sequence numbers (§6.2).
+// hold per-link sequence numbers (§6.2). Digests is the stats-plane
+// piggyback: the sender's load-map snapshot rides along for free, the
+// netsim analogue of the transport codec's stats trailer.
 type tupleBatch struct {
-	Label  string
-	Tuples []stream.Tuple
+	Label   string
+	Tuples  []stream.Tuple
+	Digests []stats.Digest
 }
 
 // backChannel carries truncation checkpoints upstream: for each label the
@@ -34,8 +38,17 @@ type backChannel struct {
 }
 
 // heartbeat is the §6.3 liveness signal a server sends to its upstream
-// neighbors.
-type heartbeat struct{}
+// neighbors, also carrying the stats-plane piggyback so idle paths keep
+// gossiping load.
+type heartbeat struct {
+	Digests []stats.Digest
+}
+
+// statsGossip floods load digests to overlay neighbors on the stats
+// tick, covering node pairs no data or heartbeat traffic connects.
+type statsGossip struct {
+	Digests []stats.Digest
+}
 
 // flowQuery implements the §6.2 alternate truncation technique: an
 // upstream server queries the downstream's array of earliest dependent
@@ -88,6 +101,14 @@ type SimNode struct {
 	// a crash wipes the engines but the black box keeps its events.
 	rec    *trace.Recorder
 	tracer *trace.Tracer
+
+	// plane is the node's statistics plane (nil when off). Like the
+	// flight recorder it models an external observer, so its windowed
+	// history and digest sequence survive a simulated crash — a restarted
+	// node must not republish under an already-seen sequence number.
+	plane        *stats.Plane
+	statLastBusy int64
+	statLastAt   int64
 }
 
 type outboxEntry struct {
@@ -109,6 +130,9 @@ func newSimNode(c *Cluster, id string) *SimNode {
 	if c.cfg.TraceSample > 0 {
 		n.rec = trace.NewRecorder(c.cfg.TraceBuf)
 		n.tracer = trace.NewTracer(id, c.cfg.TraceSample, n.rec)
+	}
+	if c.cfg.StatsPeriod > 0 {
+		n.plane = stats.NewPlane(id, c.cfg.StatsWindow, c.cfg.StatsWindows, c.cfg.WindowedK)
 	}
 	return n
 }
@@ -144,14 +168,22 @@ func (n *SimNode) loseVolatileState() {
 // clock and tracer, with cross-link outputs marked as relays so traced
 // spans finalize only at true application outputs.
 func (n *SimNode) newEngine(piece *query.Network) (*engine.Engine, error) {
-	eng, err := engine.New(piece, engine.Config{
+	ecfg := engine.Config{
 		Clock:          n.clock,
 		Scheduler:      n.c.newScheduler(),
 		MemoryBudget:   n.c.cfg.MemoryBudget,
 		DefaultBoxCost: n.c.cfg.DefaultBoxCost,
 		BoxCosts:       n.c.cfg.BoxCosts,
 		Tracer:         n.tracer,
-	})
+	}
+	if n.plane != nil {
+		// Hosted engines share the node's windowed store; per-box series
+		// names keep their samples apart. The stats tick also samples
+		// explicitly, so the per-step cadence is just a low-cost floor.
+		ecfg.Stats = n.plane.Store()
+		ecfg.StatsEvery = 64
+	}
+	eng, err := engine.New(piece, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +282,10 @@ func (n *SimNode) dedupFor(label string) *ha.Dedup {
 func (n *SimNode) onMessage(from string, payload any, _ int) {
 	switch m := payload.(type) {
 	case tupleBatch:
+		n.mergeDigests(m.Digests)
 		n.ingressLink(m.Label, m.Tuples)
+	case statsGossip:
+		n.mergeDigests(m.Digests)
 	case backChannel:
 		for label, safe := range m.SafeSeqs {
 			if l, ok := n.logs[label]; ok {
@@ -259,6 +294,7 @@ func (n *SimNode) onMessage(from string, payload any, _ int) {
 		}
 		n.gapRepair(from, m.Recv)
 	case heartbeat:
+		n.mergeDigests(m.Digests)
 		n.det.Heartbeat(from, n.c.sim.Now())
 	case flowQuery:
 		// Answer the querying upstream with the safe sequence numbers
@@ -458,9 +494,10 @@ func (n *SimNode) flushOutbox(delay int64) {
 	}
 	n.outbox = n.outbox[:0]
 	sort.Strings(labels)
+	digests := n.gossipDigests()
 	for _, label := range labels {
-		batch := tupleBatch{Label: label, Tuples: byLabel[label]}
-		size := transport.EncodedSize(transport.Msg{Stream: label, Tuples: batch.Tuples})
+		batch := tupleBatch{Label: label, Tuples: byLabel[label], Digests: digests}
+		size := transport.EncodedSize(transport.Msg{Stream: label, Tuples: batch.Tuples, Digests: digests})
 		l, src := label, n.id
 		n.c.sim.Schedule(delay, func() {
 			if n.c.sim.Down(src) {
@@ -597,8 +634,65 @@ func (n *SimNode) heartbeatTick() {
 	if n.c.sim.Down(n.id) {
 		return
 	}
+	hb := heartbeat{Digests: n.gossipDigests()}
+	size := 16 + len(stats.AppendDigests(nil, hb.Digests))
 	for _, up := range n.c.upstreamsOf(n.id) {
-		n.c.sim.Send(n.id, up, 16, heartbeat{})
+		n.c.sim.Send(n.id, up, size, hb)
+	}
+}
+
+// mergeDigests folds gossiped digests into the node's load map. Digests
+// arrive on every transport path (batches, heartbeats, gossip floods);
+// the keep-max-Seq merge makes duplicate delivery harmless.
+func (n *SimNode) mergeDigests(ds []stats.Digest) {
+	if n.plane == nil || len(ds) == 0 {
+		return
+	}
+	n.plane.Merge(ds)
+}
+
+// gossipDigests returns the node's current load-map snapshot for
+// piggybacking on an outgoing message (nil when the stats plane is off).
+func (n *SimNode) gossipDigests() []stats.Digest {
+	if n.plane == nil {
+		return nil
+	}
+	return n.plane.Gossip()
+}
+
+// statsTick is the statistics-plane heartbeat: sample every local source
+// into the windowed store, fold the finished windows into a fresh digest,
+// and flood the merged map to overlay neighbors. Flooding covers node
+// pairs that no data or heartbeat traffic happens to connect, so the
+// cluster converges on one load map without any coordinator.
+func (n *SimNode) statsTick() {
+	if n.plane == nil || n.c.sim.Down(n.id) {
+		return
+	}
+	now := n.c.sim.Now()
+	st := n.plane.Store()
+	st.Observe(stats.SeriesNodeUtil, stats.KindGauge, now,
+		n.utilizationSince(n.statLastBusy, n.statLastAt))
+	n.statLastBusy = n.busyNs
+	n.statLastAt = now
+	st.Observe(stats.SeriesNodeQueued, stats.KindGauge, now, float64(n.queued()))
+	for _, owner := range n.order {
+		n.hosts[owner].eng.SampleStats(now)
+	}
+	neighbors := n.c.sim.Neighbors(n.id)
+	for _, p := range neighbors {
+		if l, ok := n.c.sim.LinkStats(n.id, p); ok {
+			st.Observe(stats.SeriesLink(n.id, p), stats.KindCounter, now, float64(l.BytesSent))
+		}
+	}
+	n.plane.Publish(now)
+	ds := n.plane.Gossip()
+	size := len(stats.AppendDigests(nil, ds))
+	for _, p := range neighbors {
+		if n.c.sim.Down(p) {
+			continue
+		}
+		n.c.sim.Send(n.id, p, size, statsGossip{Digests: ds})
 	}
 }
 

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+// TestClusterLoadMapConvergence injects a hotspot (f2 on n2 is 200x more
+// expensive than its neighbors) and checks the gossiped statistics plane:
+// within a bounded number of gossip rounds every node's LoadMap covers
+// the whole cluster, and all nodes converge on the same per-node load
+// ranking with the hotspot on top.
+func TestClusterLoadMapConvergence(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		DefaultBoxCost: 1_000,
+		BoxCosts:       map[string]int64{"f2": 200_000},
+		StatsPeriod:    10e6,
+		// Small trains keep one step (train * f2's 200us) well under the
+		// stats period, so busy time accrues smoothly across windows.
+		NewScheduler: func() engine.Scheduler { return engine.NewTrainScheduler(8) },
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 2000, 10_000)
+
+	// Bounded convergence: the overlay is fully connected, so one flood
+	// after the first publish reaches everyone. Three stats periods give
+	// publish + flood + delivery with room to spare.
+	sim.Run(3 * 10e6)
+	for _, nid := range c.Nodes() {
+		if got := c.LoadMap(nid).Len(); got != len(c.Nodes()) {
+			t.Fatalf("node %s load map covers %d nodes after 3 gossip rounds, want %d",
+				nid, got, len(c.Nodes()))
+		}
+	}
+
+	// Let the windows fill while n2 grinds its 400ms backlog, then compare
+	// every node's view of the cluster.
+	sim.Run(250e6)
+	want := c.LoadMap("n1").Ranking()
+	for _, nid := range c.Nodes() {
+		if got := c.LoadMap(nid).Ranking(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %s ranking %v diverges from n1's %v\nn1 map:\n%smap at %s:\n%s",
+				nid, got, want, c.LoadMap("n1"), nid, c.LoadMap(nid))
+		}
+	}
+	if want[0] != "n2" {
+		t.Fatalf("ranking %v should put the hotspot n2 first\n%s", want, c.LoadMap("n1"))
+	}
+
+	// The hotspot's digest — read from another node's map — must carry a
+	// saturated windowed utilization and attribute the load to f2.
+	d, ok := c.LoadMap("n3").Get("n2")
+	if !ok {
+		t.Fatal("n3's map has no digest for n2")
+	}
+	if d.Util < 0.9 {
+		t.Errorf("n2 windowed util = %.3f, want near saturation", d.Util)
+	}
+	foundF2 := false
+	for _, b := range d.Boxes {
+		if b.Box == "f2" {
+			foundF2 = true
+			if b.Load < 0.5 {
+				t.Errorf("f2 load share = %.3f, want > 0.5", b.Load)
+			}
+		}
+	}
+	if !foundF2 {
+		t.Errorf("n2's digest %+v should attribute load to box f2", d)
+	}
+	if n1d, ok := c.LoadMap("n3").Get("n1"); ok && n1d.Util >= d.Util {
+		t.Errorf("n1 util %.3f should stay below hotspot util %.3f", n1d.Util, d.Util)
+	}
+}
+
+// flapCluster builds the burst-flap fixture: a 6-box chain all on n1 with
+// n2 as an idle spare, load sharing armed, and the stats plane sampling at
+// the share period. The windowed flag is the only difference between the
+// two flap tests.
+func flapCluster(t *testing.T, windowed bool) (*netsim.Sim, *Cluster) {
+	t.Helper()
+	sim := netsim.New(1)
+	var ids []string
+	var specs []string
+	for i := 0; i < 6; i++ {
+		ids = append(ids, fmt.Sprintf("f%d", i))
+		specs = append(specs, "B < 1000")
+	}
+	full := newChainBuilder(t, ids, specs).MustBuild()
+	assign := map[string]string{}
+	for _, id := range ids {
+		assign[id] = "n1"
+	}
+	pol := defaultSharePolicy()
+	c, err := NewCluster(sim, full, assign, nil, Config{
+		DefaultBoxCost: 40_000, // 6 boxes * 40us = 240us per tuple
+		LoadSharing:    &pol,
+		SharePeriod:    20e6,
+		Nodes:          []string{"n1", "n2"},
+		StatsPeriod:    20e6,
+		WindowedLoad:   windowed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Connect("n1", "n2", 0, 50_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	return sim, c
+}
+
+// burst schedules n tuples starting at `at`, gap ns apart — a single load
+// spike rather than drive()'s sustained offered load.
+func burst(sim *netsim.Sim, c *Cluster, at int64, n int, gap int64) {
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		sim.Schedule(at+int64(i)*gap, func() {
+			c.Ingest("in", stream.NewTuple(stream.Int(id), stream.Int(id%60)))
+		})
+	}
+}
+
+// TestClusterBurstFlapsInstantaneous is the control: under point-in-time
+// utilization a single one-period burst saturates the reading and the
+// daemon moves boxes — the flap §5.2 warns about.
+func TestClusterBurstFlapsInstantaneous(t *testing.T) {
+	sim, c := flapCluster(t, false)
+	// Idle warmup through five share periods, then one burst: 80 tuples *
+	// 240us = 19.2ms of work inside the 100..120ms period (util ~0.95).
+	burst(sim, c, 101e6, 80, 10_000)
+	sim.Run(400e6)
+	if c.Moves() == 0 {
+		t.Fatal("instantaneous load reading should flap on a one-period burst")
+	}
+}
+
+// TestClusterWindowedStatsAbsorbBurst is the §5.2 stability fix: the same
+// burst diluted across the windowed average (one hot window out of K=4)
+// stays far below the high watermark, so no boxes move.
+func TestClusterWindowedStatsAbsorbBurst(t *testing.T) {
+	sim, c := flapCluster(t, true)
+	burst(sim, c, 101e6, 80, 10_000)
+	sim.Run(400e6)
+	if got := c.Moves(); got != 0 {
+		t.Fatalf("windowed load made %d moves on a one-period burst, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	// Tracer samples ingested tuples for causal latency tracing; nil
 	// disables tracing (the hot path then pays only nil checks).
 	Tracer *trace.Tracer
+	// Stats receives windowed samples of the monitored statistics of §7.1
+	// (per-box cost, selectivity, queue depth, cumulative work, drops);
+	// nil disables sampling and the hot path pays only a nil check.
+	Stats *stats.Store
+	// StatsEvery samples Stats every N scheduling steps (0 means 64).
+	StatsEvery int
 }
 
 // OutputFn receives tuples delivered to a named application output.
@@ -64,6 +71,17 @@ type Engine struct {
 	traceQ, traceP, traceN  *metrics.Histogram
 	ingCtr, shedCtr, delCtr *metrics.Counter
 
+	// Statistics plane (nil when disabled): the windowed store sampled
+	// every statsEvery steps, and the cumulative busy-time counter that
+	// wall-clock utilization is differenced from.
+	stats      *stats.Store
+	statsEvery uint64
+	steps      uint64
+	busyCtr    *metrics.Counter
+	// Per-input shed-drop counters, one per destination box, so shedding
+	// is attributable: dropping at ingest starves exactly these boxes.
+	shedByInput map[string][]*metrics.Counter
+
 	// Connection points (§2.2): predetermined arcs where recent history
 	// is retained so ad hoc queries can attach later.
 	cpHist map[query.Port]*stream.History
@@ -94,6 +112,7 @@ type boxState struct {
 	wait     *metrics.EWMA // ns queueing delay
 	inCount  int64
 	outCount int64
+	workNs   int64 // cumulative processing time (ns)
 
 	// cur is the span of the tuple currently being processed: emitted
 	// tuples inherit it so the trace follows derivation through the box.
@@ -132,6 +151,14 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		e.traceQ = e.reg.Histogram("trace.queue_ns")
 		e.traceP = e.reg.Histogram("trace.proc_ns")
 		e.traceN = e.reg.Histogram("trace.net_ns")
+	}
+	e.busyCtr = e.reg.Counter("engine.busy_ns")
+	if cfg.Stats != nil {
+		e.stats = cfg.Stats
+		e.statsEvery = uint64(cfg.StatsEvery)
+		if e.statsEvery == 0 {
+			e.statsEvery = 64
+		}
 	}
 
 	defCost := cfg.DefaultBoxCost
@@ -224,13 +251,22 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		}
 	}
 
-	// Shedder.
+	// Shedder, with per-box drop attribution: one counter per destination
+	// box of each input, so the stats plane can see which boxes shedding
+	// starves (drops happen at ingest, before any box runs).
 	if cfg.Shed != nil {
 		sh, err := NewShedder(*cfg.Shed, net)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 		e.shedder = sh
+		e.shedByInput = map[string][]*metrics.Counter{}
+		for name, in := range net.Inputs() {
+			for _, d := range in.Dests {
+				e.shedByInput[name] = append(e.shedByInput[name],
+					e.reg.Counter("shed.drop."+d.Box))
+			}
+		}
 	}
 	return e, nil
 }
@@ -326,6 +362,9 @@ func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 	if e.shedder != nil && e.shedder.ShouldDrop(e, input, t) {
 		e.noteDrop()
 		e.shedCtr.Inc()
+		for _, c := range e.shedByInput[input] {
+			c.Inc()
+		}
 		return false
 	}
 	if t.Span == nil && !e.relayIn[input] {
@@ -372,11 +411,16 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	if e.vclock != nil {
-		e.vclock.Advance(int64(processed) * b.virtCost)
+		work := int64(processed) * b.virtCost
+		e.vclock.Advance(work)
 		b.cost.Observe(float64(b.virtCost))
+		b.workNs += work
+		e.busyCtr.Add(work)
 	} else {
 		elapsed := e.clock.Now() - start
 		b.cost.Observe(float64(elapsed) / float64(processed))
+		b.workNs += elapsed
+		e.busyCtr.Add(elapsed)
 	}
 	now := e.clock.Now()
 	for _, bb := range e.topo {
@@ -385,8 +429,53 @@ func (e *Engine) Step() bool {
 	if e.shedder != nil {
 		e.shedder.Control(e)
 	}
+	e.steps++
+	if e.stats != nil && e.steps%e.statsEvery == 0 {
+		e.SampleStats(now)
+	}
 	return true
 }
+
+// SampleStats folds the current monitored statistics of every box into
+// the configured stats store (no-op when none is configured): cost,
+// selectivity, and queue depth as gauges; cumulative work and shed drops
+// as counters the store differences into windowed rates. Node-level
+// series (node.util, node.queued, link.*) are the distributed layer's
+// job — only it knows the host's wall-clock share and its links.
+func (e *Engine) SampleStats(now int64) {
+	if e.stats == nil {
+		return
+	}
+	for _, b := range e.topo {
+		queued := 0
+		for _, q := range b.inQ {
+			queued += q.Len()
+		}
+		sel := 0.0
+		if b.inCount > 0 {
+			sel = float64(b.outCount) / float64(b.inCount)
+		}
+		e.stats.Observe(stats.SeriesBoxCost(b.id), stats.KindGauge, now, b.cost.Value())
+		e.stats.Observe(stats.SeriesBoxSelectivity(b.id), stats.KindGauge, now, sel)
+		e.stats.Observe(stats.SeriesBoxQueue(b.id), stats.KindGauge, now, float64(queued))
+		e.stats.Observe(stats.SeriesBoxWork(b.id), stats.KindCounter, now, float64(b.workNs))
+	}
+	for name, ctrs := range e.shedByInput {
+		for i, c := range ctrs {
+			box := e.net.Inputs()[name].Dests[i].Box
+			e.stats.Observe(stats.SeriesBoxDrops(box), stats.KindCounter, now, float64(c.Value()))
+		}
+	}
+	e.stats.Observe(stats.SeriesNodeShed, stats.KindCounter, now, float64(e.shedCtr.Value()))
+}
+
+// StatsStore returns the configured windowed stats store (nil when the
+// stats plane is off).
+func (e *Engine) StatsStore() *stats.Store { return e.stats }
+
+// BusyNs returns the cumulative processing time the engine has spent in
+// box executions — the raw counter utilization is differenced from.
+func (e *Engine) BusyNs() int64 { return e.busyCtr.Value() }
 
 // RunUntilIdle steps until no box has queued work, or until maxSteps (<= 0
 // means unbounded). It returns the number of steps executed.

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// TestEngineSampleStats: the engine folds the §7.1 monitored statistics
+// of every box into the configured store — cost and selectivity as
+// gauges, cumulative work as a counter the store turns into a CPU-share
+// rate.
+func TestEngineSampleStats(t *testing.T) {
+	st := stats.NewStore(1e6, 8) // 1ms windows on the virtual clock
+	e, _ := newVirtualEngine(t, filterNet(t), Config{
+		Clock:          NewVirtualClock(0),
+		DefaultBoxCost: 500,
+		Stats:          st,
+		StatsEvery:     1,
+	})
+	for i := 0; i < 50; i++ {
+		e.Ingest("in", tuple(int64(i), 5))
+		e.RunUntilIdle(0)
+	}
+	now := e.Clock().Now()
+	names := st.Names()
+	for _, want := range []string{
+		stats.SeriesBoxCost("f"),
+		stats.SeriesBoxSelectivity("f"),
+		stats.SeriesBoxQueue("f"),
+		stats.SeriesBoxWork("f"),
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("series %q not sampled (have %v)", want, names)
+		}
+	}
+	if v, ok := st.Latest(stats.SeriesBoxCost("f"), now); !ok || v != 500 {
+		t.Errorf("box cost = %v, %v; want 500 (virtCost)", v, ok)
+	}
+	if v, ok := st.Latest(stats.SeriesBoxSelectivity("f"), now); !ok || v != 1 {
+		t.Errorf("selectivity = %v, %v; want 1 (filter passes all)", v, ok)
+	}
+	if e.BusyNs() != 50*500 {
+		t.Errorf("BusyNs = %d; want %d", e.BusyNs(), 50*500)
+	}
+	if e.StatsStore() != st {
+		t.Error("StatsStore should return the configured store")
+	}
+}
+
+// TestEngineStatsAutoSampleCadence: with StatsEvery=4 only every fourth
+// step samples; with Stats nil nothing is sampled and SampleStats is a
+// no-op.
+func TestEngineStatsAutoSampleCadence(t *testing.T) {
+	st := stats.NewStore(1e9, 4)
+	e, _ := newVirtualEngine(t, filterNet(t), Config{
+		Clock: NewVirtualClock(0), Stats: st, StatsEvery: 4,
+	})
+	for i := 0; i < 3; i++ {
+		e.Ingest("in", tuple(int64(i), 5))
+		e.Step()
+	}
+	if n := len(st.Names()); n != 0 {
+		t.Fatalf("sampled after 3 steps with StatsEvery=4: %d series", n)
+	}
+	e.Ingest("in", tuple(9, 5))
+	e.Step()
+	if n := len(st.Names()); n == 0 {
+		t.Fatal("step 4 should have sampled")
+	}
+
+	off, _ := newVirtualEngine(t, filterNet(t), Config{Clock: NewVirtualClock(0)})
+	off.SampleStats(0) // must not panic with no store
+	if off.StatsStore() != nil {
+		t.Error("StatsStore should be nil when unconfigured")
+	}
+}
+
+// TestShedderPerBoxDropCounters: drops at ingest are attributed to the
+// input's destination boxes via shed.drop.<box> counters, and surface in
+// the stats store as box drop series.
+func TestShedderPerBoxDropCounters(t *testing.T) {
+	st := stats.NewStore(1e6, 8)
+	n, err := query.NewBuilder("flt").
+		AddBox("f", filterSpec("B < 100")).
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "f", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(n, Config{
+		Clock: NewVirtualClock(0),
+		Shed: &ShedConfig{
+			Mode: ShedRandom, QueueHigh: 4, QueueLow: 1,
+			StepUp: 0.5, MaxDrop: 0.9, Seed: 7,
+		},
+		Stats: st, StatsEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood without stepping so the queue exceeds QueueHigh, step once so
+	// the control loop raises the drop rate, then keep flooding: the
+	// shedder now drops ~half the arrivals at ingest.
+	for i := 0; i < 500; i++ {
+		e.Ingest("in", tuple(int64(i), 5))
+	}
+	e.Step() // drains one train (128), leaves the queue over QueueHigh
+	for i := 0; i < 1000; i++ {
+		e.Ingest("in", tuple(int64(i), 5))
+	}
+	dropped := e.Metrics().Counter("shed.drop.f").Value()
+	if dropped == 0 {
+		t.Fatal("no per-box drops recorded despite shedding pressure")
+	}
+	if total := e.Metrics().Counter("engine.shed").Value(); dropped != total {
+		t.Errorf("shed.drop.f = %d but engine.shed = %d; single-dest input should match", dropped, total)
+	}
+	e.RunUntilIdle(0)
+	e.SampleStats(e.Clock().Now())
+	found := false
+	for _, name := range st.Names() {
+		if name == stats.SeriesBoxDrops("f") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drop series %q missing from store (have %v)",
+			stats.SeriesBoxDrops("f"), st.Names())
+	}
+}
+
+func benchIngestStepStats(b *testing.B, every int) {
+	n, err := query.NewBuilder("flt").
+		AddBox("f", filterSpec("B < 100")).
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "f", 0, nil).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Clock: NewVirtualClock(1)}
+	if every > 0 {
+		cfg.Stats = stats.NewStore(1e6, 8)
+		cfg.StatsEvery = every
+	}
+	e, err := New(n, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := tuple(1, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Ingest("in", t)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStatsOff(b *testing.B)     { benchIngestStepStats(b, 0) }
+func BenchmarkEngineStatsSampled(b *testing.B) { benchIngestStepStats(b, 64) }
+
+// TestStatsOverheadGuard is the CI regression fence for the stats plane,
+// the analogue of TestTraceOverheadGuard: the stats-off hot path must not
+// regress because the plane exists — off paying anything close to the
+// sampled path's cost means a nil check grew into real work. Gated behind
+// CI_STATS_GUARD=1 because timing comparisons are too noisy for default
+// test runs.
+func TestStatsOverheadGuard(t *testing.T) {
+	if os.Getenv("CI_STATS_GUARD") != "1" {
+		t.Skip("set CI_STATS_GUARD=1 to run the stats overhead guard")
+	}
+	off := testing.Benchmark(BenchmarkEngineStatsOff)
+	on := testing.Benchmark(BenchmarkEngineStatsSampled)
+	offNs := float64(off.NsPerOp())
+	onNs := float64(on.NsPerOp())
+	t.Logf("stats off: %.0f ns/op, sampled 1-in-64: %.0f ns/op", offNs, onNs)
+	if offNs > onNs*1.3 {
+		t.Fatalf("stats-off path (%.0f ns/op) slower than sampled-on (%.0f ns/op): the disabled path regressed", offNs, onNs)
+	}
+}

@@ -1,0 +1,47 @@
+package loadmgr
+
+import "repro/internal/stats"
+
+// OffloadFromMap computes the load-share daemon's decision from the
+// gossiped windowed LoadMap instead of instantaneous local readings: the
+// node's own digest supplies its smoothed utilization and per-box load
+// shares, and every other digest in the map is a candidate peer. This is
+// the stats-plane consumer the paper's §5.2 stability argument wants —
+// a one-window burst barely moves the windowed average, so it cannot
+// trigger the box flapping that point-in-time values cause.
+//
+// boxFilter restricts the movable boxes (nil allows all): the map may
+// still carry decaying series for boxes that already moved away, and
+// only boxes the node currently hosts can be offered. linkBW reports the
+// available bytes/sec toward a peer; ok=false excludes peers with no
+// usable link.
+func OffloadFromMap(self string, lm *stats.LoadMap, boxFilter func(box string) bool, linkBW func(peer string) (float64, bool), pol Policy) *Decision {
+	d, ok := lm.Get(self)
+	if !ok {
+		return nil
+	}
+	var boxes []BoxLoad
+	for _, b := range d.Boxes {
+		if b.Load <= 0 {
+			continue
+		}
+		if boxFilter != nil && !boxFilter(b.Box) {
+			continue
+		}
+		boxes = append(boxes, BoxLoad{Box: b.Box, Work: b.Load})
+	}
+	var peers []PeerLoad
+	for _, pd := range lm.Snapshot() {
+		if pd.Node == self {
+			continue
+		}
+		bw, ok := linkBW(pd.Node)
+		if !ok {
+			continue
+		}
+		peers = append(peers, PeerLoad{
+			Node: pd.Node, Utilization: pd.Util, FreeBandwidth: bw,
+		})
+	}
+	return PlanOffload(d.Util, boxes, peers, pol)
+}

@@ -1,0 +1,66 @@
+package loadmgr
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func reliefMap() *stats.LoadMap {
+	lm := stats.NewLoadMap("n1")
+	lm.Update(stats.Digest{Node: "n1", Seq: 3, Util: 0.95, Boxes: []stats.BoxLoad{
+		{Box: "f1", Load: 0.5},
+		{Box: "f2", Load: 0.3},
+		{Box: "f3", Load: 0.15},
+		{Box: "gone", Load: 0}, // decayed series for a box that moved away
+	}})
+	lm.Update(stats.Digest{Node: "n2", Seq: 3, Util: 0.1})
+	lm.Update(stats.Digest{Node: "n3", Seq: 3, Util: 0.3})
+	return lm
+}
+
+func TestOffloadFromMap(t *testing.T) {
+	pol := Policy{HighWater: 0.8, LowWater: 0.5, Headroom: 0.5, CooldownPeriods: 2}
+	allLinks := func(string) (float64, bool) { return 1e18, true }
+
+	d := OffloadFromMap("n1", reliefMap(), nil, allLinks, pol)
+	if d == nil {
+		t.Fatal("overloaded node with idle peers should offload")
+	}
+	if d.To != "n2" {
+		t.Errorf("offload to %s, want the least-loaded n2", d.To)
+	}
+	// Greedy smallest-first: f3 (0.15) covers the 0.15 excess alone.
+	if len(d.Boxes) != 1 || d.Boxes[0] != "f3" {
+		t.Errorf("moved %v, want [f3]", d.Boxes)
+	}
+
+	// The box filter drops boxes the node no longer hosts.
+	d = OffloadFromMap("n1", reliefMap(),
+		func(box string) bool { return box == "f2" }, allLinks, pol)
+	if d == nil || len(d.Boxes) != 1 || d.Boxes[0] != "f2" {
+		t.Errorf("filtered offload = %+v, want just f2", d)
+	}
+
+	// Link availability gates the peer set: with n2 unreachable the plan
+	// must fall back to n3.
+	d = OffloadFromMap("n1", reliefMap(), nil,
+		func(peer string) (float64, bool) { return 1e18, peer != "n2" }, pol)
+	if d == nil || d.To != "n3" {
+		t.Errorf("offload = %+v, want fallback to n3", d)
+	}
+
+	// No digest for self yet: no decision, never a panic.
+	if d := OffloadFromMap("n9", reliefMap(), nil, allLinks, pol); d != nil {
+		t.Errorf("unknown self should plan nothing, got %+v", d)
+	}
+
+	// A calm windowed view plans nothing even with idle peers.
+	calm := stats.NewLoadMap("n1")
+	calm.Update(stats.Digest{Node: "n1", Seq: 1, Util: 0.4,
+		Boxes: []stats.BoxLoad{{Box: "f1", Load: 0.4}}})
+	calm.Update(stats.Digest{Node: "n2", Seq: 1, Util: 0.1})
+	if d := OffloadFromMap("n1", calm, nil, allLinks, pol); d != nil {
+		t.Errorf("calm node should stay put, got %+v", d)
+	}
+}

@@ -1,0 +1,148 @@
+package loadmgr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/stream"
+)
+
+var aSchema = stream.MustSchema("s", stream.Field{Name: "A", Kind: stream.KindInt})
+
+// TestRateSplitTable drives RateSplit through its domain edge cases: an
+// empty observation domain must error, a single-key domain must produce a
+// predicate matching exactly that key, and skewed domains must pack the
+// hot keys first.
+func TestRateSplitTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		obs       map[string]int // key -> observation count
+		target    float64
+		wantErr   bool
+		match     []int64 // keys the predicate must accept
+		noMatch   []int64 // keys the predicate must reject
+		wantShare float64 // lower bound on the predicted share
+	}{
+		{
+			name: "empty domain", obs: nil, target: 0.5, wantErr: true,
+		},
+		{
+			name: "target zero invalid", obs: map[string]int{"1": 5},
+			target: 0, wantErr: true,
+		},
+		{
+			name: "target one invalid", obs: map[string]int{"1": 5},
+			target: 1, wantErr: true,
+		},
+		{
+			name: "single key", obs: map[string]int{"7": 10}, target: 0.5,
+			match: []int64{7}, noMatch: []int64{6, 8, 0}, wantShare: 1,
+		},
+		{
+			name: "skewed pair takes only the hot key",
+			obs:  map[string]int{"1": 90, "2": 10}, target: 0.5,
+			match: []int64{1}, noMatch: []int64{2}, wantShare: 0.9,
+		},
+		{
+			name: "uniform trio needs two keys",
+			obs:  map[string]int{"1": 10, "2": 10, "3": 10}, target: 0.5,
+			// Ties break by key string: "1" then "2" are packed.
+			match: []int64{1, 2}, noMatch: []int64{3}, wantShare: 0.6,
+		},
+		{
+			name: "non-integer key rejected",
+			obs:  map[string]int{"cambridge": 5}, target: 0.5, wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := NewKeyTracker(1, 0)
+			for key, n := range tc.obs {
+				for i := 0; i < n; i++ {
+					k.Observe(key)
+				}
+			}
+			pred, share, err := RateSplit(k, "A", tc.target)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got predicate %v share %g", pred, share)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if share < tc.wantShare-1e-9 {
+				t.Errorf("share = %g, want >= %g", share, tc.wantShare)
+			}
+			op.MustBind(pred, aSchema)
+			for _, key := range tc.match {
+				if !pred.Eval(stream.NewTuple(stream.Int(key))).AsBool() {
+					t.Errorf("key %d should match %s", key, pred)
+				}
+			}
+			for _, key := range tc.noMatch {
+				if pred.Eval(stream.NewTuple(stream.Int(key))).AsBool() {
+					t.Errorf("key %d should not match %s", key, pred)
+				}
+			}
+		})
+	}
+}
+
+// TestHashBucketsPartition checks the bucketed hash predicates' range
+// algebra: for any modulus the buckets must tile the key domain — no key
+// matches two buckets (overlap) and none falls through (gap).
+func TestHashBucketsPartition(t *testing.T) {
+	for _, n := range []int64{2, 3, 5} {
+		t.Run(fmt.Sprintf("mod%d", n), func(t *testing.T) {
+			preds := make([]op.Expr, n)
+			for b := int64(0); b < n; b++ {
+				preds[b] = op.NewHashMod([]string{"A"}, n, b)
+				op.MustBind(preds[b], aSchema)
+			}
+			for key := int64(0); key < 500; key++ {
+				tp := stream.NewTuple(stream.Int(key))
+				hits := 0
+				for _, p := range preds {
+					if p.Eval(tp).AsBool() {
+						hits++
+					}
+				}
+				if hits != 1 {
+					t.Fatalf("key %d matched %d of %d buckets", key, hits, n)
+				}
+			}
+		})
+	}
+}
+
+// TestRateSplitWideningTargetsNest checks that predicates for overlapping
+// targets nest: everything the 0.3-share predicate accepts, the 0.8-share
+// predicate built from the same statistics must accept too (the greedy
+// packer extends the hot-key prefix, it never swaps it out).
+func TestRateSplitWideningTargetsNest(t *testing.T) {
+	k := NewKeyTracker(1, 0)
+	for key := 0; key < 10; key++ {
+		for i := 0; i <= 100-10*key; i++ {
+			k.Observe(fmt.Sprint(key))
+		}
+	}
+	narrow, _, err := RateSplit(k, "A", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, _, err := RateSplit(k, "A", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.MustBind(narrow, aSchema)
+	op.MustBind(wide, aSchema)
+	for key := int64(0); key < 10; key++ {
+		tp := stream.NewTuple(stream.Int(key))
+		if narrow.Eval(tp).AsBool() && !wide.Eval(tp).AsBool() {
+			t.Errorf("key %d in the narrow split but not the wide one", key)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package medusa
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/stats"
 )
 
 // Econ is one participant's cost structure in the agoric model: processing
@@ -96,6 +98,28 @@ type Market struct {
 	// "must carefully monitor local load conditions, and be aware of the
 	// economic model" — load relief first, economics as the constraint.
 	TargetUtil float64
+
+	// lm, when set, supplies the relief oracle's utilization readings from
+	// the gossiped statistics plane (windowed averages) instead of this
+	// round's instantaneous load — the same §5.2 stability fix the Aurora*
+	// load-share daemons use, applied across administrative boundaries.
+	lm *stats.LoadMap
+}
+
+// SetLoadMap attaches a gossiped load map: participants found in it have
+// their relief-oracle utilization read from their windowed digest, so a
+// one-round spike cannot trigger cross-participant load movement. Nodes
+// absent from the map fall back to instantaneous readings.
+func (m *Market) SetLoadMap(lm *stats.LoadMap) { m.lm = lm }
+
+// utilOf returns a participant's utilization for the relief oracle.
+func (m *Market) utilOf(p string, load map[string]float64) float64 {
+	if m.lm != nil {
+		if d, ok := m.lm.Get(p); ok {
+			return d.Util
+		}
+	}
+	return load[p] / m.econ[p].Capacity
 }
 
 // NewMarket creates a market over the participants in chain order.
@@ -393,7 +417,7 @@ func (m *Market) Round() RoundReport {
 					if c.d1 > 0 {
 						giver, taker = right, left
 					}
-					giverUtil := baseLoad[giver] / m.econ[giver].Capacity
+					giverUtil := m.utilOf(giver, baseLoad)
 					takerAfter := hypLoad[taker] / m.econ[taker].Capacity
 					takerGain := hypProfit[taker] - baseProfit[taker]
 					relief = giverUtil > m.TargetUtil &&

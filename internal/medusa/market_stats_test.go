@@ -1,0 +1,75 @@
+package medusa
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// spikeMarket builds the relief fixture: ten equal stages all on A, with
+// the rate chosen so A sits at the given utilization. At util 0.95 the
+// boundary move is profit-neutral in total (economic acceptance cannot
+// fire), so any switch comes from the relief oracle alone.
+func spikeMarket(t *testing.T, rate float64) (*Market, *MarketQuery) {
+	t.Helper()
+	m, _ := marketWith(t, []float64{100, 100})
+	q, err := m.AddQuery("q", 0.01, evenStages(10), rate, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, q
+}
+
+// TestMarketInstantaneousReliefFlapsOnSpike is the control: with no load
+// map attached the relief oracle reads this round's instantaneous load,
+// so a single spike round above the target utilization sheds a stage.
+func TestMarketInstantaneousReliefFlapsOnSpike(t *testing.T) {
+	m, q := spikeMarket(t, 9.5) // util 0.95 > TargetUtil 0.9 this round
+	rep := m.Round()
+	if rep.Switches == 0 {
+		t.Fatalf("instantaneous relief should shed on the spike round: %+v", rep)
+	}
+	if got := q.Cuts()[0]; got != 9 {
+		t.Errorf("cut = %d after relief, want 9", got)
+	}
+}
+
+// TestMarketWindowedReliefAbsorbsSpike attaches a load map whose windowed
+// digests say the spike is one hot window in a calm history: the same
+// spike round must not move anything.
+func TestMarketWindowedReliefAbsorbsSpike(t *testing.T) {
+	m, q := spikeMarket(t, 9.5)
+	lm := stats.NewLoadMap("A")
+	lm.Update(stats.Digest{Node: "A", Seq: 1, Util: 0.3})
+	lm.Update(stats.Digest{Node: "B", Seq: 1, Util: 0.1})
+	m.SetLoadMap(lm)
+	for i := 0; i < 3; i++ {
+		if rep := m.Round(); rep.Switches != 0 {
+			t.Fatalf("round %d: windowed relief moved on a one-round spike: %+v", i, rep)
+		}
+	}
+	if got := q.Cuts()[0]; got != 10 {
+		t.Errorf("cut = %d, want the initial 10", got)
+	}
+}
+
+// TestMarketWindowedReliefFiresOnSustainedLoad is the other direction:
+// the instantaneous round looks quiet, but the map reports sustained
+// overload — the oracle must believe the windowed view and shed.
+func TestMarketWindowedReliefFiresOnSustainedLoad(t *testing.T) {
+	m, q := spikeMarket(t, 2) // util 0.2 this round: quiet
+	if rep := m.Round(); rep.Switches != 0 {
+		t.Fatalf("quiet instantaneous round should not move: %+v", rep)
+	}
+	lm := stats.NewLoadMap("A")
+	lm.Update(stats.Digest{Node: "A", Seq: 5, Util: 0.95})
+	lm.Update(stats.Digest{Node: "B", Seq: 5, Util: 0.1})
+	m.SetLoadMap(lm)
+	rep := m.Round()
+	if rep.Switches == 0 {
+		t.Fatalf("sustained windowed overload should shed: %+v", rep)
+	}
+	if got := q.Cuts()[0]; got != 9 {
+		t.Errorf("cut = %d after relief, want 9", got)
+	}
+}

@@ -244,6 +244,10 @@ type Summary struct {
 	Mean, P50, P95, P99 float64
 }
 
+// Sum returns the total of all observations (Mean × Count) — the form
+// the stats plane differences to bucket histogram traffic into windows.
+func (s Summary) Sum() float64 { return s.Mean * float64(s.Count) }
+
 // String renders the summary for benchrunner tables.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f",

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Event is a scheduled callback.
@@ -156,6 +157,19 @@ func (s *Sim) Connect(a, b string, bytesPerSec float64, delay int64, loss float6
 	s.links[linkKey{a, b}] = &Link{BytesPerSec: bytesPerSec, Delay: delay, Loss: loss}
 	s.links[linkKey{b, a}] = &Link{BytesPerSec: bytesPerSec, Delay: delay, Loss: loss}
 	return nil
+}
+
+// Neighbors returns the sorted ids of the nodes id has an outgoing link
+// to — the peers a gossip round can reach directly.
+func (s *Sim) Neighbors(id string) []string {
+	var out []string
+	for k := range s.links {
+		if k.from == id {
+			out = append(out, k.to)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // LinkStats returns the directed link from a to b for inspection.

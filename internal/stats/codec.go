@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire form of a digest batch (the transport piggyback trailer):
+//
+//	uvarint count
+//	per digest:
+//	  uvarint len(node) | node bytes
+//	  uvarint seq
+//	  varint  at
+//	  8 bytes util  (float64 big-endian bits)
+//	  8 bytes queued
+//	  uvarint len(boxes)
+//	  per box: uvarint len(name) | name bytes | 8 bytes load
+//
+// Floats travel as raw bits so an encode/decode round trip is
+// bit-identical (NaN payloads included) — the same canonical-bytes
+// contract the tuple codec's fuzzer enforces.
+
+// maxDigests bounds one batch; a cluster gossips one digest per node,
+// so anything larger is corrupt, not big.
+const maxDigests = 4096
+
+// maxBoxes bounds the per-digest box list.
+const maxBoxes = 65536
+
+// AppendDigests appends the wire form of a digest batch to dst.
+func AppendDigests(dst []byte, ds []Digest) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for _, d := range ds {
+		dst = binary.AppendUvarint(dst, uint64(len(d.Node)))
+		dst = append(dst, d.Node...)
+		dst = binary.AppendUvarint(dst, d.Seq)
+		dst = binary.AppendVarint(dst, d.At)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Util))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Queued))
+		dst = binary.AppendUvarint(dst, uint64(len(d.Boxes)))
+		for _, b := range d.Boxes {
+			dst = binary.AppendUvarint(dst, uint64(len(b.Box)))
+			dst = append(dst, b.Box...)
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Load))
+		}
+	}
+	return dst
+}
+
+// DecodeDigests parses a digest batch from src, returning the digests
+// and the bytes consumed. Length and count fields are validated against
+// the remaining buffer in uint64 (converting first could wrap negative
+// and defeat the bounds check), so hostile input can neither panic nor
+// force oversized allocations.
+func DecodeDigests(src []byte) ([]Digest, int, error) {
+	pos := 0
+	count, used, err := readUvarint(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += used
+	if count > maxDigests {
+		return nil, 0, fmt.Errorf("stats: digest count %d exceeds limit", count)
+	}
+	// Each digest needs at least 20 bytes (empty name, two floats, three
+	// varints), so a count beyond the remaining buffer is corrupt.
+	if count > uint64(len(src)-pos) {
+		return nil, 0, fmt.Errorf("stats: truncated digest batch")
+	}
+	ds := make([]Digest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var d Digest
+		n, used, err := readUvarint(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if n > uint64(len(src)-pos) {
+			return nil, 0, fmt.Errorf("stats: truncated node name")
+		}
+		d.Node = string(src[pos : pos+int(n)])
+		pos += int(n)
+		if d.Seq, used, err = readUvarint(src[pos:]); err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if d.At, used, err = readVarint(src[pos:]); err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if d.Util, used, err = readFloat(src[pos:]); err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if d.Queued, used, err = readFloat(src[pos:]); err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		boxes, used, err := readUvarint(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if boxes > maxBoxes {
+			return nil, 0, fmt.Errorf("stats: box count %d exceeds limit", boxes)
+		}
+		// Each box entry is at least 9 bytes (length byte + load bits).
+		if boxes > uint64(len(src)-pos) {
+			return nil, 0, fmt.Errorf("stats: truncated box list")
+		}
+		if boxes > 0 {
+			d.Boxes = make([]BoxLoad, 0, boxes)
+		}
+		for b := uint64(0); b < boxes; b++ {
+			var bl BoxLoad
+			n, used, err := readUvarint(src[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			if n > uint64(len(src)-pos) {
+				return nil, 0, fmt.Errorf("stats: truncated box name")
+			}
+			bl.Box = string(src[pos : pos+int(n)])
+			pos += int(n)
+			if bl.Load, used, err = readFloat(src[pos:]); err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			d.Boxes = append(d.Boxes, bl)
+		}
+		ds = append(ds, d)
+	}
+	return ds, pos, nil
+}
+
+func readUvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("stats: bad uvarint")
+	}
+	return v, n, nil
+}
+
+func readVarint(src []byte) (int64, int, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("stats: bad varint")
+	}
+	return v, n, nil
+}
+
+func readFloat(src []byte) (float64, int, error) {
+	if len(src) < 8 {
+		return 0, 0, fmt.Errorf("stats: truncated float")
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(src)), 8, nil
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleDigests() []Digest {
+	return []Digest{
+		{
+			Node: "node-a", Seq: 42, At: 1234567890,
+			Util: 0.875, Queued: 17,
+			Boxes: []BoxLoad{{Box: "filter1", Load: 0.25}, {Box: "map2", Load: 0.0625}},
+		},
+		{Node: "b", Seq: 1, At: -5, Util: 0, Queued: 0},
+		{Node: "", Seq: 0, At: 0, Util: math.Inf(1), Queued: -0.5,
+			Boxes: []BoxLoad{{Box: "", Load: math.MaxFloat64}}},
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	want := sampleDigests()
+	buf := AppendDigests(nil, want)
+	got, n, err := DecodeDigests(buf)
+	if err != nil {
+		t.Fatalf("DecodeDigests: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDigestRoundTripEmpty(t *testing.T) {
+	buf := AppendDigests(nil, nil)
+	got, n, err := DecodeDigests(buf)
+	if err != nil || n != len(buf) || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, n=%d, err=%v", got, n, err)
+	}
+}
+
+func TestDecodeTrailingBytesReported(t *testing.T) {
+	buf := AppendDigests(nil, sampleDigests())
+	pad := append(append([]byte{}, buf...), 0xde, 0xad)
+	_, n, err := DecodeDigests(pad)
+	if err != nil {
+		t.Fatalf("DecodeDigests: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d; want %d (trailing bytes untouched)", n, len(buf))
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf := AppendDigests(nil, sampleDigests())
+	// Every proper prefix must fail cleanly (no panic) — the full buffer
+	// is the only prefix that decodes.
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeDigests(buf[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	cases := map[string][]byte{
+		"digest count":   {0xff, 0xff, 0xff, 0xff, 0x7f}, // ~2^34 digests
+		"huge node name": {0x01, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"empty":          {},
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeDigests(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Box count beyond the remaining buffer.
+	buf := AppendDigests(nil, []Digest{{Node: "x"}})
+	buf[len(buf)-1] = 0xff // corrupt the boxes count varint
+	buf = append(buf, 0xff, 0xff, 0x7f)
+	if _, _, err := DecodeDigests(buf); err == nil {
+		t.Error("oversized box count decoded without error")
+	}
+}
+
+func TestDecodeNaNBitsSurvive(t *testing.T) {
+	// A NaN with a payload must round-trip bit-identically.
+	nan := math.Float64frombits(0x7ff8_dead_beef_0001)
+	buf := AppendDigests(nil, []Digest{{Node: "n", Util: nan}})
+	got, _, err := DecodeDigests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[0].Util) != math.Float64bits(nan) {
+		t.Fatalf("NaN bits changed: %x vs %x",
+			math.Float64bits(got[0].Util), math.Float64bits(nan))
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeDigest hammers the digest decoder with arbitrary bytes. The
+// invariants mirror the transport codec fuzzers: never panic, never
+// over-read, and anything that decodes must re-encode to bytes that
+// decode back to the same digests (canonical round trip — floats travel
+// as raw bits, so even NaN payloads survive).
+func FuzzDecodeDigest(f *testing.F) {
+	// Seed corpus: the interesting shapes, encoded for real.
+	f.Add(AppendDigests(nil, nil))
+	f.Add(AppendDigests(nil, []Digest{{Node: "a", Seq: 1, At: 100, Util: 0.5, Queued: 3}}))
+	f.Add(AppendDigests(nil, sampleDigests()))
+	f.Add(AppendDigests(nil, []Digest{{
+		Node: "n", Util: math.Float64frombits(0x7ff8_0000_0000_0001),
+		Boxes: []BoxLoad{{Box: "b", Load: math.Inf(-1)}},
+	}}))
+	// Hostile shapes: oversized counts, truncated floats, bare garbage.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, n, err := DecodeDigests(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d > input %d", n, len(data))
+		}
+		enc := AppendDigests(nil, ds)
+		ds2, n2, err := DecodeDigests(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded digests failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d", n2, len(enc))
+		}
+		if len(ds) != len(ds2) {
+			t.Fatalf("digest count changed: %d vs %d", len(ds), len(ds2))
+		}
+		// reflect.DeepEqual treats NaN != NaN, so compare via bits.
+		for i := range ds {
+			if !digestEqualBits(ds[i], ds2[i]) {
+				t.Fatalf("digest %d changed:\n%+v\nvs\n%+v", i, ds[i], ds2[i])
+			}
+		}
+	})
+}
+
+func digestEqualBits(a, b Digest) bool {
+	if a.Node != b.Node || a.Seq != b.Seq || a.At != b.At ||
+		math.Float64bits(a.Util) != math.Float64bits(b.Util) ||
+		math.Float64bits(a.Queued) != math.Float64bits(b.Queued) ||
+		len(a.Boxes) != len(b.Boxes) {
+		return false
+	}
+	for i := range a.Boxes {
+		if a.Boxes[i].Box != b.Boxes[i].Box ||
+			math.Float64bits(a.Boxes[i].Load) != math.Float64bits(b.Boxes[i].Load) {
+			return false
+		}
+	}
+	return true
+}

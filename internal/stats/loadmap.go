@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BoxLoad is one box's windowed load contribution inside a digest: the
+// fraction of a CPU the box consumed, averaged over the digest's window
+// span.
+type BoxLoad struct {
+	Box  string  `json:"box"`
+	Load float64 `json:"load"`
+}
+
+// Digest is one node's compact windowed self-description, the unit the
+// gossip floods. Seq is a per-origin version: receivers keep the highest
+// Seq per node, so digests can arrive out of order, duplicated, or along
+// multiple paths without harm (the merge is idempotent and commutative —
+// what makes convergence independent of message order).
+type Digest struct {
+	Node   string    `json:"node"`
+	Seq    uint64    `json:"seq"`
+	At     int64     `json:"at"`     // sample time at the origin
+	Util   float64   `json:"util"`   // windowed CPU busy fraction
+	Queued float64   `json:"queued"` // windowed queue depth (tuples)
+	Boxes  []BoxLoad `json:"boxes,omitempty"`
+}
+
+// LoadMap is a node's view of the whole cluster: the latest digest it
+// has seen from every node, its own included. Because updates are
+// keep-the-max-Seq, every node that has seen the same set of digests
+// holds an identical map — the gossip needs no coordinator and no
+// ordering guarantees.
+type LoadMap struct {
+	mu      sync.Mutex
+	self    string
+	entries map[string]Digest
+}
+
+// NewLoadMap returns an empty map owned by the named node.
+func NewLoadMap(self string) *LoadMap {
+	return &LoadMap{self: self, entries: map[string]Digest{}}
+}
+
+// Self returns the owning node's id.
+func (m *LoadMap) Self() string { return m.self }
+
+// Update merges one digest, keeping it only if it is newer (higher Seq)
+// than the entry already held for its node. It reports whether the map
+// changed.
+func (m *LoadMap) Update(d Digest) bool {
+	if d.Node == "" {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.entries[d.Node]; ok && cur.Seq >= d.Seq {
+		return false
+	}
+	m.entries[d.Node] = d
+	return true
+}
+
+// Merge folds a batch of digests in, returning how many changed the map.
+func (m *LoadMap) Merge(ds []Digest) int {
+	changed := 0
+	for _, d := range ds {
+		if m.Update(d) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Get returns the latest digest known for a node.
+func (m *LoadMap) Get(node string) (Digest, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.entries[node]
+	return d, ok
+}
+
+// Snapshot returns every known digest, sorted by node id.
+func (m *LoadMap) Snapshot() []Digest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Digest, 0, len(m.entries))
+	for _, d := range m.entries {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Ranking returns the known nodes ordered by descending windowed
+// utilization, ties broken by node id — the per-node load ranking the
+// convergence bound is stated over.
+func (m *LoadMap) Ranking() []string {
+	ds := m.Snapshot()
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Util != ds[j].Util {
+			return ds[i].Util > ds[j].Util
+		}
+		return ds[i].Node < ds[j].Node
+	})
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Node
+	}
+	return out
+}
+
+// Len returns how many nodes the map knows about.
+func (m *LoadMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// String renders the map as a compact load table for diagnostics.
+func (m *LoadMap) String() string {
+	var b strings.Builder
+	for _, d := range m.Snapshot() {
+		fmt.Fprintf(&b, "%s util=%.3f queued=%.1f seq=%d boxes=%d\n",
+			d.Node, d.Util, d.Queued, d.Seq, len(d.Boxes))
+	}
+	return b.String()
+}
+
+// Plane bundles one node's half of the statistics plane: its windowed
+// store, its load map, and the digest sequence counter. Everything a
+// node needs to sample, publish, gossip, and merge.
+type Plane struct {
+	node  string
+	store *Store
+	lm    *LoadMap
+
+	mu  sync.Mutex
+	seq uint64
+	k   int // windows averaged into published digests
+}
+
+// NewPlane builds a plane for one node: windowNs-wide windows, a ring of
+// `windows` per series, and digests averaging the last k complete
+// windows (k <= 0 means windows/2, min 1).
+func NewPlane(node string, windowNs int64, windows, k int) *Plane {
+	if k <= 0 {
+		k = windows / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &Plane{node: node, store: NewStore(windowNs, windows), lm: NewLoadMap(node), k: k}
+}
+
+// Node returns the owning node id.
+func (p *Plane) Node() string { return p.node }
+
+// Store returns the plane's windowed store.
+func (p *Plane) Store() *Store { return p.store }
+
+// Map returns the plane's load map.
+func (p *Plane) Map() *LoadMap { return p.lm }
+
+// WindowedK returns how many complete windows digests average over.
+func (p *Plane) WindowedK() int { return p.k }
+
+// Publish assembles a fresh digest from the store's windowed values
+// (node.util, node.queued, and every box.*.work_ns series), stamps it
+// with the next sequence number, folds it into the local map, and
+// returns it.
+func (p *Plane) Publish(now int64) Digest {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	d := Digest{Node: p.node, Seq: seq, At: now}
+	d.Util, _ = p.store.Windowed(SeriesNodeUtil, p.k, now)
+	d.Queued, _ = p.store.Windowed(SeriesNodeQueued, p.k, now)
+	const pre, suf = "box.", ".work_ns"
+	for _, name := range p.store.Names() {
+		if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+			continue
+		}
+		box := name[len(pre) : len(name)-len(suf)]
+		if rate, ok := p.store.Windowed(name, p.k, now); ok {
+			// work_ns rate is ns of processing per second: /1e9 is the
+			// fraction of one CPU the box consumes.
+			d.Boxes = append(d.Boxes, BoxLoad{Box: box, Load: rate / 1e9})
+		}
+	}
+	p.lm.Update(d)
+	return d
+}
+
+// Gossip returns every digest this node would piggyback on an outgoing
+// message: all entries of its map (its own view included). The slice is
+// freshly allocated and safe to retain.
+func (p *Plane) Gossip() []Digest { return p.lm.Snapshot() }
+
+// Merge folds received digests into the map, returning how many were new.
+func (p *Plane) Merge(ds []Digest) int { return p.lm.Merge(ds) }

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLoadMapKeepsHighestSeq(t *testing.T) {
+	m := NewLoadMap("a")
+	if !m.Update(Digest{Node: "b", Seq: 2, Util: 0.5}) {
+		t.Fatal("first digest should change the map")
+	}
+	if m.Update(Digest{Node: "b", Seq: 1, Util: 0.9}) {
+		t.Fatal("stale digest must not change the map")
+	}
+	if m.Update(Digest{Node: "b", Seq: 2, Util: 0.9}) {
+		t.Fatal("equal-seq digest must not change the map")
+	}
+	if !m.Update(Digest{Node: "b", Seq: 3, Util: 0.7}) {
+		t.Fatal("newer digest should change the map")
+	}
+	d, ok := m.Get("b")
+	if !ok || d.Util != 0.7 {
+		t.Fatalf("Get(b) = %+v, %v; want util 0.7", d, ok)
+	}
+	if m.Update(Digest{Node: "", Seq: 9}) {
+		t.Fatal("empty node id must be rejected")
+	}
+}
+
+// TestMergeOrderIndependent is the convergence property the gossip rests
+// on: folding the same digest set in any order, with duplicates, yields
+// the same map.
+func TestMergeOrderIndependent(t *testing.T) {
+	ds := []Digest{
+		{Node: "a", Seq: 1, Util: 0.1},
+		{Node: "a", Seq: 3, Util: 0.3},
+		{Node: "b", Seq: 2, Util: 0.8},
+		{Node: "c", Seq: 5, Util: 0.5},
+		{Node: "b", Seq: 1, Util: 0.2},
+	}
+	m1 := NewLoadMap("x")
+	m1.Merge(ds)
+	m2 := NewLoadMap("y")
+	for i := len(ds) - 1; i >= 0; i-- {
+		m2.Update(ds[i])
+		m2.Update(ds[i]) // duplicates are harmless
+	}
+	if !reflect.DeepEqual(m1.Snapshot(), m2.Snapshot()) {
+		t.Fatalf("order-dependent merge:\n%v\nvs\n%v", m1.Snapshot(), m2.Snapshot())
+	}
+	if m1.Len() != 3 {
+		t.Fatalf("Len = %d; want 3", m1.Len())
+	}
+}
+
+func TestRankingOrdersByUtilThenNode(t *testing.T) {
+	m := NewLoadMap("a")
+	m.Merge([]Digest{
+		{Node: "a", Seq: 1, Util: 0.5},
+		{Node: "b", Seq: 1, Util: 0.9},
+		{Node: "c", Seq: 1, Util: 0.5},
+		{Node: "d", Seq: 1, Util: 0.1},
+	})
+	want := []string{"b", "a", "c", "d"}
+	if got := m.Ranking(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ranking = %v; want %v", got, want)
+	}
+	if m.String() == "" {
+		t.Fatal("String should render entries")
+	}
+}
+
+func TestPlanePublishBuildsDigestFromWindows(t *testing.T) {
+	p := NewPlane("n1", win, 8, 2)
+	st := p.Store()
+	// Two complete windows of util and of box work.
+	st.Observe(SeriesNodeUtil, KindGauge, 1*win, 0.4)
+	st.Observe(SeriesNodeUtil, KindGauge, 2*win, 0.6)
+	st.Observe(SeriesNodeQueued, KindGauge, 2*win, 12)
+	st.Observe(SeriesBoxWork("f1"), KindCounter, 1*win, 0)
+	st.Observe(SeriesBoxWork("f1"), KindCounter, 2*win, 2e8) // 0.2 CPU in window 1
+	st.Observe(SeriesBoxWork("f1"), KindCounter, 3*win-1, 4e8)
+	d := p.Publish(3 * win)
+	if d.Node != "n1" || d.Seq != 1 {
+		t.Fatalf("digest header = %+v", d)
+	}
+	if d.Util != 0.5 {
+		t.Fatalf("Util = %v; want 0.5", d.Util)
+	}
+	if d.Queued != 12 {
+		t.Fatalf("Queued = %v; want 12", d.Queued)
+	}
+	if len(d.Boxes) != 1 || d.Boxes[0].Box != "f1" {
+		t.Fatalf("Boxes = %+v; want one entry for f1", d.Boxes)
+	}
+	if got := d.Boxes[0].Load; got != 0.2 {
+		t.Fatalf("f1 load = %v; want 0.2", got)
+	}
+	// Publish folded the digest into the local map.
+	if got, ok := p.Map().Get("n1"); !ok || got.Seq != 1 {
+		t.Fatalf("own map entry = %+v, %v", got, ok)
+	}
+	if d2 := p.Publish(3 * win); d2.Seq != 2 {
+		t.Fatalf("second publish seq = %d; want 2", d2.Seq)
+	}
+}
+
+func TestPlaneGossipMergeConverges(t *testing.T) {
+	a := NewPlane("a", win, 8, 2)
+	b := NewPlane("b", win, 8, 2)
+	c := NewPlane("c", win, 8, 2)
+	for i, p := range []*Plane{a, b, c} {
+		u := float64(i+1) / 4 // 0.25, 0.5, 0.75
+		p.Store().Observe(SeriesNodeUtil, KindGauge, 1*win, u)
+		p.Publish(2 * win)
+	}
+	// One gossip round along a chain a→b→c, then back c→b→a: everyone
+	// converges in 2 rounds on a 3-node line.
+	b.Merge(a.Gossip())
+	c.Merge(b.Gossip())
+	b.Merge(c.Gossip())
+	a.Merge(b.Gossip())
+	want := []string{"c", "b", "a"}
+	for _, p := range []*Plane{a, b, c} {
+		if got := p.Map().Ranking(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %s ranking = %v; want %v", p.Node(), got, want)
+		}
+	}
+}
+
+func TestNewPlaneKDefaults(t *testing.T) {
+	if p := NewPlane("n", win, 8, 0); p.WindowedK() != 4 {
+		t.Fatalf("k default = %d; want windows/2 = 4", p.WindowedK())
+	}
+	if p := NewPlane("n", win, 1, 0); p.WindowedK() != 1 {
+		t.Fatalf("k floor = %d; want 1", p.WindowedK())
+	}
+}

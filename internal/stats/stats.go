@@ -1,0 +1,349 @@
+// Package stats is the cluster-wide statistics plane: a fixed-memory
+// windowed time-series store fed from the engine's monitored statistics
+// (§7.1 — box cost, selectivity, queue lengths, drops) plus node and
+// link sources, and a coordinator-free gossip of compact per-node
+// digests from which every node assembles the same LoadMap. The load
+// managers consume *windowed* load — continuously aggregated over
+// aligned time windows — rather than point-in-time snapshots, which is
+// what keeps one transient burst from flapping boxes across the cluster
+// ("shifting boxes around too frequently could lead to instability",
+// §5.2).
+package stats
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Kind selects how raw observations fold into a window.
+type Kind uint8
+
+const (
+	// KindGauge averages the samples landing in a window (utilization,
+	// queue depth, cost, selectivity). Window value: mean of samples.
+	KindGauge Kind = iota
+	// KindCounter differences a monotonically increasing raw value
+	// (bytes sent, tuples dropped, work ns) and accumulates the deltas
+	// per window. Window value: increments per second.
+	KindCounter
+	// KindHist merges cumulative histogram summaries: each window holds
+	// the observations that arrived during it. Window value: their mean.
+	KindHist
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindCounter:
+		return "counter"
+	case KindHist:
+		return "hist"
+	}
+	return "unknown"
+}
+
+// Canonical series names. Every producer and consumer of the plane uses
+// these, so dspstat, the digests, and the tests all agree on what a
+// series is called.
+const (
+	SeriesNodeUtil   = "node.util"   // gauge: CPU busy fraction
+	SeriesNodeQueued = "node.queued" // gauge: tuples waiting across engines
+	SeriesNodeShed   = "node.shed"   // counter: tuples dropped by the shedder
+)
+
+// SeriesBoxCost names a box's per-tuple processing cost series (gauge, ns).
+func SeriesBoxCost(box string) string { return "box." + box + ".cost_ns" }
+
+// SeriesBoxSelectivity names a box's selectivity series (gauge).
+func SeriesBoxSelectivity(box string) string { return "box." + box + ".selectivity" }
+
+// SeriesBoxQueue names a box's input-queue depth series (gauge, tuples).
+func SeriesBoxQueue(box string) string { return "box." + box + ".queue" }
+
+// SeriesBoxWork names a box's cumulative processing-time series
+// (counter, ns; the windowed rate is the box's share of a CPU).
+func SeriesBoxWork(box string) string { return "box." + box + ".work_ns" }
+
+// SeriesBoxDrops names a box's shedder-drop series (counter, tuples).
+func SeriesBoxDrops(box string) string { return "box." + box + ".drops" }
+
+// SeriesLink names a directed link's cumulative byte series (counter).
+func SeriesLink(from, to string) string { return "link." + from + ">" + to + ".bytes" }
+
+// window is one aligned time window of a series.
+type window struct {
+	idx   int64 // window index (start = idx*windowNs); negative = empty
+	sum   float64
+	count int64
+}
+
+// series is one named time series: a ring of aligned windows plus the
+// carry state the Kind needs (last raw counter value, last histogram
+// totals). All memory is allocated at creation — observing never grows.
+type series struct {
+	kind Kind
+	wins []window
+
+	lastRaw  float64 // KindCounter: previous raw value
+	haveRaw  bool
+	lastHCnt uint64  // KindHist: previous cumulative count
+	lastHSum float64 // KindHist: previous cumulative sum
+}
+
+// Store is the fixed-memory windowed time-series store: a map of named
+// series, each a ring of numWindows aligned windows of windowNs width.
+// Windows are aligned to multiples of windowNs on the observing clock,
+// so two stores fed from the same clock bucket their samples
+// identically — digests built from them describe the same intervals.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	windowNs int64
+	numWin   int
+	series   map[string]*series
+}
+
+// NewStore returns a store with the given window width (ns) and ring
+// size per series. Non-positive arguments fall back to 1s × 8 windows.
+func NewStore(windowNs int64, windows int) *Store {
+	if windowNs <= 0 {
+		windowNs = 1e9
+	}
+	if windows <= 0 {
+		windows = 8
+	}
+	return &Store{windowNs: windowNs, numWin: windows, series: map[string]*series{}}
+}
+
+// WindowNs returns the window width.
+func (s *Store) WindowNs() int64 { return s.windowNs }
+
+// NumWindows returns the ring size per series.
+func (s *Store) NumWindows() int { return s.numWin }
+
+func (s *Store) get(name string, k Kind) *series {
+	sr, ok := s.series[name]
+	if !ok {
+		sr = &series{kind: k, wins: make([]window, s.numWin)}
+		for i := range sr.wins {
+			sr.wins[i].idx = -1
+		}
+		s.series[name] = sr
+	}
+	return sr
+}
+
+// win returns the ring slot for window index idx, resetting it if it
+// still holds an older window.
+func (sr *series) win(idx int64) *window {
+	w := &sr.wins[idx%int64(len(sr.wins))]
+	if w.idx != idx {
+		w.idx = idx
+		w.sum = 0
+		w.count = 0
+	}
+	return w
+}
+
+// Observe folds one raw sample into the series' current window. For
+// KindCounter the value must be the cumulative (monotonic) reading; the
+// store differences successive readings itself, clamping resets to 0.
+func (s *Store) Observe(name string, k Kind, now int64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.get(name, k)
+	w := sr.win(now / s.windowNs)
+	switch sr.kind {
+	case KindGauge:
+		w.sum += v
+		w.count++
+	case KindCounter:
+		if sr.haveRaw {
+			d := v - sr.lastRaw
+			if d < 0 {
+				d = 0 // counter reset (process restart)
+			}
+			w.sum += d
+			w.count++
+		} else {
+			w.count++ // baseline sample: delta unknown, contributes 0
+		}
+		sr.lastRaw = v
+		sr.haveRaw = true
+	case KindHist:
+		// Handled by ObserveSummary; a plain value degrades to a gauge
+		// of one observation.
+		w.sum += v
+		w.count++
+	}
+}
+
+// ObserveSummary folds a cumulative histogram snapshot into a KindHist
+// series: the window accumulates the observations that arrived since
+// the previous snapshot.
+func (s *Store) ObserveSummary(name string, now int64, sum metrics.Summary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.get(name, KindHist)
+	w := sr.win(now / s.windowNs)
+	dCnt := int64(sum.Count) - int64(sr.lastHCnt)
+	dSum := sum.Mean*float64(sum.Count) - sr.lastHSum
+	if dCnt > 0 && dSum >= 0 {
+		w.sum += dSum
+		w.count += dCnt
+	}
+	sr.lastHCnt = sum.Count
+	sr.lastHSum = sum.Mean * float64(sum.Count)
+}
+
+// value reduces one window to the series' headline number.
+func (s *Store) value(sr *series, w *window) (float64, bool) {
+	switch sr.kind {
+	case KindGauge:
+		if w.count == 0 {
+			return 0, false
+		}
+		return w.sum / float64(w.count), true
+	case KindCounter:
+		// Rate per second over the window, whether or not samples landed
+		// (an untouched window is a genuine zero rate).
+		return w.sum / (float64(s.windowNs) / 1e9), true
+	case KindHist:
+		if w.count == 0 {
+			return 0, false
+		}
+		return w.sum / float64(w.count), true
+	}
+	return 0, false
+}
+
+// Latest returns the current (possibly partial) window's value, falling
+// back to the most recent complete window when the current one is empty.
+func (s *Store) Latest(name string, now int64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok {
+		return 0, false
+	}
+	cur := now / s.windowNs
+	for idx := cur; idx > cur-int64(s.numWin) && idx >= 0; idx-- {
+		w := &sr.wins[idx%int64(len(sr.wins))]
+		if w.idx == idx {
+			if v, ok := s.value(sr, w); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Windowed returns the smoothed value over the last k *complete* windows
+// before now: the mean of their window values. For counters, windows
+// with no traffic count as zero rate; for gauges and histograms, empty
+// windows (no samples) are skipped. ok is false when no window
+// contributes.
+func (s *Store) Windowed(name string, k int, now int64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok {
+		return 0, false
+	}
+	if k <= 0 || k > s.numWin {
+		k = s.numWin
+	}
+	cur := now / s.windowNs
+	var sum float64
+	n := 0
+	for idx := cur - 1; idx >= cur-int64(k) && idx >= 0; idx-- {
+		w := &sr.wins[idx%int64(len(sr.wins))]
+		if w.idx == idx {
+			if v, vok := s.value(sr, w); vok {
+				sum += v
+				n++
+				continue
+			}
+		}
+		if sr.kind == KindCounter {
+			// A missing window is a window in which the counter did not
+			// move: zero rate, and it must drag the average down.
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Names returns every registered series name, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.series))
+	for n := range s.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Point is one window of an exported series.
+type Point struct {
+	Start int64   `json:"start"` // window start time (ns)
+	Value float64 `json:"value"`
+	Count int64   `json:"count"`
+}
+
+// SeriesExport is the machine-readable view of one series, served by
+// the auroranode /stats endpoint and consumed by dspstat.
+type SeriesExport struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Latest   float64 `json:"latest"`
+	Windowed float64 `json:"windowed"`
+	Points   []Point `json:"points,omitempty"`
+}
+
+// Export snapshots every series whose name has the given prefix (empty
+// matches all), with the windowed value computed over k windows. Points
+// are the retained windows, oldest first.
+func (s *Store) Export(prefix string, k int, now int64) []SeriesExport {
+	names := s.Names()
+	out := make([]SeriesExport, 0, len(names))
+	for _, name := range names {
+		if prefix != "" && !hasPrefix(name, prefix) {
+			continue
+		}
+		s.mu.Lock()
+		sr := s.series[name]
+		kind := sr.kind
+		cur := now / s.windowNs
+		var pts []Point
+		for idx := cur - int64(s.numWin) + 1; idx <= cur; idx++ {
+			if idx < 0 {
+				continue
+			}
+			w := &sr.wins[idx%int64(len(sr.wins))]
+			if w.idx != idx {
+				continue
+			}
+			v, _ := s.value(sr, w)
+			pts = append(pts, Point{Start: idx * s.windowNs, Value: v, Count: w.count})
+		}
+		s.mu.Unlock()
+		latest, _ := s.Latest(name, now)
+		windowed, _ := s.Windowed(name, k, now)
+		out = append(out, SeriesExport{
+			Name: name, Kind: kind.String(),
+			Latest: latest, Windowed: windowed, Points: pts,
+		})
+	}
+	return out
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+const win = int64(1e9) // 1s windows in all tests
+
+func TestGaugeWindowAverage(t *testing.T) {
+	s := NewStore(win, 8)
+	// Three samples in window 5.
+	s.Observe("g", KindGauge, 5*win+100, 1.0)
+	s.Observe("g", KindGauge, 5*win+200, 2.0)
+	s.Observe("g", KindGauge, 5*win+300, 6.0)
+	v, ok := s.Latest("g", 5*win+400)
+	if !ok || v != 3.0 {
+		t.Fatalf("Latest = %v, %v; want 3.0, true", v, ok)
+	}
+	// From window 6, Windowed over 1 complete window sees the same mean.
+	v, ok = s.Windowed("g", 1, 6*win+1)
+	if !ok || v != 3.0 {
+		t.Fatalf("Windowed(1) = %v, %v; want 3.0, true", v, ok)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	s := NewStore(win, 8)
+	// Baseline at window 2, then +500 within window 2, +1500 in window 3.
+	s.Observe("c", KindCounter, 2*win, 1000)
+	s.Observe("c", KindCounter, 2*win+win/2, 1500)
+	s.Observe("c", KindCounter, 3*win+win/2, 3000)
+	v, ok := s.Latest("c", 2*win+win/2)
+	_ = v
+	if !ok {
+		t.Fatal("Latest after baseline should be ok")
+	}
+	// Window 2 accumulated 500 increments over a 1s window → 500/s.
+	v, _ = s.Windowed("c", 1, 3*win)
+	if v != 500 {
+		t.Fatalf("window-2 rate = %v; want 500", v)
+	}
+	// Window 3 accumulated 1500 → avg of windows 2..3 is 1000/s.
+	v, _ = s.Windowed("c", 2, 4*win)
+	if v != 1000 {
+		t.Fatalf("avg rate over 2 windows = %v; want 1000", v)
+	}
+}
+
+func TestCounterResetClampsToZero(t *testing.T) {
+	s := NewStore(win, 8)
+	s.Observe("c", KindCounter, 1*win, 1000)
+	s.Observe("c", KindCounter, 1*win+1, 200) // restart: raw went backwards
+	v, ok := s.Windowed("c", 1, 2*win)
+	if !ok || v != 0 {
+		t.Fatalf("rate after reset = %v, %v; want 0, true", v, ok)
+	}
+	// Counting resumes from the new baseline.
+	s.Observe("c", KindCounter, 2*win+1, 500)
+	v, _ = s.Windowed("c", 1, 3*win)
+	if v != 300 {
+		t.Fatalf("rate after recovery = %v; want 300", v)
+	}
+}
+
+func TestCounterMissingWindowsDragAverageDown(t *testing.T) {
+	s := NewStore(win, 8)
+	s.Observe("c", KindCounter, 1*win, 0)
+	s.Observe("c", KindCounter, 1*win+win/2, 4000) // 4000/s burst in window 1
+	// Windows 2 and 3 see no samples at all. From window 4, the windowed
+	// rate over 3 windows must treat them as zero, not skip them.
+	v, ok := s.Windowed("c", 3, 4*win)
+	if !ok {
+		t.Fatal("Windowed should be ok")
+	}
+	if want := 4000.0 / 3.0; math.Abs(v-want) > 1e-9 {
+		t.Fatalf("smoothed rate = %v; want %v", v, want)
+	}
+}
+
+func TestGaugeEmptyWindowsSkipped(t *testing.T) {
+	s := NewStore(win, 8)
+	s.Observe("g", KindGauge, 1*win, 10)
+	// Windows 2, 3 empty. A gauge has no value there — not zero.
+	v, ok := s.Windowed("g", 3, 4*win)
+	if !ok || v != 10 {
+		t.Fatalf("Windowed = %v, %v; want 10, true", v, ok)
+	}
+}
+
+func TestWindowRingEviction(t *testing.T) {
+	s := NewStore(win, 4)
+	s.Observe("g", KindGauge, 1*win, 1)
+	// Window 5 reuses window 1's ring slot (5 % 4 == 1).
+	s.Observe("g", KindGauge, 5*win, 9)
+	if v, _ := s.Latest("g", 5*win+1); v != 9 {
+		t.Fatalf("Latest = %v; want 9", v)
+	}
+	// The old window is gone: looking back 4 windows from 6 finds only 9.
+	v, ok := s.Windowed("g", 4, 6*win)
+	if !ok || v != 9 {
+		t.Fatalf("Windowed = %v, %v; want 9, true", v, ok)
+	}
+}
+
+func TestHistSummaryDeltas(t *testing.T) {
+	s := NewStore(win, 8)
+	// Cumulative snapshots: 10 obs mean 5 (sum 50), then 30 obs mean 7
+	// (sum 210) — window 2 received 20 obs totalling 160 → mean 8.
+	s.ObserveSummary("h", 1*win, metrics.Summary{Count: 10, Mean: 5})
+	s.ObserveSummary("h", 2*win, metrics.Summary{Count: 30, Mean: 7})
+	v, ok := s.Windowed("h", 1, 3*win)
+	if !ok || math.Abs(v-8) > 1e-9 {
+		t.Fatalf("hist window mean = %v, %v; want 8, true", v, ok)
+	}
+}
+
+func TestLatestFallsBackToLastComplete(t *testing.T) {
+	s := NewStore(win, 8)
+	s.Observe("g", KindGauge, 3*win, 7)
+	// Current window (5) is empty; Latest scans back.
+	v, ok := s.Latest("g", 5*win+10)
+	if !ok || v != 7 {
+		t.Fatalf("Latest = %v, %v; want 7, true", v, ok)
+	}
+	if _, ok := s.Latest("missing", 5*win); ok {
+		t.Fatal("Latest on unknown series should be !ok")
+	}
+}
+
+func TestExportFiltersAndPoints(t *testing.T) {
+	s := NewStore(win, 8)
+	s.Observe(SeriesBoxQueue("f1"), KindGauge, 1*win, 4)
+	s.Observe(SeriesBoxQueue("f1"), KindGauge, 2*win, 6)
+	s.Observe(SeriesNodeUtil, KindGauge, 2*win, 0.5)
+	exp := s.Export("box.", 4, 3*win)
+	if len(exp) != 1 {
+		t.Fatalf("Export(box.) returned %d series; want 1", len(exp))
+	}
+	e := exp[0]
+	if e.Name != SeriesBoxQueue("f1") || e.Kind != "gauge" {
+		t.Fatalf("unexpected series %+v", e)
+	}
+	if len(e.Points) != 2 || e.Points[0].Value != 4 || e.Points[1].Value != 6 {
+		t.Fatalf("points = %+v; want [4 6]", e.Points)
+	}
+	if e.Windowed != 5 {
+		t.Fatalf("windowed = %v; want 5", e.Windowed)
+	}
+	all := s.Export("", 4, 3*win)
+	if len(all) != 2 {
+		t.Fatalf("Export(\"\") returned %d series; want 2", len(all))
+	}
+}
+
+func TestStoreDefaults(t *testing.T) {
+	s := NewStore(0, 0)
+	if s.WindowNs() != 1e9 || s.NumWindows() != 8 {
+		t.Fatalf("defaults = %d ns × %d; want 1e9 × 8", s.WindowNs(), s.NumWindows())
+	}
+}
+
+func TestSeriesNames(t *testing.T) {
+	if got := SeriesBoxCost("f"); got != "box.f.cost_ns" {
+		t.Fatalf("SeriesBoxCost = %q", got)
+	}
+	if got := SeriesBoxWork("f"); got != "box.f.work_ns" {
+		t.Fatalf("SeriesBoxWork = %q", got)
+	}
+	if got := SeriesBoxDrops("f"); got != "box.f.drops" {
+		t.Fatalf("SeriesBoxDrops = %q", got)
+	}
+	if got := SeriesLink("a", "b"); got != "link.a>b.bytes" {
+		t.Fatalf("SeriesLink = %q", got)
+	}
+}

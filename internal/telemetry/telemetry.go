@@ -1,0 +1,139 @@
+// Package telemetry is the node-local HTTP introspection surface shared
+// by cmd/auroranode (which serves it) and cmd/dspstat (which scrapes it):
+// liveness, metric snapshots, flight-recorder traces, and — when the
+// statistics plane is on — windowed series and the gossiped load map.
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// MetricsResponse is the /metrics payload.
+type MetricsResponse struct {
+	Node    string                   `json:"node"`
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+}
+
+// StatsResponse is the /stats payload: the node's windowed series.
+type StatsResponse struct {
+	Node     string               `json:"node"`
+	WindowNs int64                `json:"window_ns"`
+	K        int                  `json:"k"`
+	Series   []stats.SeriesExport `json:"series"`
+}
+
+// LoadMapResponse is the /loadmap payload: the node's converged view of
+// the cluster, plus the ranking derived from it.
+type LoadMapResponse struct {
+	Node    string         `json:"node"`
+	Ranking []string       `json:"ranking"`
+	Digests []stats.Digest `json:"digests"`
+}
+
+// Handler builds the introspection mux (stdlib only):
+//
+//	GET /healthz          liveness probe, "ok"
+//	GET /metrics          JSON snapshot of every engine metric
+//	GET /trace?n=100      the most recent flight-recorder events as JSON
+//	GET /trace?format=chrome
+//	                      same events as Chrome trace-event JSON, loadable
+//	                      in Perfetto (ui.perfetto.dev) or chrome://tracing
+//	GET /stats?series=box.&window=4
+//	                      windowed series (optionally filtered by name
+//	                      prefix; window overrides how many complete
+//	                      windows the windowed value averages)
+//	GET /loadmap          the gossiped cluster load map and its ranking
+//
+// Every handler reads only concurrency-safe state (the metric registry is
+// mutex-and-atomic, the flight recorder is a mutexed ring, the stats
+// store and load map are mutexed), so the HTTP goroutines never touch the
+// single-threaded engine core. plane may be nil: /stats and /loadmap then
+// answer 404.
+func Handler(id string, eng *engine.Engine, plane *stats.Plane) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(MetricsResponse{Node: id, Metrics: eng.Metrics().Snapshot()})
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var evs []trace.Event
+		if rec := eng.Tracer().Recorder(); rec != nil {
+			evs = rec.Events()
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Write(trace.ChromeTrace(evs))
+			return
+		}
+		if evs == nil {
+			evs = []trace.Event{}
+		}
+		json.NewEncoder(w).Encode(evs)
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if plane == nil {
+			http.Error(w, "stats plane disabled", http.StatusNotFound)
+			return
+		}
+		k := plane.WindowedK()
+		if s := r.URL.Query().Get("window"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				http.Error(w, "bad window", http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		st := plane.Store()
+		series := st.Export(r.URL.Query().Get("series"), k, time.Now().UnixNano())
+		if series == nil {
+			series = []stats.SeriesExport{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(StatsResponse{
+			Node: id, WindowNs: st.WindowNs(), K: k, Series: series,
+		})
+	})
+
+	mux.HandleFunc("/loadmap", func(w http.ResponseWriter, _ *http.Request) {
+		if plane == nil {
+			http.Error(w, "stats plane disabled", http.StatusNotFound)
+			return
+		}
+		lm := plane.Map()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(LoadMapResponse{
+			Node: id, Ranking: lm.Ranking(), Digests: lm.Snapshot(),
+		})
+	})
+
+	return mux
+}

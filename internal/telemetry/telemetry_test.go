@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func statsFixture(t *testing.T) (*engine.Engine, *stats.Plane) {
+	t.Helper()
+	schema := stream.MustSchema("s",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "B", Kind: stream.KindInt},
+	)
+	net := query.NewBuilder("tele").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		BindInput("in", schema, "f1", 0).
+		BindOutput("out", "f1", 0, nil).
+		MustBuild()
+	plane := stats.NewPlane("x", int64(10e6), 8, 2)
+	eng, err := engine.New(net, engine.Config{Stats: plane.Store(), StatsEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < 10; i++ {
+		eng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(1)))
+		eng.RunUntilIdle(0)
+	}
+	eng.SampleStats(now - 10e6)
+	eng.SampleStats(now)
+	// One window back so the sample sits in a complete window by Publish(now).
+	plane.Store().Observe(stats.SeriesNodeUtil, stats.KindGauge, now-10e6, 0.5)
+	plane.Publish(now)
+	return eng, plane
+}
+
+func TestStatsAndLoadMapEndpoints(t *testing.T) {
+	eng, plane := statsFixture(t)
+	srv := httptest.NewServer(Handler("x", eng, plane))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/stats")
+	if code != 200 {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	var sr StatsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("/stats JSON: %v\n%s", err, body)
+	}
+	if sr.Node != "x" || sr.WindowNs != 10e6 || sr.K != 2 {
+		t.Errorf("stats header = %+v", sr)
+	}
+	names := map[string]bool{}
+	for _, s := range sr.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		stats.SeriesBoxCost("f1"), stats.SeriesBoxQueue("f1"),
+		stats.SeriesBoxWork("f1"), stats.SeriesNodeUtil,
+	} {
+		if !names[want] {
+			t.Errorf("/stats missing series %s; have %v", want, names)
+		}
+	}
+
+	// Prefix filter and window override.
+	code, body = get("/stats?series=box.&window=4")
+	if code != 200 {
+		t.Fatalf("/stats filtered: %d", code)
+	}
+	sr = StatsResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.K != 4 {
+		t.Errorf("window override: K = %d, want 4", sr.K)
+	}
+	for _, s := range sr.Series {
+		if !strings.HasPrefix(s.Name, "box.") {
+			t.Errorf("prefix filter leaked series %s", s.Name)
+		}
+	}
+	if len(sr.Series) == 0 {
+		t.Error("prefix filter returned nothing")
+	}
+
+	if code, _ := get("/stats?window=zero"); code != 400 {
+		t.Errorf("bad window: got %d, want 400", code)
+	}
+
+	code, body = get("/loadmap")
+	if code != 200 {
+		t.Fatalf("/loadmap: %d", code)
+	}
+	var lr LoadMapResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatalf("/loadmap JSON: %v\n%s", err, body)
+	}
+	if lr.Node != "x" || len(lr.Digests) != 1 || lr.Digests[0].Node != "x" {
+		t.Errorf("/loadmap = %+v", lr)
+	}
+	if len(lr.Ranking) != 1 || lr.Ranking[0] != "x" {
+		t.Errorf("ranking = %v", lr.Ranking)
+	}
+	if lr.Digests[0].Util <= 0 {
+		t.Errorf("digest util = %g, want the published 0.5 window average", lr.Digests[0].Util)
+	}
+}
+
+func TestStatsEndpointsDisabled(t *testing.T) {
+	eng, _ := statsFixture(t)
+	srv := httptest.NewServer(Handler("x", eng, nil))
+	defer srv.Close()
+	for _, path := range []string{"/stats", "/loadmap"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("%s with no plane: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

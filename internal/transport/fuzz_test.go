@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -36,6 +37,16 @@ func fuzzSeeds() [][]byte {
 		Msg{Stream: "tr", Kind: KindData, BaseSeq: 3, Tuples: []stream.Tuple{traced1, traced2}},
 		Msg{Stream: "mix", Kind: KindData, Tuples: []stream.Tuple{stream.NewTuple(stream.Bool(true)), traced1}},
 	)
+	// Stats-digest trailer: alone on a heartbeat, and stacked after a
+	// trace trailer on a data batch.
+	msgs = append(msgs,
+		Msg{Stream: "hb", Kind: KindHeartbeat, Digests: []stats.Digest{
+			{Node: "a", Seq: 2, At: 1e9, Util: 0.5, Queued: 7,
+				Boxes: []stats.BoxLoad{{Box: "f", Load: 0.25}}},
+		}},
+		Msg{Stream: "both", Kind: KindData, Tuples: []stream.Tuple{traced1},
+			Digests: []stats.Digest{{Node: "b", Seq: 1}}},
+	)
 	var out [][]byte
 	for _, m := range msgs {
 		out = append(out, Encode(nil, m))
@@ -53,6 +64,10 @@ func fuzzSeeds() [][]byte {
 		[]byte{kindTraced, 0, 0, 0, 0},
 		// trace trailer whose entry indexes a tuple beyond the batch
 		[]byte{kindTraced, 0, 0, 0, 0, 1, 9, 1, 0, 0, 0, 0, 0},
+		// stats bit set but no digest trailer follows
+		[]byte{kindStats, 0, 0, 0, 0},
+		// stats trailer with an oversized digest count
+		[]byte{kindStats, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
 	)
 	return out
 }

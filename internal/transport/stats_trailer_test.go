@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// Golden encodings captured before the stats trailer existed. Messages
+// without digests must keep producing exactly these bytes: the digest
+// trailer is announced by a kind-byte flag, so its absence leaves the
+// wire format untouched.
+const (
+	goldenPlainHex  = "00027331070002000002015402400c000000000000000003030568656c6c6f040100"
+	goldenTracedHex = "80027472030001000001010201004dc801880ee8079003c801"
+	goldenCtrlHex   = "020262630004010203ff00"
+)
+
+func goldenMsgs() []Msg {
+	return []Msg{
+		{
+			Stream: "s1", Kind: KindData, BaseSeq: 7,
+			Tuples: []stream.Tuple{
+				{Vals: []stream.Value{stream.Int(42), stream.Float(3.5)}},
+				{Vals: []stream.Value{stream.String("hello"), stream.Bool(true), stream.Null()}},
+			},
+		},
+		{
+			Stream: "tr", Kind: KindData, BaseSeq: 3,
+			Tuples: []stream.Tuple{
+				{Vals: []stream.Value{stream.Int(1)},
+					Span: &trace.Span{ID: 77, Birth: 100, Cursor: 900, Queue: 500, Proc: 200, Net: 100}},
+			},
+		},
+		{Stream: "bc", Kind: KindBackChannel, Ctrl: []byte{1, 2, 3, 0xFF}},
+	}
+}
+
+// TestDigestFreeMessagesByteIdentical: the acceptance criterion that the
+// stats plane is invisible to traffic not carrying it.
+func TestDigestFreeMessagesByteIdentical(t *testing.T) {
+	goldens := []string{goldenPlainHex, goldenTracedHex, goldenCtrlHex}
+	for i, m := range goldenMsgs() {
+		want, err := hex.DecodeString(goldens[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Encode(nil, m)
+		if !bytes.Equal(got, want) {
+			t.Errorf("msg %d: encoding changed:\n got %x\nwant %x", i, got, want)
+		}
+		// And the golden bytes still decode to the same message.
+		dec, n, err := Decode(want)
+		if err != nil || n != len(want) {
+			t.Fatalf("msg %d: golden decode: n=%d err=%v", i, n, err)
+		}
+		if dec.Stream != m.Stream || dec.Kind != m.Kind || len(dec.Digests) != 0 {
+			t.Errorf("msg %d: golden decoded to %+v", i, dec)
+		}
+	}
+}
+
+func testDigests() []stats.Digest {
+	return []stats.Digest{
+		{Node: "alpha", Seq: 9, At: 5e9, Util: 0.75, Queued: 40,
+			Boxes: []stats.BoxLoad{{Box: "f1", Load: 0.5}, {Box: "agg", Load: 0.25}}},
+		{Node: "beta", Seq: 3, At: 4e9, Util: 0.1, Queued: 2},
+	}
+}
+
+// TestStatsTrailerRoundTrip: digests ride any message kind and survive
+// encode/decode exactly, alone or alongside a trace trailer.
+func TestStatsTrailerRoundTrip(t *testing.T) {
+	base := goldenMsgs()
+	for i, m := range base {
+		m.Digests = testDigests()
+		buf := Encode(nil, m)
+		dec, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("msg %d: consumed %d of %d", i, n, len(buf))
+		}
+		if !reflect.DeepEqual(dec.Digests, m.Digests) {
+			t.Errorf("msg %d: digests changed:\n got %+v\nwant %+v", i, dec.Digests, m.Digests)
+		}
+		if dec.Kind != m.Kind {
+			t.Errorf("msg %d: kind %v != %v (flag bits leaked)", i, dec.Kind, m.Kind)
+		}
+		if len(m.Tuples) > 0 && len(dec.Tuples) != len(m.Tuples) {
+			t.Errorf("msg %d: tuples %d != %d", i, len(dec.Tuples), len(m.Tuples))
+		}
+	}
+}
+
+// TestStatsTrailerAfterTraceTrailer pins the trailer order: tuples, then
+// trace, then stats — the traced golden message plus digests must decode
+// both trailers.
+func TestStatsTrailerAfterTraceTrailer(t *testing.T) {
+	m := goldenMsgs()[1]
+	m.Digests = testDigests()
+	buf := Encode(nil, m)
+	if buf[0]&kindTraced == 0 || buf[0]&kindStats == 0 {
+		t.Fatalf("kind byte %02x should carry both flags", buf[0])
+	}
+	dec, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Tuples[0].Span == nil || dec.Tuples[0].Span.ID != 77 {
+		t.Errorf("trace trailer lost: %+v", dec.Tuples[0].Span)
+	}
+	if len(dec.Digests) != 2 || dec.Digests[0].Node != "alpha" {
+		t.Errorf("stats trailer lost: %+v", dec.Digests)
+	}
+}
+
+// TestStatsTrailerTruncated: a stats-flagged message whose trailer is cut
+// short must error, never panic.
+func TestStatsTrailerTruncated(t *testing.T) {
+	m := Msg{Stream: "s", Kind: KindData, Digests: testDigests()}
+	buf := Encode(nil, m)
+	for i := len(buf) - 1; i > len(buf)-20 && i > 0; i-- {
+		if _, _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+}
+
+// TestEncodedSizeIncludesDigests: netsim models message bytes via
+// EncodedSize, so digests must count toward link utilization.
+func TestEncodedSizeIncludesDigests(t *testing.T) {
+	m := Msg{Stream: "s", Kind: KindHeartbeat}
+	plain := EncodedSize(m)
+	m.Digests = testDigests()
+	withStats := EncodedSize(m)
+	if withStats <= plain {
+		t.Errorf("EncodedSize with digests %d <= without %d", withStats, plain)
+	}
+}
