@@ -25,4 +25,17 @@ echo "== stats overhead guard"
 # the engine hot path must not pay for the windowed sampling.
 CI_STATS_GUARD=1 go test ./internal/engine/ -run TestStatsOverheadGuard -count=1 -v
 
+echo "== transport churn guard"
+# The reconnect/churn tests leak-check the transport's goroutines; run
+# them twice back to back so a goroutine left behind by round one trips
+# the guard in round two.
+go test ./internal/transport/ -run 'TestTCP' -count=2 -timeout 120s
+
+echo "== fuzz smoke"
+# Ten seconds per decoder: enough to replay the corpus and mutate a bit,
+# cheap enough to run on every change.
+go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s
+go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecodeTuple$' -fuzztime 10s
+go test ./internal/stats/ -run '^$' -fuzz '^FuzzDecodeDigest$' -fuzztime 10s
+
 echo "ci: all checks passed"

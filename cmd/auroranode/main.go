@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/ha"
 	"repro/internal/op"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -160,11 +161,14 @@ func main() {
 		genN     = flag.Int("gen-count", 10000, "tuples to generate")
 		genRate  = flag.Float64("gen-rate", 10000, "generated tuples per second")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
-		httpAddr = flag.String("http", "", "telemetry HTTP listen address (/metrics, /trace, /healthz, /stats, /loadmap); empty disables")
+		httpAddr = flag.String("http", "", "telemetry HTTP listen address (/metrics, /trace, /healthz, /stats, /loadmap, /links); empty disables")
 		traceN   = flag.Int("trace", 0, "trace every Nth locally ingested tuple (0 disables tracing)")
 		traceBuf = flag.Int("trace-buf", 4096, "flight-recorder ring capacity")
 		statsPer = flag.Duration("stats", 0, "statistics-plane sample period (0 disables the stats plane)")
 		statsWin = flag.Int("stats-windows", 8, "windowed-store ring size per series")
+		linkPing = flag.Duration("link-ping", time.Second, "peer-link keepalive period (0 disables pings and read-idle detection)")
+		linkBuf  = flag.Int("link-buffer", 1024, "messages buffered per peer link across reconnects")
+		haRoutes = flag.Bool("ha-routes", true, "frame routed outputs with the HA link protocol (sequence, retain, replay on reconnect, dedup downstream)")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -204,6 +208,58 @@ func main() {
 	var tcp *transport.TCP
 	delivered := map[string]uint64{}
 
+	// HA-framed routes: each routed output gets a LinkSender that stamps,
+	// retains, and replays across reconnects; each inbound HA-framed
+	// stream gets a LinkReceiver that dedups and acks. Keyed by
+	// "peer/stream" — exactly the -route destination syntax.
+	var lmu sync.Mutex
+	senders := map[string]*ha.LinkSender{}
+	receivers := map[string]*ha.LinkReceiver{}
+	getSender := func(peer, remoteStream string) *ha.LinkSender {
+		lmu.Lock()
+		defer lmu.Unlock()
+		key := peer + "/" + remoteStream
+		s := senders[key]
+		if s == nil {
+			s = ha.NewLinkSender(func(batch []stream.Tuple) error {
+				m := transport.Msg{
+					Stream: remoteStream, Kind: transport.KindData,
+					BaseSeq: batch[0].Seq, Tuples: batch,
+					Ctrl: ha.LinkBatchCtrl(),
+				}
+				if plane != nil {
+					m.Digests = plane.Gossip()
+				}
+				return tcp.Send(peer, m)
+			})
+			senders[key] = s
+		}
+		return s
+	}
+	// getReceiver's deliver closure runs with mu held (OnBatch is only
+	// invoked from the transport handler below).
+	getReceiver := func(from, streamName string) *ha.LinkReceiver {
+		lmu.Lock()
+		defer lmu.Unlock()
+		key := from + "/" + streamName
+		r := receivers[key]
+		if r == nil {
+			r = ha.NewLinkReceiver(
+				func(t stream.Tuple) {
+					t.Span.Mark(trace.KindNet, from+">"+*id, time.Now().UnixNano())
+					eng.Ingest(streamName, t)
+				},
+				func(recv uint64) {
+					_ = tcp.Send(from, transport.Msg{
+						Stream: streamName, Kind: transport.KindBackChannel,
+						Ctrl: ha.AppendLinkAck(nil, recv),
+					})
+				}, 32)
+			receivers[key] = r
+		}
+		return r
+	}
+
 	eng.OnOutput(func(name string, t stream.Tuple) {
 		delivered[name]++
 		if name == *print {
@@ -215,6 +271,12 @@ func main() {
 				return
 			}
 			peer, remoteStream := dest[:i], dest[i+1:]
+			if *haRoutes {
+				// The output log owns delivery now: stamped, retained until
+				// the downstream acks, replayed on reconnect.
+				getSender(peer, remoteStream).Send(t)
+				return
+			}
 			m := transport.Msg{
 				Stream: remoteStream, Kind: transport.KindData,
 				BaseSeq: t.Seq, Tuples: []stream.Tuple{t},
@@ -234,10 +296,34 @@ func main() {
 		if plane != nil && len(m.Digests) > 0 {
 			plane.Merge(m.Digests)
 		}
+		if m.Kind == transport.KindBackChannel {
+			// Complete-prefix ack from a downstream HA receiver: truncate
+			// the matching output log.
+			if recv, ok := ha.ParseLinkAck(m.Ctrl); ok {
+				lmu.Lock()
+				s := senders[from+"/"+m.Stream]
+				lmu.Unlock()
+				if s != nil {
+					s.Ack(recv)
+				}
+			}
+			return
+		}
 		if m.Kind != transport.KindData {
 			return
 		}
 		arrive := time.Now().UnixNano()
+		if *haRoutes && ha.IsLinkBatch(m.Ctrl) {
+			// HA-framed batch: dedup by link sequence, then ingest. The
+			// receiver acks its complete prefix so the upstream log drains.
+			r := getReceiver(from, m.Stream)
+			mu.Lock()
+			defer mu.Unlock()
+			eng.SetRelayInput(m.Stream)
+			r.OnBatch(m.Tuples)
+			eng.RunUntilIdle(0)
+			return
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		// Tuples arriving from a peer are mid-path: their traces began at
@@ -250,7 +336,7 @@ func main() {
 			eng.Ingest(m.Stream, t)
 		}
 		eng.RunUntilIdle(0)
-	})
+	}, transport.LinkConfig{PingPeriod: *linkPing, BufferLimit: *linkBuf})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
@@ -258,6 +344,36 @@ func main() {
 	if !*quiet {
 		log.Printf("node %s listening on %s, network %s", *id, tcp.Addr(), net)
 	}
+
+	// Link lifecycle: log and trace-mark every state transition, and on a
+	// re-established link replay each affected route's unacknowledged
+	// output (the no-loss half; the receiver's dedup is the no-dup half).
+	tcp.SetOnLinkState(func(peer string, from, to transport.LinkState) {
+		if !*quiet {
+			log.Printf("link %s: %s -> %s", peer, from, to)
+		}
+		tracer.Annotate("link "+peer+" "+to.String(), time.Now().UnixNano())
+	})
+	tcp.SetOnEstablished(func(peer string, reconnected bool) {
+		if !reconnected {
+			return
+		}
+		lmu.Lock()
+		var rs []*ha.LinkSender
+		for key, s := range senders {
+			if strings.HasPrefix(key, peer+"/") {
+				rs = append(rs, s)
+			}
+		}
+		lmu.Unlock()
+		for _, s := range rs {
+			left := s.Resync()
+			if !*quiet {
+				log.Printf("link %s re-established: replayed %d total, %d still outstanding",
+					peer, s.Replayed(), left)
+			}
+		}
+	})
 
 	if plane != nil {
 		// Sampler: on each stats period, fold the engine's sources into
@@ -296,19 +412,38 @@ func main() {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		if !*quiet {
-			log.Printf("telemetry on http://%s (/metrics /trace /healthz /stats /loadmap)", ln.Addr())
+			log.Printf("telemetry on http://%s (/metrics /trace /healthz /stats /loadmap /links)", ln.Addr())
 		}
-		go http.Serve(ln, telemetry.Handler(*id, eng, plane))
+		go http.Serve(ln, telemetry.Handler(*id, eng, plane, tcp))
 	}
 
+	// Supervised peers: the transport dials with backoff, reconnects when
+	// the connection dies, and buffers routed output across the gaps — a
+	// peer that is down at startup is no longer fatal.
 	for peer, addr := range peers {
-		got, err := tcp.Dial(addr)
-		if err != nil {
-			log.Fatalf("dial %s: %v", addr, err)
+		if err := tcp.AddPeer(peer, addr); err != nil {
+			log.Fatalf("peer %s=%s: %v", peer, addr, err)
 		}
-		if got != peer {
-			log.Fatalf("peer at %s identified as %q, expected %q", addr, got, peer)
-		}
+	}
+
+	if *haRoutes {
+		// Cadence acks alone leave a tail in the upstream log when the
+		// stream pauses; a periodic AckNow drains it.
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				lmu.Lock()
+				rs := make([]*ha.LinkReceiver, 0, len(receivers))
+				for _, r := range receivers {
+					rs = append(rs, r)
+				}
+				lmu.Unlock()
+				for _, r := range rs {
+					r.AckNow()
+				}
+			}
+		}()
 	}
 
 	if *genSpec != "" {
@@ -350,7 +485,22 @@ func main() {
 			log.Printf("generated %d tuples in %v; deliveries: %v",
 				count, time.Since(start).Round(time.Millisecond), delivered)
 		}
-		// Give routed messages a moment to flush before exiting.
+		// Give routed messages a moment to flush before exiting; HA-framed
+		// routes additionally wait (bounded) for their output logs to be
+		// acknowledged empty, so a reconnect near the end loses nothing.
+		flushDeadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(flushDeadline) {
+			lmu.Lock()
+			outstanding := 0
+			for _, s := range senders {
+				outstanding += s.Outstanding()
+			}
+			lmu.Unlock()
+			if outstanding == 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 		time.Sleep(200 * time.Millisecond)
 		return
 	}

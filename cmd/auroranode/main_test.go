@@ -195,7 +195,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 		eng.RunUntilIdle(0)
 	}
 
-	srv := httptest.NewServer(telemetry.Handler("x", eng, nil))
+	srv := httptest.NewServer(telemetry.Handler("x", eng, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, []byte) {

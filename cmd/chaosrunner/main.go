@@ -9,6 +9,9 @@
 //	chaosrunner -seed 42 -shrink # on failure, print a minimal reproducer
 //	chaosrunner -seeds 500 -trace-out /tmp/chaos
 //	                             # write flight-recorder artifacts per failure
+//	chaosrunner -tcp 20          # sweep 20 seeds of the wall-clock TCP
+//	                             # harness (real sockets, conn kills,
+//	                             # blackholes, handshake stalls)
 //
 // A failing seed is a complete bug report: the same seed regenerates the
 // same schedule, the same simulated event order, and the same verdict.
@@ -33,8 +36,15 @@ func main() {
 		seed     = flag.Int64("seed", 0, "run a single seed verbosely (overrides -seeds)")
 		shrink   = flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
 		traceOut = flag.String("trace-out", "", "directory for flight-recorder artifacts on failing runs")
+		tcp      = flag.Int("tcp", 0, "sweep N seeds of the wall-clock TCP harness instead of the simulated cluster")
+		tuples   = flag.Int("tcp-tuples", 0, "tuples per TCP run (0 = harness default)")
+		kills    = flag.Int("tcp-kills", 4, "connection kills per TCP run")
 	)
 	flag.Parse()
+
+	if *tcp > 0 {
+		os.Exit(runTCPSweep(*tcp, *seed, *tuples, *kills))
+	}
 
 	if *seed != 0 {
 		os.Exit(runOne(*seed, *shrink, *traceOut))
@@ -64,6 +74,37 @@ func main() {
 	if fail > 0 {
 		os.Exit(1)
 	}
+}
+
+// runTCPSweep drives the wall-clock TCP harness: real sockets through a
+// fault-injecting proxy, with no-loss / at-most-once / drained / bounded-
+// close oracles checked after every run. With -seed it runs that one seed;
+// otherwise it sweeps seeds 1..n.
+func runTCPSweep(n int, seed int64, tuples, kills int) int {
+	lo, hi := int64(1), int64(n)
+	if seed != 0 {
+		lo, hi = seed, seed
+	}
+	pass, fail := 0, 0
+	for s := lo; s <= hi; s++ {
+		r := chaos.RunTCP(chaos.TCPSchedule{
+			Seed: s, Tuples: tuples, Kills: kills, Blackholes: 1, Stalls: 1,
+		})
+		fmt.Printf("tcp %s\n", r)
+		if !r.Failed() {
+			pass++
+			continue
+		}
+		fail++
+		for _, v := range r.Violations {
+			fmt.Printf("  VIOLATION: %s\n", v)
+		}
+	}
+	fmt.Printf("tcp chaos: %d schedules, %d passed, %d failed\n", pass+fail, pass, fail)
+	if fail > 0 {
+		return 1
+	}
+	return 0
 }
 
 func runOne(seed int64, shrink bool, traceOut string) int {

@@ -30,21 +30,41 @@ import (
 )
 
 // nodeReport is everything dspstat learned from one node's telemetry.
+// Each endpoint is optional — a node without a stats plane still serves
+// /links, and vice versa — so each section carries its own Has flag.
 type nodeReport struct {
 	Base    string // base URL the report came from
 	LoadMap telemetry.LoadMapResponse
 	Stats   telemetry.StatsResponse
-	Err     error // scrape failure; other fields are zero
+	Links   telemetry.LinksResponse
+	HasLoad bool  // /loadmap answered (node runs a stats plane)
+	HasStat bool  // /stats answered
+	HasLink bool  // /links answered (node runs a transport)
+	Err     error // nothing answered; other fields are zero
 }
 
-// scrapeNode pulls /loadmap and /stats from one telemetry endpoint.
-// series and window are passed through as the /stats query.
+// node is the scraped node's self-reported identity, from whichever
+// endpoint answered.
+func (rep *nodeReport) node() string {
+	switch {
+	case rep.HasLoad:
+		return rep.LoadMap.Node
+	case rep.HasLink:
+		return rep.Links.Node
+	default:
+		return rep.Stats.Node
+	}
+}
+
+// scrapeNode pulls /loadmap, /stats, and /links from one telemetry
+// endpoint. series and window are passed through as the /stats query.
+// Any subset of the endpoints may 404 (no stats plane, no transport);
+// the report only fails when none of them answer.
 func scrapeNode(client *http.Client, base, series string, window int) *nodeReport {
 	rep := &nodeReport{Base: base}
-	if err := getJSON(client, base+"/loadmap", &rep.LoadMap); err != nil {
-		rep.Err = err
-		return rep
-	}
+	errLoad := getJSON(client, base+"/loadmap", &rep.LoadMap)
+	rep.HasLoad = errLoad == nil
+	rep.HasLink = getJSON(client, base+"/links", &rep.Links) == nil
 	q := ""
 	if series != "" {
 		q = "?series=" + series
@@ -57,8 +77,9 @@ func scrapeNode(client *http.Client, base, series string, window int) *nodeRepor
 		}
 		q += fmt.Sprintf("window=%d", window)
 	}
-	if err := getJSON(client, base+"/stats"+q, &rep.Stats); err != nil {
-		rep.Err = err
+	rep.HasStat = getJSON(client, base+"/stats"+q, &rep.Stats) == nil
+	if !rep.HasLoad && !rep.HasLink && !rep.HasStat {
+		rep.Err = errLoad
 	}
 	return rep
 }
@@ -88,22 +109,41 @@ func render(w io.Writer, reports []*nodeReport) {
 			fmt.Fprintf(w, "%s: scrape failed: %v\n", rep.Base, rep.Err)
 			continue
 		}
-		fmt.Fprintf(w, "== %s (as seen by node %q) ==\n", rep.Base, rep.LoadMap.Node)
+		fmt.Fprintf(w, "== %s (as seen by node %q) ==\n", rep.Base, rep.node())
 
-		byNode := map[string]stats.Digest{}
-		for _, d := range rep.LoadMap.Digests {
-			byNode[d.Node] = d
+		var tw *tabwriter.Writer
+		if rep.HasLoad {
+			byNode := map[string]stats.Digest{}
+			for _, d := range rep.LoadMap.Digests {
+				byNode[d.Node] = d
+			}
+			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tBOXES")
+			for _, node := range rep.LoadMap.Ranking {
+				d := byNode[node]
+				fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\n",
+					d.Node, d.Util, d.Queued, d.Seq, boxColumn(d.Boxes))
+			}
+			tw.Flush()
 		}
-		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tBOXES")
-		for _, node := range rep.LoadMap.Ranking {
-			d := byNode[node]
-			fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\n",
-				d.Node, d.Util, d.Queued, d.Seq, boxColumn(d.Boxes))
-		}
-		tw.Flush()
 
-		if len(rep.Stats.Series) > 0 {
+		if rep.HasLink && len(rep.Links.Links) > 0 {
+			fmt.Fprintf(w, "-- links on %s --\n", rep.Links.Node)
+			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "PEER\tSTATE\tDIALS\tRECONN\tBUF\tREQUEUED\tDROPPED\tSENT")
+			for _, l := range rep.Links.Links {
+				state := l.State
+				if !l.Supervised {
+					state += " (unsupervised)"
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+					l.Peer, state, l.Dials, l.Reconnects, l.Buffered,
+					l.Requeued, l.Dropped, l.MsgsSent)
+			}
+			tw.Flush()
+		}
+
+		if rep.HasStat && len(rep.Stats.Series) > 0 {
 			fmt.Fprintf(w, "-- series on %s (window %dms, k=%d) --\n",
 				rep.Stats.Node, rep.Stats.WindowNs/1e6, rep.Stats.K)
 			series := append([]stats.SeriesExport(nil), rep.Stats.Series...)

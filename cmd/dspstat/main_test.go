@@ -12,12 +12,19 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // statNode stands up a real auroranode telemetry surface: an engine with a
 // two-box network feeding a stats plane, served over HTTP exactly as
 // cmd/auroranode serves it.
 func statNode(t *testing.T, id string) (*httptest.Server, []string) {
+	t.Helper()
+	return statNodeWithLinks(t, id, nil)
+}
+
+// statNodeWithLinks is statNode with an optional transport behind /links.
+func statNodeWithLinks(t *testing.T, id string, links telemetry.LinkSource) (*httptest.Server, []string) {
 	t.Helper()
 	schema := stream.MustSchema("s",
 		stream.Field{Name: "A", Kind: stream.KindInt},
@@ -49,7 +56,7 @@ func statNode(t *testing.T, id string) (*httptest.Server, []string) {
 		float64(eng.QueuedTuples()))
 	plane.Publish(now)
 
-	srv := httptest.NewServer(telemetry.Handler(id, eng, plane))
+	srv := httptest.NewServer(telemetry.Handler(id, eng, plane, links))
 	t.Cleanup(srv.Close)
 	return srv, []string{"f1", "m1"}
 }
@@ -124,5 +131,91 @@ func TestDspstatSeriesFilterAndScrapeError(t *testing.T) {
 	render(&out, []*nodeReport{dead})
 	if !strings.Contains(out.String(), "scrape failed") {
 		t.Errorf("render of failed scrape = %q", out.String())
+	}
+}
+
+func TestDspstatRendersLinkTable(t *testing.T) {
+	a, err := transport.ListenTCP("n1", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := transport.ListenTCP("n2", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.AddPeer("n2", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := a.LinkState("n2"); ok && st == transport.LinkEstablished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never established")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	srv, _ := statNodeWithLinks(t, "n1", a)
+	rep := scrapeNode(srv.Client(), srv.URL, "", 0)
+	if rep.Err != nil {
+		t.Fatalf("scrape: %v", rep.Err)
+	}
+	if !rep.HasLink {
+		t.Fatal("/links not scraped")
+	}
+	var out strings.Builder
+	render(&out, []*nodeReport{rep})
+	got := out.String()
+	for _, want := range []string{"-- links on n1 --", "PEER", "n2", "established"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("link table missing %q:\n%s", want, got)
+		}
+	}
+
+	// A node with a transport but no stats plane (auroranode without
+	// -stats) must still render its link table, not fail the scrape.
+	schema := stream.MustSchema("s", stream.Field{Name: "A", Kind: stream.KindInt})
+	netw := query.NewBuilder("bare").
+		AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "A < 10"}}).
+		BindInput("in", schema, "f", 0).
+		BindOutput("out", "f", 0, nil).
+		MustBuild()
+	bareEng, err := engine.New(netw, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvBare := httptest.NewServer(telemetry.Handler("n1", bareEng, nil, a))
+	t.Cleanup(srvBare.Close)
+	repBare := scrapeNode(srvBare.Client(), srvBare.URL, "", 0)
+	if repBare.Err != nil {
+		t.Fatalf("scrape of plane-less node failed: %v", repBare.Err)
+	}
+	if repBare.HasLoad || repBare.HasStat || !repBare.HasLink {
+		t.Fatalf("plane-less node flags: load=%v stat=%v link=%v",
+			repBare.HasLoad, repBare.HasStat, repBare.HasLink)
+	}
+	out.Reset()
+	render(&out, []*nodeReport{repBare})
+	if !strings.Contains(out.String(), "-- links on n1 --") {
+		t.Errorf("plane-less node missing link table:\n%s", out.String())
+	}
+
+	// A node without a transport renders no link table and still scrapes.
+	srvNo, _ := statNode(t, "n3")
+	repNo := scrapeNode(srvNo.Client(), srvNo.URL, "", 0)
+	if repNo.Err != nil {
+		t.Fatalf("scrape without links: %v", repNo.Err)
+	}
+	if repNo.HasLink {
+		t.Error("HasLink true for a node without /links")
+	}
+	out.Reset()
+	render(&out, []*nodeReport{repNo})
+	if strings.Contains(out.String(), "-- links") {
+		t.Errorf("link table rendered without /links:\n%s", out.String())
 	}
 }

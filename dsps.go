@@ -38,6 +38,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/wgen"
 )
 
@@ -346,6 +347,39 @@ var (
 	RemoteDefine = medusa.RemoteDefine
 	// NewMarket builds the §7.2 economy over a participant chain.
 	NewMarket = medusa.NewMarket
+)
+
+// Transport: self-healing multiplexed TCP peer links (§4.3, §6).
+type (
+	// Transport is the multiplexed TCP endpoint: one supervised
+	// connection per peer with WFQ scheduling across streams.
+	Transport = transport.TCP
+	// TransportMsg is one framed message on a peer connection.
+	TransportMsg = transport.Msg
+	// TransportHandler receives inbound messages.
+	TransportHandler = transport.Handler
+	// LinkConfig tunes handshake/write deadlines, keepalives, reconnect
+	// backoff, and the bounded outbound buffer of a supervised link.
+	LinkConfig = transport.LinkConfig
+	// LinkState is a supervised link's lifecycle state.
+	LinkState = transport.LinkState
+	// LinkInfo is one link's observable state and counters, as served
+	// by the /links telemetry endpoint.
+	LinkInfo = transport.LinkInfo
+)
+
+// Link lifecycle states: connecting → established ⇄ degraded → down.
+const (
+	LinkConnecting  = transport.LinkConnecting
+	LinkEstablished = transport.LinkEstablished
+	LinkDegraded    = transport.LinkDegraded
+	LinkDown        = transport.LinkDown
+)
+
+var (
+	// ListenTCP binds a transport endpoint; AddPeer then supervises
+	// links with reconnect and replay-on-reconnect hooks.
+	ListenTCP = transport.ListenTCP
 )
 
 // Workload generation.

@@ -2,6 +2,7 @@ package dsps_test
 
 import (
 	"testing"
+	"time"
 
 	dsps "repro"
 )
@@ -126,5 +127,39 @@ func TestPublicAPICompileQuery(t *testing.T) {
 	eng.Drain()
 	if len(out) != 2 || out[0].Field(1).AsInt() != 3 {
 		t.Fatalf("declarative query output:\n%v", out)
+	}
+}
+
+func TestPublicAPITransportLinks(t *testing.T) {
+	a, err := dsps.ListenTCP("a", "127.0.0.1:0", nil, dsps.LinkConfig{BufferLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := dsps.ListenTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer("b", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := a.LinkState("b"); ok && st == dsps.LinkEstablished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never established")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	infos := a.LinkInfos()
+	if len(infos) != 1 || infos[0].Peer != "b" || !infos[0].Supervised {
+		t.Fatalf("LinkInfos = %+v", infos)
+	}
+	var li dsps.LinkInfo = infos[0]
+	if li.State != dsps.LinkEstablished.String() {
+		t.Errorf("state = %q", li.State)
 	}
 }

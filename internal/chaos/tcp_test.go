@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunTCPKillsMidStream is the acceptance chaos run: randomized
+// connection kills mid-stream must end with zero loss and zero
+// duplicates at the consumer — the k-safety contract now holding on the
+// real-TCP path.
+func TestRunTCPKillsMidStream(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		r := RunTCP(TCPSchedule{Seed: seed, Tuples: 600, Kills: 4,
+			Gap: 200 * time.Microsecond})
+		if r.Failed() {
+			t.Errorf("seed %d: %v\n%s", seed, r.Violations, r)
+		}
+		if r.Kills == 0 {
+			t.Errorf("seed %d: schedule injected no kills", seed)
+		}
+		if r.Delivered != 600 {
+			t.Errorf("seed %d: delivered %d of 600", seed, r.Delivered)
+		}
+	}
+}
+
+// TestRunTCPAllFaultKinds drives kills, a blackhole window, and a
+// handshake stall in one run; the guarantee must hold through all three.
+func TestRunTCPAllFaultKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock chaos run")
+	}
+	r := RunTCP(TCPSchedule{Seed: 99, Tuples: 800, Kills: 3,
+		Blackholes: 1, Stalls: 1, Gap: 300 * time.Microsecond})
+	if r.Failed() {
+		t.Fatalf("violations: %v\n%s", r.Violations, r)
+	}
+	if r.Blackholes == 0 || r.Stalls == 0 {
+		t.Errorf("faults not injected: %s", r)
+	}
+}
+
+// TestRunTCPCleanRunReplaysNothing: with no faults the run must converge
+// with no resyncs and no suppressed duplicates.
+func TestRunTCPCleanRunReplaysNothing(t *testing.T) {
+	r := RunTCP(TCPSchedule{Seed: 5, Tuples: 300, Kills: 0, Gap: 50 * time.Microsecond})
+	if r.Failed() {
+		t.Fatalf("violations: %v\n%s", r.Violations, r)
+	}
+	if r.Suppressed != 0 || r.Missing != 0 || r.Dups != 0 {
+		t.Errorf("clean run not clean: %s", r)
+	}
+}

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPProxy is the chaos harness's fault injector for real TCP links: a
+// relay in front of a target listener that can kill the connections
+// running through it, blackhole them (stop forwarding without closing,
+// the silent-partition case TCP itself never reports), or stall new
+// connections before they reach the backend (handshake stall). The
+// transport under test dials the proxy instead of the target, so every
+// failure mode arrives exactly the way a real network would deliver it —
+// through the socket.
+type TCPProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	black bool
+	stall time.Duration
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewTCPProxy starts a relay on a fresh loopback port in front of target.
+func NewTCPProxy(target string) (*TCPProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &TCPProxy{ln: ln, target: target,
+		conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address the transport under test should dial.
+func (p *TCPProxy) Addr() string { return p.ln.Addr().String() }
+
+// KillConns abruptly closes every connection currently relayed — the
+// conn-kill injector — and returns how many pairs died.
+func (p *TCPProxy) KillConns() int {
+	p.mu.Lock()
+	victims := make([]net.Conn, 0, len(p.conns))
+	for nc := range p.conns {
+		victims = append(victims, nc)
+	}
+	p.mu.Unlock()
+	for _, nc := range victims {
+		nc.Close()
+	}
+	return len(victims) / 2
+}
+
+// SetBlackhole pauses (true) or resumes (false) forwarding in both
+// directions. Paused bytes are not dropped — they back up in the kernel,
+// exactly like a silent partition — so framing is never corrupted when
+// the hole lifts; detection is the peers' job (ping + read-idle).
+func (p *TCPProxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.black = on
+	p.mu.Unlock()
+}
+
+// SetStall makes every NEW connection wait d before the proxy dials the
+// backend, so the dialer's handshake deadline is what gives up first.
+// Zero disables the stall.
+func (p *TCPProxy) SetStall(d time.Duration) {
+	p.mu.Lock()
+	p.stall = d
+	p.mu.Unlock()
+}
+
+// Close stops the relay and tears down every connection. Idempotent.
+func (p *TCPProxy) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.ln.Close()
+		p.KillConns()
+		p.wg.Wait()
+	})
+}
+
+func (p *TCPProxy) flags() (black bool, stall time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.black, p.stall
+}
+
+// track registers a relay socket; false means the proxy is closing.
+func (p *TCPProxy) track(nc net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	p.conns[nc] = struct{}{}
+	return true
+}
+
+func (p *TCPProxy) untrack(nc net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, nc)
+	p.mu.Unlock()
+}
+
+func (p *TCPProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(cli net.Conn) {
+			defer p.wg.Done()
+			if _, stall := p.flags(); stall > 0 {
+				// Handshake stall: hold the accepted conn without touching
+				// the backend until the stall lapses or the proxy closes.
+				select {
+				case <-time.After(stall):
+				case <-p.done:
+					cli.Close()
+					return
+				}
+			}
+			srv, err := net.Dial("tcp", p.target)
+			if err != nil {
+				cli.Close()
+				return
+			}
+			if !p.track(cli) || !p.track(srv) {
+				cli.Close()
+				srv.Close()
+				return
+			}
+			p.wg.Add(2)
+			go func() { defer p.wg.Done(); p.pipe(cli, srv) }()
+			go func() { defer p.wg.Done(); p.pipe(srv, cli) }()
+		}(cli)
+	}
+}
+
+// pipe forwards src→dst in whole read chunks, pausing while blackholed.
+// Short poll deadlines keep it responsive to flag flips and Close.
+func (p *TCPProxy) pipe(src, dst net.Conn) {
+	defer func() {
+		p.untrack(src)
+		p.untrack(dst)
+		src.Close()
+		dst.Close()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		if black, _ := p.flags(); black {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		src.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}

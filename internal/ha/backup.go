@@ -88,6 +88,15 @@ func (l *OutputLog) SetReceived(seq uint64) {
 	}
 }
 
+// Received returns the highest link seq the downstream has confirmed
+// received (SetReceived's high-water mark). The reconnect path replays
+// everything the log retains above it.
+func (l *OutputLog) Received() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.received
+}
+
 // EarliestOriginUnreceived returns the smallest origin sequence among
 // retained tuples the downstream has NOT confirmed receiving; ok is false
 // when every retained tuple is known received. This is the k=1 dependency

@@ -1,0 +1,180 @@
+package ha
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// lossyWire simulates a link that can drop sends; delivered batches land
+// in a receiver.
+type lossyWire struct {
+	mu      sync.Mutex
+	drop    bool
+	batches [][]stream.Tuple
+}
+
+func (w *lossyWire) send(batch []stream.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.drop {
+		return nil // silently lost on the wire — sender can't tell
+	}
+	cp := append([]stream.Tuple(nil), batch...)
+	w.batches = append(w.batches, cp)
+	return nil
+}
+
+func (w *lossyWire) setDrop(on bool) {
+	w.mu.Lock()
+	w.drop = on
+	w.mu.Unlock()
+}
+
+func (w *lossyWire) drain() [][]stream.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := w.batches
+	w.batches = nil
+	return out
+}
+
+func tuple(v int64) stream.Tuple { return stream.NewTuple(stream.Int(v)) }
+
+// TestLinkSenderReceiverNoLossNoDupAcrossDrop: drop a window of sends,
+// Resync, and verify the receiver saw every payload exactly once.
+func TestLinkSenderReceiverNoLossNoDupAcrossDrop(t *testing.T) {
+	wire := &lossyWire{}
+	s := NewLinkSender(wire.send)
+
+	var got []int64
+	var acked []uint64
+	r := NewLinkReceiver(
+		func(t stream.Tuple) { got = append(got, t.Field(0).AsInt()) },
+		func(recv uint64) { acked = append(acked, recv) },
+		4)
+
+	deliver := func() {
+		for _, b := range wire.drain() {
+			r.OnBatch(b)
+		}
+	}
+
+	for i := 0; i < 10; i++ {
+		s.Send(tuple(int64(i)))
+	}
+	deliver()
+	for _, recv := range acked {
+		s.Ack(recv)
+	}
+	acked = nil
+	if s.Outstanding() >= 10 {
+		t.Fatalf("acks did not truncate: outstanding = %d", s.Outstanding())
+	}
+
+	// A window of losses, then reconnect + resync.
+	wire.setDrop(true)
+	for i := 10; i < 20; i++ {
+		s.Send(tuple(int64(i)))
+	}
+	wire.setDrop(false)
+	s.Resync()
+	deliver()
+	r.AckNow()
+	for _, recv := range acked {
+		s.Ack(recv)
+	}
+
+	if s.Outstanding() != 0 {
+		t.Errorf("outstanding after full ack = %d", s.Outstanding())
+	}
+	seen := map[int64]int{}
+	for _, v := range got {
+		seen[v]++
+	}
+	for i := int64(0); i < 20; i++ {
+		if seen[i] != 1 {
+			t.Errorf("payload %d delivered %d times", i, seen[i])
+		}
+	}
+	if r.Holes() != 0 {
+		t.Errorf("holes = %d", r.Holes())
+	}
+}
+
+// TestLinkResyncOverlapSuppressed: a resync that re-sends tuples the
+// receiver already admitted must be absorbed by dedup.
+func TestLinkResyncOverlapSuppressed(t *testing.T) {
+	wire := &lossyWire{}
+	s := NewLinkSender(wire.send)
+	var got []int64
+	r := NewLinkReceiver(
+		func(t stream.Tuple) { got = append(got, t.Field(0).AsInt()) },
+		nil, 1)
+
+	for i := 0; i < 5; i++ {
+		s.Send(tuple(int64(i)))
+	}
+	for _, b := range wire.drain() {
+		r.OnBatch(b)
+	}
+	// No acks reached the sender: a reconnect resyncs everything.
+	if n := s.Resync(); n != 5 {
+		t.Errorf("Resync returned outstanding %d, want 5", n)
+	}
+	for _, b := range wire.drain() {
+		r.OnBatch(b)
+	}
+	if len(got) != 5 {
+		t.Errorf("delivered %d tuples, want 5 (dups escaped dedup)", len(got))
+	}
+	if r.Suppressed() != 5 {
+		t.Errorf("Suppressed = %d, want 5", r.Suppressed())
+	}
+	if s.Replayed() != 5 {
+		t.Errorf("Replayed = %d, want 5", s.Replayed())
+	}
+}
+
+// TestLinkAckCodec round-trips the back-channel payload and rejects junk.
+func TestLinkAckCodec(t *testing.T) {
+	for _, recv := range []uint64{0, 1, 127, 128, 1 << 40} {
+		got, ok := ParseLinkAck(AppendLinkAck(nil, recv))
+		if !ok || got != recv {
+			t.Errorf("round-trip %d: got %d ok=%v", recv, got, ok)
+		}
+	}
+	for _, bad := range [][]byte{nil, {}, {0x6C}, {0x00, 0x01}, {0x6C, 0x80}, AppendLinkAck([]byte{0x6C}, 7)[:1]} {
+		if _, ok := ParseLinkAck(bad); ok {
+			t.Errorf("ParseLinkAck(%v) accepted junk", bad)
+		}
+	}
+	if !IsLinkBatch(LinkBatchCtrl()) {
+		t.Error("LinkBatchCtrl not recognized")
+	}
+	if IsLinkBatch(nil) || IsLinkBatch([]byte{0x00}) || IsLinkBatch(AppendLinkAck(nil, 1)) {
+		t.Error("IsLinkBatch accepted junk")
+	}
+}
+
+// TestLinkAckEveryCadence: acks fire on the cadence plus AckNow.
+func TestLinkAckEveryCadence(t *testing.T) {
+	wire := &lossyWire{}
+	s := NewLinkSender(wire.send)
+	var acks []uint64
+	r := NewLinkReceiver(func(stream.Tuple) {}, func(recv uint64) { acks = append(acks, recv) }, 3)
+	for i := 0; i < 7; i++ {
+		s.Send(tuple(int64(i)))
+	}
+	for _, b := range wire.drain() {
+		r.OnBatch(b) // one tuple per batch: cadence counts admissions
+	}
+	if len(acks) != 2 {
+		t.Errorf("acks after 7 singleton batches at cadence 3 = %v, want 2", acks)
+	}
+	r.AckNow()
+	if len(acks) != 3 || acks[len(acks)-1] != 7 {
+		t.Errorf("AckNow: acks = %v, want final complete prefix 7", acks)
+	}
+}

@@ -14,7 +14,21 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
+
+// LinkSource exposes a transport's per-peer link states for /links.
+// *transport.TCP implements it.
+type LinkSource interface {
+	LinkInfos() []transport.LinkInfo
+}
+
+// LinksResponse is the /links payload: every peer link's supervised
+// state machine position, buffering, and reconnect counters.
+type LinksResponse struct {
+	Node  string               `json:"node"`
+	Links []transport.LinkInfo `json:"links"`
+}
 
 // MetricsResponse is the /metrics payload.
 type MetricsResponse struct {
@@ -51,13 +65,14 @@ type LoadMapResponse struct {
 //	                      prefix; window overrides how many complete
 //	                      windows the windowed value averages)
 //	GET /loadmap          the gossiped cluster load map and its ranking
+//	GET /links            per-peer transport link states and counters
 //
 // Every handler reads only concurrency-safe state (the metric registry is
 // mutex-and-atomic, the flight recorder is a mutexed ring, the stats
-// store and load map are mutexed), so the HTTP goroutines never touch the
-// single-threaded engine core. plane may be nil: /stats and /loadmap then
-// answer 404.
-func Handler(id string, eng *engine.Engine, plane *stats.Plane) http.Handler {
+// store and load map are mutexed, link infos are snapshots), so the HTTP
+// goroutines never touch the single-threaded engine core. plane may be
+// nil: /stats and /loadmap then answer 404; likewise links and /links.
+func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -133,6 +148,19 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane) http.Handler {
 		json.NewEncoder(w).Encode(LoadMapResponse{
 			Node: id, Ranking: lm.Ranking(), Digests: lm.Snapshot(),
 		})
+	})
+
+	mux.HandleFunc("/links", func(w http.ResponseWriter, _ *http.Request) {
+		if links == nil {
+			http.Error(w, "no transport", http.StatusNotFound)
+			return
+		}
+		infos := links.LinkInfos()
+		if infos == nil {
+			infos = []transport.LinkInfo{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(LinksResponse{Node: id, Links: infos})
 	})
 
 	return mux

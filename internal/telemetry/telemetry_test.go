@@ -13,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/stream"
+	"repro/internal/transport"
 )
 
 func statsFixture(t *testing.T) (*engine.Engine, *stats.Plane) {
@@ -46,7 +47,7 @@ func statsFixture(t *testing.T) (*engine.Engine, *stats.Plane) {
 
 func TestStatsAndLoadMapEndpoints(t *testing.T) {
 	eng, plane := statsFixture(t)
-	srv := httptest.NewServer(Handler("x", eng, plane))
+	srv := httptest.NewServer(Handler("x", eng, plane, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, []byte) {
@@ -129,16 +130,66 @@ func TestStatsAndLoadMapEndpoints(t *testing.T) {
 
 func TestStatsEndpointsDisabled(t *testing.T) {
 	eng, _ := statsFixture(t)
-	srv := httptest.NewServer(Handler("x", eng, nil))
+	srv := httptest.NewServer(Handler("x", eng, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/stats", "/loadmap"} {
+	for _, path := range []string{"/stats", "/loadmap", "/links"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != 404 {
-			t.Errorf("%s with no plane: %d, want 404", path, resp.StatusCode)
+			t.Errorf("%s with no plane/transport: %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+func TestLinksEndpoint(t *testing.T) {
+	eng, _ := statsFixture(t)
+	a, err := transport.ListenTCP("x", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.ListenTCP("y", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer("y", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := a.LinkState("y"); ok && st == transport.LinkEstablished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never established")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	srv := httptest.NewServer(Handler("x", eng, nil, a))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/links: %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var lr LinksResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatalf("/links JSON: %v\n%s", err, body)
+	}
+	if lr.Node != "x" || len(lr.Links) != 1 {
+		t.Fatalf("/links = %+v", lr)
+	}
+	l := lr.Links[0]
+	if l.Peer != "y" || l.State != "established" || !l.Supervised || l.Dials < 1 {
+		t.Errorf("link info = %+v", l)
 	}
 }

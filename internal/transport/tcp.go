@@ -1,16 +1,27 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // helloStream is the reserved logical stream used for the connection
 // handshake (peer identity exchange).
 const helloStream = "\x00hello"
+
+// pingStream is the reserved logical stream for keepalive frames; they
+// refresh the peer's read-idle timer and are never delivered upward.
+const pingStream = "\x00ping"
+
+// pongCtrl marks a keepalive reply; requests carry no Ctrl. Only
+// requests are answered, so two peers never ping-pong forever.
+var pongCtrl = []byte{1}
 
 // maxFrame bounds a single frame to keep a malformed peer from forcing
 // huge allocations.
@@ -22,23 +33,40 @@ type Handler func(from string, m Msg)
 // TCP multiplexes all logical message streams to each peer onto a single
 // TCP connection with a WFQ scheduler — the design §4.3 argues for over
 // one-connection-per-stream (prohibitive connection counts, adverse
-// interaction in the network, no weighted sharing).
+// interaction in the network, no weighted sharing). Supervised links
+// (AddPeer) add the resilience layer on top: deadlines on every
+// handshake, read, and write; reconnect with exponential backoff; and
+// bounded buffering across the gaps.
 type TCP struct {
 	id      string
 	handler Handler
 	ln      net.Listener
+	cfg     LinkConfig
 
-	mu     sync.Mutex
-	conns  map[string]*Conn
-	closed bool
-	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	conns   map[string]*Conn
+	links   map[string]*Link
+	pending map[net.Conn]struct{} // accepted/dialed, hello not yet done
+	dropped map[string]int64      // per-peer messages lost with no link to requeue to
+	closed  bool
+	wg      sync.WaitGroup
+
+	onLinkState   func(peer string, from, to LinkState)
+	onEstablished func(peer string, reconnected bool)
 }
 
 // Conn is one multiplexed connection to a peer.
 type Conn struct {
-	peer string
-	nc   net.Conn
-	t    *TCP
+	peer     string
+	nc       net.Conn
+	t        *TCP
+	outbound bool // we dialed it (tie-break input)
+	donec    chan struct{}
+
+	lastWrite atomic.Int64 // unixnano of last frame write (keepalive idle check)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -51,13 +79,27 @@ type Conn struct {
 
 // ListenTCP starts a transport listening on addr (e.g. "127.0.0.1:0").
 // The returned transport accepts inbound connections and can Dial
-// outbound ones; all deliveries go to handler.
-func ListenTCP(id, addr string, handler Handler) (*TCP, error) {
+// outbound ones; all deliveries go to handler. An optional LinkConfig
+// tunes deadlines and the per-peer supervisors (see AddPeer); omitted,
+// conservative defaults apply.
+func ListenTCP(id, addr string, handler Handler, cfg ...LinkConfig) (*TCP, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	t := &TCP{id: id, handler: handler, ln: ln, conns: map[string]*Conn{}}
+	var c LinkConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &TCP{
+		id: id, handler: handler, ln: ln, cfg: c.withDefaults(),
+		ctx: ctx, cancel: cancel,
+		conns:   map[string]*Conn{},
+		links:   map[string]*Link{},
+		pending: map[net.Conn]struct{}{},
+		dropped: map[string]int64{},
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -69,6 +111,30 @@ func (t *TCP) ID() string { return t.id }
 // Addr returns the listening address.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
+func (t *TCP) callbacks() (func(string, LinkState, LinkState), func(string, bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.onLinkState, t.onEstablished
+}
+
+// trackPending registers a pre-handshake connection so Close can tear it
+// down; it reports false when the transport is already closed.
+func (t *TCP) trackPending(nc net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.pending[nc] = struct{}{}
+	return true
+}
+
+func (t *TCP) untrackPending(nc net.Conn) {
+	t.mu.Lock()
+	delete(t.pending, nc)
+	t.mu.Unlock()
+}
+
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -77,57 +143,123 @@ func (t *TCP) acceptLoop() {
 			return // listener closed
 		}
 		t.wg.Add(1)
-		go func() {
+		go func(nc net.Conn) {
 			defer t.wg.Done()
-			// Inbound handshake: peer speaks first, then we answer.
+			// Inbound handshake: peer speaks first, then we answer. The
+			// deadline plus pending tracking is what keeps a peer that
+			// connects and never says hello from leaking this goroutine
+			// and hanging Close in wg.Wait.
+			if !t.trackPending(nc) {
+				nc.Close()
+				return
+			}
+			nc.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 			peer, err := readHello(nc)
+			if err == nil {
+				err = writeHello(nc, t.id)
+			}
 			if err != nil {
+				t.untrackPending(nc)
 				nc.Close()
 				return
 			}
-			if err := writeHello(nc, t.id); err != nil {
-				nc.Close()
-				return
-			}
-			t.startConn(peer, nc)
-		}()
+			nc.SetDeadline(time.Time{})
+			t.untrackPending(nc)
+			t.startConn(peer, nc, false)
+		}(nc)
 	}
 }
 
-// Dial connects to a peer transport and returns its node id.
+// Dial connects to a peer transport once and returns its node id. For a
+// connection that should survive breakage, use AddPeer instead.
 func (t *TCP) Dial(addr string) (string, error) {
-	nc, err := net.Dial("tcp", addr)
+	return t.dialPeer(addr)
+}
+
+// dialPeer performs one deadline-bounded connect + hello exchange and
+// installs the resulting connection. Both Dial and link supervisors come
+// through here.
+func (t *TCP) dialPeer(addr string) (string, error) {
+	d := net.Dialer{Timeout: t.cfg.HandshakeTimeout}
+	nc, err := d.DialContext(t.ctx, "tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("transport: %w", err)
 	}
+	if !t.trackPending(nc) {
+		nc.Close()
+		return "", fmt.Errorf("transport: closed")
+	}
+	nc.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 	if err := writeHello(nc, t.id); err != nil {
+		t.untrackPending(nc)
 		nc.Close()
 		return "", err
 	}
 	peer, err := readHello(nc)
 	if err != nil {
+		t.untrackPending(nc)
 		nc.Close()
 		return "", err
 	}
-	t.startConn(peer, nc)
+	nc.SetDeadline(time.Time{})
+	t.untrackPending(nc)
+	t.startConn(peer, nc, true)
 	return peer, nil
 }
 
-func (t *TCP) startConn(peer string, nc net.Conn) {
-	c := &Conn{peer: peer, nc: nc, t: t, sched: NewWFQ()}
+// startConn installs a handshaken connection, resolving the
+// simultaneous-dial race deterministically: when both nodes dial each
+// other at once, both ends keep the connection dialed by the lexically
+// smaller node id, so neither side is left holding a socket its peer has
+// abandoned. Duplicates in the same direction (peer restarted and
+// redialed) are replaced newest-wins, with the loser's queued messages
+// drained onto the survivor.
+func (t *TCP) startConn(peer string, nc net.Conn, outbound bool) {
+	c := &Conn{peer: peer, nc: nc, t: t, outbound: outbound, sched: NewWFQ(),
+		donec: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
+	c.lastWrite.Store(time.Now().UnixNano())
+
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		nc.Close()
 		return
 	}
-	if old, ok := t.conns[peer]; ok {
-		old.close()
+	var orphans []Msg
+	if old, ok := t.conns[peer]; ok && !old.isClosed() {
+		preferOutbound := t.id < peer
+		newPreferred := outbound == preferOutbound
+		oldPreferred := old.outbound == preferOutbound
+		if !newPreferred && oldPreferred {
+			// The existing connection is the tie-break winner on both
+			// ends; drop the newcomer.
+			t.mu.Unlock()
+			nc.Close()
+			return
+		}
+		orphans, _ = old.shutdown()
 	}
 	t.conns[peer] = c
+	l := t.links[peer]
+	stateCB, estCB := t.onLinkState, t.onEstablished
+	var notifies []func()
+	if l != nil {
+		notifies = append(notifies, l.attach(c, stateCB, estCB))
+		if len(orphans) > 0 {
+			// The superseded connection's backlog rides the replacement.
+			notifies = append(notifies, l.detach(nil, orphans, stateCB))
+		}
+	} else if n := len(orphans); n > 0 {
+		t.dropped[peer] += int64(n)
+	}
+	loops := 2
+	if t.cfg.PingPeriod > 0 {
+		loops = 3
+	}
+	t.wg.Add(loops)
 	t.mu.Unlock()
-	t.wg.Add(2)
+
 	go func() {
 		defer t.wg.Done()
 		c.writeLoop()
@@ -136,15 +268,53 @@ func (t *TCP) startConn(peer string, nc net.Conn) {
 		defer t.wg.Done()
 		c.readLoop()
 	}()
+	if t.cfg.PingPeriod > 0 {
+		go func() {
+			defer t.wg.Done()
+			c.pingLoop(t.cfg.PingPeriod)
+		}()
+	}
+	for _, fn := range notifies {
+		fn()
+	}
+}
+
+// connDied reconciles the transport's view after a connection shuts
+// down: the map entry is removed, the undelivered backlog is requeued to
+// the peer's link (or counted dropped when there is none), and the
+// link's supervisor is kicked awake to redial.
+func (t *TCP) connDied(c *Conn, orphans []Msg) {
+	t.mu.Lock()
+	if t.conns[c.peer] == c {
+		delete(t.conns, c.peer)
+	}
+	l := t.links[c.peer]
+	var notify func()
+	if l != nil {
+		notify = l.detach(c, orphans, t.onLinkState)
+		l.kickNow()
+	} else if n := len(orphans); n > 0 {
+		t.dropped[c.peer] += int64(n)
+	}
+	t.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // Send enqueues a message to a peer; the per-connection WFQ decides when
-// it gets the wire.
+// it gets the wire. For supervised peers (AddPeer) the message is
+// buffered across reconnects instead of failing while the link is
+// degraded.
 func (t *TCP) Send(peer string, m Msg) error {
 	t.mu.Lock()
-	c, ok := t.conns[peer]
+	l := t.links[peer]
+	c := t.conns[peer]
 	t.mu.Unlock()
-	if !ok {
+	if l != nil {
+		return l.send(m)
+	}
+	if c == nil {
 		return fmt.Errorf("transport: no connection to %q", peer)
 	}
 	return c.send(m)
@@ -175,8 +345,10 @@ func (t *TCP) Peers() []string {
 	return out
 }
 
-// Close shuts the listener and every connection down and waits for the
-// transport's goroutines to exit.
+// Close shuts the listener, every connection (handshaken or not), and
+// every link supervisor down, then waits for the transport's goroutines
+// to exit. Handshake deadlines and the cancellable dial context bound the
+// wait.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -188,8 +360,24 @@ func (t *TCP) Close() error {
 	for _, c := range t.conns {
 		conns = append(conns, c)
 	}
+	links := make([]*Link, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	pending := make([]net.Conn, 0, len(t.pending))
+	for nc := range t.pending {
+		pending = append(pending, nc)
+	}
 	t.mu.Unlock()
+
+	t.cancel()
 	t.ln.Close()
+	for _, l := range links {
+		l.shutdownLink()
+	}
+	for _, nc := range pending {
+		nc.Close()
+	}
 	for _, c := range conns {
 		c.close()
 	}
@@ -211,8 +399,52 @@ func (c *Conn) send(m Msg) error {
 	return nil
 }
 
+func (c *Conn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// shutdown latches the connection closed exactly once, draining the
+// scheduler's undelivered backlog so it can be requeued instead of lost
+// (the WFQ-discard bug). first is true for the caller that performed the
+// shutdown; only that caller owns the orphans.
+func (c *Conn) shutdown() (orphans []Msg, first bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.closed = true
+	for c.sched.Len() > 0 {
+		m, _, ok := c.sched.Next()
+		if !ok {
+			break
+		}
+		if m.Stream != pingStream {
+			orphans = append(orphans, m)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.donec)
+	c.nc.Close()
+	return orphans, true
+}
+
+// close is the failure path (read/write error, chaos kill): shut down
+// and let the transport requeue whatever was still queued.
+func (c *Conn) close() {
+	orphans, first := c.shutdown()
+	if !first {
+		return
+	}
+	c.t.connDied(c, orphans)
+}
+
 func (c *Conn) writeLoop() {
 	var buf []byte
+	wt := c.t.cfg.WriteTimeout
 	for {
 		c.mu.Lock()
 		for c.sched.Len() == 0 && !c.closed {
@@ -229,10 +461,16 @@ func (c *Conn) writeLoop() {
 		buf = binary.BigEndian.AppendUint32(buf, 0) // length placeholder
 		buf = Encode(buf, m)
 		binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+		if wt > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(wt))
+		}
 		if _, err := c.nc.Write(buf); err != nil {
+			// The dequeued message is lost with the conn; everything still
+			// queued is drained back by shutdown.
 			c.close()
 			return
 		}
+		c.lastWrite.Store(time.Now().UnixNano())
 		c.mu.Lock()
 		c.BytesSent += int64(len(buf))
 		c.MsgsSent++
@@ -241,11 +479,26 @@ func (c *Conn) writeLoop() {
 }
 
 func (c *Conn) readLoop() {
+	idle := c.t.cfg.ReadIdleTimeout
 	for {
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		m, err := readFrame(c.nc)
 		if err != nil {
 			c.close()
 			return
+		}
+		if m.Stream == pingStream || m.Stream == helloStream {
+			// A ping request (empty Ctrl) is answered with a pong so the
+			// sender's read-idle timer sees traffic even when this side
+			// pings on a slower period (or not at all) — otherwise two
+			// peers with asymmetric ping configs flap a healthy idle link.
+			// Pongs are never answered, so no storm.
+			if m.Stream == pingStream && len(m.Ctrl) == 0 {
+				c.send(Msg{Stream: pingStream, Kind: KindControl, Ctrl: pongCtrl})
+			}
+			continue // keepalive / stray handshake frames stay internal
 		}
 		if c.t.handler != nil {
 			c.t.handler(c.peer, m)
@@ -253,21 +506,24 @@ func (c *Conn) readLoop() {
 	}
 }
 
-func (c *Conn) close() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
+// pingLoop keeps a write-idle connection warm so the peer's read-idle
+// timer only fires when the path is actually dead (blackhole detection).
+func (c *Conn) pingLoop(period time.Duration) {
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.donec:
+			return
+		case <-tick.C:
+			if time.Since(time.Unix(0, c.lastWrite.Load())) < period {
+				continue
+			}
+			if c.send(Msg{Stream: pingStream, Kind: KindControl}) != nil {
+				return
+			}
+		}
 	}
-	c.closed = true
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	c.nc.Close()
-	c.t.mu.Lock()
-	if c.t.conns[c.peer] == c {
-		delete(c.t.conns, c.peer)
-	}
-	c.t.mu.Unlock()
 }
 
 func readFrame(r io.Reader) (Msg, error) {
