@@ -25,6 +25,18 @@ echo "== stats overhead guard"
 # the engine hot path must not pay for the windowed sampling.
 CI_STATS_GUARD=1 go test ./internal/engine/ -run TestStatsOverheadGuard -count=1 -v
 
+echo "== parallel engine"
+# The worker-pool path under the race detector: config validation,
+# serial-vs-parallel output equivalence, concurrent ingest, and trace
+# worker attribution.
+go test -race ./internal/engine/ -run 'Parallel' -count=1 -timeout 120s
+
+echo "== parallel speedup guard"
+# Four workers must beat serial by >= 1.5x on conflict-free chains. The
+# test skips itself on hosts with fewer than four CPUs, where the
+# comparison would measure nothing but context switching.
+CI_PARALLEL_GUARD=1 go test ./internal/engine/ -run TestParallelSpeedupGuard -count=1 -v
+
 echo "== transport churn guard"
 # The reconnect/churn tests leak-check the transport's goroutines; run
 # them twice back to back so a goroutine left behind by round one trips

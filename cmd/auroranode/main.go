@@ -169,6 +169,7 @@ func main() {
 		linkPing = flag.Duration("link-ping", time.Second, "peer-link keepalive period (0 disables pings and read-idle detection)")
 		linkBuf  = flag.Int("link-buffer", 1024, "messages buffered per peer link across reconnects")
 		haRoutes = flag.Bool("ha-routes", true, "frame routed outputs with the HA link protocol (sequence, retain, replay on reconnect, dedup downstream)")
+		workers  = flag.Int("workers", 0, "engine worker pool size for wall-clock execution (0 or 1 = serial)")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -187,7 +188,7 @@ func main() {
 	if *traceN > 0 {
 		tracer = trace.NewTracer(*id, *traceN, trace.NewRecorder(*traceBuf))
 	}
-	ecfg := engine.Config{Tracer: tracer}
+	ecfg := engine.Config{Tracer: tracer, Workers: *workers}
 	var plane *stats.Plane
 	if *statsPer > 0 {
 		plane = stats.NewPlane(*id, statsPer.Nanoseconds(), *statsWin, 0)
@@ -204,8 +205,16 @@ func main() {
 		eng.SetRelayOutput(name)
 	}
 
-	var mu sync.Mutex // the engine is single-threaded by design (§2.3)
+	// mu serializes run-loop invocations (Step trains or one worker pool at
+	// a time; concurrent RunParallel calls are an engine panic). Ingest is
+	// engine-safe without it, but the handlers below take it anyway so a
+	// serial engine behaves exactly as before.
+	var mu sync.Mutex
 	var tcp *transport.TCP
+	// outMu guards the delivery counters and stdout printing: with a worker
+	// pool, OnOutput fires from pool goroutines. It must be distinct from
+	// mu — OnOutput runs while the run loop holds mu.
+	var outMu sync.Mutex
 	delivered := map[string]uint64{}
 
 	// HA-framed routes: each routed output gets a LinkSender that stamps,
@@ -261,10 +270,12 @@ func main() {
 	}
 
 	eng.OnOutput(func(name string, t stream.Tuple) {
+		outMu.Lock()
 		delivered[name]++
 		if name == *print {
 			fmt.Println(t.String())
 		}
+		outMu.Unlock()
 		if dest, ok := routes[name]; ok {
 			i := strings.IndexByte(dest, '/')
 			if i < 0 {
@@ -321,7 +332,7 @@ func main() {
 			defer mu.Unlock()
 			eng.SetRelayInput(m.Stream)
 			r.OnBatch(m.Tuples)
-			eng.RunUntilIdle(0)
+			eng.Run()
 			return
 		}
 		mu.Lock()
@@ -335,7 +346,7 @@ func main() {
 			t.Span.Mark(trace.KindNet, from+">"+*id, arrive)
 			eng.Ingest(m.Stream, t)
 		}
-		eng.RunUntilIdle(0)
+		eng.Run()
 	}, transport.LinkConfig{PingPeriod: *linkPing, BufferLimit: *linkBuf})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -464,6 +475,12 @@ func main() {
 		default:
 			log.Fatalf("unknown generator %q", kind)
 		}
+		// A worker pool costs goroutine startup per invocation, so with
+		// workers the generator runs it on batches instead of per tuple.
+		runEvery := 1
+		if *workers > 1 {
+			runEvery = 256
+		}
 		start := time.Now()
 		count := 0
 		for {
@@ -474,16 +491,21 @@ func main() {
 			time.Sleep(time.Duration(gap))
 			mu.Lock()
 			eng.Ingest(input, t)
-			eng.RunUntilIdle(0)
-			mu.Unlock()
 			count++
+			if count%runEvery == 0 {
+				eng.Run()
+			}
+			mu.Unlock()
 		}
 		mu.Lock()
+		eng.Run()
 		eng.Drain()
 		mu.Unlock()
 		if !*quiet {
+			outMu.Lock()
 			log.Printf("generated %d tuples in %v; deliveries: %v",
 				count, time.Since(start).Round(time.Millisecond), delivered)
+			outMu.Unlock()
 		}
 		// Give routed messages a moment to flush before exiting; HA-framed
 		// routes additionally wait (bounded) for their output logs to be

@@ -1,6 +1,9 @@
 // benchrunner regenerates the experiment tables of EXPERIMENTS.md from
-// the command line: every figure of the paper has an experiment (E01..E16)
-// whose table this tool prints.
+// the command line: every figure of the paper has an experiment (E01..E16,
+// plus E18's parallel worker-scaling sweep and the ablations) whose table
+// this tool prints. The checked-in bench/BENCH_E18.json is the
+// worker-scaling baseline (workers 1, 2, 4 over conflict-free chains);
+// refresh it with `benchrunner -exp E18 -json bench/`.
 //
 // Usage:
 //

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/op"
@@ -40,15 +42,26 @@ type Config struct {
 	Stats *stats.Store
 	// StatsEvery samples Stats every N scheduling steps (0 means 64).
 	StatsEvery int
+	// Workers enables the parallel wall-clock execution path: Run then
+	// drives a pool of this many workers instead of the serial loop
+	// (RunParallel). Workers > 0 with a VirtualClock is a configuration
+	// error — deterministic virtual time is serial by design, so netsim
+	// experiments stay byte-identical.
+	Workers int
 }
 
 // OutputFn receives tuples delivered to a named application output.
 type OutputFn func(name string, t stream.Tuple)
 
-// Engine executes one node's piece of an Aurora query network. It is
-// single-threaded by design — the scheduler serializes all box execution,
-// per the paper's run-time model — and therefore not safe for concurrent
-// use; distributed operation wraps each engine in its own node loop.
+// Engine executes one node's piece of an Aurora query network. The serial
+// path (Step/RunUntilIdle) executes one scheduler decision at a time, per
+// the paper's run-time model; under a wall clock the engine can instead
+// run a worker pool (RunParallel) where the scheduler dispatches
+// conflict-free box trains to idle workers — a box instance is owned by
+// at most one worker at a time, so operators stay single-threaded
+// internally. Ingest is safe to call concurrently with either path; the
+// serial control methods (Step, RunUntilIdle, Drain) must not themselves
+// be called from multiple goroutines at once.
 type Engine struct {
 	net    *query.Network
 	clock  Clock
@@ -76,20 +89,37 @@ type Engine struct {
 	// wall-clock utilization is differenced from.
 	stats      *stats.Store
 	statsEvery uint64
-	steps      uint64
+	steps      atomic.Uint64
 	busyCtr    *metrics.Counter
 	// Per-input shed-drop counters, one per destination box, so shedding
 	// is attributable: dropping at ingest starves exactly these boxes.
 	shedByInput map[string][]*metrics.Counter
 
 	// Connection points (§2.2): predetermined arcs where recent history
-	// is retained so ad hoc queries can attach later.
+	// is retained so ad hoc queries can attach later. The cpHist map is
+	// immutable after New; cpMu guards each History's contents. taps is
+	// copy-on-write (AttachAdHoc swaps a fresh map in) so the emit hot
+	// path pays one atomic load and no lock.
 	cpHist map[query.Port]*stream.History
-	taps   map[query.Port][]op.Emit
+	cpMu   sync.Mutex
+	taps   atomic.Pointer[map[query.Port][]op.Emit]
+
+	// Parallel runtime state: the configured pool size, the active
+	// dispatcher (nil when no RunParallel is in flight; Ingest kicks it so
+	// idle workers notice externally arriving work), time-driven operators
+	// that need Advance calls, and the advance dedup timestamp.
+	workers       int
+	disp          atomic.Pointer[dispatcher]
+	timeSensitive []*boxState
+	lastAdvance   atomic.Int64
+
+	// qBytes is the total bytes across all box input queues, maintained at
+	// push/pop so storage accounting never walks every queue.
+	qBytes atomic.Int64
 
 	onOutput OutputFn
-	ingested uint64
-	seq      uint64
+	ingested atomic.Uint64
+	seq      atomic.Uint64
 	relayIn  map[string]bool
 }
 
@@ -110,12 +140,19 @@ type boxState struct {
 	virtCost int64
 	cost     *metrics.EWMA // ns per tuple, processing only
 	wait     *metrics.EWMA // ns queueing delay
-	inCount  int64
-	outCount int64
-	workNs   int64 // cumulative processing time (ns)
+	inCount  atomic.Int64
+	outCount atomic.Int64
+	workNs   atomic.Int64 // cumulative processing time (ns)
+
+	// running marks the box as owned by a parallel worker; guarded by the
+	// dispatcher mutex and never set on the serial path.
+	running bool
 
 	// cur is the span of the tuple currently being processed: emitted
 	// tuples inherit it so the trace follows derivation through the box.
+	// Only the box's current owner (the serial loop, or the one worker
+	// that holds the box) touches it; ownership hand-off through the
+	// dispatcher lock orders those accesses.
 	cur *trace.Span
 }
 
@@ -127,7 +164,6 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		outputs: map[string]*outputState{},
 		inputs:  map[string][]route{},
 		cpHist:  map[query.Port]*stream.History{},
-		taps:    map[query.Port][]op.Emit{},
 		reg:     metrics.NewRegistry(),
 	}
 	e.clock = cfg.Clock
@@ -137,6 +173,10 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	if vc, ok := e.clock.(*VirtualClock); ok {
 		e.vclock = vc
 	}
+	if cfg.Workers > 0 && e.vclock != nil {
+		return nil, fmt.Errorf("engine: Workers=%d with a VirtualClock: the deterministic virtual-time path is serial by design", cfg.Workers)
+	}
+	e.workers = cfg.Workers
 	e.sched = cfg.Scheduler
 	if e.sched == nil {
 		e.sched = NewTrainScheduler(DefaultMaxTrain)
@@ -192,6 +232,12 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		b.downstream = make([][]route, inst.NumOut())
 		e.boxes[id] = b
 		e.topo = append(e.topo, b)
+		if _, ok := inst.(op.TimeDriven); ok {
+			// Only time-driven operators (WSort timeouts) do work in
+			// Advance; sweeping every box after every train was O(boxes)
+			// of no-op virtual calls.
+			e.timeSensitive = append(e.timeSensitive, b)
+		}
 	}
 
 	// Outputs.
@@ -228,26 +274,19 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		}
 	}
 
-	// Per-box emit closures (the Router of Fig 3).
+	// Per-box emit closures (the Router of Fig 3). This is the serial
+	// path; parallel workers buffer emits per worker and merge them
+	// through routeEmit afterwards.
 	for _, b := range e.boxes {
 		bb := b
 		bb.emit = func(port int, t stream.Tuple) {
-			bb.outCount++
-			p := query.Port{Box: bb.id, Port: port}
-			if h, ok := e.cpHist[p]; ok {
-				h.Add(t)
-			}
-			for _, tap := range e.taps[p] {
-				tap(0, t)
-			}
+			bb.outCount.Add(1)
 			if t.Span == nil {
 				// Derived tuples (window aggregates, joins) inherit the
 				// span of the tuple being processed.
 				t.Span = bb.cur
 			}
-			now := e.clock.Now()
-			t.Span.Mark(trace.KindProc, bb.id, now)
-			e.deliver(bb.downstream[port], t, now)
+			e.routeEmit(bb, port, 0, t, e.clock.Now())
 		}
 	}
 
@@ -269,6 +308,26 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// routeEmit is the router half of a box emission shared by the serial
+// emit closure and the parallel merge: connection-point history, ad hoc
+// taps, the span's processing mark (attributed to worker when non-zero),
+// then delivery to the downstream routes.
+func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now int64) {
+	p := query.Port{Box: b.id, Port: port}
+	if h, ok := e.cpHist[p]; ok {
+		e.cpMu.Lock()
+		h.Add(t)
+		e.cpMu.Unlock()
+	}
+	if m := e.taps.Load(); m != nil {
+		for _, tap := range (*m)[p] {
+			tap(0, t)
+		}
+	}
+	t.Span.MarkWorker(trace.KindProc, b.id, worker, now)
+	e.deliver(b.downstream[port], t, now)
 }
 
 // deliver routes a tuple to a set of targets: box queues or outputs. The
@@ -308,8 +367,9 @@ func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
 			}
 			continue
 		}
+		size := tt.MemSize()
 		r.box.inQ[r.port].Push(tt, now)
-		e.storage.NoteEnqueue(tt.MemSize(), e.queuedBytes())
+		e.storage.NoteEnqueue(size, int(e.qBytes.Add(int64(size))))
 	}
 }
 
@@ -343,7 +403,8 @@ func (e *Engine) SetRelayInput(name string) {
 // Ingest pushes one tuple onto a named input stream. Tuples with zero TS
 // are stamped with the current clock (their birth time for latency QoS);
 // tuples with zero Seq are assigned the node-local sequence (§6.2).
-// It reports whether the tuple was accepted (false when shed).
+// It reports whether the tuple was accepted (false when shed). Ingest is
+// safe to call concurrently with a running Step loop or RunParallel pool.
 func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 	routes, ok := e.inputs[input]
 	if !ok {
@@ -354,10 +415,9 @@ func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 		t.TS = now
 	}
 	if t.Seq == 0 {
-		e.seq++
-		t.Seq = e.seq
+		t.Seq = e.seq.Add(1)
 	}
-	e.ingested++
+	e.ingested.Add(1)
 	e.ingCtr.Inc()
 	if e.shedder != nil && e.shedder.ShouldDrop(e, input, t) {
 		e.noteDrop()
@@ -373,12 +433,16 @@ func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 		t.Span = e.tracer.Sample(t.TS)
 	}
 	e.deliver(routes, t, now)
+	// A worker pool waiting out an idle stretch must notice new work.
+	if d := e.disp.Load(); d != nil {
+		d.kick()
+	}
 	return true
 }
 
 func (e *Engine) noteDrop() {
 	for _, os := range e.outputs {
-		os.dropped++
+		os.noteDrop()
 	}
 }
 
@@ -397,8 +461,9 @@ func (e *Engine) Step() bool {
 		if !ok {
 			break
 		}
+		e.qBytes.Add(int64(-en.t.MemSize()))
 		b.wait.Observe(float64(start - en.enq))
-		b.inCount++
+		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
 			sp.Mark(trace.KindQueue, b.id, start)
 			b.cur = sp
@@ -414,26 +479,37 @@ func (e *Engine) Step() bool {
 		work := int64(processed) * b.virtCost
 		e.vclock.Advance(work)
 		b.cost.Observe(float64(b.virtCost))
-		b.workNs += work
+		b.workNs.Add(work)
 		e.busyCtr.Add(work)
 	} else {
 		elapsed := e.clock.Now() - start
 		b.cost.Observe(float64(elapsed) / float64(processed))
-		b.workNs += elapsed
+		b.workNs.Add(elapsed)
 		e.busyCtr.Add(elapsed)
 	}
 	now := e.clock.Now()
-	for _, bb := range e.topo {
-		bb.inst.Advance(now, bb.emit)
-	}
+	e.advanceTimeSensitive(now)
 	if e.shedder != nil {
 		e.shedder.Control(e)
 	}
-	e.steps++
-	if e.stats != nil && e.steps%e.statsEvery == 0 {
+	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
 		e.SampleStats(now)
 	}
 	return true
+}
+
+// advanceTimeSensitive meets the timeout obligations of time-driven
+// operators (op.TimeDriven, e.g. WSort): called after box executions, it
+// advances only those operators, and only when the clock actually moved
+// since the last advance — the serial engine used to sweep Advance over
+// every box after every train, O(boxes) of no-op virtual calls per step.
+func (e *Engine) advanceTimeSensitive(now int64) {
+	if len(e.timeSensitive) == 0 || e.lastAdvance.Swap(now) == now {
+		return
+	}
+	for _, b := range e.timeSensitive {
+		b.inst.Advance(now, b.emit)
+	}
 }
 
 // SampleStats folds the current monitored statistics of every box into
@@ -451,14 +527,15 @@ func (e *Engine) SampleStats(now int64) {
 		for _, q := range b.inQ {
 			queued += q.Len()
 		}
+		in, out := b.inCount.Load(), b.outCount.Load()
 		sel := 0.0
-		if b.inCount > 0 {
-			sel = float64(b.outCount) / float64(b.inCount)
+		if in > 0 {
+			sel = float64(out) / float64(in)
 		}
 		e.stats.Observe(stats.SeriesBoxCost(b.id), stats.KindGauge, now, b.cost.Value())
 		e.stats.Observe(stats.SeriesBoxSelectivity(b.id), stats.KindGauge, now, sel)
 		e.stats.Observe(stats.SeriesBoxQueue(b.id), stats.KindGauge, now, float64(queued))
-		e.stats.Observe(stats.SeriesBoxWork(b.id), stats.KindCounter, now, float64(b.workNs))
+		e.stats.Observe(stats.SeriesBoxWork(b.id), stats.KindCounter, now, float64(b.workNs.Load()))
 	}
 	for name, ctrs := range e.shedByInput {
 		for i, c := range ctrs {
@@ -498,10 +575,7 @@ func (e *Engine) AdvanceTime(d int64) {
 		return
 	}
 	e.vclock.Advance(d)
-	now := e.vclock.Now()
-	for _, b := range e.topo {
-		b.inst.Advance(now, b.emit)
-	}
+	e.advanceTimeSensitive(e.vclock.Now())
 }
 
 // Drain flushes every box in topological order, processing intermediate
@@ -528,15 +602,9 @@ func (e *Engine) QueuedTuples() int {
 	return total
 }
 
-func (e *Engine) queuedBytes() int {
-	total := 0
-	for _, b := range e.topo {
-		for _, q := range b.inQ {
-			total += q.Bytes()
-		}
-	}
-	return total
-}
+// QueuedBytes returns the total bytes waiting in box queues, maintained
+// atomically at push/pop (the storage manager's accounting input).
+func (e *Engine) QueuedBytes() int { return int(e.qBytes.Load()) }
 
 // BoxStats reports the monitored operational statistics of §7.1 for one
 // box: average processing cost, average queueing delay, selectivity, and
@@ -556,9 +624,10 @@ func (e *Engine) Stats(boxID string) (BoxStats, bool) {
 	if !ok {
 		return BoxStats{}, false
 	}
+	in, out := b.inCount.Load(), b.outCount.Load()
 	sel := 0.0
-	if b.inCount > 0 {
-		sel = float64(b.outCount) / float64(b.inCount)
+	if in > 0 {
+		sel = float64(out) / float64(in)
 	}
 	queued := 0
 	for _, q := range b.inQ {
@@ -570,7 +639,7 @@ func (e *Engine) Stats(boxID string) (BoxStats, bool) {
 		Wait:        b.wait.Value(),
 		Selectivity: sel,
 		Queued:      queued,
-		Processed:   b.inCount,
+		Processed:   in,
 	}, true
 }
 
@@ -610,11 +679,21 @@ func (e *Engine) AttachAdHoc(p query.Port, fn func(stream.Tuple)) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("engine: %v is not a connection point", p)
 	}
+	e.cpMu.Lock()
 	replay := h.Replay()
+	e.cpMu.Unlock()
 	for _, t := range replay {
 		fn(t)
 	}
-	e.taps[p] = append(e.taps[p], func(_ int, t stream.Tuple) { fn(t) })
+	// Copy-on-write so the emit hot path reads taps with one atomic load.
+	nm := map[query.Port][]op.Emit{}
+	if old := e.taps.Load(); old != nil {
+		for k, v := range *old {
+			nm[k] = v
+		}
+	}
+	nm[p] = append(append([]op.Emit(nil), nm[p]...), func(_ int, t stream.Tuple) { fn(t) })
+	e.taps.Store(&nm)
 	return len(replay), nil
 }
 
@@ -634,9 +713,7 @@ func (e *Engine) EarliestDependency() (uint64, bool) {
 	}
 	for _, b := range e.topo {
 		for _, q := range b.inQ {
-			for i := 0; i < q.count; i++ {
-				note(q.buf[(q.head+i)%len(q.buf)].t.Seq)
-			}
+			q.ForEach(func(en entry) { note(en.t.Seq) })
 		}
 		if s, ok := b.inst.(op.Stateful); ok {
 			if seq, ok := s.EarliestSeq(); ok {
@@ -681,7 +758,11 @@ func (e *Engine) Network() *query.Network { return e.net }
 func (e *Engine) Clock() Clock { return e.clock }
 
 // Ingested returns the number of tuples offered to the engine.
-func (e *Engine) Ingested() uint64 { return e.ingested }
+func (e *Engine) Ingested() uint64 { return e.ingested.Load() }
+
+// Steps returns the number of scheduling decisions executed (serial steps
+// plus parallel trains).
+func (e *Engine) Steps() uint64 { return e.steps.Load() }
 
 // Metrics returns the engine's metric registry (counters, trace component
 // histograms, per-output latency histograms).

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/qos"
@@ -20,19 +21,23 @@ type Monitor struct {
 func NewMonitor(c Clock) *Monitor { return &Monitor{clock: c} }
 
 // outputState tracks one application output's deliveries against its QoS
-// specification.
+// specification. mu guards the observation state: in parallel mode every
+// worker whose train reaches an output observes concurrently, and the
+// shedder's noteDrop runs on ingest goroutines.
 type outputState struct {
-	name      string
-	spec      *qos.Spec
-	valueIdx  int
-	latency   *metrics.Histogram
+	name     string
+	spec     *qos.Spec
+	valueIdx int
+	latency  *metrics.Histogram
+	// relay marks an output whose tuples continue to another node; traced
+	// spans are not finalized at relay outputs.
+	relay bool
+
+	mu        sync.Mutex
 	utilSum   float64 // sum of per-tuple latency*value utility
 	delivered uint64
 	dropped   uint64
 	lastTuple stream.Tuple
-	// relay marks an output whose tuples continue to another node; traced
-	// spans are not finalized at relay outputs.
-	relay bool
 }
 
 func newOutputState(o *query.Output, schema *stream.Schema, reg *metrics.Registry) (*outputState, error) {
@@ -70,9 +75,18 @@ func (os *outputState) observe(t stream.Tuple, now int64) {
 	if os.valueIdx >= 0 {
 		u *= os.spec.Value.Utility(t.Field(os.valueIdx).AsFloat())
 	}
+	os.mu.Lock()
 	os.utilSum += u
 	os.delivered++
 	os.lastTuple = t
+	os.mu.Unlock()
+}
+
+// noteDrop charges one shed tuple against the output's loss accounting.
+func (os *outputState) noteDrop() {
+	os.mu.Lock()
+	os.dropped++
+	os.mu.Unlock()
 }
 
 // OutputReport summarizes one output's observed QoS.
@@ -91,21 +105,24 @@ type OutputReport struct {
 }
 
 func (os *outputState) report() OutputReport {
+	os.mu.Lock()
+	delivered, dropped, utilSum := os.delivered, os.dropped, os.utilSum
+	os.mu.Unlock()
 	r := OutputReport{
 		Name:      os.name,
-		Delivered: os.delivered,
-		Dropped:   os.dropped,
+		Delivered: delivered,
+		Dropped:   dropped,
 		Latency:   os.latency.Snapshot(),
 	}
-	total := os.delivered + os.dropped
+	total := delivered + dropped
 	if total == 0 {
 		r.DeliveredFraction = 1
 		return r
 	}
-	r.DeliveredFraction = float64(os.delivered) / float64(total)
+	r.DeliveredFraction = float64(delivered) / float64(total)
 	mean := 0.0
-	if os.delivered > 0 {
-		mean = os.utilSum / float64(os.delivered)
+	if delivered > 0 {
+		mean = utilSum / float64(delivered)
 	}
 	lossU := 1.0
 	if os.spec != nil && os.spec.Loss != nil {

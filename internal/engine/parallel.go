@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// This file is the parallel wall-clock execution path: a worker pool
+// where the scheduler dispatches conflict-free box trains to idle
+// workers. The ownership protocol is simple and strict — a box instance
+// is owned by at most one worker at a time (boxState.running, guarded by
+// the dispatcher mutex), so operators stay single-threaded internally and
+// each box consumes its input queues in FIFO order. Emissions are
+// buffered per worker during the train and merged through the router
+// while the worker still owns the box, so downstream delivery order per
+// (box, port) is exactly the box's emission order. The deterministic
+// virtual-clock path stays serial and byte-identical: Config.Workers with
+// a VirtualClock is rejected in New, and RunParallel panics on one.
+
+// dispatcher coordinates one RunParallel invocation. The mutex guards the
+// scheduler, box ownership flags, and the idle/busy accounting; the cond
+// wakes waiting workers when a train completes (possibly freeing a box or
+// producing downstream work) or when Ingest delivers from outside.
+type dispatcher struct {
+	e     *Engine
+	mu    sync.Mutex
+	cond  *sync.Cond
+	busy  int // workers currently executing a train
+	done  bool
+	steps uint64
+}
+
+// kick wakes idle workers; Ingest calls it after delivering new work.
+func (d *dispatcher) kick() {
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// next picks the best (box, port, train) among boxes no worker owns,
+// via the scheduler when it speaks ParallelScheduler, else a longest-
+// queue fallback. Callers hold d.mu.
+func (d *dispatcher) next() (*boxState, int, int) {
+	free := func(b *boxState) bool { return !b.running }
+	if ps, ok := d.e.sched.(ParallelScheduler); ok {
+		return ps.NextFree(d.e, free)
+	}
+	var best *boxState
+	bestPort, bestLen := 0, 0
+	for _, b := range d.e.topo {
+		if b.running {
+			continue
+		}
+		for p, q := range b.inQ {
+			if n := q.Len(); n > bestLen {
+				best, bestPort, bestLen = b, p, n
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, 0
+	}
+	train := bestLen
+	if train > DefaultMaxTrain {
+		train = DefaultMaxTrain
+	}
+	return best, bestPort, train
+}
+
+// pendEmit is one buffered box emission awaiting the router merge.
+type pendEmit struct {
+	port int
+	t    stream.Tuple
+}
+
+// worker is one pool member's reusable state.
+type worker struct {
+	id   int // 1-based; stamped into trace stages
+	pend []pendEmit
+}
+
+// Run executes queued work with the configured policy: the worker pool
+// when Config.Workers > 1 on a wall clock, the serial loop otherwise. It
+// returns the number of scheduling decisions executed.
+func (e *Engine) Run() int {
+	if e.workers > 1 && e.vclock == nil {
+		return e.RunParallel(e.workers)
+	}
+	return e.RunUntilIdle(0)
+}
+
+// Workers returns the configured worker-pool size (0 or 1 means serial).
+func (e *Engine) Workers() int { return e.workers }
+
+// RunParallel drains queued work with a pool of workers and returns the
+// number of trains executed. It returns when every queue is empty and
+// every worker idle; tuples Ingested concurrently are picked up until
+// that quiescent instant. Only one RunParallel may be in flight at a
+// time, and it requires a wall clock — deterministic virtual time is
+// serial by design.
+func (e *Engine) RunParallel(workers int) int {
+	if e.vclock != nil {
+		panic("engine.RunParallel requires a wall clock: virtual time is serial by design")
+	}
+	if workers <= 1 {
+		return e.RunUntilIdle(0)
+	}
+	total := 0
+	for {
+		d := &dispatcher{e: e}
+		d.cond = sync.NewCond(&d.mu)
+		if !e.disp.CompareAndSwap(nil, d) {
+			panic("engine: concurrent RunParallel invocations")
+		}
+		var wg sync.WaitGroup
+		for i := 1; i <= workers; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				e.runWorker(d, &worker{id: id})
+			}(i)
+		}
+		wg.Wait()
+		e.disp.Store(nil)
+		total += int(d.steps)
+		// Quiescent: no queued work, no owner anywhere. Give time-driven
+		// operators their Advance; if that emitted fresh work, run
+		// another round.
+		e.advanceTimeSensitive(e.clock.Now())
+		if e.QueuedTuples() == 0 {
+			return total
+		}
+	}
+}
+
+// runWorker is one pool member's loop: ask the dispatcher for a
+// conflict-free train, run it, repeat; sleep when nothing is runnable but
+// a peer is still busy (its merge may produce work); exit when the whole
+// engine is idle.
+func (e *Engine) runWorker(d *dispatcher, w *worker) {
+	d.mu.Lock()
+	for !d.done {
+		b, port, train := d.next()
+		if b == nil {
+			if d.busy == 0 {
+				// Nothing queued and nobody running: the pool is done.
+				d.done = true
+				d.cond.Broadcast()
+				break
+			}
+			d.cond.Wait()
+			continue
+		}
+		b.running = true
+		d.busy++
+		d.mu.Unlock()
+
+		e.runTrain(w, b, port, train)
+
+		d.mu.Lock()
+		b.running = false
+		d.busy--
+		d.steps++
+		// The train may have filled downstream queues, and this box is
+		// free again: let waiting workers re-evaluate.
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// runTrain executes one scheduling decision on a box the worker owns:
+// pop up to train tuples, push them through the operator with emissions
+// buffered per worker, advance the operator's clock obligations, then
+// merge the buffered emissions through the router — all before ownership
+// is released, so per-(box, port) delivery order is the box's emission
+// order. It returns the number of tuples processed.
+func (e *Engine) runTrain(w *worker, b *boxState, port, train int) int {
+	start := e.clock.Now()
+	emit := func(p int, t stream.Tuple) {
+		b.outCount.Add(1)
+		if t.Span == nil {
+			// Derived tuples inherit the span of the tuple being
+			// processed, exactly like the serial emit closure.
+			t.Span = b.cur
+		}
+		w.pend = append(w.pend, pendEmit{port: p, t: t})
+	}
+	processed := 0
+	for i := 0; i < train; i++ {
+		en, ok := b.inQ[port].Pop()
+		if !ok {
+			break
+		}
+		e.qBytes.Add(int64(-en.t.MemSize()))
+		b.wait.Observe(float64(start - en.enq))
+		b.inCount.Add(1)
+		if sp := en.t.Span; sp != nil {
+			sp.MarkWorker(trace.KindQueue, b.id, w.id, start)
+			b.cur = sp
+		}
+		b.inst.Process(port, en.t, emit)
+		b.cur = nil
+		processed++
+	}
+	if processed > 0 {
+		elapsed := e.clock.Now() - start
+		b.cost.Observe(float64(elapsed) / float64(processed))
+		b.workNs.Add(elapsed)
+		e.busyCtr.Add(elapsed)
+	}
+	// Time obligations for the owned box only; other time-driven boxes
+	// get theirs when a worker owns them or at pool quiescence.
+	if _, ok := b.inst.(interface{ TimeDriven() }); ok {
+		b.inst.Advance(e.clock.Now(), emit)
+	}
+	// Merge: route the buffered emissions in emission order while the box
+	// is still owned.
+	if len(w.pend) > 0 {
+		now := e.clock.Now()
+		for _, pe := range w.pend {
+			e.routeEmit(b, pe.port, w.id, pe.t, now)
+		}
+		w.pend = w.pend[:0]
+	}
+	if e.shedder != nil {
+		e.shedder.Control(e)
+	}
+	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
+		e.SampleStats(e.clock.Now())
+	}
+	return processed
+}

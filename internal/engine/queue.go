@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/stream"
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
 
 // entry is one queued tuple plus the time it entered the queue, so the
 // engine can measure per-box queueing delay — TB in §7.1 "implicitly
@@ -10,36 +14,83 @@ type entry struct {
 	enq int64
 }
 
-// entryQueue is a growable FIFO ring of entries with byte accounting,
-// mirroring stream.Queue but carrying enqueue timestamps.
+// minQueueCap is the smallest ring a queue keeps; Pop shrinks back toward
+// it so a one-off burst does not pin peak capacity forever.
+const minQueueCap = 8
+
+// entryQueue is a growable-and-shrinkable FIFO ring of entries with byte
+// accounting, mirroring stream.Queue but carrying enqueue timestamps. All
+// operations are mutex-guarded: in parallel mode the owning worker pops
+// while upstream workers and external Ingest goroutines push, and the
+// handover through the lock is what gives span marks and tuple state their
+// happens-before edge between boxes.
 type entryQueue struct {
+	mu    sync.Mutex
 	buf   []entry
 	head  int
 	count int
 	bytes int
 }
 
-func newEntryQueue() *entryQueue { return &entryQueue{buf: make([]entry, 8)} }
+func newEntryQueue() *entryQueue { return &entryQueue{buf: make([]entry, minQueueCap)} }
 
-func (q *entryQueue) Len() int   { return q.count }
-func (q *entryQueue) Bytes() int { return q.bytes }
+func (q *entryQueue) Len() int {
+	q.mu.Lock()
+	n := q.count
+	q.mu.Unlock()
+	return n
+}
+
+func (q *entryQueue) Bytes() int {
+	q.mu.Lock()
+	b := q.bytes
+	q.mu.Unlock()
+	return b
+}
+
+// Cap returns the current ring capacity (for the shrink regression test).
+func (q *entryQueue) Cap() int {
+	q.mu.Lock()
+	c := len(q.buf)
+	q.mu.Unlock()
+	return c
+}
+
+// OldestEnq returns the enqueue time of the tuple at the head, for the
+// QoS scheduler's urgency computation.
+func (q *entryQueue) OldestEnq() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return 0, false
+	}
+	return q.buf[q.head].enq, true
+}
+
+// ForEach visits every queued entry oldest-first under the queue lock.
+func (q *entryQueue) ForEach(fn func(entry)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := 0; i < q.count; i++ {
+		fn(q.buf[(q.head+i)%len(q.buf)])
+	}
+}
 
 func (q *entryQueue) Push(t stream.Tuple, now int64) {
+	q.mu.Lock()
 	if q.count == len(q.buf) {
-		nb := make([]entry, len(q.buf)*2)
-		for i := 0; i < q.count; i++ {
-			nb[i] = q.buf[(q.head+i)%len(q.buf)]
-		}
-		q.buf = nb
-		q.head = 0
+		q.resize(len(q.buf) * 2)
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = entry{t: t, enq: now}
 	q.count++
 	q.bytes += t.MemSize()
+	q.mu.Unlock()
 }
 
 func (q *entryQueue) Pop() (entry, bool) {
+	q.mu.Lock()
 	if q.count == 0 {
+		q.mu.Unlock()
 		return entry{}, false
 	}
 	e := q.buf[q.head]
@@ -47,5 +98,26 @@ func (q *entryQueue) Pop() (entry, bool) {
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
 	q.bytes -= e.t.MemSize()
+	// Shrink once occupancy falls below a quarter of capacity so a burst
+	// does not pin its peak ring for the rest of the process lifetime.
+	if len(q.buf) > minQueueCap && q.count < len(q.buf)/4 {
+		nc := len(q.buf) / 2
+		if nc < minQueueCap {
+			nc = minQueueCap
+		}
+		q.resize(nc)
+	}
+	q.mu.Unlock()
 	return e, true
+}
+
+// resize moves the ring into a buffer of capacity nc >= count; callers
+// hold q.mu.
+func (q *entryQueue) resize(nc int) {
+	nb := make([]entry, nc)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
 }

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+)
+
+// The entryQueue used to grow forever: a one-off burst pinned its peak
+// ring for the rest of the process lifetime. These are the regression
+// tests for the shrink-on-Pop fix and for the byte accounting that the
+// storage manager's pressure signal is computed from.
+
+func TestEntryQueueFIFOAndBytes(t *testing.T) {
+	q := newEntryQueue()
+	wantBytes := 0
+	for i := 0; i < 100; i++ {
+		tp := tuple(int64(i), int64(i*2))
+		wantBytes += tp.MemSize()
+		q.Push(tp, int64(i))
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", q.Bytes(), wantBytes)
+	}
+	if enq, ok := q.OldestEnq(); !ok || enq != 0 {
+		t.Fatalf("OldestEnq = %d, %v", enq, ok)
+	}
+	for i := 0; i < 100; i++ {
+		en, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d failed", i)
+		}
+		if got := en.t.Field(0).AsInt(); got != int64(i) {
+			t.Fatalf("Pop %d: A = %d (FIFO violated)", i, got)
+		}
+		wantBytes -= en.t.MemSize()
+		if q.Bytes() != wantBytes {
+			t.Fatalf("after pop %d: Bytes = %d, want %d", i, q.Bytes(), wantBytes)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+	if q.Bytes() != 0 || q.Len() != 0 {
+		t.Fatalf("drained queue: Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+}
+
+func TestEntryQueueShrinksAfterBurst(t *testing.T) {
+	q := newEntryQueue()
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		q.Push(tuple(1, int64(i)), 0)
+	}
+	peak := q.Cap()
+	if peak < burst {
+		t.Fatalf("Cap = %d after %d pushes", peak, burst)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	if c := q.Cap(); c != minQueueCap {
+		t.Errorf("Cap after drain = %d, want %d (peak was %d)", c, minQueueCap, peak)
+	}
+	// The ring must stay correct across shrink: refill past the small cap
+	// and check order survives the regrow.
+	for i := 0; i < 20; i++ {
+		q.Push(tuple(int64(i), 0), 0)
+	}
+	for i := 0; i < 20; i++ {
+		en, ok := q.Pop()
+		if !ok || en.t.Field(0).AsInt() != int64(i) {
+			t.Fatalf("post-shrink FIFO broken at %d (ok=%v)", i, ok)
+		}
+	}
+}
+
+func TestEntryQueueShrinkKeepsSteadyOccupancy(t *testing.T) {
+	// A queue hovering at moderate depth must not thrash: shrink only
+	// fires below quarter occupancy, so capacity tracks the working set.
+	q := newEntryQueue()
+	for i := 0; i < 1000; i++ {
+		q.Push(tuple(1, int64(i)), 0)
+		q.Push(tuple(2, int64(i)), 0)
+		q.Pop()
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if c := q.Cap(); c < q.Len() || c > 4*q.Len() {
+		t.Errorf("Cap = %d for occupancy %d", c, q.Len())
+	}
+}
+
+func TestEngineQueuedBytesReturnsToZero(t *testing.T) {
+	// Engine-level byte accounting regression: qBytes is maintained
+	// atomically at push/pop across both execution paths and must return
+	// to zero when the network drains.
+	e, _ := newVirtualEngine(t, chainNet(t, nil), Config{})
+	for i := 0; i < 200; i++ {
+		e.Ingest("in", tuple(int64(i%3), int64(i)))
+	}
+	if e.QueuedBytes() == 0 {
+		t.Fatal("queued bytes should be nonzero before running")
+	}
+	e.Drain()
+	if got := e.QueuedBytes(); got != 0 {
+		t.Errorf("QueuedBytes after drain = %d, want 0", got)
+	}
+	if e.QueuedTuples() != 0 {
+		t.Errorf("QueuedTuples after drain = %d", e.QueuedTuples())
+	}
+}

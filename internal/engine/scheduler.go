@@ -11,6 +11,18 @@ type Scheduler interface {
 	Next(e *Engine) (b *boxState, port int, train int)
 }
 
+// ParallelScheduler is a Scheduler that can restrict its choice to boxes
+// the dispatcher marks as free — a box instance is owned by at most one
+// worker at a time, so parallel dispatch asks the scheduler for the best
+// train among the boxes nobody is currently running. free == nil means
+// every box is eligible (the serial case); all built-in schedulers
+// implement this, keeping the execution policy swappable between the
+// serial and parallel paths.
+type ParallelScheduler interface {
+	Scheduler
+	NextFree(e *Engine, free func(*boxState) bool) (b *boxState, port int, train int)
+}
+
 // RoundRobinScheduler visits boxes cyclically, processing at most Train
 // tuples per visit. It is the per-tuple / small-batch baseline that train
 // scheduling is measured against (experiment E02).
@@ -30,9 +42,17 @@ func NewRoundRobinScheduler(train int) *RoundRobinScheduler {
 
 // Next implements Scheduler.
 func (s *RoundRobinScheduler) Next(e *Engine) (*boxState, int, int) {
+	return s.NextFree(e, nil)
+}
+
+// NextFree implements ParallelScheduler.
+func (s *RoundRobinScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState, int, int) {
 	n := len(e.topo)
 	for i := 0; i < n; i++ {
 		b := e.topo[(s.pos+i)%n]
+		if free != nil && !free(b) {
+			continue
+		}
 		for p, q := range b.inQ {
 			if q.Len() > 0 {
 				s.pos = (s.pos + i + 1) % n
@@ -60,12 +80,20 @@ func NewTrainScheduler(maxTrain int) *TrainScheduler {
 
 // Next implements Scheduler.
 func (s *TrainScheduler) Next(e *Engine) (*boxState, int, int) {
+	return s.NextFree(e, nil)
+}
+
+// NextFree implements ParallelScheduler.
+func (s *TrainScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState, int, int) {
 	var best *boxState
 	bestPort, bestLen := 0, 0
 	for _, b := range e.topo {
+		if free != nil && !free(b) {
+			continue
+		}
 		for p, q := range b.inQ {
-			if q.Len() > bestLen {
-				best, bestPort, bestLen = b, p, q.Len()
+			if n := q.Len(); n > bestLen {
+				best, bestPort, bestLen = b, p, n
 			}
 		}
 	}
@@ -106,20 +134,32 @@ func NewQoSScheduler(maxTrain int, budget int64) *QoSScheduler {
 
 // Next implements Scheduler.
 func (s *QoSScheduler) Next(e *Engine) (*boxState, int, int) {
+	return s.NextFree(e, nil)
+}
+
+// NextFree implements ParallelScheduler.
+func (s *QoSScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState, int, int) {
 	now := e.clock.Now()
 	var best *boxState
 	bestPort := 0
 	bestScore := -1.0
 	for _, b := range e.topo {
+		if free != nil && !free(b) {
+			continue
+		}
 		for p, q := range b.inQ {
-			if q.Len() == 0 {
+			n := q.Len()
+			if n == 0 {
 				continue
 			}
 			// Urgency: age of the oldest tuple relative to the budget,
 			// weighted by queue length so bulk work still gets served.
-			oldest := q.buf[q.head]
-			age := float64(now - oldest.enq)
-			score := age/float64(s.Budget) + 0.001*float64(q.Len())
+			oldest, ok := q.OldestEnq()
+			if !ok {
+				continue
+			}
+			age := float64(now - oldest)
+			score := age/float64(s.Budget) + 0.001*float64(n)
 			if score > bestScore {
 				best, bestPort, bestScore = b, p, score
 			}

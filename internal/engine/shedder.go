@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/op"
 	"repro/internal/qos"
@@ -55,17 +57,23 @@ type ShedConfig struct {
 // Shedding happens at ingest, before any processing is invested in a
 // tuple — the cheapest place to discard (§2.3).
 type Shedder struct {
-	cfg   ShedConfig
-	rng   *rand.Rand
-	dropP float64
+	cfg ShedConfig
 
+	// mu guards the control-loop and policy state (rng, drop rate, value
+	// ring): in parallel mode ShouldDrop runs on ingest goroutines while
+	// Control runs on workers. The counters are atomic so telemetry
+	// (/metrics, SampleStats, dspstat) reads a consistent snapshot without
+	// taking the policy lock.
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropP     float64
 	valueExpr op.Expr
 	values    []float64 // ring of recent value-utilities for quantiles
 	valuePos  int
 	threshold float64
 
-	dropped   uint64
-	inspected uint64
+	dropped   atomic.Uint64
+	inspected atomic.Uint64
 }
 
 // NewShedder builds a shedder; for ShedQoS the value expression is bound
@@ -115,6 +123,8 @@ func NewShedder(cfg ShedConfig, net *query.Network) (*Shedder, error) {
 // engine after every step).
 func (s *Shedder) Control(e *Engine) {
 	q := e.QueuedTuples()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch {
 	case q > s.cfg.QueueHigh:
 		s.dropP += s.cfg.StepUp
@@ -131,8 +141,10 @@ func (s *Shedder) Control(e *Engine) {
 
 // ShouldDrop decides one tuple's fate at ingest.
 func (s *Shedder) ShouldDrop(e *Engine, input string, t stream.Tuple) bool {
-	s.inspected++
+	inspected := s.inspected.Add(1)
+	s.mu.Lock()
 	if s.dropP <= 0 {
+		s.mu.Unlock()
 		return false
 	}
 	drop := false
@@ -145,27 +157,29 @@ func (s *Shedder) ShouldDrop(e *Engine, input string, t stream.Tuple) bool {
 			break
 		}
 		u := s.cfg.ValueGraph.Utility(s.valueExpr.Eval(t).AsFloat())
-		s.observeValue(u)
+		s.observeValue(u, inspected)
 		// Drop the tuples in the lowest dropP quantile of recent value
 		// utility: same volume shed as random, but the cheapest tuples.
 		drop = u <= s.threshold
 	}
+	s.mu.Unlock()
 	if drop {
-		s.dropped++
+		s.dropped.Add(1)
 	}
 	return drop
 }
 
 // observeValue maintains the rolling value-utility sample and refreshes
-// the drop threshold to the dropP-quantile every 128 observations.
-func (s *Shedder) observeValue(u float64) {
+// the drop threshold to the dropP-quantile every 128 observations;
+// callers hold s.mu.
+func (s *Shedder) observeValue(u float64, inspected uint64) {
 	if len(s.values) < cap(s.values) {
 		s.values = append(s.values, u)
 	} else {
 		s.values[s.valuePos] = u
 		s.valuePos = (s.valuePos + 1) % len(s.values)
 	}
-	if len(s.values) >= 32 && s.inspected%128 == 0 {
+	if len(s.values) >= 32 && inspected%128 == 0 {
 		tmp := append([]float64(nil), s.values...)
 		sort.Float64s(tmp)
 		idx := int(s.dropP * float64(len(tmp)))
@@ -177,7 +191,14 @@ func (s *Shedder) observeValue(u float64) {
 }
 
 // DropRate returns the current controlled drop probability.
-func (s *Shedder) DropRate() float64 { return s.dropP }
+func (s *Shedder) DropRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropP
+}
 
 // Dropped returns how many tuples the shedder has discarded.
-func (s *Shedder) Dropped() uint64 { return s.dropped }
+func (s *Shedder) Dropped() uint64 { return s.dropped.Load() }
+
+// Inspected returns how many tuples the shedder has examined at ingest.
+func (s *Shedder) Inspected() uint64 { return s.inspected.Load() }

@@ -1,16 +1,21 @@
 package engine
 
+import "sync/atomic"
+
 // Storage is the Storage Manager of Fig 3: it buffers queues when main
 // memory runs out, which matters most for connection-point queues that can
 // grow quite long (§2.3). This reproduction models the spill rather than
 // writing to disk: tuples above the memory budget are counted as spilled,
 // the high-water mark is tracked, and experiments read the pressure ratio
 // to decide when reconfiguration or shedding is warranted.
+//
+// All accounting is atomic: in parallel mode every worker's deliveries
+// note their enqueues concurrently.
 type Storage struct {
 	budget       int
-	highWater    int
-	spilledBytes int64
-	spillEvents  int64
+	highWater    atomic.Int64
+	spilledBytes atomic.Int64
+	spillEvents  atomic.Int64
 }
 
 // NewStorage returns a storage manager with the given memory budget in
@@ -25,12 +30,15 @@ func NewStorage(budget int) *Storage {
 // NoteEnqueue records an enqueue of size bytes with the queues at
 // totalBytes afterwards, updating spill accounting.
 func (s *Storage) NoteEnqueue(size, totalBytes int) {
-	if totalBytes > s.highWater {
-		s.highWater = totalBytes
+	for {
+		hw := s.highWater.Load()
+		if int64(totalBytes) <= hw || s.highWater.CompareAndSwap(hw, int64(totalBytes)) {
+			break
+		}
 	}
 	if totalBytes > s.budget {
-		s.spilledBytes += int64(size)
-		s.spillEvents++
+		s.spilledBytes.Add(int64(size))
+		s.spillEvents.Add(1)
 	}
 }
 
@@ -38,17 +46,17 @@ func (s *Storage) NoteEnqueue(size, totalBytes int) {
 func (s *Storage) Budget() int { return s.budget }
 
 // HighWater returns the largest total queue footprint observed.
-func (s *Storage) HighWater() int { return s.highWater }
+func (s *Storage) HighWater() int { return int(s.highWater.Load()) }
 
 // SpilledBytes returns the cumulative bytes enqueued beyond the budget —
 // bytes that a disk-backed store would have written.
-func (s *Storage) SpilledBytes() int64 { return s.spilledBytes }
+func (s *Storage) SpilledBytes() int64 { return s.spilledBytes.Load() }
 
 // SpillEvents returns how many enqueues landed beyond the budget.
-func (s *Storage) SpillEvents() int64 { return s.spillEvents }
+func (s *Storage) SpillEvents() int64 { return s.spillEvents.Load() }
 
 // Pressure returns the ratio of the high-water mark to the budget;
 // values above 1 mean the node has been paging queues.
 func (s *Storage) Pressure() float64 {
-	return float64(s.highWater) / float64(s.budget)
+	return float64(s.highWater.Load()) / float64(s.budget)
 }

@@ -124,6 +124,7 @@ func Registry() []Experiment {
 		{"E14", "medusa economy", E14Economy},
 		{"E15", "remote definition", E15RemoteDefinition},
 		{"E16", "chaos fault schedules", E16Chaos},
+		{"E18", "parallel engine worker scaling", E18Parallel},
 		{"A01", "ablation: detection timeout", A01Detection},
 		{"A02", "ablation: flow-message period", A02FlowPeriod},
 	}

@@ -46,6 +46,14 @@ type Operator interface {
 	Flush(emit Emit)
 }
 
+// TimeDriven marks operators whose Advance does real, time-triggered work
+// (WSort's timeout emission). The engine advances only these after box
+// executions instead of sweeping every box — operators embedding base get
+// a no-op Advance and need no sweep at all.
+type TimeDriven interface {
+	TimeDriven()
+}
+
 // Spec is the wire description of an operator: a registry kind plus string
 // parameters. Expressions travel in their concrete syntax.
 type Spec struct {

@@ -130,6 +130,10 @@ func (w *WSort) Process(_ int, t stream.Tuple, emit Emit) {
 	}
 }
 
+// TimeDriven marks WSort as needing Advance calls: its timeout obligation
+// must be met even when no tuples arrive.
+func (w *WSort) TimeDriven() {}
+
 // Advance implements Operator: each timeout period with a non-empty buffer
 // emits the minimum-key tuples.
 func (w *WSort) Advance(now int64, emit Emit) {

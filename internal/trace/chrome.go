@@ -62,6 +62,12 @@ func ChromeTrace(events []Event) []byte {
 		if ev.TraceID != 0 {
 			ce.Args = map[string]any{"trace": ev.TraceID}
 		}
+		if ev.Worker != 0 {
+			if ce.Args == nil {
+				ce.Args = map[string]any{}
+			}
+			ce.Args["worker"] = ev.Worker
+		}
 		if ev.Kind == KindMark {
 			ce.Ph, ce.S = "i", "p"
 		} else {

@@ -12,8 +12,9 @@ type Event struct {
 	Node    string `json:"node"`
 	Name    string `json:"name"`
 	Kind    Kind   `json:"kind"`
-	Start   int64  `json:"start"` // ns
-	Dur     int64  `json:"dur"`   // ns, 0 for instantaneous marks
+	Start   int64  `json:"start"`            // ns
+	Dur     int64  `json:"dur"`              // ns, 0 for instantaneous marks
+	Worker  int    `json:"worker,omitempty"` // engine worker id, 0 = serial path
 }
 
 // Recorder is a fixed-size flight-recorder ring: the last N events, cheap

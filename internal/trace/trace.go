@@ -66,6 +66,10 @@ type Stage struct {
 	Name  string // box id, link label, or output name
 	Start int64  // ns, in the clock domain the segment was measured in
 	Dur   int64  // ns
+	// Worker identifies which engine worker executed the segment (1-based;
+	// 0 means the serial path). Stage detail is node-local and never
+	// crosses the wire, so this field does not affect the codec.
+	Worker int
 }
 
 // Span is the per-tuple trace context. It is created by a Tracer at
@@ -96,6 +100,13 @@ type Span struct {
 // given component and advances the cursor. Zero-length segments update
 // the cursor but record no stage.
 func (s *Span) Mark(kind Kind, name string, now int64) {
+	s.MarkWorker(kind, name, 0, now)
+}
+
+// MarkWorker is Mark with worker attribution: the parallel engine stamps
+// each segment with the 1-based id of the worker that executed it, so a
+// Chrome trace can lane spans by worker and contention is visible.
+func (s *Span) MarkWorker(kind Kind, name string, worker int, now int64) {
 	if s == nil || s.done {
 		return
 	}
@@ -111,7 +122,7 @@ func (s *Span) Mark(kind Kind, name string, now int64) {
 		return
 	}
 	if d != 0 && len(s.Stages) < maxStages {
-		s.Stages = append(s.Stages, Stage{Kind: kind, Name: name, Start: s.Cursor, Dur: d})
+		s.Stages = append(s.Stages, Stage{Kind: kind, Name: name, Start: s.Cursor, Dur: d, Worker: worker})
 	}
 	s.Cursor = now
 }
@@ -210,7 +221,7 @@ func (t *Tracer) Complete(s *Span, output string, now int64) {
 	}
 	for _, st := range s.Stages {
 		t.rec.Add(Event{TraceID: s.ID, Node: t.node, Name: st.Name, Kind: st.Kind,
-			Start: st.Start, Dur: st.Dur})
+			Start: st.Start, Dur: st.Dur, Worker: st.Worker})
 	}
 	t.rec.Add(Event{TraceID: s.ID, Node: t.node, Name: output, Kind: KindDeliver,
 		Start: s.Birth, Dur: s.End - s.Birth})
