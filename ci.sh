@@ -37,6 +37,28 @@ echo "== parallel speedup guard"
 # comparison would measure nothing but context switching.
 CI_PARALLEL_GUARD=1 go test ./internal/engine/ -run TestParallelSpeedupGuard -count=1 -v
 
+echo "== split equivalence battery"
+# The §5.1 split contract under the race detector: the op-level
+# quick-check property battery (merge(combine, split_k(input)) equals the
+# unsplit operator over seeded random trains), the engine-level serial vs
+# split-N equivalence tests, the replica scheduler/dispatcher pins, and
+# the randomized split/unsplit churn storm.
+go test -race ./internal/op/ -run 'TestQuickSplit|TestSplitProfile' -count=1 -timeout 120s
+go test -race ./internal/engine/ -run 'Split' -count=1 -timeout 180s
+
+echo "== autosplit speedup guard"
+# Four workers plus the autosplit controller must beat four workers alone
+# by >= 2x on the Zipf hot-aggregate chain — a worker pool cannot
+# parallelize a single hot box, only a key-sharded split can. The test
+# skips itself below 4 CPUs.
+CI_AUTOSPLIT_GUARD=1 go test ./internal/engine/ -run TestAutoSplitSpeedupGuard -count=1 -v
+
+echo "== kill-mid-split chaos"
+# A fault schedule that crashes a node while its box runs split must
+# still satisfy all four k-safety oracles, plus the split-overlay seed
+# sweep.
+go test ./internal/chaos/ -run 'Split' -count=1 -timeout 300s
+
 echo "== transport churn guard"
 # The reconnect/churn tests leak-check the transport's goroutines; run
 # them twice back to back so a goroutine left behind by round one trips

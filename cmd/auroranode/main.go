@@ -170,6 +170,7 @@ func main() {
 		linkBuf  = flag.Int("link-buffer", 1024, "messages buffered per peer link across reconnects")
 		haRoutes = flag.Bool("ha-routes", true, "frame routed outputs with the HA link protocol (sequence, retain, replay on reconnect, dedup downstream)")
 		workers  = flag.Int("workers", 0, "engine worker pool size for wall-clock execution (0 or 1 = serial)")
+		autoN    = flag.Int("autosplit", 0, "key-shard a hot box into N replicas at runtime when the stats plane flags it (0 disables; needs a splittable operator)")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -194,6 +195,11 @@ func main() {
 		plane = stats.NewPlane(*id, statsPer.Nanoseconds(), *statsWin, 0)
 		ecfg.Stats = plane.Store()
 		ecfg.StatsEvery = 64
+	}
+	if *autoN > 0 {
+		// The controller rides the stats plane; without -stats the engine
+		// creates a private windowed store just for hot-box detection.
+		ecfg.AutoSplit = &engine.AutoSplitConfig{Replicas: *autoN}
 	}
 	eng, err := engine.New(net, ecfg)
 	if err != nil {

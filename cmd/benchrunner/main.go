@@ -2,8 +2,10 @@
 // the command line: every figure of the paper has an experiment (E01..E16,
 // plus E18's parallel worker-scaling sweep and the ablations) whose table
 // this tool prints. The checked-in bench/BENCH_E18.json is the
-// worker-scaling baseline (workers 1, 2, 4 over conflict-free chains);
-// refresh it with `benchrunner -exp E18 -json bench/`.
+// worker-scaling baseline (workers 1, 2, 4 over conflict-free chains)
+// and bench/BENCH_E18B.json the runtime-autosplit baseline (serial vs
+// 4 workers vs 4 workers + hot-box autosplit on Zipf keys); refresh them
+// with `benchrunner -exp E18 -json bench/` and `-exp E18B`.
 //
 // Usage:
 //

@@ -49,7 +49,7 @@ func Generate(seed int64) Schedule {
 	for tries := 0; len(s.Events) < want && tries < want*8; tries++ {
 		var e Event
 		at := genFaultStart + r.Int63n(genFaultEnd-genFaultStart)
-		switch roll := r.Intn(10); {
+		switch roll := r.Intn(12); {
 		case roll < 2: // short crash: restart before detection
 			e = Event{Kind: Crash, At: at,
 				Dur:  genShortMin + r.Int63n(genShortMax-genShortMin),
@@ -70,10 +70,17 @@ func Generate(seed int64) Schedule {
 				Dur:  5e6 + r.Int63n(25e6),
 				A:    a, B: b,
 				Loss: 0.2 + 0.4*r.Float64()}
-		default: // load burst
+		case roll < 10: // load burst
 			e = Event{Kind: Burst, At: at,
 				Dur:  5e6 + r.Int63n(15e6),
 				Mult: 2 + r.Intn(3)}
+		default: // runtime box split: key-shard a worker's box, maybe forever
+			e = Event{Kind: Split, At: at,
+				Node: workerPick(r, s.Workers),
+				Mult: 2 + r.Intn(3)}
+			if r.Intn(3) > 0 {
+				e.Dur = 5e6 + r.Int63n(25e6)
+			}
 		}
 		switch e.Kind {
 		case Crash:

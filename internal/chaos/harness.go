@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -71,6 +72,8 @@ type Result struct {
 
 	Crashes     int
 	Recoveries  int
+	Splits      int // forced box splits that actually took effect
+	Unsplits    int // forced un-splits that actually took effect
 	Resent      uint64 // gap-repair retransmissions
 	Suppressed  uint64 // duplicates absorbed by the link filters
 	TruncLeaked int    // truncated tuples whose id never reached the sink
@@ -171,6 +174,25 @@ func Run(s Schedule) *Result {
 			sim.Schedule(e.At+e.Dur, func() { sim.SetLoss(e.A, e.B, 0) })
 		case Burst:
 			// handled by the arrival generator below
+		case Split:
+			// Forced transitions are best-effort: a crash may have taken
+			// the node down (the split dissolves with the engine's
+			// volatile state) or a failover may have moved the box, and
+			// either way the oracles must still hold — that interaction
+			// is exactly what this event kind exists to exercise.
+			box := chainBoxOf(e.Node)
+			sim.Schedule(e.At, func() {
+				if c.ForceSplit(e.Node, box, e.Mult) == nil {
+					r.Splits++
+				}
+			})
+			if e.Dur > 0 {
+				sim.Schedule(e.At+e.Dur, func() {
+					if c.ForceUnsplit(e.Node, box) == nil {
+						r.Unsplits++
+					}
+				})
+			}
 		}
 		if e.Kind != Crash && e.At+e.Dur > lastFaultEnd {
 			lastFaultEnd = e.At + e.Dur
@@ -318,6 +340,15 @@ func buildChain(workers int) (*query.Network, map[string]string) {
 		assign[names[i]] = fmt.Sprintf("n%d", i)
 	}
 	return net, assign
+}
+
+// chainBoxOf maps a worker node to the chain box it hosts: buildChain
+// assigns b_i to n_i (and b0 to src).
+func chainBoxOf(node string) string {
+	if node == "src" {
+		return "b0"
+	}
+	return "b" + strings.TrimPrefix(node, "n")
 }
 
 var chaosSchema = stream.MustSchema("ab",

@@ -1,7 +1,8 @@
 // Package chaos is a seed-reproducible fault-injection harness for the §6
 // high-availability machinery. It drives randomized fault schedules — node
 // crashes and restarts, link partitions and heals, lossy links, load
-// bursts — against a core.Cluster running over netsim, and after every
+// bursts, forced box split/unsplit transitions — against a core.Cluster
+// running over netsim, and after every
 // schedule machine-verifies four oracles:
 //
 //  1. no loss: with at most k concurrent failures, every ingested tuple
@@ -46,6 +47,14 @@ const (
 	Lossy EventKind = "lossy"
 	// Burst multiplies the arrival rate by Mult during [At, At+Dur).
 	Burst EventKind = "burst"
+	// Split forces the box hosted on Node into Mult key-sharded replicas
+	// at At (§5.1 box splitting as a runtime execution strategy); if
+	// Dur > 0 the box folds back at At+Dur, otherwise it stays split.
+	// A split is engine-volatile: a crash dissolves it with the rest of
+	// the engine state, so Split destroys nothing, silences nothing, and
+	// never counts against the k budget — but a node killed mid-split
+	// must still satisfy every oracle, which is the point of injecting it.
+	Split EventKind = "split"
 )
 
 // Event is one typed fault at a simulator timestamp. Events are
@@ -121,6 +130,16 @@ func (s Schedule) Validate() error {
 			if e.Mult < 2 || e.Dur == 0 {
 				return fmt.Errorf("chaos: event %d: burst needs Mult >= 2 and Dur > 0", i)
 			}
+		case Split:
+			if !valid[e.Node] {
+				return fmt.Errorf("chaos: event %d: unknown node %q", i, e.Node)
+			}
+			if e.Node == "src" {
+				return fmt.Errorf("chaos: event %d: src hosts the entry box and cannot split", i)
+			}
+			if e.Mult < 2 {
+				return fmt.Errorf("chaos: event %d: split needs Mult >= 2 replicas", i)
+			}
 		default:
 			return fmt.Errorf("chaos: event %d: unknown kind %q", i, e.Kind)
 		}
@@ -143,7 +162,7 @@ func failureInterval(e Event) (start, end int64) {
 
 // MaxConcurrentFailures returns the largest number of crash events whose
 // failure intervals overlap — the schedule's k budget. Partitions, loss,
-// and bursts destroy no state and do not count.
+// bursts, and splits destroy no state and do not count.
 func (s Schedule) MaxConcurrentFailures() int {
 	type edge struct {
 		at    int64
@@ -216,6 +235,8 @@ func kindIdent(k EventKind) string {
 		return "Lossy"
 	case Burst:
 		return "Burst"
+	case Split:
+		return "Split"
 	}
 	return string(k)
 }

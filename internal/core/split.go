@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// ForceSplit key-shards a box hosted on a node into n replica copies via
+// the engine's runtime partition machinery (§5.1 box splitting promoted
+// to an execution strategy). The split is engine-local volatile state: a
+// crash wipes it with the rest of the engine, and the rebuilt engine
+// comes back unsplit — which is exactly why the chaos harness can kill a
+// node mid-split and still demand the k-safety oracles hold.
+func (c *Cluster) ForceSplit(node, box string, n int) error {
+	h, err := c.hostOf(node, box)
+	if err != nil {
+		return err
+	}
+	return h.eng.SplitBox(box, n)
+}
+
+// ForceUnsplit folds a ForceSplit box back into its unsplit form,
+// draining replica and merge state through the normal output path first.
+// It errors if the box is not currently split — e.g. a crash already
+// dissolved the split along with the engine.
+func (c *Cluster) ForceUnsplit(node, box string) error {
+	h, err := c.hostOf(node, box)
+	if err != nil {
+		return err
+	}
+	return h.eng.UnsplitBox(box)
+}
+
+// SplitActive reports whether a box on a node currently runs as an
+// active replica partition.
+func (c *Cluster) SplitActive(node, box string) bool {
+	h, err := c.hostOf(node, box)
+	if err != nil {
+		return false
+	}
+	st, ok := h.eng.BoxSplit(box)
+	return ok && st.Active
+}
+
+// hostOf locates the engine host on a live node whose piece contains the
+// box. Adopted pieces count: after a failover the adopter can split the
+// adopted box too.
+func (c *Cluster) hostOf(node, box string) (*engineHost, error) {
+	sn, ok := c.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", node)
+	}
+	if c.sim.Down(node) {
+		return nil, fmt.Errorf("core: node %q is down", node)
+	}
+	for _, h := range sn.hosts {
+		for _, id := range h.piece.Boxes() {
+			if id == box {
+				return h, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: box %q not hosted on %q", box, node)
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/op"
+	"repro/internal/stats"
+)
+
+// AutoSplitConfig tunes the runtime hot-box controller (§5.2's "shifting
+// boxes around" turned into intra-node, intra-operator parallelism): the
+// engine watches the stats plane for a box burning a disproportionate
+// share of a core behind a standing backlog, splits it into key-sharded
+// replicas so the worker pool can spread its load, and folds it back
+// when the load subsides. Zero fields take defaults.
+type AutoSplitConfig struct {
+	// Replicas is how many shards a split creates. 0 means the worker
+	// pool size (minimum 2).
+	Replicas int
+	// Hot holds the detection thresholds; zero fields get the
+	// stats.HotSpec defaults.
+	Hot stats.HotSpec
+	// CheckEvery evaluates the controller every N stats samples; 0 or 1
+	// means every sample.
+	CheckEvery int
+	// HoldHot is how many consecutive hot verdicts a box must collect
+	// before it is split, and HoldCool how many consecutive cool
+	// verdicts before an active split folds back — the dwell hysteresis
+	// that keeps oscillating load from flapping the topology ("shifting
+	// boxes around too frequently could lead to instability", §5.2).
+	// Zero means 2 and 4 respectively.
+	HoldHot  int
+	HoldCool int
+	// WindowNs sizes the private stats store the engine creates when
+	// Config.Stats is nil (0 means 25 ms windows). Ignored when a shared
+	// store is configured.
+	WindowNs int64
+}
+
+// autoSplit is the controller state: dwell counters per candidate, the
+// currently split box (one split at a time — the simplest stable
+// policy), and the precomputed set of boxes whose operators declared a
+// split contract.
+type autoSplit struct {
+	cfg AutoSplitConfig
+
+	mu       sync.Mutex
+	checks   uint64
+	hot      map[string]int // consecutive hot verdicts per eligible box
+	cool     int            // consecutive cool verdicts for the active split
+	target   string         // box split (or requested) by this controller
+	eligible []string
+}
+
+func newAutoSplit(e *Engine, cfg AutoSplitConfig) *autoSplit {
+	if cfg.Replicas < 2 {
+		cfg.Replicas = e.workers
+		if cfg.Replicas < 2 {
+			cfg.Replicas = 2
+		}
+	}
+	cfg.Hot = cfg.Hot.WithDefaults()
+	if cfg.HoldHot <= 0 {
+		cfg.HoldHot = 2
+	}
+	if cfg.HoldCool <= 0 {
+		cfg.HoldCool = 4
+	}
+	a := &autoSplit{cfg: cfg, hot: map[string]int{}}
+	// Eligibility is a static property of the spec (op.Splitter), so
+	// compute it once instead of re-probing every check.
+	for _, id := range e.net.Boxes() {
+		if _, err := op.SplitProfileFor(e.net.Box(id).Spec); err == nil {
+			a.eligible = append(a.eligible, id)
+		}
+	}
+	return a
+}
+
+// autosplitCheck is the hot-box control loop, invoked at stats-sample
+// boundaries on both execution paths (Step and runTrain). It only ever
+// *requests* transitions — the actual split/unsplit runs at the next
+// step/train boundary where box ownership is safe to take.
+func (e *Engine) autosplitCheck(now int64) {
+	a := e.auto
+	if a == nil || e.draining.Load() {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	if a.cfg.CheckEvery > 1 && a.checks%uint64(a.cfg.CheckEvery) != 0 {
+		return
+	}
+	if a.target != "" {
+		st, ok := e.BoxSplit(a.target)
+		switch {
+		case ok && st.Active:
+			if a.cfg.Hot.Cool(e.stats, st.Replicas, now) {
+				a.cool++
+			} else {
+				a.cool = 0
+			}
+			if a.cool >= a.cfg.HoldCool {
+				e.RequestUnsplit(a.target)
+				a.target, a.cool = "", 0
+			}
+		case e.pendTrans.Load() == nil:
+			// The split request was dropped (Drain) or failed; resume
+			// scanning. While a request is still pending, keep waiting.
+			a.target, a.cool = "", 0
+		}
+		return
+	}
+	for _, id := range a.eligible {
+		if a.cfg.Hot.Hot(e.stats, id, now) {
+			a.hot[id]++
+		} else {
+			a.hot[id] = 0
+		}
+	}
+	for _, id := range a.eligible {
+		if a.hot[id] >= a.cfg.HoldHot {
+			e.RequestSplit(id, a.cfg.Replicas)
+			a.target = id
+			a.hot[id] = 0
+			return
+		}
+	}
+}

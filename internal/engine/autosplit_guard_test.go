@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// hotAggNet is one chain whose windowed aggregate burns almost all the
+// CPU: a cheap pass-all filter feeding a tumble whose `on` expression is
+// deeply nested arithmetic. A worker pool alone cannot parallelize the
+// single hot box; only a key-sharded split can.
+func hotAggNet(t *testing.T, depth int) *query.Network {
+	t.Helper()
+	expr := "B"
+	for i := 0; i < depth; i++ {
+		expr = "(((" + expr + " * 3) + 7) % 100003)"
+	}
+	n, err := query.NewBuilder("hotagg").
+		AddBox("f", filterSpec("B < 1000000")).
+		AddBox("hot", op.Spec{Kind: "tumble", Params: map[string]string{
+			"agg": "sum", "on": expr, "groupby": "A"}}).
+		Connect("f", "hot").
+		BindInput("in", tSchema, "f", 0).
+		BindOutput("out", "hot", 0, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// zipfTrain draws burst keys from a Zipf distribution so hot keys
+// dominate — the skew regime E18b measures.
+func zipfTrain(n int, seed int64) []stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.15, 1, 255)
+	out := make([]stream.Tuple, 0, n)
+	for len(out) < n {
+		k := int64(z.Uint64())
+		for j := 0; j < 8 && len(out) < n; j++ {
+			out = append(out, tuple(k, rng.Int63n(1000)))
+		}
+	}
+	return out
+}
+
+// TestAutoSplitSpeedupGuard is the CI throughput gate for the runtime
+// split: 4 workers with the autosplit controller must beat 4 workers
+// without it by >= 2x on the Zipf hot-aggregate workload. Env-gated like
+// the other guards, and skipped below 4 CPUs where the comparison would
+// measure only context switching.
+func TestAutoSplitSpeedupGuard(t *testing.T) {
+	if os.Getenv("CI_AUTOSPLIT_GUARD") == "" {
+		t.Skip("set CI_AUTOSPLIT_GUARD=1 to run the autosplit speedup guard")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 CPUs for the speedup guard, have %d", runtime.GOMAXPROCS(0))
+	}
+	const per = 120_000
+	in := zipfTrain(per, 42)
+	run := func(auto bool) (time.Duration, uint64) {
+		cfg := Config{Workers: 4}
+		if auto {
+			cfg.StatsEvery = 4
+			cfg.AutoSplit = &AutoSplitConfig{
+				Replicas: 4, WindowNs: 2e6, CheckEvery: 1, HoldHot: 1, HoldCool: 50,
+				Hot: stats.HotSpec{WorkFrac: 0.2, CoolFrac: 0.05, MinQueue: 4, Windows: 1},
+			}
+		}
+		e := newWallEngine(t, hotAggNet(t, 40), cfg)
+		for _, tp := range in {
+			e.Ingest("in", tp)
+		}
+		start := time.Now()
+		e.Run()
+		e.Drain()
+		splits, _ := e.SplitCounts()
+		return time.Since(start), splits
+	}
+	best := func(auto bool) (time.Duration, uint64) {
+		d, s := run(auto)
+		if d2, s2 := run(auto); d2 < d {
+			d, s = d2, s2
+		}
+		return d, s
+	}
+	plain, _ := best(false)
+	split, splits := best(true)
+	if splits == 0 {
+		t.Fatal("autosplit never fired; the guard measured nothing")
+	}
+	speedup := float64(plain) / float64(split)
+	t.Logf("4 workers %v, +autosplit %v (splits=%d), speedup %.2fx", plain, split, splits, speedup)
+	if speedup < 2.0 {
+		t.Errorf("autosplit speedup %.2fx < 2x (plain %v, split %v)", speedup, plain, split)
+	}
+}

@@ -48,6 +48,14 @@ type Config struct {
 	// error — deterministic virtual time is serial by design, so netsim
 	// experiments stay byte-identical.
 	Workers int
+	// AutoSplit enables the runtime hot-box controller: the engine
+	// watches the stats plane for a box burning a disproportionate share
+	// of a core behind a backlog, splits it into key-sharded replicas,
+	// and folds it back when load subsides. Nil disables the controller;
+	// explicit SplitBox/UnsplitBox calls work either way. When AutoSplit
+	// is set and Stats is nil, the engine creates a private store sized
+	// by AutoSplitConfig.WindowNs.
+	AutoSplit *AutoSplitConfig
 }
 
 // OutputFn receives tuples delivered to a named application output.
@@ -68,10 +76,17 @@ type Engine struct {
 	vclock *VirtualClock
 	sched  Scheduler
 
-	boxes   map[string]*boxState
-	topo    []*boxState
+	// snapPtr is the atomically swapped topology snapshot: every
+	// iteration over the engine's boxes (schedulers, stats sampling,
+	// drains, queue accounting) loads it once and walks an immutable
+	// slice, so runtime split/merge transitions can grow and shrink the
+	// box set without racing readers. topoMu serializes the swaps and
+	// the split/unsplit transitions themselves.
+	snapPtr atomic.Pointer[topoSnap]
+	topoMu  sync.Mutex
 	outputs map[string]*outputState
 	inputs  map[string][]route
+	defCost int64
 
 	storage *Storage
 	monitor *Monitor
@@ -106,12 +121,21 @@ type Engine struct {
 
 	// Parallel runtime state: the configured pool size, the active
 	// dispatcher (nil when no RunParallel is in flight; Ingest kicks it so
-	// idle workers notice externally arriving work), time-driven operators
-	// that need Advance calls, and the advance dedup timestamp.
-	workers       int
-	disp          atomic.Pointer[dispatcher]
-	timeSensitive []*boxState
-	lastAdvance   atomic.Int64
+	// idle workers notice externally arriving work), and the advance
+	// dedup timestamp. Time-driven operators live in the topo snapshot.
+	workers     int
+	disp        atomic.Pointer[dispatcher]
+	lastAdvance atomic.Int64
+
+	// Runtime split/merge state: the pending transition request slot
+	// (consumed at step/train boundaries, where ownership is safe to
+	// take), the autosplit controller, transition counters, and the
+	// drain latch that parks transitions while Drain stabilizes the
+	// network.
+	pendTrans            atomic.Pointer[transRequest]
+	auto                 *autoSplit
+	splitCtr, unsplitCtr atomic.Uint64
+	draining             atomic.Bool
 
 	// qBytes is the total bytes across all box input queues, maintained at
 	// push/pop so storage accounting never walks every queue.
@@ -148,6 +172,18 @@ type boxState struct {
 	// dispatcher mutex and never set on the serial path.
 	running bool
 
+	// replica is the 1-based ordinal of a key-partition replica box
+	// (0 for ordinary boxes), parentID names the split box a replica or
+	// merge box belongs to, part points at the attached partition when
+	// this box is split (loaded lock-free on the delivery hot path), and
+	// cached retains a built partition across split/unsplit cycles so
+	// repeated oscillation neither regrows the topology nor resets the
+	// replicas' monotonic stats counters. cached is guarded by topoMu.
+	replica  int
+	parentID string
+	part     atomic.Pointer[partition]
+	cached   *partition
+
 	// cur is the span of the tuple currently being processed: emitted
 	// tuples inherit it so the trace follows derivation through the box.
 	// Only the box's current owner (the serial loop, or the one worker
@@ -156,16 +192,31 @@ type boxState struct {
 	cur *trace.Span
 }
 
+// topoSnap is one immutable snapshot of the engine's executable box set:
+// the scheduling order (replicas and merge boxes sit directly after
+// their parent, preserving topological order), the time-driven subset,
+// and the id index. Split/unsplit transitions build a fresh snapshot and
+// swap the pointer; readers hold a loaded snapshot for at most one pass.
+type topoSnap struct {
+	boxes []*boxState
+	timed []*boxState // operators whose Advance does time-triggered work
+	byID  map[string]*boxState
+}
+
+// snap returns the current topology snapshot.
+func (e *Engine) snap() *topoSnap { return e.snapPtr.Load() }
+
 // New builds an engine for the network with live operator instances.
 func New(net *query.Network, cfg Config) (*Engine, error) {
 	e := &Engine{
 		net:     net,
-		boxes:   map[string]*boxState{},
 		outputs: map[string]*outputState{},
 		inputs:  map[string][]route{},
 		cpHist:  map[query.Port]*stream.History{},
 		reg:     metrics.NewRegistry(),
 	}
+	boxes := map[string]*boxState{}
+	var topo, timed []*boxState
 	e.clock = cfg.Clock
 	if e.clock == nil {
 		e.clock = WallClock{}
@@ -201,9 +252,9 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		}
 	}
 
-	defCost := cfg.DefaultBoxCost
-	if defCost <= 0 {
-		defCost = 1000
+	e.defCost = cfg.DefaultBoxCost
+	if e.defCost <= 0 {
+		e.defCost = 1000
 	}
 
 	// Instantiate boxes.
@@ -219,7 +270,7 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 			id:       id,
 			inst:     inst,
 			inQ:      make([]*entryQueue, inst.NumIn()),
-			virtCost: defCost,
+			virtCost: e.defCost,
 			cost:     metrics.NewEWMA(0.2),
 			wait:     metrics.NewEWMA(0.2),
 		}
@@ -230,13 +281,13 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 			b.inQ[i] = newEntryQueue()
 		}
 		b.downstream = make([][]route, inst.NumOut())
-		e.boxes[id] = b
-		e.topo = append(e.topo, b)
+		boxes[id] = b
+		topo = append(topo, b)
 		if _, ok := inst.(op.TimeDriven); ok {
 			// Only time-driven operators (WSort timeouts) do work in
 			// Advance; sweeping every box after every train was O(boxes)
 			// of no-op virtual calls.
-			e.timeSensitive = append(e.timeSensitive, b)
+			timed = append(timed, b)
 		}
 	}
 
@@ -251,18 +302,18 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 
 	// Wire arcs and bindings into routes.
 	for _, a := range net.Arcs() {
-		from := e.boxes[a.From.Box]
+		from := boxes[a.From.Box]
 		from.downstream[a.From.Port] = append(from.downstream[a.From.Port],
-			route{box: e.boxes[a.To.Box], port: a.To.Port})
+			route{box: boxes[a.To.Box], port: a.To.Port})
 	}
 	for name, o := range net.Outputs() {
-		from := e.boxes[o.Src.Box]
+		from := boxes[o.Src.Box]
 		from.downstream[o.Src.Port] = append(from.downstream[o.Src.Port],
 			route{out: e.outputs[name]})
 	}
 	for name, in := range net.Inputs() {
 		for _, d := range in.Dests {
-			e.inputs[name] = append(e.inputs[name], route{box: e.boxes[d.Box], port: d.Port})
+			e.inputs[name] = append(e.inputs[name], route{box: boxes[d.Box], port: d.Port})
 		}
 	}
 
@@ -277,18 +328,10 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	// Per-box emit closures (the Router of Fig 3). This is the serial
 	// path; parallel workers buffer emits per worker and merge them
 	// through routeEmit afterwards.
-	for _, b := range e.boxes {
-		bb := b
-		bb.emit = func(port int, t stream.Tuple) {
-			bb.outCount.Add(1)
-			if t.Span == nil {
-				// Derived tuples (window aggregates, joins) inherit the
-				// span of the tuple being processed.
-				t.Span = bb.cur
-			}
-			e.routeEmit(bb, port, 0, t, e.clock.Now())
-		}
+	for _, b := range boxes {
+		b.emit = e.makeEmit(b)
 	}
+	e.snapPtr.Store(&topoSnap{boxes: topo, timed: timed, byID: boxes})
 
 	// Shedder, with per-box drop attribution: one counter per destination
 	// box of each input, so the stats plane can see which boxes shedding
@@ -307,7 +350,36 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	if cfg.AutoSplit != nil {
+		if e.stats == nil {
+			win := cfg.AutoSplit.WindowNs
+			if win <= 0 {
+				win = 25e6 // 25 ms: fine-grained enough for runtime control
+			}
+			e.stats = stats.NewStore(win, 16)
+			e.statsEvery = uint64(cfg.StatsEvery)
+			if e.statsEvery == 0 {
+				e.statsEvery = 64
+			}
+		}
+		e.auto = newAutoSplit(e, *cfg.AutoSplit)
+	}
 	return e, nil
+}
+
+// makeEmit builds a box's serial emit closure (the Router of Fig 3);
+// partition replicas and merge boxes get the same closure shape when a
+// split attaches them at runtime.
+func (e *Engine) makeEmit(b *boxState) op.Emit {
+	return func(port int, t stream.Tuple) {
+		b.outCount.Add(1)
+		if t.Span == nil {
+			// Derived tuples (window aggregates, joins) inherit the
+			// span of the tuple being processed.
+			t.Span = b.cur
+		}
+		e.routeEmit(b, port, 0, t, e.clock.Now())
+	}
 }
 
 // routeEmit is the router half of a box emission shared by the serial
@@ -326,7 +398,7 @@ func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now in
 			tap(0, t)
 		}
 	}
-	t.Span.MarkWorker(trace.KindProc, b.id, worker, now)
+	t.Span.MarkReplica(trace.KindProc, b.id, worker, b.replica, now)
 	e.deliver(b.downstream[port], t, now)
 }
 
@@ -368,6 +440,13 @@ func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
 			continue
 		}
 		size := tt.MemSize()
+		if p := r.box.part.Load(); p != nil && p.admit(tt, now) {
+			// The box is split: the tuple went to the key-owning replica
+			// instead of the parent queue (the hash-partitioning route
+			// step of §5.1).
+			e.storage.NoteEnqueue(size, int(e.qBytes.Add(int64(size))))
+			continue
+		}
 		r.box.inQ[r.port].Push(tt, now)
 		e.storage.NoteEnqueue(size, int(e.qBytes.Add(int64(size))))
 	}
@@ -465,7 +544,7 @@ func (e *Engine) Step() bool {
 		b.wait.Observe(float64(start - en.enq))
 		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
-			sp.Mark(trace.KindQueue, b.id, start)
+			sp.MarkReplica(trace.KindQueue, b.id, 0, b.replica, start)
 			b.cur = sp
 		}
 		b.inst.Process(port, en.t, b.emit)
@@ -494,7 +573,11 @@ func (e *Engine) Step() bool {
 	}
 	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
 		e.SampleStats(now)
+		e.autosplitCheck(now)
 	}
+	// Step is the serial path, so the step boundary owns every box:
+	// apply any requested split/unsplit transition directly.
+	e.applyPendingSerial()
 	return true
 }
 
@@ -504,10 +587,11 @@ func (e *Engine) Step() bool {
 // since the last advance — the serial engine used to sweep Advance over
 // every box after every train, O(boxes) of no-op virtual calls per step.
 func (e *Engine) advanceTimeSensitive(now int64) {
-	if len(e.timeSensitive) == 0 || e.lastAdvance.Swap(now) == now {
+	timed := e.snap().timed
+	if len(timed) == 0 || e.lastAdvance.Swap(now) == now {
 		return
 	}
-	for _, b := range e.timeSensitive {
+	for _, b := range timed {
 		b.inst.Advance(now, b.emit)
 	}
 }
@@ -522,7 +606,7 @@ func (e *Engine) SampleStats(now int64) {
 	if e.stats == nil {
 		return
 	}
-	for _, b := range e.topo {
+	for _, b := range e.snap().boxes {
 		queued := 0
 		for _, q := range b.inQ {
 			queued += q.Len()
@@ -582,19 +666,42 @@ func (e *Engine) AdvanceTime(d int64) {
 // results between flushes — the stabilization step of §5.1: inputs are
 // choked off (the caller simply stops Ingesting), queued tuples drain,
 // and windowed state is forced out so the network is empty and can be
-// manipulated.
+// manipulated. Split/unsplit transitions are parked while draining (a
+// pending request is dropped: re-partitioning an empty network is pure
+// churn), and the flush passes repeat until no box emits anything new,
+// so runtime-attached merge networks whose flushes feed further boxes
+// still empty completely.
 func (e *Engine) Drain() {
+	e.draining.Store(true)
+	defer e.draining.Store(false)
+	e.pendTrans.Store(nil)
 	e.RunUntilIdle(0)
-	for _, b := range e.topo {
-		b.inst.Flush(b.emit)
-		e.RunUntilIdle(0)
+	for {
+		before := e.emittedTotal()
+		for _, b := range e.snap().boxes {
+			b.inst.Flush(b.emit)
+			e.RunUntilIdle(0)
+		}
+		if e.emittedTotal() == before && e.QueuedTuples() == 0 {
+			return
+		}
 	}
+}
+
+// emittedTotal sums every box's emission count — Drain's fixpoint
+// measure.
+func (e *Engine) emittedTotal() int64 {
+	var total int64
+	for _, b := range e.snap().boxes {
+		total += b.outCount.Load()
+	}
+	return total
 }
 
 // QueuedTuples returns the total number of tuples waiting in box queues.
 func (e *Engine) QueuedTuples() int {
 	total := 0
-	for _, b := range e.topo {
+	for _, b := range e.snap().boxes {
 		for _, q := range b.inQ {
 			total += q.Len()
 		}
@@ -620,7 +727,7 @@ type BoxStats struct {
 
 // Stats returns the current statistics for the named box.
 func (e *Engine) Stats(boxID string) (BoxStats, bool) {
-	b, ok := e.boxes[boxID]
+	b, ok := e.snap().byID[boxID]
 	if !ok {
 		return BoxStats{}, false
 	}
@@ -645,8 +752,9 @@ func (e *Engine) Stats(boxID string) (BoxStats, bool) {
 
 // AllStats returns stats for every box in topological order.
 func (e *Engine) AllStats() []BoxStats {
-	out := make([]BoxStats, 0, len(e.topo))
-	for _, b := range e.topo {
+	boxes := e.snap().boxes
+	out := make([]BoxStats, 0, len(boxes))
+	for _, b := range boxes {
 		s, _ := e.Stats(b.id)
 		out = append(out, s)
 	}
@@ -711,7 +819,7 @@ func (e *Engine) EarliestDependency() (uint64, bool) {
 			min, found = seq, true
 		}
 	}
-	for _, b := range e.topo {
+	for _, b := range e.snap().boxes {
 		for _, q := range b.inQ {
 			q.ForEach(func(en entry) { note(en.t.Seq) })
 		}

@@ -49,7 +49,7 @@ func (d *dispatcher) next() (*boxState, int, int) {
 	}
 	var best *boxState
 	bestPort, bestLen := 0, 0
-	for _, b := range d.e.topo {
+	for _, b := range d.e.snap().boxes {
 		if b.running {
 			continue
 		}
@@ -142,6 +142,14 @@ func (e *Engine) RunParallel(workers int) int {
 func (e *Engine) runWorker(d *dispatcher, w *worker) {
 	d.mu.Lock()
 	for !d.done {
+		// A requested split/unsplit gets first claim on box ownership at
+		// every train boundary, so the transition wins the race against
+		// re-dispatching the hot box to another worker. When the involved
+		// boxes are still owned, fall through to normal dispatch — the
+		// owner's completion broadcast triggers the retry.
+		if e.pendTrans.Load() != nil && e.tryApplyPendingParallel(d) {
+			continue
+		}
 		b, port, train := d.next()
 		if b == nil {
 			if d.busy == 0 {
@@ -197,7 +205,7 @@ func (e *Engine) runTrain(w *worker, b *boxState, port, train int) int {
 		b.wait.Observe(float64(start - en.enq))
 		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
-			sp.MarkWorker(trace.KindQueue, b.id, w.id, start)
+			sp.MarkReplica(trace.KindQueue, b.id, w.id, b.replica, start)
 			b.cur = sp
 		}
 		b.inst.Process(port, en.t, emit)
@@ -228,7 +236,9 @@ func (e *Engine) runTrain(w *worker, b *boxState, port, train int) int {
 		e.shedder.Control(e)
 	}
 	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
-		e.SampleStats(e.clock.Now())
+		now := e.clock.Now()
+		e.SampleStats(now)
+		e.autosplitCheck(now)
 	}
 	return processed
 }

@@ -47,9 +47,10 @@ func (s *RoundRobinScheduler) Next(e *Engine) (*boxState, int, int) {
 
 // NextFree implements ParallelScheduler.
 func (s *RoundRobinScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState, int, int) {
-	n := len(e.topo)
+	topo := e.snap().boxes
+	n := len(topo)
 	for i := 0; i < n; i++ {
-		b := e.topo[(s.pos+i)%n]
+		b := topo[(s.pos+i)%n]
 		if free != nil && !free(b) {
 			continue
 		}
@@ -87,7 +88,7 @@ func (s *TrainScheduler) Next(e *Engine) (*boxState, int, int) {
 func (s *TrainScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState, int, int) {
 	var best *boxState
 	bestPort, bestLen := 0, 0
-	for _, b := range e.topo {
+	for _, b := range e.snap().boxes {
 		if free != nil && !free(b) {
 			continue
 		}
@@ -143,7 +144,7 @@ func (s *QoSScheduler) NextFree(e *Engine, free func(*boxState) bool) (*boxState
 	var best *boxState
 	bestPort := 0
 	bestScore := -1.0
-	for _, b := range e.topo {
+	for _, b := range e.snap().boxes {
 		if free != nil && !free(b) {
 			continue
 		}

@@ -38,7 +38,7 @@ func overload(e *Engine, n int) {
 	// processing capacity: per-tuple box cost is set by the test config,
 	// and the arrival gap is half of it, so queues grow until the control
 	// loop sheds.
-	gap := e.topo[0].virtCost / 2
+	gap := e.snap().boxes[0].virtCost / 2
 	if gap < 1 {
 		gap = 1
 	}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// E18bAutoSplit measures runtime intra-operator parallelism (§5.1 box
+// splitting promoted to an execution strategy): one chain whose windowed
+// aggregate burns almost all the CPU, fed Zipf-skewed keys. Serially and
+// with a 4-worker pool the single hot box caps throughput near 1x — a
+// pool cannot parallelize one box. With the autosplit controller on, the
+// stats plane flags the box hot, the engine key-shards it into replicas
+// across the workers, and merges replica output through the combine
+// chain; throughput then scales with the workers (sub-linear to the
+// extent the Zipf head pins its shard). The checksum column is the
+// equivalence witness: sum is combined by summing, so the total of all
+// emitted window results is invariant under any split.
+func E18bAutoSplit(scale float64) *Table {
+	t := &Table{ID: "E18B",
+		Title:  "runtime hot-box autosplit on Zipf keys (wall clock, 1 chain)",
+		Header: []string{"config", "tuples", "wall ms", "Ktuples/s", "speedup", "splits", "windows", "checksum"}}
+
+	per := scaled(120_000, scale)
+	in := zipfBursts(per, 256, 1.15, 8, 42)
+
+	build := func() *query.Network {
+		return query.NewBuilder("e18b").
+			AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000000"}}).
+			AddBox("hot", op.Spec{Kind: "tumble", Params: map[string]string{
+				"agg": "sum", "on": heavyExpr(40), "groupby": "A"}}).
+			Connect("f", "hot").
+			BindInput("in", abSchema, "f", 0).
+			BindOutput("out", "hot", 0, nil).
+			MustBuild()
+	}
+
+	run := func(workers int, auto bool) (el time.Duration, splits uint64, windows int, checksum int64) {
+		cfg := engine.Config{Workers: workers}
+		if auto {
+			cfg.StatsEvery = 4
+			cfg.AutoSplit = &engine.AutoSplitConfig{
+				Replicas: 4, WindowNs: 2e6, CheckEvery: 1, HoldHot: 1, HoldCool: 50,
+				Hot: stats.HotSpec{WorkFrac: 0.2, CoolFrac: 0.05, MinQueue: 4, Windows: 1},
+			}
+		}
+		e, err := engine.New(build(), cfg)
+		if err != nil {
+			panic(err)
+		}
+		var mu sync.Mutex
+		e.OnOutput(func(_ string, tp stream.Tuple) {
+			mu.Lock()
+			windows++
+			checksum += tp.Field(1).AsInt()
+			mu.Unlock()
+		})
+		for _, tp := range in {
+			e.Ingest("in", tp)
+		}
+		start := time.Now()
+		e.Run()
+		e.Drain()
+		el = time.Since(start)
+		splits, _ = e.SplitCounts()
+		return el, splits, windows, checksum
+	}
+
+	rows := []struct {
+		name    string
+		workers int
+		auto    bool
+	}{
+		{"serial", 0, false},
+		{"4 workers", 4, false},
+		{"4 workers + autosplit", 4, true},
+	}
+	var serialMs float64
+	for _, rc := range rows {
+		el, splits, windows, checksum := run(rc.workers, rc.auto)
+		ms := float64(el.Nanoseconds()) / 1e6
+		if serialMs == 0 {
+			serialMs = ms
+		}
+		t.Add(rc.name, per, ms, float64(per)/1e3/(ms/1e3), serialMs/ms, splits, windows, checksum)
+	}
+	t.Note("single hot aggregate: the pool alone cannot beat serial; autosplit key-shards it across the %d-cap pool (GOMAXPROCS %d)", 4, runtime.GOMAXPROCS(0))
+	t.Note("checksum = sum of all emitted window results; sum combines by summing, so it is split-invariant")
+	return t
+}
+
+// heavyExpr builds a deeply nested arithmetic expression over B, the
+// per-tuple CPU burn that makes the aggregate box hot. The running mod
+// keeps values bounded, so the sum checksum cannot overflow.
+func heavyExpr(depth int) string {
+	x := "B"
+	for i := 0; i < depth; i++ {
+		x = "(((" + x + " * 3) + 7) % 100003)"
+	}
+	return x
+}
+
+// zipfBursts draws burst keys from a Zipf distribution over [0, keys) and
+// emits `burst` consecutive tuples per key — hot keys dominate, and runs
+// exist for the run-based windows to close on key change.
+func zipfBursts(n, keys int, s float64, burst int, seed int64) []stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+	out := make([]stream.Tuple, 0, n)
+	for len(out) < n {
+		k := int64(z.Uint64())
+		for j := 0; j < burst && len(out) < n; j++ {
+			out = append(out, stream.Tuple{Seq: uint64(len(out) + 1), TS: int64(len(out) + 1),
+				Vals: []stream.Value{stream.Int(k), stream.Int(rng.Int63n(1000))}})
+		}
+	}
+	return out
+}

@@ -29,36 +29,20 @@ type SplitInfo struct {
 // Splittable reports whether a box of the given spec can be split
 // transparently (§5.1): single-input single-output boxes whose results can
 // be merged. Tumble requires its aggregate to have a combination function;
-// avg, for instance, cannot be split.
+// avg, for instance, cannot be split. The per-operator contract lives in
+// op.SplitProfileFor, shared with the engine's runtime partitioning.
 func Splittable(spec op.Spec) error {
-	switch spec.Kind {
-	case op.KindFilter:
-		if fp := spec.Params["falseport"]; fp == "true" {
-			return fmt.Errorf("loadmgr: dual-output filter cannot be split")
-		}
-		return nil
-	case op.KindMap, op.KindWSort:
-		return nil
-	case op.KindTumble:
-		aggName := spec.Params["agg"]
-		agg, err := op.LookupAggregate(aggName)
-		if err != nil {
-			return fmt.Errorf("loadmgr: %w", err)
-		}
-		if !agg.Combinable() {
-			return fmt.Errorf("loadmgr: aggregate %q has no combination function; Tumble cannot be split (§5.1)", aggName)
-		}
-		return nil
-	default:
-		return fmt.Errorf("loadmgr: operator kind %q is not splittable", spec.Kind)
+	if _, err := op.SplitProfileFor(spec); err != nil {
+		return fmt.Errorf("loadmgr: %w", err)
 	}
+	return nil
 }
 
 // MergeWSortTimeout is the timeout given to the WSort inside a Tumble
 // split's merge network. The paper's worked example assumes "a large
 // enough timeout argument"; continuous deployments should size it to the
 // expected inter-branch skew.
-const MergeWSortTimeout = int64(1) << 50
+const MergeWSortTimeout = op.SplitMergeTimeout
 
 // Split replaces the named box with its split form: a Filter router with
 // predicate pred partitioning input tuples between two copies of the box,

@@ -1,0 +1,107 @@
+package op
+
+import "fmt"
+
+// SplitMergeTimeout is the WSort timeout used inside a split aggregate's
+// merge network. The paper's worked example assumes "a large enough
+// timeout argument" so the merge sort only releases tuples when the
+// network drains; 2^50 ns (~13 days of wall clock) is far beyond any
+// deployment's split lifetime.
+const SplitMergeTimeout = int64(1) << 50
+
+// SplitProfile is an operator's contract for key-partitioned parallelism
+// (§5.1): how its input may be sharded across N replica instances and how
+// the replicas' interleaved output is folded back into a stream
+// equivalent to the unsplit operator's.
+type SplitProfile struct {
+	// Key lists the input columns that must stay together on one
+	// replica: all tuples sharing the key columns' values are routed to
+	// the same shard, so per-key state (a window run, a sort bucket)
+	// never straddles replicas. Empty means the operator is stateless
+	// per tuple and any sharding — including round-robin — is valid.
+	Key []string
+	// Merge is the chain of single-input operators, in flow order,
+	// applied to the interleaved replica output. Empty means plain
+	// interleaving suffices (the Union of Fig 5 is implicit in queue
+	// delivery). A Tumble split carries the Fig 6 merge network: a WSort
+	// on the group-by attributes with a drain-scale timeout, then a
+	// Tumble applying the combination function such that
+	// agg(S) = combine(agg(S1), ..., agg(Sn)).
+	Merge []Spec
+}
+
+// Splitter is the optional interface of operators that support the split
+// transformation. An operator that does not implement it cannot be
+// split; one that does may still refuse for a specific configuration
+// (a dual-output Filter, a Tumble over a non-combinable aggregate).
+type Splitter interface {
+	SplitProfile() (SplitProfile, error)
+}
+
+// SplitProfileFor builds the spec's operator and asks it for its split
+// profile. It is the single source of truth for splittability: the
+// loadmgr network rewrite and the engine's runtime partitioning both
+// consult it.
+func SplitProfileFor(spec Spec) (SplitProfile, error) {
+	inst, err := Build(spec)
+	if err != nil {
+		return SplitProfile{}, err
+	}
+	sp, ok := inst.(Splitter)
+	if !ok {
+		return SplitProfile{}, fmt.Errorf("operator kind %q is not splittable", spec.Kind)
+	}
+	return sp.SplitProfile()
+}
+
+// SplitProfile implements Splitter: a single-output Filter is stateless,
+// so any sharding works and no merge is needed (Fig 5). The dual-output
+// form cannot be split — its false port is a second result stream the
+// merge machinery has no way to reunite.
+func (f *Filter) SplitProfile() (SplitProfile, error) {
+	if f.dual {
+		return SplitProfile{}, fmt.Errorf("filter: dual-output filter cannot be split")
+	}
+	return SplitProfile{}, nil
+}
+
+// SplitProfile implements Splitter: Map is stateless per tuple.
+func (m *Map) SplitProfile() (SplitProfile, error) { return SplitProfile{}, nil }
+
+// SplitProfile implements Splitter: Tumble shards on its group-by
+// attributes so every window run stays on one replica, and merges with
+// the Fig 6 network — WSort on the group-by columns (drain-release
+// timeout) followed by a Tumble of the combination function over the
+// partial results. Aggregates without a combination function (avg,
+// stddev) refuse to split.
+func (tb *Tumble) SplitProfile() (SplitProfile, error) {
+	if !tb.agg.Combinable() {
+		return SplitProfile{}, fmt.Errorf("tumble: aggregate %q has no combination function; Tumble cannot be split (§5.1)", tb.agg.Name())
+	}
+	groupBy := join(tb.groupBy, ",")
+	return SplitProfile{
+		Key: tb.GroupBy(),
+		Merge: []Spec{
+			{Kind: KindWSort, Params: map[string]string{
+				"attrs":   groupBy,
+				"timeout": fmt.Sprint(SplitMergeTimeout),
+			}},
+			{Kind: KindTumble, Params: map[string]string{
+				"agg":     tb.agg.Combine().Name(),
+				"on":      ResultField,
+				"groupby": groupBy,
+			}},
+		},
+	}, nil
+}
+
+// SplitProfile implements Splitter: WSort shards on its sort attributes
+// (equal-key tuples stay on one replica, preserving their stable arrival
+// order) and re-sorts the interleaved replica output with a second WSort
+// of the same spec.
+func (w *WSort) SplitProfile() (SplitProfile, error) {
+	return SplitProfile{
+		Key:   append([]string(nil), w.attrs...),
+		Merge: []Spec{w.Spec()},
+	}, nil
+}

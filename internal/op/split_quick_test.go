@@ -1,0 +1,347 @@
+package op
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Quick-check battery for the split contract (§5.1): for every splittable
+// operator, sharding a seeded random tuple train across k fresh replica
+// instances by the profile's key and folding the interleaved replica
+// output back through the profile's merge chain must be equivalent to
+// running the unsplit operator — exactly (multiset or sequence) where the
+// operator's semantics allow it, and under the per-key combine fold
+// agg(S) = combine(agg(S1), ..., agg(Sk)) for run-based windows over
+// recurring keys, whose window boundaries key sharding legitimately
+// reshapes.
+
+var splitQuickSchema = stream.MustSchema("sq",
+	stream.Field{Name: "K", Kind: stream.KindInt},
+	stream.Field{Name: "V", Kind: stream.KindInt},
+)
+
+func sqTuple(k, v int64) stream.Tuple {
+	return stream.NewTuple(stream.Int(k), stream.Int(v))
+}
+
+// splitShard mirrors the engine's hash-partitioning route step: FNV-64a
+// over the formatted key columns, round-robin when the profile is keyless.
+func splitShard(t stream.Tuple, keyIdx []int, rr *int, n int) int {
+	if len(keyIdx) == 0 {
+		s := *rr % n
+		*rr++
+		return s
+	}
+	h := fnv.New64a()
+	for _, i := range keyIdx {
+		h.Write([]byte(t.Field(i).Format()))
+		h.Write([]byte{0x1f})
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
+func collectEmit(out *[]stream.Tuple) Emit {
+	return func(_ int, t stream.Tuple) { *out = append(*out, t) }
+}
+
+// runUnsplit pushes the train through one fresh instance and flushes it.
+func runUnsplit(t *testing.T, spec Spec, in []stream.Tuple) []stream.Tuple {
+	t.Helper()
+	inst, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Bind([]*stream.Schema{splitQuickSchema}); err != nil {
+		t.Fatal(err)
+	}
+	var out []stream.Tuple
+	emit := collectEmit(&out)
+	for _, tp := range in {
+		inst.Process(0, tp, emit)
+	}
+	inst.Flush(emit)
+	return out
+}
+
+// runSplit shards the train across k replica instances per the profile's
+// key, flushes each replica, and folds the concatenated replica output
+// through the profile's merge chain stage by stage — the same
+// queue-then-drain order the engine's runtime partition produces.
+func runSplit(t *testing.T, spec Spec, in []stream.Tuple, k int) []stream.Tuple {
+	t.Helper()
+	prof, err := SplitProfileFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keyIdx []int
+	if len(prof.Key) > 0 {
+		keyIdx, err = splitQuickSchema.Indices(prof.Key...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := make([]Operator, k)
+	outSchema := splitQuickSchema
+	for i := range reps {
+		inst, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := inst.Bind([]*stream.Schema{splitQuickSchema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outSchema = outs[0]
+		reps[i] = inst
+	}
+	shardOut := make([][]stream.Tuple, k)
+	emits := make([]Emit, k)
+	for i := range emits {
+		emits[i] = collectEmit(&shardOut[i])
+	}
+	rr := 0
+	for _, tp := range in {
+		s := splitShard(tp, keyIdx, &rr, k)
+		reps[s].Process(0, tp, emits[s])
+	}
+	var cur []stream.Tuple
+	for i, inst := range reps {
+		inst.Flush(emits[i])
+		cur = append(cur, shardOut[i]...)
+	}
+	for _, ms := range prof.Merge {
+		inst, err := Build(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := inst.Bind([]*stream.Schema{outSchema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outSchema = outs[0]
+		var next []stream.Tuple
+		emit := collectEmit(&next)
+		for _, tp := range cur {
+			inst.Process(0, tp, emit)
+		}
+		inst.Flush(emit)
+		cur = next
+	}
+	return cur
+}
+
+// genRecurring draws keys from a small domain so runs recur and straddle
+// would-be window boundaries — the adversarial case for key sharding.
+func genRecurring(rng *rand.Rand, n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = sqTuple(rng.Int63n(8), rng.Int63n(100))
+	}
+	return out
+}
+
+// genMonotoneRuns emits strictly increasing keys in runs of 1..5 tuples,
+// so no key ever recurs and every window run is contiguous — the regime
+// where run-based windows survive sharding exactly.
+func genMonotoneRuns(rng *rand.Rand, n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	key := int64(0)
+	for len(out) < n {
+		run := 1 + rng.Intn(5)
+		for j := 0; j < run && len(out) < n; j++ {
+			out = append(out, sqTuple(key, rng.Int63n(100)))
+		}
+		key++
+	}
+	return out
+}
+
+func tupleKeys(ts []stream.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, tp := range ts {
+		s := ""
+		for _, v := range tp.Vals {
+			s += v.Format() + "|"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func sortedMultiset(ts []stream.Tuple) []string {
+	keys := tupleKeys(ts)
+	sort.Strings(keys)
+	return keys
+}
+
+func equalMultiset(a, b []stream.Tuple) bool {
+	x, y := sortedMultiset(a), sortedMultiset(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldByKey folds each key's emitted results (in emission order) with the
+// aggregate's combine semantics: the per-key value the paper's identity
+// agg(S) = combine(agg(S1), ..., agg(Sn)) promises is invariant.
+func foldByKey(t *testing.T, agg string, ts []stream.Tuple) map[int64]int64 {
+	t.Helper()
+	out := map[int64]int64{}
+	seen := map[int64]bool{}
+	for _, tp := range ts {
+		k, v := tp.Field(0).AsInt(), tp.Field(1).AsInt()
+		if !seen[k] {
+			seen[k] = true
+			out[k] = v
+			continue
+		}
+		switch agg {
+		case "cnt", "sum":
+			out[k] += v
+		case "max":
+			if v > out[k] {
+				out[k] = v
+			}
+		case "min":
+			if v < out[k] {
+				out[k] = v
+			}
+		case "first":
+			// keep the first
+		case "last":
+			out[k] = v
+		default:
+			t.Fatalf("no fold for aggregate %q", agg)
+		}
+	}
+	return out
+}
+
+func equalFold(a, b map[int64]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickSplitStatelessMultisetEquivalence(t *testing.T) {
+	specs := map[string]Spec{
+		"filter": {Kind: KindFilter, Params: map[string]string{"predicate": "V < 50"}},
+		"map":    {Kind: KindMap, Params: map[string]string{"exprs": "K=K; W=(V * 2)"}},
+	}
+	for name, spec := range specs {
+		for trial := 0; trial < 25; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			in := genRecurring(rng, 40+rng.Intn(160))
+			k := 2 + rng.Intn(4)
+			ref := runUnsplit(t, spec, in)
+			got := runSplit(t, spec, in, k)
+			if !equalMultiset(ref, got) {
+				t.Fatalf("%s trial %d k=%d: multiset diverged\nref: %s\ngot: %s",
+					name, trial, k, stream.FormatTuples(ref), stream.FormatTuples(got))
+			}
+		}
+	}
+}
+
+func TestQuickSplitWSortExactEquivalence(t *testing.T) {
+	spec := Spec{Kind: KindWSort, Params: map[string]string{"attrs": "K", "timeout": "1000000000"}}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		in := genRecurring(rng, 40+rng.Intn(160))
+		k := 2 + rng.Intn(4)
+		ref := runUnsplit(t, spec, in)
+		got := runSplit(t, spec, in, k)
+		if !stream.TuplesEqualValues(ref, got) {
+			t.Fatalf("trial %d k=%d: wsort split diverged\nref: %s\ngot: %s",
+				trial, k, stream.FormatTuples(ref), stream.FormatTuples(got))
+		}
+	}
+}
+
+func TestQuickSplitTumbleCombineFold(t *testing.T) {
+	for _, agg := range []string{"cnt", "sum", "max", "min", "first", "last"} {
+		spec := Spec{Kind: KindTumble, Params: map[string]string{
+			"agg": agg, "on": "V", "groupby": "K"}}
+		for trial := 0; trial < 25; trial++ {
+			rng := rand.New(rand.NewSource(int64(3000 + trial)))
+			k := 2 + rng.Intn(4)
+
+			// Recurring keys: window boundaries move under sharding, but
+			// the per-key combine fold is invariant.
+			in := genRecurring(rng, 40+rng.Intn(160))
+			ref := foldByKey(t, agg, runUnsplit(t, spec, in))
+			got := foldByKey(t, agg, runSplit(t, spec, in, k))
+			if !equalFold(ref, got) {
+				t.Fatalf("%s trial %d k=%d: per-key fold diverged\nref: %v\ngot: %v",
+					agg, trial, k, ref, got)
+			}
+
+			// Monotone non-recurring keys: every run stays contiguous on
+			// its shard, so the split output is exactly the unsplit one.
+			mono := genMonotoneRuns(rng, 40+rng.Intn(160))
+			refT := runUnsplit(t, spec, mono)
+			gotT := runSplit(t, spec, mono, k)
+			if !equalMultiset(refT, gotT) {
+				t.Fatalf("%s trial %d k=%d: monotone-key split not exact\nref: %s\ngot: %s",
+					agg, trial, k, stream.FormatTuples(refT), stream.FormatTuples(gotT))
+			}
+		}
+	}
+}
+
+func TestSplitProfileRefusals(t *testing.T) {
+	cases := map[string]Spec{
+		"avg tumble":  {Kind: KindTumble, Params: map[string]string{"agg": "avg", "on": "V", "groupby": "K"}},
+		"dual filter": {Kind: KindFilter, Params: map[string]string{"predicate": "V < 50", "falseport": "true"}},
+		"union":       {Kind: KindUnion, Params: map[string]string{"inputs": "2"}},
+	}
+	for name, spec := range cases {
+		if _, err := SplitProfileFor(spec); err == nil {
+			t.Errorf("%s: SplitProfileFor should refuse", name)
+		}
+	}
+}
+
+func TestSplitProfileTumbleMergeShape(t *testing.T) {
+	spec := Spec{Kind: KindTumble, Params: map[string]string{
+		"agg": "cnt", "on": "V", "groupby": "K"}}
+	prof, err := SplitProfileFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Key) != 1 || prof.Key[0] != "K" {
+		t.Errorf("key = %v, want [K]", prof.Key)
+	}
+	if len(prof.Merge) != 2 {
+		t.Fatalf("merge chain = %d stages, want 2 (WSort + combining Tumble)", len(prof.Merge))
+	}
+	if prof.Merge[0].Kind != KindWSort || prof.Merge[1].Kind != KindTumble {
+		t.Errorf("merge kinds = %s,%s want wsort,tumble", prof.Merge[0].Kind, prof.Merge[1].Kind)
+	}
+	if got := prof.Merge[1].Params["agg"]; got != "sum" {
+		t.Errorf("combine agg = %q, want sum (cnt combines by summing)", got)
+	}
+	if got := prof.Merge[1].Params["on"]; got != ResultField {
+		t.Errorf("combine on = %q, want %q", got, ResultField)
+	}
+	if fmt.Sprint(SplitMergeTimeout) != prof.Merge[0].Params["timeout"] {
+		t.Errorf("merge wsort timeout = %s, want drain-scale %d", prof.Merge[0].Params["timeout"], SplitMergeTimeout)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+// HotSpec is the hot-box detection predicate the engine's autosplit
+// controller evaluates against the windowed store: a box is hot when its
+// windowed work rate — the share of one core its processing consumed,
+// from the box.<id>.work_ns counter series — and its windowed queue depth
+// both clear their thresholds, and a split is cool (ready to fold back)
+// when the replicas' summed work rate and queues fall below theirs.
+// Windowed values smooth over complete aligned windows, so one transient
+// burst does not flap the split ("shifting boxes around too frequently
+// could lead to instability", §5.2); the controller adds dwell counters
+// on top for hysteresis.
+type HotSpec struct {
+	// WorkFrac is the windowed work rate, as a fraction of one core
+	// (1.0 = the box burned a full CPU over the window), at or above
+	// which a box is hot. 0 means the default 0.45.
+	WorkFrac float64
+	// CoolFrac is the fraction of one core at or below which a split
+	// box's replicas — summed — are considered cool. 0 means the
+	// default 0.2.
+	CoolFrac float64
+	// MinQueue is the minimum windowed input-queue depth (tuples) a hot
+	// box must also show: a box can burn a core while keeping up, and
+	// splitting it then buys nothing. 0 means the default 1.
+	MinQueue float64
+	// Windows is how many complete windows the rates are smoothed over.
+	// 0 means the default 2.
+	Windows int
+}
+
+// WithDefaults fills zero fields with the default thresholds.
+func (h HotSpec) WithDefaults() HotSpec {
+	if h.WorkFrac <= 0 {
+		h.WorkFrac = 0.45
+	}
+	if h.CoolFrac <= 0 {
+		h.CoolFrac = 0.2
+	}
+	if h.MinQueue <= 0 {
+		h.MinQueue = 1
+	}
+	if h.Windows <= 0 {
+		h.Windows = 2
+	}
+	return h
+}
+
+// Hot reports whether the named box is hot at now: windowed work rate at
+// least WorkFrac of a core and windowed queue depth at least MinQueue.
+// A box with no complete window yet is never hot.
+func (h HotSpec) Hot(s *Store, box string, now int64) bool {
+	if s == nil {
+		return false
+	}
+	h = h.WithDefaults()
+	work, ok := s.Windowed(SeriesBoxWork(box), h.Windows, now)
+	if !ok || work < h.WorkFrac*1e9 {
+		return false
+	}
+	queue, ok := s.Windowed(SeriesBoxQueue(box), h.Windows, now)
+	return ok && queue >= h.MinQueue
+}
+
+// Cool reports whether a split is ready to fold back at now: the summed
+// windowed work rate of the replica boxes is at most CoolFrac of a core
+// and their summed windowed queues are below MinQueue. Replicas with no
+// complete window contribute zero — an idle replica is evidence of cool,
+// not of ignorance, because its work counter simply stopped moving.
+func (h HotSpec) Cool(s *Store, boxes []string, now int64) bool {
+	if s == nil {
+		return false
+	}
+	h = h.WithDefaults()
+	var work, queue float64
+	for _, box := range boxes {
+		if w, ok := s.Windowed(SeriesBoxWork(box), h.Windows, now); ok {
+			work += w
+		}
+		if q, ok := s.Windowed(SeriesBoxQueue(box), h.Windows, now); ok {
+			queue += q
+		}
+	}
+	return work <= h.CoolFrac*1e9 && queue < h.MinQueue
+}

@@ -68,6 +68,12 @@ func ChromeTrace(events []Event) []byte {
 			}
 			ce.Args["worker"] = ev.Worker
 		}
+		if ev.Replica != 0 {
+			if ce.Args == nil {
+				ce.Args = map[string]any{}
+			}
+			ce.Args["replica"] = ev.Replica
+		}
 		if ev.Kind == KindMark {
 			ce.Ph, ce.S = "i", "p"
 		} else {

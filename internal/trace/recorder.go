@@ -14,7 +14,8 @@ type Event struct {
 	Kind    Kind   `json:"kind"`
 	Start   int64  `json:"start"`            // ns
 	Dur     int64  `json:"dur"`              // ns, 0 for instantaneous marks
-	Worker  int    `json:"worker,omitempty"` // engine worker id, 0 = serial path
+	Worker  int    `json:"worker,omitempty"`  // engine worker id, 0 = serial path
+	Replica int    `json:"replica,omitempty"` // key-partition replica ordinal, 0 = unsplit
 }
 
 // Recorder is a fixed-size flight-recorder ring: the last N events, cheap
