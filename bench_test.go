@@ -53,6 +53,7 @@ func BenchmarkExp14_Economy(b *testing.B)          { runExp(b, "E14") }
 func BenchmarkExp15_RemoteDefinition(b *testing.B) { runExp(b, "E15") }
 func BenchmarkExp18_ParallelScaling(b *testing.B)  { runExp(b, "E18") }
 func BenchmarkExp18b_AutoSplit(b *testing.B)       { runExp(b, "E18B") }
+func BenchmarkExp19_Observability(b *testing.B)    { runExp(b, "E19") }
 func BenchmarkAbl01_DetectionTimeout(b *testing.B) { runExp(b, "A01") }
 func BenchmarkAbl02_FlowPeriod(b *testing.B)       { runExp(b, "A02") }
 

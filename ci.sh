@@ -53,6 +53,12 @@ echo "== autosplit speedup guard"
 # skips itself below 4 CPUs.
 CI_AUTOSPLIT_GUARD=1 go test ./internal/engine/ -run TestAutoSplitSpeedupGuard -count=1 -v
 
+echo "== events overhead guard"
+# The observability plane's bargain: with the event journal configured
+# and delivered-QoS attribution active, the per-tuple path must stay
+# within 3% of the disabled configuration.
+CI_EVENTS_GUARD=1 go test ./internal/engine/ -run TestEventsOverheadGuard -count=1 -v
+
 echo "== kill-mid-split chaos"
 # A fault schedule that crashes a node while its box runs split must
 # still satisfy all four k-safety oracles, plus the split-overlay seed

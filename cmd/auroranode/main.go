@@ -25,9 +25,11 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/ha"
 	"repro/internal/op"
 	"repro/internal/query"
@@ -38,6 +40,11 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wgen"
 )
+
+// buildVersion identifies the binary in /metrics; override with
+//
+//	go build -ldflags "-X main.buildVersion=v1.2.3" ./cmd/auroranode
+var buildVersion = "dev"
 
 // netFile is the JSON description of one node's piece of a query network.
 type netFile struct {
@@ -171,6 +178,7 @@ func main() {
 		haRoutes = flag.Bool("ha-routes", true, "frame routed outputs with the HA link protocol (sequence, retain, replay on reconnect, dedup downstream)")
 		workers  = flag.Int("workers", 0, "engine worker pool size for wall-clock execution (0 or 1 = serial)")
 		autoN    = flag.Int("autosplit", 0, "key-shard a hot box into N replicas at runtime when the stats plane flags it (0 disables; needs a splittable operator)")
+		eventBuf = flag.Int("events-buf", 1024, "structured event journal ring capacity (0 disables the journal)")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -189,7 +197,14 @@ func main() {
 	if *traceN > 0 {
 		tracer = trace.NewTracer(*id, *traceN, trace.NewRecorder(*traceBuf))
 	}
-	ecfg := engine.Config{Tracer: tracer, Workers: *workers}
+	// The event journal is the node's flight recorder for control-plane
+	// decisions: every split/unsplit, shed transition, link state change,
+	// and HA replay lands here and is served at /events.
+	var journal *events.Journal
+	if *eventBuf > 0 {
+		journal = events.NewJournal(*id, *eventBuf)
+	}
+	ecfg := engine.Config{Tracer: tracer, Workers: *workers, Journal: journal}
 	var plane *stats.Plane
 	if *statsPer > 0 {
 		plane = stats.NewPlane(*id, statsPer.Nanoseconds(), *statsWin, 0)
@@ -247,6 +262,8 @@ func main() {
 				}
 				return tcp.Send(peer, m)
 			})
+			s.Name = key
+			s.Journal = journal
 			senders[key] = s
 		}
 		return s
@@ -358,6 +375,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer tcp.Close()
+	tcp.SetJournal(journal)
 	if !*quiet {
 		log.Printf("node %s listening on %s, network %s", *id, tcp.Addr(), net)
 	}
@@ -423,15 +441,32 @@ func main() {
 		}()
 	}
 
+	// stopped flips once the generator has drained and the node is about
+	// to exit: /healthz reports 503 "stopped" so scrapers and probes see
+	// the node leave the cluster before the process goes away.
+	var stopped atomic.Bool
 	if *httpAddr != "" {
 		ln, err := netpkg.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		if !*quiet {
-			log.Printf("telemetry on http://%s (/metrics /trace /healthz /stats /loadmap /links)", ln.Addr())
+			log.Printf("telemetry on http://%s (/metrics /trace /events /healthz /stats /loadmap /links)", ln.Addr())
 		}
-		go http.Serve(ln, telemetry.Handler(*id, eng, plane, tcp))
+		go http.Serve(ln, telemetry.NewHandler(telemetry.Config{
+			Node:    *id,
+			Engine:  eng,
+			Plane:   plane,
+			Links:   tcp,
+			Journal: journal,
+			Version: buildVersion,
+			Health: func() (bool, string) {
+				if stopped.Load() {
+					return false, "stopped"
+				}
+				return true, ""
+			},
+		}))
 	}
 
 	// Supervised peers: the transport dials with backoff, reconnects when
@@ -507,6 +542,7 @@ func main() {
 		eng.Run()
 		eng.Drain()
 		mu.Unlock()
+		stopped.Store(true)
 		if !*quiet {
 			outMu.Lock()
 			log.Printf("generated %d tuples in %v; deliveries: %v",

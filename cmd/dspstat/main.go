@@ -12,6 +12,11 @@
 // Because the load map is gossiped, scraping ANY one node shows the whole
 // cluster once the digests have converged; scraping several lets you spot
 // a node whose view is stale (its Seq column lags).
+//
+// With -watch the view refreshes in place every -interval, and a rolling
+// tail of the cluster's structured event journal (splits, sheds, link
+// transitions, replays) is appended below the tables — the closest thing
+// to a cockpit the cluster has.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/events"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -33,14 +40,16 @@ import (
 // Each endpoint is optional — a node without a stats plane still serves
 // /links, and vice versa — so each section carries its own Has flag.
 type nodeReport struct {
-	Base    string // base URL the report came from
-	LoadMap telemetry.LoadMapResponse
-	Stats   telemetry.StatsResponse
-	Links   telemetry.LinksResponse
-	HasLoad bool  // /loadmap answered (node runs a stats plane)
-	HasStat bool  // /stats answered
-	HasLink bool  // /links answered (node runs a transport)
-	Err     error // nothing answered; other fields are zero
+	Base     string // base URL the report came from
+	LoadMap  telemetry.LoadMapResponse
+	Stats    telemetry.StatsResponse
+	Links    telemetry.LinksResponse
+	Events   telemetry.EventsResponse
+	HasLoad  bool  // /loadmap answered (node runs a stats plane)
+	HasStat  bool  // /stats answered
+	HasLink  bool  // /links answered (node runs a transport)
+	HasEvent bool  // /events answered (node runs an event journal)
+	Err      error // nothing answered; other fields are zero
 }
 
 // node is the scraped node's self-reported identity, from whichever
@@ -51,20 +60,31 @@ func (rep *nodeReport) node() string {
 		return rep.LoadMap.Node
 	case rep.HasLink:
 		return rep.Links.Node
+	case rep.HasEvent:
+		return rep.Events.Node
 	default:
 		return rep.Stats.Node
 	}
 }
 
-// scrapeNode pulls /loadmap, /stats, and /links from one telemetry
-// endpoint. series and window are passed through as the /stats query.
-// Any subset of the endpoints may 404 (no stats plane, no transport);
-// the report only fails when none of them answer.
+// scrapeNode pulls /loadmap, /stats, /links, and /events from one
+// telemetry endpoint. series and window are passed through as the /stats
+// query. Any subset of the endpoints may 404 (no stats plane, no
+// transport, no journal); the report only fails when none of them answer.
 func scrapeNode(client *http.Client, base, series string, window int) *nodeReport {
+	return scrapeNodeSince(client, base, series, window, 0)
+}
+
+// scrapeNodeSince is scrapeNode with an /events cursor: only journal
+// events newer than since come back, which is how -watch tails the
+// cluster without re-reading history every refresh.
+func scrapeNodeSince(client *http.Client, base, series string, window int, since uint64) *nodeReport {
 	rep := &nodeReport{Base: base}
 	errLoad := getJSON(client, base+"/loadmap", &rep.LoadMap)
 	rep.HasLoad = errLoad == nil
 	rep.HasLink = getJSON(client, base+"/links", &rep.Links) == nil
+	rep.HasEvent = getJSON(client,
+		fmt.Sprintf("%s/events?since=%d", base, since), &rep.Events) == nil
 	q := ""
 	if series != "" {
 		q = "?series=" + series
@@ -78,7 +98,7 @@ func scrapeNode(client *http.Client, base, series string, window int) *nodeRepor
 		q += fmt.Sprintf("window=%d", window)
 	}
 	rep.HasStat = getJSON(client, base+"/stats"+q, &rep.Stats) == nil
-	if !rep.HasLoad && !rep.HasLink && !rep.HasStat {
+	if !rep.HasLoad && !rep.HasLink && !rep.HasStat && !rep.HasEvent {
 		rep.Err = errLoad
 	}
 	return rep
@@ -118,11 +138,11 @@ func render(w io.Writer, reports []*nodeReport) {
 				byNode[d.Node] = d
 			}
 			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-			fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tBOXES")
+			fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tDELIVERED\tBOXES")
 			for _, node := range rep.LoadMap.Ranking {
 				d := byNode[node]
-				fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\n",
-					d.Node, d.Util, d.Queued, d.Seq, boxColumn(d.Boxes))
+				fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\t%s\n",
+					d.Node, d.Util, d.Queued, d.Seq, outputColumn(d.Outputs), boxColumn(d.Boxes))
 			}
 			tw.Flush()
 		}
@@ -159,6 +179,50 @@ func render(w io.Writer, reports []*nodeReport) {
 	}
 }
 
+// outputColumn formats a digest's delivered-QoS attribution: per output,
+// the mean utility the QoS graphs awarded what was actually delivered,
+// and the delivery rate behind it.
+func outputColumn(outs []stats.OutputQoS) string {
+	if len(outs) == 0 {
+		return "-"
+	}
+	sorted := append([]stats.OutputQoS(nil), outs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Output < sorted[j].Output })
+	parts := make([]string, len(sorted))
+	for i, o := range sorted {
+		parts[i] = fmt.Sprintf("%s=%.3fu", o.Output, o.Utility)
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderEventTail prints the merged, time-sorted tail of every scraped
+// node's event journal — the cluster's recent control-plane history.
+func renderEventTail(w io.Writer, tail []events.Event, max int) {
+	if len(tail) == 0 || max <= 0 {
+		return
+	}
+	if len(tail) > max {
+		tail = tail[len(tail)-max:]
+	}
+	fmt.Fprintf(w, "-- cluster events (last %d) --\n", len(tail))
+	fmt.Fprint(w, events.Format(tail))
+}
+
+// mergeEventTail folds freshly scraped events into the rolling tail,
+// keeping it time-sorted and bounded.
+func mergeEventTail(tail []events.Event, reports []*nodeReport, bound int) []events.Event {
+	for _, rep := range reports {
+		if rep.HasEvent {
+			tail = append(tail, rep.Events.Events...)
+		}
+	}
+	sort.SliceStable(tail, func(i, j int) bool { return tail[i].Time < tail[j].Time })
+	if len(tail) > bound {
+		tail = tail[len(tail)-bound:]
+	}
+	return tail
+}
+
 // boxColumn formats a digest's per-box loads, heaviest first.
 func boxColumn(boxes []stats.BoxLoad) string {
 	if len(boxes) == 0 {
@@ -178,22 +242,10 @@ func boxColumn(boxes []stats.BoxLoad) string {
 	return strings.Join(parts, " ")
 }
 
-func main() {
-	var (
-		nodes  = flag.String("nodes", "", "comma-separated telemetry base URLs (required)")
-		series = flag.String("series", "", "series name prefix filter for /stats")
-		window = flag.Int("window", 0, "override how many complete windows the windowed value averages")
-	)
-	flag.Parse()
-	if *nodes == "" {
-		fmt.Fprintln(os.Stderr, "dspstat: -nodes is required, e.g. -nodes http://127.0.0.1:8001")
-		os.Exit(2)
-	}
-
-	client := http.DefaultClient
-	var reports []*nodeReport
-	failed := false
-	for _, base := range strings.Split(*nodes, ",") {
+// parseBases normalizes the -nodes flag into base URLs.
+func parseBases(nodes string) []string {
+	var bases []string
+	for _, base := range strings.Split(nodes, ",") {
 		base = strings.TrimRight(strings.TrimSpace(base), "/")
 		if base == "" {
 			continue
@@ -201,13 +253,70 @@ func main() {
 		if !strings.Contains(base, "://") {
 			base = "http://" + base
 		}
-		rep := scrapeNode(client, base, *series, *window)
-		if rep.Err != nil {
-			failed = true
+		bases = append(bases, base)
+	}
+	return bases
+}
+
+// scrapeAll scrapes every base, advancing each node's /events cursor in
+// place so the next round only fetches fresh events.
+func scrapeAll(client *http.Client, bases []string, series string, window int, cursors map[string]uint64) []*nodeReport {
+	reports := make([]*nodeReport, 0, len(bases))
+	for _, base := range bases {
+		rep := scrapeNodeSince(client, base, series, window, cursors[base])
+		if rep.HasEvent {
+			cursors[base] = rep.Events.Next
 		}
 		reports = append(reports, rep)
 	}
+	return reports
+}
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated telemetry base URLs (required)")
+		series   = flag.String("series", "", "series name prefix filter for /stats")
+		window   = flag.Int("window", 0, "override how many complete windows the windowed value averages")
+		watch    = flag.Bool("watch", false, "refresh the view in place until interrupted")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period for -watch")
+		eventsN  = flag.Int("events", 12, "cluster event-tail lines to keep below the tables (0 hides the tail)")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "dspstat: -nodes is required, e.g. -nodes http://127.0.0.1:8001")
+		os.Exit(2)
+	}
+	bases := parseBases(*nodes)
+
+	client := http.DefaultClient
+	cursors := map[string]uint64{}
+	var tail []events.Event
+
+	if *watch {
+		for {
+			reports := scrapeAll(client, bases, *series, *window, cursors)
+			tail = mergeEventTail(tail, reports, *eventsN)
+			// Clear the terminal and home the cursor: the view repaints in
+			// place like top(1).
+			fmt.Print("\033[2J\033[H")
+			fmt.Printf("dspstat %s  (refresh %v, ^C to quit)\n\n",
+				time.Now().Format("15:04:05"), *interval)
+			render(os.Stdout, reports)
+			renderEventTail(os.Stdout, tail, *eventsN)
+			time.Sleep(*interval)
+		}
+	}
+
+	reports := scrapeAll(client, bases, *series, *window, cursors)
+	tail = mergeEventTail(tail, reports, *eventsN)
+	failed := false
+	for _, rep := range reports {
+		if rep.Err != nil {
+			failed = true
+		}
+	}
 	render(os.Stdout, reports)
+	renderEventTail(os.Stdout, tail, *eventsN)
 	if failed {
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/op"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -217,5 +218,130 @@ func TestDspstatRendersLinkTable(t *testing.T) {
 	render(&out, []*nodeReport{repNo})
 	if strings.Contains(out.String(), "-- links") {
 		t.Errorf("link table rendered without /links:\n%s", out.String())
+	}
+}
+
+// journalNode stands up a telemetry surface whose engine journals control
+// events and whose load map carries delivered-QoS output attribution.
+func journalNode(t *testing.T, id string) (*httptest.Server, *events.Journal) {
+	t.Helper()
+	schema := stream.MustSchema("s",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "B", Kind: stream.KindInt},
+	)
+	net := query.NewBuilder("jn").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		BindInput("in", schema, "f1", 0).
+		BindOutput("out", "f1", 0, nil).
+		MustBuild()
+	j := events.NewJournal(id, 64)
+	plane := stats.NewPlane(id, int64(10e6), 8, 2)
+	eng, err := engine.New(net, engine.Config{
+		Stats: plane.Store(), StatsEvery: 1, Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < 10; i++ {
+		eng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(1)))
+		eng.RunUntilIdle(0)
+	}
+	eng.SampleStats(now - 10e6)
+	eng.SampleStats(now)
+	// Hand-laid output-QoS counters: only the span between the first two
+	// observations is a complete window by Publish(now), so the harvested
+	// mean delivered utility is 7.5/10 = 0.75.
+	st := plane.Store()
+	st.Observe(stats.SeriesOutputUtilSum("out"), stats.KindCounter, now-20e6, 0)
+	st.Observe(stats.SeriesOutputDelivered("out"), stats.KindCounter, now-20e6, 0)
+	st.Observe(stats.SeriesOutputUtilSum("out"), stats.KindCounter, now-10e6, 7.5)
+	st.Observe(stats.SeriesOutputDelivered("out"), stats.KindCounter, now-10e6, 10)
+	st.Observe(stats.SeriesOutputUtilSum("out"), stats.KindCounter, now-1, 10)
+	st.Observe(stats.SeriesOutputDelivered("out"), stats.KindCounter, now-1, 20)
+	plane.Publish(now)
+	if err := eng.SplitBox("f1", 2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(telemetry.Handler(id, eng, plane, nil))
+	t.Cleanup(srv.Close)
+	return srv, j
+}
+
+// TestDspstatEventTailAndUtilityColumn: the rendered view carries the
+// delivered-utility column from the digest's output attribution, and the
+// event tail shows the journaled split.
+func TestDspstatEventTailAndUtilityColumn(t *testing.T) {
+	srv, _ := journalNode(t, "n1")
+	rep := scrapeNode(srv.Client(), srv.URL, "", 0)
+	if rep.Err != nil {
+		t.Fatalf("scrape: %v", rep.Err)
+	}
+	if !rep.HasEvent {
+		t.Fatal("/events not scraped")
+	}
+	var out strings.Builder
+	render(&out, []*nodeReport{rep})
+	tail := mergeEventTail(nil, []*nodeReport{rep}, 12)
+	renderEventTail(&out, tail, 12)
+	got := out.String()
+	if !strings.Contains(got, "DELIVERED") || !strings.Contains(got, "out=0.750u") {
+		t.Errorf("missing delivered-utility column:\n%s", got)
+	}
+	if !strings.Contains(got, "cluster events") || !strings.Contains(got, "split") {
+		t.Errorf("missing event tail with the journaled split:\n%s", got)
+	}
+	if !strings.Contains(got, "f1") {
+		t.Errorf("event tail does not name the split box:\n%s", got)
+	}
+}
+
+// TestDspstatWatchCursors: scrapeAll advances each node's /events cursor,
+// so a second round returns only what was journaled in between — and a
+// dead node in the list degrades to an error report without poisoning
+// the live ones (partial-cluster tolerance).
+func TestDspstatWatchCursors(t *testing.T) {
+	srv, j := journalNode(t, "n1")
+	bases := []string{srv.URL, "http://127.0.0.1:1"}
+	cursors := map[string]uint64{}
+
+	first := scrapeAll(srv.Client(), bases, "", 0, cursors)
+	if len(first) != 2 {
+		t.Fatalf("reports = %d", len(first))
+	}
+	if first[0].Err != nil || !first[0].HasEvent {
+		t.Fatalf("live node: err=%v hasEvent=%v", first[0].Err, first[0].HasEvent)
+	}
+	if first[1].Err == nil {
+		t.Fatal("dead node should report an error")
+	}
+	got1 := len(first[0].Events.Events)
+	if got1 == 0 {
+		t.Fatal("first round returned no events")
+	}
+	if cursors[srv.URL] == 0 {
+		t.Fatal("cursor not advanced")
+	}
+
+	j.Append(events.Event{Kind: events.KindShedEngage, Subject: "shedder", V1: 0.25})
+	j.Append(events.Event{Kind: events.KindShedDisengage, Subject: "shedder"})
+	second := scrapeAll(srv.Client(), bases, "", 0, cursors)
+	evs := second[0].Events.Events
+	if len(evs) != 2 {
+		t.Fatalf("second round = %d events, want only the 2 new ones: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != events.KindShedEngage || evs[1].Kind != events.KindShedDisengage {
+		t.Errorf("second round events = %+v", evs)
+	}
+
+	tail := mergeEventTail(nil, first, 2)
+	tail = mergeEventTail(tail, second, 2)
+	if len(tail) != 2 {
+		t.Errorf("tail bound leaked: %d", len(tail))
+	}
+	var out strings.Builder
+	render(&out, second)
+	if !strings.Contains(out.String(), "scrape failed") {
+		t.Errorf("dead node not rendered as failure:\n%s", out.String())
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/loadmgr"
 	"repro/internal/medusa"
 	"repro/internal/netsim"
@@ -253,6 +254,41 @@ var (
 	NewFlightRecorder = trace.NewRecorder
 	// ChromeTrace renders events as Chrome trace-event JSON (Perfetto).
 	ChromeTrace = trace.ChromeTrace
+)
+
+// Observability: the structured event journal — every control-plane
+// decision (split, shed, offload, link transition, HA replay) as a typed,
+// correlation-chained record in a fixed-memory ring.
+type (
+	// EventJournal is the fixed-memory ring of control-plane events.
+	EventJournal = events.Journal
+	// ClusterEvent is one journaled control-plane decision.
+	ClusterEvent = events.Event
+	// EventKind classifies a journaled event.
+	EventKind = events.Kind
+)
+
+var (
+	// NewEventJournal builds a journal retaining the last n events.
+	NewEventJournal = events.NewJournal
+	// MergeEvents time-sorts several journals into one cluster history.
+	MergeEvents = events.Merge
+	// FormatEvents renders events as readable dump lines.
+	FormatEvents = events.Format
+)
+
+// Event kinds.
+const (
+	EventSplit         = events.KindSplit
+	EventUnsplit       = events.KindUnsplit
+	EventHotBox        = events.KindHotBox
+	EventCoolBox       = events.KindCoolBox
+	EventOffload       = events.KindOffload
+	EventShedEngage    = events.KindShedEngage
+	EventShedDisengage = events.KindShedDisengage
+	EventLinkState     = events.KindLinkState
+	EventHAReplay      = events.KindHAReplay
+	EventFault         = events.KindFault
 )
 
 // Statistics plane: windowed series and the gossiped load map (§7.1).

@@ -86,6 +86,17 @@ func TestChaosFlightRecorderDump(t *testing.T) {
 	if r.FlightDump == "" {
 		t.Fatal("lossy run produced no flight-recorder dump")
 	}
+	// The event-journal tail rides alongside: the control-plane decisions
+	// (faults injected, failover replays) in one readable dump.
+	if r.EventDump == "" {
+		t.Fatal("lossy run produced no event-journal dump")
+	}
+	if !strings.Contains(r.EventDump, "fault") {
+		t.Errorf("event dump missing fault events:\n%s", r.EventDump)
+	}
+	if !strings.Contains(r.EventDump, "ha-replay") {
+		t.Errorf("event dump missing failover replay events:\n%s", r.EventDump)
+	}
 	var arr []map[string]any
 	if err := json.Unmarshal(r.ChromeTrace, &arr); err != nil {
 		t.Fatalf("chrome trace artifact is not valid JSON: %v", err)
@@ -105,7 +116,7 @@ func TestChaosFlightRecorderDump(t *testing.T) {
 	if clean.Failed() || clean.Missing > 0 {
 		t.Fatalf("control schedule unexpectedly lossy: %+v", clean.Violations)
 	}
-	if clean.FlightDump != "" || clean.ChromeTrace != nil {
+	if clean.FlightDump != "" || clean.ChromeTrace != nil || clean.EventDump != "" {
 		t.Error("clean run should not carry post-mortem artifacts")
 	}
 }

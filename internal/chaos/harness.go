@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/netsim"
 	"repro/internal/op"
 	"repro/internal/query"
@@ -82,11 +83,15 @@ type Result struct {
 
 	// FlightDump is the merged flight-recorder tail, rendered one event
 	// per line. ChromeTrace is the full retained event set as Chrome
-	// trace-event JSON (load it in Perfetto / chrome://tracing). Both are
-	// populated when any oracle is violated or the run lost tuples — the
-	// cases a post-mortem wants — and empty on clean runs.
+	// trace-event JSON (load it in Perfetto / chrome://tracing).
+	// EventDump is the merged control-plane event-journal tail (faults,
+	// failover replays, offloads) — the decision history alongside the
+	// data-path trace. All are populated when any oracle is violated or
+	// the run lost tuples — the cases a post-mortem wants — and empty on
+	// clean runs.
 	FlightDump  string
 	ChromeTrace []byte
+	EventDump   string
 }
 
 // Failed reports whether any oracle was violated.
@@ -317,6 +322,11 @@ func Run(s Schedule) *Result {
 		}
 		r.FlightDump = trace.FormatEvents(tail)
 		r.ChromeTrace = trace.ChromeTrace(evs)
+		jevs := c.Events()
+		if len(jevs) > dumpTail {
+			jevs = jevs[len(jevs)-dumpTail:]
+		}
+		r.EventDump = events.Format(jevs)
 	}
 	return r
 }

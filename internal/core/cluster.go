@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/ha"
 	"repro/internal/loadmgr"
 	"repro/internal/netsim"
@@ -57,6 +59,11 @@ type Config struct {
 	// TraceBuf is the per-node flight-recorder capacity in events
 	// (default 4096 when tracing is on).
 	TraceBuf int
+	// EventBuf is each node's structured event-journal capacity (control
+	// decisions: splits, offloads, shed transitions, faults, HA replays).
+	// Default 256; the journal is always on — it only hears from control
+	// decisions, so its cost is a few writes per decision, not per tuple.
+	EventBuf int
 	// StatsPeriod enables the statistics plane (§7.1): every StatsPeriod
 	// ns each node samples its engines into a windowed store, publishes a
 	// load digest, and gossips its map to its overlay neighbors — digests
@@ -91,6 +98,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.TraceBuf <= 0 {
 		cfg.TraceBuf = 4096
+	}
+	if cfg.EventBuf <= 0 {
+		cfg.EventBuf = 256
 	}
 	if cfg.StatsPeriod > 0 {
 		if cfg.StatsWindow <= 0 {
@@ -277,6 +287,9 @@ func (c *Cluster) annotateFault(ev netsim.FaultEvent) {
 	for _, id := range []string{ev.A, ev.B} {
 		if n, ok := c.nodes[id]; ok {
 			n.tracer.Annotate(name, c.sim.Now())
+			n.journal.Append(events.Event{
+				Time: c.sim.Now(), Kind: events.KindFault, Subject: name,
+			})
 		}
 	}
 }
@@ -298,6 +311,25 @@ func (c *Cluster) TraceEvents() []trace.Event {
 		recs = append(recs, c.nodes[nid].rec)
 	}
 	return trace.Merge(recs...)
+}
+
+// Journal returns a node's structured event journal (nil for unknown
+// nodes).
+func (c *Cluster) Journal(node string) *events.Journal {
+	if n, ok := c.nodes[node]; ok {
+		return n.journal
+	}
+	return nil
+}
+
+// Events merges every node's event journal into one time-sorted
+// cluster-wide control-plane history.
+func (c *Cluster) Events() []events.Event {
+	js := make([]*events.Journal, 0, len(c.nodeIDs))
+	for _, nid := range c.nodeIDs {
+		js = append(js, c.nodes[nid].journal)
+	}
+	return events.Merge(js...)
 }
 
 // refreshCatalogPieces records the content and location of each running
@@ -638,6 +670,12 @@ func (c *Cluster) recover(failed, detector string) {
 		}
 	}
 	an.pump()
+	// The adopter journals the failover: subject is the node it adopted,
+	// V1 the tuples replayed into the fresh engines.
+	an.journal.Append(events.Event{
+		Time: c.sim.Now(), Kind: events.KindHAReplay,
+		Subject: failed, Detail: "failover", V1: float64(rec.Replayed),
+	})
 	c.recoveries = append(c.recoveries, rec)
 	c.refreshCatalogPieces()
 }
@@ -772,11 +810,22 @@ func (c *Cluster) shareTick() {
 			newAssign[b] = d.To
 		}
 		if err := c.Redeploy(newAssign); err == nil {
+			c.journalOffload(nid, d)
 			c.cooldown[nid] = pol.CooldownPeriods
 			c.cooldown[d.To] = pol.CooldownPeriods
 		}
 		return // at most one move per tick, for stability
 	}
+}
+
+// journalOffload records a successful load-share move on the offloading
+// node's journal: subject is the receiving peer, detail the moved boxes,
+// V1 the utilization expected to shift.
+func (c *Cluster) journalOffload(nid string, d *loadmgr.Decision) {
+	c.nodes[nid].journal.Append(events.Event{
+		Time: c.sim.Now(), Kind: events.KindOffload,
+		Subject: d.To, Detail: strings.Join(d.Boxes, ","), V1: d.WorkMoved,
+	})
 }
 
 // shareTickWindowed is the stats-plane variant of the load-share round:
@@ -821,6 +870,7 @@ func (c *Cluster) shareTickWindowed(pol loadmgr.Policy) {
 			newAssign[b] = d.To
 		}
 		if err := c.Redeploy(newAssign); err == nil {
+			c.journalOffload(nid, d)
 			c.cooldown[nid] = pol.CooldownPeriods
 			c.cooldown[d.To] = pol.CooldownPeriods
 		}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/netsim"
+)
+
+// TestClusterJournalsFaultAndFailover: a crash leaves a KindFault event
+// in the crashed node's journal (the journal is a black box — it
+// survives the crash that wiped the engines), and the adopter journals
+// the failover replay. Cluster.Events() merges both into one time-sorted
+// history.
+func TestClusterJournalsFaultAndFailover(t *testing.T) {
+	sim, c := testCluster(t, Config{
+		K:               1,
+		DefaultBoxCost:  5_000,
+		FlowPeriod:      2e6,
+		HeartbeatPeriod: 1e6,
+		DetectTimeout:   3e6,
+	})
+	s := newSink()
+	c.OnOutput(s.fn)
+	const n = 2000
+	const gap = 20_000
+	drive(sim, c, n, gap)
+	crashAt := int64(n/2) * gap
+	sim.Schedule(crashAt, func() { sim.Crash("n2") })
+	sim.Run(2e9)
+
+	j2 := c.Journal("n2")
+	if j2 == nil {
+		t.Fatal("journal for n2 missing")
+	}
+	var faulted bool
+	for _, ev := range j2.Tail(j2.Len()) {
+		if ev.Kind == events.KindFault && ev.Subject == "crash n2" {
+			faulted = true
+			if ev.Time != crashAt {
+				t.Errorf("fault time = %d, want %d", ev.Time, crashAt)
+			}
+		}
+	}
+	if !faulted {
+		t.Fatalf("crash not journaled on n2: %s", events.Format(j2.Tail(10)))
+	}
+
+	recs := c.Recoveries()
+	if len(recs) != 1 {
+		t.Fatalf("recoveries = %+v", recs)
+	}
+	adopterJ := c.Journal(recs[0].Adopter)
+	var replayEv *events.Event
+	for _, ev := range adopterJ.Tail(adopterJ.Len()) {
+		if ev.Kind == events.KindHAReplay {
+			e := ev
+			replayEv = &e
+		}
+	}
+	if replayEv == nil {
+		t.Fatalf("failover not journaled on adopter %s: %s",
+			recs[0].Adopter, events.Format(adopterJ.Tail(10)))
+	}
+	if replayEv.Subject != "n2" || replayEv.Detail != "failover" {
+		t.Errorf("replay event = %+v", replayEv)
+	}
+	if int(replayEv.V1) != recs[0].Replayed {
+		t.Errorf("replayed in event = %v, recovery says %d", replayEv.V1, recs[0].Replayed)
+	}
+
+	merged := c.Events()
+	if len(merged) < 2 {
+		t.Fatalf("merged cluster events = %d, want >= 2", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time < merged[i-1].Time {
+			t.Fatal("merged events not time-sorted")
+		}
+	}
+	if c.Journal("ghost") != nil {
+		t.Error("unknown node should have nil journal")
+	}
+}
+
+// TestClusterJournalsOffload: a successful load-share move lands a
+// KindOffload event on the offloading node, naming the receiving peer
+// and the boxes that moved.
+func TestClusterJournalsOffload(t *testing.T) {
+	sim := netsim.New(1)
+	var ids []string
+	var specs []string
+	for i := 0; i < 6; i++ {
+		ids = append(ids, fmt.Sprintf("f%d", i))
+		specs = append(specs, "B < 1000")
+	}
+	b := newChainBuilder(t, ids, specs)
+	full := b.MustBuild()
+	assign := map[string]string{}
+	for _, id := range ids {
+		assign[id] = "n1"
+	}
+	pol := defaultSharePolicy()
+	c, err := NewCluster(sim, full, assign, nil, Config{
+		DefaultBoxCost: 40_000,
+		LoadSharing:    &pol,
+		SharePeriod:    20e6,
+		Nodes:          []string{"n1", "n2"},
+		EventBuf:       64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Connect("n1", "n2", 0, 50_000, 0)
+	c.Start()
+	s := newSink()
+	c.OnOutput(s.fn)
+	drive(sim, c, 3000, 100_000)
+	sim.Run(5e9)
+	if c.Moves() == 0 {
+		t.Fatal("overload should trigger at least one load-sharing move")
+	}
+	j := c.Journal("n1")
+	var off *events.Event
+	for _, ev := range j.Tail(j.Len()) {
+		if ev.Kind == events.KindOffload {
+			e := ev
+			off = &e
+			break
+		}
+	}
+	if off == nil {
+		t.Fatalf("offload not journaled: %s", events.Format(j.Tail(10)))
+	}
+	if off.Subject != "n2" {
+		t.Errorf("offload target = %q, want n2", off.Subject)
+	}
+	if off.Detail == "" {
+		t.Error("offload event should name the moved boxes")
+	}
+	for _, box := range strings.Split(off.Detail, ",") {
+		if c.Assignment()[box] == "" {
+			t.Errorf("offload names unknown box %q", box)
+		}
+	}
+	if off.V1 <= 0 {
+		t.Errorf("offload WorkMoved = %v, want > 0", off.V1)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/ha"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -102,6 +103,11 @@ type SimNode struct {
 	rec    *trace.Recorder
 	tracer *trace.Tracer
 
+	// journal is the node's structured control-plane event journal. Like
+	// the flight recorder it models an external observer, so a simulated
+	// crash does not erase the events leading up to it.
+	journal *events.Journal
+
 	// plane is the node's statistics plane (nil when off). Like the
 	// flight recorder it models an external observer, so its windowed
 	// history and digest sequence survive a simulated crash — a restarted
@@ -127,6 +133,7 @@ func newSimNode(c *Cluster, id string) *SimNode {
 		det:      ha.NewDetector(c.cfg.DetectTimeout),
 		recvSeen: map[string]uint64{},
 	}
+	n.journal = events.NewJournal(id, c.cfg.EventBuf)
 	if c.cfg.TraceSample > 0 {
 		n.rec = trace.NewRecorder(c.cfg.TraceBuf)
 		n.tracer = trace.NewTracer(id, c.cfg.TraceSample, n.rec)
@@ -175,6 +182,7 @@ func (n *SimNode) newEngine(piece *query.Network) (*engine.Engine, error) {
 		DefaultBoxCost: n.c.cfg.DefaultBoxCost,
 		BoxCosts:       n.c.cfg.BoxCosts,
 		Tracer:         n.tracer,
+		Journal:        n.journal,
 	}
 	if n.plane != nil {
 		// Hosted engines share the node's windowed store; per-box series

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"repro/internal/events"
 	"repro/internal/op"
 	"repro/internal/stats"
 )
@@ -102,7 +103,18 @@ func (e *Engine) autosplitCheck(now int64) {
 				a.cool = 0
 			}
 			if a.cool >= a.cfg.HoldCool {
-				e.RequestUnsplit(a.target)
+				var corr uint64
+				if e.journal != nil {
+					// Journal the cool verdict (the cause) before the
+					// request; the eventual unsplit carries the same
+					// correlation id (the effect).
+					corr = e.journal.NewCorr()
+					e.journal.Append(events.Event{
+						Time: now, Kind: events.KindCoolBox, Subject: a.target,
+						Corr: corr, V1: float64(a.cool),
+					})
+				}
+				e.requestUnsplitCorr(a.target, corr)
 				a.target, a.cool = "", 0
 			}
 		case e.pendTrans.Load() == nil:
@@ -121,7 +133,20 @@ func (e *Engine) autosplitCheck(now int64) {
 	}
 	for _, id := range a.eligible {
 		if a.hot[id] >= a.cfg.HoldHot {
-			e.RequestSplit(id, a.cfg.Replicas)
+			var corr uint64
+			if e.journal != nil {
+				// The hot verdict is the cause: journal it with the
+				// predicate's measured values, then thread its correlation
+				// id through the request so the installed split (the
+				// effect) shares it.
+				workFrac, queue := a.cfg.Hot.Measure(e.stats, id, now)
+				corr = e.journal.NewCorr()
+				e.journal.Append(events.Event{
+					Time: now, Kind: events.KindHotBox, Subject: id,
+					Corr: corr, V1: workFrac, V2: queue,
+				})
+			}
+			e.requestSplitCorr(id, a.cfg.Replicas, corr)
 			a.target = id
 			a.hot[id] = 0
 			return

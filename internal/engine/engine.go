@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/query"
@@ -48,6 +49,12 @@ type Config struct {
 	// error — deterministic virtual time is serial by design, so netsim
 	// experiments stay byte-identical.
 	Workers int
+	// Journal receives structured control-plane events: split/unsplit
+	// transitions with the hot-box evidence that triggered them, shedder
+	// engage/disengage with drop counts. Nil disables journaling; the
+	// hot path then pays nothing (events are only emitted from control
+	// decisions, never per tuple).
+	Journal *events.Journal
 	// AutoSplit enables the runtime hot-box controller: the engine
 	// watches the stats plane for a box burning a disproportionate share
 	// of a core behind a backlog, splits it into key-sharded replicas,
@@ -93,7 +100,8 @@ type Engine struct {
 	shedder *Shedder
 	reg     *metrics.Registry
 
-	tracer *trace.Tracer
+	tracer  *trace.Tracer
+	journal *events.Journal // nil-safe: a nil journal drops appends
 	// Component histograms for completed traces, cached off the registry
 	// so the delivery path pays no map lookups. Nil when tracing is off.
 	traceQ, traceP, traceN  *metrics.Histogram
@@ -243,6 +251,7 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		e.traceP = e.reg.Histogram("trace.proc_ns")
 		e.traceN = e.reg.Histogram("trace.net_ns")
 	}
+	e.journal = cfg.Journal
 	e.busyCtr = e.reg.Counter("engine.busy_ns")
 	if cfg.Stats != nil {
 		e.stats = cfg.Stats
@@ -628,6 +637,18 @@ func (e *Engine) SampleStats(now int64) {
 		}
 	}
 	e.stats.Observe(stats.SeriesNodeShed, stats.KindCounter, now, float64(e.shedCtr.Value()))
+	// Delivered-QoS attribution: each output's cumulative utility and
+	// delivery counters, which the plane differences into a windowed mean
+	// utility for the gossiped digests (§7.1 — the LoadMap then carries
+	// what quality each node delivers, not just where its load sits).
+	for name, os := range e.outputs {
+		if !os.hasQoS() {
+			continue
+		}
+		utilSum, delivered := os.qosCounters()
+		e.stats.Observe(stats.SeriesOutputUtilSum(name), stats.KindCounter, now, utilSum)
+		e.stats.Observe(stats.SeriesOutputDelivered(name), stats.KindCounter, now, float64(delivered))
+	}
 }
 
 // StatsStore returns the configured windowed stats store (nil when the
@@ -878,3 +899,12 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Tracer returns the engine's tracer, nil when tracing is disabled.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Journal returns the engine's event journal, nil when journaling is
+// disabled.
+func (e *Engine) Journal() *events.Journal { return e.journal }
+
+// Draining reports whether a Drain is in progress — the run-state
+// /healthz exposes: a draining engine is shutting its network down and
+// should not be offered new work.
+func (e *Engine) Draining() bool { return e.draining.Load() }

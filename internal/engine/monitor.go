@@ -29,6 +29,11 @@ type outputState struct {
 	spec     *qos.Spec
 	valueIdx int
 	latency  *metrics.Histogram
+	// util is the delivered-QoS attribution gauge: the running mean of
+	// per-tuple utility against the attached QoS graphs, registered so
+	// /metrics scrapes carry delivered quality. Nil when the output has
+	// no QoS spec (utility would be constant 1 — noise, not signal).
+	util *metrics.FloatGauge
 	// relay marks an output whose tuples continue to another node; traced
 	// spans are not finalized at relay outputs.
 	relay bool
@@ -46,6 +51,9 @@ func newOutputState(o *query.Output, schema *stream.Schema, reg *metrics.Registr
 		spec:     o.QoS,
 		valueIdx: -1,
 		latency:  reg.Histogram("output." + o.Name + ".latency_ns"),
+	}
+	if o.QoS != nil {
+		os.util = reg.FloatGauge("output." + o.Name + ".utility")
 	}
 	if o.QoS != nil && o.QoS.Value != nil {
 		if schema == nil {
@@ -78,8 +86,27 @@ func (os *outputState) observe(t stream.Tuple, now int64) {
 	os.mu.Lock()
 	os.utilSum += u
 	os.delivered++
+	mean := os.utilSum / float64(os.delivered)
 	os.lastTuple = t
 	os.mu.Unlock()
+	if os.util != nil {
+		// One atomic store per delivery: the gauge always equals
+		// utilSum/delivered, the exact mean the QoS graphs assign to the
+		// observed latency samples (the property the tests pin).
+		os.util.Set(mean)
+	}
+}
+
+// hasQoS reports whether the output carries a QoS spec — only then is
+// its utility worth attributing (without one utility is constant 1).
+func (os *outputState) hasQoS() bool { return os.spec != nil }
+
+// qosCounters returns the cumulative delivered-utility sum and delivery
+// count, the raw counters SampleStats feeds the stats plane.
+func (os *outputState) qosCounters() (utilSum float64, delivered uint64) {
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	return os.utilSum, os.delivered
 }
 
 // noteDrop charges one shed tuple against the output's loss accounting.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/query"
@@ -205,6 +206,13 @@ func (e *Engine) refreshPartition(b *boxState, p *partition, prof op.SplitProfil
 // through a step/train boundary; it must not race Step or an owned
 // train on the same box.
 func (e *Engine) SplitBox(id string, n int) error {
+	return e.splitBoxCorr(id, n, 0)
+}
+
+// splitBoxCorr is SplitBox carrying the correlation id of the decision
+// that caused it (0 = direct call, a fresh id is minted), so the journal
+// chains cause (hot-box verdict) to effect (split installed).
+func (e *Engine) splitBoxCorr(id string, n int, corr uint64) error {
 	e.topoMu.Lock()
 	defer e.topoMu.Unlock()
 	if n < 2 {
@@ -260,9 +268,17 @@ func (e *Engine) SplitBox(id string, n int) error {
 	}
 	p.mu.Unlock()
 	e.splitCtr.Add(1)
-	if e.tracer != nil {
-		e.tracer.Annotate("split:"+id, e.clock.Now())
+	now := e.clock.Now()
+	if e.journal != nil {
+		if corr == 0 {
+			corr = e.journal.NewCorr()
+		}
+		e.journal.Append(events.Event{
+			Time: now, Kind: events.KindSplit, Subject: id, Corr: corr,
+			V1: float64(n),
+		})
 	}
+	e.tracer.AnnotateID(corr, "split:"+id, now)
 	return nil
 }
 
@@ -272,6 +288,12 @@ func (e *Engine) SplitBox(id string, n int) error {
 // partials buffered in the merge network reach the downstream consumers
 // before the replicas retire. Same calling contract as SplitBox.
 func (e *Engine) UnsplitBox(id string) error {
+	return e.unsplitBoxCorr(id, 0)
+}
+
+// unsplitBoxCorr is UnsplitBox with the causing decision's correlation
+// id (0 = direct call; a fresh id is minted for the journal event).
+func (e *Engine) unsplitBoxCorr(id string, corr uint64) error {
 	e.topoMu.Lock()
 	defer e.topoMu.Unlock()
 	b, ok := e.snap().byID[id]
@@ -299,9 +321,17 @@ func (e *Engine) UnsplitBox(id string) error {
 	}
 	e.removePartition(b, p)
 	e.unsplitCtr.Add(1)
-	if e.tracer != nil {
-		e.tracer.Annotate("unsplit:"+id, e.clock.Now())
+	now := e.clock.Now()
+	if e.journal != nil {
+		if corr == 0 {
+			corr = e.journal.NewCorr()
+		}
+		e.journal.Append(events.Event{
+			Time: now, Kind: events.KindUnsplit, Subject: id, Corr: corr,
+			V1: float64(len(p.reps)),
+		})
 	}
+	e.tracer.AnnotateID(corr, "unsplit:"+id, now)
 	return nil
 }
 
@@ -394,6 +424,7 @@ type transRequest struct {
 	box   string
 	n     int
 	split bool
+	corr  uint64 // correlation id of the decision that raised the request
 }
 
 // RequestSplit asks the engine to split the named box into n replicas at
@@ -402,7 +433,11 @@ type transRequest struct {
 // single pending slot. Errors in the eventual transition (unknown box,
 // not splittable, already split) are dropped — requests are advisory.
 func (e *Engine) RequestSplit(box string, n int) {
-	e.pendTrans.Store(&transRequest{box: box, n: n, split: true})
+	e.requestSplitCorr(box, n, 0)
+}
+
+func (e *Engine) requestSplitCorr(box string, n int, corr uint64) {
+	e.pendTrans.Store(&transRequest{box: box, n: n, split: true, corr: corr})
 	if d := e.disp.Load(); d != nil {
 		d.kick()
 	}
@@ -411,7 +446,11 @@ func (e *Engine) RequestSplit(box string, n int) {
 // RequestUnsplit asks the engine to fold the named box back at the next
 // safe boundary. Same contract as RequestSplit.
 func (e *Engine) RequestUnsplit(box string) {
-	e.pendTrans.Store(&transRequest{box: box})
+	e.requestUnsplitCorr(box, 0)
+}
+
+func (e *Engine) requestUnsplitCorr(box string, corr uint64) {
+	e.pendTrans.Store(&transRequest{box: box, corr: corr})
 	if d := e.disp.Load(); d != nil {
 		d.kick()
 	}
@@ -432,9 +471,9 @@ func (e *Engine) applyPendingSerial() {
 
 func (e *Engine) applyRequest(req *transRequest) {
 	if req.split {
-		_ = e.SplitBox(req.box, req.n)
+		_ = e.splitBoxCorr(req.box, req.n, req.corr)
 	} else {
-		_ = e.UnsplitBox(req.box)
+		_ = e.unsplitBoxCorr(req.box, req.corr)
 	}
 }
 

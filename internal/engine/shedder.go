@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/events"
 	"repro/internal/op"
 	"repro/internal/qos"
 	"repro/internal/query"
@@ -67,6 +68,7 @@ type Shedder struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	dropP     float64
+	engaged   bool // dropP > 0 last Control decision (journal edge detect)
 	valueExpr op.Expr
 	values    []float64 // ring of recent value-utilities for quantiles
 	valuePos  int
@@ -120,11 +122,12 @@ func NewShedder(cfg ShedConfig, net *query.Network) (*Shedder, error) {
 }
 
 // Control adjusts the drop rate from queue occupancy (called by the
-// engine after every step).
+// engine after every step). Transitions of the drop rate across zero —
+// the shedder engaging and disengaging — are journaled with the queue
+// depth and cumulative drop count as evidence.
 func (s *Shedder) Control(e *Engine) {
 	q := e.QueuedTuples()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch {
 	case q > s.cfg.QueueHigh:
 		s.dropP += s.cfg.StepUp
@@ -136,6 +139,22 @@ func (s *Shedder) Control(e *Engine) {
 		if s.dropP < 0 {
 			s.dropP = 0
 		}
+	}
+	engaged := s.dropP > 0
+	edge := engaged != s.engaged
+	s.engaged = engaged
+	dropP := s.dropP
+	s.mu.Unlock()
+	if edge && e.journal != nil {
+		kind := events.KindShedEngage
+		if !engaged {
+			kind = events.KindShedDisengage
+		}
+		// V1 = drop probability, V2 = queued tuples, V3 = cumulative drops.
+		e.journal.Append(events.Event{
+			Time: e.clock.Now(), Kind: kind, Subject: "shedder",
+			V1: dropP, V2: float64(q), V3: float64(s.dropped.Load()),
+		})
 	}
 }
 

@@ -1,0 +1,217 @@
+package events
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendStampsSeqAndNode(t *testing.T) {
+	j := NewJournal("n1", 64)
+	if seq := j.Append(Event{Time: 10, Kind: KindSplit, Subject: "f"}); seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	if seq := j.Append(Event{Time: 20, Kind: KindUnsplit, Subject: "f", Node: "other"}); seq != 2 {
+		t.Fatalf("second seq = %d, want 2", seq)
+	}
+	evs, next := j.Since(0, 0)
+	if len(evs) != 2 || next != 2 {
+		t.Fatalf("Since(0) = %d events, next %d", len(evs), next)
+	}
+	if evs[0].Node != "n1" {
+		t.Errorf("empty node not defaulted: %q", evs[0].Node)
+	}
+	if evs[1].Node != "other" {
+		t.Errorf("explicit node overwritten: %q", evs[1].Node)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("seqs = %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if j.Len() != 2 || j.Total() != 2 {
+		t.Errorf("Len=%d Total=%d", j.Len(), j.Total())
+	}
+}
+
+func TestRingOverwriteKeepsNewest(t *testing.T) {
+	j := NewJournal("n", 64)
+	for i := 0; i < 200; i++ {
+		j.Append(Event{Time: int64(i), Kind: KindFault})
+	}
+	if j.Len() != 64 || j.Total() != 200 {
+		t.Fatalf("Len=%d Total=%d; want 64, 200", j.Len(), j.Total())
+	}
+	evs, next := j.Since(0, 0)
+	if len(evs) != 64 || next != 200 {
+		t.Fatalf("Since(0) = %d events, next %d", len(evs), next)
+	}
+	if evs[0].Seq != 137 || evs[63].Seq != 200 {
+		t.Errorf("retained range %d..%d; want 137..200", evs[0].Seq, evs[63].Seq)
+	}
+}
+
+func TestSincePagesWithCursor(t *testing.T) {
+	j := NewJournal("n", 128)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Time: int64(i), Kind: KindLinkState})
+	}
+	var got []Event
+	cursor := uint64(0)
+	for {
+		page, next := j.Since(cursor, 3)
+		if len(page) == 0 {
+			if next != cursor {
+				t.Fatalf("empty page moved cursor %d -> %d", cursor, next)
+			}
+			break
+		}
+		got = append(got, page...)
+		cursor = next
+	}
+	if len(got) != 10 {
+		t.Fatalf("paged %d events, want 10", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("page order broken at %d: seq %d", i, ev.Seq)
+		}
+	}
+
+	// A cursor older than the ring resumes at the oldest retained event
+	// (seq 173 with 300 appended into a 128 ring), still oldest-first.
+	for i := 10; i < 300; i++ {
+		j.Append(Event{Time: int64(i), Kind: KindLinkState})
+	}
+	page, next := j.Since(1, 5)
+	if len(page) != 5 || next != 177 || page[0].Seq != 173 {
+		t.Fatalf("capped page = %d events, first seq %d, next %d", len(page), page[0].Seq, next)
+	}
+	if tail := j.Tail(2); len(tail) != 2 || tail[1].Seq != 300 {
+		t.Fatalf("Tail(2) = %+v", tail)
+	}
+}
+
+func TestNilJournalIsDisabled(t *testing.T) {
+	var j *Journal
+	if seq := j.Append(Event{Kind: KindSplit}); seq != 0 {
+		t.Errorf("nil Append seq = %d", seq)
+	}
+	if j.NewCorr() != 0 || j.Len() != 0 || j.Total() != 0 || j.Node() != "" {
+		t.Error("nil journal accessors not zero")
+	}
+	if evs, next := j.Since(5, 0); evs != nil || next != 5 {
+		t.Errorf("nil Since = %v, %d", evs, next)
+	}
+}
+
+func TestCorrIdsAreNodeSaltedAndMonotonic(t *testing.T) {
+	a, b := NewJournal("a", 64), NewJournal("b", 64)
+	c1, c2 := a.NewCorr(), a.NewCorr()
+	if c1 == 0 || c2 == 0 || c1 == c2 {
+		t.Fatalf("corr ids %x, %x", c1, c2)
+	}
+	if c1>>40 != c2>>40 {
+		t.Errorf("same node, different salts: %x vs %x", c1, c2)
+	}
+	if c1>>40 == b.NewCorr()>>40 {
+		t.Error("different nodes share a salt")
+	}
+	if c2&(1<<40-1) != c1&(1<<40-1)+1 {
+		t.Errorf("counter not monotonic: %x then %x", c1, c2)
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	j := NewJournal("n", 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Append(Event{Time: int64(i), Kind: KindOffload})
+				j.Since(0, 16)
+				j.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", j.Total())
+	}
+	evs, _ := j.Since(0, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestAppendZeroAlloc is the steady-state allocation guard from the
+// acceptance criteria: appending to a warm journal must not allocate.
+func TestAppendZeroAlloc(t *testing.T) {
+	j := NewJournal("n", 256)
+	ev := Event{Time: 1, Kind: KindLinkState, Subject: "peer", Detail: "established", V1: 2}
+	if avg := testing.AllocsPerRun(1000, func() { j.Append(ev) }); avg != 0 {
+		t.Fatalf("Append allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestMergeSortsAcrossJournals(t *testing.T) {
+	a, b := NewJournal("a", 64), NewJournal("b", 64)
+	a.Append(Event{Time: 30, Kind: KindSplit})
+	b.Append(Event{Time: 10, Kind: KindFault})
+	a.Append(Event{Time: 20, Kind: KindUnsplit})
+	merged := Merge(a, nil, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time < merged[i-1].Time {
+			t.Fatalf("merge not time-sorted: %+v", merged)
+		}
+	}
+}
+
+func TestFormatAndKindJSON(t *testing.T) {
+	ev := Event{Seq: 7, Time: 12000, Node: "n2", Kind: KindSplit,
+		Subject: "f", Corr: 0xa1b, V1: 2}
+	line := Format([]Event{ev})
+	for _, want := range []string{"t=12000", "n2", "#7", "split", "f", "corr=a1b", "v=(2, 0, 0)"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Format missing %q: %s", want, line)
+		}
+	}
+
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"kind":"split"`) {
+		t.Errorf("kind not a string: %s", buf)
+	}
+	var back Event
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Errorf("JSON round trip: %+v != %+v", back, ev)
+	}
+	var bad Kind
+	if err := bad.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+}
+
+// BenchmarkEventJournal is the satellite bench: events/op and allocs/op
+// of the hot append path (allocs must report 0).
+func BenchmarkEventJournal(b *testing.B) {
+	j := NewJournal("bench", 1024)
+	ev := Event{Time: 1, Kind: KindLinkState, Subject: "peer", Detail: "established"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Time = int64(i)
+		j.Append(ev)
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/query"
+)
+
+// E19Observability measures what the observability plane costs on the
+// data path: the same filter -> map workload run with it disabled and
+// with the structured event journal plus delivered-QoS attribution
+// enabled. Both runs perform identical split/unsplit churn so the only
+// difference is the journaling of those decisions and the per-output
+// utility accounting; the overhead column is the number the CI guard
+// (CI_EVENTS_GUARD=1) fences at 3%. The events column shows the journal
+// actually heard the control decisions, and the utility column is the
+// rolling delivered-utility gauge the QoS graphs awarded the run.
+func E19Observability(scale float64) *Table {
+	t := &Table{ID: "E19", Title: "observability plane overhead (event journal + delivered-QoS attribution)",
+		Header: []string{"config", "tuples", "wall ms", "Ktuples/s", "overhead %", "events", "utility"}}
+
+	total := scaled(160_000, scale)
+
+	run := func(on bool, n int) (time.Duration, uint64, float64) {
+		churn := n / 4
+		var spec *qos.Spec
+		var j *events.Journal
+		cfg := engine.Config{}
+		if on {
+			spec = &qos.Spec{Latency: qos.DefaultLatency(1e6, 1e9)}
+			j = events.NewJournal("e19", 1024)
+			cfg.Journal = j
+		}
+		net := query.NewBuilder("e19").
+			AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 95"}}).
+			AddBox("m", op.Spec{Kind: "map", Params: map[string]string{
+				"exprs": "A=A; B=((B * 3) + (A % 7))"}}).
+			Connect("f", "m").
+			BindInput("in", abSchema, "f", 0).
+			BindOutput("out", "m", 0, spec).
+			MustBuild()
+		e, err := engine.New(net, cfg)
+		if err != nil {
+			panic(err)
+		}
+		in := randTuples(n, 16, 7)
+		splits := 0
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			// Stamp arrival so QoS latency is the real queueing delay, not
+			// the synthetic generator timestamp.
+			tp := in[i]
+			tp.TS = time.Now().UnixNano()
+			e.Ingest("in", tp)
+			if (i+1)%512 == 0 {
+				e.Run()
+			}
+			// Identical control churn in both configs; only the on-config
+			// journals it.
+			if churn > 0 && (i+1)%churn == 0 {
+				if splits%2 == 0 {
+					_ = e.SplitBox("f", 2)
+				} else {
+					_ = e.UnsplitBox("f")
+				}
+				splits++
+			}
+		}
+		e.Run()
+		e.Drain()
+		el := time.Since(start)
+		var evs uint64
+		if j != nil {
+			evs = j.Total()
+		}
+		return el, evs, e.Metrics().FloatGauge("output.out.utility").Value()
+	}
+
+	// Warm-up pass, then best-of-three alternating runs per
+	// configuration: the overhead column compares best against best so
+	// run-to-run scheduler noise doesn't masquerade as plane cost.
+	run(false, total/8+1)
+	offEl, _, _ := run(false, total)
+	onEl, evs, util := run(true, total)
+	for i := 0; i < 2; i++ {
+		if el, _, _ := run(false, total); el < offEl {
+			offEl = el
+		}
+		if el, _, _ := run(true, total); el < onEl {
+			onEl = el
+		}
+	}
+	offMs := float64(offEl.Nanoseconds()) / 1e6
+	onMs := float64(onEl.Nanoseconds()) / 1e6
+	t.Add("off", total, offMs, float64(total)/1e3/(offMs/1e3), 0.0, 0, 0.0)
+	t.Add("on", total, onMs, float64(total)/1e3/(onMs/1e3), (onMs/offMs-1)*100, evs, util)
+	t.Note("journal hears only control decisions (splits here), so per-tuple cost is attribution's few float ops")
+	return t
+}

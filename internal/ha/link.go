@@ -3,7 +3,9 @@ package ha
 import (
 	"encoding/binary"
 	"sync"
+	"time"
 
+	"repro/internal/events"
 	"repro/internal/stream"
 )
 
@@ -22,6 +24,12 @@ import (
 // the reconnect half of the guarantee, hooked to the transport's
 // on-established callback.
 type LinkSender struct {
+	// Name labels this sender's stream in journal events, and Journal
+	// receives a KindHAReplay summary per Resync. Both optional; set them
+	// before the link goes live (they are read without s.mu).
+	Name    string
+	Journal *events.Journal
+
 	mu       sync.Mutex
 	log      *OutputLog
 	send     func([]stream.Tuple) error
@@ -63,18 +71,28 @@ func (s *LinkSender) Ack(recv uint64) {
 // are suppressed by the receiver's Dedup.
 func (s *LinkSender) Resync() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	pend := s.log.ReplayFrom(s.log.Received())
 	const chunk = 128
+	replayed := 0
 	for len(pend) > 0 {
 		n := min(chunk, len(pend))
 		if err := s.send(pend[:n]); err != nil {
 			break // link died again; the next re-establish retries
 		}
-		s.replayed += int64(n)
+		replayed += n
 		pend = pend[n:]
 	}
-	return s.log.Len()
+	s.replayed += int64(replayed)
+	remaining := s.log.Len()
+	s.mu.Unlock()
+	if s.Journal != nil {
+		// V1 = tuples replayed this resync, V2 = still retained unacked.
+		s.Journal.Append(events.Event{
+			Time: time.Now().UnixNano(), Kind: events.KindHAReplay,
+			Subject: s.Name, V1: float64(replayed), V2: float64(remaining),
+		})
+	}
+	return remaining
 }
 
 // Outstanding returns how many tuples are retained awaiting ack.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/events"
 	"repro/internal/stream"
 )
 
@@ -176,5 +177,34 @@ func TestLinkAckEveryCadence(t *testing.T) {
 	r.AckNow()
 	if len(acks) != 3 || acks[len(acks)-1] != 7 {
 		t.Errorf("AckNow: acks = %v, want final complete prefix 7", acks)
+	}
+}
+
+// TestResyncJournalsReplaySummary: a Resync with a journal attached
+// records how much it replayed and how much remains retained.
+func TestResyncJournalsReplaySummary(t *testing.T) {
+	wire := &lossyWire{}
+	s := NewLinkSender(wire.send)
+	s.Name = "nodeB/out"
+	s.Journal = events.NewJournal("nodeA", 16)
+	wire.setDrop(true)
+	for i := 0; i < 5; i++ {
+		s.Send(tuple(int64(i)))
+	}
+	wire.setDrop(false)
+	s.Resync()
+	evs := s.Journal.Tail(4)
+	if len(evs) != 1 {
+		t.Fatalf("journal = %s; want one ha-replay event", events.Format(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != events.KindHAReplay || ev.Subject != "nodeB/out" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.V1 != 5 {
+		t.Errorf("replayed = %v; want 5", ev.V1)
+	}
+	if ev.V2 != 5 {
+		t.Errorf("remaining = %v; want 5 (nothing acked yet)", ev.V2)
 	}
 }

@@ -39,6 +39,19 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an atomically updated instantaneous float64 value,
+// stored as raw bits in one atomic word — Set and Value are single
+// atomic operations, usable on delivery hot paths. The delivered-QoS
+// utility gauges are FloatGauges: utility is a fraction in [0, 1] that
+// an integer Gauge would truncate to nothing.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // ewmaEmpty marks an EWMA that has seen no observation. It is a NaN bit
 // pattern that float64 arithmetic never produces (Go's canonical NaN is
 // 0x7FF8000000000001; this one carries a different payload), so a stored
@@ -256,20 +269,22 @@ func (s Summary) String() string {
 
 // Registry is a named collection of metrics for one node or experiment.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	ewmas      map[string]*EWMA
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+	ewmas       map[string]*EWMA
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
-		ewmas:      map[string]*EWMA{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		floatGauges: map[string]*FloatGauge{},
+		histograms:  map[string]*Histogram{},
+		ewmas:       map[string]*EWMA{},
 	}
 }
 
@@ -293,6 +308,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns (creating if needed) the named float gauge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floatGauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
 	}
 	return g
 }
@@ -325,10 +352,11 @@ func (r *Registry) EWMA(name string) *EWMA {
 // registry at one instant — the structured counterpart of Dump, consumed
 // by the auroranode /metrics endpoint and machine-readable bench output.
 type RegistrySnapshot struct {
-	Counters   map[string]int64   `json:"counters,omitempty"`
-	Gauges     map[string]int64   `json:"gauges,omitempty"`
-	EWMAs      map[string]float64 `json:"ewmas,omitempty"`
-	Histograms map[string]Summary `json:"histograms,omitempty"`
+	Counters    map[string]int64   `json:"counters,omitempty"`
+	Gauges      map[string]int64   `json:"gauges,omitempty"`
+	FloatGauges map[string]float64 `json:"float_gauges,omitempty"`
+	EWMAs       map[string]float64 `json:"ewmas,omitempty"`
+	Histograms  map[string]Summary `json:"histograms,omitempty"`
 }
 
 // Snapshot captures every registered metric with its current value.
@@ -336,16 +364,20 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := RegistrySnapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		EWMAs:      make(map[string]float64, len(r.ewmas)),
-		Histograms: make(map[string]Summary, len(r.histograms)),
+		Counters:    make(map[string]int64, len(r.counters)),
+		Gauges:      make(map[string]int64, len(r.gauges)),
+		FloatGauges: make(map[string]float64, len(r.floatGauges)),
+		EWMAs:       make(map[string]float64, len(r.ewmas)),
+		Histograms:  make(map[string]Summary, len(r.histograms)),
 	}
 	for n, c := range r.counters {
 		s.Counters[n] = c.Value()
 	}
 	for n, g := range r.gauges {
 		s.Gauges[n] = g.Value()
+	}
+	for n, g := range r.floatGauges {
+		s.FloatGauges[n] = g.Value()
 	}
 	for n, e := range r.ewmas {
 		s.EWMAs[n] = e.Value()
@@ -365,6 +397,9 @@ func (r *Registry) Dump() string {
 	}
 	for n, v := range s.Gauges {
 		lines = append(lines, fmt.Sprintf("gauge %s = %d", n, v))
+	}
+	for n, v := range s.FloatGauges {
+		lines = append(lines, fmt.Sprintf("fgauge %s = %.3f", n, v))
 	}
 	for n, v := range s.EWMAs {
 		lines = append(lines, fmt.Sprintf("ewma %s = %.3f", n, v))

@@ -1,0 +1,125 @@
+// Prometheus text exposition of a registry snapshot. The format is the
+// classic text/plain version 0.0.4 Prometheus scrape format: counters as
+// counter, gauges/float gauges/EWMAs as gauge, histograms as summary with
+// quantile labels plus _sum and _count. Metric names are the registry's
+// dotted names with every non-[a-zA-Z0-9_] byte mapped to '_'
+// ("engine.delivered" scrapes as engine_delivered). Output is sorted by
+// name so it is deterministic — the golden-file test pins it.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. labels (e.g. node="n1") are attached to every sample; pass nil
+// for none. Keys within a family are emitted in sorted order.
+func WritePrometheus(w io.Writer, s RegistrySnapshot, labels map[string]string) {
+	lbl := formatLabels(labels)
+
+	type family struct {
+		name  string
+		ptype string
+		emit  func(name string)
+	}
+	var fams []family
+	for n, v := range s.Counters {
+		v := v
+		fams = append(fams, family{n, "counter", func(name string) {
+			fmt.Fprintf(w, "%s%s %d\n", name, lbl, v)
+		}})
+	}
+	for n, v := range s.Gauges {
+		v := v
+		fams = append(fams, family{n, "gauge", func(name string) {
+			fmt.Fprintf(w, "%s%s %d\n", name, lbl, v)
+		}})
+	}
+	for n, v := range s.FloatGauges {
+		v := v
+		fams = append(fams, family{n, "gauge", func(name string) {
+			fmt.Fprintf(w, "%s%s %v\n", name, lbl, v)
+		}})
+	}
+	for n, v := range s.EWMAs {
+		v := v
+		fams = append(fams, family{n, "gauge", func(name string) {
+			fmt.Fprintf(w, "%s%s %v\n", name, lbl, v)
+		}})
+	}
+	for n, h := range s.Histograms {
+		h := h
+		fams = append(fams, family{n, "summary", func(name string) {
+			for _, q := range [...]struct {
+				q string
+				v float64
+			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+				fmt.Fprintf(w, "%s%s %v\n", name, quantileLabels(labels, q.q), q.v)
+			}
+			fmt.Fprintf(w, "%s_sum%s %v\n", name, lbl, h.Sum())
+			fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, h.Count)
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		name := promName(f.name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.ptype)
+		f.emit(name)
+	}
+}
+
+// promName maps a dotted registry name onto the Prometheus name charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k="v",...} with keys sorted, or "" when empty.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", promName(k), labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// quantileLabels is formatLabels with the summary quantile appended.
+func quantileLabels(labels map[string]string, q string) string {
+	base := formatLabels(labels)
+	if base == "" {
+		return `{quantile="` + q + `"}`
+	}
+	return base[:len(base)-1] + `,quantile="` + q + `"}`
+}

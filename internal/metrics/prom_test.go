@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("output.out.utility")
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %v", g.Value())
+	}
+	g.Set(0.625)
+	if g.Value() != 0.625 {
+		t.Fatalf("gauge = %v, want 0.625", g.Value())
+	}
+	if r.FloatGauge("output.out.utility") != g {
+		t.Fatal("registry not get-or-create for float gauges")
+	}
+	s := r.Snapshot()
+	if s.FloatGauges["output.out.utility"] != 0.625 {
+		t.Fatalf("snapshot = %+v", s.FloatGauges)
+	}
+	if !strings.Contains(r.Dump(), "fgauge output.out.utility = 0.625") {
+		t.Errorf("Dump missing float gauge:\n%s", r.Dump())
+	}
+}
+
+// goldenSnapshot is a registry with one metric of every type, with fixed
+// values so the exposition is byte-stable.
+func goldenSnapshot() RegistrySnapshot {
+	r := NewRegistry()
+	r.Counter("engine.delivered").Add(1234)
+	r.Counter("engine.shed").Add(7)
+	r.Gauge("engine.queued").Set(42)
+	r.FloatGauge("output.out.utility").Set(0.875)
+	r.EWMA("box.f.cost").Observe(500)
+	h := r.Histogram("output.out.latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i * 1000))
+	}
+	return r.Snapshot()
+}
+
+// TestPrometheusGolden pins the exposition format byte for byte: a
+// Prometheus scraper configured against one release must parse the next.
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, goldenSnapshot(), map[string]string{"node": "n1"})
+	got := b.String()
+
+	path := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("prometheus exposition changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	if n := promName("box.f#2.work_ns"); n != "box_f_2_work_ns" {
+		t.Errorf("promName = %q", n)
+	}
+	if n := promName("9lives"); n != "_9lives" {
+		t.Errorf("leading digit: %q", n)
+	}
+	var b strings.Builder
+	r := NewRegistry()
+	r.Counter("a.b-c").Inc()
+	WritePrometheus(&b, r.Snapshot(), nil)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE a_b_c counter\na_b_c 1\n") {
+		t.Errorf("unlabelled exposition:\n%s", out)
+	}
+}

@@ -17,10 +17,14 @@ import (
 //	  8 bytes queued
 //	  uvarint len(boxes)
 //	  per box: uvarint len(name) | name bytes | 8 bytes load
+//	  uvarint len(outputs)
+//	  per output: uvarint len(name) | name bytes | 8 bytes utility | 8 bytes rate
 //
 // Floats travel as raw bits so an encode/decode round trip is
 // bit-identical (NaN payloads included) — the same canonical-bytes
-// contract the tuple codec's fuzzer enforces.
+// contract the tuple codec's fuzzer enforces. An empty batch is the
+// single byte 0x00 exactly as before the outputs list existed, so
+// digest-free messages stay byte-identical on the wire.
 
 // maxDigests bounds one batch; a cluster gossips one digest per node,
 // so anything larger is corrupt, not big.
@@ -28,6 +32,9 @@ const maxDigests = 4096
 
 // maxBoxes bounds the per-digest box list.
 const maxBoxes = 65536
+
+// maxOutputs bounds the per-digest delivered-QoS list.
+const maxOutputs = 65536
 
 // AppendDigests appends the wire form of a digest batch to dst.
 func AppendDigests(dst []byte, ds []Digest) []byte {
@@ -44,6 +51,13 @@ func AppendDigests(dst []byte, ds []Digest) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(b.Box)))
 			dst = append(dst, b.Box...)
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Load))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(d.Outputs)))
+		for _, o := range d.Outputs {
+			dst = binary.AppendUvarint(dst, uint64(len(o.Output)))
+			dst = append(dst, o.Output...)
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Utility))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Rate))
 		}
 	}
 	return dst
@@ -130,6 +144,43 @@ func DecodeDigests(src []byte) ([]Digest, int, error) {
 			}
 			pos += used
 			d.Boxes = append(d.Boxes, bl)
+		}
+		outs, used, err := readUvarint(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if outs > maxOutputs {
+			return nil, 0, fmt.Errorf("stats: output count %d exceeds limit", outs)
+		}
+		// Each output entry is at least 17 bytes (length byte + two floats).
+		if outs > uint64(len(src)-pos) {
+			return nil, 0, fmt.Errorf("stats: truncated output list")
+		}
+		if outs > 0 {
+			d.Outputs = make([]OutputQoS, 0, outs)
+		}
+		for o := uint64(0); o < outs; o++ {
+			var oq OutputQoS
+			n, used, err := readUvarint(src[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			if n > uint64(len(src)-pos) {
+				return nil, 0, fmt.Errorf("stats: truncated output name")
+			}
+			oq.Output = string(src[pos : pos+int(n)])
+			pos += int(n)
+			if oq.Utility, used, err = readFloat(src[pos:]); err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			if oq.Rate, used, err = readFloat(src[pos:]); err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			d.Outputs = append(d.Outputs, oq)
 		}
 		ds = append(ds, d)
 	}

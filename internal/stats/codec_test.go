@@ -11,7 +11,8 @@ func sampleDigests() []Digest {
 		{
 			Node: "node-a", Seq: 42, At: 1234567890,
 			Util: 0.875, Queued: 17,
-			Boxes: []BoxLoad{{Box: "filter1", Load: 0.25}, {Box: "map2", Load: 0.0625}},
+			Boxes:   []BoxLoad{{Box: "filter1", Load: 0.25}, {Box: "map2", Load: 0.0625}},
+			Outputs: []OutputQoS{{Output: "out", Utility: 0.75, Rate: 120}},
 		},
 		{Node: "b", Seq: 1, At: -5, Util: 0, Queued: 0},
 		{Node: "", Seq: 0, At: 0, Util: math.Inf(1), Queued: -0.5,

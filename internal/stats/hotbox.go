@@ -61,6 +61,25 @@ func (h HotSpec) Hot(s *Store, box string, now int64) bool {
 	return ok && queue >= h.MinQueue
 }
 
+// Measure returns the windowed evidence Hot evaluates — the box's work
+// rate as a fraction of one core and its windowed queue depth — for
+// publication in the event journal: a HotBox event carries the measured
+// values that fired the predicate, not just the fact that it fired.
+// Series with no complete window read as zero.
+func (h HotSpec) Measure(s *Store, box string, now int64) (workFrac, queue float64) {
+	if s == nil {
+		return 0, 0
+	}
+	h = h.WithDefaults()
+	if w, ok := s.Windowed(SeriesBoxWork(box), h.Windows, now); ok {
+		workFrac = w / 1e9
+	}
+	if q, ok := s.Windowed(SeriesBoxQueue(box), h.Windows, now); ok {
+		queue = q
+	}
+	return workFrac, queue
+}
+
 // Cool reports whether a split is ready to fold back at now: the summed
 // windowed work rate of the replica boxes is at most CoolFrac of a core
 // and their summed windowed queues are below MinQueue. Replicas with no

@@ -15,18 +15,30 @@ type BoxLoad struct {
 	Load float64 `json:"load"`
 }
 
+// OutputQoS is one output's windowed delivered-QoS contribution inside a
+// digest: the mean utility its deliveries earned against the attached
+// QoS graphs over the digest's window span, and the delivery rate the
+// mean is over. The LoadMap thereby carries not just where the load is
+// but what quality each node's outputs actually delivered.
+type OutputQoS struct {
+	Output  string  `json:"output"`
+	Utility float64 `json:"utility"` // mean delivered utility in the window
+	Rate    float64 `json:"rate"`    // deliveries per second in the window
+}
+
 // Digest is one node's compact windowed self-description, the unit the
 // gossip floods. Seq is a per-origin version: receivers keep the highest
 // Seq per node, so digests can arrive out of order, duplicated, or along
 // multiple paths without harm (the merge is idempotent and commutative —
 // what makes convergence independent of message order).
 type Digest struct {
-	Node   string    `json:"node"`
-	Seq    uint64    `json:"seq"`
-	At     int64     `json:"at"`     // sample time at the origin
-	Util   float64   `json:"util"`   // windowed CPU busy fraction
-	Queued float64   `json:"queued"` // windowed queue depth (tuples)
-	Boxes  []BoxLoad `json:"boxes,omitempty"`
+	Node    string      `json:"node"`
+	Seq     uint64      `json:"seq"`
+	At      int64       `json:"at"`     // sample time at the origin
+	Util    float64     `json:"util"`   // windowed CPU busy fraction
+	Queued  float64     `json:"queued"` // windowed queue depth (tuples)
+	Boxes   []BoxLoad   `json:"boxes,omitempty"`
+	Outputs []OutputQoS `json:"outputs,omitempty"`
 }
 
 // LoadMap is a node's view of the whole cluster: the latest digest it
@@ -181,15 +193,32 @@ func (p *Plane) Publish(now int64) Digest {
 	d.Util, _ = p.store.Windowed(SeriesNodeUtil, p.k, now)
 	d.Queued, _ = p.store.Windowed(SeriesNodeQueued, p.k, now)
 	const pre, suf = "box.", ".work_ns"
+	const opre, osuf = "out.", ".utility_sum"
 	for _, name := range p.store.Names() {
-		if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		if strings.HasPrefix(name, pre) && strings.HasSuffix(name, suf) {
+			box := name[len(pre) : len(name)-len(suf)]
+			if rate, ok := p.store.Windowed(name, p.k, now); ok {
+				// work_ns rate is ns of processing per second: /1e9 is the
+				// fraction of one CPU the box consumes.
+				d.Boxes = append(d.Boxes, BoxLoad{Box: box, Load: rate / 1e9})
+			}
 			continue
 		}
-		box := name[len(pre) : len(name)-len(suf)]
-		if rate, ok := p.store.Windowed(name, p.k, now); ok {
-			// work_ns rate is ns of processing per second: /1e9 is the
-			// fraction of one CPU the box consumes.
-			d.Boxes = append(d.Boxes, BoxLoad{Box: box, Load: rate / 1e9})
+		if strings.HasPrefix(name, opre) && strings.HasSuffix(name, osuf) {
+			out := name[len(opre) : len(name)-len(osuf)]
+			// Both series are counters, so their windowed values are
+			// rates: utility per second over deliveries per second is the
+			// window's mean utility per delivered tuple.
+			uRate, ok := p.store.Windowed(name, p.k, now)
+			if !ok {
+				continue
+			}
+			dRate, ok := p.store.Windowed(SeriesOutputDelivered(out), p.k, now)
+			if !ok || dRate <= 0 {
+				continue
+			}
+			d.Outputs = append(d.Outputs, OutputQoS{
+				Output: out, Utility: uRate / dRate, Rate: dRate})
 		}
 	}
 	p.lm.Update(d)

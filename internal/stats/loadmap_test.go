@@ -106,6 +106,35 @@ func TestPlanePublishBuildsDigestFromWindows(t *testing.T) {
 	}
 }
 
+func TestPlanePublishHarvestsOutputUtility(t *testing.T) {
+	p := NewPlane("n1", win, 8, 2)
+	st := p.Store()
+	// Two complete windows: 10 deliveries earning 7.5 utility, then 10
+	// more earning 2.5 — windowed mean utility (7.5+2.5)/20 = 0.5.
+	st.Observe(SeriesOutputUtilSum("out"), KindCounter, 1*win, 0)
+	st.Observe(SeriesOutputDelivered("out"), KindCounter, 1*win, 0)
+	st.Observe(SeriesOutputUtilSum("out"), KindCounter, 2*win, 7.5)
+	st.Observe(SeriesOutputDelivered("out"), KindCounter, 2*win, 10)
+	st.Observe(SeriesOutputUtilSum("out"), KindCounter, 3*win-1, 10)
+	st.Observe(SeriesOutputDelivered("out"), KindCounter, 3*win-1, 20)
+	d := p.Publish(3 * win)
+	if len(d.Outputs) != 1 || d.Outputs[0].Output != "out" {
+		t.Fatalf("Outputs = %+v; want one entry for out", d.Outputs)
+	}
+	if got := d.Outputs[0].Utility; got != 0.5 {
+		t.Errorf("utility = %v; want 0.5", got)
+	}
+	if d.Outputs[0].Rate <= 0 {
+		t.Errorf("rate = %v; want > 0", d.Outputs[0].Rate)
+	}
+	// An output with deliveries but no utility series (no QoS spec) or
+	// no complete window does not appear.
+	st.Observe(SeriesOutputDelivered("bare"), KindCounter, 3*win-1, 5)
+	if d := p.Publish(3 * win); len(d.Outputs) != 1 {
+		t.Errorf("bare output leaked into digest: %+v", d.Outputs)
+	}
+}
+
 func TestPlaneGossipMergeConverges(t *testing.T) {
 	a := NewPlane("a", win, 8, 2)
 	b := NewPlane("b", win, 8, 2)

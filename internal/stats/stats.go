@@ -73,6 +73,17 @@ func SeriesBoxDrops(box string) string { return "box." + box + ".drops" }
 // SeriesLink names a directed link's cumulative byte series (counter).
 func SeriesLink(from, to string) string { return "link." + from + ">" + to + ".bytes" }
 
+// SeriesOutputUtilSum names an output's cumulative delivered-utility
+// series (counter: the sum of per-tuple QoS utilities; the windowed rate
+// is utility delivered per second).
+func SeriesOutputUtilSum(out string) string { return "out." + out + ".utility_sum" }
+
+// SeriesOutputDelivered names an output's cumulative delivery-count
+// series (counter, tuples). The ratio of the utility-sum rate to this
+// rate is the window's mean delivered utility — the rolling QoS gauge
+// the digests carry.
+func SeriesOutputDelivered(out string) string { return "out." + out + ".delivered" }
+
 // window is one aligned time window of a series.
 type window struct {
 	idx   int64 // window index (start = idx*windowNs); negative = empty

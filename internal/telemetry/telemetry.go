@@ -1,16 +1,19 @@
 // Package telemetry is the node-local HTTP introspection surface shared
 // by cmd/auroranode (which serves it) and cmd/dspstat (which scrapes it):
-// liveness, metric snapshots, flight-recorder traces, and — when the
-// statistics plane is on — windowed series and the gossiped load map.
+// liveness, metric snapshots, flight-recorder traces, the structured
+// event journal, and — when the statistics plane is on — windowed series
+// and the gossiped load map.
 package telemetry
 
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -32,8 +35,14 @@ type LinksResponse struct {
 
 // MetricsResponse is the /metrics payload.
 type MetricsResponse struct {
-	Node    string                   `json:"node"`
-	Metrics metrics.RegistrySnapshot `json:"metrics"`
+	Node string `json:"node"`
+	// Now is the scrape's wall-clock time in unix nanoseconds and
+	// UptimeNs how long this telemetry surface has been serving — rate
+	// computations across scrapes need both.
+	Now      int64  `json:"now"`
+	UptimeNs int64  `json:"uptime_ns"`
+	Version  string `json:"version,omitempty"`
+	Metrics  metrics.RegistrySnapshot `json:"metrics"`
 }
 
 // StatsResponse is the /stats payload: the node's windowed series.
@@ -52,39 +61,118 @@ type LoadMapResponse struct {
 	Digests []stats.Digest `json:"digests"`
 }
 
-// Handler builds the introspection mux (stdlib only):
+// EventsResponse is the /events payload: one page of the node's
+// structured event journal. Next is the cursor for the following page
+// (pass it back as ?since=); Total counts everything ever journaled, so
+// a scraper can detect how much the ring has already forgotten.
+type EventsResponse struct {
+	Node   string         `json:"node"`
+	Next   uint64         `json:"next"`
+	Total  uint64         `json:"total"`
+	Events []events.Event `json:"events"`
+}
+
+// Config assembles a telemetry handler. Only Node and Engine are
+// required; every nil optional surface answers 404 on its endpoints.
+type Config struct {
+	Node   string
+	Engine *engine.Engine
+	// Plane serves /stats and /loadmap.
+	Plane *stats.Plane
+	// Links serves /links.
+	Links LinkSource
+	// Journal serves /events. Nil falls back to the engine's journal.
+	Journal *events.Journal
+	// Version is reported in /metrics (build identification).
+	Version string
+	// Health, when non-nil, can veto liveness: /healthz answers 503 with
+	// the returned reason. The engine's own drain state is checked first.
+	Health func() (ok bool, reason string)
+}
+
+// Handler builds the introspection mux with positional arguments — the
+// pre-observability-plane signature, kept for existing callers.
+func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource) http.Handler {
+	return NewHandler(Config{Node: id, Engine: eng, Plane: plane, Links: links})
+}
+
+// NewHandler builds the introspection mux (stdlib only):
 //
-//	GET /healthz          liveness probe, "ok"
-//	GET /metrics          JSON snapshot of every engine metric
+//	GET /healthz          liveness probe: "ok", or 503 + reason when the
+//	                      engine is draining/stopped or the Health probe
+//	                      vetoes
+//	GET /metrics          JSON snapshot of every engine metric, with
+//	                      uptime, wall-clock timestamp, and version
+//	GET /metrics?format=prom
+//	                      the same snapshot in Prometheus/OpenMetrics
+//	                      text exposition, node label attached
 //	GET /trace?n=100      the most recent flight-recorder events as JSON
 //	GET /trace?format=chrome
 //	                      same events as Chrome trace-event JSON, loadable
 //	                      in Perfetto (ui.perfetto.dev) or chrome://tracing
+//	GET /events?since=0&max=256
+//	                      the structured event journal, seq-cursor paged
+//	                      oldest-first (pass the returned next as since)
 //	GET /stats?series=box.&window=4
 //	                      windowed series (optionally filtered by name
 //	                      prefix; window overrides how many complete
 //	                      windows the windowed value averages)
 //	GET /loadmap          the gossiped cluster load map and its ranking
 //	GET /links            per-peer transport link states and counters
+//	GET /debug/pprof/     the standard Go profiling surface
 //
 // Every handler reads only concurrency-safe state (the metric registry is
-// mutex-and-atomic, the flight recorder is a mutexed ring, the stats
-// store and load map are mutexed, link infos are snapshots), so the HTTP
-// goroutines never touch the single-threaded engine core. plane may be
-// nil: /stats and /loadmap then answer 404; likewise links and /links.
-func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource) http.Handler {
+// mutex-and-atomic, the flight recorder and event journal are mutexed
+// rings, the stats store and load map are mutexed, link infos are
+// snapshots), so the HTTP goroutines never touch the single-threaded
+// engine core.
+func NewHandler(cfg Config) http.Handler {
+	id, eng := cfg.Node, cfg.Engine
+	journal := cfg.Journal
+	if journal == nil {
+		journal = eng.Journal()
+	}
+	start := time.Now()
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reason := ""
+		if eng.Draining() {
+			reason = "draining"
+		} else if cfg.Health != nil {
+			if ok, why := cfg.Health(); !ok {
+				reason = why
+				if reason == "" {
+					reason = "unhealthy"
+				}
+			}
+		}
+		if reason != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(reason + "\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := eng.Metrics().Snapshot()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.WritePrometheus(w, snap, map[string]string{"node": id})
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(MetricsResponse{Node: id, Metrics: eng.Metrics().Snapshot()})
+		enc.Encode(MetricsResponse{
+			Node:     id,
+			Now:      time.Now().UnixNano(),
+			UptimeNs: time.Since(start).Nanoseconds(),
+			Version:  cfg.Version,
+			Metrics:  snap,
+		})
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -113,12 +201,45 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource
 		json.NewEncoder(w).Encode(evs)
 	})
 
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if journal == nil {
+			http.Error(w, "event journal disabled", http.StatusNotFound)
+			return
+		}
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		max := 256
+		if s := r.URL.Query().Get("max"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				http.Error(w, "bad max", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		evs, next := journal.Since(since, max)
+		if evs == nil {
+			evs = []events.Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(EventsResponse{
+			Node: id, Next: next, Total: journal.Total(), Events: evs,
+		})
+	})
+
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if plane == nil {
+		if cfg.Plane == nil {
 			http.Error(w, "stats plane disabled", http.StatusNotFound)
 			return
 		}
-		k := plane.WindowedK()
+		k := cfg.Plane.WindowedK()
 		if s := r.URL.Query().Get("window"); s != "" {
 			n, err := strconv.Atoi(s)
 			if err != nil || n < 1 {
@@ -127,7 +248,7 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource
 			}
 			k = n
 		}
-		st := plane.Store()
+		st := cfg.Plane.Store()
 		series := st.Export(r.URL.Query().Get("series"), k, time.Now().UnixNano())
 		if series == nil {
 			series = []stats.SeriesExport{}
@@ -139,11 +260,11 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource
 	})
 
 	mux.HandleFunc("/loadmap", func(w http.ResponseWriter, _ *http.Request) {
-		if plane == nil {
+		if cfg.Plane == nil {
 			http.Error(w, "stats plane disabled", http.StatusNotFound)
 			return
 		}
-		lm := plane.Map()
+		lm := cfg.Plane.Map()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(LoadMapResponse{
 			Node: id, Ranking: lm.Ranking(), Digests: lm.Snapshot(),
@@ -151,17 +272,23 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource
 	})
 
 	mux.HandleFunc("/links", func(w http.ResponseWriter, _ *http.Request) {
-		if links == nil {
+		if cfg.Links == nil {
 			http.Error(w, "no transport", http.StatusNotFound)
 			return
 		}
-		infos := links.LinkInfos()
+		infos := cfg.Links.LinkInfos()
 		if infos == nil {
 			infos = []transport.LinkInfo{}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(LinksResponse{Node: id, Links: infos})
 	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
 }

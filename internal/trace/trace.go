@@ -247,6 +247,18 @@ func (t *Tracer) Annotate(name string, now int64) {
 	t.rec.Add(Event{Node: t.node, Name: name, Kind: KindMark, Start: now})
 }
 
+// AnnotateID is Annotate carrying an explicit id in the mark's TraceID
+// slot. The event journal's correlation ids use the same node-salted
+// scheme as span ids, so a control-plane decision (journal event) and
+// its trace mark (split installed, fault injected) share one id and a
+// post-mortem can join the two timelines.
+func (t *Tracer) AnnotateID(id uint64, name string, now int64) {
+	if t == nil || t.rec == nil {
+		return
+	}
+	t.rec.Add(Event{TraceID: id, Node: t.node, Name: name, Kind: KindMark, Start: now})
+}
+
 // FormatEvents renders events one per line for violation dumps and logs.
 func FormatEvents(events []Event) string {
 	var b strings.Builder

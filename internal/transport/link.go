@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/events"
 )
 
 // LinkState is the supervised peer-link state machine. A configured peer
@@ -254,6 +256,25 @@ func (t *TCP) SetOnLinkState(fn func(peer string, from, to LinkState)) {
 	t.mu.Unlock()
 }
 
+// SetJournal directs a structured event into the given journal on every
+// supervised link state transition (KindLinkState: Subject is the peer,
+// Detail the new state, V1 the numeric prior state). Unlike the
+// SetOnLinkState hook this is pure recording — no scheduling, no
+// locks held — so the control plane's flight recorder sees link churn
+// even when nothing subscribes to it. A nil journal disables.
+func (t *TCP) SetJournal(j *events.Journal) { t.journal.Store(j) }
+
+// journalLink records one link transition; callers have already
+// established from != to.
+func (t *TCP) journalLink(peer string, from, to LinkState) {
+	if j := t.journal.Load(); j != nil {
+		j.Append(events.Event{
+			Time: time.Now().UnixNano(), Kind: events.KindLinkState,
+			Subject: peer, Detail: to.String(), V1: float64(from),
+		})
+	}
+}
+
 // SetOnEstablished installs a callback fired after a connection to peer
 // attaches and the reconnect buffer has been flushed onto it; reconnected
 // is true when the link had been established before. The HA layer hooks
@@ -349,6 +370,9 @@ func (l *Link) attach(c *Conn, stateCB func(string, LinkState, LinkState), estCB
 
 	peer := l.peer
 	return func() {
+		if from != LinkEstablished {
+			l.t.journalLink(peer, from, LinkEstablished)
+		}
 		if stateCB != nil && from != LinkEstablished {
 			stateCB(peer, from, LinkEstablished)
 		}
@@ -400,6 +424,9 @@ func (l *Link) detach(c *Conn, orphans []Msg, stateCB func(string, LinkState, Li
 
 	peer := l.peer
 	return func() {
+		if from != to {
+			l.t.journalLink(peer, from, to)
+		}
 		if stateCB != nil && from != to {
 			stateCB(peer, from, to)
 		}
@@ -455,6 +482,7 @@ func (l *Link) setState(to LinkState, close bool) {
 	}
 	l.state = to
 	l.mu.Unlock()
+	l.t.journalLink(l.peer, from, to)
 	if cb, _ := l.t.callbacks(); cb != nil {
 		cb(l.peer, from, to)
 	}

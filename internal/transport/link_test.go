@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/stream"
 )
 
@@ -690,5 +691,72 @@ func TestTCPAsymmetricPingNoFlap(t *testing.T) {
 	}
 	if info := linkInfo(t, a, "nodeB"); info.Reconnects != 0 {
 		t.Fatalf("idle link reconnected %d times", info.Reconnects)
+	}
+}
+
+// TestLinkStateTransitionsJournal: every supervised link transition
+// lands in an attached event journal, independent of callback hooks —
+// connect, degrade on peer death, re-establish on reconnect.
+func TestLinkStateTransitionsJournal(t *testing.T) {
+	leakGuard(t)
+	j := events.NewJournal("nodeA", 64)
+	sa, sb := &sink{}, &sink{}
+	cfg := LinkConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+	}
+	a, err := ListenTCP("nodeA", "127.0.0.1:0", sa.handler, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	a.SetJournal(j)
+	b, err := ListenTCP("nodeB", "127.0.0.1:0", sb.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	if err := a.AddPeer("nodeB", addr); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, "nodeB", LinkEstablished)
+	b.Close()
+	waitState(t, a, "nodeB", LinkDegraded)
+	b2, err := ListenTCP("nodeB", addr, sb.handler)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { b2.Close() })
+	waitState(t, a, "nodeB", LinkEstablished)
+
+	want := []string{
+		LinkEstablished.String(), // connecting -> established
+		LinkDegraded.String(),    // peer died
+		LinkEstablished.String(), // reconnect landed
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		evs := j.Tail(16)
+		var got []string
+		for _, ev := range evs {
+			if ev.Kind != events.KindLinkState || ev.Subject != "nodeB" {
+				t.Fatalf("unexpected event %+v", ev)
+			}
+			if ev.Node != "nodeA" || ev.Time == 0 {
+				t.Fatalf("event missing node/time: %+v", ev)
+			}
+			got = append(got, ev.Detail)
+		}
+		if len(got) >= len(want) {
+			for i, w := range want {
+				if got[i] != w {
+					t.Fatalf("transition %d = %q, want %q (all: %v)", i, got[i], w, got)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal has %v, want %v", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

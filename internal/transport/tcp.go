@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/events"
 )
 
 // helloStream is the reserved logical stream used for the connection
@@ -56,6 +58,11 @@ type TCP struct {
 
 	onLinkState   func(peer string, from, to LinkState)
 	onEstablished func(peer string, reconnected bool)
+
+	// journal receives a KindLinkState event for every supervised link
+	// transition, independent of the callback hooks. Atomic so the hot
+	// paths read it without taking t.mu; nil disables.
+	journal atomic.Pointer[events.Journal]
 }
 
 // Conn is one multiplexed connection to a peer.
