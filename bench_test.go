@@ -54,6 +54,7 @@ func BenchmarkExp15_RemoteDefinition(b *testing.B) { runExp(b, "E15") }
 func BenchmarkExp18_ParallelScaling(b *testing.B)  { runExp(b, "E18") }
 func BenchmarkExp18b_AutoSplit(b *testing.B)       { runExp(b, "E18B") }
 func BenchmarkExp19_Observability(b *testing.B)    { runExp(b, "E19") }
+func BenchmarkExp20_LatencySLO(b *testing.B)       { runExp(b, "E20") }
 func BenchmarkAbl01_DetectionTimeout(b *testing.B) { runExp(b, "A01") }
 func BenchmarkAbl02_FlowPeriod(b *testing.B)       { runExp(b, "A02") }
 

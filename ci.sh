@@ -59,6 +59,12 @@ echo "== events overhead guard"
 # within 3% of the disabled configuration.
 CI_EVENTS_GUARD=1 go test ./internal/engine/ -run TestEventsOverheadGuard -count=1 -v
 
+echo "== latency-SLO overhead guard"
+# The latency-SLO plane's bargain: per-output DDSketch recording, tail
+# attribution, and the per-window forecaster must keep the per-tuple
+# path within 3% of the plane-disabled configuration.
+CI_LATENCY_GUARD=1 go test ./internal/engine/ -run TestLatencyOverheadGuard -count=1 -v
+
 echo "== kill-mid-split chaos"
 # A fault schedule that crashes a node while its box runs split must
 # still satisfy all four k-safety oracles, plus the split-overlay seed
@@ -77,5 +83,6 @@ echo "== fuzz smoke"
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecodeTuple$' -fuzztime 10s
 go test ./internal/stats/ -run '^$' -fuzz '^FuzzDecodeDigest$' -fuzztime 10s
+go test ./internal/sketch/ -run '^$' -fuzz '^FuzzDecodeSketch$' -fuzztime 10s
 
 echo "ci: all checks passed"

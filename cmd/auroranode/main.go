@@ -32,6 +32,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/ha"
 	"repro/internal/op"
+	"repro/internal/qos"
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -71,6 +72,11 @@ type netFile struct {
 		Name string `json:"name"`
 		Box  string `json:"box"`
 		Port int    `json:"port"`
+		// Optional latency QoS graph (§7.1): utility 1 up to good ms,
+		// linear to 0 at zero ms. Both must be set; enables delivered-QoS
+		// attribution and the -slo plane's cliff forecasting.
+		QoSGoodMs float64 `json:"qos_good_ms"`
+		QoSZeroMs float64 `json:"qos_zero_ms"`
 	} `json:"outputs"`
 }
 
@@ -140,7 +146,11 @@ func loadNetwork(path string) (*query.Network, error) {
 		b.BindInput(in.Name, schema, in.Box, in.Port)
 	}
 	for _, o := range nf.Outputs {
-		b.BindOutput(o.Name, o.Box, o.Port, nil)
+		var spec *qos.Spec
+		if o.QoSGoodMs > 0 && o.QoSZeroMs > o.QoSGoodMs {
+			spec = &qos.Spec{Latency: qos.DefaultLatency(o.QoSGoodMs*1e6, o.QoSZeroMs*1e6)}
+		}
+		b.BindOutput(o.Name, o.Box, o.Port, spec)
 	}
 	return b.Build()
 }
@@ -179,6 +189,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker pool size for wall-clock execution (0 or 1 = serial)")
 		autoN    = flag.Int("autosplit", 0, "key-shard a hot box into N replicas at runtime when the stats plane flags it (0 disables; needs a splittable operator)")
 		eventBuf = flag.Int("events-buf", 1024, "structured event journal ring capacity (0 disables the journal)")
+		sloOn    = flag.Bool("slo", false, "enable the latency-SLO plane: per-output quantile sketches, tail attribution, and cliff forecasting (served at /latency and as Prometheus histograms)")
 	)
 	peers := multiFlag{}
 	routes := multiFlag{}
@@ -215,6 +226,11 @@ func main() {
 		// The controller rides the stats plane; without -stats the engine
 		// creates a private windowed store just for hot-box detection.
 		ecfg.AutoSplit = &engine.AutoSplitConfig{Replicas: *autoN}
+	}
+	if *sloOn {
+		// Defaults throughout; like autosplit, the plane builds a private
+		// windowed store when -stats is off.
+		ecfg.SLO = &engine.SLOConfig{}
 	}
 	eng, err := engine.New(net, ecfg)
 	if err != nil {

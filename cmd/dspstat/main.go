@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -121,9 +122,15 @@ func getJSON(client *http.Client, url string, into interface{}) error {
 }
 
 // render writes the operator view: one cluster table per scraped node
-// (its load-map ranking with per-box loads) followed by that node's own
-// windowed series.
-func render(w io.Writer, reports []*nodeReport) {
+// (its load-map ranking with per-box loads, delivered-latency p99s, and
+// QoS headroom from the digests' sketches) followed by that node's own
+// windowed series. bn maps output → the box the SLO plane last attributed
+// its tail latency to; those boxes render with a `*` in the BOXES column.
+func render(w io.Writer, reports []*nodeReport, bn map[string]string) {
+	hot := map[string]bool{}
+	for _, box := range bn {
+		hot[box] = true
+	}
 	for _, rep := range reports {
 		if rep.Err != nil {
 			fmt.Fprintf(w, "%s: scrape failed: %v\n", rep.Base, rep.Err)
@@ -138,13 +145,18 @@ func render(w io.Writer, reports []*nodeReport) {
 				byNode[d.Node] = d
 			}
 			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-			fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tDELIVERED\tBOXES")
+			fmt.Fprintln(tw, "NODE\tUTIL\tQUEUED\tSEQ\tDELIVERED\tP99\tHEADROOM\tBOXES")
 			for _, node := range rep.LoadMap.Ranking {
 				d := byNode[node]
-				fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\t%s\n",
-					d.Node, d.Util, d.Queued, d.Seq, outputColumn(d.Outputs), boxColumn(d.Boxes))
+				fmt.Fprintf(tw, "%s\t%.3f\t%.0f\t%d\t%s\t%s\t%s\t%s\n",
+					d.Node, d.Util, d.Queued, d.Seq, outputColumn(d.Outputs),
+					p99Column(d.Outputs), headroomColumn(d.Outputs),
+					boxColumn(d.Boxes, hot))
 			}
 			tw.Flush()
+			if len(bn) > 0 {
+				fmt.Fprintln(w, "   * = attributed tail-latency bottleneck")
+			}
 		}
 
 		if rep.HasLink && len(rep.Links.Links) > 0 {
@@ -195,6 +207,77 @@ func outputColumn(outs []stats.OutputQoS) string {
 	return strings.Join(parts, " ")
 }
 
+// p99Column formats each output's delivered-latency p99, decoded from the
+// digest's gossiped quantile sketch. Outputs without a sketch render "-".
+func p99Column(outs []stats.OutputQoS) string {
+	var parts []string
+	for _, o := range sortedOutputs(outs) {
+		if len(o.Sketch) == 0 {
+			continue
+		}
+		sk, _, err := sketch.DecodeSketch(o.Sketch)
+		if err != nil || sk.Count() == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", o.Output, fmtNs(sk.Quantile(0.99))))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// headroomColumn formats each output's forecast headroom — the fractional
+// distance of the p99 trajectory to the QoS latency cliff. Outputs whose
+// forecaster has not run render "-".
+func headroomColumn(outs []stats.OutputQoS) string {
+	var parts []string
+	for _, o := range sortedOutputs(outs) {
+		if o.Headroom <= stats.HeadroomUnknown {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%+.2f", o.Output, o.Headroom))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedOutputs(outs []stats.OutputQoS) []stats.OutputQoS {
+	sorted := append([]stats.OutputQoS(nil), outs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Output < sorted[j].Output })
+	return sorted
+}
+
+// fmtNs renders a nanosecond latency at operator scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// updateBottlenecks folds freshly scraped bottleneck attributions into
+// the rolling output → box map; events arrive oldest-first, so the last
+// write per output is the SLO plane's latest verdict.
+func updateBottlenecks(bn map[string]string, reports []*nodeReport) {
+	for _, rep := range reports {
+		if !rep.HasEvent {
+			continue
+		}
+		for _, ev := range rep.Events.Events {
+			if ev.Kind == events.KindBottleneck {
+				bn[ev.Subject] = ev.Detail
+			}
+		}
+	}
+}
+
 // renderEventTail prints the merged, time-sorted tail of every scraped
 // node's event journal — the cluster's recent control-plane history.
 func renderEventTail(w io.Writer, tail []events.Event, max int) {
@@ -223,8 +306,9 @@ func mergeEventTail(tail []events.Event, reports []*nodeReport, bound int) []eve
 	return tail
 }
 
-// boxColumn formats a digest's per-box loads, heaviest first.
-func boxColumn(boxes []stats.BoxLoad) string {
+// boxColumn formats a digest's per-box loads, heaviest first. Boxes in
+// hot — the SLO plane's attributed bottlenecks — are starred.
+func boxColumn(boxes []stats.BoxLoad, hot map[string]bool) string {
 	if len(boxes) == 0 {
 		return "-"
 	}
@@ -237,7 +321,11 @@ func boxColumn(boxes []stats.BoxLoad) string {
 	})
 	parts := make([]string, len(sorted))
 	for i, b := range sorted {
-		parts[i] = fmt.Sprintf("%s=%.3f", b.Box, b.Load)
+		mark := ""
+		if hot[b.Box] {
+			mark = "*"
+		}
+		parts[i] = fmt.Sprintf("%s%s=%.3f", b.Box, mark, b.Load)
 	}
 	return strings.Join(parts, " ")
 }
@@ -290,18 +378,20 @@ func main() {
 
 	client := http.DefaultClient
 	cursors := map[string]uint64{}
+	bottlenecks := map[string]string{}
 	var tail []events.Event
 
 	if *watch {
 		for {
 			reports := scrapeAll(client, bases, *series, *window, cursors)
 			tail = mergeEventTail(tail, reports, *eventsN)
+			updateBottlenecks(bottlenecks, reports)
 			// Clear the terminal and home the cursor: the view repaints in
 			// place like top(1).
 			fmt.Print("\033[2J\033[H")
 			fmt.Printf("dspstat %s  (refresh %v, ^C to quit)\n\n",
 				time.Now().Format("15:04:05"), *interval)
-			render(os.Stdout, reports)
+			render(os.Stdout, reports, bottlenecks)
 			renderEventTail(os.Stdout, tail, *eventsN)
 			time.Sleep(*interval)
 		}
@@ -309,13 +399,14 @@ func main() {
 
 	reports := scrapeAll(client, bases, *series, *window, cursors)
 	tail = mergeEventTail(tail, reports, *eventsN)
+	updateBottlenecks(bottlenecks, reports)
 	failed := false
 	for _, rep := range reports {
 		if rep.Err != nil {
 			failed = true
 		}
 	}
-	render(os.Stdout, reports)
+	render(os.Stdout, reports, bottlenecks)
 	renderEventTail(os.Stdout, tail, *eventsN)
 	if failed {
 		os.Exit(1)

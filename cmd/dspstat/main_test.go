@@ -10,6 +10,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/op"
 	"repro/internal/query"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -70,7 +71,7 @@ func TestDspstatCoversEveryBoxAndQueueSeries(t *testing.T) {
 		t.Fatalf("scrape: %v", rep.Err)
 	}
 	var out strings.Builder
-	render(&out, []*nodeReport{rep})
+	render(&out, []*nodeReport{rep}, nil)
 	got := out.String()
 
 	// The cluster table names the node and its digest's per-box loads.
@@ -129,7 +130,7 @@ func TestDspstatSeriesFilterAndScrapeError(t *testing.T) {
 		t.Fatal("scrape of dead endpoint should fail")
 	}
 	var out strings.Builder
-	render(&out, []*nodeReport{dead})
+	render(&out, []*nodeReport{dead}, nil)
 	if !strings.Contains(out.String(), "scrape failed") {
 		t.Errorf("render of failed scrape = %q", out.String())
 	}
@@ -169,7 +170,7 @@ func TestDspstatRendersLinkTable(t *testing.T) {
 		t.Fatal("/links not scraped")
 	}
 	var out strings.Builder
-	render(&out, []*nodeReport{rep})
+	render(&out, []*nodeReport{rep}, nil)
 	got := out.String()
 	for _, want := range []string{"-- links on n1 --", "PEER", "n2", "established"} {
 		if !strings.Contains(got, want) {
@@ -200,7 +201,7 @@ func TestDspstatRendersLinkTable(t *testing.T) {
 			repBare.HasLoad, repBare.HasStat, repBare.HasLink)
 	}
 	out.Reset()
-	render(&out, []*nodeReport{repBare})
+	render(&out, []*nodeReport{repBare}, nil)
 	if !strings.Contains(out.String(), "-- links on n1 --") {
 		t.Errorf("plane-less node missing link table:\n%s", out.String())
 	}
@@ -215,7 +216,7 @@ func TestDspstatRendersLinkTable(t *testing.T) {
 		t.Error("HasLink true for a node without /links")
 	}
 	out.Reset()
-	render(&out, []*nodeReport{repNo})
+	render(&out, []*nodeReport{repNo}, nil)
 	if strings.Contains(out.String(), "-- links") {
 		t.Errorf("link table rendered without /links:\n%s", out.String())
 	}
@@ -281,7 +282,7 @@ func TestDspstatEventTailAndUtilityColumn(t *testing.T) {
 		t.Fatal("/events not scraped")
 	}
 	var out strings.Builder
-	render(&out, []*nodeReport{rep})
+	render(&out, []*nodeReport{rep}, nil)
 	tail := mergeEventTail(nil, []*nodeReport{rep}, 12)
 	renderEventTail(&out, tail, 12)
 	got := out.String()
@@ -340,8 +341,94 @@ func TestDspstatWatchCursors(t *testing.T) {
 		t.Errorf("tail bound leaked: %d", len(tail))
 	}
 	var out strings.Builder
-	render(&out, second)
+	render(&out, second, nil)
 	if !strings.Contains(out.String(), "scrape failed") {
 		t.Errorf("dead node not rendered as failure:\n%s", out.String())
+	}
+}
+
+// latencyNode stands up a telemetry surface whose digest carries a
+// delivered-latency sketch and forecast headroom, and whose journal holds
+// a bottleneck attribution — the SLO-plane view dspstat renders.
+func latencyNode(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	schema := stream.MustSchema("s",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "B", Kind: stream.KindInt},
+	)
+	net := query.NewBuilder("slo").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		BindInput("in", schema, "f1", 0).
+		BindOutput("out", "f1", 0, nil).
+		MustBuild()
+	j := events.NewJournal(id, 64)
+	plane := stats.NewPlane(id, int64(10e6), 8, 2)
+	eng, err := engine.New(net, engine.Config{
+		Stats: plane.Store(), StatsEvery: 1, Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < 10; i++ {
+		eng.Ingest("in", stream.NewTuple(stream.Int(int64(i)), stream.Int(1)))
+		eng.RunUntilIdle(0)
+	}
+	eng.SampleStats(now - 10e6)
+	eng.SampleStats(now)
+	// Hand-laid SLO series: a cumulative latency sketch (first ObserveSketch
+	// is the baseline) and a headroom gauge, both harvested by Publish.
+	st := plane.Store()
+	sk := sketch.New(sketch.DefaultAlpha)
+	st.ObserveSketch(stats.SeriesOutputLatency("out"), now-20e6, sk)
+	for i := 0; i < 200; i++ {
+		sk.Record(1e6)
+	}
+	sk.Record(5e6)
+	st.ObserveSketch(stats.SeriesOutputLatency("out"), now-10e6, sk)
+	st.Observe(stats.SeriesOutputHeadroom("out"), stats.KindGauge, now-10e6, 0.37)
+	plane.Publish(now)
+	corr := j.NewCorr()
+	j.Append(events.Event{Kind: events.KindSLOWarn, Subject: "out", Corr: corr})
+	j.Append(events.Event{Kind: events.KindBottleneck, Subject: "out", Detail: "f1", Corr: corr})
+	srv := httptest.NewServer(telemetry.Handler(id, eng, plane, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestDspstatLatencyColumns: the node table gains P99 and HEADROOM
+// columns decoded from the digest's sketch, and the box the journal's
+// bottleneck attribution names is starred.
+func TestDspstatLatencyColumns(t *testing.T) {
+	srv := latencyNode(t, "n1")
+	rep := scrapeNode(srv.Client(), srv.URL, "", 0)
+	if rep.Err != nil {
+		t.Fatalf("scrape: %v", rep.Err)
+	}
+	bn := map[string]string{}
+	updateBottlenecks(bn, []*nodeReport{rep})
+	if bn["out"] != "f1" {
+		t.Fatalf("bottleneck map = %v, want out→f1", bn)
+	}
+	var out strings.Builder
+	render(&out, []*nodeReport{rep}, bn)
+	got := out.String()
+	for _, want := range []string{"P99", "HEADROOM", "out=+0.37", "f1*=", "attributed tail-latency bottleneck"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("latency view missing %q:\n%s", want, got)
+		}
+	}
+	// p99 of 200×1ms + 1×5ms sits at ~1ms, rendered at ms scale.
+	if !strings.Contains(got, "out=1.0") || !strings.Contains(got, "ms") {
+		t.Errorf("p99 column not ~1ms:\n%s", got)
+	}
+
+	// A digest without sketch or headroom renders dashes, not garbage.
+	plain, _ := statNode(t, "n2")
+	repPlain := scrapeNode(plain.Client(), plain.URL, "", 0)
+	out.Reset()
+	render(&out, []*nodeReport{repPlain}, nil)
+	if !strings.Contains(out.String(), "\t") && !strings.Contains(out.String(), "-") {
+		t.Errorf("plain node missing dash columns:\n%s", out.String())
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/qos"
 	"repro/internal/query"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -225,8 +226,14 @@ type (
 	VirtualClock = engine.VirtualClock
 	// ShedConfig configures the load shedder.
 	ShedConfig = engine.ShedConfig
+	// SLOConfig enables and tunes the latency-SLO plane.
+	SLOConfig = engine.SLOConfig
 	// OutputReport summarizes an output's observed QoS.
 	OutputReport = engine.OutputReport
+	// Attribution decomposes an output's tail latency per contributor.
+	Attribution = engine.Attribution
+	// BoxShare is one contributor's slice of attributed tail latency.
+	BoxShare = engine.BoxShare
 )
 
 // Shedding policies.
@@ -289,7 +296,26 @@ const (
 	EventLinkState     = events.KindLinkState
 	EventHAReplay      = events.KindHAReplay
 	EventFault         = events.KindFault
+	EventSLOWarn       = events.KindSLOWarn
+	EventBottleneck    = events.KindBottleneck
 )
+
+// Latency-SLO plane: mergeable quantile sketches (DESIGN §13).
+type (
+	// LatencySketch is the fixed-memory mergeable quantile sketch every
+	// delivered tuple's latency feeds.
+	LatencySketch = sketch.Sketch
+)
+
+var (
+	// NewLatencySketch builds a sketch with relative-error alpha.
+	NewLatencySketch = sketch.New
+	// DecodeLatencySketch decodes a gossiped sketch encoding.
+	DecodeLatencySketch = sketch.DecodeSketch
+)
+
+// SketchDefaultAlpha is the default sketch relative-error bound (1%).
+const SketchDefaultAlpha = sketch.DefaultAlpha
 
 // Statistics plane: windowed series and the gossiped load map (§7.1).
 type (

@@ -81,6 +81,13 @@ type Config struct {
 	// windowed LoadMap instead of instantaneous utilization — the §5.2
 	// stability fix the flap tests pin down. Requires StatsPeriod > 0.
 	WindowedLoad bool
+	// SLO enables each node's latency-SLO plane: per-output latency
+	// sketches recorded at delivery and gossiped in digests, tail
+	// attribution over traced spans, and the QoS-headroom forecaster that
+	// journals a warning before an output's p99 crosses its latency
+	// cliff. Requires StatsPeriod > 0 for cluster-wide convergence (each
+	// engine otherwise keeps a private store).
+	SLO *engine.SLOConfig
 }
 
 func (cfg *Config) fillDefaults() {
@@ -394,9 +401,9 @@ func (c *Cluster) newScheduler() engine.Scheduler {
 // OnOutput installs the application sink for all outputs.
 func (c *Cluster) OnOutput(sink AppSink) { c.appSink = sink }
 
-func (c *Cluster) deliverApp(name string, t stream.Tuple) {
+func (c *Cluster) deliverApp(name string, t stream.Tuple, at int64) {
 	if c.appSink != nil {
-		c.appSink(name, t, c.sim.Now())
+		c.appSink(name, t, at)
 	}
 }
 

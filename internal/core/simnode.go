@@ -191,6 +191,7 @@ func (n *SimNode) newEngine(piece *query.Network) (*engine.Engine, error) {
 		ecfg.Stats = n.plane.Store()
 		ecfg.StatsEvery = 64
 	}
+	ecfg.SLO = n.c.cfg.SLO
 	eng, err := engine.New(piece, ecfg)
 	if err != nil {
 		return nil, err
@@ -260,8 +261,15 @@ func (n *SimNode) onEngineOutput(h *engineHost, name string, t stream.Tuple) {
 		n.outbox = append(n.outbox, outboxEntry{label: name, t: t})
 		return
 	}
-	// Application output.
-	n.c.deliverApp(name, t)
+	// Application output. The delivery is stamped with the node's modeled
+	// clock, which runs ahead of simulator time inside a train (per-tuple
+	// virtual pacing): the sink then sees the same instant the engine's
+	// monitor and the span's final Proc mark recorded.
+	at := n.clock.Now()
+	if s := n.c.sim.Now(); s > at {
+		at = s
+	}
+	n.c.deliverApp(name, t, at)
 }
 
 func (n *SimNode) log(label string) *ha.OutputLog {

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
 
 // ForceSplit key-shards a box hosted on a node into n replica copies via
 // the engine's runtime partition machinery (§5.1 box splitting promoted
@@ -37,6 +41,39 @@ func (c *Cluster) SplitActive(node, box string) bool {
 	}
 	st, ok := h.eng.BoxSplit(box)
 	return ok && st.Active
+}
+
+// SetBoxCost overrides the modeled per-tuple cost of a box hosted on the
+// named node — the experiment knob that injects a runtime slowdown (the
+// E20 scenario raises one box's cost mid-run and watches the SLO plane
+// attribute the resulting tail).
+func (c *Cluster) SetBoxCost(node, box string, costNs int64) error {
+	h, err := c.hostOf(node, box)
+	if err != nil {
+		return err
+	}
+	if !h.eng.SetBoxCost(box, costNs) {
+		return fmt.Errorf("core: box %q not in %q's engine", box, node)
+	}
+	return nil
+}
+
+// LatencySketch returns a copy of the named output's cumulative
+// delivered-latency sketch from the node that hosts it, nil when no live
+// node's SLO plane has recorded it.
+func (c *Cluster) LatencySketch(output string) *sketch.Sketch {
+	for _, id := range c.nodeIDs {
+		sn := c.nodes[id]
+		if c.sim.Down(id) {
+			continue
+		}
+		for _, h := range sn.hosts {
+			if sk, ok := h.eng.LatencySketch(output); ok && sk.Count() > 0 {
+				return sk
+			}
+		}
+	}
+	return nil
 }
 
 // hostOf locates the engine host on a live node whose piece contains the

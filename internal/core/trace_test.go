@@ -54,10 +54,7 @@ func TestClusterTraceDecomposition(t *testing.T) {
 		if end := sp.Birth + sp.Total(); end > s.ats[i] {
 			t.Fatalf("span %d ends at %d, after the sink saw it at %d", i, end, s.ats[i])
 		}
-		// Two inter-node links at 100µs propagation each. (Under the
-		// modeled virtual clock, per-box cost surfaces as the next hop's
-		// queue wait rather than as Proc — the engine advances its clock
-		// after the train — so q carries the modeled processing too.)
+		// Two inter-node links at 100µs propagation each.
 		if n < 200_000 {
 			t.Errorf("span %d network component %d < two link delays", i, n)
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/query"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -55,6 +56,14 @@ type Config struct {
 	// hot path then pays nothing (events are only emitted from control
 	// decisions, never per tuple).
 	Journal *events.Journal
+	// SLO enables the latency-SLO plane: per-output delivered-latency
+	// sketches recorded per delivery and published to the stats plane,
+	// tail attribution over traced spans, and the QoS-headroom forecaster
+	// that journals an early warning before an output's p99 crosses its
+	// latency cliff. When SLO is set and Stats is nil, the engine creates
+	// a private store (as AutoSplit does). Nil disables the whole plane;
+	// delivery then pays only a nil check.
+	SLO *SLOConfig
 	// AutoSplit enables the runtime hot-box controller: the engine
 	// watches the stats plane for a box burning a disproportionate share
 	// of a core behind a backlog, splits it into key-sharded replicas,
@@ -144,6 +153,13 @@ type Engine struct {
 	auto                 *autoSplit
 	splitCtr, unsplitCtr atomic.Uint64
 	draining             atomic.Bool
+
+	// Latency-SLO plane (nil when disabled): resolved config and the
+	// scratch sketch SampleStats copies each output's cumulative sketch
+	// into before handing it to the store, so sampling allocates nothing.
+	slo       *SLOConfig
+	skScratch *sketch.Sketch
+	lastSkWin int64 // last stats window the sketches were published in
 
 	// qBytes is the total bytes across all box input queues, maintained at
 	// push/pop so storage accounting never walks every queue.
@@ -373,6 +389,31 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		}
 		e.auto = newAutoSplit(e, *cfg.AutoSplit)
 	}
+	if cfg.SLO != nil {
+		s := *cfg.SLO
+		s.applyDefaults()
+		e.slo = &s
+		if e.stats == nil {
+			win := s.WindowNs
+			if win <= 0 {
+				win = 25e6
+			}
+			e.stats = stats.NewStore(win, 16)
+			e.statsEvery = uint64(cfg.StatsEvery)
+			if e.statsEvery == 0 {
+				e.statsEvery = 64
+			}
+		}
+		// The plane's switch: every output grows a cumulative latency
+		// sketch (recorded per delivery, published per stats window) so
+		// digests can gossip whole distributions. Without SLO, delivery
+		// pays only the nil check.
+		for _, os := range e.outputs {
+			os.enableLatencySketch()
+		}
+		e.skScratch = sketch.New(sketch.DefaultAlpha)
+		e.lastSkWin = -1
+	}
 	return e, nil
 }
 
@@ -441,6 +482,12 @@ func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
 					e.traceQ.Observe(float64(q))
 					e.traceP.Observe(float64(p))
 					e.traceN.Observe(float64(nn))
+				}
+				if r.out.lat != nil {
+					// Tail attribution evidence: the finished span's
+					// queue/proc/net stages, kept only when the latency
+					// clears the output's tail cut.
+					r.out.noteTail(sp)
 				}
 			}
 			if e.onOutput != nil {
@@ -553,8 +600,22 @@ func (e *Engine) Step() bool {
 		b.wait.Observe(float64(start - en.enq))
 		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
-			sp.MarkReplica(trace.KindQueue, b.id, 0, b.replica, start)
+			// Queue ends at this tuple's own service start — under a
+			// virtual clock that is start + i*virtCost, not the train
+			// start, so a long train does not smear earlier tuples'
+			// service time into later tuples' queue component.
+			sp.MarkReplica(trace.KindQueue, b.id, 0, b.replica, e.clock.Now())
 			b.cur = sp
+		}
+		if e.vclock != nil {
+			// Advance per tuple, before Process: the emit's Proc mark and
+			// the monitor's delivery observation then land at this tuple's
+			// completion time. Bulk-advancing after the loop would stamp
+			// every tuple in the train at the train's start, so the whole
+			// train's processing time would be charged downstream (to the
+			// outbox wait, i.e. the network component) instead of to the
+			// box — exactly the misattribution tail analysis cares about.
+			e.vclock.Advance(b.virtCost)
 		}
 		b.inst.Process(port, en.t, b.emit)
 		b.cur = nil
@@ -565,7 +626,6 @@ func (e *Engine) Step() bool {
 	}
 	if e.vclock != nil {
 		work := int64(processed) * b.virtCost
-		e.vclock.Advance(work)
 		b.cost.Observe(float64(b.virtCost))
 		b.workNs.Add(work)
 		e.busyCtr.Add(work)
@@ -648,6 +708,25 @@ func (e *Engine) SampleStats(now int64) {
 		utilSum, delivered := os.qosCounters()
 		e.stats.Observe(stats.SeriesOutputUtilSum(name), stats.KindCounter, now, utilSum)
 		e.stats.Observe(stats.SeriesOutputDelivered(name), stats.KindCounter, now, float64(delivered))
+	}
+	// Latency sketches: snapshot each output's cumulative sketch into the
+	// store, which windows the deltas. Publishing once per window loses
+	// nothing (the sketch is cumulative; deltas accumulate between
+	// publishes) and keeps per-sample overhead at a window-index compare.
+	if e.skScratch != nil {
+		if win := now / e.stats.WindowNs(); win != e.lastSkWin {
+			e.lastSkWin = win
+			for name, os := range e.outputs {
+				if os.lat == nil {
+					continue
+				}
+				os.mu.Lock()
+				e.skScratch.CopyFrom(os.lat)
+				os.mu.Unlock()
+				e.stats.ObserveSketch(stats.SeriesOutputLatency(name), now, e.skScratch)
+			}
+			e.sloCheck(now)
+		}
 	}
 }
 

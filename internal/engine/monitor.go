@@ -7,7 +7,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/query"
+	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Monitor is the QoS Monitor of Fig 3: it constantly observes the QoS of
@@ -43,6 +45,80 @@ type outputState struct {
 	delivered uint64
 	dropped   uint64
 	lastTuple stream.Tuple
+
+	// Latency-SLO plane state, all under mu. lat is the cumulative
+	// delivered-latency sketch (nil when the plane is off — the hot path
+	// then pays one nil check); tails accumulates the queue/proc/net
+	// decomposition of traced spans whose latency cleared tailCut, the
+	// evidence tail attribution ranks; warned and sloIdx belong to the
+	// forecaster's once-per-window latch.
+	lat       *sketch.Sketch
+	tailCut   float64
+	tails     map[string]*tailAgg
+	tailSpans uint64
+	tailNs    int64
+	warned    bool
+	breached  bool
+	sloIdx    int64
+}
+
+// tailAgg is one contributor's accumulated share of tail-span latency:
+// a box (queue + proc segments) or a network link (net segments).
+type tailAgg struct {
+	queue, proc, net int64
+}
+
+// enableLatencySketch switches the output's sketch recording on; called
+// once from New before the engine runs, never concurrently.
+func (os *outputState) enableLatencySketch() {
+	os.lat = sketch.New(sketch.DefaultAlpha)
+	os.tails = map[string]*tailAgg{}
+	os.sloIdx = -1
+}
+
+// noteTail folds a finished traced span into the per-contributor tail
+// accumulators when its end-to-end latency clears the tail cut (a
+// tailCut of 0 — before the first refresh — admits every span).
+func (os *outputState) noteTail(sp *trace.Span) {
+	lat := float64(sp.Total())
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if lat < os.tailCut {
+		return
+	}
+	for _, st := range sp.Stages {
+		a, ok := os.tails[st.Name]
+		if !ok {
+			a = &tailAgg{}
+			os.tails[st.Name] = a
+		}
+		switch st.Kind {
+		case trace.KindQueue:
+			a.queue += st.Dur
+		case trace.KindProc:
+			a.proc += st.Dur
+		case trace.KindNet:
+			a.net += st.Dur
+		}
+	}
+	os.tailSpans++
+	os.tailNs += sp.Total()
+}
+
+// decayTails halves every tail accumulator — called once per stats
+// window so attribution tracks recent behavior instead of averaging a
+// slowdown away against the whole run's history. Callers hold os.mu.
+func (os *outputState) decayTails() {
+	for name, a := range os.tails {
+		a.queue /= 2
+		a.proc /= 2
+		a.net /= 2
+		if a.queue == 0 && a.proc == 0 && a.net == 0 {
+			delete(os.tails, name)
+		}
+	}
+	os.tailSpans -= os.tailSpans / 2
+	os.tailNs -= os.tailNs / 2
 }
 
 func newOutputState(o *query.Output, schema *stream.Schema, reg *metrics.Registry) (*outputState, error) {
@@ -88,6 +164,9 @@ func (os *outputState) observe(t stream.Tuple, now int64) {
 	os.delivered++
 	mean := os.utilSum / float64(os.delivered)
 	os.lastTuple = t
+	if os.lat != nil {
+		os.lat.Record(lat) // zero-alloc; the SLO plane's raw material
+	}
 	os.mu.Unlock()
 	if os.util != nil {
 		// One atomic store per delivery: the gauge always equals

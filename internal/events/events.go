@@ -47,6 +47,12 @@ const (
 	KindHAReplay
 	// KindFault: the chaos harness injected a fault.
 	KindFault
+	// KindSLOWarn: the latency-SLO forecaster predicts an output's p99
+	// will cross its QoS latency cliff within the forecast horizon.
+	KindSLOWarn
+	// KindBottleneck: tail-latency attribution named the critical-path
+	// box for an output whose SLO is at risk.
+	KindBottleneck
 )
 
 var kindNames = [...]string{
@@ -60,6 +66,8 @@ var kindNames = [...]string{
 	KindLinkState:     "link",
 	KindHAReplay:      "ha-replay",
 	KindFault:         "fault",
+	KindSLOWarn:       "slo-warn",
+	KindBottleneck:    "bottleneck",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/netsim"
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// E20LatencySLO exercises the cluster latency-SLO plane end to end: a
+// three-node chain under Zipf load has one box's per-tuple cost raised
+// mid-run just past the arrival rate, so delivered latency ramps toward
+// the output's QoS latency cliff. The plane must (a) gossip per-output
+// quantile sketches whose p99 agrees with an exact oracle built from
+// every delivery, (b) forecast the cliff crossing and journal its
+// slo-warn before the observed latency actually breaches, and (c)
+// attribute the tail to the slowed box by name. The "warn lead ms"
+// column is the early-warning margin; at tiny scales the ramp never
+// reaches the cliff and the warn/bottleneck columns print "-".
+func E20LatencySLO(scale float64) *Table {
+	t := &Table{ID: "E20", Title: "latency-SLO plane: gossiped sketches, forecast warning, bottleneck attribution",
+		Header: []string{"phase", "delivered", "p99 ms (oracle)", "p99 ms (sketch)", "p99 err %", "warn lead ms", "bottleneck"}}
+
+	// Utility 1 up to 2ms, 0 at 20ms; the forecaster's default CliffFrac
+	// 0.9 puts the warning cliff at 3.8ms.
+	spec := &qos.Spec{Latency: qos.DefaultLatency(2e6, 2e7)}
+	cliff := spec.Latency.CriticalX(0.9)
+	const statsPeriod = 5e6
+
+	net := query.NewBuilder("e20").
+		AddBox("f", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 250"}}).
+		AddBox("hot", op.Spec{Kind: "map", Params: map[string]string{"exprs": "A=A; B=B+1"}}).
+		AddBox("m", op.Spec{Kind: "map", Params: map[string]string{"exprs": "A=A+1; B=B"}}).
+		Connect("f", "hot").
+		Connect("hot", "m").
+		BindInput("in", abSchema, "f", 0).
+		BindOutput("out", "m", 0, spec).
+		MustBuild()
+
+	sim := netsim.New(1)
+	c, err := core.NewCluster(sim, net,
+		map[string]string{"f": "n1", "hot": "n2", "m": "n3"},
+		map[string]string{"in": "n1"},
+		core.Config{
+			DefaultBoxCost: 1000,
+			BoxCosts:       map[string]int64{"hot": 40_000},
+			TraceSample:    1, // every span feeds the tail attributor
+			StatsPeriod:    statsPeriod,
+			// A 4-window trajectory: the slowdown ramp spans ~8 windows,
+			// so the default 8 would dilute the regression slope with
+			// flat pre-slowdown history and warn late.
+			SLO: &engine.SLOConfig{Windows: 4},
+		})
+	if err != nil {
+		panic(err)
+	}
+	for _, link := range [][2]string{{"n1", "n2"}, {"n2", "n3"}} {
+		if err := sim.Connect(link[0], link[1], 100e6, 50_000, 0); err != nil {
+			panic(err)
+		}
+	}
+	c.Start()
+
+	// Exact oracle: every delivery's true latency and delivery time,
+	// split at the slowdown.
+	var pre, post []delivery
+	var slowedAt int64 = -1
+	c.OnOutput(func(_ string, tp stream.Tuple, at int64) {
+		d := delivery{lat: float64(at - tp.TS), at: float64(at)}
+		if slowedAt >= 0 && tp.TS >= slowedAt {
+			post = append(post, d)
+		} else {
+			pre = append(pre, d)
+		}
+	})
+
+	// Zipf-keyed tuples every 66µs: under the hot box's 40µs baseline
+	// cost the chain keeps up; raising it to 72µs mid-run makes the
+	// backlog — and delivered latency — ramp ~90µs per ms of sim time.
+	const gap = 66_000
+	total := scaled(12_000, scale)
+	slowIdx := total / 3
+	rng := rand.New(rand.NewSource(20))
+	zipf := rand.NewZipf(rng, 1.3, 1, 255)
+	for i := 0; i < total; i++ {
+		tp := stream.NewTuple(stream.Int(int64(zipf.Uint64())), stream.Int(rng.Int63n(250)))
+		sim.Schedule(int64(i)*gap, func() { c.Ingest("in", tp) })
+	}
+	sim.Schedule(int64(slowIdx)*gap, func() {
+		slowedAt = sim.Now()
+		if err := c.SetBoxCost("n2", "hot", 72_000); err != nil {
+			panic(err)
+		}
+	})
+	// The stats tick reschedules itself forever, so run to a horizon: the
+	// ingest span plus enough slack to drain the backlog the slowdown
+	// builds (~6µs per post-slowdown tuple) and gossip the last digests.
+	horizon := int64(total)*gap + int64(total)*10_000 + 200e6
+	sim.Run(horizon)
+
+	// Gossiped view: the cumulative sketch for "out" from whichever
+	// node's converged load map carries the biggest population.
+	var gossiped *sketch.Sketch
+	for _, node := range []string{"n1", "n2", "n3"} {
+		lm := c.LoadMap(node)
+		if lm == nil {
+			continue
+		}
+		for _, d := range lm.Snapshot() {
+			for _, oq := range d.Outputs {
+				if oq.Output != "out" || len(oq.Sketch) == 0 {
+					continue
+				}
+				sk, _, err := sketch.DecodeSketch(oq.Sketch)
+				if err != nil {
+					continue
+				}
+				if gossiped == nil || sk.Count() > gossiped.Count() {
+					gossiped = sk
+				}
+			}
+		}
+	}
+
+	// Journal verdicts: the first warn (the early forecast) but the LAST
+	// bottleneck (the refreshed breach-time attribution, journaled once
+	// the slowed box dominates the decayed tail accumulators).
+	evs := c.Events()
+	var warn, bott *events.Event
+	for i := range evs {
+		switch {
+		case evs[i].Kind == events.KindSLOWarn && evs[i].Subject == "out" && warn == nil:
+			warn = &evs[i]
+		case evs[i].Kind == events.KindBottleneck && evs[i].Subject == "out":
+			bott = &evs[i]
+		}
+	}
+
+	lats := func(ds []delivery) []float64 {
+		out := make([]float64, len(ds))
+		for i, d := range ds {
+			out[i] = d.lat
+		}
+		return out
+	}
+	all := append(lats(pre), lats(post)...)
+	oracleAll := exactP99(all)
+	skP99, errPct := "-", "-"
+	if gossiped != nil && gossiped.Count() > 0 && oracleAll > 0 {
+		p := gossiped.Quantile(0.99)
+		skP99 = ms(p)
+		errPct = fmt.Sprintf("%+.2f", (p-oracleAll)/oracleAll*100)
+	}
+
+	// Early-warning margin: the warn's lead over the oracle breach — the
+	// close of the first stats-period-sized window of deliveries whose
+	// exact p99 reached the cliff. That is the instant delivered QoS
+	// verifiably dropped below the cliff utility (a lone tail tuple is
+	// not a breach), so it is what an operator needed the warning to
+	// precede.
+	lead, bottBox := "-", "-"
+	if bott != nil {
+		bottBox = bott.Detail
+	}
+	if warn != nil {
+		lead = "pre-breach"
+		if at, ok := oracleBreach(post, cliff, statsPeriod); ok {
+			lead = ms(at - float64(warn.Time))
+		}
+	}
+
+	t.Add("pre-slowdown", len(pre), ms(exactP99(lats(pre))), "-", "-", "-", "-")
+	t.Add("post-slowdown", len(post), ms(exactP99(lats(post))), "-", "-", "-", "-")
+	t.Add("cumulative", len(all), ms(oracleAll), skP99, errPct, lead, bottBox)
+	t.Note("cliff %.1fms = CriticalX(0.9) of latency QoS (2ms good, 20ms zero); warn lead is journal warn → close of first %.0fms delivery window with exact p99 over the cliff", cliff/1e6, statsPeriod/1e6)
+	t.Note("sketch p99 is the gossiped digest's cumulative DDSketch; err vs an exact sort of every delivered latency")
+	return t
+}
+
+// delivery is one oracle observation: true end-to-end latency and
+// delivery time.
+type delivery struct{ lat, at float64 }
+
+// oracleBreach buckets the post-slowdown deliveries into stats-period
+// windows by delivery time and returns the close of the first window
+// whose exact p99 reached the cliff; ok is false when the run never
+// breached.
+func oracleBreach(post []delivery, cliff, period float64) (float64, bool) {
+	byWin := map[int64][]float64{}
+	for _, d := range post {
+		w := int64(d.at / period)
+		byWin[w] = append(byWin[w], d.lat)
+	}
+	wins := make([]int64, 0, len(byWin))
+	for w := range byWin {
+		wins = append(wins, w)
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	for _, w := range wins {
+		if exactP99(byWin[w]) >= cliff {
+			return float64(w+1) * period, true
+		}
+	}
+	return 0, false
+}
+
+// exactP99 is the oracle: the same nearest-rank convention the sketch
+// uses, over the exact sorted latencies.
+func exactP99(lats []float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	return s[int(0.99*float64(len(s)-1))]
+}
+
+func ms(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", ns/1e6)
+}

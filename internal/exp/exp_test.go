@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,37 @@ func TestHeadlineShapes(t *testing.T) {
 			if row[3] != "0" {
 				t.Errorf("k=%s crash %s lost %s tuples", row[0], row[1], row[3])
 			}
+		}
+	})
+	t.Run("E20 latency-SLO plane acceptance", func(t *testing.T) {
+		table := E20LatencySLO(0.1)
+		if len(table.Rows) != 3 {
+			t.Fatalf("want 3 phase rows, got %d", len(table.Rows))
+		}
+		cum := table.Rows[2] // phase, delivered, oracle, sketch, err%, lead, bottleneck
+		if cum[6] != "hot" {
+			t.Errorf("attributed bottleneck %q, want the slowed box %q", cum[6], "hot")
+		}
+		var errPct float64
+		if _, err := fmt.Sscan(cum[4], &errPct); err != nil {
+			t.Fatalf("sketch err cell %q not numeric: %v", cum[4], err)
+		}
+		if errPct < 0 {
+			errPct = -errPct
+		}
+		// DDSketch at alpha=0.01 guarantees 1% relative error per value;
+		// 2% leaves room for nearest-rank granularity at the p99 rank.
+		if errPct > 2 {
+			t.Errorf("gossiped sketch p99 off by %.2f%%, want within 2%%", errPct)
+		}
+		var leadMs float64
+		if _, err := fmt.Sscan(cum[5], &leadMs); err != nil {
+			t.Fatalf("warn lead cell %q not numeric (no warn journaled?): %v", cum[5], err)
+		}
+		// The forecaster must warn at least one 5ms stats period before
+		// the oracle's windowed p99 actually crossed the cliff.
+		if leadMs < 5 {
+			t.Errorf("warn lead %.2fms, want >= one 5ms stats period", leadMs)
 		}
 	})
 	t.Run("E11 wfq within tolerance", func(t *testing.T) {

@@ -127,6 +127,7 @@ func Registry() []Experiment {
 		{"E18", "parallel engine worker scaling", E18Parallel},
 		{"E18B", "runtime hot-box autosplit on Zipf keys", E18bAutoSplit},
 		{"E19", "observability plane overhead", E19Observability},
+		{"E20", "latency-SLO plane: sketches, forecast, attribution", E20LatencySLO},
 		{"A01", "ablation: detection timeout", A01Detection},
 		{"A02", "ablation: flow-message period", A02FlowPeriod},
 	}

@@ -204,24 +204,41 @@ func (h *Histogram) min() float64 { return math.Float64frombits(h.minBits.Load()
 func (h *Histogram) max() float64 { return math.Float64frombits(h.maxBits.Load()) }
 
 // Quantile estimates the q'th quantile (q in [0, 1]) from the bucket
-// boundaries; exact min/max are returned at the extremes.
+// boundaries. Exact min/max are returned at the extremes (q <= 0, q >= 1,
+// and NaN clamps to 0); an empty histogram reports 0 for every q. Within
+// the bucket holding rank q·(count-1) the estimate interpolates by rank
+// between the bucket's clamped bounds, so a bucket holding many spread
+// observations resolves distinct quantiles instead of one midpoint, and
+// the top bucket — whose nominal upper edge the largest observations may
+// exceed — extends to the observed max.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if math.IsNaN(q) || q <= 0 {
 		return h.min()
 	}
 	if q >= 1 {
 		return h.max()
 	}
-	target := uint64(q * float64(total))
+	rank := q * float64(total-1)
+	idx := uint64(rank)
 	var seen uint64
 	for b := range h.counts {
-		seen += h.counts[b].Load()
-		if seen > target {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c > idx {
 			lo, hi := bucketLow(b), bucketLow(b+1)
+			if b == histBuckets-1 {
+				// Values above the top bucket boundary land here; the
+				// observed max is the honest upper edge.
+				if mx := h.max(); mx > hi {
+					hi = mx
+				}
+			}
 			if mn := h.min(); lo < mn {
 				lo = mn
 			}
@@ -229,32 +246,63 @@ func (h *Histogram) Quantile(q float64) float64 {
 				hi = mx
 			}
 			if hi < lo {
-				// Values beyond the last bucket boundary (or a min above
-				// the bucket's range) can invert the clamps; the observed
-				// extreme is the only honest answer then.
+				// A min above the bucket's range inverts the clamps; the
+				// observed extreme is the only honest answer then.
 				hi = lo
 			}
-			return lo + (hi-lo)/2 // midpoint, overflow-safe near MaxFloat64
+			// Rank interpolation inside the bucket: the j'th of c
+			// observations sits at fraction (j+0.5)/c between the bounds.
+			frac := (rank - float64(seen) + 0.5) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
 		}
+		seen += c
 	}
 	return h.max()
 }
 
-// Snapshot summarises the histogram.
+// Snapshot summarises the histogram, including the cumulative bucket
+// counts Prometheus histogram exposition needs (only buckets that
+// actually hold observations are materialised, so the summary stays
+// compact regardless of the fixed bucket array).
 func (h *Histogram) Snapshot() Summary {
-	return Summary{
+	s := Summary{
 		Count: h.Count(),
 		Mean:  h.Mean(),
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	var cum uint64
+	for b := range h.counts {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		s.Buckets = append(s.Buckets, BucketCount{Le: bucketLow(b + 1), Count: cum})
+	}
+	return s
+}
+
+// BucketCount is one cumulative histogram bucket: Count observations
+// were <= Le (Prometheus `le` semantics; the top bucket's nominal edge
+// may undercount values beyond it, which the +Inf bucket absorbs).
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
 }
 
 // Summary is a compact latency digest used in experiment tables.
 type Summary struct {
 	Count               uint64
 	Mean, P50, P95, P99 float64
+	Buckets             []BucketCount `json:"Buckets,omitempty"`
 }
 
 // Sum returns the total of all observations (Mean × Count) — the form

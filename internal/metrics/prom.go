@@ -1,7 +1,8 @@
 // Prometheus text exposition of a registry snapshot. The format is the
 // classic text/plain version 0.0.4 Prometheus scrape format: counters as
-// counter, gauges/float gauges/EWMAs as gauge, histograms as summary with
-// quantile labels plus _sum and _count. Metric names are the registry's
+// counter, gauges/float gauges/EWMAs as gauge, histograms as histogram
+// with cumulative `le` buckets (non-empty buckets plus +Inf) and _sum
+// and _count. Metric names are the registry's
 // dotted names with every non-[a-zA-Z0-9_] byte mapped to '_'
 // ("engine.delivered" scrapes as engine_delivered). Output is sorted by
 // name so it is deterministic — the golden-file test pins it.
@@ -52,13 +53,11 @@ func WritePrometheus(w io.Writer, s RegistrySnapshot, labels map[string]string) 
 	}
 	for n, h := range s.Histograms {
 		h := h
-		fams = append(fams, family{n, "summary", func(name string) {
-			for _, q := range [...]struct {
-				q string
-				v float64
-			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-				fmt.Fprintf(w, "%s%s %v\n", name, quantileLabels(labels, q.q), q.v)
+		fams = append(fams, family{n, "histogram", func(name string) {
+			for _, b := range h.Buckets {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabels(labels, fmt.Sprintf("%v", b.Le)), b.Count)
 			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabels(labels, "+Inf"), h.Count)
 			fmt.Fprintf(w, "%s_sum%s %v\n", name, lbl, h.Sum())
 			fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, h.Count)
 		}})
@@ -115,11 +114,11 @@ func formatLabels(labels map[string]string) string {
 	return b.String()
 }
 
-// quantileLabels is formatLabels with the summary quantile appended.
-func quantileLabels(labels map[string]string, q string) string {
+// leLabels is formatLabels with the histogram bucket's `le` appended.
+func leLabels(labels map[string]string, le string) string {
 	base := formatLabels(labels)
 	if base == "" {
-		return `{quantile="` + q + `"}`
+		return `{le="` + le + `"}`
 	}
-	return base[:len(base)-1] + `,quantile="` + q + `"}`
+	return base[:len(base)-1] + `,le="` + le + `"}`
 }

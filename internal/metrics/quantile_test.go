@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantileTable pins the edge cases of the bucket-walk
+// estimator as a table: empty histograms, q clamping at and beyond the
+// extremes, single-bucket rank interpolation, and observations above the
+// top bucket's nominal boundary (atomic_test.go covers the same ground
+// as scenario subtests; this is the flat table the fix is pinned by).
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []float64
+		q    float64
+		want float64
+		tol  float64 // absolute tolerance; 0 means exact
+	}{
+		{name: "empty q=0", obs: nil, q: 0, want: 0},
+		{name: "empty q=0.5", obs: nil, q: 0.5, want: 0},
+		{name: "empty q=1", obs: nil, q: 1, want: 0},
+		{name: "empty NaN q", obs: nil, q: math.NaN(), want: 0},
+
+		{name: "single value q=0", obs: []float64{5000}, q: 0, want: 5000},
+		{name: "single value q=0.5", obs: []float64{5000}, q: 0.5, want: 5000},
+		{name: "single value q=1", obs: []float64{5000}, q: 1, want: 5000},
+
+		{name: "q below 0 clamps to min", obs: []float64{10, 20, 30}, q: -3, want: 10},
+		{name: "q above 1 clamps to max", obs: []float64{10, 20, 30}, q: 7, want: 30},
+		{name: "NaN q clamps to min", obs: []float64{10, 20, 30}, q: math.NaN(), want: 10},
+
+		// 1000 and 1050 share one log bucket (growth 1.09): rank
+		// interpolation must resolve distinct quantiles inside it instead
+		// of answering one midpoint for every q.
+		{name: "single bucket low rank", obs: []float64{1000, 1050}, q: 0.25, want: 1019, tol: 20},
+		{name: "single bucket high rank", obs: []float64{1000, 1050}, q: 0.75, want: 1031, tol: 20},
+
+		// Values above bucketLow(histBuckets) ≈ 4e9 all land in the top
+		// bucket; the estimate must reach up to the observed max instead
+		// of clipping at the nominal bucket edge.
+		{name: "above top bucket q=0.5", obs: []float64{1e12, 1e12, 1e12}, q: 0.5, want: 1e12, tol: 1e12 * 0.51},
+		{name: "above top bucket q=1", obs: []float64{5e9, 1e12}, q: 1, want: 1e12},
+		{name: "above top bucket q=0", obs: []float64{5e9, 1e12}, q: 0, want: 5e9},
+
+		{name: "negative clamps to zero", obs: []float64{-5, -10}, q: 0.5, want: 0},
+		{name: "zero values", obs: []float64{0, 0, 0}, q: 0.9, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if tc.tol == 0 {
+				if got != tc.want {
+					t.Fatalf("Quantile(%v) = %v, want exactly %v", tc.q, got, tc.want)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Fatalf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileMonotone: quantile estimates must be
+// non-decreasing in q — rank interpolation cannot reorder answers.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i%997) * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSummaryBucketsCumulative: Snapshot's bucket list must be
+// cumulative, ordered by le, and end at the total count.
+func TestSummaryBucketsCumulative(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i * 37))
+	}
+	h.Observe(1e12) // beyond the top bucket edge
+	s := h.Snapshot()
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	prevLe, prevCum := 0.0, uint64(0)
+	for _, b := range s.Buckets {
+		if b.Le <= prevLe {
+			t.Fatalf("le not increasing: %v after %v", b.Le, prevLe)
+		}
+		if b.Count < prevCum {
+			t.Fatalf("cumulative count decreased: %d after %d", b.Count, prevCum)
+		}
+		prevLe, prevCum = b.Le, b.Count
+	}
+	if prevCum != s.Count {
+		t.Fatalf("last bucket %d != count %d", prevCum, s.Count)
+	}
+}
+
+// TestPrometheusHistogramType: histograms must scrape as the histogram
+// type with cumulative le buckets and a +Inf terminator.
+func TestPrometheusHistogramType(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("output.out.latency_ns")
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i * 1000))
+	}
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot(), map[string]string{"node": "n1"})
+	out := b.String()
+	if !strings.Contains(out, "# TYPE output_out_latency_ns histogram\n") {
+		t.Errorf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `output_out_latency_ns_bucket{node="n1",le="+Inf"} 50`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `output_out_latency_ns_count{node="n1"} 50`) {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if strings.Contains(out, "quantile=") {
+		t.Errorf("summary quantile labels leaked into histogram exposition:\n%s", out)
+	}
+	// Bucket lines must appear in increasing-le order and be cumulative.
+	lines := strings.Split(out, "\n")
+	var last uint64
+	seen := 0
+	for _, ln := range lines {
+		if strings.Contains(ln, `le="+Inf"`) {
+			continue
+		}
+		if strings.HasPrefix(ln, "output_out_latency_ns_bucket") {
+			cum, err := strconv.ParseUint(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", ln, err)
+			}
+			if cum < last {
+				t.Fatalf("bucket counts not cumulative at %q", ln)
+			}
+			last = cum
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no le buckets emitted")
+	}
+}

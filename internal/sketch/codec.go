@@ -1,0 +1,158 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire form of a sketch (carried inside stats digests and served raw by
+// /latency):
+//
+//	8 bytes alpha (float64 big-endian bits)
+//	uvarint zero-bucket count (values in [0,1))
+//	8 bytes sum | 8 bytes min | 8 bytes max (float64 bits)
+//	uvarint span (number of encoded buckets; 0 = no keyed buckets)
+//	if span > 0:
+//	  varint firstKey (bucket key of the first encoded count)
+//	  span × uvarint bucket counts (zero runs inside the span allowed)
+//
+// The total count is not transmitted — it is derived as zero + Σ counts,
+// so a decoded sketch can never disagree with its own buckets. Floats
+// travel as raw bits (NaN payloads in sum/min/max survive) exactly like
+// the digest codec; alpha is validated into (0, 0.5] so a hostile buffer
+// cannot smuggle a degenerate bucket base. The encoder trims leading and
+// trailing empty buckets, making the encoding canonical: decode followed
+// by re-encode is byte-stable for every encoder-produced buffer.
+
+// maxKey bounds |firstKey| and firstKey+span. The tightest real key is
+// ln(MaxFloat64)/ln γ ≈ 3.5e5 at the smallest accepted α; 2^21 leaves
+// headroom without letting hostile keys near integer overflow.
+const maxKey = 1 << 21
+
+// minAlpha rejects wire alphas so small the bucket math degenerates.
+const minAlpha = 1e-6
+
+// AppendSketch appends the wire form of s to dst and returns the
+// extended slice. A nil s encodes as an empty sketch with DefaultAlpha.
+func AppendSketch(dst []byte, s *Sketch) []byte {
+	if s == nil {
+		s = New(DefaultAlpha)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.alpha))
+	dst = binary.AppendUvarint(dst, s.zero)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.sum))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.minV))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.maxV))
+	lo, hi := 0, s.hi
+	for lo <= hi && s.buckets[lo] == 0 {
+		lo++
+	}
+	for hi >= lo && s.buckets[hi] == 0 {
+		hi--
+	}
+	if hi < lo {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(hi-lo+1))
+	dst = binary.AppendVarint(dst, int64(s.base+lo))
+	for i := lo; i <= hi; i++ {
+		dst = binary.AppendUvarint(dst, s.buckets[i])
+	}
+	return dst
+}
+
+// DecodeSketch parses one sketch from src, returning it and the bytes
+// consumed. Counts and keys are validated against the remaining buffer
+// and the fixed bucket range, so hostile input cannot panic, allocate
+// unboundedly, or overflow the derived total.
+func DecodeSketch(src []byte) (*Sketch, int, error) {
+	pos := 0
+	alphaBits, used, err := readBits(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += used
+	alpha := math.Float64frombits(alphaBits)
+	if !(alpha >= minAlpha && alpha <= 0.5) { // !(...) also rejects NaN
+		return nil, 0, fmt.Errorf("sketch: alpha %v out of range", alpha)
+	}
+	s := New(alpha)
+	zero, used, err := readUvarint(src[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += used
+	s.zero = zero
+	s.count = zero
+	for _, f := range []*float64{&s.sum, &s.minV, &s.maxV} {
+		bits, used, err := readBits(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		*f = math.Float64frombits(bits)
+	}
+	span, used, err := readUvarint(src[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += used
+	if span > numBuckets {
+		return nil, 0, fmt.Errorf("sketch: span %d exceeds %d buckets", span, numBuckets)
+	}
+	// Every encoded count is at least one byte, so a span beyond the
+	// remaining buffer is corrupt regardless of content.
+	if span > uint64(len(src)-pos) {
+		return nil, 0, fmt.Errorf("sketch: truncated bucket list")
+	}
+	if span > 0 {
+		firstKey, used, err := readVarint(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		if firstKey < -maxKey || firstKey > maxKey {
+			return nil, 0, fmt.Errorf("sketch: bucket key %d out of range", firstKey)
+		}
+		for i := uint64(0); i < span; i++ {
+			c, used, err := readUvarint(src[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			if c == 0 {
+				continue
+			}
+			if s.count+c < s.count {
+				return nil, 0, fmt.Errorf("sketch: count overflow")
+			}
+			s.count += c
+			s.addKey(int(firstKey)+int(i), c)
+		}
+	}
+	return s, pos, nil
+}
+
+func readBits(src []byte) (uint64, int, error) {
+	if len(src) < 8 {
+		return 0, 0, fmt.Errorf("sketch: truncated float")
+	}
+	return binary.BigEndian.Uint64(src), 8, nil
+}
+
+func readUvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("sketch: bad uvarint")
+	}
+	return v, n, nil
+}
+
+func readVarint(src []byte) (int64, int, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("sketch: bad varint")
+	}
+	return v, n, nil
+}

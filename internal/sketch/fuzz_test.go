@@ -1,0 +1,62 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeSketch drives hostile bytes through the sketch decoder, the
+// same contract the digest and tuple codec fuzzers enforce: never panic,
+// never report more bytes consumed than given, and any buffer that
+// decodes must re-encode canonically — encode(decode(b)) is a fixed
+// point of decode∘encode.
+func FuzzDecodeSketch(f *testing.F) {
+	f.Add(AppendSketch(nil, New(DefaultAlpha))) // empty sketch
+	pop := New(DefaultAlpha)
+	for i := 1; i <= 200; i++ {
+		pop.Record(float64(i) * 1500)
+	}
+	pop.Record(0.5) // zero bucket occupied
+	f.Add(AppendSketch(nil, pop))
+	nan := New(0.02)
+	nan.Record(1e6)
+	nan.sum = math.Float64frombits(0x7ff8_dead_beef_0001) // NaN payload
+	f.Add(AppendSketch(nil, nan))
+	f.Add([]byte{})
+	f.Add([]byte{0x3f, 0x84, 0x7a, 0xe1, 0x47, 0xae, 0x14, 0x7b, 0xff, 0xff}) // alpha then junk
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := DecodeSketch(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if s.Count() < s.zero {
+			t.Fatalf("count %d below zero-bucket %d", s.Count(), s.zero)
+		}
+		// Quantile queries on anything that decodes must be total.
+		for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+			_ = s.Quantile(q)
+		}
+		enc := AppendSketch(nil, s)
+		s2, n2, err := DecodeSketch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical encoding has %d trailing bytes", len(enc)-n2)
+		}
+		if s2.Count() != s.Count() || s2.zero != s.zero ||
+			math.Float64bits(s2.sum) != math.Float64bits(s.sum) ||
+			math.Float64bits(s2.minV) != math.Float64bits(s.minV) ||
+			math.Float64bits(s2.maxV) != math.Float64bits(s.maxV) {
+			t.Fatalf("round trip changed header: %+v vs %+v", s2, s)
+		}
+		if !bytes.Equal(AppendSketch(nil, s2), enc) {
+			t.Fatal("encoding is not a fixed point of decode∘encode")
+		}
+	})
+}

@@ -1,0 +1,406 @@
+// Package sketch implements a compact, mergeable quantile sketch with a
+// bounded relative error — the DDSketch construction: values are hashed
+// into log-spaced buckets (bucket k covers (γ^(k-1), γ^k] with
+// γ = (1+α)/(1-α)), so any value reported for a quantile is within a
+// factor (1±α) of an exact-sort oracle's answer at the same rank.
+//
+// The store is a fixed-size dense bucket array with collapse-lowest
+// semantics: when the observed value range outgrows the array, the
+// lowest buckets fold into one catch-all floor bucket. High quantiles —
+// the p95/p99 the latency-SLO plane lives on — keep the α bound as long
+// as they do not fall into the collapsed floor, which requires the value
+// range to span more than numBuckets buckets (≈ 9 decades at the default
+// α = 1%). Memory is constant (one 4 KiB array per sketch), Record
+// allocates nothing, and two sketches with the same α merge losslessly:
+// merge(a,b) answers quantile queries over the concatenated stream with
+// the same α bound (pinned by property tests).
+//
+// Sketches are NOT safe for concurrent use; callers synchronize. The
+// engine monitor records under its per-output mutex, the stats store
+// under its own lock — the same discipline the windowed store uses.
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// DefaultAlpha is the relative-error bound used across the plane:
+	// a reported p99 of 10ms means the exact value at that rank lies in
+	// [9.9ms, 10.1ms].
+	DefaultAlpha = 0.01
+
+	// numBuckets fixes the dense store's size. With α = 1% the bucket
+	// width is ln γ ≈ 0.02, so 1024 buckets span e^(1024·0.02) ≈ 8·10^8 —
+	// almost nine decades before the lowest buckets start collapsing.
+	numBuckets = 1024
+)
+
+// Sketch is one quantile sketch. The zero value is unusable; construct
+// with New or DecodeSketch.
+type Sketch struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+
+	base int // bucket index 0 holds key `base`; keys below it are collapsed
+	hi   int // highest occupied bucket index, -1 when no keyed buckets
+
+	// collapsed records that mass from distinct keys has been folded
+	// into the floor bucket: quantiles whose exact value falls at or
+	// below γ^base no longer carry the α bound. Advisory only — not
+	// transmitted on the wire.
+	collapsed bool
+
+	zero  uint64 // values in [0, 1): below the first log bucket
+	count uint64
+	sum   float64
+	minV  float64
+	maxV  float64
+
+	buckets [numBuckets]uint64
+}
+
+// New returns an empty sketch with relative-error bound alpha; values
+// outside (0, 0.5] fall back to DefaultAlpha.
+func New(alpha float64) *Sketch {
+	if !(alpha > 0 && alpha <= 0.5) { // !(...) also catches NaN
+		alpha = DefaultAlpha
+	}
+	s := &Sketch{alpha: alpha}
+	s.initGamma()
+	s.hi = -1
+	return s
+}
+
+func (s *Sketch) initGamma() {
+	s.gamma = (1 + s.alpha) / (1 - s.alpha)
+	s.lnGamma = math.Log(s.gamma)
+}
+
+// Alpha returns the sketch's relative-error bound.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// Count returns how many values have been recorded.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the sum of all recorded values.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min returns the smallest recorded value (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.minV
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.maxV
+}
+
+// Collapsed reports whether the value range outgrew the bucket window:
+// quantiles at or below the floor bucket lose the α bound (they can only
+// be overestimated); everything above keeps it.
+func (s *Sketch) Collapsed() bool { return s.collapsed }
+
+// Buckets calls fn once per occupied bucket in ascending value order
+// with the bucket's upper value bound and the cumulative count through
+// it — the (le, count) pairs of a Prometheus histogram. The zero bucket
+// reports upper bound 1 (it covers [0, 1)); keyed bucket k reports γ^k.
+func (s *Sketch) Buckets(fn func(upper float64, cum uint64)) {
+	var cum uint64
+	if s.zero > 0 {
+		cum = s.zero
+		fn(1, cum)
+	}
+	for i := 0; i <= s.hi; i++ {
+		if s.buckets[i] == 0 {
+			continue
+		}
+		cum += s.buckets[i]
+		fn(math.Exp(float64(s.base+i)*s.lnGamma), cum)
+	}
+}
+
+// key maps a value >= 1 onto its bucket key: the smallest k with
+// γ^k >= v, so bucket k covers (γ^(k-1), γ^k].
+func (s *Sketch) key(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lnGamma))
+}
+
+// valueOf returns bucket key k's representative value 2γ^k/(γ+1) — the
+// point whose relative distance to both bucket edges is exactly α.
+func (s *Sketch) valueOf(k int) float64 {
+	return math.Exp(float64(k)*s.lnGamma) * 2 / (s.gamma + 1)
+}
+
+// Record folds one value into the sketch. Negative values clamp to 0,
+// NaN is dropped. Record never allocates.
+func (s *Sketch) Record(v float64) { s.RecordN(v, 1) }
+
+// RecordN folds n copies of v into the sketch.
+func (s *Sketch) RecordN(v float64, n uint64) {
+	if n == 0 || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if math.IsInf(v, 1) {
+		v = math.MaxFloat64
+	}
+	if s.count == 0 || v < s.minV {
+		s.minV = v
+	}
+	if s.count == 0 || v > s.maxV {
+		s.maxV = v
+	}
+	s.count += n
+	s.sum += v * float64(n)
+	if v < 1 {
+		s.zero += n
+		return
+	}
+	s.addKey(s.key(v), n)
+}
+
+// addKey adds n observations at bucket key k, shifting or collapsing the
+// fixed window as needed. It does not touch count/sum/min/max.
+func (s *Sketch) addKey(k int, n uint64) {
+	if s.hi < 0 {
+		s.base = k
+		s.buckets[0] = n
+		s.hi = 0
+		return
+	}
+	idx := k - s.base
+	switch {
+	case idx >= 0 && idx < numBuckets:
+		s.buckets[idx] += n
+		if idx > s.hi {
+			s.hi = idx
+		}
+	case idx >= numBuckets:
+		// New key above the window: raise base, folding the lowest
+		// buckets into the new floor bucket (collapse-lowest).
+		s.shiftUp(idx - numBuckets + 1)
+		s.buckets[k-s.base] += n
+		if k-s.base > s.hi {
+			s.hi = k - s.base
+		}
+	default: // idx < 0
+		// New key below the window: lower base if the occupied span
+		// leaves room, else the value joins the collapsed floor.
+		d := -idx
+		if s.hi+d < numBuckets {
+			s.shiftDown(d)
+			s.buckets[0] += n
+		} else {
+			s.buckets[0] += n // floor bucket: value overestimated
+			s.collapsed = true
+		}
+	}
+}
+
+// shiftUp raises base by d: bucket contents move down d slots and the
+// shifted-out lowest buckets merge into the new index 0.
+func (s *Sketch) shiftUp(d int) {
+	if d >= numBuckets {
+		var all uint64
+		for i := 0; i <= s.hi; i++ {
+			all += s.buckets[i]
+			s.buckets[i] = 0
+		}
+		s.buckets[0] = all
+		s.base += d
+		s.hi = 0
+		s.collapsed = true
+		return
+	}
+	var low uint64
+	for i := 0; i < d; i++ {
+		low += s.buckets[i]
+	}
+	if low > 0 {
+		s.collapsed = true
+	}
+	copy(s.buckets[:], s.buckets[d:])
+	for i := numBuckets - d; i < numBuckets; i++ {
+		s.buckets[i] = 0
+	}
+	s.buckets[0] += low
+	s.base += d
+	s.hi -= d
+	if s.hi < 0 {
+		s.hi = 0
+	}
+}
+
+// shiftDown lowers base by d: bucket contents move up d slots (the
+// caller guarantees hi+d < numBuckets).
+func (s *Sketch) shiftDown(d int) {
+	copy(s.buckets[d:], s.buckets[:numBuckets-d])
+	for i := 0; i < d; i++ {
+		s.buckets[i] = 0
+	}
+	s.base -= d
+	s.hi += d
+}
+
+// Quantile estimates the q'th quantile. q <= 0 returns the exact min,
+// q >= 1 the exact max; in between the answer is the representative
+// value of the bucket holding rank q·(count-1), clamped to [min, max] —
+// within relative error α of the exact-sort value at that rank for any
+// rank outside the collapsed floor.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return s.minV
+	}
+	if q >= 1 {
+		return s.maxV
+	}
+	rank := uint64(q * float64(s.count-1))
+	if rank < s.zero {
+		// Sub-1 values: min is the tightest honest answer.
+		return s.minV
+	}
+	seen := s.zero
+	for i := 0; i <= s.hi; i++ {
+		c := s.buckets[i]
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			v := s.valueOf(s.base + i)
+			if v < s.minV {
+				v = s.minV
+			}
+			if v > s.maxV {
+				v = s.maxV
+			}
+			return v
+		}
+	}
+	return s.maxV
+}
+
+// Merge folds o into s. Both sketches must share the same α; merging is
+// lossless — quantiles of the merged sketch carry the same α bound over
+// the concatenated value stream. A nil or empty o is a no-op.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o.count == 0 {
+		return nil
+	}
+	if o.alpha != s.alpha {
+		return fmt.Errorf("sketch: merge alpha mismatch (%v vs %v)", s.alpha, o.alpha)
+	}
+	if s.count == 0 {
+		s.minV, s.maxV = o.minV, o.maxV
+	} else {
+		if o.minV < s.minV {
+			s.minV = o.minV
+		}
+		if o.maxV > s.maxV {
+			s.maxV = o.maxV
+		}
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.zero += o.zero
+	if o.collapsed {
+		s.collapsed = true
+	}
+	// High-to-low so the window grows upward before low keys arrive,
+	// matching the collapse-lowest bias toward accurate upper quantiles.
+	for i := o.hi; i >= 0; i-- {
+		if c := o.buckets[i]; c > 0 {
+			s.addKey(o.base+i, c)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	return &c
+}
+
+// CopyFrom makes s an exact copy of o without allocating.
+func (s *Sketch) CopyFrom(o *Sketch) { *s = *o }
+
+// Reset empties the sketch, keeping its α.
+func (s *Sketch) Reset() {
+	alpha := s.alpha
+	*s = Sketch{alpha: alpha}
+	s.initGamma()
+	s.hi = -1
+}
+
+// Delta returns the observations cur has accumulated beyond prev, for
+// differencing successive cumulative snapshots into per-window sketches.
+// Both must share cur's α (a mismatched or nil prev yields a clone of
+// cur). Per-key counts are differenced and clamped at zero; if a
+// collapse moved mass between snapshots the affected floor counts land
+// in the collapsed bucket — a bounded, monitoring-grade approximation.
+func Delta(cur, prev *Sketch) *Sketch {
+	if prev == nil || prev.count == 0 || prev.alpha != cur.alpha {
+		return cur.Clone()
+	}
+	d := New(cur.alpha)
+	if cur.zero > prev.zero {
+		d.zero = cur.zero - prev.zero
+	}
+	d.count = d.zero
+	for i := 0; i <= cur.hi; i++ {
+		k := cur.base + i
+		c := cur.buckets[i]
+		if pi := k - prev.base; pi >= 0 && pi <= prev.hi {
+			pc := prev.buckets[pi]
+			if c <= pc {
+				continue
+			}
+			c -= pc
+		}
+		if c > 0 {
+			d.addKey(k, c)
+			d.count += c
+		}
+	}
+	if d.count == 0 {
+		return d
+	}
+	if ds := cur.sum - prev.sum; ds > 0 {
+		d.sum = ds
+	}
+	// Min/max of the delta window are unknown; bucket edges are the
+	// tightest bounds the differenced counts support.
+	if d.zero > 0 {
+		d.minV = 0
+	} else {
+		lo := 0
+		for lo <= d.hi && d.buckets[lo] == 0 {
+			lo++
+		}
+		d.minV = math.Exp(float64(d.base+lo-1) * d.lnGamma) // lower bucket edge
+	}
+	if d.hi >= 0 && d.buckets[d.hi] > 0 {
+		d.maxV = math.Exp(float64(d.base+d.hi) * d.lnGamma) // upper bucket edge
+	} else {
+		d.maxV = 1
+	}
+	if d.maxV < d.minV {
+		d.maxV = d.minV
+	}
+	return d
+}

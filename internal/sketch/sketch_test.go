@@ -1,0 +1,396 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors the sketch's rank convention on a sorted slice:
+// the element at rank floor(q·(n-1)).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// withinAlpha checks the DDSketch guarantee: est within (1±α) of exact.
+func withinAlpha(t *testing.T, label string, est, exact, alpha float64) {
+	t.Helper()
+	if exact == 0 {
+		if est != 0 {
+			t.Errorf("%s: est %v for exact 0", label, est)
+		}
+		return
+	}
+	if rel := math.Abs(est-exact) / exact; rel > alpha+1e-9 {
+		t.Errorf("%s: est %v vs exact %v: relative error %.4f > α %.4f",
+			label, est, exact, rel, alpha)
+	}
+}
+
+// generators produce value streams with different shapes; every property
+// below must hold regardless of distribution.
+var generators = map[string]func(rng *rand.Rand) float64{
+	"uniform":   func(rng *rand.Rand) float64 { return 1 + rng.Float64()*1e6 },
+	"lognormal": func(rng *rand.Rand) float64 { return math.Exp(rng.NormFloat64()*2 + 8) },
+	"bimodal": func(rng *rand.Rand) float64 {
+		if rng.Intn(10) == 0 {
+			return 1e6 + rng.Float64()*1e7 // slow tail
+		}
+		return 100 + rng.Float64()*1000
+	},
+}
+
+func TestQuantileWithinRelativeErrorBound(t *testing.T) {
+	quantiles := []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}
+	for name, gen := range generators {
+		for _, alpha := range []float64{0.005, DefaultAlpha, 0.05} {
+			rng := rand.New(rand.NewSource(42))
+			s := New(alpha)
+			vals := make([]float64, 20000)
+			for i := range vals {
+				vals[i] = gen(rng)
+				s.Record(vals[i])
+			}
+			sort.Float64s(vals)
+			if s.Count() != uint64(len(vals)) {
+				t.Fatalf("%s: count %d != %d", name, s.Count(), len(vals))
+			}
+			for _, q := range quantiles {
+				ex := exactQuantile(vals, q)
+				if s.Collapsed() && ex <= math.Exp(float64(s.base)*s.lnGamma)*(1+alpha) {
+					// Inside the collapsed floor the bound is forfeited
+					// (documented); it may only be overestimated.
+					if est := s.Quantile(q); est < ex*(1-alpha)-1e-9 {
+						t.Errorf("%s: collapsed floor underestimated: %v vs %v", name, est, ex)
+					}
+					continue
+				}
+				withinAlpha(t, name, s.Quantile(q), ex, alpha)
+			}
+			if s.Quantile(0) != vals[0] || s.Quantile(1) != vals[len(vals)-1] {
+				t.Errorf("%s: extremes not exact: %v/%v vs %v/%v", name,
+					s.Quantile(0), s.Quantile(1), vals[0], vals[len(vals)-1])
+			}
+		}
+	}
+}
+
+// TestMergeWithinBound is the mergeability property: quantiles of
+// merge(a, b) obey the α bound over the concatenated stream, for
+// arbitrary splits of the stream.
+func TestMergeWithinBound(t *testing.T) {
+	for name, gen := range generators {
+		rng := rand.New(rand.NewSource(7))
+		a, b := New(DefaultAlpha), New(DefaultAlpha)
+		var all []float64
+		for i := 0; i < 30000; i++ {
+			v := gen(rng)
+			all = append(all, v)
+			// Uneven split: a sees the bulk, b a biased slice.
+			if rng.Intn(4) == 0 {
+				b.Record(v)
+			} else {
+				a.Record(v)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("%s: merge: %v", name, err)
+		}
+		sort.Float64s(all)
+		if a.Count() != uint64(len(all)) {
+			t.Fatalf("%s: merged count %d != %d", name, a.Count(), len(all))
+		}
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			withinAlpha(t, name+"/merged", a.Quantile(q), exactQuantile(all, q), DefaultAlpha)
+		}
+		if got, want := a.Min(), all[0]; got != want {
+			t.Errorf("%s: merged min %v != %v", name, got, want)
+		}
+		if got, want := a.Max(), all[len(all)-1]; got != want {
+			t.Errorf("%s: merged max %v != %v", name, got, want)
+		}
+	}
+}
+
+func TestMergeAlphaMismatch(t *testing.T) {
+	a, b := New(0.01), New(0.02)
+	b.Record(5)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging sketches with different α must error")
+	}
+	if a.Count() != 0 {
+		t.Fatalf("failed merge mutated the receiver: count %d", a.Count())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sketches := []*Sketch{New(DefaultAlpha)} // empty
+	s := New(DefaultAlpha)
+	for i := 0; i < 5000; i++ {
+		s.Record(math.Exp(rng.NormFloat64()*3 + 6))
+	}
+	sketches = append(sketches, s)
+	small := New(0.05)
+	small.Record(0.25) // zero bucket
+	small.Record(3e9)
+	sketches = append(sketches, small)
+	for i, want := range sketches {
+		buf := AppendSketch(nil, want)
+		got, n, err := DecodeSketch(buf)
+		if err != nil {
+			t.Fatalf("sketch %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("sketch %d: consumed %d of %d", i, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sketch %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		// Trailing bytes must be left untouched.
+		if _, n2, err := DecodeSketch(append(buf, 0xde, 0xad)); err != nil || n2 != len(buf) {
+			t.Fatalf("sketch %d: trailing bytes: n=%d err=%v", i, n2, err)
+		}
+	}
+}
+
+func TestDecodeRejectsHostileInput(t *testing.T) {
+	good := AppendSketch(nil, func() *Sketch {
+		s := New(DefaultAlpha)
+		for i := 1; i <= 100; i++ {
+			s.Record(float64(i * 1000))
+		}
+		return s
+	}())
+	// Every proper prefix fails cleanly.
+	for i := 0; i < len(good); i++ {
+		if _, _, err := DecodeSketch(good[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+	// Alpha out of range (1.5 and NaN).
+	bad := append([]byte{}, good...)
+	for _, bits := range []uint64{math.Float64bits(1.5), math.Float64bits(math.NaN())} {
+		for j := 0; j < 8; j++ {
+			bad[j] = byte(bits >> (56 - 8*j))
+		}
+		if _, _, err := DecodeSketch(bad); err == nil {
+			t.Error("hostile alpha decoded without error")
+		}
+	}
+	// Oversized span.
+	huge := AppendSketch(nil, New(DefaultAlpha))
+	huge[len(huge)-1] = 0xff // corrupt the span uvarint
+	huge = append(huge, 0xff, 0x7f)
+	if _, _, err := DecodeSketch(huge); err == nil {
+		t.Error("oversized span decoded without error")
+	}
+}
+
+// TestCollapseKeepsUpperQuantiles: a value range wider than the bucket
+// window collapses the lowest buckets, but p95/p99 (which live far from
+// the floor) keep the α bound; memory stays fixed throughout.
+func TestCollapseKeepsUpperQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := New(0.05) // coarse α so 1..1e15 overflows the window
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Pow(10, rng.Float64()*15) // 1 .. 1e15
+		vals = append(vals, v)
+		s.Record(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.9, 0.95, 0.99} {
+		withinAlpha(t, "collapsed", s.Quantile(q), exactQuantile(vals, q), 0.05)
+	}
+	// The collapsed floor only ever overestimates: low quantiles must not
+	// report below the exact value's α envelope.
+	if est, ex := s.Quantile(0.05), exactQuantile(vals, 0.05); est < ex*(1-0.05) {
+		t.Errorf("collapsed floor underestimated: %v vs %v", est, ex)
+	}
+}
+
+func TestDeltaCoversNewObservations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cum := New(DefaultAlpha)
+	for i := 0; i < 5000; i++ {
+		cum.Record(1000 + rng.Float64()*1e5)
+	}
+	prev := cum.Clone()
+	var batch []float64
+	for i := 0; i < 5000; i++ {
+		v := 1e6 + rng.Float64()*1e7 // distinguishably slower second batch
+		batch = append(batch, v)
+		cum.Record(v)
+	}
+	d := Delta(cum, prev)
+	if d.Count() != uint64(len(batch)) {
+		t.Fatalf("delta count %d != batch %d", d.Count(), len(batch))
+	}
+	sort.Float64s(batch)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		// Bucket counts difference exactly; min/max degrade to bucket
+		// edges, so allow 2α.
+		est, ex := d.Quantile(q), exactQuantile(batch, q)
+		if rel := math.Abs(est-ex) / ex; rel > 2*DefaultAlpha {
+			t.Errorf("delta q%.2f: %v vs %v (rel %.4f)", q, est, ex, rel)
+		}
+	}
+	// Delta against nil or empty is a clone of the cumulative sketch.
+	if got := Delta(cum, nil); got.Count() != cum.Count() {
+		t.Errorf("nil-prev delta count %d != %d", got.Count(), cum.Count())
+	}
+}
+
+func TestResetAndCopy(t *testing.T) {
+	s := New(DefaultAlpha)
+	s.Record(100)
+	c := s.Clone()
+	s.Reset()
+	if s.Count() != 0 || s.Alpha() != DefaultAlpha {
+		t.Fatalf("reset: count=%d alpha=%v", s.Count(), s.Alpha())
+	}
+	if c.Count() != 1 {
+		t.Fatalf("clone shares state with reset original")
+	}
+	s.CopyFrom(c)
+	if s.Count() != 1 || s.Quantile(0.5) != 100 {
+		t.Fatalf("CopyFrom: %+v", s)
+	}
+	c.Record(1e9)
+	if s.Count() != 1 {
+		t.Fatal("CopyFrom left the copies aliased")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	s := New(DefaultAlpha)
+	if s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	s.Record(math.NaN()) // dropped
+	s.Record(-5)         // clamps to 0
+	s.Record(0.5)        // zero bucket
+	if s.Count() != 2 || s.zero != 2 {
+		t.Fatalf("count=%d zero=%d", s.Count(), s.zero)
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("all-sub-1 median %v", q)
+	}
+	if New(math.NaN()).Alpha() != DefaultAlpha || New(-1).Alpha() != DefaultAlpha {
+		t.Fatal("invalid alpha must fall back to the default")
+	}
+}
+
+// TestRecordZeroAlloc pins the hot-path contract: Record never touches
+// the heap, collapse shifts included.
+func TestRecordZeroAlloc(t *testing.T) {
+	s := New(DefaultAlpha)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = math.Pow(10, rng.Float64()*12)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		s.Record(vals[i&4095])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per op; want 0", allocs)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := New(DefaultAlpha)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(float64(1000 + i%100000))
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	a, c := New(DefaultAlpha), New(DefaultAlpha)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		c.Record(math.Exp(rng.NormFloat64()*2 + 8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		_ = a.Merge(c)
+	}
+}
+
+// TestBucketsCumulative pins the Prometheus-facing iterator: ascending
+// upper bounds, strictly increasing cumulative counts ending at Count,
+// zero bucket reported with upper bound 1, and every recorded value at
+// or below the last bound it was counted under.
+func TestBucketsCumulative(t *testing.T) {
+	s := New(DefaultAlpha)
+	s.RecordN(0.5, 3) // zero bucket
+	vals := []float64{2, 40, 40, 1e6, 3e9}
+	for _, v := range vals {
+		s.Record(v)
+	}
+	var uppers []float64
+	var cums []uint64
+	s.Buckets(func(upper float64, cum uint64) {
+		uppers = append(uppers, upper)
+		cums = append(cums, cum)
+	})
+	if len(uppers) == 0 {
+		t.Fatal("no buckets emitted")
+	}
+	if uppers[0] != 1 || cums[0] != 3 {
+		t.Fatalf("zero bucket = (%g, %d), want (1, 3)", uppers[0], cums[0])
+	}
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			t.Fatalf("upper bounds not ascending: %v", uppers)
+		}
+		if cums[i] <= cums[i-1] {
+			t.Fatalf("cumulative counts not increasing: %v", cums)
+		}
+	}
+	if got := cums[len(cums)-1]; got != s.Count() {
+		t.Fatalf("last cum = %d, want Count %d", got, s.Count())
+	}
+	// γ^k is bucket k's inclusive upper edge: each value must be counted
+	// by the first bound >= it.
+	for _, v := range vals {
+		for i, u := range uppers {
+			if v <= u {
+				lo := uint64(0)
+				if i > 0 {
+					lo = cums[i-1]
+				}
+				if cums[i] == lo {
+					t.Fatalf("value %g not counted under bound %g", v, u)
+				}
+				break
+			}
+		}
+	}
+	// Empty sketch: no callbacks.
+	calls := 0
+	New(DefaultAlpha).Buckets(func(float64, uint64) { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty sketch emitted %d buckets", calls)
+	}
+}

@@ -18,7 +18,10 @@ import (
 //	  uvarint len(boxes)
 //	  per box: uvarint len(name) | name bytes | 8 bytes load
 //	  uvarint len(outputs)
-//	  per output: uvarint len(name) | name bytes | 8 bytes utility | 8 bytes rate
+//	  per output: uvarint len(name) | name bytes | 8 bytes utility |
+//	              8 bytes rate | 8 bytes headroom |
+//	              uvarint len(sketch) | sketch bytes (opaque; see
+//	              internal/sketch's wire format)
 //
 // Floats travel as raw bits so an encode/decode round trip is
 // bit-identical (NaN payloads included) — the same canonical-bytes
@@ -35,6 +38,10 @@ const maxBoxes = 65536
 
 // maxOutputs bounds the per-digest delivered-QoS list.
 const maxOutputs = 65536
+
+// maxSketchBytes bounds one output's embedded sketch encoding; a full
+// 1024-bucket sketch encodes in well under 8 KiB.
+const maxSketchBytes = 1 << 16
 
 // AppendDigests appends the wire form of a digest batch to dst.
 func AppendDigests(dst []byte, ds []Digest) []byte {
@@ -58,6 +65,9 @@ func AppendDigests(dst []byte, ds []Digest) []byte {
 			dst = append(dst, o.Output...)
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Utility))
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Rate))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Headroom))
+			dst = binary.AppendUvarint(dst, uint64(len(o.Sketch)))
+			dst = append(dst, o.Sketch...)
 		}
 	}
 	return dst
@@ -153,7 +163,8 @@ func DecodeDigests(src []byte) ([]Digest, int, error) {
 		if outs > maxOutputs {
 			return nil, 0, fmt.Errorf("stats: output count %d exceeds limit", outs)
 		}
-		// Each output entry is at least 17 bytes (length byte + two floats).
+		// Each output entry is at least 26 bytes (two length bytes + three
+		// floats).
 		if outs > uint64(len(src)-pos) {
 			return nil, 0, fmt.Errorf("stats: truncated output list")
 		}
@@ -180,6 +191,28 @@ func DecodeDigests(src []byte) ([]Digest, int, error) {
 				return nil, 0, err
 			}
 			pos += used
+			if oq.Headroom, used, err = readFloat(src[pos:]); err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			skLen, used, err := readUvarint(src[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			if skLen > maxSketchBytes {
+				return nil, 0, fmt.Errorf("stats: sketch length %d exceeds limit", skLen)
+			}
+			if skLen > uint64(len(src)-pos) {
+				return nil, 0, fmt.Errorf("stats: truncated sketch")
+			}
+			if skLen > 0 {
+				// The bytes stay opaque here: consumers run
+				// sketch.DecodeSketch themselves and drop entries that
+				// fail, so a bad sketch cannot poison the whole batch.
+				oq.Sketch = append([]byte(nil), src[pos:pos+int(skLen)]...)
+				pos += int(skLen)
+			}
 			d.Outputs = append(d.Outputs, oq)
 		}
 		ds = append(ds, d)

@@ -4,15 +4,31 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"repro/internal/sketch"
 )
+
+// sampleSketchBytes is a real sketch encoding so digest round-trip tests
+// exercise the embedded opaque-bytes path with plausible content.
+func sampleSketchBytes() []byte {
+	sk := sketch.New(sketch.DefaultAlpha)
+	for i := 1; i <= 100; i++ {
+		sk.Record(float64(i) * 1e5)
+	}
+	return sketch.AppendSketch(nil, sk)
+}
 
 func sampleDigests() []Digest {
 	return []Digest{
 		{
 			Node: "node-a", Seq: 42, At: 1234567890,
 			Util: 0.875, Queued: 17,
-			Boxes:   []BoxLoad{{Box: "filter1", Load: 0.25}, {Box: "map2", Load: 0.0625}},
-			Outputs: []OutputQoS{{Output: "out", Utility: 0.75, Rate: 120}},
+			Boxes: []BoxLoad{{Box: "filter1", Load: 0.25}, {Box: "map2", Load: 0.0625}},
+			Outputs: []OutputQoS{
+				{Output: "out", Utility: 0.75, Rate: 120, Headroom: 0.4,
+					Sketch: sampleSketchBytes()},
+				{Output: "quiet", Utility: 1, Rate: 2, Headroom: HeadroomUnknown},
+			},
 		},
 		{Node: "b", Seq: 1, At: -5, Util: 0, Queued: 0},
 		{Node: "", Seq: 0, At: 0, Util: math.Inf(1), Queued: -0.5,
@@ -83,6 +99,40 @@ func TestDecodeRejectsOversizedCounts(t *testing.T) {
 	buf = append(buf, 0xff, 0xff, 0x7f)
 	if _, _, err := DecodeDigests(buf); err == nil {
 		t.Error("oversized box count decoded without error")
+	}
+}
+
+func TestDecodeRejectsOversizedSketch(t *testing.T) {
+	// A sketch-length claim beyond maxSketchBytes must be rejected even
+	// when the buffer is short (limit check before allocation).
+	buf := AppendDigests(nil, []Digest{{Node: "n",
+		Outputs: []OutputQoS{{Output: "o"}}}})
+	// The encoding ends with the zero sketch-length byte; replace it with
+	// an oversized claim.
+	buf = append(buf[:len(buf)-1], 0xff, 0xff, 0x7f) // ~2^20
+	if _, _, err := DecodeDigests(buf); err == nil {
+		t.Error("oversized sketch length decoded without error")
+	}
+}
+
+func TestDigestSketchDecodes(t *testing.T) {
+	// The embedded bytes must decode with the sketch codec after a digest
+	// round trip — the consumer path dspstat and telemetry rely on.
+	buf := AppendDigests(nil, sampleDigests())
+	ds, _, err := DecodeDigests(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := ds[0].Outputs[0].Sketch
+	sk, n, err := sketch.DecodeSketch(raw)
+	if err != nil {
+		t.Fatalf("embedded sketch failed to decode: %v", err)
+	}
+	if n != len(raw) {
+		t.Fatalf("sketch decode consumed %d of %d bytes", n, len(raw))
+	}
+	if sk.Count() != 100 {
+		t.Fatalf("embedded sketch count = %d, want 100", sk.Count())
 	}
 }
 

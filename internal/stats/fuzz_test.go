@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -18,6 +19,10 @@ func FuzzDecodeDigest(f *testing.F) {
 	f.Add(AppendDigests(nil, []Digest{{
 		Node: "n", Util: math.Float64frombits(0x7ff8_0000_0000_0001),
 		Boxes: []BoxLoad{{Box: "b", Load: math.Inf(-1)}},
+	}}))
+	f.Add(AppendDigests(nil, []Digest{{
+		Node: "s", Outputs: []OutputQoS{{Output: "o", Headroom: math.NaN(),
+			Sketch: []byte{0x01, 0x02, 0x03}}},
 	}}))
 	// Hostile shapes: oversized counts, truncated floats, bare garbage.
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
@@ -56,12 +61,22 @@ func digestEqualBits(a, b Digest) bool {
 	if a.Node != b.Node || a.Seq != b.Seq || a.At != b.At ||
 		math.Float64bits(a.Util) != math.Float64bits(b.Util) ||
 		math.Float64bits(a.Queued) != math.Float64bits(b.Queued) ||
-		len(a.Boxes) != len(b.Boxes) {
+		len(a.Boxes) != len(b.Boxes) || len(a.Outputs) != len(b.Outputs) {
 		return false
 	}
 	for i := range a.Boxes {
 		if a.Boxes[i].Box != b.Boxes[i].Box ||
 			math.Float64bits(a.Boxes[i].Load) != math.Float64bits(b.Boxes[i].Load) {
+			return false
+		}
+	}
+	for i := range a.Outputs {
+		ao, bo := a.Outputs[i], b.Outputs[i]
+		if ao.Output != bo.Output ||
+			math.Float64bits(ao.Utility) != math.Float64bits(bo.Utility) ||
+			math.Float64bits(ao.Rate) != math.Float64bits(bo.Rate) ||
+			math.Float64bits(ao.Headroom) != math.Float64bits(bo.Headroom) ||
+			!bytes.Equal(ao.Sketch, bo.Sketch) {
 			return false
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/sketch"
 )
 
 // BoxLoad is one box's windowed load contribution inside a digest: the
@@ -15,15 +17,27 @@ type BoxLoad struct {
 	Load float64 `json:"load"`
 }
 
+// HeadroomUnknown is the Headroom sentinel for outputs whose node does
+// not run the latency-SLO forecaster (a finite value, not NaN, so JSON
+// digests stay encodable).
+const HeadroomUnknown = -2
+
 // OutputQoS is one output's windowed delivered-QoS contribution inside a
 // digest: the mean utility its deliveries earned against the attached
 // QoS graphs over the digest's window span, and the delivery rate the
 // mean is over. The LoadMap thereby carries not just where the load is
-// but what quality each node's outputs actually delivered.
+// but what quality each node's outputs actually delivered. Sketch, when
+// present, is the wire encoding (sketch.AppendSketch) of the output's
+// cumulative delivered-latency sketch, letting any node compute
+// cluster-wide percentiles for every output; Headroom is the origin's
+// forecast distance to its QoS latency cliff, HeadroomUnknown when the
+// origin runs no forecaster.
 type OutputQoS struct {
-	Output  string  `json:"output"`
-	Utility float64 `json:"utility"` // mean delivered utility in the window
-	Rate    float64 `json:"rate"`    // deliveries per second in the window
+	Output   string  `json:"output"`
+	Utility  float64 `json:"utility"` // mean delivered utility in the window
+	Rate     float64 `json:"rate"`    // deliveries per second in the window
+	Headroom float64 `json:"headroom"`
+	Sketch   []byte  `json:"sketch,omitempty"` // sketch wire bytes, nil when absent
 }
 
 // Digest is one node's compact windowed self-description, the unit the
@@ -181,7 +195,8 @@ func (p *Plane) Map() *LoadMap { return p.lm }
 func (p *Plane) WindowedK() int { return p.k }
 
 // Publish assembles a fresh digest from the store's windowed values
-// (node.util, node.queued, and every box.*.work_ns series), stamps it
+// (node.util, node.queued, every box.*.work_ns series, and the
+// per-output utility, latency-sketch, and headroom series), stamps it
 // with the next sequence number, folds it into the local map, and
 // returns it.
 func (p *Plane) Publish(now int64) Digest {
@@ -194,6 +209,16 @@ func (p *Plane) Publish(now int64) Digest {
 	d.Queued, _ = p.store.Windowed(SeriesNodeQueued, p.k, now)
 	const pre, suf = "box.", ".work_ns"
 	const opre, osuf = "out.", ".utility_sum"
+	const lsuf = ".latency"
+	outs := map[string]*OutputQoS{}
+	getOut := func(out string) *OutputQoS {
+		oq, ok := outs[out]
+		if !ok {
+			oq = &OutputQoS{Output: out, Headroom: HeadroomUnknown}
+			outs[out] = oq
+		}
+		return oq
+	}
 	for _, name := range p.store.Names() {
 		if strings.HasPrefix(name, pre) && strings.HasSuffix(name, suf) {
 			box := name[len(pre) : len(name)-len(suf)]
@@ -217,9 +242,33 @@ func (p *Plane) Publish(now int64) Digest {
 			if !ok || dRate <= 0 {
 				continue
 			}
-			d.Outputs = append(d.Outputs, OutputQoS{
-				Output: out, Utility: uRate / dRate, Rate: dRate})
+			oq := getOut(out)
+			oq.Utility, oq.Rate = uRate/dRate, dRate
+			continue
 		}
+		if strings.HasPrefix(name, opre) && strings.HasSuffix(name, lsuf) {
+			out := name[len(opre) : len(name)-len(lsuf)]
+			// The latency series' cumulative sketch rides the digest in
+			// wire form so remote nodes can merge whole distributions,
+			// not just point values.
+			if sk, ok := p.store.CumulativeSketch(name); ok && sk.Count() > 0 {
+				getOut(out).Sketch = sketch.AppendSketch(nil, sk)
+			}
+		}
+	}
+	for out, oq := range outs {
+		if h, ok := p.store.Latest(SeriesOutputHeadroom(out), now); ok {
+			oq.Headroom = h
+		}
+	}
+	if len(outs) > 0 {
+		d.Outputs = make([]OutputQoS, 0, len(outs))
+		for _, oq := range outs {
+			d.Outputs = append(d.Outputs, *oq)
+		}
+		sort.Slice(d.Outputs, func(i, j int) bool {
+			return d.Outputs[i].Output < d.Outputs[j].Output
+		})
 	}
 	p.lm.Update(d)
 	return d

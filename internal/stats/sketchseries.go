@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"repro/internal/sketch"
+)
+
+// Sketch-kind series: the engine samples its cumulative per-output
+// latency sketch into the store, which differences successive snapshots
+// (the counter discipline applied to whole distributions) so every
+// aligned window holds a mergeable sketch of just the deliveries that
+// landed in it. Consumers get three views: the cumulative sketch (what
+// the digests gossip — population-exact against a whole-run oracle), the
+// merged sketch over the last k complete windows (the smoothed p99 the
+// dspstat columns show), and the per-window p99 trajectory (what the
+// QoS-headroom forecaster regresses).
+
+// ObserveSketch folds a cumulative sketch snapshot into a KindSketch
+// series: the current window accumulates the observations recorded since
+// the previous snapshot. The first snapshot is the baseline (it defines
+// "since"), matching the counter kind's first-sample rule. cum is copied,
+// never retained.
+func (s *Store) ObserveSketch(name string, now int64, cum *sketch.Sketch) {
+	if cum == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.get(name, KindSketch)
+	if len(sr.sks) == 0 {
+		sr.sks = make([]*sketch.Sketch, s.numWin)
+	}
+	idx := now / s.windowNs
+	slot := idx % int64(len(sr.wins))
+	w := &sr.wins[slot]
+	if w.idx != idx {
+		w.idx = idx
+		w.sum = 0
+		w.count = 0
+		if sr.sks[slot] != nil {
+			sr.sks[slot].Reset()
+		}
+	}
+	if !sr.haveSk {
+		// Baseline snapshot: the delta is undefined, contributes nothing.
+		sr.lastSk = cum.Clone()
+		sr.haveSk = true
+		return
+	}
+	d := sketch.Delta(cum, sr.lastSk)
+	sr.lastSk.CopyFrom(cum)
+	if d.Count() == 0 {
+		return
+	}
+	if sr.sks[slot] == nil {
+		sr.sks[slot] = sketch.New(cum.Alpha())
+	}
+	_ = sr.sks[slot].Merge(d) // same α by construction
+	w.sum += d.Sum()
+	w.count += int64(d.Count())
+}
+
+// CumulativeSketch returns a copy of the series' latest cumulative
+// sketch snapshot. ok is false for unknown or never-sampled series.
+func (s *Store) CumulativeSketch(name string) (*sketch.Sketch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok || !sr.haveSk {
+		return nil, false
+	}
+	return sr.lastSk.Clone(), true
+}
+
+// WindowedSketch merges the last k complete windows' sketches before now
+// into one, the distribution counterpart of Windowed. ok is false when
+// no complete window holds observations.
+func (s *Store) WindowedSketch(name string, k int, now int64) (*sketch.Sketch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok || len(sr.sks) == 0 {
+		return nil, false
+	}
+	if k <= 0 || k > s.numWin {
+		k = s.numWin
+	}
+	var merged *sketch.Sketch
+	cur := now / s.windowNs
+	for idx := cur - 1; idx >= cur-int64(k) && idx >= 0; idx-- {
+		w := &sr.wins[idx%int64(len(sr.wins))]
+		if w.idx != idx {
+			continue
+		}
+		sk := sr.slotSketch(idx)
+		if sk == nil || sk.Count() == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = sketch.New(sk.Alpha())
+		}
+		_ = merged.Merge(sk)
+	}
+	if merged == nil || merged.Count() == 0 {
+		return nil, false
+	}
+	return merged, true
+}
+
+// SketchTrajectory returns the per-window p99 of the last k complete
+// windows before now, oldest first — the percentile trajectory the
+// forecaster regresses. Windows with no observations are omitted.
+func (s *Store) SketchTrajectory(name string, k int, now int64) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok || len(sr.sks) == 0 {
+		return nil
+	}
+	if k <= 0 || k > s.numWin {
+		k = s.numWin
+	}
+	cur := now / s.windowNs
+	var pts []Point
+	for idx := cur - int64(k); idx <= cur-1; idx++ {
+		if idx < 0 {
+			continue
+		}
+		w := &sr.wins[idx%int64(len(sr.wins))]
+		if w.idx != idx || w.count == 0 {
+			continue
+		}
+		sk := sr.slotSketch(idx)
+		if sk == nil || sk.Count() == 0 {
+			continue
+		}
+		pts = append(pts, Point{
+			Start: idx * s.windowNs,
+			Value: sk.Quantile(0.99),
+			Count: w.count,
+		})
+	}
+	return pts
+}

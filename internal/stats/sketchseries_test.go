@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// cumRecorder simulates the engine side: a cumulative sketch that only
+// grows, snapshotted into the store each sample period.
+type cumRecorder struct{ sk *sketch.Sketch }
+
+func newCumRecorder() *cumRecorder {
+	return &cumRecorder{sk: sketch.New(sketch.DefaultAlpha)}
+}
+
+func (c *cumRecorder) record(vs ...float64) {
+	for _, v := range vs {
+		c.sk.Record(v)
+	}
+}
+
+func TestObserveSketchBaselineAndDelta(t *testing.T) {
+	s := NewStore(1000, 8)
+	rec := newCumRecorder()
+	name := SeriesOutputLatency("out")
+
+	// First snapshot is the baseline: its contents must not count toward
+	// any window (they predate the store's view).
+	rec.record(1e6, 2e6, 3e6)
+	s.ObserveSketch(name, 100, rec.sk)
+	if _, ok := s.WindowedSketch(name, 8, 5000); ok {
+		t.Fatal("baseline snapshot leaked into a window")
+	}
+	cum, ok := s.CumulativeSketch(name)
+	if !ok || cum.Count() != 3 {
+		t.Fatalf("cumulative after baseline: ok=%v count=%d", ok, cum.Count())
+	}
+
+	// Second snapshot in window 1: only the two new observations land.
+	rec.record(5e6, 7e6)
+	s.ObserveSketch(name, 1100, rec.sk)
+	w, ok := s.WindowedSketch(name, 8, 2000)
+	if !ok {
+		t.Fatal("no windowed sketch after delta")
+	}
+	if w.Count() != 2 {
+		t.Fatalf("window count = %d, want 2 (the delta only)", w.Count())
+	}
+	// Delta sketches degrade min/max to bucket edges, so allow ~2γ slack.
+	if p := w.Quantile(1); math.Abs(p-7e6) > 7e6*0.025 {
+		t.Fatalf("window max quantile %v, want ~7e6", p)
+	}
+
+	// The caller's sketch must not be retained: mutating it without a new
+	// ObserveSketch call cannot change the store.
+	rec.record(9e9)
+	if cum, _ := s.CumulativeSketch(name); cum.Count() != 5 {
+		t.Fatalf("store retained caller's sketch: count %d", cum.Count())
+	}
+}
+
+func TestSketchTrajectoryAscending(t *testing.T) {
+	s := NewStore(1000, 16)
+	rec := newCumRecorder()
+	name := SeriesOutputLatency("out")
+	s.ObserveSketch(name, 0, rec.sk) // baseline at window 0
+
+	// Windows 1..4 each get a strictly larger latency population, so the
+	// trajectory's p99 must be strictly increasing.
+	for wdx := int64(1); wdx <= 4; wdx++ {
+		for i := 0; i < 50; i++ {
+			rec.record(float64(wdx) * 1e6)
+		}
+		s.ObserveSketch(name, wdx*1000+10, rec.sk)
+	}
+	pts := s.SketchTrajectory(name, 16, 5000)
+	if len(pts) != 4 {
+		t.Fatalf("trajectory has %d points, want 4: %+v", len(pts), pts)
+	}
+	for i, p := range pts {
+		wantStart := (int64(i) + 1) * 1000
+		if p.Start != wantStart {
+			t.Fatalf("point %d start %d, want %d", i, p.Start, wantStart)
+		}
+		if p.Count != 50 {
+			t.Fatalf("point %d count %d, want 50", i, p.Count)
+		}
+		if i > 0 && p.Value <= pts[i-1].Value {
+			t.Fatalf("trajectory not increasing at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestSketchWindowReuseResets(t *testing.T) {
+	// A ring slot revisited after wraparound must start empty, not carry
+	// the stale window's distribution.
+	s := NewStore(1000, 2)
+	rec := newCumRecorder()
+	name := SeriesOutputLatency("out")
+	s.ObserveSketch(name, 0, rec.sk)
+	rec.record(1e6, 1e6, 1e6)
+	s.ObserveSketch(name, 1000, rec.sk) // window 1
+	rec.record(9e6)
+	s.ObserveSketch(name, 3000, rec.sk) // window 3 reuses slot 1
+	w, ok := s.WindowedSketch(name, 1, 4000)
+	if !ok {
+		t.Fatal("no windowed sketch")
+	}
+	if w.Count() != 1 {
+		t.Fatalf("reused slot kept stale mass: count %d, want 1", w.Count())
+	}
+}
+
+func TestPublishCarriesSketchAndHeadroom(t *testing.T) {
+	p := NewPlane("n1", 1000, 8, 2)
+	st := p.Store()
+	rec := newCumRecorder()
+
+	// Give the output a delivery record so the utility path fires too.
+	st.Observe("out.out.utility_sum", KindCounter, 100, 0)
+	st.Observe(SeriesOutputDelivered("out"), KindCounter, 100, 0)
+	st.Observe("out.out.utility_sum", KindCounter, 1100, 80)
+	st.Observe(SeriesOutputDelivered("out"), KindCounter, 1100, 100)
+
+	st.ObserveSketch(SeriesOutputLatency("out"), 100, rec.sk)
+	rec.record(2e6, 4e6, 8e6)
+	st.ObserveSketch(SeriesOutputLatency("out"), 1100, rec.sk)
+	st.Observe(SeriesOutputHeadroom("out"), KindGauge, 1100, 0.42)
+
+	d := p.Publish(3000)
+	if len(d.Outputs) != 1 {
+		t.Fatalf("digest outputs = %+v, want one entry", d.Outputs)
+	}
+	oq := d.Outputs[0]
+	if oq.Output != "out" {
+		t.Fatalf("output name %q", oq.Output)
+	}
+	if oq.Headroom != 0.42 {
+		t.Fatalf("headroom %v, want 0.42", oq.Headroom)
+	}
+	if len(oq.Sketch) == 0 {
+		t.Fatal("digest carries no sketch bytes")
+	}
+	sk, n, err := sketch.DecodeSketch(oq.Sketch)
+	if err != nil || n != len(oq.Sketch) {
+		t.Fatalf("digest sketch decode: n=%d err=%v", n, err)
+	}
+	if sk.Count() != 3 {
+		t.Fatalf("digest sketch count %d, want 3 (cumulative)", sk.Count())
+	}
+
+	// An output with no forecaster gauge publishes the unknown sentinel.
+	st.ObserveSketch(SeriesOutputLatency("other"), 100, rec.sk)
+	rec.record(1e6)
+	st.ObserveSketch(SeriesOutputLatency("other"), 1100, rec.sk)
+	d = p.Publish(3100)
+	for _, oq := range d.Outputs {
+		if oq.Output == "other" {
+			if oq.Headroom != HeadroomUnknown {
+				t.Fatalf("headroom for forecaster-less output = %v", oq.Headroom)
+			}
+			return
+		}
+	}
+	t.Fatalf("sketch-only output missing from digest: %+v", d.Outputs)
+}
+
+func TestKindSketchLatestIsP99(t *testing.T) {
+	s := NewStore(1000, 8)
+	rec := newCumRecorder()
+	name := SeriesOutputLatency("out")
+	s.ObserveSketch(name, 100, rec.sk)
+	for i := 0; i < 300; i++ {
+		rec.record(1e6)
+	}
+	for i := 0; i < 10; i++ {
+		rec.record(5e7) // >1% tail mass so p99 lands in it
+	}
+	s.ObserveSketch(name, 1100, rec.sk)
+	v, ok := s.Latest(name, 1200)
+	if !ok {
+		t.Fatal("no latest value for sketch series")
+	}
+	if math.Abs(v-5e7) > 5e7*0.011 {
+		t.Fatalf("sketch series latest = %v, want ~p99 5e7", v)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 )
 
 // Kind selects how raw observations fold into a window.
@@ -31,6 +32,11 @@ const (
 	// KindHist merges cumulative histogram summaries: each window holds
 	// the observations that arrived during it. Window value: their mean.
 	KindHist
+	// KindSketch differences cumulative quantile sketches: each window
+	// holds a mergeable sketch of the observations that arrived during
+	// it, and the series keeps the full cumulative sketch alongside.
+	// Window value: the window sketch's p99.
+	KindSketch
 )
 
 func (k Kind) String() string {
@@ -41,6 +47,8 @@ func (k Kind) String() string {
 		return "counter"
 	case KindHist:
 		return "hist"
+	case KindSketch:
+		return "sketch"
 	}
 	return "unknown"
 }
@@ -84,6 +92,18 @@ func SeriesOutputUtilSum(out string) string { return "out." + out + ".utility_su
 // the digests carry.
 func SeriesOutputDelivered(out string) string { return "out." + out + ".delivered" }
 
+// SeriesOutputLatency names an output's delivered-latency quantile-sketch
+// series (KindSketch, ns): per-window sketches for the percentile
+// trajectory plus the cumulative sketch the digests gossip.
+func SeriesOutputLatency(out string) string { return "out." + out + ".latency" }
+
+// SeriesOutputHeadroom names an output's QoS latency-headroom series
+// (gauge): (cliff − p99)/cliff against the output's qos.Graph latency
+// cliff, clamped to [-1, 1]. Positive means margin, zero means the p99
+// sits exactly on the cliff, negative means the SLO is breached — the
+// predicate surface the placement planner subscribes to.
+func SeriesOutputHeadroom(out string) string { return "qos.headroom." + out }
+
 // window is one aligned time window of a series.
 type window struct {
 	idx   int64 // window index (start = idx*windowNs); negative = empty
@@ -102,6 +122,10 @@ type series struct {
 	haveRaw  bool
 	lastHCnt uint64  // KindHist: previous cumulative count
 	lastHSum float64 // KindHist: previous cumulative sum
+
+	sks    []*sketch.Sketch // KindSketch: per-ring-slot window sketches
+	lastSk *sketch.Sketch   // KindSketch: latest cumulative snapshot
+	haveSk bool
 }
 
 // Store is the fixed-memory windowed time-series store: a map of named
@@ -227,8 +251,25 @@ func (s *Store) value(sr *series, w *window) (float64, bool) {
 			return 0, false
 		}
 		return w.sum / float64(w.count), true
+	case KindSketch:
+		if w.count == 0 {
+			return 0, false
+		}
+		if sk := sr.slotSketch(w.idx); sk != nil && sk.Count() > 0 {
+			return sk.Quantile(0.99), true
+		}
+		return 0, false
 	}
 	return 0, false
+}
+
+// slotSketch returns the window sketch occupying idx's ring slot, nil if
+// none was ever allocated there.
+func (sr *series) slotSketch(idx int64) *sketch.Sketch {
+	if len(sr.sks) == 0 || idx < 0 {
+		return nil
+	}
+	return sr.sks[idx%int64(len(sr.sks))]
 }
 
 // Latest returns the current (possibly partial) window's value, falling

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// latencyFixture builds an SLO-enabled engine on a virtual clock, runs
+// six 1 ms stats windows of ~1 ms-latency deliveries (enough for the
+// forecaster to produce a headroom gauge), and publishes a digest so the
+// gossiped load map carries the cumulative sketch.
+func latencyFixture(t *testing.T) (*engine.Engine, *stats.Plane, int) {
+	t.Helper()
+	schema := stream.MustSchema("s",
+		stream.Field{Name: "A", Kind: stream.KindInt},
+		stream.Field{Name: "B", Kind: stream.KindInt},
+	)
+	spec := &qos.Spec{Latency: qos.DefaultLatency(2e6, 2e7)}
+	net := query.NewBuilder("lat").
+		AddBox("f1", op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 1000"}}).
+		BindInput("in", schema, "f1", 0).
+		BindOutput("out", "f1", 0, spec).
+		MustBuild()
+	plane := stats.NewPlane("x", int64(1e6), 16, 2)
+	vc := engine.NewVirtualClock(1)
+	eng, err := engine.New(net, engine.Config{
+		Clock: vc, Stats: plane.Store(), StatsEvery: 1,
+		SLO: &engine.SLOConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 20; i++ {
+			tp := stream.NewTuple(stream.Int(int64(i)), stream.Int(1))
+			tp.TS = vc.Now() - 1e6 // delivered latency ~1 ms
+			eng.Ingest("in", tp)
+			eng.RunUntilIdle(0)
+			total++
+			vc.Advance(15_000)
+		}
+		eng.SampleStats(vc.Now())
+		vc.Advance(1e6 - vc.Now()%1e6)
+	}
+	eng.SampleStats(vc.Now())
+	plane.Publish(vc.Now())
+	// The handler resolves node-local headroom against the wall clock;
+	// the forecaster above ran on virtual time, so park a gauge sample at
+	// wall-now for the local and prom views to find.
+	plane.Store().Observe(stats.SeriesOutputHeadroom("out"), stats.KindGauge,
+		time.Now().UnixNano(), 0.42)
+	return eng, plane, total
+}
+
+func TestLatencyEndpoint(t *testing.T) {
+	eng, plane, total := latencyFixture(t)
+	srv := httptest.NewServer(NewHandler(Config{Node: "x", Engine: eng, Plane: plane}))
+	defer srv.Close()
+
+	code, body := httpGet(t, srv, "/latency")
+	if code != 200 {
+		t.Fatalf("/latency: %d %s", code, body)
+	}
+	var lr LatencyResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatalf("/latency JSON: %v\n%s", err, body)
+	}
+	if lr.Node != "x" || lr.Alpha <= 0 || lr.Alpha > 0.5 {
+		t.Errorf("latency header = %+v", lr)
+	}
+	if len(lr.Local) != 1 || lr.Local[0].Output != "out" {
+		t.Fatalf("local rows = %+v", lr.Local)
+	}
+	loc := lr.Local[0]
+	if loc.Count != uint64(total) {
+		t.Errorf("local count = %d, want %d", loc.Count, total)
+	}
+	if loc.P50 < 0.97e6 || loc.P50 > 1.03e6 {
+		t.Errorf("local p50 = %g, want ~1e6", loc.P50)
+	}
+	if loc.P99 < loc.P50 || loc.Max < loc.P99 {
+		t.Errorf("quantiles not monotone: %+v", loc)
+	}
+	if loc.Headroom != 0.42 {
+		t.Errorf("local headroom = %g, want the parked 0.42 gauge", loc.Headroom)
+	}
+
+	// Cluster section: the digest's sketch bytes round-trip through the
+	// load map and merge back to the same population.
+	if len(lr.Cluster) != 1 || lr.Cluster[0].Output != "out" {
+		t.Fatalf("cluster rows = %+v", lr.Cluster)
+	}
+	cl := lr.Cluster[0]
+	if cl.Count != uint64(total) {
+		t.Errorf("cluster count = %d, want %d", cl.Count, total)
+	}
+	if cl.P99 < 0.95e6 || cl.P99 > 1.05e6 {
+		t.Errorf("cluster p99 = %g, want ~1e6", cl.P99)
+	}
+	// The forecaster's gossiped headroom: latency sits well under the
+	// 3.8 ms cliff, so headroom is strongly positive but below 1.
+	if cl.Headroom <= 0.5 || cl.Headroom >= 1 {
+		t.Errorf("cluster headroom = %g, want in (0.5, 1)", cl.Headroom)
+	}
+}
+
+func TestLatencyEndpointDisabled(t *testing.T) {
+	// No SLO plane and no stats plane: 404.
+	eng, _ := statsFixture(t)
+	srv := httptest.NewServer(NewHandler(Config{Node: "x", Engine: eng}))
+	defer srv.Close()
+	if code, _ := httpGet(t, srv, "/latency"); code != 404 {
+		t.Errorf("/latency with no SLO plane: %d, want 404", code)
+	}
+
+	// No SLO plane but a stats plane: 200 with empty local — another
+	// node's digests may still carry sketches.
+	eng2, plane := statsFixture(t)
+	srv2 := httptest.NewServer(NewHandler(Config{Node: "x", Engine: eng2, Plane: plane}))
+	defer srv2.Close()
+	code, body := httpGet(t, srv2, "/latency")
+	if code != 200 {
+		t.Fatalf("/latency with plane only: %d", code)
+	}
+	var lr LatencyResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Local) != 0 {
+		t.Errorf("SLO-off local rows = %+v", lr.Local)
+	}
+}
+
+func TestPromSketchExposition(t *testing.T) {
+	eng, plane, total := latencyFixture(t)
+	srv := httptest.NewServer(NewHandler(Config{Node: "x", Engine: eng, Plane: plane}))
+	defer srv.Close()
+
+	code, body := httpGet(t, srv, "/metrics?format=prom")
+	if code != 200 {
+		t.Fatalf("/metrics?format=prom: %d", code)
+	}
+	text := string(body)
+	if !strings.Contains(text, "# TYPE dsp_output_latency_ns histogram") {
+		t.Errorf("missing sketch histogram TYPE line:\n%s", text)
+	}
+	infLine := `dsp_output_latency_ns_bucket{node="x",output="out",le="+Inf"} ` +
+		strconv.Itoa(total)
+	if !strings.Contains(text, infLine) {
+		t.Errorf("missing +Inf bucket %q:\n%s", infLine, text)
+	}
+	if !strings.Contains(text, `dsp_output_latency_ns_count{node="x",output="out"} `+strconv.Itoa(total)) {
+		t.Errorf("missing histogram count line:\n%s", text)
+	}
+	if !strings.Contains(text, `dsp_qos_headroom{node="x",output="out"} 0.42`) {
+		t.Errorf("missing headroom gauge:\n%s", text)
+	}
+
+	// Cumulative le buckets are monotone non-decreasing and end at count.
+	var last uint64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "dsp_output_latency_ns_bucket") ||
+			strings.Contains(line, "+Inf") {
+			continue
+		}
+		var cum uint64
+		if _, err := fmt.Sscan(line[strings.LastIndexByte(line, ' ')+1:], &cum); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if cum < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = cum
+	}
+	if last != uint64(total) {
+		t.Errorf("last finite bucket cum = %d, want %d", last, total)
+	}
+
+	// SLO off: no sketch families appended, exposition otherwise intact.
+	off, _ := statsFixture(t)
+	srvOff := httptest.NewServer(NewHandler(Config{Node: "x", Engine: off}))
+	defer srvOff.Close()
+	_, body = httpGet(t, srvOff, "/metrics?format=prom")
+	if strings.Contains(string(body), "dsp_output_latency_ns") {
+		t.Errorf("SLO-off exposition carries sketch families:\n%s", body)
+	}
+}

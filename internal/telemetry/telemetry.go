@@ -7,14 +7,18 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/events"
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -39,9 +43,9 @@ type MetricsResponse struct {
 	// Now is the scrape's wall-clock time in unix nanoseconds and
 	// UptimeNs how long this telemetry surface has been serving — rate
 	// computations across scrapes need both.
-	Now      int64  `json:"now"`
-	UptimeNs int64  `json:"uptime_ns"`
-	Version  string `json:"version,omitempty"`
+	Now      int64                    `json:"now"`
+	UptimeNs int64                    `json:"uptime_ns"`
+	Version  string                   `json:"version,omitempty"`
 	Metrics  metrics.RegistrySnapshot `json:"metrics"`
 }
 
@@ -59,6 +63,32 @@ type LoadMapResponse struct {
 	Node    string         `json:"node"`
 	Ranking []string       `json:"ranking"`
 	Digests []stats.Digest `json:"digests"`
+}
+
+// OutputLatency summarizes one output's delivered-latency quantile
+// sketch for /latency. Headroom is the forecaster's latest fractional
+// distance to the QoS latency cliff, stats.HeadroomUnknown when the
+// forecaster has not produced one.
+type OutputLatency struct {
+	Output   string  `json:"output"`
+	Count    uint64  `json:"count"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+	Headroom float64 `json:"headroom"`
+}
+
+// LatencyResponse is the /latency payload. Local holds this node's own
+// cumulative per-output sketches; Cluster holds per-output sketches
+// merged across every digest in the gossiped load map (present only
+// when the stats plane is on), so any node can answer for the whole
+// cluster within a gossip round.
+type LatencyResponse struct {
+	Node    string          `json:"node"`
+	Alpha   float64         `json:"alpha"`
+	Local   []OutputLatency `json:"local"`
+	Cluster []OutputLatency `json:"cluster,omitempty"`
 }
 
 // EventsResponse is the /events payload: one page of the node's
@@ -105,7 +135,12 @@ func Handler(id string, eng *engine.Engine, plane *stats.Plane, links LinkSource
 //	                      uptime, wall-clock timestamp, and version
 //	GET /metrics?format=prom
 //	                      the same snapshot in Prometheus/OpenMetrics
-//	                      text exposition, node label attached
+//	                      text exposition, node label attached; when the
+//	                      latency-SLO plane is on, per-output sketch
+//	                      histograms and headroom gauges are appended
+//	GET /latency          per-output delivered-latency quantile summaries
+//	                      (p50/p95/p99/max + QoS headroom), node-local
+//	                      and merged across the gossiped load map
 //	GET /trace?n=100      the most recent flight-recorder events as JSON
 //	GET /trace?format=chrome
 //	                      same events as Chrome trace-event JSON, loadable
@@ -161,6 +196,7 @@ func NewHandler(cfg Config) http.Handler {
 		if r.URL.Query().Get("format") == "prom" {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			metrics.WritePrometheus(w, snap, map[string]string{"node": id})
+			writeSketchProm(w, id, eng, time.Now().UnixNano())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -173,6 +209,62 @@ func NewHandler(cfg Config) http.Handler {
 			Version:  cfg.Version,
 			Metrics:  snap,
 		})
+	})
+
+	mux.HandleFunc("/latency", func(w http.ResponseWriter, _ *http.Request) {
+		local := eng.LatencySketches()
+		if len(local) == 0 && cfg.Plane == nil {
+			http.Error(w, "latency-SLO plane disabled", http.StatusNotFound)
+			return
+		}
+		now := time.Now().UnixNano()
+		resp := LatencyResponse{Node: id, Alpha: sketch.DefaultAlpha}
+		for out, sk := range local {
+			if sk.Count() > 0 {
+				resp.Alpha = sk.Alpha()
+			}
+			resp.Local = append(resp.Local, summarize(out, sk, headroomOf(eng, out, now)))
+		}
+		sortByOutput(resp.Local)
+		if resp.Local == nil {
+			resp.Local = []OutputLatency{}
+		}
+		if cfg.Plane != nil {
+			merged := map[string]*sketch.Sketch{}
+			worst := map[string]float64{}
+			for _, d := range cfg.Plane.Map().Snapshot() {
+				for _, oq := range d.Outputs {
+					if h, seen := worst[oq.Output]; oq.Headroom > stats.HeadroomUnknown &&
+						(!seen || oq.Headroom < h) {
+						worst[oq.Output] = oq.Headroom
+					}
+					if len(oq.Sketch) == 0 {
+						continue
+					}
+					sk, _, err := sketch.DecodeSketch(oq.Sketch)
+					if err != nil {
+						continue
+					}
+					if cur, ok := merged[oq.Output]; ok {
+						cur.Merge(sk)
+					} else {
+						merged[oq.Output] = sk
+					}
+				}
+			}
+			for out, sk := range merged {
+				h := float64(stats.HeadroomUnknown)
+				if v, ok := worst[out]; ok {
+					h = v
+				}
+				resp.Cluster = append(resp.Cluster, summarize(out, sk, h))
+			}
+			sortByOutput(resp.Cluster)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -291,4 +383,70 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// summarize reduces a sketch to its /latency row.
+func summarize(out string, sk *sketch.Sketch, headroom float64) OutputLatency {
+	return OutputLatency{
+		Output:   out,
+		Count:    sk.Count(),
+		P50:      sk.Quantile(0.50),
+		P95:      sk.Quantile(0.95),
+		P99:      sk.Quantile(0.99),
+		Max:      sk.Max(),
+		Headroom: headroom,
+	}
+}
+
+func sortByOutput(rows []OutputLatency) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Output < rows[j].Output })
+}
+
+// headroomOf looks up the forecaster's latest headroom gauge for an
+// output, stats.HeadroomUnknown when the forecaster has not run.
+func headroomOf(eng *engine.Engine, out string, now int64) float64 {
+	if st := eng.StatsStore(); st != nil {
+		if h, ok := st.Latest(stats.SeriesOutputHeadroom(out), now); ok {
+			return h
+		}
+	}
+	return stats.HeadroomUnknown
+}
+
+// writeSketchProm appends the latency-SLO plane's per-output sketches to
+// a Prometheus exposition as real histogram families (cumulative le
+// buckets straight from the sketch's log-bucket boundaries) plus a
+// headroom gauge per output. No-op when the plane is off.
+func writeSketchProm(w io.Writer, node string, eng *engine.Engine, now int64) {
+	sks := eng.LatencySketches()
+	if len(sks) == 0 {
+		return
+	}
+	outs := make([]string, 0, len(sks))
+	for out := range sks {
+		outs = append(outs, out)
+	}
+	sort.Strings(outs)
+	fmt.Fprintf(w, "# TYPE dsp_output_latency_ns histogram\n")
+	for _, out := range outs {
+		sk := sks[out]
+		sk.Buckets(func(upper float64, cum uint64) {
+			fmt.Fprintf(w, "dsp_output_latency_ns_bucket{node=%q,output=%q,le=%q} %d\n",
+				node, out, strconv.FormatFloat(upper, 'g', -1, 64), cum)
+		})
+		fmt.Fprintf(w, "dsp_output_latency_ns_bucket{node=%q,output=%q,le=\"+Inf\"} %d\n",
+			node, out, sk.Count())
+		fmt.Fprintf(w, "dsp_output_latency_ns_sum{node=%q,output=%q} %v\n", node, out, sk.Sum())
+		fmt.Fprintf(w, "dsp_output_latency_ns_count{node=%q,output=%q} %d\n", node, out, sk.Count())
+	}
+	wrote := false
+	for _, out := range outs {
+		if h := headroomOf(eng, out, now); h > stats.HeadroomUnknown {
+			if !wrote {
+				fmt.Fprintf(w, "# TYPE dsp_qos_headroom gauge\n")
+				wrote = true
+			}
+			fmt.Fprintf(w, "dsp_qos_headroom{node=%q,output=%q} %v\n", node, out, h)
+		}
+	}
 }
