@@ -55,6 +55,7 @@ func BenchmarkExp18_ParallelScaling(b *testing.B)  { runExp(b, "E18") }
 func BenchmarkExp18b_AutoSplit(b *testing.B)       { runExp(b, "E18B") }
 func BenchmarkExp19_Observability(b *testing.B)    { runExp(b, "E19") }
 func BenchmarkExp20_LatencySLO(b *testing.B)       { runExp(b, "E20") }
+func BenchmarkExp21_HotPath(b *testing.B)          { runExp(b, "E21") }
 func BenchmarkAbl01_DetectionTimeout(b *testing.B) { runExp(b, "A01") }
 func BenchmarkAbl02_FlowPeriod(b *testing.B)       { runExp(b, "A02") }
 
@@ -190,4 +191,28 @@ func BenchmarkEngineParallelDrain(b *testing.B) {
 	}
 	eng.Run()
 	eng.Drain()
+}
+
+func BenchmarkCodecRoundTripPooled(b *testing.B) {
+	// The caller-provided-buffer path of the pooled codec: Encode into a
+	// retained buffer, DecodeInto a warm Msg. Steady state allocates
+	// nothing (numeric payload), vs 4 allocs/op for the copying Decode.
+	m := transport.Msg{Stream: "quotes", Kind: transport.KindData, BaseSeq: 1,
+		Tuples: []stream.Tuple{
+			{Seq: 1, TS: 100, Vals: []stream.Value{
+				stream.Int(7), stream.Float(101.25), stream.Int(300)}},
+		}}
+	buf := transport.Encode(nil, m)
+	var dec transport.Msg
+	if _, err := transport.DecodeInto(&dec, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		buf = transport.Encode(buf[:0], m)
+		if _, err := transport.DecodeInto(&dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -42,12 +42,16 @@ import (
 	"repro/internal/exp"
 )
 
-// benchArtifact is the BENCH_<id>.json schema.
+// benchArtifact is the BENCH_<id>.json schema. Delta is a string, not a
+// float: a run without a usable baseline records "new", so the artifact
+// can never carry NaN or Inf (which a zero-baseline division produced,
+// and which encoding/json refuses to marshal as numbers anyway).
 type benchArtifact struct {
 	ID        string     `json:"id"`
 	Name      string     `json:"name"`
 	Scale     float64    `json:"scale"`
 	ElapsedNS int64      `json:"elapsed_ns"`
+	Delta     string     `json:"delta,omitempty"` // "+12.3%", "-4.0%", or "new"
 	Table     *exp.Table `json:"table"`
 }
 
@@ -75,21 +79,40 @@ type benchDelta struct {
 	CurrentNS  int64
 }
 
-// Pct is the signed percentage change; positive means slower.
+// IsNew reports that no usable baseline exists: the artifact was missing,
+// or it recorded a zero/negative elapsed time. Either way there is
+// nothing to divide by — the percent is undefined, not zero.
+func (d benchDelta) IsNew() bool { return d.BaselineNS <= 0 }
+
+// Pct is the signed percentage change; positive means slower. Only
+// meaningful when IsNew is false.
 func (d benchDelta) Pct() float64 {
-	if d.BaselineNS <= 0 {
+	if d.IsNew() {
 		return 0
 	}
 	return 100 * float64(d.CurrentNS-d.BaselineNS) / float64(d.BaselineNS)
 }
 
+// Delta is the artifact form of the comparison: a finite signed percent,
+// or "new" when there is no baseline to compare against.
+func (d benchDelta) Delta() string {
+	if d.IsNew() {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", d.Pct())
+}
+
 // Regressed reports whether the run slowed past the threshold. A zero or
-// negative threshold disarms the gate.
+// negative threshold disarms the gate; a new benchmark never regresses.
 func (d benchDelta) Regressed(pct float64) bool {
-	return pct > 0 && d.Pct() > pct
+	return pct > 0 && !d.IsNew() && d.Pct() > pct
 }
 
 func (d benchDelta) String() string {
+	if d.IsNew() {
+		return fmt.Sprintf("%s: no baseline -> %v (new)", d.ID,
+			time.Duration(d.CurrentNS).Round(time.Millisecond))
+	}
 	return fmt.Sprintf("%s: %v -> %v (%+.1f%%)", d.ID,
 		time.Duration(d.BaselineNS).Round(time.Millisecond),
 		time.Duration(d.CurrentNS).Round(time.Millisecond), d.Pct())
@@ -139,13 +162,23 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Println(table)
 		fmt.Printf("(%s completed in %v)\n", e.ID, elapsed.Round(time.Millisecond))
-		if prior != nil {
-			if prior.Scale != *scale {
-				fmt.Printf("(%s baseline at scale %g, current %g: not comparable)\n",
+		delta := ""
+		if *baseline != "" {
+			switch {
+			case prior == nil:
+				// A missing baseline passes with a note — silently skipping
+				// it made a gate run over an empty baseline dir look green
+				// for the wrong reason.
+				fmt.Printf("(%s: no baseline artifact — pass, recorded as new)\n", e.ID)
+				delta = "new"
+			case prior.Scale != *scale:
+				fmt.Printf("(%s baseline at scale %g, current %g: not comparable — pass, recorded as new)\n",
 					e.ID, prior.Scale, *scale)
-			} else {
+				delta = "new"
+			default:
 				d := benchDelta{ID: e.ID, BaselineNS: prior.ElapsedNS, CurrentNS: elapsed.Nanoseconds()}
 				fmt.Printf("(%s)\n", d)
+				delta = d.Delta()
 				if d.Regressed(*regressPct) {
 					regressions = append(regressions, d)
 				}
@@ -154,7 +187,7 @@ func main() {
 		fmt.Println()
 		if *jsonDir != "" {
 			art := benchArtifact{ID: e.ID, Name: e.Name, Scale: *scale,
-				ElapsedNS: elapsed.Nanoseconds(), Table: table}
+				ElapsedNS: elapsed.Nanoseconds(), Delta: delta, Table: table}
 			data, err := json.MarshalIndent(art, "", "  ")
 			if err == nil {
 				err = os.WriteFile(filepath.Join(*jsonDir, "BENCH_"+e.ID+".json"), data, 0o644)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,5 +65,54 @@ func TestBenchDelta(t *testing.T) {
 	zero := benchDelta{ID: "E06", BaselineNS: 0, CurrentNS: 50e6}
 	if zero.Pct() != 0 || zero.Regressed(10) {
 		t.Error("zero baseline should compare as neutral")
+	}
+}
+
+// A benchmark without a usable baseline must report "new" — never a
+// NaN/Inf percent from dividing by a missing or zero baseline — and must
+// never trip the regression gate.
+func TestBenchDeltaNew(t *testing.T) {
+	cases := []struct {
+		name string
+		d    benchDelta
+	}{
+		{"missing", benchDelta{ID: "E01", BaselineNS: 0, CurrentNS: 5e6}},
+		{"zero-current-too", benchDelta{ID: "E01", BaselineNS: 0, CurrentNS: 0}},
+		{"negative", benchDelta{ID: "E01", BaselineNS: -1, CurrentNS: 5e6}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !c.d.IsNew() {
+				t.Fatal("IsNew() = false, want true")
+			}
+			if got := c.d.Delta(); got != "new" {
+				t.Fatalf("Delta() = %q, want \"new\"", got)
+			}
+			if math.IsNaN(c.d.Pct()) || math.IsInf(c.d.Pct(), 0) {
+				t.Fatalf("Pct() = %v, want finite", c.d.Pct())
+			}
+			if c.d.Regressed(25) {
+				t.Fatal("new benchmark tripped the regression gate")
+			}
+			if s := c.d.String(); !strings.Contains(s, "new") {
+				t.Fatalf("String() = %q, want it to mention \"new\"", s)
+			}
+		})
+	}
+	d := benchDelta{ID: "E01", BaselineNS: 100e6, CurrentNS: 150e6}
+	if d.IsNew() {
+		t.Fatal("IsNew() = true with a real baseline")
+	}
+	if got := d.Delta(); got != "+50.0%" {
+		t.Fatalf("Delta() = %q, want \"+50.0%%\"", got)
+	}
+	// The artifact's delta field must marshal as a plain string — the bug
+	// was NaN/Inf leaking into BENCH_*.json.
+	data, err := json.Marshal(benchArtifact{ID: "E01", Delta: "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"delta":"new"`) {
+		t.Fatalf("artifact JSON = %s, want a \"delta\":\"new\" field", data)
 	}
 }

@@ -72,6 +72,12 @@ type Config struct {
 	// is set and Stats is nil, the engine creates a private store sized
 	// by AutoSplitConfig.WindowNs.
 	AutoSplit *AutoSplitConfig
+	// SerialKernels forces per-tuple operator dispatch (Process) even for
+	// operators exposing a batch kernel, reproducing the pre-batching
+	// execution path. It exists for the CI hot-path guard and for
+	// debugging kernel/serial divergence; production configs leave it
+	// false. The deterministic virtual-clock path is always serial.
+	SerialKernels bool
 }
 
 // OutputFn receives tuples delivered to a named application output.
@@ -129,12 +135,16 @@ type Engine struct {
 
 	// Connection points (§2.2): predetermined arcs where recent history
 	// is retained so ad hoc queries can attach later. The cpHist map is
-	// immutable after New; cpMu guards each History's contents. taps is
-	// copy-on-write (AttachAdHoc swaps a fresh map in) so the emit hot
-	// path pays one atomic load and no lock.
-	cpHist map[query.Port]*stream.History
-	cpMu   sync.Mutex
-	taps   atomic.Pointer[map[query.Port][]op.Emit]
+	// immutable after New (box states cache their ports' histories, so
+	// the emit hot path never touches the map); cpMu guards each
+	// History's contents and serializes tap registration. Tap lists live
+	// per box port (boxState.taps) behind atomic pointers, published with
+	// amortized-doubling growth; tapCopies counts elements copied during
+	// those growths — the regression test's evidence that registration
+	// is no longer quadratic.
+	cpHist    map[query.Port]*stream.History
+	cpMu      sync.Mutex
+	tapCopies atomic.Uint64
 
 	// Parallel runtime state: the configured pool size, the active
 	// dispatcher (nil when no RunParallel is in flight; Ingest kicks it so
@@ -165,6 +175,9 @@ type Engine struct {
 	// push/pop so storage accounting never walks every queue.
 	qBytes atomic.Int64
 
+	// serialKernels disables batch-kernel dispatch (Config.SerialKernels).
+	serialKernels bool
+
 	onOutput OutputFn
 	ingested atomic.Uint64
 	seq      atomic.Uint64
@@ -184,6 +197,22 @@ type boxState struct {
 	inQ        []*entryQueue
 	downstream [][]route // per output port
 	emit       op.Emit
+
+	// kernel is the operator's batch entry point when it implements
+	// op.TrainProcessor (nil otherwise), and consumes caches the
+	// op.Consumer assertion — both resolved once at construction so the
+	// train loop pays no per-train type assertions. refreshInst must be
+	// called whenever inst is swapped.
+	kernel   op.TrainProcessor
+	consumes bool
+
+	// cpH and taps are the per-output-port connection-point caches: the
+	// retained history (nil for non-CP ports) and the ad hoc tap list
+	// behind an atomic pointer, so the emit hot path pays a bounds check
+	// and a nil load instead of two map lookups. Both are nil-slice on
+	// runtime-built replica and merge boxes, which have no CP ports.
+	cpH  []*stream.History
+	taps []atomic.Pointer[[]op.Emit]
 
 	virtCost int64
 	cost     *metrics.EWMA // ns per tuple, processing only
@@ -214,6 +243,28 @@ type boxState struct {
 	// that holds the box) touches it; ownership hand-off through the
 	// dispatcher lock orders those accesses.
 	cur *trace.Span
+
+	// eb and collect are the batch path's emission buffer: collect is a
+	// fixed closure that appends (port, tuple) to eb, and eb points at a
+	// pooled emitBuf only for the duration of one untraced train. The
+	// train's emissions are then routed in same-port runs by flushEmits —
+	// one clock read, one downstream lock, one accounting update per run.
+	// Only the box's current owner touches either field.
+	eb      *emitBuf
+	collect op.Emit
+}
+
+// refreshInst re-resolves the cached interface assertions after inst is
+// installed or replaced (construction, partition refresh).
+func (b *boxState) refreshInst() {
+	b.kernel, _ = b.inst.(op.TrainProcessor)
+	_, b.consumes = b.inst.(op.Consumer)
+	if b.collect == nil {
+		// Built once, not per train: a method-value conversion per train
+		// would allocate. The untraced lane never consults b.cur, so the
+		// closure skips the span-inheritance branch makeEmit carries.
+		b.collect = func(port int, t stream.Tuple) { b.eb.add(port, t) }
+	}
 }
 
 // topoSnap is one immutable snapshot of the engine's executable box set:
@@ -252,6 +303,7 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: Workers=%d with a VirtualClock: the deterministic virtual-time path is serial by design", cfg.Workers)
 	}
 	e.workers = cfg.Workers
+	e.serialKernels = cfg.SerialKernels
 	e.sched = cfg.Scheduler
 	if e.sched == nil {
 		e.sched = NewTrainScheduler(DefaultMaxTrain)
@@ -302,10 +354,13 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 		if c, ok := cfg.BoxCosts[id]; ok && c > 0 {
 			b.virtCost = c
 		}
+		b.refreshInst()
 		for i := range b.inQ {
 			b.inQ[i] = newEntryQueue()
 		}
 		b.downstream = make([][]route, inst.NumOut())
+		b.cpH = make([]*stream.History, inst.NumOut())
+		b.taps = make([]atomic.Pointer[[]op.Emit], inst.NumOut())
 		boxes[id] = b
 		topo = append(topo, b)
 		if _, ok := inst.(op.TimeDriven); ok {
@@ -343,10 +398,13 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	}
 
 	// Connection-point history buffers (§2.2): one per marked arc source
-	// port, bounded by a slice of the memory budget.
+	// port, bounded by a slice of the memory budget, cached on the source
+	// box so the emit path indexes instead of hashing a Port key.
 	for _, a := range net.Arcs() {
 		if a.ConnectionPoint && e.cpHist[a.From] == nil {
-			e.cpHist[a.From] = stream.NewHistory(e.storage.Budget() / 8)
+			h := stream.NewHistory(e.storage.Budget() / 8)
+			e.cpHist[a.From] = h
+			boxes[a.From.Box].cpH[a.From.Port] = h
 		}
 	}
 
@@ -437,15 +495,22 @@ func (e *Engine) makeEmit(b *boxState) op.Emit {
 // taps, the span's processing mark (attributed to worker when non-zero),
 // then delivery to the downstream routes.
 func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now int64) {
-	p := query.Port{Box: b.id, Port: port}
-	if h, ok := e.cpHist[p]; ok {
-		e.cpMu.Lock()
-		h.Add(t)
-		e.cpMu.Unlock()
-	}
-	if m := e.taps.Load(); m != nil {
-		for _, tap := range (*m)[p] {
-			tap(0, t)
+	if port < len(b.cpH) {
+		if h := b.cpH[port]; h != nil {
+			// The history retains the tuple beyond its delivery lifetime,
+			// so a pool-owned Vals must be surrendered to the GC.
+			t.Disown()
+			e.cpMu.Lock()
+			h.Add(t)
+			e.cpMu.Unlock()
+		}
+		if tl := b.taps[port].Load(); tl != nil {
+			// Taps are arbitrary consumers (often another engine's
+			// Ingest); they may retain, so ownership cannot cross here.
+			t.Disown()
+			for _, tap := range *tl {
+				tap(0, t)
+			}
 		}
 	}
 	t.Span.MarkReplica(trace.KindProc, b.id, worker, b.replica, now)
@@ -457,6 +522,11 @@ func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now in
 // monitor's latency observation share one timestamp — the decomposition
 // then sums to the monitored latency exactly, not merely approximately.
 func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
+	if len(targets) > 1 {
+		// Fan-out: every copy shares the Vals backing array, so no single
+		// death point can prove the buffer dead — surrender it to the GC.
+		t.Disown()
+	}
 	first := true
 	for _, r := range targets {
 		tt := t
@@ -491,20 +561,135 @@ func (e *Engine) deliver(targets []route, t stream.Tuple, now int64) {
 				}
 			}
 			if e.onOutput != nil {
+				// The callback (often the distributed layer's forwarder)
+				// may retain the tuple; ownership ends here.
+				tt.Disown()
 				e.onOutput(r.out.name, tt)
+			} else {
+				// Terminal delivery with no retaining consumer: the tuple
+				// is dead, and a pool-owned Vals goes back to the freelist.
+				tt.Recycle()
 			}
 			continue
 		}
 		size := tt.MemSize()
-		if p := r.box.part.Load(); p != nil && p.admit(tt, now) {
+		if p := r.box.part.Load(); p != nil && p.admit(tt, now, size) {
 			// The box is split: the tuple went to the key-owning replica
 			// instead of the parent queue (the hash-partitioning route
 			// step of §5.1).
 			e.storage.NoteEnqueue(size, int(e.qBytes.Add(int64(size))))
 			continue
 		}
-		r.box.inQ[r.port].Push(tt, now)
+		r.box.inQ[r.port].PushSized(tt, now, size)
 		e.storage.NoteEnqueue(size, int(e.qBytes.Add(int64(size))))
+	}
+}
+
+// flushEmits routes one untraced train's buffered emissions. Consecutive
+// same-port emissions — the common case: most operators have one output
+// port — travel as a single run through routeEmitTrain, so the per-tuple
+// costs of the emit path (output-count increment, clock read, downstream
+// queue lock, byte accounting, monitor lock) are paid once per run.
+// Ordering is preserved: runs flush in emission order, and only one train
+// executes per box at a time, so per-(box,port) FIFO holds exactly as it
+// did with immediate per-emission routing.
+func (e *Engine) flushEmits(b *boxState, worker int, eb *emitBuf, now int64) {
+	n := len(eb.ts)
+	if n == 0 {
+		return
+	}
+	b.outCount.Add(int64(n))
+	for i := 0; i < n; {
+		port := eb.ports[i]
+		j := i + 1
+		for j < n && eb.ports[j] == port {
+			j++
+		}
+		e.routeEmitTrain(b, port, worker, eb.ts[i:j], now)
+		i = j
+	}
+}
+
+// routeEmitTrain is routeEmit over a same-port emission run. The span
+// mark is unconditional per tuple — MarkReplica is nil-receiver-safe, and
+// untraced trains can still re-emit span-carrying tuples (WSort flushes
+// buffered tuples admitted in earlier, traced trains).
+func (e *Engine) routeEmitTrain(b *boxState, port, worker int, ts []stream.Tuple, now int64) {
+	if port < len(b.cpH) {
+		if h := b.cpH[port]; h != nil {
+			e.cpMu.Lock()
+			for i := range ts {
+				ts[i].Disown()
+				h.Add(ts[i])
+			}
+			e.cpMu.Unlock()
+		}
+		if tl := b.taps[port].Load(); tl != nil {
+			for i := range ts {
+				ts[i].Disown()
+				for _, tap := range *tl {
+					tap(0, ts[i])
+				}
+			}
+		}
+	}
+	for i := range ts {
+		ts[i].Span.MarkReplica(trace.KindProc, b.id, worker, b.replica, now)
+	}
+	e.deliverTrain(b.downstream[port], ts, now)
+}
+
+// deliverTrain delivers a same-port emission run. Fan-out and active
+// splits keep the per-tuple deliver (copy semantics and key hashing are
+// inherently per tuple); the two hot shapes — a single downstream box,
+// or a terminal output — take batch lanes: one PushTrain/NoteEnqueue per
+// run, or one monitor lock per run.
+func (e *Engine) deliverTrain(targets []route, ts []stream.Tuple, now int64) {
+	if len(targets) != 1 {
+		for i := range ts {
+			e.deliver(targets, ts[i], now)
+		}
+		return
+	}
+	r := targets[0]
+	if r.out == nil {
+		if r.box.part.Load() != nil {
+			// Split active: each tuple hashes to its key-owning replica.
+			for i := range ts {
+				e.deliver(targets, ts[i], now)
+			}
+			return
+		}
+		total := r.box.inQ[r.port].PushTrain(ts, now)
+		e.storage.NoteEnqueue(total, int(e.qBytes.Add(int64(total))))
+		return
+	}
+	r.out.observeTrain(ts, now)
+	e.delCtr.Add(int64(len(ts)))
+	for i := range ts {
+		tt := ts[i]
+		if sp := tt.Span; sp != nil && !sp.Done() && !r.out.relay {
+			if e.tracer != nil {
+				e.tracer.Complete(sp, r.out.name, now)
+			} else {
+				sp.Finish(r.out.name, now)
+			}
+			if e.traceQ != nil {
+				q, p, nn := sp.Components()
+				e.traceQ.Observe(float64(q))
+				e.traceP.Observe(float64(p))
+				e.traceN.Observe(float64(nn))
+			}
+			if r.out.lat != nil {
+				r.out.noteTail(sp)
+			}
+		}
+		if e.onOutput != nil {
+			tt.Disown()
+			e.onOutput(r.out.name, tt)
+		} else {
+			tt.Recycle()
+		}
 	}
 }
 
@@ -545,6 +730,10 @@ func (e *Engine) Ingest(input string, t stream.Tuple) bool {
 	if !ok {
 		return false
 	}
+	// Ownership never crosses an engine boundary: whatever the caller
+	// hands in, the caller may still hold — the pool takes over only for
+	// buffers the engine's own operators draw from it.
+	t.Disown()
 	now := e.clock.Now()
 	if t.TS == 0 {
 		t.TS = now
@@ -584,11 +773,48 @@ func (e *Engine) noteDrop() {
 // Step runs one scheduling decision: the scheduler picks a box and a
 // train, and the engine pushes that many waiting tuples through it
 // (train scheduling, §2.3). It reports whether any work was done.
+//
+// Two train bodies exist. The virtual-clock body keeps the exact
+// per-tuple loop — pop, queue-mark, clock advance, Process — because the
+// deterministic experiments' byte-identical traces depend on each tuple's
+// marks landing at its own modeled completion time; SerialKernels forces
+// the same body under a wall clock as the hot-path guard's baseline. The
+// wall-clock body pops the whole train with one lock acquisition and
+// dispatches it through the operator's batch kernel in one interface
+// call, falling back per tuple for trains carrying traced tuples (span
+// inheritance routes through boxState.cur, which is per-tuple state).
 func (e *Engine) Step() bool {
 	b, port, n := e.sched.Next(e)
 	if b == nil {
 		return false
 	}
+	var processed int
+	if e.vclock != nil || e.serialKernels {
+		processed = e.stepSerialTrain(b, port, n)
+	} else {
+		processed = e.stepBatchTrain(b, port, n)
+	}
+	if processed == 0 {
+		return false
+	}
+	now := e.clock.Now()
+	e.advanceTimeSensitive(now)
+	if e.shedder != nil {
+		e.shedder.Control(e)
+	}
+	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
+		e.SampleStats(now)
+		e.autosplitCheck(now)
+	}
+	// Step is the serial path, so the step boundary owns every box:
+	// apply any requested split/unsplit transition directly.
+	e.applyPendingSerial()
+	return true
+}
+
+// stepSerialTrain is the legacy per-tuple train body, kept verbatim for
+// the virtual-clock path (trace fidelity) and the SerialKernels baseline.
+func (e *Engine) stepSerialTrain(b *boxState, port, n int) int {
 	start := e.clock.Now()
 	processed := 0
 	for i := 0; i < n; i++ {
@@ -596,7 +822,7 @@ func (e *Engine) Step() bool {
 		if !ok {
 			break
 		}
-		e.qBytes.Add(int64(-en.t.MemSize()))
+		e.qBytes.Add(int64(-en.size))
 		b.wait.Observe(float64(start - en.enq))
 		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
@@ -622,7 +848,7 @@ func (e *Engine) Step() bool {
 		processed++
 	}
 	if processed == 0 {
-		return false
+		return 0
 	}
 	if e.vclock != nil {
 		work := int64(processed) * b.virtCost
@@ -635,19 +861,77 @@ func (e *Engine) Step() bool {
 		b.workNs.Add(elapsed)
 		e.busyCtr.Add(elapsed)
 	}
-	now := e.clock.Now()
-	e.advanceTimeSensitive(now)
-	if e.shedder != nil {
-		e.shedder.Control(e)
+	return processed
+}
+
+// stepBatchTrain is the wall-clock train body: one queue lock, one
+// kernel dispatch, and pooled-input reclamation for consuming operators.
+func (e *Engine) stepBatchTrain(b *boxState, port, n int) int {
+	start := e.clock.Now()
+	tb := getTrainBuf()
+	bytes := b.inQ[port].PopTrain(tb, n)
+	ts := tb.ts
+	processed := len(ts)
+	if processed == 0 {
+		putTrainBuf(tb)
+		return 0
 	}
-	if steps := e.steps.Add(1); e.stats != nil && steps%e.statsEvery == 0 {
-		e.SampleStats(now)
-		e.autosplitCheck(now)
+	e.qBytes.Add(int64(-bytes))
+	b.inCount.Add(int64(processed))
+	traced := false
+	waitSum := 0.0
+	for i := range ts {
+		waitSum += float64(start - tb.enq[i])
+		if ts[i].Span != nil {
+			traced = true
+		}
 	}
-	// Step is the serial path, so the step boundary owns every box:
-	// apply any requested split/unsplit transition directly.
-	e.applyPendingSerial()
-	return true
+	// One EWMA update with the train's mean wait: the same signal the
+	// scheduler reads, without a per-tuple Observe in the hot loop.
+	b.wait.Observe(waitSum / float64(processed))
+	switch {
+	case traced:
+		// Traced tuples thread their span through b.cur so derived
+		// emissions inherit it — inherently per-tuple; trains carrying
+		// them take the slow lane (tracing samples a small fraction).
+		for i := range ts {
+			if sp := ts[i].Span; sp != nil {
+				sp.MarkReplica(trace.KindQueue, b.id, 0, b.replica, e.clock.Now())
+				b.cur = sp
+			}
+			b.inst.Process(port, ts[i], b.emit)
+			b.cur = nil
+		}
+	case b.kernel != nil:
+		eb := getEmitBuf()
+		b.eb = eb
+		b.kernel.ProcessTrain(port, ts, b.collect)
+		b.eb = nil
+		e.flushEmits(b, 0, eb, e.clock.Now())
+		putEmitBuf(eb)
+	default:
+		eb := getEmitBuf()
+		b.eb = eb
+		for i := range ts {
+			b.inst.Process(port, ts[i], b.collect)
+		}
+		b.eb = nil
+		e.flushEmits(b, 0, eb, e.clock.Now())
+		putEmitBuf(eb)
+	}
+	if b.consumes {
+		// The operator neither retained nor re-emitted its inputs: any
+		// pool-owned Vals among them died in this train.
+		for i := range ts {
+			ts[i].Recycle()
+		}
+	}
+	putTrainBuf(tb)
+	elapsed := e.clock.Now() - start
+	b.cost.Observe(float64(elapsed) / float64(processed))
+	b.workNs.Add(elapsed)
+	e.busyCtr.Add(elapsed)
+	return processed
 }
 
 // advanceTimeSensitive meets the timeout obligations of time-driven
@@ -893,17 +1177,41 @@ func (e *Engine) AttachAdHoc(p query.Port, fn func(stream.Tuple)) (int, error) {
 	for _, t := range replay {
 		fn(t)
 	}
-	// Copy-on-write so the emit hot path reads taps with one atomic load.
-	nm := map[query.Port][]op.Emit{}
-	if old := e.taps.Load(); old != nil {
-		for k, v := range *old {
-			nm[k] = v
-		}
+	b := e.snap().byID[p.Box]
+	tap := op.Emit(func(_ int, t stream.Tuple) { fn(t) })
+	// Publish the new tap with amortized-doubling growth under cpMu (the
+	// registration lock): when the published backing array has spare
+	// capacity, the new tap is written one slot past the published length
+	// and a longer slice header is swapped in — readers holding the old
+	// header never index that slot, so no copy is needed. Only a full
+	// backing array copies the existing taps (into double the capacity),
+	// which keeps total copy work linear in registrations. The previous
+	// scheme rebuilt the whole list on every attach, going quadratic
+	// under dspstat-watch attach/detach churn; tapCopies counts copied
+	// elements so the regression test can pin the linear bound.
+	e.cpMu.Lock()
+	slot := &b.taps[p.Port]
+	var nl []op.Emit
+	if old := slot.Load(); old != nil && len(*old) < cap(*old) {
+		nl = append(*old, tap)
+	} else if old != nil {
+		nl = make([]op.Emit, len(*old), 2*(len(*old)+1))
+		copy(nl, *old)
+		e.tapCopies.Add(uint64(len(*old)))
+		nl = append(nl, tap)
+	} else {
+		nl = make([]op.Emit, 0, 4)
+		nl = append(nl, tap)
 	}
-	nm[p] = append(append([]op.Emit(nil), nm[p]...), func(_ int, t stream.Tuple) { fn(t) })
-	e.taps.Store(&nm)
+	slot.Store(&nl)
+	e.cpMu.Unlock()
 	return len(replay), nil
 }
+
+// TapCopies returns the cumulative number of tap elements copied during
+// AttachAdHoc registrations — the regression meter for the linear-growth
+// bound (the old rebuild-on-every-attach scheme was quadratic).
+func (e *Engine) TapCopies() uint64 { return e.tapCopies.Load() }
 
 // EarliestDependency returns the lowest sequence number that the engine's
 // in-flight state still depends on: the minimum over queued tuples and

@@ -44,7 +44,6 @@ type outputState struct {
 	utilSum   float64 // sum of per-tuple latency*value utility
 	delivered uint64
 	dropped   uint64
-	lastTuple stream.Tuple
 
 	// Latency-SLO plane state, all under mu. lat is the cumulative
 	// delivered-latency sketch (nil when the plane is off — the hot path
@@ -163,7 +162,6 @@ func (os *outputState) observe(t stream.Tuple, now int64) {
 	os.utilSum += u
 	os.delivered++
 	mean := os.utilSum / float64(os.delivered)
-	os.lastTuple = t
 	if os.lat != nil {
 		os.lat.Record(lat) // zero-alloc; the SLO plane's raw material
 	}
@@ -172,6 +170,41 @@ func (os *outputState) observe(t stream.Tuple, now int64) {
 		// One atomic store per delivery: the gauge always equals
 		// utilSum/delivered, the exact mean the QoS graphs assign to the
 		// observed latency samples (the property the tests pin).
+		os.util.Set(mean)
+	}
+}
+
+// observeTrain is observe over a delivered emission run: one mutex
+// acquisition and one utility-gauge store per run instead of per tuple.
+// The latency histogram and sketch recorders are atomic/lock-free, so
+// folding them under the mutex costs nothing extra.
+func (os *outputState) observeTrain(ts []stream.Tuple, now int64) {
+	if len(ts) == 0 {
+		return
+	}
+	os.mu.Lock()
+	for i := range ts {
+		lat := float64(now - ts[i].TS)
+		if lat < 0 {
+			lat = 0
+		}
+		os.latency.Observe(lat)
+		u := 1.0
+		if os.spec != nil && os.spec.Latency != nil {
+			u *= os.spec.Latency.Utility(lat)
+		}
+		if os.valueIdx >= 0 {
+			u *= os.spec.Value.Utility(ts[i].Field(os.valueIdx).AsFloat())
+		}
+		os.utilSum += u
+		os.delivered++
+		if os.lat != nil {
+			os.lat.Record(lat)
+		}
+	}
+	mean := os.utilSum / float64(os.delivered)
+	os.mu.Unlock()
+	if os.util != nil {
 		os.util.Set(mean)
 	}
 }

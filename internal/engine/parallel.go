@@ -81,6 +81,29 @@ type worker struct {
 	pend []pendEmit
 }
 
+// workerPool recycles workers (really: their pend backing arrays) across
+// RunParallel invocations, so a step-driven caller that re-enters the
+// pool repeatedly does not regrow every worker's emission buffer each
+// time. Returned workers have their pend cleared so a parked buffer pins
+// no tuples.
+var workerPool = sync.Pool{New: func() any {
+	return &worker{pend: make([]pendEmit, 0, 2*DefaultMaxTrain)}
+}}
+
+func getWorker(id int) *worker {
+	w := workerPool.Get().(*worker)
+	w.id = id
+	return w
+}
+
+func putWorker(w *worker) {
+	for i := range w.pend {
+		w.pend[i] = pendEmit{}
+	}
+	w.pend = w.pend[:0]
+	workerPool.Put(w)
+}
+
 // Run executes queued work with the configured policy: the worker pool
 // when Config.Workers > 1 on a wall clock, the serial loop otherwise. It
 // returns the number of scheduling decisions executed.
@@ -119,7 +142,9 @@ func (e *Engine) RunParallel(workers int) int {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				e.runWorker(d, &worker{id: id})
+				w := getWorker(id)
+				e.runWorker(d, w)
+				putWorker(w)
 			}(i)
 		}
 		wg.Wait()
@@ -195,29 +220,72 @@ func (e *Engine) runTrain(w *worker, b *boxState, port, train int) int {
 		}
 		w.pend = append(w.pend, pendEmit{port: p, t: t})
 	}
-	processed := 0
-	for i := 0; i < train; i++ {
-		en, ok := b.inQ[port].Pop()
-		if !ok {
-			break
-		}
-		e.qBytes.Add(int64(-en.t.MemSize()))
-		b.wait.Observe(float64(start - en.enq))
-		b.inCount.Add(1)
-		if sp := en.t.Span; sp != nil {
-			sp.MarkReplica(trace.KindQueue, b.id, w.id, b.replica, start)
-			b.cur = sp
-		}
-		b.inst.Process(port, en.t, emit)
-		b.cur = nil
-		processed++
-	}
+	tb := getTrainBuf()
+	bytes := b.inQ[port].PopTrain(tb, train)
+	ts := tb.ts
+	processed := len(ts)
 	if processed > 0 {
+		e.qBytes.Add(int64(-bytes))
+		b.inCount.Add(int64(processed))
+		traced := false
+		waitSum := 0.0
+		for i := range ts {
+			waitSum += float64(start - tb.enq[i])
+			if ts[i].Span != nil {
+				traced = true
+			}
+		}
+		// One EWMA update with the train's mean wait, as on the serial
+		// batch path.
+		b.wait.Observe(waitSum / float64(processed))
+		switch {
+		case traced || e.serialKernels:
+			// Span inheritance threads through b.cur per tuple, so trains
+			// carrying traced tuples take the per-tuple lane (tracing
+			// samples a small fraction); SerialKernels forces it as the
+			// hot-path guard's baseline.
+			for i := range ts {
+				if sp := ts[i].Span; sp != nil {
+					sp.MarkReplica(trace.KindQueue, b.id, w.id, b.replica, start)
+					b.cur = sp
+				}
+				b.inst.Process(port, ts[i], emit)
+				b.cur = nil
+			}
+		default:
+			// Batch lane: emissions collect into a pooled buffer and flush
+			// in same-port runs while the box is still owned — the same
+			// per-(box, port) ordering the pend merge gives the other lanes,
+			// since flushes happen in emission order. Advance's emissions
+			// still travel through pend below, after the flush.
+			eb := getEmitBuf()
+			b.eb = eb
+			if b.kernel != nil {
+				b.kernel.ProcessTrain(port, ts, b.collect)
+			} else {
+				for i := range ts {
+					b.inst.Process(port, ts[i], b.collect)
+				}
+			}
+			b.eb = nil
+			e.flushEmits(b, w.id, eb, e.clock.Now())
+			putEmitBuf(eb)
+		}
+		if b.consumes {
+			// The operator neither retained nor re-emitted its inputs
+			// (its emissions carry fresh Vals), so any pool-owned input
+			// buffers died in this train — safe even though the emissions
+			// are still pending merge.
+			for i := range ts {
+				ts[i].Recycle()
+			}
+		}
 		elapsed := e.clock.Now() - start
 		b.cost.Observe(float64(elapsed) / float64(processed))
 		b.workNs.Add(elapsed)
 		e.busyCtr.Add(elapsed)
 	}
+	putTrainBuf(tb)
 	// Time obligations for the owned box only; other time-driven boxes
 	// get theirs when a worker owns them or at pool quiescence.
 	if _, ok := b.inst.(interface{ TimeDriven() }); ok {

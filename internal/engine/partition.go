@@ -54,13 +54,13 @@ type partition struct {
 // is active, reporting whether it did. The push happens under the route
 // read-lock so an un-split's flip can never strand a tuple on a replica
 // being drained.
-func (p *partition) admit(t stream.Tuple, now int64) bool {
+func (p *partition) admit(t stream.Tuple, now int64, size int) bool {
 	p.mu.RLock()
 	if !p.active {
 		p.mu.RUnlock()
 		return false
 	}
-	p.reps[p.shard(t)].inQ[0].Push(t, now)
+	p.reps[p.shard(t)].inQ[0].PushSized(t, now, size)
 	p.mu.RUnlock()
 	return true
 }
@@ -109,7 +109,10 @@ func (e *Engine) buildPartition(b *boxState, n int, prof op.SplitProfile) (*part
 			parentID: b.id,
 		}
 		nb.downstream = make([][]route, inst.NumOut())
+		nb.cpH = make([]*stream.History, inst.NumOut())
+		nb.taps = make([]atomic.Pointer[[]op.Emit], inst.NumOut())
 		nb.emit = e.makeEmit(nb)
+		nb.refreshInst()
 		return nb
 	}
 
@@ -177,6 +180,7 @@ func (e *Engine) refreshPartition(b *boxState, p *partition, prof op.SplitProfil
 			return fmt.Errorf("engine: re-split of %q: %w", b.id, err)
 		}
 		rb.inst = inst
+		rb.refreshInst()
 	}
 	cur := e.net.OutputSchema(query.Port{Box: b.id, Port: 0})
 	for i, mb := range p.merge {
@@ -190,6 +194,7 @@ func (e *Engine) refreshPartition(b *boxState, p *partition, prof op.SplitProfil
 		}
 		cur = outs[0]
 		mb.inst = inst
+		mb.refreshInst()
 	}
 	return nil
 }
@@ -264,7 +269,7 @@ func (e *Engine) splitBoxCorr(id string, n int, corr uint64) error {
 		if !ok {
 			break
 		}
-		p.reps[p.shard(en.t)].inQ[0].Push(en.t, en.enq)
+		p.reps[p.shard(en.t)].inQ[0].PushSized(en.t, en.enq, en.size)
 	}
 	p.mu.Unlock()
 	e.splitCtr.Add(1)
@@ -344,7 +349,7 @@ func (e *Engine) drainThrough(b *boxState) {
 		if !ok {
 			return
 		}
-		e.qBytes.Add(int64(-en.t.MemSize()))
+		e.qBytes.Add(int64(-en.size))
 		b.inCount.Add(1)
 		if sp := en.t.Span; sp != nil {
 			sp.MarkReplica(trace.KindQueue, b.id, 0, b.replica, e.clock.Now())

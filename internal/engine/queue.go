@@ -8,10 +8,13 @@ import (
 
 // entry is one queued tuple plus the time it entered the queue, so the
 // engine can measure per-box queueing delay — TB in §7.1 "implicitly
-// includes any queuing time".
+// includes any queuing time". size caches the tuple's MemSize at push
+// time, so the byte accounting walks the value slice once per hop
+// instead of once per queue operation.
 type entry struct {
-	t   stream.Tuple
-	enq int64
+	t    stream.Tuple
+	enq  int64
+	size int
 }
 
 // minQueueCap is the smallest ring a queue keeps; Pop shrinks back toward
@@ -77,13 +80,20 @@ func (q *entryQueue) ForEach(fn func(entry)) {
 }
 
 func (q *entryQueue) Push(t stream.Tuple, now int64) {
+	q.PushSized(t, now, t.MemSize())
+}
+
+// PushSized is Push with the tuple's MemSize already computed — the
+// delivery path measures it for spill accounting anyway, so the queue
+// need not walk the value slice a second time.
+func (q *entryQueue) PushSized(t stream.Tuple, now int64, size int) {
 	q.mu.Lock()
 	if q.count == len(q.buf) {
 		q.resize(len(q.buf) * 2)
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = entry{t: t, enq: now}
+	q.buf[(q.head+q.count)%len(q.buf)] = entry{t: t, enq: now, size: size}
 	q.count++
-	q.bytes += t.MemSize()
+	q.bytes += size
 	q.mu.Unlock()
 }
 
@@ -97,7 +107,7 @@ func (q *entryQueue) Pop() (entry, bool) {
 	q.buf[q.head] = entry{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
-	q.bytes -= e.t.MemSize()
+	q.bytes -= e.size
 	// Shrink once occupancy falls below a quarter of capacity so a burst
 	// does not pin its peak ring for the rest of the process lifetime.
 	if len(q.buf) > minQueueCap && q.count < len(q.buf)/4 {
@@ -109,6 +119,125 @@ func (q *entryQueue) Pop() (entry, bool) {
 	}
 	q.mu.Unlock()
 	return e, true
+}
+
+// PopTrain moves up to max entries into tb under one lock acquisition —
+// the batch path's counterpart of a per-tuple Pop loop, which paid a
+// lock round-trip and a shrink check per tuple. It returns the total
+// bytes removed; the tuples land in tb.ts with their enqueue times
+// parallel in tb.enq.
+func (q *entryQueue) PopTrain(tb *trainBuf, max int) int {
+	q.mu.Lock()
+	n := q.count
+	if n > max {
+		n = max
+	}
+	bytes := 0
+	for i := 0; i < n; i++ {
+		en := q.buf[q.head]
+		q.buf[q.head] = entry{}
+		q.head = (q.head + 1) % len(q.buf)
+		tb.ts = append(tb.ts, en.t)
+		tb.enq = append(tb.enq, en.enq)
+		bytes += en.size
+	}
+	q.count -= n
+	q.bytes -= bytes
+	// Shrink only when the queue empties, and then in one hop to the
+	// floor. Pop's mid-drain halving is wrong at train rate: a deep
+	// queue draining by one train per step crosses the quarter-occupancy
+	// threshold over and over as pushes refill it, and each crossing
+	// pays a multi-megabyte makeslice-plus-copy on a burst-deep ring. An
+	// empty ring collapses for the cost of one floor-sized allocation,
+	// and any engine that drains (they all do) returns burst memory then.
+	if floor := 2 * DefaultMaxTrain; q.count == 0 && len(q.buf) > floor {
+		q.buf = make([]entry, floor)
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return bytes
+}
+
+// PushTrain enqueues a whole same-destination emission run under one
+// lock acquisition, growing the ring at most once. Entry sizes are
+// computed under the lock — the single MemSize walk per hop that Push's
+// callers would otherwise do outside — and the total is returned for the
+// caller's byte accounting.
+func (q *entryQueue) PushTrain(ts []stream.Tuple, now int64) int {
+	q.mu.Lock()
+	if need := q.count + len(ts); need > len(q.buf) {
+		nc := len(q.buf) * 2
+		for nc < need {
+			nc *= 2
+		}
+		q.resize(nc)
+	}
+	total := 0
+	for i := range ts {
+		size := ts[i].MemSize()
+		q.buf[(q.head+q.count)%len(q.buf)] = entry{t: ts[i], enq: now, size: size}
+		q.count++
+		total += size
+	}
+	q.bytes += total
+	q.mu.Unlock()
+	return total
+}
+
+// emitBuf collects one train's emissions so the router can move them in
+// same-port runs: one clock read, one downstream queue lock, one byte-
+// accounting update per run instead of per tuple. Pooled like trainBuf.
+type emitBuf struct {
+	ts    []stream.Tuple
+	ports []int
+}
+
+func (eb *emitBuf) add(p int, t stream.Tuple) {
+	eb.ts = append(eb.ts, t)
+	eb.ports = append(eb.ports, p)
+}
+
+var emitBufPool = sync.Pool{New: func() any {
+	return &emitBuf{
+		ts:    make([]stream.Tuple, 0, DefaultMaxTrain),
+		ports: make([]int, 0, DefaultMaxTrain),
+	}
+}}
+
+func getEmitBuf() *emitBuf { return emitBufPool.Get().(*emitBuf) }
+
+func putEmitBuf(eb *emitBuf) {
+	for i := range eb.ts {
+		eb.ts[i] = stream.Tuple{}
+	}
+	eb.ts, eb.ports = eb.ts[:0], eb.ports[:0]
+	emitBufPool.Put(eb)
+}
+
+// trainBuf is the reusable scratch a train is popped into. Buffers cycle
+// through a sync.Pool sized for the default train, so the steady-state
+// train path allocates nothing; putTrainBuf clears the tuple slots so a
+// parked buffer pins neither Vals backing arrays nor trace spans.
+type trainBuf struct {
+	ts  []stream.Tuple
+	enq []int64
+}
+
+var trainBufPool = sync.Pool{New: func() any {
+	return &trainBuf{
+		ts:  make([]stream.Tuple, 0, DefaultMaxTrain),
+		enq: make([]int64, 0, DefaultMaxTrain),
+	}
+}}
+
+func getTrainBuf() *trainBuf { return trainBufPool.Get().(*trainBuf) }
+
+func putTrainBuf(tb *trainBuf) {
+	for i := range tb.ts {
+		tb.ts[i] = stream.Tuple{}
+	}
+	tb.ts, tb.enq = tb.ts[:0], tb.enq[:0]
+	trainBufPool.Put(tb)
 }
 
 // resize moves the ring into a buffer of capacity nc >= count; callers

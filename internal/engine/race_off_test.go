@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine
+
+// raceDetectorEnabled reports whether the race detector instruments this
+// build. Allocation-count tests skip under -race: sync.Pool randomly
+// drops Puts there, so allocs/op is not meaningful.
+const raceDetectorEnabled = false

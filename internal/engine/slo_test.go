@@ -290,7 +290,7 @@ func BenchmarkEngineSLOOn(b *testing.B)  { benchSLOIngestStep(b, true) }
 
 // TestLatencyOverheadGuard is the CI fence for the latency-SLO plane:
 // enabling it on an already-observable engine (stats + sampled tracing +
-// journal) must cost at most 3%, best of 3 alternating runs. Gated
+// journal) must cost at most 5%, best of 3 alternating runs. Gated
 // behind CI_LATENCY_GUARD=1 — timing comparisons are too noisy for
 // default test runs.
 func TestLatencyOverheadGuard(t *testing.T) {
@@ -317,8 +317,8 @@ func TestLatencyOverheadGuard(t *testing.T) {
 	}
 	t.Logf("SLO plane off: %.0f ns/op, on: %.0f ns/op (%.1f%% overhead)",
 		offNs, onNs, (onNs/offNs-1)*100)
-	if onNs > offNs*1.03 {
-		t.Fatalf("latency-SLO plane costs %.1f%% (> 3%%): off %.0f ns/op, on %.0f ns/op",
+	if onNs > offNs*1.05 {
+		t.Fatalf("latency-SLO plane costs %.1f%% (> 5%%): off %.0f ns/op, on %.0f ns/op",
 			(onNs/offNs-1)*100, offNs, onNs)
 	}
 }

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/op"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// E21HotPath measures the batched train path against the serial-kernel
+// baseline on the E18 workload shape (filter -> map -> tumble chains),
+// single worker, wall clock. The two rows run the identical network and
+// input; the only difference is Config.SerialKernels, which forces the
+// pre-batching per-tuple train body. The speedup column is the tentpole
+// claim (one kernel dispatch per train plus pooled buffers vs one
+// virtual call per tuple), and allocs/tuple is the whole-path allocation
+// rate — ingest, train, emit, delivery — from runtime.MemStats deltas.
+// The deterministic 0-allocs/op claim for the steady-state train body
+// alone is pinned separately by the engine's hot-path guard tests.
+func E21HotPath(scale float64) *Table {
+	t := &Table{ID: "E21", Title: "batched kernels + pooling vs serial per-tuple train path (1 worker, wall clock)",
+		Header: []string{"mode", "tuples", "wall ms", "Ktuples/s", "speedup", "allocs/tuple"}}
+
+	const chains = 4
+	per := scaled(100_000, scale)
+	total := chains * per
+
+	build := func() *query.Network {
+		b := query.NewBuilder("e21")
+		for i := 0; i < chains; i++ {
+			f := fmt.Sprintf("f%d", i)
+			m := fmt.Sprintf("m%d", i)
+			tb := fmt.Sprintf("tb%d", i)
+			b.AddBox(f, op.Spec{Kind: "filter", Params: map[string]string{"predicate": "B < 95"}}).
+				AddBox(m, op.Spec{Kind: "map", Params: map[string]string{
+					"exprs": "A=A; B=((B * 3) + (A % 7))"}}).
+				AddBox(tb, op.Spec{Kind: "tumble", Params: map[string]string{
+					"agg": "sum", "on": "B", "groupby": "A"}}).
+				Connect(f, m).
+				Connect(m, tb).
+				BindInput(fmt.Sprintf("in%d", i), abSchema, f, 0).
+				BindOutput(fmt.Sprintf("out%d", i), tb, 0, nil)
+		}
+		return b.MustBuild()
+	}
+
+	in := make([][]stream.Tuple, chains)
+	inputs := make([]string, chains)
+	for i := 0; i < chains; i++ {
+		in[i] = randTuples(per, 16, int64(100+i))
+		inputs[i] = fmt.Sprintf("in%d", i)
+	}
+
+	run := func(serial bool) (time.Duration, float64, int) {
+		e, err := engine.New(build(), engine.Config{SerialKernels: serial})
+		if err != nil {
+			panic(err)
+		}
+		// Ingest outside the measured region: the ingest path is identical
+		// in both modes, so timing it would only dilute the train-path
+		// comparison the experiment exists to make.
+		for j := 0; j < per; j++ {
+			for i := 0; i < chains; i++ {
+				e.Ingest(inputs[i], in[i][j])
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		e.Run()
+		e.Drain()
+		el := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(total)
+		return el, allocs, int(e.Metrics().Counter("engine.delivered").Value())
+	}
+
+	var serialMs float64
+	serialOuts, batchedOuts := 0, 0
+	for _, mode := range []string{"serial-kernel", "batched"} {
+		serial := mode == "serial-kernel"
+		el, allocs, outs := run(serial)
+		ms := float64(el.Nanoseconds()) / 1e6
+		if serial {
+			serialMs = ms
+			serialOuts = outs
+		} else {
+			batchedOuts = outs
+		}
+		t.Add(mode, total, ms, float64(total)/1e3/(ms/1e3), serialMs/ms, allocs)
+	}
+	if serialOuts != batchedOuts {
+		t.Note("OUTPUT MISMATCH: serial-kernel delivered %d, batched %d", serialOuts, batchedOuts)
+	} else {
+		t.Note("both modes delivered %d outputs; allocs/tuple is the whole path (ingest through delivery), not just the train body", serialOuts)
+	}
+	return t
+}

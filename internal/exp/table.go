@@ -128,6 +128,7 @@ func Registry() []Experiment {
 		{"E18B", "runtime hot-box autosplit on Zipf keys", E18bAutoSplit},
 		{"E19", "observability plane overhead", E19Observability},
 		{"E20", "latency-SLO plane: sketches, forecast, attribution", E20LatencySLO},
+		{"E21", "batched kernels + pooling vs serial train path", E21HotPath},
 		{"A01", "ablation: detection timeout", A01Detection},
 		{"A02", "ablation: flow-message period", A02FlowPeriod},
 	}

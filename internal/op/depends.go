@@ -21,7 +21,7 @@ func (tb *Tumble) EarliestSeq() (uint64, bool) {
 	if !tb.open {
 		return 0, false
 	}
-	return tb.firstIn.Seq, true
+	return tb.firstSeq, true
 }
 
 // EarliestSeq implements Stateful for WSort: the minimum sequence number

@@ -252,10 +252,16 @@ func (a *Arith) Bind(s *stream.Schema) error {
 
 // Eval implements Expr.
 func (a *Arith) Eval(t stream.Tuple) stream.Value {
-	l, r := a.L.Eval(t), a.R.Eval(t)
+	return arithEval(a.Op, a.L.Eval(t), a.R.Eval(t))
+}
+
+// arithEval is the arithmetic kernel shared by the tree walk and the
+// compiled closures, so both paths carry identical promotion and
+// division-by-zero semantics.
+func arithEval(op ArithOp, l, r stream.Value) stream.Value {
 	if l.Kind() == stream.KindInt && r.Kind() == stream.KindInt {
 		li, ri := l.AsInt(), r.AsInt()
-		switch a.Op {
+		switch op {
 		case Add:
 			return stream.Int(li + ri)
 		case Sub:
@@ -277,7 +283,7 @@ func (a *Arith) Eval(t stream.Tuple) stream.Value {
 		}
 	}
 	lf, rf := l.AsFloat(), r.AsFloat()
-	switch a.Op {
+	switch op {
 	case Add:
 		return stream.Float(lf + rf)
 	case Sub:

@@ -23,6 +23,7 @@ type Filter struct {
 	spec Spec
 	pred Expr
 	dual bool
+	fast boolFn // compiled predicate; set by Bind, used by ProcessTrain
 }
 
 // NewFilter builds a Filter from a predicate expression. falsePort enables
@@ -73,6 +74,7 @@ func (f *Filter) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
 	if err := f.pred.Bind(in[0]); err != nil {
 		return nil, fmt.Errorf("filter: %w", err)
 	}
+	f.fast = compileBool(f.pred)
 	if f.dual {
 		return []*stream.Schema{in[0], in[0]}, nil
 	}
@@ -85,6 +87,33 @@ func (f *Filter) Process(_ int, t stream.Tuple, emit Emit) {
 		emit(0, t)
 	} else if f.dual {
 		emit(1, t)
+	}
+}
+
+// ProcessTrain implements TrainProcessor: the whole train runs through
+// the compiled predicate with one dispatch and zero allocations.
+func (f *Filter) ProcessTrain(_ int, ts []stream.Tuple, emit Emit) {
+	pred := f.fast
+	if pred == nil { // unbound: preserve Process's tree-eval behavior
+		for i := range ts {
+			f.Process(0, ts[i], emit)
+		}
+		return
+	}
+	if f.dual {
+		for i := range ts {
+			if pred(ts[i]) {
+				emit(0, ts[i])
+			} else {
+				emit(1, ts[i])
+			}
+		}
+		return
+	}
+	for i := range ts {
+		if pred(ts[i]) {
+			emit(0, ts[i])
+		}
 	}
 }
 
@@ -107,6 +136,7 @@ type Map struct {
 	spec  Spec
 	names []string
 	exprs []Expr
+	fast  []valFn // compiled projections; set by Bind, used by ProcessTrain
 }
 
 // NewMap builds a Map from parallel name and expression lists.
@@ -188,6 +218,10 @@ func (m *Map) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
 	if err != nil {
 		return nil, fmt.Errorf("map: %w", err)
 	}
+	m.fast = make([]valFn, len(m.exprs))
+	for i, e := range m.exprs {
+		m.fast[i] = compileValue(e)
+	}
 	return []*stream.Schema{out}, nil
 }
 
@@ -199,6 +233,32 @@ func (m *Map) Process(_ int, t stream.Tuple, emit Emit) {
 	}
 	emit(0, stream.Tuple{Seq: t.Seq, TS: t.TS, Vals: vals})
 }
+
+// ProcessTrain implements TrainProcessor: projections run compiled, and
+// output Vals come from the stream freelist, marked pool-owned so the
+// engine reclaims them when the projected tuple dies.
+func (m *Map) ProcessTrain(_ int, ts []stream.Tuple, emit Emit) {
+	if m.fast == nil { // unbound: preserve Process's behavior
+		for i := range ts {
+			m.Process(0, ts[i], emit)
+		}
+		return
+	}
+	for i := range ts {
+		t := ts[i]
+		vals := stream.GetVals(len(m.fast))
+		for j, f := range m.fast {
+			vals[j] = f(t)
+		}
+		out := stream.Tuple{Seq: t.Seq, TS: t.TS, Vals: vals}
+		out.MarkPooled()
+		emit(0, out)
+	}
+}
+
+// ConsumesInput implements Consumer: Map's outputs never alias its input
+// tuples, and it retains nothing across calls.
+func (m *Map) ConsumesInput() {}
 
 // KindUnion is the registry kind of the Union operator.
 const KindUnion = "union"
@@ -260,6 +320,14 @@ func (u *Union) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
 
 // Process implements Operator.
 func (u *Union) Process(_ int, t stream.Tuple, emit Emit) { emit(0, t) }
+
+// ProcessTrain implements TrainProcessor: a straight pass-through of the
+// train with one dispatch.
+func (u *Union) ProcessTrain(_ int, ts []stream.Tuple, emit Emit) {
+	for i := range ts {
+		emit(0, ts[i])
+	}
+}
 
 func init() {
 	RegisterKind(KindFilter, buildFilter)

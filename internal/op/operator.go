@@ -54,6 +54,44 @@ type TimeDriven interface {
 	TimeDriven()
 }
 
+// TrainProcessor is the batch kernel an operator may expose in addition
+// to Process. ProcessTrain must be observationally equivalent to calling
+// Process(port, ts[i], emit) for i = 0..len(ts)-1 — same outputs, same
+// order, same state transitions — while paying interface dispatch once
+// per train instead of once per tuple (the amortization Aurora's train
+// scheduling is after, §4.1).
+//
+// Ownership contract: the ts slice is borrowed — the kernel may read it
+// during the call and may re-emit or retain individual tuples (exactly as
+// Process may retain its argument), but must not retain the slice itself,
+// which the engine reuses for the next train.
+type TrainProcessor interface {
+	ProcessTrain(port int, ts []stream.Tuple, emit Emit)
+}
+
+// Consumer marks operators that fully consume their inputs: after
+// Process/ProcessTrain returns, no emitted tuple aliases an input tuple's
+// Vals and the operator holds no reference to them (Values copied out by
+// value are fine; the slice must not be kept). The engine uses this to
+// recycle pool-owned input buffers the moment a train has been processed.
+type Consumer interface {
+	ConsumesInput()
+}
+
+// ProcessAll drives one train through an operator: the batch kernel when
+// the operator implements TrainProcessor, the per-tuple adapter loop
+// otherwise. Engines that cache the type assertion per box get the same
+// behavior without the per-train assertion.
+func ProcessAll(o Operator, port int, ts []stream.Tuple, emit Emit) {
+	if tp, ok := o.(TrainProcessor); ok {
+		tp.ProcessTrain(port, ts, emit)
+		return
+	}
+	for i := range ts {
+		o.Process(port, ts[i], emit)
+	}
+}
+
 // Spec is the wire description of an operator: a registry kind plus string
 // parameters. Expressions travel in their concrete syntax.
 type Spec struct {

@@ -40,12 +40,13 @@ type Tumble struct {
 
 	groupIdx []int
 	out      *stream.Schema
+	onFast   valFn // compiled on-expression; set by Bind, used by ProcessTrain
 
-	open    bool
-	curKey  string
-	acc     Accumulator
-	curVals []stream.Value // group-by values of the open window
-	firstIn stream.Tuple   // earliest tuple contributing to the open window
+	open     bool
+	acc      Accumulator
+	curVals  []stream.Value // group-by values of the open window (reused backing)
+	firstSeq uint64         // Seq/TS of the earliest tuple in the open window —
+	firstTS  int64          // scalars, so Tumble retains no input tuple
 }
 
 // NewTumble builds a Tumble with the given aggregate, input expression,
@@ -105,6 +106,7 @@ func (tb *Tumble) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
 	if err := tb.on.Bind(in[0]); err != nil {
 		return nil, fmt.Errorf("tumble: %w", err)
 	}
+	tb.onFast = compileValue(tb.on)
 	fields := make([]stream.Field, 0, len(idx)+1)
 	for _, i := range idx {
 		fields = append(fields, in[0].Field(i))
@@ -121,24 +123,68 @@ func (tb *Tumble) Bind(in []*stream.Schema) ([]*stream.Schema, error) {
 	return []*stream.Schema{out}, nil
 }
 
+// sameGroup reports whether t belongs to the open window: its group-by
+// values equal the window's, field by field. Direct Value equality
+// replaces the formatted-string key of earlier versions — same window
+// boundaries over typed columns, without a per-tuple strconv allocation.
+func (tb *Tumble) sameGroup(t stream.Tuple) bool {
+	for i, idx := range tb.groupIdx {
+		if !t.Field(idx).Equal(tb.curVals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// openWindow starts a window at t, copying the group-by values into the
+// reused curVals backing (Values are copied by value, so recycling t's
+// Vals later cannot corrupt the window state).
+func (tb *Tumble) openWindow(t stream.Tuple) {
+	tb.open = true
+	tb.acc = tb.agg.New()
+	tb.curVals = tb.curVals[:0]
+	for _, idx := range tb.groupIdx {
+		tb.curVals = append(tb.curVals, t.Field(idx))
+	}
+	tb.firstSeq, tb.firstTS = t.Seq, t.TS
+}
+
 // Process implements Operator.
 func (tb *Tumble) Process(_ int, t stream.Tuple, emit Emit) {
-	key := t.KeyOf(tb.groupIdx)
-	if tb.open && key != tb.curKey {
+	if tb.open && !tb.sameGroup(t) {
 		tb.emitWindow(emit)
 	}
 	if !tb.open {
-		tb.open = true
-		tb.curKey = key
-		tb.acc = tb.agg.New()
-		tb.curVals = make([]stream.Value, len(tb.groupIdx))
-		for i, idx := range tb.groupIdx {
-			tb.curVals[i] = t.Field(idx)
-		}
-		tb.firstIn = t
+		tb.openWindow(t)
 	}
 	tb.acc.Add(tb.on.Eval(t))
 }
+
+// ProcessTrain implements TrainProcessor: one dispatch per train with the
+// compiled on-expression; window state transitions are identical to the
+// per-tuple path (both share sameGroup/openWindow/emitWindow).
+func (tb *Tumble) ProcessTrain(_ int, ts []stream.Tuple, emit Emit) {
+	if tb.onFast == nil { // unbound: preserve Process's behavior
+		for i := range ts {
+			tb.Process(0, ts[i], emit)
+		}
+		return
+	}
+	for i := range ts {
+		t := ts[i]
+		if tb.open && !tb.sameGroup(t) {
+			tb.emitWindow(emit)
+		}
+		if !tb.open {
+			tb.openWindow(t)
+		}
+		tb.acc.Add(tb.onFast(t))
+	}
+}
+
+// ConsumesInput implements Consumer: window state copies Seq/TS and
+// group-by Values out of the input, never the tuple or its Vals slice.
+func (tb *Tumble) ConsumesInput() {}
 
 // Flush implements Operator: emits the open window, matching the drain
 // protocol of §5.1 (the network is stabilized and all in-flight state must
@@ -150,10 +196,13 @@ func (tb *Tumble) Flush(emit Emit) {
 }
 
 func (tb *Tumble) emitWindow(emit Emit) {
-	vals := make([]stream.Value, 0, len(tb.curVals)+1)
-	vals = append(vals, tb.curVals...)
-	vals = append(vals, tb.acc.Result())
-	emit(0, stream.Tuple{Seq: tb.firstIn.Seq, TS: tb.firstIn.TS, Vals: vals})
+	n := len(tb.curVals)
+	vals := stream.GetVals(n + 1)
+	copy(vals, tb.curVals)
+	vals[n] = tb.acc.Result()
+	out := stream.Tuple{Seq: tb.firstSeq, TS: tb.firstTS, Vals: vals}
+	out.MarkPooled()
+	emit(0, out)
 	tb.open = false
 	tb.acc = nil
 }

@@ -130,6 +130,33 @@ func (w *WSort) Process(_ int, t stream.Tuple, emit Emit) {
 	}
 }
 
+// ProcessTrain implements TrainProcessor: the common unbounded case
+// (maxbuf 0 — how the §5.1 merge networks run) grows the buffer once for
+// the whole train and inserts without per-tuple overflow checks; bounded
+// sorts keep the per-arrival overflow semantics of Process.
+func (w *WSort) ProcessTrain(_ int, ts []stream.Tuple, emit Emit) {
+	if w.maxBuf > 0 {
+		for i := range ts {
+			w.Process(0, ts[i], emit)
+		}
+		return
+	}
+	if need := len(w.buf) + len(ts); cap(w.buf) < need {
+		grown := make([]wsortEntry, len(w.buf), need+need/2)
+		copy(grown, w.buf)
+		w.buf = grown
+	}
+	for i := range ts {
+		key := w.keyOf(ts[i])
+		if w.hasLast && keyLess(key, w.last) {
+			w.lost++
+			continue
+		}
+		w.arrivals++
+		w.buf = append(w.buf, wsortEntry{key: key, arrival: w.arrivals, t: ts[i]})
+	}
+}
+
 // TimeDriven marks WSort as needing Advance calls: its timeout obligation
 // must be met even when no tuples arrive.
 func (w *WSort) TimeDriven() {}

@@ -1,0 +1,89 @@
+package stream
+
+import "sync"
+
+// Vals pooling for the batched train path. Operators that materialize new
+// tuples on the hot path (Map projections, Tumble window emissions) draw
+// their backing arrays from here and the engine returns them when the
+// tuple provably dies (delivered to an application output with no other
+// reference, or consumed by an operator that neither retains nor re-emits
+// its input). Slices are grouped into power-of-two size classes; a request
+// is served from the smallest class that fits, so MemSize accounting must
+// charge capacity, not length (see Tuple.MemSize).
+//
+// The freelist is a mutex-guarded stack per class rather than a sync.Pool:
+// sync.Pool.Put boxes its argument, so putting a bare []Value would
+// allocate a 24-byte interface payload on every recycle — exactly the
+// allocation the pool exists to remove. The engine's train buffers and
+// per-worker emit buffers are pointer-shaped and do use sync.Pool.
+const (
+	valsClassMin  = 4  // smallest class capacity
+	valsClasses   = 5  // 4, 8, 16, 32, 64
+	valsClassMax  = valsClassMin << (valsClasses - 1)
+	valsClassKeep = 1024 // retained slices per class; overflow goes to GC
+)
+
+type valsClass struct {
+	mu   sync.Mutex
+	free [][]Value
+}
+
+var valsPool [valsClasses]valsClass
+
+// valsClassFor returns the index of the smallest class whose capacity is
+// at least n, or -1 when n exceeds the largest class.
+func valsClassFor(n int) int {
+	c := valsClassMin
+	for i := 0; i < valsClasses; i++ {
+		if n <= c {
+			return i
+		}
+		c <<= 1
+	}
+	return -1
+}
+
+// GetVals returns a value slice of length n, drawn from the pool when a
+// size class fits. The contents are zero values.
+func GetVals(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	ci := valsClassFor(n)
+	if ci < 0 {
+		return make([]Value, n)
+	}
+	p := &valsPool[ci]
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		v := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		p.mu.Unlock()
+		return v[:n]
+	}
+	p.mu.Unlock()
+	return make([]Value, n, valsClassMin<<ci)
+}
+
+// PutVals returns a slice obtained from GetVals to its size class. The
+// slice is cleared first so pooled entries never pin strings from dead
+// tuples. Slices whose capacity matches no class (or whose class stack is
+// full) are dropped to the garbage collector.
+func PutVals(v []Value) {
+	c := cap(v)
+	if c < valsClassMin || c > valsClassMax || c&(c-1) != 0 {
+		return
+	}
+	v = v[:c]
+	for i := range v {
+		v[i] = Value{}
+	}
+	ci := valsClassFor(c)
+	p := &valsPool[ci]
+	p.mu.Lock()
+	if len(p.free) < valsClassKeep {
+		p.free = append(p.free, v)
+	}
+	p.mu.Unlock()
+}

@@ -27,6 +27,13 @@ type Tuple struct {
 	// diagnostic metadata — excluded from value equality and from MemSize
 	// buffer accounting.
 	Span *trace.Span
+
+	// pooled marks Vals as drawn from the package freelist (GetVals). Only
+	// the engine may act on it: a pooled tuple's backing array is returned
+	// via Recycle at the points where the tuple provably dies. Any code
+	// path that creates a second reference to Vals (fan-out, history
+	// retention, ad hoc taps, cross-engine ingest) must call Disown first.
+	pooled bool
 }
 
 // NewTuple builds a tuple with the given values and zero Seq/TS.
@@ -36,7 +43,36 @@ func NewTuple(vals ...Value) Tuple { return Tuple{Vals: vals} }
 func (t Tuple) Clone() Tuple {
 	c := t
 	c.Vals = append([]Value(nil), t.Vals...)
+	c.pooled = false
 	return c
+}
+
+// MarkPooled flags Vals as pool-owned; the caller asserts the slice came
+// from GetVals and that no other reference to it exists.
+func (t *Tuple) MarkPooled() { t.pooled = true }
+
+// Pooled reports whether Vals is flagged as pool-owned.
+func (t Tuple) Pooled() bool { return t.pooled }
+
+// Disown clears the pooled flag without recycling, surrendering the
+// backing array to the garbage collector. Required before any operation
+// that aliases Vals outside the engine's ownership tracking.
+func (t *Tuple) Disown() { t.pooled = false }
+
+// Recycle returns a pooled Vals backing array to the freelist and clears
+// the tuple. It reports whether anything was reclaimed. Callers must
+// guarantee no other reference to Vals survives.
+func (t *Tuple) Recycle() bool {
+	if !t.pooled {
+		return false
+	}
+	t.pooled = false
+	if t.Vals == nil {
+		return false
+	}
+	PutVals(t.Vals)
+	t.Vals = nil
+	return true
 }
 
 // Field returns the i'th value; out-of-range indices return null, so that
@@ -63,12 +99,18 @@ func (t Tuple) EqualValues(o Tuple) bool {
 }
 
 // MemSize approximates the tuple's memory footprint in bytes for buffer
-// accounting in the storage manager.
+// accounting in the storage manager. It charges the full capacity of the
+// Vals backing array, not just its length: pooled slices are rounded up
+// to a size class, and the spare slots are real memory the connection
+// point is holding, so length-based accounting would silently
+// under-report buffered bytes (and the spill high-water mark) whenever
+// the pool hands back an oversized class.
 func (t Tuple) MemSize() int {
 	n := 24 // Seq + TS + slice header
 	for _, v := range t.Vals {
 		n += v.MemSize()
 	}
+	n += (cap(t.Vals) - len(t.Vals)) * valueHeader
 	return n
 }
 

@@ -83,3 +83,77 @@ func TestFormatTuples(t *testing.T) {
 		t.Errorf("FormatTuples = %q", out)
 	}
 }
+
+// TestMemSizeChargesCapacity pins the buffer-accounting fix: MemSize must
+// charge the full capacity of the Vals backing array, not just its
+// length. Pooled slices are rounded up to a size class, and the spare
+// slots are real memory a queue or connection point is holding — the old
+// length-based accounting under-reported buffered bytes (and the storage
+// manager's spill high-water mark) whenever the pool handed back an
+// oversized class.
+func TestMemSizeChargesCapacity(t *testing.T) {
+	const header = 24 // Seq + TS + slice header
+	cases := []struct {
+		name string
+		t    Tuple
+		want int
+	}{
+		{"nil-vals", Tuple{}, header},
+		{"exact-fit", Tuple{Vals: []Value{Int(1), Int(2)}}, header + 2*16},
+		{"spare-capacity", Tuple{Vals: append(make([]Value, 0, 8), Int(1), Int(2))},
+			header + 2*16 + 6*16},
+		{"string-payload", Tuple{Vals: []Value{String("hello")}}, header + 16 + 5},
+		{"string-with-spare", Tuple{Vals: append(make([]Value, 0, 4), String("hi"))},
+			header + 16 + 2 + 3*16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.t.MemSize(); got != c.want {
+				t.Fatalf("MemSize = %d, want %d (len %d cap %d)",
+					got, c.want, len(c.t.Vals), cap(c.t.Vals))
+			}
+		})
+	}
+	// Two tuples with identical values but different spare capacity must
+	// not account identically — that asymmetry IS the fix.
+	tight := Tuple{Vals: []Value{Int(7)}}
+	roomy := Tuple{Vals: append(make([]Value, 0, 16), Int(7))}
+	if tight.MemSize() >= roomy.MemSize() {
+		t.Fatalf("capacity ignored: tight %d, roomy %d", tight.MemSize(), roomy.MemSize())
+	}
+}
+
+// TestPooledValsRoundTrip pins the ownership bit through GetVals/Recycle:
+// a pooled tuple recycles exactly once, a disowned one never does.
+func TestPooledValsRoundTrip(t *testing.T) {
+	tp := Tuple{Vals: GetVals(2)}
+	tp.Vals[0], tp.Vals[1] = Int(1), Int(2)
+	tp.MarkPooled()
+	if !tp.Pooled() {
+		t.Fatal("MarkPooled did not stick")
+	}
+	if !tp.Recycle() {
+		t.Fatal("pooled tuple did not recycle")
+	}
+	if tp.Pooled() || tp.Vals != nil || tp.Recycle() {
+		t.Fatalf("recycle not idempotent: pooled=%v vals=%v", tp.Pooled(), tp.Vals)
+	}
+	dt := Tuple{Vals: GetVals(2)}
+	dt.MarkPooled()
+	dt.Disown()
+	if dt.Recycle() {
+		t.Fatal("disowned tuple recycled")
+	}
+	// Clone must always produce an unpooled deep copy.
+	ct := Tuple{Vals: GetVals(1)}
+	ct.Vals[0] = Int(9)
+	ct.MarkPooled()
+	cl := ct.Clone()
+	if cl.Pooled() {
+		t.Fatal("clone inherited the pooled bit")
+	}
+	cl.Vals[0] = Int(8)
+	if ct.Vals[0].AsInt() != 9 {
+		t.Fatal("clone aliases the original Vals")
+	}
+}

@@ -174,11 +174,15 @@ func (v Value) Format() string {
 	}
 }
 
+// valueHeader is the fixed per-Value footprint (kind + padding + union
+// slots, not counting string data); Tuple.MemSize charges it for unused
+// capacity slots too.
+const valueHeader = 16
+
 // MemSize returns the approximate in-memory footprint of the value in
 // bytes, used by the storage manager's buffer accounting.
 func (v Value) MemSize() int {
-	const header = 16 // kind + padding + union slots not counting string data
-	return header + len(v.s)
+	return valueHeader + len(v.s)
 }
 
 // ParseValue converts a literal of the given kind from its string form.

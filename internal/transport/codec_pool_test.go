@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// The pooled-codec contract: DecodeInto reuses the caller's Msg backing
+// storage (tuple slice, Vals arrays, ctrl buffer) and the steady state
+// decodes numeric frames without allocating; Decode stays the compatible
+// copy-everything wrapper. The wire format itself is pinned byte-for-byte
+// by the golden-hex tests in stats_trailer_test.go.
+
+func numericMsg(tuples int) Msg {
+	m := Msg{Stream: "quotes", Kind: KindData, BaseSeq: 1}
+	for i := 0; i < tuples; i++ {
+		m.Tuples = append(m.Tuples, stream.Tuple{
+			Seq: uint64(i + 1), TS: int64(100 + i),
+			Vals: []stream.Value{
+				stream.Int(int64(i)), stream.Float(float64(i) * 1.5), stream.Int(42)},
+		})
+	}
+	return m
+}
+
+// TestDecodeIntoMatchesDecode: both decoders must produce identical
+// messages from the same frame, for data, traced, and ctrl shapes.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	for i, m := range append(goldenMsgs(), numericMsg(64)) {
+		buf := Encode(nil, m)
+		want, n1, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("msg %d: Decode: %v", i, err)
+		}
+		var got Msg
+		n2, err := DecodeInto(&got, buf)
+		if err != nil {
+			t.Fatalf("msg %d: DecodeInto: %v", i, err)
+		}
+		if n1 != n2 {
+			t.Fatalf("msg %d: consumed %d vs %d bytes", i, n1, n2)
+		}
+		if !reflect.DeepEqual(normalizeMsg(want), normalizeMsg(got)) {
+			t.Fatalf("msg %d: decoders diverged:\n%+v\nvs\n%+v", i, want, got)
+		}
+	}
+}
+
+// normalizeMsg maps empty-but-allocated slices to nil so reuse-friendly
+// [:0] slices compare equal to freshly-decoded nil ones.
+func normalizeMsg(m Msg) Msg {
+	if len(m.Tuples) == 0 {
+		m.Tuples = nil
+	}
+	if len(m.Ctrl) == 0 {
+		m.Ctrl = nil
+	}
+	if len(m.Digests) == 0 {
+		m.Digests = nil
+	}
+	return m
+}
+
+// TestDecodeIntoReusesBacking: decoding into a warm Msg must keep the
+// tuple slice and Vals backing arrays instead of reallocating them.
+func TestDecodeIntoReusesBacking(t *testing.T) {
+	buf := Encode(nil, numericMsg(16))
+	var m Msg
+	if _, err := DecodeInto(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	tup0 := &m.Tuples[0]
+	vals0 := &tup0.Vals[0]
+	if _, err := DecodeInto(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if &m.Tuples[0] != tup0 {
+		t.Error("tuple slice reallocated on warm decode")
+	}
+	if &m.Tuples[0].Vals[0] != vals0 {
+		t.Error("Vals backing reallocated on warm decode")
+	}
+}
+
+// TestDecodeIntoZeroAlloc pins the pooled hot path: a warm numeric frame
+// decodes with zero allocations per op (string values would allocate —
+// Go strings are immutable — which is why the claim is scoped to numeric
+// payloads, the common case for stream tuples).
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	buf := Encode(nil, numericMsg(64))
+	var m Msg
+	if _, err := DecodeInto(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, err := DecodeInto(&m, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm DecodeInto allocates %.2f per 64-tuple frame, want 0", avg)
+	}
+}
+
+// TestEncodeZeroAllocWarmBuffer: re-encoding into a retained buffer must
+// not allocate either — together with DecodeInto this makes the
+// per-frame transport round trip allocation-free.
+func TestEncodeZeroAllocWarmBuffer(t *testing.T) {
+	m := numericMsg(64)
+	buf := Encode(nil, m)
+	if avg := testing.AllocsPerRun(500, func() { buf = Encode(buf[:0], m) }); avg != 0 {
+		t.Fatalf("warm Encode allocates %.2f per 64-tuple frame, want 0", avg)
+	}
+}

@@ -487,11 +487,15 @@ func (c *Conn) writeLoop() {
 
 func (c *Conn) readLoop() {
 	idle := c.t.cfg.ReadIdleTimeout
+	// One frame buffer per connection, reused across frames: Decode
+	// copies everything out of the body, so nothing the handler retains
+	// can alias it.
+	var frame []byte
 	for {
 		if idle > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(idle))
 		}
-		m, err := readFrame(c.nc)
+		m, err := readFrame(c.nc, &frame)
 		if err != nil {
 			c.close()
 			return
@@ -533,7 +537,9 @@ func (c *Conn) pingLoop(period time.Duration) {
 	}
 }
 
-func readFrame(r io.Reader) (Msg, error) {
+// readFrame reads one length-prefixed frame, growing *scratch as needed
+// and reusing it across calls; the decoded Msg never aliases the scratch.
+func readFrame(r io.Reader, scratch *[]byte) (Msg, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Msg{}, err
@@ -542,7 +548,13 @@ func readFrame(r io.Reader) (Msg, error) {
 	if n == 0 || n > maxFrame {
 		return Msg{}, fmt.Errorf("transport: bad frame length %d", n)
 	}
-	body := make([]byte, n)
+	body := *scratch
+	if uint32(cap(body)) < n {
+		body = make([]byte, n)
+		*scratch = body
+	} else {
+		body = body[:n]
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Msg{}, err
 	}
@@ -560,7 +572,8 @@ func writeHello(nc net.Conn, id string) error {
 }
 
 func readHello(nc net.Conn) (string, error) {
-	m, err := readFrame(nc)
+	var scratch []byte
+	m, err := readFrame(nc, &scratch)
 	if err != nil {
 		return "", err
 	}
