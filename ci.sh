@@ -87,6 +87,24 @@ echo "== kill-mid-split chaos"
 # sweep.
 go test ./internal/chaos/ -run 'Split' -count=1 -timeout 300s
 
+echo "== durability"
+# The durable-state plane end to end: segment-log framing (torn tails,
+# CRC corruption, whole-segment truncation/eviction), checkpoint
+# round-trips, CP spill recovery, the durable output-log commit point,
+# and the kill/restart equivalence run under the race detector — a
+# schedule with process restarts must converge to exactly the fault-free
+# delivery set, rebuilt from segment files through the normal resync path.
+go test ./internal/storage/ -count=1 -timeout 120s
+go test -race ./internal/ha/ -run 'Durable|ResyncCorr' -count=1 -timeout 120s
+go test -race ./internal/chaos/ -run 'Restart' -count=1 -timeout 300s
+
+echo "== durability overhead guard"
+# The spill-on-evict bargain: with a disk spill attached to every
+# connection point but the history under its memory budget, the per-tuple
+# path must stay within 5% of the memory-only configuration. Durability
+# costs only when the alternative was dropping history.
+CI_DURABILITY_GUARD=1 go test ./internal/engine/ -run TestDurabilityOverheadGuard -count=1 -v
+
 echo "== transport churn guard"
 # The reconnect/churn tests leak-check the transport's goroutines; run
 # them twice back to back so a goroutine left behind by round one trips
@@ -100,5 +118,6 @@ go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s
 go test ./internal/transport/ -run '^$' -fuzz '^FuzzDecodeTuple$' -fuzztime 10s
 go test ./internal/stats/ -run '^$' -fuzz '^FuzzDecodeDigest$' -fuzztime 10s
 go test ./internal/sketch/ -run '^$' -fuzz '^FuzzDecodeSketch$' -fuzztime 10s
+go test ./internal/storage/ -run '^$' -fuzz '^FuzzDecodeSegment$' -fuzztime 10s
 
 echo "ci: all checks passed"

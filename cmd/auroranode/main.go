@@ -35,6 +35,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/query"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -189,6 +190,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker pool size for wall-clock execution (0 or 1 = serial)")
 		autoN    = flag.Int("autosplit", 0, "key-shard a hot box into N replicas at runtime when the stats plane flags it (0 disables; needs a splittable operator)")
 		eventBuf = flag.Int("events-buf", 1024, "structured event journal ring capacity (0 disables the journal)")
+		dataDir  = flag.String("data-dir", "", "durable state directory: output logs and connection-point spill land in segment files there, dedup + stats-plane state is checkpointed, and a restart recovers all of it (empty disables durability)")
 		sloOn    = flag.Bool("slo", false, "enable the latency-SLO plane: per-output quantile sketches, tail attribution, and cliff forecasting (served at /latency and as Prometheus histograms)")
 	)
 	peers := multiFlag{}
@@ -215,10 +217,61 @@ func main() {
 	if *eventBuf > 0 {
 		journal = events.NewJournal(*id, *eventBuf)
 	}
+	// Durable state: the data directory survives the process. Output logs
+	// and connection-point spill live there as segment files; the small
+	// checkpoint carries each inbound link's dedup prefix and the stats
+	// plane's digest sequence. A restart rebuilds all of it before any
+	// traffic arrives.
+	var mgr *storage.Manager
+	var ckpt storage.NodeCheckpoint
+	if *dataDir != "" {
+		mgr, err = storage.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("data dir: %v", err)
+		}
+		defer mgr.Close()
+		var ok bool
+		ckpt, ok, err = mgr.LoadCheckpoint()
+		if err != nil {
+			log.Printf("checkpoint load: %v (starting cold)", err)
+		}
+		if ok {
+			if !*quiet {
+				log.Printf("recovered checkpoint: %d inbound link watermarks, plane seq %d",
+					len(ckpt.DedupRecv), ckpt.PlaneSeq)
+			}
+			if journal != nil {
+				journal.Append(events.Event{
+					Time: time.Now().UnixNano(), Kind: events.KindRecovery,
+					Subject: *id, Detail: "checkpoint",
+					V1: float64(len(ckpt.DedupRecv)), V2: float64(ckpt.PlaneSeq),
+				})
+			}
+		}
+	}
+
 	ecfg := engine.Config{Tracer: tracer, Workers: *workers, Journal: journal}
+	if mgr != nil {
+		// Every marked arc's history spills to disk past the memory
+		// budget instead of dropping, and a restarted node's ad hoc
+		// attachments replay the prior incarnation's retained window.
+		ecfg.CPSpill = func(p query.Port) stream.Spill {
+			l, err := mgr.CPLog(fmt.Sprintf("%s:%d", p.Box, p.Port))
+			if err != nil {
+				log.Printf("cp spill %s:%d: %v (memory-only)", p.Box, p.Port, err)
+				return nil
+			}
+			return storage.NewCPSpill(l, 0)
+		}
+	}
 	var plane *stats.Plane
 	if *statsPer > 0 {
 		plane = stats.NewPlane(*id, statsPer.Nanoseconds(), *statsWin, 0)
+		if ckpt.PlaneSeq > 0 {
+			// Peers merge digests keep-max-seq; a reborn plane restarting
+			// at zero would be ignored until it out-counted its past self.
+			plane.ResumeSeq(ckpt.PlaneSeq)
+		}
 		ecfg.Stats = plane.Store()
 		ecfg.StatsEvery = 64
 	}
@@ -261,13 +314,56 @@ func main() {
 	var lmu sync.Mutex
 	senders := map[string]*ha.LinkSender{}
 	receivers := map[string]*ha.LinkReceiver{}
+
+	// saveCheckpoint snapshots the cheap-to-save, expensive-to-lose state:
+	// each inbound link's complete received prefix and the plane's digest
+	// seq. Called before every outbound ack (so upstream truncation never
+	// outruns what this node has persisted) and from the periodic ticker.
+	// Unchanged state is skipped; journalIt marks the periodic saves that
+	// land in the event journal without flooding it at ack cadence.
+	var ckMu sync.Mutex
+	var ckLastSig string
+	saveCheckpoint := func(journalIt bool) {
+		if mgr == nil {
+			return
+		}
+		cp := storage.NodeCheckpoint{SavedAt: time.Now().UnixNano()}
+		lmu.Lock()
+		if len(receivers) > 0 {
+			cp.DedupRecv = make(map[string]uint64, len(receivers))
+			for k, r := range receivers {
+				cp.DedupRecv[k] = r.ContiguousRecv()
+			}
+		}
+		lmu.Unlock()
+		if plane != nil {
+			cp.PlaneSeq = plane.Seq()
+		}
+		sig := fmt.Sprintf("%d|%v", cp.PlaneSeq, cp.DedupRecv)
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		if sig == ckLastSig {
+			return
+		}
+		if err := mgr.SaveCheckpoint(cp); err != nil {
+			log.Printf("checkpoint save: %v", err)
+			return
+		}
+		ckLastSig = sig
+		if journalIt && journal != nil {
+			journal.Append(events.Event{
+				Time: cp.SavedAt, Kind: events.KindCheckpoint, Subject: *id,
+				V1: float64(len(cp.DedupRecv)), V2: float64(cp.PlaneSeq),
+			})
+		}
+	}
 	getSender := func(peer, remoteStream string) *ha.LinkSender {
 		lmu.Lock()
 		defer lmu.Unlock()
 		key := peer + "/" + remoteStream
 		s := senders[key]
 		if s == nil {
-			s = ha.NewLinkSender(func(batch []stream.Tuple) error {
+			send := func(batch []stream.Tuple) error {
 				m := transport.Msg{
 					Stream: remoteStream, Kind: transport.KindData,
 					BaseSeq: batch[0].Seq, Tuples: batch,
@@ -277,7 +373,46 @@ func main() {
 					m.Digests = plane.Gossip()
 				}
 				return tcp.Send(peer, m)
-			})
+			}
+			if mgr != nil {
+				// Durable route: rebuild the output log from whatever
+				// segments survived the last incarnation, then write every
+				// Send through to disk before it counts as committed.
+				if olog, lerr := mgr.OutputLog(key); lerr != nil {
+					log.Printf("output log %s: %v (route running without durability)", key, lerr)
+					s = ha.NewLinkSender(send)
+				} else {
+					sink := storage.NewOutputSink(olog)
+					origins, tuples, rerr := sink.RecoveredEntries()
+					if rerr != nil {
+						log.Printf("output log %s: replay: %v (recovered prefix only)", key, rerr)
+					}
+					entries := make([]ha.LogEntry, len(tuples))
+					for i := range tuples {
+						entries[i] = ha.LogEntry{Origin: origins[i], Tuple: tuples[i]}
+					}
+					s = ha.RecoverLinkSender(entries, send)
+					s.AttachDurable(sink)
+					if len(entries) > 0 {
+						if !*quiet {
+							log.Printf("route %s: recovered %d unacknowledged entries from disk", key, len(entries))
+						}
+						if journal != nil {
+							corr := journal.NewCorr()
+							journal.Append(events.Event{
+								Time: time.Now().UnixNano(), Kind: events.KindRecovery,
+								Subject: key, Detail: "output log from disk", Corr: corr,
+								V1: float64(len(entries)),
+							})
+							// The corr chains this recovery to the resync
+							// that replays the rebuilt suffix.
+							s.SetCorr(corr)
+						}
+					}
+				}
+			} else {
+				s = ha.NewLinkSender(send)
+			}
 			s.Name = key
 			s.Journal = journal
 			senders[key] = s
@@ -298,11 +433,20 @@ func main() {
 					eng.Ingest(streamName, t)
 				},
 				func(recv uint64) {
+					// Checkpoint before the ack leaves: the upstream may
+					// truncate its log the moment it sees recv, so this
+					// node's persisted watermark must already cover it.
+					saveCheckpoint(false)
 					_ = tcp.Send(from, transport.Msg{
 						Stream: streamName, Kind: transport.KindBackChannel,
 						Ctrl: ha.AppendLinkAck(nil, recv),
 					})
 				}, 32)
+			if seq := ckpt.DedupRecv[key]; seq > 0 {
+				// The previous incarnation had acknowledged this prefix;
+				// a resync replaying it must be suppressed, not re-ingested.
+				r.SeedDedup(seq)
+			}
 			receivers[key] = r
 		}
 		return r
@@ -406,7 +550,12 @@ func main() {
 		tracer.Annotate("link "+peer+" "+to.String(), time.Now().UnixNano())
 	})
 	tcp.SetOnEstablished(func(peer string, reconnected bool) {
-		if !reconnected {
+		// A durable node resyncs on every establish, not just reconnects:
+		// a restarted process's first connection is brand new to this
+		// transport, but the suffix rebuilt from segment files still needs
+		// replaying (an empty log replays nothing, so fresh routes are
+		// unaffected).
+		if !reconnected && mgr == nil {
 			return
 		}
 		lmu.Lock()
@@ -420,7 +569,7 @@ func main() {
 		for _, s := range rs {
 			left := s.Resync()
 			if !*quiet {
-				log.Printf("link %s re-established: replayed %d total, %d still outstanding",
+				log.Printf("link %s established: replayed %d total, %d still outstanding",
 					peer, s.Replayed(), left)
 			}
 		}
@@ -452,6 +601,12 @@ func main() {
 				}
 				lastBusy, lastAt = busy, now
 				st.Observe(stats.SeriesNodeQueued, stats.KindGauge, now, float64(queued))
+				// Windowed pressure, not the latched all-time Pressure():
+				// a transient burst shows for the windows it spans, then
+				// the reading decays as the backlog drains.
+				st.Observe(stats.SeriesNodePressure, stats.KindGauge, now,
+					eng.Storage().PressureWindow())
+				eng.Storage().ResetPressureWindow()
 				plane.Publish(now)
 			}
 		}()
@@ -485,6 +640,24 @@ func main() {
 		}))
 	}
 
+	// Recovery enumeration: rebuild a sender (and its retained suffix) for
+	// every route with an on-disk output log, before any peer connects —
+	// the establish hook above then replays each one through the normal
+	// resync path as soon as its link comes up.
+	if mgr != nil && *haRoutes {
+		keys, err := mgr.OutputLogKeys()
+		if err != nil {
+			log.Printf("output log enumeration: %v", err)
+		}
+		for _, key := range keys {
+			i := strings.IndexByte(key, '/')
+			if i <= 0 {
+				continue
+			}
+			getSender(key[:i], key[i+1:])
+		}
+	}
+
 	// Supervised peers: the transport dials with backoff, reconnects when
 	// the connection dies, and buffers routed output across the gaps — a
 	// peer that is down at startup is no longer fatal.
@@ -510,6 +683,18 @@ func main() {
 				for _, r := range rs {
 					r.AckNow()
 				}
+			}
+		}()
+	}
+	if mgr != nil {
+		// Periodic checkpoint, journaled: covers the plane seq (which
+		// advances without inbound traffic) and any watermark movement the
+		// ack path already persisted quietly.
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for range tick.C {
+				saveCheckpoint(true)
 			}
 		}()
 	}
@@ -581,6 +766,7 @@ func main() {
 			}
 			time.Sleep(100 * time.Millisecond)
 		}
+		saveCheckpoint(false)
 		time.Sleep(200 * time.Millisecond)
 		return
 	}

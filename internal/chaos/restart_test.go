@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/events"
+)
+
+// runRestartCase executes one schedule against a temp data dir and fails
+// the test on any oracle violation.
+func runRestartCase(t *testing.T, s RestartSchedule) *RestartResult {
+	t.Helper()
+	s.Dir = t.TempDir()
+	r := RunRestart(s)
+	if r.Failed() {
+		t.Fatalf("oracle violations for %s:\n  %v", r, r.Violations)
+	}
+	return r
+}
+
+// TestRestartEquivalence is the kill/restart equivalence check (run under
+// -race in CI): a schedule with sender restarts must converge to exactly
+// the delivery set of the fault-free schedule — every committed payload
+// once, none twice — with the replayed suffix rebuilt from segment files.
+func TestRestartEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos runs take seconds")
+	}
+	const tuples = 400
+
+	clean := runRestartCase(t, RestartSchedule{Seed: 7, Tuples: tuples, Restarts: 0})
+	if clean.Restarts != 0 || clean.Recovered != 0 {
+		t.Fatalf("fault-free run restarted: %s", clean)
+	}
+
+	faulty := runRestartCase(t, RestartSchedule{Seed: 7, Tuples: tuples, Restarts: 3, Kills: 1})
+	if faulty.Restarts == 0 {
+		t.Fatalf("schedule executed no restarts: %s", faulty)
+	}
+	if faulty.Recovered == 0 {
+		t.Fatalf("restarts recovered nothing from disk: %s", faulty)
+	}
+	// Equivalence: the consumer-visible payload set is identical — all
+	// tuples delivered exactly once in both runs (Missing/Dups already
+	// oracle-checked; this pins the set size explicitly).
+	if clean.Delivered != tuples || faulty.Delivered != tuples {
+		t.Fatalf("delivery sets differ: clean=%d faulty=%d want %d",
+			clean.Delivered, faulty.Delivered, tuples)
+	}
+	t.Logf("clean:  %s", clean)
+	t.Logf("faulty: %s", faulty)
+}
+
+// TestRestartJournalsRecovery: a restart with surviving log entries
+// journals a KindRecovery event whose correlation id chains to the
+// subsequent resync replay event.
+func TestRestartJournalsRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos runs take seconds")
+	}
+	j := events.NewJournal("up", 256)
+	r := runRestartCase(t, RestartSchedule{Seed: 3, Tuples: 300, Restarts: 2, Journal: j})
+	if r.Recovered == 0 {
+		t.Fatalf("no entries recovered: %s", r)
+	}
+	var recov, chained int
+	corrs := map[uint64]bool{}
+	for _, e := range j.Tail(256) {
+		if e.Kind == events.KindRecovery {
+			recov++
+			if e.Corr != 0 {
+				corrs[e.Corr] = true
+			}
+		}
+	}
+	for _, e := range j.Tail(256) {
+		if e.Kind == events.KindHAReplay && corrs[e.Corr] {
+			chained++
+		}
+	}
+	if recov == 0 {
+		t.Fatal("no KindRecovery events journaled")
+	}
+	if chained == 0 {
+		t.Fatal("no replay event chained to a recovery correlation id")
+	}
+}
+
+// TestRestartRequiresDir: the schedule must name the surviving disk.
+func TestRestartRequiresDir(t *testing.T) {
+	r := RunRestart(RestartSchedule{Seed: 1})
+	if !r.Failed() {
+		t.Fatal("empty Dir accepted")
+	}
+}

@@ -692,9 +692,18 @@ func (n *SimNode) statsTick() {
 	n.statLastBusy = n.busyNs
 	n.statLastAt = now
 	st.Observe(stats.SeriesNodeQueued, stats.KindGauge, now, float64(n.queued()))
+	// Node pressure is the worst engine's windowed reading — latched
+	// all-time Pressure would report one long-past burst forever.
+	pressure := 0.0
 	for _, owner := range n.order {
-		n.hosts[owner].eng.SampleStats(now)
+		host := n.hosts[owner]
+		host.eng.SampleStats(now)
+		if p := host.eng.Storage().PressureWindow(); p > pressure {
+			pressure = p
+		}
+		host.eng.Storage().ResetPressureWindow()
 	}
+	st.Observe(stats.SeriesNodePressure, stats.KindGauge, now, pressure)
 	neighbors := n.c.sim.Neighbors(n.id)
 	for _, p := range neighbors {
 		if l, ok := n.c.sim.LinkStats(n.id, p); ok {

@@ -72,6 +72,12 @@ type Config struct {
 	// is set and Stats is nil, the engine creates a private store sized
 	// by AutoSplitConfig.WindowNs.
 	AutoSplit *AutoSplitConfig
+	// CPSpill supplies a disk spill for each connection-point history (the
+	// Storage Manager's paging of §2.3): called once per marked arc source
+	// port at construction, it may return nil to leave that point
+	// memory-only. Nil disables spilling entirely — history past the
+	// memory budget is then dropped (and counted) as before.
+	CPSpill func(p query.Port) stream.Spill
 	// SerialKernels forces per-tuple operator dispatch (Process) even for
 	// operators exposing a batch kernel, reproducing the pre-batching
 	// execution path. It exists for the CI hot-path guard and for
@@ -145,6 +151,14 @@ type Engine struct {
 	cpHist    map[query.Port]*stream.History
 	cpMu      sync.Mutex
 	tapCopies atomic.Uint64
+	// cpEvictCtr counts tuples permanently evicted from connection-point
+	// histories ("cp.evicted" in /metrics). resyncDepth/resyncCorr track
+	// active HA resyncs (BeginResync/EndResync): an eviction while a
+	// resync replays is journaled with the resync's correlation id,
+	// because the replay may now have a hole the receiver cannot see.
+	cpEvictCtr  *metrics.Counter
+	resyncDepth atomic.Int32
+	resyncCorr  atomic.Uint64
 
 	// Parallel runtime state: the configured pool size, the active
 	// dispatcher (nil when no RunParallel is in flight; Ingest kicks it so
@@ -313,6 +327,7 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	e.ingCtr = e.reg.Counter("engine.ingested")
 	e.shedCtr = e.reg.Counter("engine.shed")
 	e.delCtr = e.reg.Counter("engine.delivered")
+	e.cpEvictCtr = e.reg.Counter("cp.evicted")
 	if cfg.Tracer != nil {
 		e.tracer = cfg.Tracer
 		e.traceQ = e.reg.Histogram("trace.queue_ns")
@@ -403,6 +418,11 @@ func New(net *query.Network, cfg Config) (*Engine, error) {
 	for _, a := range net.Arcs() {
 		if a.ConnectionPoint && e.cpHist[a.From] == nil {
 			h := stream.NewHistory(e.storage.Budget() / 8)
+			if cfg.CPSpill != nil {
+				if sp := cfg.CPSpill(a.From); sp != nil {
+					h.SetSpill(sp)
+				}
+			}
 			e.cpHist[a.From] = h
 			boxes[a.From.Box].cpH[a.From.Port] = h
 		}
@@ -500,9 +520,11 @@ func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now in
 			// The history retains the tuple beyond its delivery lifetime,
 			// so a pool-owned Vals must be surrendered to the GC.
 			t.Disown()
+			added := t.MemSize()
 			e.cpMu.Lock()
-			h.Add(t)
+			delta, dropped := h.Add(t)
 			e.cpMu.Unlock()
+			e.noteCPAdd(b, port, added, delta, dropped)
 		}
 		if tl := b.taps[port].Load(); tl != nil {
 			// Taps are arbitrary consumers (often another engine's
@@ -516,6 +538,49 @@ func (e *Engine) routeEmit(b *boxState, port, worker int, t stream.Tuple, now in
 	t.Span.MarkReplica(trace.KindProc, b.id, worker, b.replica, now)
 	e.deliver(b.downstream[port], t, now)
 }
+
+// noteCPAdd charges a connection-point retention to storage accounting —
+// the fix for history bytes being invisible to spill pressure: added is
+// the retained tuples' footprint, delta the net in-memory change after
+// eviction, dropped the tuples permanently gone (evicted with no spill,
+// or pushed off the spill's disk budget). Permanent drops during an
+// active HA resync are journaled with the resync's correlation id: the
+// replay the receiver is counting on may now have a hole.
+func (e *Engine) noteCPAdd(b *boxState, port, added, delta, dropped int) {
+	e.storage.NoteEnqueue(added, int(e.qBytes.Add(int64(delta))))
+	if dropped == 0 {
+		return
+	}
+	e.cpEvictCtr.Add(int64(dropped))
+	if e.resyncDepth.Load() > 0 {
+		e.journal.Append(events.Event{
+			Time:    e.clock.Now(),
+			Kind:    events.KindCPEvict,
+			Subject: b.id,
+			Detail:  fmt.Sprintf("port %d during resync", port),
+			Corr:    e.resyncCorr.Load(),
+			V1:      float64(dropped),
+			V2:      float64(e.cpEvictCtr.Value()),
+		})
+	}
+}
+
+// BeginResync marks an HA resync as in flight, carrying the correlation
+// id its journal chain uses; connection-point evictions while any resync
+// is active are journaled against it (satellite of the durable-state
+// work: silent replay truncation becomes an attributable event). Calls
+// nest; each BeginResync pairs with one EndResync.
+func (e *Engine) BeginResync(corr uint64) {
+	e.resyncCorr.Store(corr)
+	e.resyncDepth.Add(1)
+}
+
+// EndResync marks the resync complete.
+func (e *Engine) EndResync() { e.resyncDepth.Add(-1) }
+
+// CPEvicted returns the total tuples permanently evicted from
+// connection-point histories (also "cp.evicted" in the metrics registry).
+func (e *Engine) CPEvicted() int64 { return e.cpEvictCtr.Value() }
 
 // deliver routes a tuple to a set of targets: box queues or outputs. The
 // caller supplies now so that a traced tuple's final Proc mark and the
@@ -617,12 +682,17 @@ func (e *Engine) flushEmits(b *boxState, worker int, eb *emitBuf, now int64) {
 func (e *Engine) routeEmitTrain(b *boxState, port, worker int, ts []stream.Tuple, now int64) {
 	if port < len(b.cpH) {
 		if h := b.cpH[port]; h != nil {
+			var added, delta, dropped int
 			e.cpMu.Lock()
 			for i := range ts {
 				ts[i].Disown()
-				h.Add(ts[i])
+				added += ts[i].MemSize()
+				d, dr := h.Add(ts[i])
+				delta += d
+				dropped += dr
 			}
 			e.cpMu.Unlock()
+			e.noteCPAdd(b, port, added, delta, dropped)
 		}
 		if tl := b.taps[port].Load(); tl != nil {
 			for i := range ts {
@@ -1093,8 +1163,12 @@ func (e *Engine) QueuedTuples() int {
 	return total
 }
 
-// QueuedBytes returns the total bytes waiting in box queues, maintained
-// atomically at push/pop (the storage manager's accounting input).
+// QueuedBytes returns the total bytes of queue state: box input queues
+// plus connection-point history windows, maintained atomically at
+// push/pop and history add/evict (the storage manager's accounting
+// input). History is the §2.3 state that dominates memory, so it is
+// charged here — an engine whose network retains history reports
+// nonzero QueuedBytes even when no tuple is waiting to run.
 func (e *Engine) QueuedBytes() int { return int(e.qBytes.Load()) }
 
 // BoxStats reports the monitored operational statistics of §7.1 for one

@@ -53,6 +53,13 @@ const (
 	// KindBottleneck: tail-latency attribution named the critical-path
 	// box for an output whose SLO is at risk.
 	KindBottleneck
+	// KindCPEvict: connection-point history was permanently evicted while
+	// an HA resync was replaying — the replay may now have a hole.
+	KindCPEvict
+	// KindCheckpoint: the node saved its durable checkpoint.
+	KindCheckpoint
+	// KindRecovery: a restarted node rebuilt state from its data dir.
+	KindRecovery
 )
 
 var kindNames = [...]string{
@@ -68,6 +75,9 @@ var kindNames = [...]string{
 	KindFault:         "fault",
 	KindSLOWarn:       "slo-warn",
 	KindBottleneck:    "bottleneck",
+	KindCPEvict:       "cp-evict",
+	KindCheckpoint:    "checkpoint",
+	KindRecovery:      "recovery",
 }
 
 func (k Kind) String() string {

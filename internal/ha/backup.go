@@ -31,6 +31,10 @@ type OutputLog struct {
 	received   uint64 // highest link seq the downstream confirmed received
 	sent       uint64
 	onTruncate func([]stream.Tuple)
+	// durable, when set, receives a write-through copy of every append
+	// before it is reported sent, and mirrors truncation (see durable.go).
+	durable     DurableSink
+	durableErrs uint64
 }
 
 // NewOutputLog returns an empty log; link sequence numbers start at 1.
@@ -55,6 +59,13 @@ func (l *OutputLog) Append(t stream.Tuple) stream.Tuple {
 	l.sent++
 	l.q.Push(t)
 	l.origins = append(l.origins, origin)
+	if l.durable != nil {
+		// Disk first, then the caller may transmit: when Append returns,
+		// the entry is on stable storage and a crash replays it.
+		if err := l.durable.Append(origin, t); err != nil {
+			l.durableErrs++
+		}
+	}
 	return t
 }
 
@@ -151,6 +162,11 @@ func (l *OutputLog) Truncate(safeSeq uint64) int {
 		}
 	}
 	n := l.q.TruncateBefore(safeSeq)
+	if l.durable != nil {
+		if err := l.durable.TruncateBefore(safeSeq); err != nil {
+			l.durableErrs++
+		}
+	}
 	l.oHead += n
 	if l.oHead > 4096 && l.oHead*2 > len(l.origins) {
 		l.origins = append([]uint64(nil), l.origins[l.oHead:]...)

@@ -34,6 +34,12 @@ type LinkSender struct {
 	log      *OutputLog
 	send     func([]stream.Tuple) error
 	replayed int64
+
+	// corr is the pending correlation id for the next Resync's journal
+	// event (SetCorr/takeCorr in durable.go), under its own lock so the
+	// recovery path can stamp it without contending with Send.
+	corrMu sync.Mutex
+	corr   uint64
 }
 
 // NewLinkSender wraps an output log around send, which transmits one
@@ -87,9 +93,11 @@ func (s *LinkSender) Resync() int {
 	s.mu.Unlock()
 	if s.Journal != nil {
 		// V1 = tuples replayed this resync, V2 = still retained unacked.
+		// Corr chains the replay to the recovery or fault that caused it.
 		s.Journal.Append(events.Event{
 			Time: time.Now().UnixNano(), Kind: events.KindHAReplay,
-			Subject: s.Name, V1: float64(replayed), V2: float64(remaining),
+			Subject: s.Name, Corr: s.takeCorr(),
+			V1: float64(replayed), V2: float64(remaining),
 		})
 	}
 	return remaining
@@ -178,6 +186,17 @@ func (r *LinkReceiver) Holes() int { return r.dedup.Holes() }
 
 // Last returns the highest admitted link sequence.
 func (r *LinkReceiver) Last() uint64 { return r.dedup.Last() }
+
+// ContiguousRecv returns the complete received prefix — the value a
+// node checkpoint records for this inbound link.
+func (r *LinkReceiver) ContiguousRecv() uint64 { return r.dedup.ContiguousRecv() }
+
+// SeedDedup raises the dedup high-water mark without opening holes. A
+// restarted node calls it with its checkpointed ContiguousRecv before
+// any traffic: the prefix below it was already delivered (and acked) by
+// the previous incarnation, so a resync replaying it must be suppressed,
+// not re-ingested.
+func (r *LinkReceiver) SeedDedup(seq uint64) { r.dedup.Seed(seq) }
 
 // Wire tagging: the HA-framed TCP path marks its data batches so a node
 // can serve both legacy (untagged, delivered inline) and HA-framed

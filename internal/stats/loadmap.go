@@ -194,6 +194,25 @@ func (p *Plane) Map() *LoadMap { return p.lm }
 // WindowedK returns how many complete windows digests average over.
 func (p *Plane) WindowedK() int { return p.k }
 
+// ResumeSeq raises the digest sequence counter to at least seq. A
+// restarted node calls it with its checkpointed PlaneSeq: peers merge
+// digests keep-max-seq, so a plane whose sequence regressed to zero
+// would have every fresh digest silently discarded until it caught up.
+func (p *Plane) ResumeSeq(seq uint64) {
+	p.mu.Lock()
+	if seq > p.seq {
+		p.seq = seq
+	}
+	p.mu.Unlock()
+}
+
+// Seq returns the last published digest sequence (checkpointing).
+func (p *Plane) Seq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
 // Publish assembles a fresh digest from the store's windowed values
 // (node.util, node.queued, every box.*.work_ns series, and the
 // per-output utility, latency-sketch, and headroom series), stamps it

@@ -60,6 +60,11 @@ const (
 	SeriesNodeUtil   = "node.util"   // gauge: CPU busy fraction
 	SeriesNodeQueued = "node.queued" // gauge: tuples waiting across engines
 	SeriesNodeShed   = "node.shed"   // counter: tuples dropped by the shedder
+	// SeriesNodePressure is the windowed storage pressure: the per-window
+	// high-water mark of queue memory over the budget (gauge; >1 means the
+	// node was paging during the window). Unlike the engine's latched
+	// all-time Pressure, each window reads fresh.
+	SeriesNodePressure = "node.pressure"
 )
 
 // SeriesBoxCost names a box's per-tuple processing cost series (gauge, ns).

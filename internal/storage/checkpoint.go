@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint files are small, whole-state snapshots written atomically
+// (temp file + rename) with a CRC trailer, so a crash mid-write leaves
+// either the previous checkpoint or a detectably-torn temp file — never a
+// half state. They carry the state that is cheap to snapshot and
+// expensive to lose: each inbound link's dedup complete-prefix
+// (ContiguousRecv), and the stats plane's digest sequence number (a
+// restarted node whose gossip seq regressed would have its fresh digests
+// discarded by every peer's keep-max-seq merge).
+
+// NodeCheckpoint is one node's periodically-saved recovery state.
+type NodeCheckpoint struct {
+	// SavedAt is the wall-clock time of the save, unix nanoseconds.
+	SavedAt int64 `json:"saved_at"`
+	// DedupRecv maps an inbound link key ("peer/stream") to the highest
+	// link sequence below which every number was admitted — the
+	// ContiguousRecv the node had acknowledged upstream. Seeding a fresh
+	// Dedup with it keeps a resync replay from re-delivering the prefix.
+	DedupRecv map[string]uint64 `json:"dedup_recv,omitempty"`
+	// PlaneSeq is the stats plane's last published digest sequence.
+	PlaneSeq uint64 `json:"plane_seq,omitempty"`
+}
+
+// checkpointMagic versions the checkpoint framing.
+var checkpointMagic = []byte("dspck1\n")
+
+// SaveCheckpoint writes cp to path atomically: payload JSON, CRC-32
+// trailer, temp file in the same directory, fsync, rename.
+func SaveCheckpoint(path string, cp NodeCheckpoint) error {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	buf := append([]byte(nil), checkpointMagic...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ck-*")
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint; ok=false (with no error) when the
+// file does not exist or is torn/corrupt — recovery then starts cold,
+// which is always safe (it only means more duplicate suppression work).
+func LoadCheckpoint(path string) (cp NodeCheckpoint, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, false, nil
+	}
+	if err != nil {
+		return cp, false, fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if len(data) < len(checkpointMagic)+4 ||
+		string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return cp, false, nil
+	}
+	payload := data[len(checkpointMagic) : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return cp, false, nil
+	}
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return cp, false, nil
+	}
+	return cp, true, nil
+}

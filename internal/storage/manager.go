@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Manager owns one node's data directory:
+//
+//	<dir>/outlog/<escaped route key>/seg-*.log   durable HA output logs
+//	<dir>/cp/<escaped port key>/seg-*.log        connection-point spill
+//	<dir>/checkpoint.json                        dedup + stats-plane state
+//
+// Route and port keys are URL-path-escaped into directory names, so keys
+// like "n2/mid" or "box:1" round-trip losslessly through the filesystem.
+type Manager struct {
+	dir string
+
+	mu   sync.Mutex
+	logs map[string]*Log // open logs by subpath
+}
+
+// Open creates (if needed) and opens a node data directory.
+func Open(dir string) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("storage: empty data dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Manager{dir: dir, logs: map[string]*Log{}}, nil
+}
+
+// Dir returns the data directory root.
+func (m *Manager) Dir() string { return m.dir }
+
+// OutputLog opens (or returns the already-open) durable log for one
+// outbound route key ("peer/stream"). Output logs sync on every append:
+// Send's return is the durability commit point.
+func (m *Manager) OutputLog(key string) (*Log, error) {
+	return m.open(filepath.Join("outlog", url.PathEscape(key)), LogConfig{})
+}
+
+// CPLog opens the spill log for one connection point key ("box:port").
+// Spill writes are already past the memory budget — bulk, not commit
+// points — so they sync in batches rather than per append.
+func (m *Manager) CPLog(key string) (*Log, error) {
+	return m.open(filepath.Join("cp", url.PathEscape(key)), LogConfig{SyncEvery: 256})
+}
+
+func (m *Manager) open(sub string, cfg LogConfig) (*Log, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.logs[sub]; ok {
+		return l, nil
+	}
+	l, err := OpenLog(filepath.Join(m.dir, sub), cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.logs[sub] = l
+	return l, nil
+}
+
+// OutputLogKeys lists the route keys with existing on-disk output logs —
+// the recovery enumeration a restarted node walks to rebuild its senders
+// before any traffic arrives.
+func (m *Manager) OutputLogKeys() ([]string, error) {
+	return m.listKeys("outlog")
+}
+
+// CPLogKeys lists the connection-point keys with existing spill logs.
+func (m *Manager) CPLogKeys() ([]string, error) {
+	return m.listKeys("cp")
+}
+
+func (m *Manager) listKeys(sub string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(m.dir, sub))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		key, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // foreign directory; not ours to interpret
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+// CheckpointPath returns the node checkpoint file path.
+func (m *Manager) CheckpointPath() string {
+	return filepath.Join(m.dir, "checkpoint.json")
+}
+
+// SaveCheckpoint writes the node checkpoint atomically.
+func (m *Manager) SaveCheckpoint(cp NodeCheckpoint) error {
+	return SaveCheckpoint(m.CheckpointPath(), cp)
+}
+
+// LoadCheckpoint reads the node checkpoint; ok=false means none (or a
+// torn one) — start cold.
+func (m *Manager) LoadCheckpoint() (NodeCheckpoint, bool, error) {
+	return LoadCheckpoint(m.CheckpointPath())
+}
+
+// Close closes every open log.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for _, l := range m.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.logs = map[string]*Log{}
+	return first
+}

@@ -1,0 +1,595 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+func dataMsg(seq uint64, payload int64) transport.Msg {
+	t := stream.NewTuple(stream.Int(payload))
+	t.Seq = seq
+	return transport.Msg{Stream: "s", Kind: transport.KindData, BaseSeq: seq, Tuples: []stream.Tuple{t}}
+}
+
+func replaySeqs(t *testing.T, l *Log) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	if err := l.ReplayTuples(func(tp stream.Tuple, _ uint64) bool {
+		seqs = append(seqs, tp.Seq)
+		return true
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return seqs
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	l, err := OpenLog(t.TempDir(), LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 20; i++ {
+		if err := l.Append(dataMsg(i, int64(i)*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := replaySeqs(t, l)
+	if len(seqs) != 20 {
+		t.Fatalf("replayed %d tuples, want 20", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d (order must be append order)", i, s, i+1)
+		}
+	}
+	if got := l.Tuples(); got != 20 {
+		t.Errorf("Tuples() = %d, want 20", got)
+	}
+	if l.Torn() {
+		t.Error("fresh log reports torn tail")
+	}
+}
+
+func TestLogRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogConfig{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := l.Append(dataMsg(i, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("Segments() = %d, want rotation to have produced several", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything indexed from disk, appends continue in a fresh file.
+	l2, err := OpenLog(dir, LogConfig{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Tuples(); got != 50 {
+		t.Fatalf("reopened Tuples() = %d, want 50", got)
+	}
+	if err := l2.Append(dataMsg(51, 7)); err != nil {
+		t.Fatal(err)
+	}
+	seqs := replaySeqs(t, l2)
+	if len(seqs) != 51 || seqs[50] != 51 {
+		t.Fatalf("after reopen+append got %d tuples (last %d), want 51 ending in 51", len(seqs), seqs[len(seqs)-1])
+	}
+}
+
+// tailSegment returns the path of the newest non-empty segment file.
+func tailSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if _, ok := segmentIndex(e.Name()); ok {
+			last = filepath.Join(dir, e.Name())
+		}
+	}
+	if last == "" {
+		t.Fatal("no segment files")
+	}
+	return last
+}
+
+// TestLogTornAndCorruptTails is the recovery table: each case damages the
+// tail segment a different way, and reopening must keep every intact frame,
+// drop the damaged tail, and keep accepting appends.
+func TestLogTornAndCorruptTails(t *testing.T) {
+	cases := []struct {
+		name     string
+		damage   func(t *testing.T, path string)
+		wantTorn bool
+	}{
+		{"truncated-mid-payload", func(t *testing.T, path string) {
+			chop(t, path, 3) // leaves a frame header + partial payload
+		}, true},
+		{"truncated-mid-header", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chopTo(t, path, info.Size()-frameSize(t, path)+4) // 4 bytes of last header
+		}, true},
+		{"corrupt-crc", func(t *testing.T, path string) {
+			flipLastPayloadByte(t, path)
+		}, true},
+		{"huge-length-field", func(t *testing.T, path string) {
+			appendRaw(t, path, binary.LittleEndian.AppendUint32(nil, maxFramePayload+1))
+		}, true},
+		{"trailing-garbage-header", func(t *testing.T, path string) {
+			appendRaw(t, path, []byte{0xde, 0xad})
+		}, true},
+		{"undamaged", func(t *testing.T, path string) {}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := OpenLog(dir, LogConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(1); i <= 5; i++ {
+				if err := l.Append(dataMsg(i, int64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, tailSegment(t, dir))
+
+			l2, err := OpenLog(dir, LogConfig{})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", tc.name, err)
+			}
+			defer l2.Close()
+			if l2.Torn() != tc.wantTorn {
+				t.Errorf("Torn() = %v, want %v", l2.Torn(), tc.wantTorn)
+			}
+			seqs := replaySeqs(t, l2)
+			wantIntact := 5
+			if tc.wantTorn && tc.name != "huge-length-field" && tc.name != "trailing-garbage-header" {
+				wantIntact = 4 // the last frame itself was damaged
+			}
+			if len(seqs) != wantIntact {
+				t.Fatalf("replayed %d tuples, want %d intact", len(seqs), wantIntact)
+			}
+			for i, s := range seqs {
+				if s != uint64(i+1) {
+					t.Fatalf("seq[%d] = %d after recovery", i, s)
+				}
+			}
+			// The log must still accept appends after a damaged reopen.
+			if err := l2.Append(dataMsg(100, 1)); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if got := replaySeqs(t, l2); got[len(got)-1] != 100 {
+				t.Fatalf("post-recovery append not replayed, got %v", got)
+			}
+		})
+	}
+}
+
+// frameSize reads the last frame's full size from the segment at path.
+func frameSize(t *testing.T, path string) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, last := 0, 0
+	for pos+frameHeaderSize <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		if pos+frameHeaderSize+n > len(data) {
+			break
+		}
+		last = frameHeaderSize + n
+		pos += last
+	}
+	return int64(last)
+}
+
+func chop(t *testing.T, path string, n int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chopTo(t, path, info.Size()-n)
+}
+
+func chopTo(t *testing.T, path string, size int64) {
+	t.Helper()
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipLastPayloadByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendRaw(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogIntactCRCBadPayloadIsError: a frame whose CRC matches but whose
+// payload fails the codec is a writer bug, not a crash artifact — Open
+// must refuse rather than silently drop state.
+func TestLogIntactCRCBadPayloadIsError(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte{0xFF, 0xFF, 0xFF, 0xFF} // not a valid transport message
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if err := os.WriteFile(filepath.Join(dir, "seg-0000000000000001.log"), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(dir, LogConfig{}); err == nil {
+		t.Fatal("OpenLog accepted a CRC-intact frame with an undecodable payload")
+	}
+}
+
+func TestLogTruncateBeforeUnlinksWholeSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogConfig{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 40; i++ {
+		if err := l.Append(dataMsg(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Segments()
+	freed, err := l.TruncateBefore(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("TruncateBefore(30) freed nothing despite several sealed segments below it")
+	}
+	if l.Segments() >= before {
+		t.Errorf("segments %d -> %d, want fewer", before, l.Segments())
+	}
+	seqs := replaySeqs(t, l)
+	// Conservative: every seq >= 30 must survive; some < 30 may remain in
+	// the straddling/active segments.
+	seen := map[uint64]bool{}
+	for _, s := range seqs {
+		seen[s] = true
+	}
+	for s := uint64(30); s <= 40; s++ {
+		if !seen[s] {
+			t.Fatalf("seq %d lost by TruncateBefore(30)", s)
+		}
+	}
+	if l.Evicted() != uint64(freed) {
+		t.Errorf("Evicted() = %d, want %d", l.Evicted(), freed)
+	}
+}
+
+func TestLogEvictOldestHonorsBudget(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogConfig{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 60; i++ {
+		if err := l.Append(dataMsg(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := l.Bytes()
+	budget := total / 2
+	tuples, bytes := l.EvictOldest(budget)
+	if tuples == 0 || bytes == 0 {
+		t.Fatalf("EvictOldest(%d) evicted nothing from a %d-byte log", budget, total)
+	}
+	if l.Bytes() > budget {
+		t.Errorf("Bytes() = %d after eviction, budget %d", l.Bytes(), budget)
+	}
+	// Oldest-first: the newest tuples must all survive.
+	seqs := replaySeqs(t, l)
+	if len(seqs) == 0 || seqs[len(seqs)-1] != 60 {
+		t.Fatalf("newest tuple lost; replay tail = %v", seqs)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("eviction left a gap: %d then %d", seqs[i-1], seqs[i])
+		}
+	}
+}
+
+func TestDecodeSegmentTable(t *testing.T) {
+	valid := func(n int) []byte {
+		var buf []byte
+		for i := 1; i <= n; i++ {
+			payload := transport.Encode(nil, dataMsg(uint64(i), int64(i)))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+			buf = append(buf, payload...)
+		}
+		return buf
+	}
+	cases := []struct {
+		name     string
+		data     []byte
+		wantMsgs int
+		wantTorn bool
+	}{
+		{"empty", nil, 0, false},
+		{"three-intact", valid(3), 3, false},
+		{"torn-header", valid(2)[:len(valid(2))-int(frameSizeOf(valid(2)))+2], 1, true},
+		{"torn-payload", valid(2)[:len(valid(2))-1], 1, true},
+		{"short-garbage", []byte{1, 2, 3}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msgs, torn, err := DecodeSegment(tc.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(msgs) != tc.wantMsgs || torn != tc.wantTorn {
+				t.Errorf("got %d msgs torn=%v, want %d msgs torn=%v", len(msgs), torn, tc.wantMsgs, tc.wantTorn)
+			}
+		})
+	}
+}
+
+// frameSizeOf returns the size of the last frame in an in-memory image.
+func frameSizeOf(data []byte) int64 {
+	pos, last := 0, 0
+	for pos+frameHeaderSize <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		if pos+frameHeaderSize+n > len(data) {
+			break
+		}
+		last = frameHeaderSize + n
+		pos += last
+	}
+	return int64(last)
+}
+
+func TestLogForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(dataMsg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(replaySeqs(t, l)); got != 1 {
+		t.Fatalf("replayed %d, want 1", got)
+	}
+}
+
+func TestLogOriginSeqInBaseSeq(t *testing.T) {
+	// The output log stores the origin sequence in BaseSeq with the link
+	// sequence in the tuple — both must round-trip.
+	l, err := OpenLog(t.TempDir(), LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tp := stream.NewTuple(stream.Int(42))
+	tp.Seq = 9 // link seq
+	if err := l.Append(transport.Msg{Kind: transport.KindData, BaseSeq: 1234, Tuples: []stream.Tuple{tp}}); err != nil {
+		t.Fatal(err)
+	}
+	var gotBase, gotSeq uint64
+	l.ReplayTuples(func(t stream.Tuple, base uint64) bool {
+		gotBase, gotSeq = base, t.Seq
+		return true
+	})
+	if gotBase != 1234 || gotSeq != 9 {
+		t.Fatalf("round-trip base=%d seq=%d, want 1234/9", gotBase, gotSeq)
+	}
+}
+
+func BenchmarkLogAppend(b *testing.B) {
+	l, err := OpenLog(b.TempDir(), LogConfig{SyncEvery: 1 << 30}) // no fsync in the timed loop
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	m := dataMsg(1, 77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BaseSeq = uint64(i)
+		m.Tuples[0].Seq = uint64(i)
+		if err := l.Append(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestManagerKeysRoundTrip(t *testing.T) {
+	m, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	keys := []string{"n2/mid", "box:1", "plain"}
+	for _, k := range keys {
+		if _, err := m.OutputLog(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.OutputLogKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("OutputLogKeys = %v, want %d keys", got, len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range got {
+		seen[k] = true
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Errorf("key %q did not round-trip through the filesystem (got %v)", k, got)
+		}
+	}
+}
+
+func TestCheckpointRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+
+	if _, ok, err := LoadCheckpoint(path); err != nil || ok {
+		t.Fatalf("missing checkpoint: ok=%v err=%v, want cold start", ok, err)
+	}
+	cp := NodeCheckpoint{SavedAt: 12345, DedupRecv: map[string]uint64{"n1/mid": 400}, PlaneSeq: 17}
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadCheckpoint(path)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.DedupRecv["n1/mid"] != 400 || got.PlaneSeq != 17 || got.SavedAt != 12345 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+
+	// Corrupt one payload byte: the CRC must reject it and recovery starts cold.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(checkpointMagic)+2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := LoadCheckpoint(path); err != nil || ok {
+		t.Fatalf("corrupt checkpoint: ok=%v err=%v, want clean cold start", ok, err)
+	}
+}
+
+func TestCPSpillEnforcesDiskBudget(t *testing.T) {
+	l, err := OpenLog(t.TempDir(), LogConfig{SegmentBytes: 64, SyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	sp := NewCPSpill(l, 256)
+	var dropped int
+	for i := uint64(1); i <= 100; i++ {
+		tp := stream.NewTuple(stream.Int(int64(i)))
+		tp.Seq = i
+		dropped += sp.Append(tp)
+	}
+	if sp.Bytes() > 256+64 { // budget plus at most one active segment
+		t.Errorf("spill footprint %d well above budget", sp.Bytes())
+	}
+	if dropped == 0 {
+		t.Error("100 tuples into a 256-byte budget dropped nothing")
+	}
+	got := sp.Replay()
+	if len(got) == 0 || got[len(got)-1].Seq != 100 {
+		t.Fatalf("newest spilled tuple missing; got %d tuples", len(got))
+	}
+	if len(got)+dropped != 100 {
+		t.Errorf("retained %d + dropped %d != 100", len(got), dropped)
+	}
+}
+
+func TestHistorySpillIntegration(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogConfig{SyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stream.NewHistory(1) // tiny memory budget: everything but the newest evicts
+	h.SetSpill(NewCPSpill(l, 0))
+	var memDelta int
+	for i := uint64(1); i <= 30; i++ {
+		tp := stream.NewTuple(stream.Int(int64(i)))
+		tp.Seq = i
+		d, dropped := h.Add(tp)
+		memDelta += d
+		if dropped != 0 {
+			t.Fatalf("tuple %d permanently dropped despite an unbounded spill", i)
+		}
+	}
+	if h.Evicted() != 0 {
+		t.Errorf("Evicted() = %d with spill absorbing everything", h.Evicted())
+	}
+	if memDelta != h.Bytes() {
+		t.Errorf("sum of Add deltas %d != in-memory Bytes %d", memDelta, h.Bytes())
+	}
+	replay := h.Replay()
+	if len(replay) != 30 {
+		t.Fatalf("Replay() = %d tuples, want 30 (disk prefix + memory window)", len(replay))
+	}
+	for i, tp := range replay {
+		if tp.Seq != uint64(i+1) {
+			t.Fatalf("replay[%d].Seq = %d, want %d (oldest-first ordering)", i, tp.Seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh history over the reopened log sees the spilled prefix.
+	l2, err := OpenLog(dir, LogConfig{SyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	h2 := stream.NewHistory(1 << 20)
+	h2.SetSpill(NewCPSpill(l2, 0))
+	recovered := h2.Replay()
+	if len(recovered) != 29 { // the newest tuple lived only in memory
+		t.Fatalf("recovered %d spilled tuples, want 29", len(recovered))
+	}
+	if recovered[0].Seq != 1 || recovered[28].Seq != 29 {
+		t.Fatalf("recovered range [%d..%d], want [1..29]", recovered[0].Seq, recovered[28].Seq)
+	}
+}

@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+// DefaultSpillBytes bounds one connection point's on-disk history when
+// the caller passes no budget: generous next to the in-memory window,
+// small enough that a runaway stream cannot fill the disk.
+const DefaultSpillBytes = 256 << 20
+
+// CPSpill adapts a segment Log to stream.Spill: tuples evicted from a
+// connection point's in-memory window append here, whole old segments are
+// unlinked once the disk budget is exceeded, and Replay feeds ad hoc
+// attachment (and restart recovery — a reopened Log already carries the
+// prior process's spilled history).
+type CPSpill struct {
+	log      *Log
+	maxBytes int64
+	errs     atomic.Uint64
+}
+
+// NewCPSpill wraps log with a disk budget (<=0 means DefaultSpillBytes).
+func NewCPSpill(log *Log, maxBytes int64) *CPSpill {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSpillBytes
+	}
+	return &CPSpill{log: log, maxBytes: maxBytes}
+}
+
+// Append writes one evicted tuple through to disk and enforces the disk
+// budget, returning how many tuples fell off the old end. A write error
+// counts the tuple itself as dropped — the caller's Evicted() then tells
+// the truth about history no replay can return.
+func (s *CPSpill) Append(t stream.Tuple) (dropped int) {
+	if err := s.log.Append(transport.Msg{Kind: transport.KindData, Tuples: []stream.Tuple{t}}); err != nil {
+		s.errs.Add(1)
+		return 1
+	}
+	n, _ := s.log.EvictOldest(s.maxBytes)
+	return n
+}
+
+// Replay returns every spilled tuple still on disk, oldest first.
+func (s *CPSpill) Replay() []stream.Tuple {
+	var out []stream.Tuple
+	s.log.ReplayTuples(func(t stream.Tuple, _ uint64) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Bytes returns the spill's on-disk footprint.
+func (s *CPSpill) Bytes() int64 { return s.log.Bytes() }
+
+// Errors returns how many appends failed (each counted as a drop).
+func (s *CPSpill) Errors() uint64 { return s.errs.Load() }
+
+// Log exposes the backing segment log (telemetry, tests).
+func (s *CPSpill) Log() *Log { return s.log }

@@ -1,14 +1,34 @@
 package stream
 
+// Spill is a History's disk overflow: tuples evicted from the in-memory
+// window are appended to it instead of being dropped (§2.3 — the Storage
+// Manager pages long connection-point queues to the persistent store).
+// Append returns how many tuples the spill itself had to drop to honor
+// its own disk budget; those are gone for good and count as evicted.
+// internal/storage provides the segment-file implementation; the
+// interface lives here so stream stays a leaf package.
+type Spill interface {
+	// Append takes ownership of an evicted tuple, returning the number of
+	// tuples permanently dropped from the spill's old end to stay within
+	// its disk budget.
+	Append(t Tuple) (dropped int)
+	// Replay returns the spilled tuples still retained, oldest first.
+	Replay() []Tuple
+	// Bytes returns the spill's on-disk footprint.
+	Bytes() int64
+}
+
 // History is the bounded historical buffer kept at a connection point
 // (paper §2.2): a predetermined arc in the flow graph where recent stream
 // history is retained so that ad hoc queries can be attached later and
-// network transformations can stabilize. It keeps the most recent tuples up
-// to a byte budget, evicting from the oldest end.
+// network transformations can stabilize. It keeps the most recent tuples
+// in memory up to a byte budget; past the budget the oldest tuples either
+// spill to the attached Spill (disk) or, with no spill, are evicted.
 type History struct {
 	q        *Queue
 	maxBytes int
 	dropped  uint64
+	spill    Spill
 }
 
 // NewHistory returns a history buffer bounded by maxBytes (<=0 means a
@@ -20,26 +40,62 @@ func NewHistory(maxBytes int) *History {
 	return &History{q: NewQueue(64), maxBytes: maxBytes}
 }
 
-// Add records a tuple, evicting the oldest history as needed to stay within
-// the byte budget.
-func (h *History) Add(t Tuple) {
+// SetSpill attaches a disk spill. Attach before the first Add (recovery
+// attaches it at construction); tuples already evicted are gone.
+func (h *History) SetSpill(s Spill) { h.spill = s }
+
+// Add records a tuple, evicting the oldest history as needed to stay
+// within the in-memory byte budget — into the spill when one is attached,
+// otherwise dropping it. It returns the net change to the in-memory
+// footprint in bytes (the storage-accounting charge: what was added minus
+// what eviction freed) and how many tuples were permanently dropped in
+// the process (0 whenever the spill absorbed the overflow).
+func (h *History) Add(t Tuple) (delta int, dropped int) {
 	h.q.Push(t)
+	delta = t.MemSize()
 	for h.q.Bytes() > h.maxBytes && h.q.Len() > 1 {
-		h.q.Pop()
-		h.dropped++
+		old, _ := h.q.Pop()
+		delta -= old.MemSize()
+		if h.spill != nil {
+			dropped += h.spill.Append(old)
+		} else {
+			dropped++
+		}
 	}
+	h.dropped += uint64(dropped)
+	return delta, dropped
 }
 
-// Len returns the number of retained tuples.
+// Len returns the number of tuples retained in memory.
 func (h *History) Len() int { return h.q.Len() }
 
-// Bytes returns the retained footprint.
+// Bytes returns the in-memory footprint.
 func (h *History) Bytes() int { return h.q.Bytes() }
 
-// Evicted returns how many tuples have aged out of the buffer.
+// SpillBytes returns the attached spill's on-disk footprint (0 without a
+// spill).
+func (h *History) SpillBytes() int64 {
+	if h.spill == nil {
+		return 0
+	}
+	return h.spill.Bytes()
+}
+
+// Evicted returns how many tuples are permanently gone — aged out of the
+// buffer with no spill attached, or dropped off the spill's old end to
+// honor its disk budget. Tuples sitting in the spill are retained, not
+// evicted.
 func (h *History) Evicted() uint64 { return h.dropped }
 
-// Replay returns the retained history in arrival order; ad hoc queries
+// Replay returns the retained history in arrival order — the spilled
+// prefix first (oldest), then the in-memory window; ad hoc queries
 // attached to a connection point are seeded with this replay before
 // receiving live tuples.
-func (h *History) Replay() []Tuple { return h.q.Snapshot() }
+func (h *History) Replay() []Tuple {
+	mem := h.q.Snapshot()
+	if h.spill == nil {
+		return mem
+	}
+	disk := h.spill.Replay()
+	return append(disk, mem...)
+}
